@@ -1,0 +1,438 @@
+package ganc
+
+// Benchmark harness: one testing.B target per table and figure in the paper's
+// evaluation, plus ablation benches for the design choices called out in
+// DESIGN.md §6. Each benchmark regenerates the corresponding experiment on
+// the synthetic calibrated datasets at a small scale (so the whole suite runs
+// in minutes) and reports a handful of headline numbers as custom metrics, so
+// `go test -bench=. -benchmem` doubles as the reproduction run recorded in
+// EXPERIMENTS.md. Scale and sample size can be raised via the GANC_BENCH_SCALE
+// environment variable for a closer-to-paper run.
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"ganc/internal/core"
+	"ganc/internal/experiment"
+	"ganc/internal/longtail"
+	"ganc/internal/submodular"
+	"ganc/internal/synth"
+	"ganc/internal/types"
+)
+
+// benchScale returns the dataset scale used by the benchmark suite.
+func benchScale() synth.Scale {
+	if v := os.Getenv("GANC_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return synth.Scale(f)
+		}
+	}
+	return 0.12
+}
+
+// newBenchSuite builds a fresh experiment suite for a benchmark.
+func newBenchSuite() *experiment.Suite {
+	return experiment.NewSuite(benchScale(), 1, 5, 0)
+}
+
+// --- Table and figure reproduction benches -------------------------------------
+
+// BenchmarkTableII_DatasetStats regenerates Table II (dataset statistics).
+func BenchmarkTableII_DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		rows, _, err := s.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "datasets")
+	}
+}
+
+// BenchmarkFigure1_AvgPopularityVsActivity regenerates Figure 1 on every dataset.
+func BenchmarkFigure1_AvgPopularityVsActivity(b *testing.B) {
+	s := newBenchSuite()
+	for i := 0; i < b.N; i++ {
+		for _, name := range experiment.DatasetNames() {
+			if _, _, err := s.Figure1(name, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2_PreferenceHistograms regenerates Figure 2 on every dataset.
+func BenchmarkFigure2_PreferenceHistograms(b *testing.B) {
+	s := newBenchSuite()
+	for i := 0; i < b.N; i++ {
+		for _, name := range experiment.DatasetNames() {
+			res, _, err := s.Figure2(name, 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if name == "ML-1M" {
+				b.ReportMetric(res.Means[longtail.ModelGeneralized], "thetaG-mean-ML1M")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3_SampleSizeML1M regenerates the Figure 3 sweep (sample size
+// vs F-measure and coverage on ML-1M).
+func BenchmarkFigure3_SampleSizeML1M(b *testing.B) {
+	s := newBenchSuite()
+	sizes := []int{30, 60, 120}
+	for i := 0; i < b.N; i++ {
+		points, _, err := s.SampleSizeSweep("ML-1M", []experiment.AccuracyRecName{experiment.ARecPSVD100, experiment.ARecPop}, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(last.Coverage, "coverage@maxS")
+		b.ReportMetric(last.FMeasure, "fmeasure@maxS")
+	}
+}
+
+// BenchmarkFigure4_SampleSizeMT200K regenerates the Figure 4 sweep on the
+// sparse MT-200K stand-in.
+func BenchmarkFigure4_SampleSizeMT200K(b *testing.B) {
+	s := newBenchSuite()
+	sizes := []int{30, 60, 120}
+	for i := 0; i < b.N; i++ {
+		points, _, err := s.SampleSizeSweep("MT-200K", []experiment.AccuracyRecName{experiment.ARecPop, experiment.ARecRSVD}, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(last.Coverage, "coverage@maxS")
+	}
+}
+
+// BenchmarkFigure5_PreferenceModelSweep regenerates the Figure 5 sweep
+// (preference models × accuracy recommenders) on ML-1M at N=5.
+func BenchmarkFigure5_PreferenceModelSweep(b *testing.B) {
+	s := newBenchSuite()
+	arecs := []experiment.AccuracyRecName{experiment.ARecPop, experiment.ARecPSVD10}
+	thetas := []longtail.Model{longtail.ModelConstant, longtail.ModelTFIDF, longtail.ModelGeneralized}
+	for i := 0; i < b.N; i++ {
+		points, _, err := s.PreferenceModelSweep("ML-1M", arecs, thetas, []int{5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(points)), "configurations")
+	}
+}
+
+// BenchmarkTableIV_RerankingComparison regenerates Table IV (re-ranking RSVD)
+// on the dense ML-100K and sparse MT-200K stand-ins.
+func BenchmarkTableIV_RerankingComparison(b *testing.B) {
+	s := newBenchSuite()
+	for i := 0; i < b.N; i++ {
+		results, _, err := s.TableIV([]string{"ML-100K", "MT-200K"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the GANC(θ^G) and RSVD coverage on ML-100K so regressions in
+		// the headline effect are visible in benchmark diffs.
+		for _, rep := range results[0].Reports {
+			switch {
+			case rep.Algorithm == "RSVD":
+				b.ReportMetric(rep.Coverage, "rsvd-coverage")
+			case rep.Algorithm == "GANC(RSVD, θ^G, Dyn)":
+				b.ReportMetric(rep.Coverage, "ganc-coverage")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6_TopNComparison regenerates the Figure 6 scatter on the
+// dense ML-100K and sparse MT-200K stand-ins.
+func BenchmarkFigure6_TopNComparison(b *testing.B) {
+	s := newBenchSuite()
+	for i := 0; i < b.N; i++ {
+		points, _, err := s.Figure6([]string{"ML-100K", "MT-200K"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(points)), "algorithm-points")
+	}
+}
+
+// BenchmarkFigure7_ProtocolML100K regenerates the Appendix C protocol
+// comparison on ML-100K.
+func BenchmarkFigure7_ProtocolML100K(b *testing.B) {
+	s := newBenchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.ProtocolComparison("ML-100K"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8_ProtocolML1M regenerates the Appendix C protocol
+// comparison on ML-1M.
+func BenchmarkFigure8_ProtocolML1M(b *testing.B) {
+	s := newBenchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.ProtocolComparison("ML-1M"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableV_RSVDConfig regenerates Table V (RSVD configuration and
+// held-out error) across all datasets.
+func BenchmarkTableV_RSVDConfig(b *testing.B) {
+	s := newBenchSuite()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := s.TableV(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].RMSE, "rmse-ML100K")
+	}
+}
+
+// --- Ablation benches ------------------------------------------------------------
+
+// ablationFixture builds the split, preferences and accuracy recommender the
+// ablations share.
+func ablationFixture(b *testing.B) (*Split, *Preferences, AccuracyRecommender) {
+	b.Helper()
+	data, err := GenerateML100K(float64(benchScale()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := SplitByUser(data, 0.8, rand.New(rand.NewSource(2)))
+	prefs, err := EstimatePreferences(PreferenceGeneralized, split.Train, 0, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return split, prefs, AccuracyFromPop(split.Train, 5)
+}
+
+// BenchmarkAblation_SamplingVsFull compares OSLG with sampling against the
+// fully sequential locally greedy optimizer (objective value and wall time).
+func BenchmarkAblation_SamplingVsFull(b *testing.B) {
+	split, prefs, arec := ablationFixture(b)
+	run := func(sample int) (float64, Recommendations) {
+		g, err := NewGANC(split.Train, arec, prefs, CoverageDyn(split.Train.NumItems()),
+			GANCConfig{N: 5, SampleSize: sample, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs := g.Recommend()
+		return g.ValueOf(recs), recs
+	}
+	b.Run("full-sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v, _ := run(0)
+			b.ReportMetric(v, "objective")
+		}
+	})
+	b.Run("oslg-sampled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v, _ := run(split.Train.NumUsers() / 5)
+			b.ReportMetric(v, "objective")
+		}
+	})
+}
+
+// BenchmarkAblation_UserOrder compares processing users in increasing θ
+// (OSLG's ordering) against arbitrary order, measuring catalog coverage.
+func BenchmarkAblation_UserOrder(b *testing.B) {
+	split, prefs, arec := ablationFixture(b)
+	coverageWith := func(p *Preferences) float64 {
+		g, err := NewGANC(split.Train, arec, p, CoverageDyn(split.Train.NumItems()),
+			GANCConfig{N: 5, SampleSize: 0, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs := g.Recommend()
+		return float64(len(recs.DistinctItems())) / float64(split.Train.NumItems())
+	}
+	b.Run("increasing-theta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(coverageWith(prefs), "coverage")
+		}
+	})
+	b.Run("shuffled-theta", func(b *testing.B) {
+		// Shuffling the preference values decouples the processing order from
+		// the users' actual appetites, which is the ablation's control arm.
+		shuffled := &longtail.Preferences{Model: prefs.Model, Values: append([]float64(nil), prefValues(prefs)...)}
+		rng := rand.New(rand.NewSource(9))
+		rng.Shuffle(len(shuffled.Values), func(i, j int) {
+			shuffled.Values[i], shuffled.Values[j] = shuffled.Values[j], shuffled.Values[i]
+		})
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(coverageWith(shuffled), "coverage")
+		}
+	})
+}
+
+func prefValues(p *Preferences) []float64 { return p.Values }
+
+// BenchmarkAblation_CoverageRecommender compares the Dyn, Stat and Rand
+// coverage recommenders inside GANC on the same dataset.
+func BenchmarkAblation_CoverageRecommender(b *testing.B) {
+	split, prefs, arec := ablationFixture(b)
+	ev := NewEvaluator(split, 0)
+	for _, tc := range []struct {
+		name string
+		crec func() CoverageRecommender
+	}{
+		{"Dyn", func() CoverageRecommender { return CoverageDyn(split.Train.NumItems()) }},
+		{"Stat", func() CoverageRecommender { return CoverageStat(split.Train) }},
+		{"Rand", func() CoverageRecommender { return CoverageRand(3) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := NewGANC(split.Train, arec, prefs, tc.crec(), GANCConfig{N: 5, SampleSize: 40, Seed: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := ev.Evaluate(g.Name(), g.Recommend(), 5)
+				b.ReportMetric(rep.Coverage, "coverage")
+				b.ReportMetric(rep.FMeasure, "fmeasure")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PreferenceModel compares θ^G against the simpler θ models
+// inside GANC(Pop, θ, Dyn).
+func BenchmarkAblation_PreferenceModel(b *testing.B) {
+	split, _, arec := ablationFixture(b)
+	ev := NewEvaluator(split, 0)
+	for _, model := range []PreferenceModel{PreferenceConstant, PreferenceNormalizedLongTail, PreferenceTFIDF, PreferenceGeneralized} {
+		b.Run(string(model), func(b *testing.B) {
+			prefs, err := EstimatePreferences(model, split.Train, 0.5, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				g, err := NewGANC(split.Train, arec, prefs, CoverageDyn(split.Train.NumItems()), GANCConfig{N: 5, SampleSize: 40, Seed: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := ev.Evaluate(g.Name(), g.Recommend(), 5)
+				b.ReportMetric(rep.FMeasure, "fmeasure")
+				b.ReportMetric(rep.Coverage, "coverage")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_LazyGreedy compares lazy-greedy against plain greedy
+// marginal-gain evaluation on a Dyn-style submodular objective.
+func BenchmarkAblation_LazyGreedy(b *testing.B) {
+	const numItems, numUsers, n = 400, 100, 5
+	buildOracle := func() submodular.Oracle { return newDynOracle(numItems) }
+	users := make([]types.UserID, numUsers)
+	for i := range users {
+		users[i] = types.UserID(i)
+	}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			submodular.LocallyGreedy(users, n, buildOracle())
+		}
+	})
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := buildOracle()
+			for _, u := range users {
+				submodular.LazyGreedyForUser(u, n, o)
+			}
+		}
+	})
+}
+
+// dynOracle is a minimal Dyn-style oracle for the lazy-greedy ablation.
+type dynOracle struct {
+	freq  []int
+	cands []types.ItemID
+}
+
+func newDynOracle(numItems int) *dynOracle {
+	cands := make([]types.ItemID, numItems)
+	for i := range cands {
+		cands[i] = types.ItemID(i)
+	}
+	return &dynOracle{freq: make([]int, numItems), cands: cands}
+}
+
+func (o *dynOracle) Gain(_ types.UserID, i types.ItemID) float64 {
+	return 1 / (1 + float64(o.freq[i]))
+}
+func (o *dynOracle) Commit(_ types.UserID, i types.ItemID)  { o.freq[i]++ }
+func (o *dynOracle) Candidates(types.UserID) []types.ItemID { return o.cands }
+
+// --- Micro-benches for the core primitives ----------------------------------------
+
+// BenchmarkCore_OSLGRecommend measures a single GANC(Pop, θ^G, Dyn) pass.
+func BenchmarkCore_OSLGRecommend(b *testing.B) {
+	split, prefs, arec := ablationFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := NewGANC(split.Train, arec, prefs, CoverageDyn(split.Train.NumItems()), GANCConfig{N: 5, SampleSize: 40, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = g.Recommend()
+	}
+}
+
+// BenchmarkCore_GeneralizedPreferenceLearning measures the θ^G minimax solver.
+func BenchmarkCore_GeneralizedPreferenceLearning(b *testing.B) {
+	data, err := GenerateML100K(float64(benchScale()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := SplitByUser(data, 0.8, rand.New(rand.NewSource(6)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimatePreferences(PreferenceGeneralized, split.Train, 0, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCore_RSVDTraining measures SGD matrix-factorization training.
+func BenchmarkCore_RSVDTraining(b *testing.B) {
+	data, err := GenerateML100K(float64(benchScale()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := SplitByUser(data, 0.8, rand.New(rand.NewSource(7)))
+	cfg := DefaultRSVDConfig()
+	cfg.Factors = 20
+	cfg.Epochs = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainRSVD(split.Train, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCore_PSVDTraining measures the randomized truncated SVD.
+func BenchmarkCore_PSVDTraining(b *testing.B) {
+	data, err := GenerateML100K(float64(benchScale()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	split := SplitByUser(data, 0.8, rand.New(rand.NewSource(8)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainPSVD(split.Train, PSVDConfig{Factors: 20, PowerIterations: 2, Seed: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ensure the core package's DynCoverage satisfies the facade interface (a
+// compile-time check that the public API stays assembled).
+var _ CoverageRecommender = (*core.DynCoverage)(nil)

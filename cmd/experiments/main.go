@@ -1,0 +1,112 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic calibrated datasets and prints them as text tables. Individual
+// experiments can be selected with -only; by default every experiment runs.
+//
+// Examples:
+//
+//	experiments -scale 0.25                 # run everything at quarter scale
+//	experiments -only table4,figure6       # only the Table IV and Figure 6 runs
+//	experiments -only figure3 -scale 0.5   # the ML-1M sample-size sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ganc/internal/experiment"
+	"ganc/internal/synth"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.2, "synthetic dataset scale (1.0 = calibrated defaults)")
+	seed := flag.Int64("seed", 1, "random seed")
+	n := flag.Int("n", 5, "top-N cutoff")
+	sample := flag.Int("sample", 0, "OSLG sample size (0 = scaled default)")
+	only := flag.String("only", "", "comma-separated experiment ids: table2,figure1,figure2,figure3,figure4,figure5,table4,figure6,figure7,figure8,table5")
+	flag.Parse()
+
+	s := experiment.NewSuite(synth.Scale(*scale), *seed, *n, *sample)
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	run := func(id, title string, f func() (string, error)) {
+		if !want(id) {
+			return
+		}
+		fmt.Printf("==== %s ====\n", title)
+		text, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+	}
+
+	run("table2", "Table II — dataset statistics", func() (string, error) {
+		_, text, err := s.TableII()
+		return text, err
+	})
+	run("figure1", "Figure 1 — avg popularity of rated items vs activity", func() (string, error) {
+		var sb strings.Builder
+		for _, name := range experiment.DatasetNames() {
+			_, text, err := s.Figure1(name, 10)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(text)
+			sb.WriteString("\n")
+		}
+		return sb.String(), nil
+	})
+	run("figure2", "Figure 2 — long-tail preference distributions", func() (string, error) {
+		var sb strings.Builder
+		for _, name := range experiment.DatasetNames() {
+			_, text, err := s.Figure2(name, 20)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(text)
+			sb.WriteString("\n")
+		}
+		return sb.String(), nil
+	})
+	run("figure3", "Figure 3 — sample size sweep (ML-1M)", func() (string, error) {
+		_, text, err := s.SampleSizeSweep("ML-1M", nil, nil)
+		return text, err
+	})
+	run("figure4", "Figure 4 — sample size sweep (MT-200K)", func() (string, error) {
+		_, text, err := s.SampleSizeSweep("MT-200K", nil, nil)
+		return text, err
+	})
+	run("figure5", "Figure 5 — preference models × accuracy recommenders (ML-1M)", func() (string, error) {
+		_, text, err := s.PreferenceModelSweep("ML-1M", nil, nil, nil)
+		return text, err
+	})
+	run("table4", "Table IV — re-ranking RSVD across datasets", func() (string, error) {
+		_, text, err := s.TableIV(nil)
+		return text, err
+	})
+	run("figure6", "Figure 6 — accuracy vs coverage vs novelty", func() (string, error) {
+		_, text, err := s.Figure6(nil)
+		return text, err
+	})
+	run("figure7", "Figure 7 — ranking protocol comparison (ML-100K)", func() (string, error) {
+		_, text, err := s.ProtocolComparison("ML-100K")
+		return text, err
+	})
+	run("figure8", "Figure 8 — ranking protocol comparison (ML-1M)", func() (string, error) {
+		_, text, err := s.ProtocolComparison("ML-1M")
+		return text, err
+	})
+	run("table5", "Table V — RSVD configuration and error", func() (string, error) {
+		_, text, err := s.TableV(nil)
+		return text, err
+	})
+}

@@ -1,0 +1,216 @@
+// Command ganc trains a base recommender on a ratings file (or a synthetic
+// preset), runs the GANC re-ranking framework on top of it and either prints
+// top-N recommendations or evaluates the result against a held-out test
+// split.
+//
+// Examples:
+//
+//	# Evaluate GANC(RSVD, θ^G, Dyn) on a synthetic ML-100K stand-in.
+//	ganc -preset ML-100K -arec RSVD -theta G -crec Dyn -evaluate
+//
+//	# Recommend 10 items per user from a ratings CSV using Pop as the
+//	# accuracy recommender and print the first 5 users.
+//	ganc -ratings ratings.csv -arec Pop -theta T -n 10 -show 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+
+	"ganc/internal/core"
+	"ganc/internal/dataset"
+	"ganc/internal/eval"
+	"ganc/internal/knn"
+	"ganc/internal/longtail"
+	"ganc/internal/mf"
+	"ganc/internal/recommender"
+	"ganc/internal/serve"
+	"ganc/internal/synth"
+	"ganc/internal/types"
+)
+
+func main() {
+	ratingsPath := flag.String("ratings", "", "path to a ratings file (CSV, MovieLens ::, or tab separated)")
+	preset := flag.String("preset", "ML-100K", "synthetic preset to use when -ratings is not given")
+	scale := flag.Float64("scale", 0.25, "synthetic preset scale")
+	kappa := flag.Float64("kappa", 0.8, "per-user train ratio")
+	arecName := flag.String("arec", "RSVD", "accuracy recommender: Pop, RSVD, PSVD10, PSVD100, ItemKNN")
+	thetaName := flag.String("theta", "G", "long-tail preference model: A, N, T, G, R, C")
+	crecName := flag.String("crec", "Dyn", "coverage recommender: Dyn, Stat, Rand")
+	n := flag.Int("n", 5, "top-N size")
+	sample := flag.Int("sample", 0, "OSLG sample size (0 = fully sequential)")
+	workers := flag.Int("workers", 1, "worker goroutines for the parallel phases of GANC")
+	seed := flag.Int64("seed", 1, "random seed")
+	evaluate := flag.Bool("evaluate", false, "evaluate against the held-out split instead of printing recommendations")
+	show := flag.Int("show", 3, "number of users whose recommendations are printed")
+	serveAddr := flag.String("serve", "", "serve recommendations over HTTP on this address (e.g. :8080) instead of printing them")
+	flag.Parse()
+
+	data, err := loadData(*ratingsPath, *preset, synth.Scale(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	split := data.SplitByUser(*kappa, rand.New(rand.NewSource(*seed)))
+	fmt.Fprintf(os.Stderr, "dataset %s: %d users, %d items, %d train / %d test ratings\n",
+		data.Name(), data.NumUsers(), data.NumItems(), split.Train.NumRatings(), split.Test.NumRatings())
+
+	arec, err := buildAccuracy(split.Train, *arecName, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	crec, err := buildCoverage(split.Train, *crecName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	prefs, err := longtail.Estimate(thetaModel(*thetaName), split.Train, nil, 0.5, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := core.New(split.Train, arec, prefs, crec, core.Config{N: *n, SampleSize: *sample, Seed: *seed, Workers: *workers})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "running %s ...\n", g.Name())
+	recs := g.Recommend()
+
+	if *serveAddr != "" {
+		srv, err := serve.New(split.Train, g.Name(), recs, *n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving %s on %s (GET /recommend?user=<id>, /info, /health)\n", g.Name(), *serveAddr)
+		if err := http.ListenAndServe(*serveAddr, srv.Handler()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *evaluate {
+		ev := eval.NewEvaluator(split, 0)
+		rep := ev.Evaluate(g.Name(), recs, *n)
+		fmt.Printf("%-40s\n", rep.Algorithm)
+		fmt.Printf("  Precision@%d   : %.4f\n", *n, rep.Precision)
+		fmt.Printf("  Recall@%d      : %.4f\n", *n, rep.Recall)
+		fmt.Printf("  F-measure@%d   : %.4f\n", *n, rep.FMeasure)
+		fmt.Printf("  LTAccuracy@%d  : %.4f\n", *n, rep.LTAccuracy)
+		fmt.Printf("  StratRecall@%d : %.4f\n", *n, rep.StratRecall)
+		fmt.Printf("  Coverage@%d    : %.4f\n", *n, rep.Coverage)
+		fmt.Printf("  Gini@%d        : %.4f\n", *n, rep.Gini)
+		return
+	}
+
+	users := make([]types.UserID, 0, len(recs))
+	for u := range recs {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+	if *show < len(users) {
+		users = users[:*show]
+	}
+	for _, u := range users {
+		key := split.Train.UserInterner().Key(int32(u))
+		fmt.Printf("user %s:", key)
+		for _, i := range recs[u] {
+			fmt.Printf(" %s", split.Train.ItemInterner().Key(int32(i)))
+		}
+		fmt.Println()
+	}
+}
+
+func loadData(path, preset string, scale synth.Scale) (*dataset.Dataset, error) {
+	if path != "" {
+		return dataset.LoadRatings(path, dataset.LoadOptions{Name: path})
+	}
+	var cfg synth.Config
+	switch preset {
+	case "ML-100K":
+		cfg = synth.ML100K(scale)
+	case "ML-1M":
+		cfg = synth.ML1M(scale)
+	case "ML-10M":
+		cfg = synth.ML10M(scale)
+	case "MT-200K":
+		cfg = synth.MT200K(scale)
+	case "Netflix":
+		cfg = synth.NetflixSample(scale)
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+	return synth.Generate(cfg)
+}
+
+func buildAccuracy(train *dataset.Dataset, name string, n int, seed int64) (core.AccuracyRecommender, error) {
+	switch name {
+	case "Pop":
+		return core.NewPopAccuracy(train, n), nil
+	case "RSVD":
+		cfg := mf.DefaultRSVDConfig()
+		cfg.Factors = 40
+		cfg.Epochs = 15
+		cfg.Seed = seed
+		m, err := mf.TrainRSVD(train, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(m, train.NumItems())}, nil
+	case "PSVD10", "PSVD100":
+		factors := 10
+		if name == "PSVD100" {
+			factors = 100
+		}
+		m, err := mf.TrainPSVD(train, mf.PSVDConfig{Factors: factors, PowerIterations: 2, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(m, train.NumItems())}, nil
+	case "ItemKNN":
+		m, err := knn.Train(train, knn.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(m, train.NumItems())}, nil
+	default:
+		return nil, fmt.Errorf("unknown accuracy recommender %q", name)
+	}
+}
+
+func buildCoverage(train *dataset.Dataset, name string, seed int64) (core.CoverageRecommender, error) {
+	switch name {
+	case "Dyn":
+		return core.NewDynCoverage(train.NumItems()), nil
+	case "Stat":
+		return core.NewStatCoverage(train), nil
+	case "Rand":
+		return core.NewRandCoverage(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown coverage recommender %q", name)
+	}
+}
+
+func thetaModel(short string) longtail.Model {
+	switch short {
+	case "A":
+		return longtail.ModelActivity
+	case "N":
+		return longtail.ModelNormalizedLongTail
+	case "T":
+		return longtail.ModelTFIDF
+	case "G":
+		return longtail.ModelGeneralized
+	case "R":
+		return longtail.ModelRandom
+	case "C":
+		return longtail.ModelConstant
+	default:
+		return longtail.Model(short)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ganc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Dense setting: re-ranking a rating-prediction model with GANC.
+//
+// The paper's Table IV shows that in dense datasets (ML-100K, ML-1M),
+// re-ranking an RSVD rating-prediction model with GANC(RSVD, θ^G, Dyn)
+// dramatically increases coverage and lowers the Gini concentration while
+// keeping the F-measure close to the base model. This example reproduces
+// that comparison on a synthetic ML-1M stand-in, also running the RBT and
+// PRA baselines for context.
+//
+// Run with:
+//
+//	go run ./examples/dense_movielens
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ganc/internal/core"
+	"ganc/internal/eval"
+	"ganc/internal/longtail"
+	"ganc/internal/mf"
+	"ganc/internal/recommender"
+	"ganc/internal/rerank"
+	"ganc/internal/synth"
+)
+
+func main() {
+	const n = 5
+
+	// Dense dataset: the ML-1M stand-in at 30% scale (density ≈ 4.5%).
+	cfg := synth.ML1M(0.3)
+	data, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split := data.SplitByUser(synth.Kappa(cfg.Name), rand.New(rand.NewSource(11)))
+	fmt.Printf("dense dataset: %d users, %d items, density %.2f%%\n",
+		data.NumUsers(), data.NumItems(), data.Density()*100)
+
+	// Base model: RSVD trained with SGD (the paper's LIBMF analogue).
+	rsvdCfg := mf.DefaultRSVDConfig()
+	rsvdCfg.Factors = 40
+	rsvdCfg.Epochs = 15
+	rsvd, err := mf.TrainRSVD(split.Train, rsvdCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RSVD trained: test RMSE %.3f\n", rsvd.RMSE(split.Test))
+
+	ev := eval.NewEvaluator(split, 0)
+	var reports []eval.Report
+
+	// 1. The plain RSVD ranking.
+	base := recommender.RecommendAll(
+		&recommender.ScorerTopN{Scorer: rsvd, NumItems: split.Train.NumItems()}, split.Train, n)
+	reports = append(reports, ev.Evaluate("RSVD", base, n))
+
+	// 2. RBT(RSVD, Pop): re-rank confident predictions by inverse popularity.
+	rbt, err := rerank.NewRBT(split.Train, rsvd, rerank.DefaultRBTConfig(n, rerank.RBTPop))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports = append(reports, ev.Evaluate(rbt.Name(), rbt.RecommendAll(), n))
+
+	// 3. PRA(RSVD, 10): swap items toward each user's novelty tendency.
+	pra, err := rerank.NewPRA(split.Train, rsvd, rerank.DefaultPRAConfig(n, 10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports = append(reports, ev.Evaluate(pra.Name(), pra.RecommendAll(), n))
+
+	// 4. GANC(RSVD, θ^G, Dyn): the paper's main model.
+	prefs, err := longtail.Estimate(longtail.ModelGeneralized, split.Train, nil, 0, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arec := &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(rsvd, split.Train.NumItems())}
+	g, err := core.New(split.Train, arec, prefs, core.NewDynCoverage(split.Train.NumItems()),
+		core.Config{N: n, SampleSize: 150, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports = append(reports, ev.Evaluate(g.Name(), g.Recommend(), n))
+
+	// Print the Table IV–style comparison with the average-rank score.
+	ranks := eval.RankReports(reports)
+	fmt.Printf("\n%-28s %8s %8s %8s %8s %8s %6s\n", "algorithm", "F@5", "S@5", "L@5", "C@5", "G@5", "score")
+	for _, rep := range reports {
+		fmt.Printf("%-28s %8.4f %8.4f %8.4f %8.4f %8.4f %6.1f\n",
+			rep.Algorithm, rep.FMeasure, rep.StratRecall, rep.LTAccuracy, rep.Coverage, rep.Gini, ranks[rep.Algorithm])
+	}
+	fmt.Println("\nExpected shape (paper Table IV, dense settings): every re-ranker trades some")
+	fmt.Println("F-measure for coverage; GANC gains the most coverage and the best average rank.")
+}

@@ -1,0 +1,72 @@
+// Evaluation-protocol bias (Appendix C of the paper).
+//
+// Off-line accuracy numbers depend heavily on which items are ranked at test
+// time. Under the "rated test items" protocol only the items a user actually
+// rated in the test set are ranked, which rewards popularity-biased models;
+// under the "all unrated items" protocol the model must place relevant items
+// above the whole catalog, which is what a deployed recommender really has to
+// do. This example re-runs the paper's Figure 7/8 study on one synthetic
+// dataset: the same models, both protocols, side by side.
+//
+// Run with:
+//
+//	go run ./examples/protocol_bias
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ganc/internal/eval"
+	"ganc/internal/mf"
+	"ganc/internal/recommender"
+	"ganc/internal/synth"
+)
+
+func main() {
+	const n = 5
+
+	cfg := synth.ML100K(0.3)
+	data, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split := data.SplitByUser(synth.Kappa(cfg.Name), rand.New(rand.NewSource(23)))
+	fmt.Printf("dataset: %d users, %d items, %d train / %d test ratings\n\n",
+		data.NumUsers(), data.NumItems(), split.Train.NumRatings(), split.Test.NumRatings())
+
+	// The accuracy-focused models of the appendix study.
+	models := []recommender.Scorer{
+		recommender.NewRand(split.Train.NumItems(), 23),
+		recommender.NewPop(split.Train),
+	}
+	rsvdCfg := mf.DefaultRSVDConfig()
+	rsvdCfg.Factors = 40
+	rsvdCfg.Epochs = 15
+	if rsvd, err := mf.TrainRSVD(split.Train, rsvdCfg); err == nil {
+		models = append(models, rsvd)
+	}
+	for _, k := range []int{10, 100} {
+		if psvd, err := mf.TrainPSVD(split.Train, mf.PSVDConfig{Factors: k, PowerIterations: 2, Seed: 23}); err == nil {
+			models = append(models, psvd)
+		}
+	}
+
+	ev := eval.NewEvaluator(split, 0)
+	fmt.Printf("%-10s  %-18s %10s %10s %10s %10s\n",
+		"model", "protocol", "precision", "f-measure", "coverage", "ltacc")
+	for _, m := range models {
+		for _, proto := range []eval.Protocol{eval.ProtocolAllUnrated, eval.ProtocolRatedTestItems} {
+			recs := eval.RecommendWithProtocol(m, split, n, proto)
+			rep := ev.Evaluate(m.Name(), recs, n)
+			fmt.Printf("%-10s  %-18s %10.4f %10.4f %10.4f %10.4f\n",
+				m.Name(), proto, rep.Precision, rep.FMeasure, rep.Coverage, rep.LTAccuracy)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Expected shape (paper Figures 7/8): every model's precision jumps under the")
+	fmt.Println("rated-test-items protocol — even Rand looks strong — while the all-unrated")
+	fmt.Println("protocol preserves the real differences between models. The paper therefore")
+	fmt.Println("reports all of its main results under the all-unrated-items protocol.")
+}

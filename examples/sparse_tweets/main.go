@@ -1,0 +1,99 @@
+// Sparse setting: personalizing a non-personalized recommender.
+//
+// The paper's second headline result (Section V-B, Figure 6) is that in very
+// sparse datasets such as MovieTweetings-200K, re-ranking a rating-prediction
+// model is ineffective; instead, plugging the non-personalized Pop
+// recommender into GANC as the accuracy component — personalized only through
+// the learned θ^G preferences and the Dyn coverage recommender — yields a
+// model that is competitive with latent-factor rankers on accuracy while far
+// exceeding them on coverage.
+//
+// This example reproduces that comparison on the synthetic MT-200K stand-in.
+//
+// Run with:
+//
+//	go run ./examples/sparse_tweets
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ganc/internal/core"
+	"ganc/internal/eval"
+	"ganc/internal/longtail"
+	"ganc/internal/mf"
+	"ganc/internal/recommender"
+	"ganc/internal/synth"
+)
+
+func main() {
+	const n = 5
+
+	cfg := synth.MT200K(0.3)
+	data, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split := data.SplitByUser(synth.Kappa(cfg.Name), rand.New(rand.NewSource(13)))
+	fmt.Printf("sparse dataset: %d users, %d items, density %.3f%% (τ=%d)\n",
+		data.NumUsers(), data.NumItems(), data.Density()*100, cfg.MinRatingsPerUser)
+
+	ev := eval.NewEvaluator(split, 0)
+	var reports []eval.Report
+
+	// Non-personalized baselines.
+	popRecs := recommender.RecommendAll(recommender.NewPop(split.Train), split.Train, n)
+	reports = append(reports, ev.Evaluate("Pop", popRecs, n))
+	randRecs := recommender.RecommendAll(recommender.NewRand(split.Train.NumItems(), 13), split.Train, n)
+	reports = append(reports, ev.Evaluate("Rand", randRecs, n))
+
+	// A latent-factor ranker for contrast (PSVD with 50 factors).
+	psvd, err := mf.TrainPSVD(split.Train, mf.PSVDConfig{Factors: 50, PowerIterations: 2, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	psvdRecs := recommender.RecommendAll(
+		&recommender.ScorerTopN{Scorer: psvd, NumItems: split.Train.NumItems()}, split.Train, n)
+	reports = append(reports, ev.Evaluate(psvd.Name(), psvdRecs, n))
+
+	// A rating-prediction model re-ranked directly (what standard re-rankers
+	// would rely on): in sparse settings its ranking accuracy collapses.
+	rsvdCfg := mf.DefaultRSVDConfig()
+	rsvdCfg.Factors = 40
+	rsvdCfg.Epochs = 15
+	rsvdCfg.LearningRate = 0.01
+	rsvd, err := mf.TrainRSVD(split.Train, rsvdCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsvdRecs := recommender.RecommendAll(
+		&recommender.ScorerTopN{Scorer: rsvd, NumItems: split.Train.NumItems()}, split.Train, n)
+	reports = append(reports, ev.Evaluate("RSVD", rsvdRecs, n))
+
+	// GANC(Pop, θ^G, Dyn): the paper's sparse-setting recipe — a generic
+	// framework lets us swap the accuracy recommender to match the data.
+	prefs, err := longtail.Estimate(longtail.ModelGeneralized, split.Train, nil, 0, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := core.New(split.Train,
+		core.NewPopAccuracy(split.Train, n),
+		prefs,
+		core.NewDynCoverage(split.Train.NumItems()),
+		core.Config{N: n, SampleSize: 150, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports = append(reports, ev.Evaluate(g.Name(), g.Recommend(), n))
+
+	fmt.Printf("\n%-26s %8s %8s %8s %8s %8s\n", "algorithm", "F@5", "S@5", "L@5", "C@5", "G@5")
+	for _, rep := range reports {
+		fmt.Printf("%-26s %8.4f %8.4f %8.4f %8.4f %8.4f\n",
+			rep.Algorithm, rep.FMeasure, rep.StratRecall, rep.LTAccuracy, rep.Coverage, rep.Gini)
+	}
+	fmt.Println("\nExpected shape (paper Figure 6, MT-200K): RSVD's ranking accuracy is poor in")
+	fmt.Println("sparse data; GANC built on Pop keeps accuracy close to Pop while covering far")
+	fmt.Println("more of the catalog than Pop, PSVD or RSVD.")
+}

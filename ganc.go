@@ -1,0 +1,233 @@
+// Package ganc is the public facade of the GANC library — a reproduction of
+// "A Generic Top-N Recommendation Framework For Trading-off Accuracy,
+// Novelty, and Coverage" (Zolaktaf, Babanezhad, Pottinger; ICDE 2018).
+//
+// The implementation lives in the internal/ packages; this package re-exports
+// the types and constructors a downstream application needs for the common
+// workflow:
+//
+//  1. load or generate rating data           (LoadRatings, GenerateML1M, ...)
+//  2. split it per user                       (Dataset.SplitByUser)
+//  3. train a base accuracy recommender       (TrainRSVD, TrainPSVD, NewPop)
+//  4. learn long-tail novelty preferences     (EstimatePreferences)
+//  5. assemble and run GANC                   (NewGANC → Recommend)
+//  6. evaluate accuracy/novelty/coverage      (NewEvaluator → Evaluate)
+//
+// See examples/quickstart for a complete end-to-end program and DESIGN.md for
+// the experiment-by-experiment map of the paper reproduction.
+package ganc
+
+import (
+	"io"
+	"math/rand"
+
+	"ganc/internal/core"
+	"ganc/internal/dataset"
+	"ganc/internal/eval"
+	"ganc/internal/knn"
+	"ganc/internal/longtail"
+	"ganc/internal/mf"
+	"ganc/internal/rank"
+	"ganc/internal/recommender"
+	"ganc/internal/synth"
+	"ganc/internal/types"
+)
+
+// Re-exported identifier and data types.
+type (
+	// UserID is a dense user index within a Dataset.
+	UserID = types.UserID
+	// ItemID is a dense item index within a Dataset.
+	ItemID = types.ItemID
+	// Rating is one observed user–item interaction.
+	Rating = types.Rating
+	// TopNSet is a ranked recommendation list for one user.
+	TopNSet = types.TopNSet
+	// Recommendations maps users to their top-N sets.
+	Recommendations = types.Recommendations
+
+	// Dataset is an immutable rating collection with per-user/item indexes.
+	Dataset = dataset.Dataset
+	// Split is a per-user train/test partition of a Dataset.
+	Split = dataset.Split
+	// LoadOptions configures rating-file parsing.
+	LoadOptions = dataset.LoadOptions
+
+	// SynthConfig describes a synthetic calibrated dataset.
+	SynthConfig = synth.Config
+
+	// Preferences holds per-user long-tail novelty preferences θ_u.
+	Preferences = longtail.Preferences
+	// PreferenceModel selects a θ estimator (Activity, TFIDF, Generalized...).
+	PreferenceModel = longtail.Model
+
+	// RSVD is the SGD-trained regularized matrix factorization model.
+	RSVD = mf.RSVD
+	// RSVDConfig holds its hyper-parameters.
+	RSVDConfig = mf.RSVDConfig
+	// PSVD is the PureSVD ranking model.
+	PSVD = mf.PSVD
+	// PSVDConfig holds its hyper-parameters.
+	PSVDConfig = mf.PSVDConfig
+	// CofiModel is the collaborative-ranking (CoFiRank-style) baseline.
+	CofiModel = rank.Model
+	// CofiConfig holds its hyper-parameters.
+	CofiConfig = rank.Config
+	// ItemKNN is the item-based nearest-neighbour recommender.
+	ItemKNN = knn.ItemKNN
+	// ItemKNNConfig holds its hyper-parameters.
+	ItemKNNConfig = knn.Config
+
+	// Scorer scores (user, item) pairs; all base models implement it.
+	Scorer = recommender.Scorer
+
+	// GANC is a configured instance of the re-ranking framework.
+	GANC = core.GANC
+	// GANCConfig holds N, the OSLG sample size and the random seed.
+	GANCConfig = core.Config
+	// AccuracyRecommender supplies a(i) ∈ [0,1] to the value function.
+	AccuracyRecommender = core.AccuracyRecommender
+	// CoverageRecommender supplies c(i) ∈ [0,1] to the value function.
+	CoverageRecommender = core.CoverageRecommender
+
+	// Evaluator computes the paper's Table III metrics against a split.
+	Evaluator = eval.Evaluator
+	// Report holds one algorithm's metrics at one N.
+	Report = eval.Report
+)
+
+// Preference model identifiers (the paper's θ^A, θ^N, θ^T, θ^G, θ^R, θ^C).
+const (
+	PreferenceActivity           = longtail.ModelActivity
+	PreferenceNormalizedLongTail = longtail.ModelNormalizedLongTail
+	PreferenceTFIDF              = longtail.ModelTFIDF
+	PreferenceGeneralized        = longtail.ModelGeneralized
+	PreferenceRandom             = longtail.ModelRandom
+	PreferenceConstant           = longtail.ModelConstant
+)
+
+// LoadRatings reads a ratings file (CSV, MovieLens "::", or tab separated).
+func LoadRatings(path string, opts LoadOptions) (*Dataset, error) {
+	return dataset.LoadRatings(path, opts)
+}
+
+// ReadRatings parses ratings from any reader.
+func ReadRatings(r io.Reader, opts LoadOptions) (*Dataset, error) {
+	return dataset.ReadRatings(r, opts)
+}
+
+// GenerateDataset builds a synthetic dataset from an explicit configuration.
+func GenerateDataset(cfg SynthConfig) (*Dataset, error) { return synth.Generate(cfg) }
+
+// Calibrated synthetic stand-ins for the paper's evaluation datasets
+// (see DESIGN.md §4 for the substitution rationale). scale 1.0 reproduces the
+// calibrated defaults; smaller values shrink everything proportionally.
+func GenerateML100K(scale float64) (*Dataset, error) {
+	return synth.Generate(synth.ML100K(synth.Scale(scale)))
+}
+func GenerateML1M(scale float64) (*Dataset, error) {
+	return synth.Generate(synth.ML1M(synth.Scale(scale)))
+}
+func GenerateML10M(scale float64) (*Dataset, error) {
+	return synth.Generate(synth.ML10M(synth.Scale(scale)))
+}
+func GenerateMT200K(scale float64) (*Dataset, error) {
+	return synth.Generate(synth.MT200K(synth.Scale(scale)))
+}
+func GenerateNetflixSample(scale float64) (*Dataset, error) {
+	return synth.Generate(synth.NetflixSample(synth.Scale(scale)))
+}
+
+// SplitByUser partitions d per user, keeping the fraction kappa of each
+// user's ratings in train. A nil rng gives a fixed default seed.
+func SplitByUser(d *Dataset, kappa float64, rng *rand.Rand) *Split {
+	return d.SplitByUser(kappa, rng)
+}
+
+// TrainRSVD fits the regularized-SVD rating predictor.
+func TrainRSVD(train *Dataset, cfg RSVDConfig) (*RSVD, error) { return mf.TrainRSVD(train, cfg) }
+
+// DefaultRSVDConfig mirrors the paper's dense-dataset configuration.
+func DefaultRSVDConfig() RSVDConfig { return mf.DefaultRSVDConfig() }
+
+// TrainPSVD fits the PureSVD ranking model.
+func TrainPSVD(train *Dataset, cfg PSVDConfig) (*PSVD, error) { return mf.TrainPSVD(train, cfg) }
+
+// TrainCofi fits the collaborative-ranking baseline.
+func TrainCofi(train *Dataset, cfg CofiConfig) (*CofiModel, error) { return rank.Train(train, cfg) }
+
+// TrainItemKNN fits the item-based nearest-neighbour recommender.
+func TrainItemKNN(train *Dataset, cfg ItemKNNConfig) (*ItemKNN, error) { return knn.Train(train, cfg) }
+
+// DefaultItemKNNConfig returns a standard item-KNN configuration.
+func DefaultItemKNNConfig() ItemKNNConfig { return knn.DefaultConfig() }
+
+// NewPop builds the most-popular recommender from the train set.
+func NewPop(train *Dataset) Scorer { return recommender.NewPop(train) }
+
+// LoadRSVD and LoadPSVD reload models previously written with their Save
+// methods, so applications can train offline and serve from snapshots.
+func LoadRSVD(r io.Reader) (*RSVD, error) { return mf.LoadRSVD(r) }
+func LoadPSVD(r io.Reader) (*PSVD, error) { return mf.LoadPSVD(r) }
+
+// RSVDGrid and RSVDGridResult re-export the cross-validation grid search used
+// to select the Table V hyper-parameters.
+type (
+	RSVDGrid       = mf.Grid
+	RSVDGridResult = mf.GridResult
+)
+
+// CrossValidateRSVD evaluates an RSVD hyper-parameter grid by k-fold
+// cross-validation; BestRSVDConfig selects the winner.
+func CrossValidateRSVD(train *Dataset, base RSVDConfig, grid RSVDGrid, folds int, seed int64) ([]RSVDGridResult, error) {
+	return mf.CrossValidateRSVD(train, base, grid, folds, seed)
+}
+
+// BestRSVDConfig returns the grid-search result with the lowest validation RMSE.
+func BestRSVDConfig(results []RSVDGridResult) (RSVDGridResult, error) { return mf.Best(results) }
+
+// EstimatePreferences computes θ_u for every user with the chosen model. The
+// constant argument is only used by PreferenceConstant, seed only by
+// PreferenceRandom.
+func EstimatePreferences(model PreferenceModel, train *Dataset, constant float64, seed int64) (*Preferences, error) {
+	return longtail.Estimate(model, train, nil, constant, seed)
+}
+
+// Accuracy-recommender adapters for assembling GANC.
+
+// AccuracyFromScorer wraps any Scorer whose scores are normalized per user to
+// [0,1] before use, as the paper does with RSVD and PSVD predictions.
+func AccuracyFromScorer(s Scorer, numItems int) AccuracyRecommender {
+	return &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(s, numItems)}
+}
+
+// AccuracyFromPop builds the indicator-style Pop accuracy recommender
+// (a(i)=1 iff i is in the user's popularity top-N).
+func AccuracyFromPop(train *Dataset, n int) AccuracyRecommender {
+	return core.NewPopAccuracy(train, n)
+}
+
+// Coverage recommenders (the paper's Rand, Stat and Dyn).
+func CoverageRand(seed int64) CoverageRecommender     { return core.NewRandCoverage(seed) }
+func CoverageStat(train *Dataset) CoverageRecommender { return core.NewStatCoverage(train) }
+func CoverageDyn(numItems int) CoverageRecommender    { return core.NewDynCoverage(numItems) }
+
+// NewGANC assembles a GANC(ARec, θ, CRec) instance.
+func NewGANC(train *Dataset, arec AccuracyRecommender, prefs *Preferences, crec CoverageRecommender, cfg GANCConfig) (*GANC, error) {
+	return core.New(train, arec, prefs, crec, cfg)
+}
+
+// RecommendAll ranks the full catalog for every user with any Scorer under
+// the all-unrated-items protocol (the baseline path that does not involve
+// GANC).
+func RecommendAll(s Scorer, train *Dataset, n int) Recommendations {
+	return recommender.RecommendAll(&recommender.ScorerTopN{Scorer: s, NumItems: train.NumItems()}, train, n)
+}
+
+// NewEvaluator builds a Table III metrics evaluator for a split. beta ≤ 0
+// selects the paper's stratified-recall exponent of 0.5.
+func NewEvaluator(split *Split, beta float64) *Evaluator { return eval.NewEvaluator(split, beta) }
+
+// RankReports computes the Table IV "Score" column: each algorithm's average
+// rank across F-measure, stratified recall, LTAccuracy, coverage and Gini.
+func RankReports(reports []Report) map[string]float64 { return eval.RankReports(reports) }

@@ -1,0 +1,143 @@
+package ganc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the complete facade workflow exactly as the
+// README's quickstart describes it: generate → split → train → estimate θ →
+// assemble GANC → recommend → evaluate.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	data, err := GenerateML100K(0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := SplitByUser(data, 0.8, rand.New(rand.NewSource(3)))
+	if split.Train.NumRatings() == 0 || split.Test.NumRatings() == 0 {
+		t.Fatal("degenerate split")
+	}
+
+	prefs, err := EstimatePreferences(PreferenceGeneralized, split.Train, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prefs.Len() != split.Train.NumUsers() {
+		t.Fatal("preference vector size mismatch")
+	}
+
+	const n = 5
+	g, err := NewGANC(split.Train,
+		AccuracyFromPop(split.Train, n),
+		prefs,
+		CoverageDyn(split.Train.NumItems()),
+		GANCConfig{N: n, SampleSize: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Recommend()
+	if len(recs) != split.Train.NumUsers() {
+		t.Fatalf("recommendations for %d users, want %d", len(recs), split.Train.NumUsers())
+	}
+
+	ev := NewEvaluator(split, 0)
+	gancRep := ev.Evaluate(g.Name(), recs, n)
+	popRep := ev.Evaluate("Pop", RecommendAll(NewPop(split.Train), split.Train, n), n)
+	if gancRep.Coverage <= popRep.Coverage {
+		t.Fatalf("GANC coverage %.4f should exceed Pop coverage %.4f", gancRep.Coverage, popRep.Coverage)
+	}
+
+	ranks := RankReports([]Report{gancRep, popRep})
+	if len(ranks) != 2 {
+		t.Fatal("RankReports incomplete")
+	}
+}
+
+func TestPublicAPIModelTraining(t *testing.T) {
+	data, err := GenerateML100K(0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := SplitByUser(data, 0.8, rand.New(rand.NewSource(5)))
+
+	rsvdCfg := DefaultRSVDConfig()
+	rsvdCfg.Factors = 8
+	rsvdCfg.Epochs = 3
+	rsvd, err := TrainRSVD(split.Train, rsvdCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsvd.RMSE(split.Test) <= 0 {
+		t.Fatal("RMSE should be positive on held-out data")
+	}
+
+	psvd, err := TrainPSVD(split.Train, PSVDConfig{Factors: 8, PowerIterations: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(psvd.Name(), "PSVD") {
+		t.Fatal("PSVD name wrong")
+	}
+
+	cofiCfg := CofiConfig{Factors: 8, Regularization: 0.05, LearningRate: 0.02, Epochs: 2, InitStd: 0.1, Seed: 1, PairsPerUser: 5}
+	cofi, err := TrainCofi(split.Train, cofiCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cofi.Factors() != 8 {
+		t.Fatal("Cofi factors wrong")
+	}
+
+	// AccuracyFromScorer clamps into [0,1]; smoke-test through GANC with Stat
+	// and Rand coverage as well.
+	prefs, err := EstimatePreferences(PreferenceTFIDF, split.Train, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, crec := range []CoverageRecommender{CoverageStat(split.Train), CoverageRand(1)} {
+		g, err := NewGANC(split.Train, AccuracyFromScorer(rsvd, split.Train.NumItems()), prefs, crec, GANCConfig{N: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.Recommend(); len(got) != split.Train.NumUsers() {
+			t.Fatal("facade GANC run incomplete")
+		}
+	}
+}
+
+func TestPublicAPIReadRatings(t *testing.T) {
+	csv := "u1,i1,5\nu1,i2,3\nu2,i1,4\n"
+	d, err := ReadRatings(strings.NewReader(csv), LoadOptions{Name: "inline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRatings() != 3 || d.NumUsers() != 2 || d.NumItems() != 2 {
+		t.Fatalf("parse result wrong: %d/%d/%d", d.NumRatings(), d.NumUsers(), d.NumItems())
+	}
+}
+
+func TestPublicAPISyntheticGenerators(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(float64) (*Dataset, error)
+	}{
+		{"ML-100K", GenerateML100K},
+		{"ML-1M", GenerateML1M},
+		{"ML-10M", GenerateML10M},
+		{"MT-200K", GenerateMT200K},
+		{"Netflix", GenerateNetflixSample},
+	}
+	for _, tc := range cases {
+		d, err := tc.gen(0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if d.NumRatings() == 0 {
+			t.Fatalf("%s: empty dataset", tc.name)
+		}
+		if d.Name() != tc.name {
+			t.Fatalf("%s: generated dataset named %q", tc.name, d.Name())
+		}
+	}
+}

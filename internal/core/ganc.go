@@ -1,0 +1,658 @@
+// Package core implements GANC, the paper's Generic re-ranking framework for
+// trading off Accuracy, Novelty and Coverage, together with its OSLG
+// (Ordered Sampling-based Locally Greedy) optimization algorithm.
+//
+// GANC combines three pluggable components (Section III):
+//
+//   - an accuracy recommender providing a per-item accuracy score a(i) ∈ [0,1],
+//   - a coverage recommender providing a per-item coverage score c(i) ∈ [0,1],
+//   - a per-user long-tail novelty preference θ_u ∈ [0,1].
+//
+// The user value function is v_u(P_u) = (1−θ_u)·a(P_u) + θ_u·c(P_u), and the
+// framework selects a top-N collection maximizing Σ_u v_u(P_u). With the
+// static coverage recommenders (Rand, Stat) the objective decomposes per user
+// and a plain greedy sweep is exact; with the Dyn coverage recommender the
+// objective is submodular across users and OSLG (Algorithm 1) is used.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ganc/internal/dataset"
+	"ganc/internal/kde"
+	"ganc/internal/longtail"
+	"ganc/internal/recommender"
+	"ganc/internal/types"
+)
+
+// AccuracyRecommender provides the accuracy score a(i) ∈ [0,1] for a user.
+// Implementations wrap the base models (Pop, RSVD, PSVD, ...).
+type AccuracyRecommender interface {
+	// AccuracyScore returns a(i) for user u; must lie in [0,1].
+	AccuracyScore(u types.UserID, i types.ItemID) float64
+	// Name identifies the accuracy recommender in experiment output.
+	Name() string
+}
+
+// CoverageRecommender provides the coverage score c(i) ∈ [0,1]. The Dyn
+// recommender is stateful: its score depends on the recommendations made so
+// far, which it learns about through Observe.
+type CoverageRecommender interface {
+	// CoverageScore returns c(i) for user u; must lie in [0,1].
+	CoverageScore(u types.UserID, i types.ItemID) float64
+	// Observe informs the recommender that item i was just recommended (to
+	// any user). Stateless recommenders ignore it.
+	Observe(i types.ItemID)
+	// Name identifies the coverage recommender in experiment output.
+	Name() string
+}
+
+// --- Accuracy recommender adapters -------------------------------------------
+
+// ScorerAccuracy adapts any recommender.Scorer whose scores are already in
+// [0,1] (e.g. a NormalizedScorer around RSVD or PSVD).
+type ScorerAccuracy struct {
+	Scorer recommender.Scorer
+}
+
+// AccuracyScore implements AccuracyRecommender.
+func (s *ScorerAccuracy) AccuracyScore(u types.UserID, i types.ItemID) float64 {
+	v := s.Scorer.Score(u, i)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Name implements AccuracyRecommender.
+func (s *ScorerAccuracy) Name() string { return s.Scorer.Name() }
+
+// PopAccuracy is the paper's Pop accuracy recommender: a(i) = 1 when i is in
+// the user's popularity top-N (excluding their train items), 0 otherwise.
+// It is safe for concurrent use.
+type PopAccuracy struct {
+	pop      *recommender.Pop
+	train    *dataset.Dataset
+	topN     int
+	mu       sync.Mutex
+	cache    map[types.UserID]map[types.ItemID]struct{}
+	cacheCap int
+}
+
+// NewPopAccuracy builds the indicator-style Pop accuracy recommender. topN is
+// the N of the top-N sets being constructed.
+func NewPopAccuracy(train *dataset.Dataset, topN int) *PopAccuracy {
+	return &PopAccuracy{
+		pop:      recommender.NewPop(train),
+		train:    train,
+		topN:     topN,
+		cache:    make(map[types.UserID]map[types.ItemID]struct{}),
+		cacheCap: 200_000,
+	}
+}
+
+// AccuracyScore implements AccuracyRecommender: membership in the user's
+// popularity top-N.
+func (p *PopAccuracy) AccuracyScore(u types.UserID, i types.ItemID) float64 {
+	p.mu.Lock()
+	set, ok := p.cache[u]
+	p.mu.Unlock()
+	if !ok {
+		top := p.pop.Recommend(u, p.topN, p.train.UserItemSet(u))
+		set = make(map[types.ItemID]struct{}, len(top))
+		for _, it := range top {
+			set[it] = struct{}{}
+		}
+		p.mu.Lock()
+		if len(p.cache) < p.cacheCap {
+			p.cache[u] = set
+		}
+		p.mu.Unlock()
+	}
+	if _, in := set[i]; in {
+		return 1
+	}
+	return 0
+}
+
+// Name implements AccuracyRecommender.
+func (p *PopAccuracy) Name() string { return "Pop" }
+
+// --- Coverage recommenders ----------------------------------------------------
+
+// RandCoverage assigns each (user, item) pair an independent uniform score,
+// the paper's Rand coverage recommender. It is safe for concurrent use.
+type RandCoverage struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandCoverage builds a Rand coverage recommender.
+func NewRandCoverage(seed int64) *RandCoverage {
+	return &RandCoverage{rng: rand.New(rand.NewSource(seed))}
+}
+
+// CoverageScore implements CoverageRecommender.
+func (r *RandCoverage) CoverageScore(types.UserID, types.ItemID) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
+}
+
+// Observe implements CoverageRecommender (no state).
+func (r *RandCoverage) Observe(types.ItemID) {}
+
+// Name implements CoverageRecommender.
+func (r *RandCoverage) Name() string { return "Rand" }
+
+// StatCoverage scores items by a monotone decreasing function of their train
+// popularity: c(i) = 1/√(f_i^R + 1). The gain of recommending an item is
+// constant regardless of how often it has already been recommended.
+type StatCoverage struct {
+	scores []float64
+}
+
+// NewStatCoverage precomputes the static coverage scores from the train set.
+func NewStatCoverage(train *dataset.Dataset) *StatCoverage {
+	scores := make([]float64, train.NumItems())
+	for i := range scores {
+		scores[i] = 1 / math.Sqrt(float64(train.ItemPopularity(types.ItemID(i)))+1)
+	}
+	return &StatCoverage{scores: scores}
+}
+
+// CoverageScore implements CoverageRecommender.
+func (s *StatCoverage) CoverageScore(_ types.UserID, i types.ItemID) float64 {
+	if int(i) >= len(s.scores) {
+		return 0
+	}
+	return s.scores[i]
+}
+
+// Observe implements CoverageRecommender (no state).
+func (s *StatCoverage) Observe(types.ItemID) {}
+
+// Name implements CoverageRecommender.
+func (s *StatCoverage) Name() string { return "Stat" }
+
+// DynCoverage scores items by a monotone decreasing function of how often
+// they have been recommended so far: c(i) = 1/√(f_i^A + 1), where f_i^A is
+// the recommendation frequency in the partial top-N collection A. It has the
+// diminishing-returns property that makes GANC's objective submodular.
+type DynCoverage struct {
+	freq []int
+}
+
+// NewDynCoverage builds a Dyn coverage recommender over a catalog of numItems
+// items with all frequencies zero.
+func NewDynCoverage(numItems int) *DynCoverage {
+	return &DynCoverage{freq: make([]int, numItems)}
+}
+
+// CoverageScore implements CoverageRecommender.
+func (d *DynCoverage) CoverageScore(_ types.UserID, i types.ItemID) float64 {
+	if int(i) >= len(d.freq) {
+		return 0
+	}
+	return 1 / math.Sqrt(float64(d.freq[i])+1)
+}
+
+// Observe implements CoverageRecommender: bumps the item's frequency.
+func (d *DynCoverage) Observe(i types.ItemID) {
+	if int(i) < len(d.freq) {
+		d.freq[i]++
+	}
+}
+
+// Name implements CoverageRecommender.
+func (d *DynCoverage) Name() string { return "Dyn" }
+
+// Frequencies returns a copy of the current recommendation-frequency state
+// (OSLG snapshots it per sampled user).
+func (d *DynCoverage) Frequencies() []int {
+	out := make([]int, len(d.freq))
+	copy(out, d.freq)
+	return out
+}
+
+// SetFrequencies replaces the frequency state (OSLG restores snapshots for
+// out-of-sample users).
+func (d *DynCoverage) SetFrequencies(f []int) {
+	if len(f) != len(d.freq) {
+		panic(fmt.Sprintf("core: frequency vector length %d != catalog size %d", len(f), len(d.freq)))
+	}
+	copy(d.freq, f)
+}
+
+// NumItems returns the catalog size the recommender was built for.
+func (d *DynCoverage) NumItems() int { return len(d.freq) }
+
+// --- GANC ---------------------------------------------------------------------
+
+// Config configures a GANC instance.
+type Config struct {
+	// N is the size of each top-N set.
+	N int
+	// SampleSize S is the number of users processed sequentially by OSLG.
+	// Values ≤ 0 or ≥ |U| disable sampling and run the fully sequential
+	// locally greedy algorithm. Only used with the Dyn coverage recommender.
+	SampleSize int
+	// Seed drives the KDE sampling and any randomized component.
+	Seed int64
+	// Workers is the number of goroutines used for the out-of-sample phase of
+	// OSLG (Algorithm 1, lines 11–15, which the paper notes can run in
+	// parallel) and for the independent per-user sweeps of the stateless
+	// coverage recommenders. Values ≤ 1 run sequentially; values above
+	// runtime.NumCPU() are clamped to it.
+	Workers int
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("core: N must be positive, got %d", c.N)
+	}
+	return nil
+}
+
+// GANC is a configured instance of the framework. Construct with New.
+type GANC struct {
+	cfg      Config
+	arec     AccuracyRecommender
+	crec     CoverageRecommender
+	prefs    *longtail.Preferences
+	train    *dataset.Dataset
+	numItems int
+}
+
+// New assembles a GANC instance from its three components, following the
+// paper's template GANC(ARec, θ, CRec).
+func New(train *dataset.Dataset, arec AccuracyRecommender, prefs *longtail.Preferences, crec CoverageRecommender, cfg Config) (*GANC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if train == nil || arec == nil || prefs == nil || crec == nil {
+		return nil, fmt.Errorf("core: train, accuracy recommender, preferences and coverage recommender are all required")
+	}
+	if prefs.Len() != train.NumUsers() {
+		return nil, fmt.Errorf("core: preference vector covers %d users but train set has %d", prefs.Len(), train.NumUsers())
+	}
+	return &GANC{
+		cfg:      cfg,
+		arec:     arec,
+		crec:     crec,
+		prefs:    prefs,
+		train:    train,
+		numItems: train.NumItems(),
+	}, nil
+}
+
+// Name returns the paper-style template string GANC(ARec, θ, CRec).
+func (g *GANC) Name() string {
+	return fmt.Sprintf("GANC(%s, θ^%s, %s)", g.arec.Name(), shortModel(g.prefs.Model), g.crec.Name())
+}
+
+func shortModel(m longtail.Model) string {
+	switch m {
+	case longtail.ModelActivity:
+		return "A"
+	case longtail.ModelNormalizedLongTail:
+		return "N"
+	case longtail.ModelTFIDF:
+		return "T"
+	case longtail.ModelGeneralized:
+		return "G"
+	case longtail.ModelRandom:
+		return "R"
+	case longtail.ModelConstant:
+		return "C"
+	default:
+		return string(m)
+	}
+}
+
+// marginalGain is the gain of appending item i to user u's set:
+// (1−θ_u)·a(i) + θ_u·c(i). Both component scores are in [0,1] so the gain is
+// too.
+func (g *GANC) marginalGain(u types.UserID, i types.ItemID) float64 {
+	theta := g.prefs.Get(u)
+	return (1-theta)*g.arec.AccuracyScore(u, i) + theta*g.crec.CoverageScore(u, i)
+}
+
+// greedyForUser builds one user's top-N set greedily against the current
+// coverage state, notifying the coverage recommender of each pick.
+func (g *GANC) greedyForUser(u types.UserID, exclude map[types.ItemID]struct{}) types.TopNSet {
+	n := g.cfg.N
+	set := make(types.TopNSet, 0, n)
+	chosen := make(map[types.ItemID]struct{}, n)
+	for step := 0; step < n; step++ {
+		best := types.InvalidItem
+		bestGain := math.Inf(-1)
+		for idx := 0; idx < g.numItems; idx++ {
+			item := types.ItemID(idx)
+			if _, skip := exclude[item]; skip {
+				continue
+			}
+			if _, used := chosen[item]; used {
+				continue
+			}
+			gain := g.marginalGain(u, item)
+			if gain > bestGain || (gain == bestGain && item < best) {
+				bestGain, best = gain, item
+			}
+		}
+		if best == types.InvalidItem {
+			break
+		}
+		set = append(set, best)
+		chosen[best] = struct{}{}
+		g.crec.Observe(best)
+	}
+	return set
+}
+
+// Recommend produces the top-N collection for every user.
+//
+// With a stateless coverage recommender (Rand, Stat) the per-user problems
+// are independent and are solved by independent greedy sweeps. With Dyn, the
+// OSLG algorithm is used: a KDE-sampled subset of users (Config.SampleSize)
+// is processed sequentially in increasing θ, the Dyn frequency state is
+// snapshotted after each sampled user, and the remaining users reuse the
+// snapshot of their nearest sampled θ.
+func (g *GANC) Recommend() types.Recommendations {
+	if dyn, ok := g.crec.(*DynCoverage); ok {
+		return g.recommendOSLG(dyn)
+	}
+	// Stateless coverage recommenders (Rand, Stat): every user's problem is
+	// independent, so the sweep parallelizes across Config.Workers.
+	recs := make(types.Recommendations, g.train.NumUsers())
+	var mu sync.Mutex
+	g.forEachParallel(g.train.NumUsers(), func(u int) {
+		uid := types.UserID(u)
+		set := g.greedyForUser(uid, g.train.UserItemSet(uid))
+		mu.Lock()
+		recs[uid] = set
+		mu.Unlock()
+	})
+	return recs
+}
+
+// userTheta pairs a user with their long-tail preference for sorting.
+type userTheta struct {
+	user  types.UserID
+	theta float64
+}
+
+// recommendOSLG implements Algorithm 1.
+func (g *GANC) recommendOSLG(dyn *DynCoverage) types.Recommendations {
+	numUsers := g.train.NumUsers()
+	rng := rand.New(rand.NewSource(g.cfg.Seed))
+	recs := make(types.Recommendations, numUsers)
+
+	all := make([]userTheta, numUsers)
+	for u := 0; u < numUsers; u++ {
+		all[u] = userTheta{user: types.UserID(u), theta: g.prefs.Get(types.UserID(u))}
+	}
+
+	sampleSize := g.cfg.SampleSize
+	fullSequential := sampleSize <= 0 || sampleSize >= numUsers
+
+	var sample []userTheta
+	if fullSequential {
+		sample = all
+	} else {
+		sample = g.sampleUsersByKDE(all, sampleSize, rng)
+	}
+	// Sort the sampled users in increasing long-tail preference (line 3): the
+	// popularity-focused users pick first, while the Dyn frequencies are low,
+	// and the explorers pick later, when popular items have been discounted.
+	sort.Slice(sample, func(a, b int) bool {
+		if sample[a].theta != sample[b].theta {
+			return sample[a].theta < sample[b].theta
+		}
+		return sample[a].user < sample[b].user
+	})
+
+	// Sequential pass over the sample (lines 4–10), snapshotting the Dyn
+	// frequency state after each user, keyed by that user's θ.
+	snapshots := make([]freqSnapshot, 0, len(sample))
+	inSample := make(map[types.UserID]struct{}, len(sample))
+	for _, ut := range sample {
+		inSample[ut.user] = struct{}{}
+		set := g.greedyForUser(ut.user, g.train.UserItemSet(ut.user))
+		recs[ut.user] = set
+		snapshots = append(snapshots, freqSnapshot{theta: ut.theta, freq: dyn.Frequencies()})
+	}
+
+	if fullSequential {
+		return recs
+	}
+
+	// Out-of-sample pass (lines 11–15): each remaining user reuses the frozen
+	// frequency snapshot of the sampled user with the closest θ. These users'
+	// value functions are independent of each other, so the pass runs on a
+	// worker pool when Config.Workers > 1, exactly as the paper observes.
+	var remaining []userTheta
+	for _, ut := range all {
+		if _, done := inSample[ut.user]; done {
+			continue
+		}
+		remaining = append(remaining, ut)
+	}
+	var mu sync.Mutex
+	g.forEachParallel(len(remaining), func(k int) {
+		ut := remaining[k]
+		snap := nearestSnapshotFreq(snapshots, ut.theta)
+		set := g.greedyForUserFrozenFreq(ut.user, g.train.UserItemSet(ut.user), snap)
+		mu.Lock()
+		recs[ut.user] = set
+		mu.Unlock()
+	})
+	// Fold the out-of-sample recommendations into the final frequency state
+	// so the recommender's end state reflects the full collection.
+	for _, ut := range remaining {
+		for _, i := range recs[ut.user] {
+			dyn.Observe(i)
+		}
+	}
+	return recs
+}
+
+// forEachParallel runs fn(0..count-1) across the configured number of
+// workers, or inline when parallelism is disabled.
+func (g *GANC) forEachParallel(count int, fn func(int)) {
+	workers := g.cfg.Workers
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+	if workers <= 1 || count <= 1 {
+		for k := 0; k < count; k++ {
+			fn(k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, count)
+	for k := 0; k < count; k++ {
+		next <- k
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				fn(k)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// greedyForUserFrozenFreq builds a top-N set against a frozen Dyn frequency
+// snapshot: within the user's own set the frequencies still accumulate
+// locally (so the same item is not picked twice and diminishing returns apply
+// within the set), but the shared state is never modified, which makes the
+// call safe to run concurrently for different users.
+func (g *GANC) greedyForUserFrozenFreq(u types.UserID, exclude map[types.ItemID]struct{}, freq []int) types.TopNSet {
+	n := g.cfg.N
+	set := make(types.TopNSet, 0, n)
+	chosen := make(map[types.ItemID]struct{}, n)
+	theta := g.prefs.Get(u)
+	localBump := make(map[types.ItemID]int, n)
+	for step := 0; step < n; step++ {
+		best := types.InvalidItem
+		bestGain := math.Inf(-1)
+		for idx := 0; idx < g.numItems; idx++ {
+			item := types.ItemID(idx)
+			if _, skip := exclude[item]; skip {
+				continue
+			}
+			if _, used := chosen[item]; used {
+				continue
+			}
+			base := 0
+			if idx < len(freq) {
+				base = freq[idx]
+			}
+			cov := 1 / math.Sqrt(float64(base+localBump[item])+1)
+			gain := (1-theta)*g.arec.AccuracyScore(u, item) + theta*cov
+			if gain > bestGain || (gain == bestGain && item < best) {
+				bestGain, best = gain, item
+			}
+		}
+		if best == types.InvalidItem {
+			break
+		}
+		set = append(set, best)
+		chosen[best] = struct{}{}
+		localBump[best]++
+	}
+	return set
+}
+
+// sampleUsersByKDE draws sampleSize users whose θ values follow the KDE of
+// the preference distribution (Algorithm 1, line 2): sample θ* values from
+// the KDE, then map each θ* to the not-yet-chosen user with the nearest θ.
+func (g *GANC) sampleUsersByKDE(all []userTheta, sampleSize int, rng *rand.Rand) []userTheta {
+	thetas := make([]float64, len(all))
+	for k, ut := range all {
+		thetas[k] = ut.theta
+	}
+	density, err := kde.New(thetas, 0)
+	var draws []float64
+	if err == nil {
+		draws = density.SampleClamped(sampleSize, 0, 1, rng)
+	} else {
+		draws = make([]float64, sampleSize)
+		for i := range draws {
+			draws[i] = rng.Float64()
+		}
+	}
+
+	// Sort users by θ once; for each draw pick the nearest unused user via
+	// binary search with a small outward scan for collisions.
+	sorted := append([]userTheta(nil), all...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].theta != sorted[b].theta {
+			return sorted[a].theta < sorted[b].theta
+		}
+		return sorted[a].user < sorted[b].user
+	})
+	used := make([]bool, len(sorted))
+	sample := make([]userTheta, 0, sampleSize)
+	for _, d := range draws {
+		idx := sort.Search(len(sorted), func(k int) bool { return sorted[k].theta >= d })
+		pick := -1
+		for offset := 0; offset < len(sorted); offset++ {
+			lo, hi := idx-offset, idx+offset
+			if lo >= 0 && lo < len(sorted) && !used[lo] {
+				pick = lo
+				break
+			}
+			if hi >= 0 && hi < len(sorted) && !used[hi] {
+				pick = hi
+				break
+			}
+		}
+		if pick < 0 {
+			break // every user already sampled
+		}
+		used[pick] = true
+		sample = append(sample, sorted[pick])
+	}
+	return sample
+}
+
+// freqSnapshot is the Dyn frequency state recorded after a sampled user's
+// top-N set was assigned, keyed by that user's θ (Algorithm 1, line 8).
+type freqSnapshot struct {
+	theta float64
+	freq  []int
+}
+
+// nearestSnapshotFreq returns the frequency snapshot whose θ is closest to
+// theta. snapshots must be sorted by θ (they are, because the sample is
+// processed in increasing θ).
+func nearestSnapshotFreq(snapshots []freqSnapshot, theta float64) []int {
+	if len(snapshots) == 0 {
+		return nil
+	}
+	idx := sort.Search(len(snapshots), func(k int) bool { return snapshots[k].theta >= theta })
+	if idx == 0 {
+		return snapshots[0].freq
+	}
+	if idx >= len(snapshots) {
+		return snapshots[len(snapshots)-1].freq
+	}
+	if theta-snapshots[idx-1].theta <= snapshots[idx].theta-theta {
+		return snapshots[idx-1].freq
+	}
+	return snapshots[idx].freq
+}
+
+// ValueOf computes the objective value Σ_u v_u(P_u) of a recommendation
+// collection under this GANC instance's components, using the *static*
+// interpretation of the coverage score for Dyn (i.e. the value as defined in
+// Eq. A.2, recomputed from scratch over the collection). It is used by tests
+// and the ablation benchmarks to compare optimizer variants.
+func (g *GANC) ValueOf(recs types.Recommendations) float64 {
+	// For Dyn the value of the collection is Σ_i Σ_{k=1..f_i} 1/√k weighted
+	// by each recommending user's θ; recompute by replaying the collection.
+	if _, isDyn := g.crec.(*DynCoverage); isDyn {
+		freq := make(map[types.ItemID]int)
+		total := 0.0
+		// Replay users in ascending UserID for determinism.
+		users := make([]types.UserID, 0, len(recs))
+		for u := range recs {
+			users = append(users, u)
+		}
+		sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+		for _, u := range users {
+			theta := g.prefs.Get(u)
+			for _, i := range recs[u] {
+				acc := g.arec.AccuracyScore(u, i)
+				cov := 1 / math.Sqrt(float64(freq[i])+1)
+				total += (1-theta)*acc + theta*cov
+				freq[i]++
+			}
+		}
+		return total
+	}
+	total := 0.0
+	for u, set := range recs {
+		theta := g.prefs.Get(u)
+		for _, i := range set {
+			total += (1-theta)*g.arec.AccuracyScore(u, i) + theta*g.crec.CoverageScore(u, i)
+		}
+	}
+	return total
+}

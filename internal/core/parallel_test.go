@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ganc/internal/dataset"
+	"ganc/internal/longtail"
+	"ganc/internal/synth"
+	"ganc/internal/types"
+)
+
+// parallelSplit builds a compact split for the concurrency tests.
+func parallelSplit(t *testing.T) *dataset.Split {
+	t.Helper()
+	cfg := synth.ML100K(0.1)
+	d, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.SplitByUser(0.8, rand.New(rand.NewSource(51)))
+}
+
+func collectionsEqual(a, b types.Recommendations) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for u, setA := range a {
+		setB, ok := b[u]
+		if !ok || len(setA) != len(setB) {
+			return false
+		}
+		for k := range setA {
+			if setA[k] != setB[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestParallelStatCoverageMatchesSequential(t *testing.T) {
+	sp := parallelSplit(t)
+	train := sp.Train
+	prefs, err := longtail.Estimate(longtail.ModelTFIDF, train, nil, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) types.Recommendations {
+		g, err := New(train, NewPopAccuracy(train, 5), prefs, NewStatCoverage(train),
+			Config{N: 5, Seed: 1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Recommend()
+	}
+	seq := run(1)
+	par := run(8)
+	if !collectionsEqual(seq, par) {
+		t.Fatal("parallel Stat-coverage run differs from the sequential run")
+	}
+}
+
+func TestParallelOSLGOutOfSampleMatchesSequential(t *testing.T) {
+	sp := parallelSplit(t)
+	train := sp.Train
+	prefs, err := longtail.Estimate(longtail.ModelGeneralized, train, nil, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) types.Recommendations {
+		g, err := New(train, NewPopAccuracy(train, 5), prefs, NewDynCoverage(train.NumItems()),
+			Config{N: 5, SampleSize: train.NumUsers() / 4, Seed: 9, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Recommend()
+	}
+	seq := run(0)
+	par := run(16)
+	if !collectionsEqual(seq, par) {
+		t.Fatal("parallel OSLG out-of-sample phase differs from the sequential phase")
+	}
+}
+
+func TestParallelWorkersClampedAboveCPUCount(t *testing.T) {
+	sp := parallelSplit(t)
+	train := sp.Train
+	prefs := longtail.Constant(train.NumUsers(), 0.5)
+	g, err := New(train, NewPopAccuracy(train, 3), prefs, NewStatCoverage(train),
+		Config{N: 3, Seed: 1, Workers: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Recommend()
+	if len(recs) != train.NumUsers() {
+		t.Fatal("huge worker count broke the sweep")
+	}
+}
+
+func TestParallelRandCoverageProducesCompleteCollection(t *testing.T) {
+	// Rand coverage is inherently nondeterministic across schedules, so only
+	// validate structural invariants under parallelism (and let the race
+	// detector do the rest).
+	sp := parallelSplit(t)
+	train := sp.Train
+	prefs := longtail.Constant(train.NumUsers(), 0.7)
+	g, err := New(train, NewPopAccuracy(train, 5), prefs, NewRandCoverage(3),
+		Config{N: 5, Seed: 3, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := g.Recommend()
+	if len(recs) != train.NumUsers() {
+		t.Fatalf("got %d users, want %d", len(recs), train.NumUsers())
+	}
+	for u, set := range recs {
+		if len(set) != 5 {
+			t.Fatalf("user %d got %d items", u, len(set))
+		}
+		trainItems := train.UserItemSet(u)
+		for _, i := range set {
+			if _, bad := trainItems[i]; bad {
+				t.Fatalf("user %d recommended a train item", u)
+			}
+		}
+	}
+}

@@ -1,0 +1,424 @@
+// Package dataset holds the collaborative-filtering interaction data and the
+// derived structures every recommender in this library consumes: per-user and
+// per-item rating indexes, item popularity counts, the Pareto (80/20)
+// long-tail cut, and per-user train/test splits.
+//
+// The representation follows the paper's notation (Section II-A): the data D
+// is a sparse subset of the complete |U|×|I| rating matrix, split into a train
+// set R and test set T by keeping a fixed fraction κ of each user's ratings
+// in train.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ganc/internal/types"
+)
+
+// Dataset is an immutable collection of ratings together with the interners
+// that map external identifiers to dense user and item indices. Construct one
+// with a Builder (incremental) or FromRatings.
+type Dataset struct {
+	name    string
+	ratings []types.Rating
+
+	users *types.Interner
+	items *types.Interner
+
+	byUser [][]int // rating indices per user
+	byItem [][]int // rating indices per item
+}
+
+// Builder accumulates ratings and produces a Dataset. The zero value is not
+// usable; construct with NewBuilder.
+type Builder struct {
+	name    string
+	users   *types.Interner
+	items   *types.Interner
+	ratings []types.Rating
+}
+
+// NewBuilder returns a Builder for a dataset with the given name. The
+// capacity hint is the expected number of ratings.
+func NewBuilder(name string, capacity int) *Builder {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Builder{
+		name:    name,
+		users:   types.NewInterner(capacity / 16),
+		items:   types.NewInterner(capacity / 64),
+		ratings: make([]types.Rating, 0, capacity),
+	}
+}
+
+// Add records a rating by external user and item keys.
+func (b *Builder) Add(userKey, itemKey string, value float64) {
+	u := types.UserID(b.users.Intern(userKey))
+	i := types.ItemID(b.items.Intern(itemKey))
+	b.ratings = append(b.ratings, types.Rating{User: u, Item: i, Value: value})
+}
+
+// AddIDs records a rating by already-dense identifiers. The caller is
+// responsible for keeping identifiers dense; gaps create phantom users or
+// items with no ratings.
+func (b *Builder) AddIDs(u types.UserID, i types.ItemID, value float64) {
+	for int32(len(b.users.Keys())) <= int32(u) {
+		b.users.Intern(fmt.Sprintf("u%d", b.users.Len()))
+	}
+	for int32(len(b.items.Keys())) <= int32(i) {
+		b.items.Intern(fmt.Sprintf("i%d", b.items.Len()))
+	}
+	b.ratings = append(b.ratings, types.Rating{User: u, Item: i, Value: value})
+}
+
+// Len reports the number of ratings accumulated so far.
+func (b *Builder) Len() int { return len(b.ratings) }
+
+// Build finalizes the dataset, constructing the per-user and per-item
+// indexes. The Builder must not be reused afterwards.
+func (b *Builder) Build() *Dataset {
+	d := &Dataset{
+		name:    b.name,
+		ratings: b.ratings,
+		users:   b.users,
+		items:   b.items,
+	}
+	d.buildIndexes()
+	return d
+}
+
+// FromRatings builds a Dataset directly from dense-identifier ratings. The
+// number of users and items is inferred from the maximum identifiers present.
+func FromRatings(name string, ratings []types.Rating) *Dataset {
+	b := NewBuilder(name, len(ratings))
+	for _, r := range ratings {
+		b.AddIDs(r.User, r.Item, r.Value)
+	}
+	return b.Build()
+}
+
+func (d *Dataset) buildIndexes() {
+	d.byUser = make([][]int, d.users.Len())
+	d.byItem = make([][]int, d.items.Len())
+	for idx, r := range d.ratings {
+		d.byUser[r.User] = append(d.byUser[r.User], idx)
+		d.byItem[r.Item] = append(d.byItem[r.Item], idx)
+	}
+}
+
+// Name returns the dataset's human-readable name.
+func (d *Dataset) Name() string { return d.name }
+
+// NumUsers returns |U|, the number of distinct users.
+func (d *Dataset) NumUsers() int { return d.users.Len() }
+
+// NumItems returns |I|, the number of distinct items.
+func (d *Dataset) NumItems() int { return d.items.Len() }
+
+// NumRatings returns |D|, the number of ratings.
+func (d *Dataset) NumRatings() int { return len(d.ratings) }
+
+// Ratings returns the underlying rating slice. Callers must not modify it.
+func (d *Dataset) Ratings() []types.Rating { return d.ratings }
+
+// Rating returns the rating at index idx.
+func (d *Dataset) Rating(idx int) types.Rating { return d.ratings[idx] }
+
+// UserRatings returns the indices of ratings belonging to user u.
+func (d *Dataset) UserRatings(u types.UserID) []int {
+	if int(u) < 0 || int(u) >= len(d.byUser) {
+		return nil
+	}
+	return d.byUser[u]
+}
+
+// ItemRatings returns the indices of ratings belonging to item i.
+func (d *Dataset) ItemRatings(i types.ItemID) []int {
+	if int(i) < 0 || int(i) >= len(d.byItem) {
+		return nil
+	}
+	return d.byItem[i]
+}
+
+// UserItems returns the set of items rated by user u, in rating order.
+func (d *Dataset) UserItems(u types.UserID) []types.ItemID {
+	idxs := d.UserRatings(u)
+	out := make([]types.ItemID, len(idxs))
+	for k, idx := range idxs {
+		out[k] = d.ratings[idx].Item
+	}
+	return out
+}
+
+// UserItemSet returns the set of items rated by user u as a membership map.
+func (d *Dataset) UserItemSet(u types.UserID) map[types.ItemID]struct{} {
+	idxs := d.UserRatings(u)
+	out := make(map[types.ItemID]struct{}, len(idxs))
+	for _, idx := range idxs {
+		out[d.ratings[idx].Item] = struct{}{}
+	}
+	return out
+}
+
+// ItemUsers returns the users who rated item i.
+func (d *Dataset) ItemUsers(i types.ItemID) []types.UserID {
+	idxs := d.ItemRatings(i)
+	out := make([]types.UserID, len(idxs))
+	for k, idx := range idxs {
+		out[k] = d.ratings[idx].User
+	}
+	return out
+}
+
+// UserRating returns the value user u gave item i and whether such a rating
+// exists. Lookup is linear in the user's profile size, which is small for the
+// vast majority of users in CF data.
+func (d *Dataset) UserRating(u types.UserID, i types.ItemID) (float64, bool) {
+	for _, idx := range d.UserRatings(u) {
+		if d.ratings[idx].Item == i {
+			return d.ratings[idx].Value, true
+		}
+	}
+	return 0, false
+}
+
+// ItemPopularity returns f_i^R, the number of ratings item i received.
+func (d *Dataset) ItemPopularity(i types.ItemID) int {
+	return len(d.ItemRatings(i))
+}
+
+// PopularityVector returns a vector of item popularities indexed by ItemID.
+func (d *Dataset) PopularityVector() []int {
+	out := make([]int, d.NumItems())
+	for i := range out {
+		out[i] = len(d.byItem[i])
+	}
+	return out
+}
+
+// UserInterner and ItemInterner expose the identifier mappings so callers can
+// translate recommendations back into external keys.
+func (d *Dataset) UserInterner() *types.Interner { return d.users }
+func (d *Dataset) ItemInterner() *types.Interner { return d.items }
+
+// Density returns |D| / (|U|·|I|), the fill rate of the rating matrix.
+func (d *Dataset) Density() float64 {
+	if d.NumUsers() == 0 || d.NumItems() == 0 {
+		return 0
+	}
+	return float64(d.NumRatings()) / (float64(d.NumUsers()) * float64(d.NumItems()))
+}
+
+// MeanRating returns the global mean rating value, or 0 for an empty dataset.
+func (d *Dataset) MeanRating() float64 {
+	if len(d.ratings) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range d.ratings {
+		s += r.Value
+	}
+	return s / float64(len(d.ratings))
+}
+
+// LongTail computes the paper's Pareto-principle long-tail set over this
+// dataset: items are sorted by decreasing popularity and the long tail L is
+// the suffix of items that together generate the lower `tailShare` fraction
+// (0.20 in the paper) of the total ratings. Only items with at least one
+// rating participate; unrated items are trivially long-tail and are included.
+func (d *Dataset) LongTail(tailShare float64) map[types.ItemID]struct{} {
+	if tailShare < 0 {
+		tailShare = 0
+	}
+	if tailShare > 1 {
+		tailShare = 1
+	}
+	type itemPop struct {
+		item types.ItemID
+		pop  int
+	}
+	pops := make([]itemPop, 0, d.NumItems())
+	total := 0
+	for i := 0; i < d.NumItems(); i++ {
+		p := len(d.byItem[i])
+		total += p
+		pops = append(pops, itemPop{item: types.ItemID(i), pop: p})
+	}
+	sort.Slice(pops, func(a, b int) bool {
+		if pops[a].pop != pops[b].pop {
+			return pops[a].pop > pops[b].pop
+		}
+		return pops[a].item < pops[b].item
+	})
+	tail := make(map[types.ItemID]struct{})
+	if total == 0 {
+		for _, ip := range pops {
+			tail[ip.item] = struct{}{}
+		}
+		return tail
+	}
+	// Walk down the popularity-sorted list accumulating head mass; once the
+	// head has captured (1 − tailShare) of all ratings, the rest is the tail.
+	headBudget := float64(total) * (1 - tailShare)
+	cum := 0.0
+	for _, ip := range pops {
+		if cum >= headBudget {
+			tail[ip.item] = struct{}{}
+			continue
+		}
+		cum += float64(ip.pop)
+	}
+	return tail
+}
+
+// DefaultTailShare is the Pareto 80/20 cut used throughout the paper.
+const DefaultTailShare = 0.20
+
+// Stats summarizes a dataset in the form reported in the paper's Table II.
+type Stats struct {
+	Name        string
+	NumRatings  int
+	NumUsers    int
+	NumItems    int
+	DensityPct  float64 // |D| / (|U|·|I|) × 100
+	LongTailPct float64 // |L| / |I| × 100, with L computed at the 80/20 cut
+	MeanRating  float64
+	MinUserDeg  int
+	MaxUserDeg  int
+}
+
+// ComputeStats derives Table II–style statistics from the dataset.
+func (d *Dataset) ComputeStats() Stats {
+	tail := d.LongTail(DefaultTailShare)
+	minDeg, maxDeg := 0, 0
+	if d.NumUsers() > 0 {
+		minDeg = len(d.byUser[0])
+		for _, rs := range d.byUser {
+			if len(rs) < minDeg {
+				minDeg = len(rs)
+			}
+			if len(rs) > maxDeg {
+				maxDeg = len(rs)
+			}
+		}
+	}
+	return Stats{
+		Name:        d.name,
+		NumRatings:  d.NumRatings(),
+		NumUsers:    d.NumUsers(),
+		NumItems:    d.NumItems(),
+		DensityPct:  d.Density() * 100,
+		LongTailPct: 100 * float64(len(tail)) / float64(maxInt(d.NumItems(), 1)),
+		MeanRating:  d.MeanRating(),
+		MinUserDeg:  minDeg,
+		MaxUserDeg:  maxDeg,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Split holds a per-user train/test partition of a parent dataset. Train and
+// Test are themselves full Dataset values sharing the parent's user and item
+// identifier spaces, so that an ItemID means the same thing in both.
+type Split struct {
+	Parent *Dataset
+	Train  *Dataset
+	Test   *Dataset
+	Kappa  float64
+}
+
+// SplitByUser partitions the dataset per user: for each user, a fraction
+// kappa of their ratings (rounded down, but at least one when the user has
+// two or more ratings) is kept in train and the remainder goes to test. Users
+// with a single rating keep it in train. The assignment is randomized by rng.
+//
+// This mirrors the paper's protocol: "randomly split each dataset into train
+// and test sets by keeping a fixed ratio κ of each user's ratings in the
+// train set and moving the rest to the test set."
+func (d *Dataset) SplitByUser(kappa float64, rng *rand.Rand) *Split {
+	if kappa <= 0 || kappa > 1 {
+		panic(fmt.Sprintf("dataset: kappa must be in (0,1], got %v", kappa))
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	trainRatings := make([]types.Rating, 0, int(float64(len(d.ratings))*kappa)+d.NumUsers())
+	testRatings := make([]types.Rating, 0, len(d.ratings)-cap(trainRatings)/2)
+
+	for u := 0; u < d.NumUsers(); u++ {
+		idxs := d.byUser[u]
+		n := len(idxs)
+		if n == 0 {
+			continue
+		}
+		perm := rng.Perm(n)
+		nTrain := int(float64(n) * kappa)
+		if nTrain < 1 {
+			nTrain = 1
+		}
+		if nTrain > n {
+			nTrain = n
+		}
+		for k, p := range perm {
+			r := d.ratings[idxs[p]]
+			if k < nTrain {
+				trainRatings = append(trainRatings, r)
+			} else {
+				testRatings = append(testRatings, r)
+			}
+		}
+	}
+	train := d.childFromRatings(d.name+"-train", trainRatings)
+	test := d.childFromRatings(d.name+"-test", testRatings)
+	return &Split{Parent: d, Train: train, Test: test, Kappa: kappa}
+}
+
+// childFromRatings builds a Dataset that reuses this dataset's identifier
+// spaces (so user/item IDs remain comparable across train, test and parent).
+func (d *Dataset) childFromRatings(name string, ratings []types.Rating) *Dataset {
+	child := &Dataset{
+		name:    name,
+		ratings: ratings,
+		users:   d.users,
+		items:   d.items,
+	}
+	child.buildIndexes()
+	return child
+}
+
+// SubsetUsers returns a new dataset containing only the ratings of the given
+// users, sharing identifier spaces with the parent.
+func (d *Dataset) SubsetUsers(users []types.UserID) *Dataset {
+	keep := make(map[types.UserID]struct{}, len(users))
+	for _, u := range users {
+		keep[u] = struct{}{}
+	}
+	var ratings []types.Rating
+	for _, r := range d.ratings {
+		if _, ok := keep[r.User]; ok {
+			ratings = append(ratings, r)
+		}
+	}
+	return d.childFromRatings(d.name+"-subset", ratings)
+}
+
+// RelevantTestItems returns, for each user, the set of test items the user
+// rated at or above the relevance threshold (the paper uses r_ui ≥ 4). The
+// result is indexed by UserID; users without relevant test items map to nil.
+func RelevantTestItems(test *Dataset, threshold float64) map[types.UserID][]types.ItemID {
+	out := make(map[types.UserID][]types.ItemID, test.NumUsers())
+	for _, r := range test.Ratings() {
+		if r.Value >= threshold {
+			out[r.User] = append(out[r.User], r.Item)
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Format identifies the on-disk layout of a rating file.
+type Format int
+
+const (
+	// FormatAuto sniffs the delimiter from the first data line.
+	FormatAuto Format = iota
+	// FormatMovieLensDat is the "user::item::rating::timestamp" layout used
+	// by ML-1M and ML-10M.
+	FormatMovieLensDat
+	// FormatTab is the tab-separated "user\titem\trating\ttimestamp" layout
+	// used by ML-100K (u.data).
+	FormatTab
+	// FormatCSV is "user,item,rating[,timestamp]" with an optional header
+	// row, used by newer MovieLens exports and MovieTweetings conversions.
+	FormatCSV
+)
+
+// LoadOptions configures LoadRatings.
+type LoadOptions struct {
+	Name   string // dataset name; defaults to the file path
+	Format Format
+	// MinRatingsPerUser drops users with fewer ratings than this threshold
+	// (the paper uses τ=20 for MovieLens and τ=5 for MovieTweetings).
+	MinRatingsPerUser int
+	// RescaleTo maps the observed rating range onto [RescaleTo[0],
+	// RescaleTo[1]] (the paper maps MovieTweetings' 0–10 scale onto [1,5]).
+	// A nil value leaves ratings untouched.
+	RescaleTo *[2]float64
+	// MaxRatings, when positive, stops reading after this many ratings. It
+	// exists so tests and examples can sample the head of a large file.
+	MaxRatings int
+}
+
+// LoadRatings reads a ratings file into a Dataset.
+func LoadRatings(path string, opts LoadOptions) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	if opts.Name == "" {
+		opts.Name = path
+	}
+	return ReadRatings(f, opts)
+}
+
+// ReadRatings parses rating rows from r according to opts. It is the
+// io.Reader-level core of LoadRatings, exposed so callers can load from any
+// source (embedded test fixtures, network streams, compressed readers).
+func ReadRatings(r io.Reader, opts LoadOptions) (*Dataset, error) {
+	if opts.Name == "" {
+		opts.Name = "ratings"
+	}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	type row struct {
+		user, item string
+		value      float64
+	}
+	var rows []row
+	format := opts.Format
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if format == FormatAuto {
+			format = sniffFormat(line)
+		}
+		user, item, valStr, err := splitRow(line, format)
+		if err != nil {
+			// A header row ("userId,movieId,rating,...") fails numeric
+			// parsing below; skip it only if it is the first content line.
+			if len(rows) == 0 {
+				continue
+			}
+			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			if len(rows) == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("dataset: line %d: bad rating %q", lineNo, valStr)
+		}
+		rows = append(rows, row{user: user, item: item, value: val})
+		if opts.MaxRatings > 0 && len(rows) >= opts.MaxRatings {
+			break
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scan: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: %s contains no ratings", opts.Name)
+	}
+
+	if opts.RescaleTo != nil {
+		lo, hi := rows[0].value, rows[0].value
+		for _, rw := range rows {
+			if rw.value < lo {
+				lo = rw.value
+			}
+			if rw.value > hi {
+				hi = rw.value
+			}
+		}
+		span := hi - lo
+		tgtLo, tgtHi := opts.RescaleTo[0], opts.RescaleTo[1]
+		for k := range rows {
+			if span == 0 {
+				rows[k].value = tgtHi
+			} else {
+				rows[k].value = tgtLo + (rows[k].value-lo)/span*(tgtHi-tgtLo)
+			}
+		}
+	}
+
+	if opts.MinRatingsPerUser > 1 {
+		counts := make(map[string]int)
+		for _, rw := range rows {
+			counts[rw.user]++
+		}
+		filtered := rows[:0]
+		for _, rw := range rows {
+			if counts[rw.user] >= opts.MinRatingsPerUser {
+				filtered = append(filtered, rw)
+			}
+		}
+		rows = filtered
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("dataset: %s: user filter τ=%d removed every rating", opts.Name, opts.MinRatingsPerUser)
+		}
+	}
+
+	b := NewBuilder(opts.Name, len(rows))
+	for _, rw := range rows {
+		b.Add(rw.user, rw.item, rw.value)
+	}
+	return b.Build(), nil
+}
+
+func sniffFormat(line string) Format {
+	switch {
+	case strings.Contains(line, "::"):
+		return FormatMovieLensDat
+	case strings.Contains(line, "\t"):
+		return FormatTab
+	default:
+		return FormatCSV
+	}
+}
+
+func splitRow(line string, f Format) (user, item, value string, err error) {
+	var fields []string
+	switch f {
+	case FormatMovieLensDat:
+		fields = strings.Split(line, "::")
+	case FormatTab:
+		fields = strings.Split(line, "\t")
+	case FormatCSV:
+		fields = strings.Split(line, ",")
+	default:
+		fields = strings.Fields(line)
+	}
+	if len(fields) < 3 {
+		return "", "", "", fmt.Errorf("expected at least 3 fields, got %d", len(fields))
+	}
+	return strings.TrimSpace(fields[0]), strings.TrimSpace(fields[1]), strings.TrimSpace(fields[2]), nil
+}
+
+// WriteRatings writes the dataset to w in CSV form ("user,item,rating"),
+// using the external keys from the interners. It is the inverse of
+// ReadRatings with FormatCSV and exists so synthetic datasets can be saved
+// and reloaded.
+func WriteRatings(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "user,item,rating"); err != nil {
+		return err
+	}
+	for _, r := range d.Ratings() {
+		uKey := d.UserInterner().Key(int32(r.User))
+		iKey := d.ItemInterner().Key(int32(r.Item))
+		if _, err := fmt.Fprintf(bw, "%s,%s,%g\n", uKey, iKey, r.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"sort"
+
+	"ganc/internal/types"
+)
+
+// Lorenz-curve and aggregate-diversity helpers. The Gini coefficient reported
+// in Table III is the summary statistic of the Lorenz curve of recommendation
+// frequencies; exposing the curve itself lets callers plot how concentrated a
+// recommender's exposure is (the visual counterpart of the paper's Gini@N
+// column) and quantify aggregate diversity the way Adomavicius & Kwon do.
+
+// LorenzPoint is one point of a Lorenz curve: after including the
+// `ItemShare` least-recommended fraction of the catalog, those items together
+// account for `ExposureShare` of all recommendations.
+type LorenzPoint struct {
+	ItemShare     float64
+	ExposureShare float64
+}
+
+// LorenzCurve computes the Lorenz curve of a recommendation-frequency vector
+// at `points` evenly spaced item-share positions (plus the origin). A uniform
+// distribution yields the diagonal; heavy concentration bows the curve toward
+// the bottom-right. An empty or all-zero frequency vector returns only the
+// origin.
+func LorenzCurve(freq []int, points int) []LorenzPoint {
+	if points <= 0 {
+		points = 10
+	}
+	out := []LorenzPoint{{ItemShare: 0, ExposureShare: 0}}
+	n := len(freq)
+	if n == 0 {
+		return out
+	}
+	sorted := make([]float64, n)
+	total := 0.0
+	for i, f := range freq {
+		sorted[i] = float64(f)
+		total += float64(f)
+	}
+	if total == 0 {
+		return out
+	}
+	sort.Float64s(sorted)
+	cum := make([]float64, n+1)
+	for i, f := range sorted {
+		cum[i+1] = cum[i] + f
+	}
+	for p := 1; p <= points; p++ {
+		share := float64(p) / float64(points)
+		idx := int(share * float64(n))
+		if idx > n {
+			idx = n
+		}
+		out = append(out, LorenzPoint{ItemShare: share, ExposureShare: cum[idx] / total})
+	}
+	return out
+}
+
+// RecommendationFrequencies counts how often each catalog item appears in the
+// collection, truncating each list at n (pass n ≤ 0 to count full lists). The
+// result is indexed by ItemID over a catalog of numItems items.
+func RecommendationFrequencies(recs types.Recommendations, numItems, n int) []int {
+	freq := make([]int, numItems)
+	for _, set := range recs {
+		list := set
+		if n > 0 && len(list) > n {
+			list = list[:n]
+		}
+		for _, i := range list {
+			if int(i) >= 0 && int(i) < numItems {
+				freq[i]++
+			}
+		}
+	}
+	return freq
+}
+
+// AggregateDiversity is the number of distinct items recommended at least
+// once — the absolute form of Coverage@N used by the re-ranking literature.
+func AggregateDiversity(freq []int) int {
+	count := 0
+	for _, f := range freq {
+		if f > 0 {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ganc/internal/types"
+)
+
+func TestLorenzCurveUniformDistributionIsDiagonal(t *testing.T) {
+	freq := []int{3, 3, 3, 3, 3}
+	curve := LorenzCurve(freq, 5)
+	if len(curve) != 6 {
+		t.Fatalf("curve has %d points, want 6", len(curve))
+	}
+	for _, p := range curve {
+		if math.Abs(p.ExposureShare-p.ItemShare) > 1e-9 {
+			t.Fatalf("uniform distribution should give the diagonal, got %+v", p)
+		}
+	}
+}
+
+func TestLorenzCurveConcentratedDistributionBowsDown(t *testing.T) {
+	freq := []int{0, 0, 0, 0, 100}
+	curve := LorenzCurve(freq, 5)
+	// At 80% of the (least-recommended) items, exposure share must still be 0.
+	for _, p := range curve {
+		if p.ItemShare <= 0.8+1e-9 && p.ExposureShare > 1e-9 {
+			t.Fatalf("concentrated distribution should have zero exposure at %.2f items, got %+v", p.ItemShare, p)
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.ItemShare != 1 || math.Abs(last.ExposureShare-1) > 1e-9 {
+		t.Fatalf("curve must end at (1,1), got %+v", last)
+	}
+}
+
+func TestLorenzCurveDegenerateInputs(t *testing.T) {
+	if got := LorenzCurve(nil, 4); len(got) != 1 || got[0].ItemShare != 0 {
+		t.Fatalf("empty input should return only the origin, got %v", got)
+	}
+	if got := LorenzCurve([]int{0, 0}, 4); len(got) != 1 {
+		t.Fatalf("all-zero input should return only the origin, got %v", got)
+	}
+	if got := LorenzCurve([]int{1, 2}, 0); len(got) != 11 {
+		t.Fatalf("non-positive points should fall back to 10, got %d points", len(got))
+	}
+}
+
+func TestLorenzCurveMonotoneAndBelowDiagonalProperty(t *testing.T) {
+	// Properties: the curve is non-decreasing in both coordinates and never
+	// rises above the diagonal (the least-recommended x% of items can carry
+	// at most x% of the exposure).
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		freq := make([]int, len(raw))
+		for i, v := range raw {
+			freq[i] = int(v)
+		}
+		curve := LorenzCurve(freq, 20)
+		prev := LorenzPoint{}
+		for _, p := range curve {
+			if p.ExposureShare < prev.ExposureShare-1e-12 || p.ItemShare < prev.ItemShare-1e-12 {
+				return false
+			}
+			if p.ExposureShare > p.ItemShare+1e-9 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecommendationFrequenciesAndAggregateDiversity(t *testing.T) {
+	recs := types.Recommendations{
+		0: {0, 1, 2},
+		1: {1, 2, 3},
+	}
+	freq := RecommendationFrequencies(recs, 5, 2)
+	// Truncated at 2: user0 counts items 0,1; user1 counts items 1,2.
+	if freq[0] != 1 || freq[1] != 2 || freq[2] != 1 || freq[3] != 0 {
+		t.Fatalf("frequencies with truncation = %v", freq)
+	}
+	full := RecommendationFrequencies(recs, 5, 0)
+	if full[3] != 1 {
+		t.Fatalf("full-list frequencies = %v", full)
+	}
+	if AggregateDiversity(freq) != 3 {
+		t.Fatalf("aggregate diversity = %d, want 3", AggregateDiversity(freq))
+	}
+	// Out-of-catalog items are ignored rather than panicking.
+	weird := types.Recommendations{0: {99}}
+	if got := RecommendationFrequencies(weird, 5, 0); len(got) != 5 {
+		t.Fatal("out-of-range item broke the frequency vector")
+	}
+}
+
+func TestLorenzGiniConsistency(t *testing.T) {
+	// A distribution with a higher Gini must have a Lorenz curve that is
+	// (weakly) lower at the midpoint.
+	even := []int{5, 5, 5, 5}
+	skewed := []int{1, 1, 1, 17}
+	if Gini(skewed) <= Gini(even) {
+		t.Fatal("fixture broken: skewed Gini should exceed even Gini")
+	}
+	evenMid := LorenzCurve(even, 2)[1].ExposureShare
+	skewMid := LorenzCurve(skewed, 2)[1].ExposureShare
+	if skewMid > evenMid+1e-9 {
+		t.Fatalf("skewed Lorenz midpoint %.3f should not exceed even midpoint %.3f", skewMid, evenMid)
+	}
+}

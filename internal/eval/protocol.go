@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"ganc/internal/dataset"
+	"ganc/internal/recommender"
+	"ganc/internal/types"
+)
+
+// Protocol selects which candidate items are ranked for each user when
+// building a top-N set for evaluation, following the terminology of Steck
+// (2013) that the paper's Appendix C adopts.
+type Protocol int
+
+const (
+	// ProtocolAllUnrated ranks every item not in the user's train set (the
+	// paper's main protocol: closest to real deployment accuracy).
+	ProtocolAllUnrated Protocol = iota
+	// ProtocolRatedTestItems ranks only the items the user rated in the test
+	// set. Accuracy looks much higher under this protocol; the paper's
+	// Appendix C quantifies that bias.
+	ProtocolRatedTestItems
+)
+
+// String names the protocol for experiment output.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolAllUnrated:
+		return "all-unrated-items"
+	case ProtocolRatedTestItems:
+		return "rated-test-items"
+	default:
+		return "unknown-protocol"
+	}
+}
+
+// RecommendWithProtocol produces the top-N collection for every user under
+// the chosen protocol using an arbitrary scorer.
+//
+// Under the all-unrated protocol the candidate pool is the full catalog minus
+// the user's train items. Under the rated-test-items protocol the pool is the
+// user's test items only (users without test ratings receive no list and are
+// skipped, as in the paper's evaluation).
+func RecommendWithProtocol(scorer recommender.Scorer, split *dataset.Split, n int, protocol Protocol) types.Recommendations {
+	train, test := split.Train, split.Test
+	recs := make(types.Recommendations, train.NumUsers())
+	switch protocol {
+	case ProtocolRatedTestItems:
+		for u := 0; u < train.NumUsers(); u++ {
+			uid := types.UserID(u)
+			testItems := test.UserItems(uid)
+			if len(testItems) == 0 {
+				continue
+			}
+			// Rank only the user's test items.
+			items := append([]types.ItemID(nil), testItems...)
+			recommender.SortItemsByScoreDesc(items, func(i types.ItemID) float64 {
+				return scorer.Score(uid, i)
+			})
+			if len(items) > n {
+				items = items[:n]
+			}
+			recs[uid] = types.TopNSet(items)
+		}
+	default: // ProtocolAllUnrated
+		top := &recommender.ScorerTopN{Scorer: scorer, NumItems: train.NumItems()}
+		for u := 0; u < train.NumUsers(); u++ {
+			uid := types.UserID(u)
+			recs[uid] = top.Recommend(uid, n, train.UserItemSet(uid))
+		}
+	}
+	return recs
+}

@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"math"
+
+	"ganc/internal/types"
+)
+
+// Ranking quality metrics beyond the paper's Table III. NDCG is the measure
+// CoFiRank optimizes; MRR and HitRate are common companions. They are exposed
+// so downstream users can compare GANC against position-sensitive accuracy
+// measures, and so the CofiN variant has a native yardstick.
+
+// NDCG computes the mean Normalized Discounted Cumulative Gain at cutoff n
+// over a recommendation collection, using binary relevance (a hit is a test
+// item rated at or above the relevance threshold). Users without relevant
+// test items are skipped, mirroring how recall-style metrics are averaged.
+func (e *Evaluator) NDCG(recs types.Recommendations, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	sum, users := 0.0, 0
+	for u, set := range recs {
+		rel := e.relevant[u]
+		if len(rel) == 0 {
+			continue
+		}
+		if len(set) > n {
+			set = set[:n]
+		}
+		dcg := 0.0
+		for pos, i := range set {
+			if _, ok := rel[i]; ok {
+				dcg += 1 / math.Log2(float64(pos)+2)
+			}
+		}
+		ideal := 0.0
+		idealHits := len(rel)
+		if idealHits > n {
+			idealHits = n
+		}
+		for pos := 0; pos < idealHits; pos++ {
+			ideal += 1 / math.Log2(float64(pos)+2)
+		}
+		if ideal > 0 {
+			sum += dcg / ideal
+			users++
+		}
+	}
+	if users == 0 {
+		return 0
+	}
+	return sum / float64(users)
+}
+
+// MRR computes the mean reciprocal rank of the first relevant item within the
+// top-n, averaged over users with at least one relevant test item.
+func (e *Evaluator) MRR(recs types.Recommendations, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	sum, users := 0.0, 0
+	for u, set := range recs {
+		rel := e.relevant[u]
+		if len(rel) == 0 {
+			continue
+		}
+		users++
+		if len(set) > n {
+			set = set[:n]
+		}
+		for pos, i := range set {
+			if _, ok := rel[i]; ok {
+				sum += 1 / float64(pos+1)
+				break
+			}
+		}
+	}
+	if users == 0 {
+		return 0
+	}
+	return sum / float64(users)
+}
+
+// HitRate computes the fraction of users (with relevant test items) whose
+// top-n contains at least one relevant item.
+func (e *Evaluator) HitRate(recs types.Recommendations, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	hits, users := 0, 0
+	for u, set := range recs {
+		rel := e.relevant[u]
+		if len(rel) == 0 {
+			continue
+		}
+		users++
+		if len(set) > n {
+			set = set[:n]
+		}
+		for _, i := range set {
+			if _, ok := rel[i]; ok {
+				hits++
+				break
+			}
+		}
+	}
+	if users == 0 {
+		return 0
+	}
+	return float64(hits) / float64(users)
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"ganc/internal/types"
+)
+
+func TestNDCGPerfectAndWorstRanking(t *testing.T) {
+	sp := fixtureSplit()
+	ev := NewEvaluator(sp, 0)
+	// User 0's only relevant test item is item 3.
+	perfect := types.Recommendations{0: {3, 4}}
+	worst := types.Recommendations{0: {4, 6}}
+	if got := ev.NDCG(perfect, 2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("NDCG of a list with the relevant item first = %v, want 1", got)
+	}
+	if got := ev.NDCG(worst, 2); got != 0 {
+		t.Fatalf("NDCG of a list with no relevant items = %v, want 0", got)
+	}
+}
+
+func TestNDCGPositionDiscount(t *testing.T) {
+	sp := fixtureSplit()
+	ev := NewEvaluator(sp, 0)
+	first := ev.NDCG(types.Recommendations{0: {3, 4, 6}}, 3)
+	second := ev.NDCG(types.Recommendations{0: {4, 3, 6}}, 3)
+	third := ev.NDCG(types.Recommendations{0: {4, 6, 3}}, 3)
+	if !(first > second && second > third && third > 0) {
+		t.Fatalf("NDCG should decay with the hit position: %v, %v, %v", first, second, third)
+	}
+}
+
+func TestNDCGSkipsUsersWithoutRelevantItems(t *testing.T) {
+	sp := fixtureSplit()
+	ev := NewEvaluator(sp, 0)
+	// User 2 has no relevant test items; their list alone gives NDCG 0 (no
+	// users averaged).
+	if got := ev.NDCG(types.Recommendations{2: {0, 1}}, 2); got != 0 {
+		t.Fatalf("NDCG over only irrelevant users = %v, want 0", got)
+	}
+	// Mixing in user 0 with a perfect list averages only over user 0.
+	got := ev.NDCG(types.Recommendations{0: {3}, 2: {0, 1}}, 1)
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("NDCG = %v, want 1 (only user 0 counted)", got)
+	}
+}
+
+func TestMRR(t *testing.T) {
+	sp := fixtureSplit()
+	ev := NewEvaluator(sp, 0)
+	// user0: relevant item 3 at position 2 → 1/2; user1: relevant item 5 at
+	// position 1 → 1. Mean = 0.75.
+	recs := types.Recommendations{
+		0: {4, 3},
+		1: {5, 6},
+	}
+	if got := ev.MRR(recs, 2); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("MRR = %v, want 0.75", got)
+	}
+	if got := ev.MRR(types.Recommendations{0: {6}}, 1); got != 0 {
+		t.Fatalf("MRR with no hits = %v, want 0", got)
+	}
+	if ev.MRR(nil, 5) != 0 || ev.MRR(recs, 0) != 0 {
+		t.Fatal("degenerate MRR inputs should give 0")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	sp := fixtureSplit()
+	ev := NewEvaluator(sp, 0)
+	recs := types.Recommendations{
+		0: {3, 4}, // hit
+		1: {6, 4}, // miss (relevant item is 5)
+	}
+	if got := ev.HitRate(recs, 2); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("HitRate = %v, want 0.5", got)
+	}
+	if got := ev.HitRate(recs, 0); got != 0 {
+		t.Fatal("n=0 hit rate should be 0")
+	}
+}
+
+func TestRankingMetricsTruncateAtN(t *testing.T) {
+	sp := fixtureSplit()
+	ev := NewEvaluator(sp, 0)
+	// The relevant item sits at position 3, beyond the cutoff of 2.
+	recs := types.Recommendations{0: {4, 6, 3}}
+	if got := ev.NDCG(recs, 2); got != 0 {
+		t.Fatalf("NDCG beyond cutoff = %v, want 0", got)
+	}
+	if got := ev.MRR(recs, 2); got != 0 {
+		t.Fatalf("MRR beyond cutoff = %v, want 0", got)
+	}
+	if got := ev.HitRate(recs, 2); got != 0 {
+		t.Fatalf("HitRate beyond cutoff = %v, want 0", got)
+	}
+}

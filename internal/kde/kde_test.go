@@ -1,0 +1,236 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsEmptySample(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty sample did not error")
+	}
+}
+
+func TestSilvermanBandwidthPositiveAndShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small := make([]float64, 50)
+	large := make([]float64, 5000)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range large {
+		large[i] = rng.NormFloat64()
+	}
+	hs, hl := Silverman(small), Silverman(large)
+	if hs <= 0 || hl <= 0 {
+		t.Fatalf("non-positive bandwidths: %v %v", hs, hl)
+	}
+	if hl >= hs {
+		t.Fatalf("bandwidth should shrink with sample size: n=50 → %v, n=5000 → %v", hs, hl)
+	}
+}
+
+func TestSilvermanDegenerateSamples(t *testing.T) {
+	if h := Silverman([]float64{0.3}); h <= 0 {
+		t.Fatal("single-point sample should still give positive bandwidth")
+	}
+	if h := Silverman([]float64{0.5, 0.5, 0.5, 0.5}); h <= 0 {
+		t.Fatal("constant sample should still give positive bandwidth")
+	}
+}
+
+func TestPDFIntegratesToApproximatelyOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 300)
+	for i := range data {
+		data[i] = 0.3 + 0.15*rng.NormFloat64()
+	}
+	k, err := New(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoidal integration over a wide interval.
+	integral := 0.0
+	lo, hi, steps := -2.0, 3.0, 2000
+	dx := (hi - lo) / float64(steps)
+	for s := 0; s <= steps; s++ {
+		x := lo + float64(s)*dx
+		w := dx
+		if s == 0 || s == steps {
+			w /= 2
+		}
+		integral += k.PDF(x) * w
+	}
+	if math.Abs(integral-1) > 0.02 {
+		t.Fatalf("PDF integrates to %v, want ≈ 1", integral)
+	}
+}
+
+func TestPDFPeaksNearTheData(t *testing.T) {
+	data := []float64{0.2, 0.21, 0.19, 0.22, 0.18, 0.2}
+	k, err := New(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.PDF(0.2) <= k.PDF(0.8) {
+		t.Fatal("density at the data cluster should exceed density far away")
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 200)
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	k, err := New(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for x := -0.5; x <= 1.5; x += 0.05 {
+		c := k.CDF(x)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of range at %v: %v", x, c)
+		}
+		prev = c
+	}
+	if k.CDF(-5) > 0.01 || k.CDF(5) < 0.99 {
+		t.Fatal("CDF tails wrong")
+	}
+}
+
+func TestSampleReproducesDistributionRoughly(t *testing.T) {
+	// Data drawn from a bimodal mixture; samples from the KDE should land in
+	// both modes with roughly the right proportions.
+	rng := rand.New(rand.NewSource(4))
+	data := make([]float64, 400)
+	for i := range data {
+		if i%4 == 0 { // 25% in the upper mode
+			data[i] = 0.8 + 0.03*rng.NormFloat64()
+		} else {
+			data[i] = 0.2 + 0.03*rng.NormFloat64()
+		}
+	}
+	k, err := New(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := k.Sample(4000, rand.New(rand.NewSource(5)))
+	upper := 0
+	for _, s := range samples {
+		if s > 0.5 {
+			upper++
+		}
+	}
+	frac := float64(upper) / float64(len(samples))
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("upper-mode fraction %v, want ≈ 0.25", frac)
+	}
+}
+
+func TestSampleEdgeCases(t *testing.T) {
+	k, err := New([]float64{0.5}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Sample(0, nil); got != nil {
+		t.Fatal("n=0 should return nil")
+	}
+	if got := k.Sample(-3, nil); got != nil {
+		t.Fatal("negative n should return nil")
+	}
+	if got := k.Sample(5, nil); len(got) != 5 {
+		t.Fatal("nil rng should still produce samples")
+	}
+}
+
+func TestSampleClampedStaysInRange(t *testing.T) {
+	data := []float64{0.01, 0.02, 0.99, 0.98}
+	k, err := New(data, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := k.SampleClamped(500, 0, 1, rand.New(rand.NewSource(6)))
+	for _, v := range out {
+		if v < 0 || v > 1 {
+			t.Fatalf("clamped sample %v escaped [0,1]", v)
+		}
+	}
+}
+
+func TestSamplingIsDeterministicGivenRNG(t *testing.T) {
+	data := []float64{0.1, 0.5, 0.9}
+	k, _ := New(data, 0.05)
+	a := k.Sample(20, rand.New(rand.NewSource(7)))
+	b := k.Sample(20, rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same RNG seed produced different samples")
+		}
+	}
+}
+
+func TestBandwidthOverrideRespected(t *testing.T) {
+	k, err := New([]float64{0.4, 0.6}, 0.123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Bandwidth() != 0.123 {
+		t.Fatalf("bandwidth = %v", k.Bandwidth())
+	}
+}
+
+func TestCrossValidatedBandwidthReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	data := make([]float64, 150)
+	for i := range data {
+		data[i] = 0.5 + 0.1*rng.NormFloat64()
+	}
+	h := CrossValidatedBandwidth(data, nil)
+	if h <= 0 {
+		t.Fatal("cross-validated bandwidth not positive")
+	}
+	base := Silverman(data)
+	if h < base/5 || h > base*5 {
+		t.Fatalf("cross-validated bandwidth %v unreasonably far from Silverman %v", h, base)
+	}
+	// Degenerate small samples fall back to Silverman.
+	if CrossValidatedBandwidth([]float64{0.1, 0.2}, nil) != Silverman([]float64{0.1, 0.2}) {
+		t.Fatal("tiny sample should fall back to Silverman")
+	}
+}
+
+func TestPDFNonNegativeProperty(t *testing.T) {
+	f := func(xs []float64, query float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, math.Mod(x, 100))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		k, err := New(clean, 0)
+		if err != nil {
+			return false
+		}
+		q := math.Mod(query, 100)
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			q = 0
+		}
+		return k.PDF(q) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

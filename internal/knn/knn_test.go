@@ -1,0 +1,192 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ganc/internal/dataset"
+	"ganc/internal/synth"
+	"ganc/internal/types"
+)
+
+// blockDataset builds two disjoint taste communities: users 0-4 rate items
+// 0-4 highly, users 5-9 rate items 5-9 highly. A small amount of cross-block
+// noise keeps the similarity lists non-trivial.
+func blockDataset() *dataset.Dataset {
+	b := dataset.NewBuilder("block", 128)
+	for u := 0; u < 10; u++ {
+		lo, hi := 0, 5
+		if u >= 5 {
+			lo, hi = 5, 10
+		}
+		for i := lo; i < hi; i++ {
+			if (u+i)%4 == 0 {
+				continue // leave some pairs unrated so there are unseen items
+			}
+			b.AddIDs(types.UserID(u), types.ItemID(i), 4+float64((u+i)%2))
+		}
+		// One low cross-block rating per user.
+		cross := (hi + u) % 10
+		b.AddIDs(types.UserID(u), types.ItemID(cross), 1)
+	}
+	return b.Build()
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Neighbors: 0, MinOverlap: 1},
+		{Neighbors: 5, MinOverlap: 0},
+		{Neighbors: 5, MinOverlap: 1, Shrinkage: -1},
+	}
+	for k, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", k)
+		}
+	}
+}
+
+func TestTrainRejectsEmptyDataset(t *testing.T) {
+	b := dataset.NewBuilder("x", 1)
+	b.AddIDs(0, 0, 3)
+	d := b.Build()
+	empty := d.SubsetUsers(nil)
+	if _, err := Train(empty, DefaultConfig()); err == nil {
+		t.Fatal("empty dataset did not error")
+	}
+}
+
+func TestNeighborsStayWithinTasteBlocks(t *testing.T) {
+	d := blockDataset()
+	m, err := Train(d, Config{Neighbors: 3, MinOverlap: 2, Shrinkage: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item 0's strongest neighbours should be other first-block items.
+	nbs := m.Neighbors(0)
+	if len(nbs) == 0 {
+		t.Fatal("item 0 has no neighbours")
+	}
+	for _, nb := range nbs {
+		if nb.Item >= 5 {
+			t.Fatalf("item 0's neighbour %d crosses the taste block (sim %.3f)", nb.Item, nb.Score)
+		}
+		if nb.Score <= 0 || nb.Score > 1.0001 {
+			t.Fatalf("similarity %v out of range", nb.Score)
+		}
+	}
+}
+
+func TestNeighborListsSortedAndCapped(t *testing.T) {
+	d := blockDataset()
+	m, err := Train(d, Config{Neighbors: 2, MinOverlap: 1, Shrinkage: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.NumItems(); i++ {
+		nbs := m.Neighbors(types.ItemID(i))
+		if len(nbs) > 2 {
+			t.Fatalf("item %d keeps %d neighbours, cap is 2", i, len(nbs))
+		}
+		for k := 1; k < len(nbs); k++ {
+			if nbs[k].Score > nbs[k-1].Score+1e-12 {
+				t.Fatalf("item %d neighbour list not sorted", i)
+			}
+		}
+	}
+	if m.Neighbors(types.ItemID(999)) != nil {
+		t.Fatal("out-of-range item should have nil neighbours")
+	}
+}
+
+func TestScorePrefersWithinBlockItems(t *testing.T) {
+	d := blockDataset()
+	m, err := Train(d, Config{Neighbors: 5, MinOverlap: 2, Shrinkage: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 0 (first block): an unseen first-block item should score above an
+	// unseen second-block item.
+	var inBlock, outBlock types.ItemID = -1, -1
+	seen := d.UserItemSet(0)
+	for i := 0; i < 5; i++ {
+		if _, ok := seen[types.ItemID(i)]; !ok {
+			inBlock = types.ItemID(i)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if _, ok := seen[types.ItemID(i)]; !ok {
+			outBlock = types.ItemID(i)
+		}
+	}
+	if inBlock < 0 || outBlock < 0 {
+		t.Skip("fixture left no unseen items for user 0")
+	}
+	if m.Score(0, inBlock) <= m.Score(0, outBlock) {
+		t.Fatalf("within-block item %d (%.3f) should outscore cross-block item %d (%.3f)",
+			inBlock, m.Score(0, inBlock), outBlock, m.Score(0, outBlock))
+	}
+}
+
+func TestScoreFallbacks(t *testing.T) {
+	d := blockDataset()
+	m, err := Train(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Score(types.UserID(999), 0); got != d.MeanRating() {
+		t.Fatalf("unknown user should fall back to the global mean, got %v", got)
+	}
+	if got := m.Score(0, types.ItemID(999)); got != d.MeanRating() {
+		t.Fatalf("unknown item should fall back to the global mean, got %v", got)
+	}
+	if m.Name() != "ItemKNN50" {
+		t.Fatalf("name = %s", m.Name())
+	}
+}
+
+func TestShrinkageReducesLowOverlapSimilarities(t *testing.T) {
+	d := blockDataset()
+	raw, err := Train(d, Config{Neighbors: 10, MinOverlap: 1, Shrinkage: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := Train(d, Config{Neighbors: 10, MinOverlap: 1, Shrinkage: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawN, shrunkN := raw.Neighbors(0), shrunk.Neighbors(0)
+	if len(rawN) == 0 || len(shrunkN) == 0 {
+		t.Skip("no neighbours to compare")
+	}
+	if shrunkN[0].Score >= rawN[0].Score {
+		t.Fatalf("shrinkage should reduce the top similarity: %.3f vs %.3f", shrunkN[0].Score, rawN[0].Score)
+	}
+}
+
+func TestItemKNNBeatsGlobalMeanOnSyntheticData(t *testing.T) {
+	cfg := synth.ML100K(0.15)
+	d, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := d.SplitByUser(0.8, rand.New(rand.NewSource(3)))
+	m, err := Train(sp.Train, Config{Neighbors: 30, MinOverlap: 2, Shrinkage: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := sp.Train.MeanRating()
+	var seModel, seMean float64
+	for _, r := range sp.Test.Ratings() {
+		em := r.Value - m.Score(r.User, r.Item)
+		eb := r.Value - mean
+		seModel += em * em
+		seMean += eb * eb
+	}
+	if seModel >= seMean {
+		t.Fatalf("item-KNN squared error %.1f not better than global-mean %.1f", seModel, seMean)
+	}
+}

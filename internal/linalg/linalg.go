@@ -1,0 +1,438 @@
+// Package linalg implements the numerical routines needed by the PureSVD
+// recommender: QR orthonormalization, a Jacobi symmetric eigensolver, and a
+// randomized truncated SVD for sparse user–item matrices.
+//
+// PureSVD (Cremonesi et al., RecSys 2010) imputes missing ratings with zeros
+// and takes a rank-k SVD of the resulting matrix. The matrices involved are
+// |U|×|I| with only |D| non-zeros, so the implementation never materializes
+// the dense matrix: all products go through a compressed sparse row (CSR)
+// representation.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ganc/internal/mat"
+)
+
+// Sparse is a compressed sparse row matrix. Build one with NewSparse.
+type Sparse struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	values     []float64
+}
+
+// Entry is a single non-zero element used to construct a Sparse matrix.
+type Entry struct {
+	Row, Col int
+	Value    float64
+}
+
+// NewSparse builds a CSR matrix of the given shape from entries. Duplicate
+// (row, col) entries are summed. Entries outside the shape cause a panic.
+func NewSparse(rows, cols int, entries []Entry) *Sparse {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid sparse shape %dx%d", rows, cols))
+	}
+	counts := make([]int, rows+1)
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("linalg: entry (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols))
+		}
+		counts[e.Row+1]++
+	}
+	for r := 0; r < rows; r++ {
+		counts[r+1] += counts[r]
+	}
+	colIdx := make([]int, len(entries))
+	values := make([]float64, len(entries))
+	next := make([]int, rows)
+	copy(next, counts[:rows])
+	for _, e := range entries {
+		p := next[e.Row]
+		colIdx[p] = e.Col
+		values[p] = e.Value
+		next[e.Row]++
+	}
+	s := &Sparse{rows: rows, cols: cols, rowPtr: counts, colIdx: colIdx, values: values}
+	s.sumDuplicates()
+	return s
+}
+
+// sumDuplicates merges duplicate column indices within each row.
+func (s *Sparse) sumDuplicates() {
+	newRowPtr := make([]int, s.rows+1)
+	newCol := s.colIdx[:0]
+	newVal := s.values[:0]
+	write := 0
+	for r := 0; r < s.rows; r++ {
+		start, end := s.rowPtr[r], s.rowPtr[r+1]
+		// Small rows: insertion-style merge via map only when duplicates may
+		// exist. Sort the row slice by column, then merge equal neighbours.
+		row := make([]Entry, 0, end-start)
+		for p := start; p < end; p++ {
+			row = append(row, Entry{Row: r, Col: s.colIdx[p], Value: s.values[p]})
+		}
+		sortEntriesByCol(row)
+		for i := 0; i < len(row); {
+			j := i + 1
+			v := row[i].Value
+			for j < len(row) && row[j].Col == row[i].Col {
+				v += row[j].Value
+				j++
+			}
+			newCol = append(newCol, row[i].Col)
+			newVal = append(newVal, v)
+			write++
+			i = j
+		}
+		newRowPtr[r+1] = write
+	}
+	s.rowPtr = newRowPtr
+	s.colIdx = newCol
+	s.values = newVal
+}
+
+func sortEntriesByCol(row []Entry) {
+	// Insertion sort: rows are short (a user's profile size).
+	for i := 1; i < len(row); i++ {
+		for j := i; j > 0 && row[j].Col < row[j-1].Col; j-- {
+			row[j], row[j-1] = row[j-1], row[j]
+		}
+	}
+}
+
+// Rows returns the number of rows.
+func (s *Sparse) Rows() int { return s.rows }
+
+// Cols returns the number of columns.
+func (s *Sparse) Cols() int { return s.cols }
+
+// NNZ returns the number of stored non-zeros.
+func (s *Sparse) NNZ() int { return len(s.values) }
+
+// At returns the element at (r, c); zero if not stored.
+func (s *Sparse) At(r, c int) float64 {
+	for p := s.rowPtr[r]; p < s.rowPtr[r+1]; p++ {
+		if s.colIdx[p] == c {
+			return s.values[p]
+		}
+	}
+	return 0
+}
+
+// MulVec computes s·v (length cols → length rows).
+func (s *Sparse) MulVec(v []float64) []float64 {
+	if len(v) != s.cols {
+		panic("linalg: MulVec length mismatch")
+	}
+	out := make([]float64, s.rows)
+	for r := 0; r < s.rows; r++ {
+		sum := 0.0
+		for p := s.rowPtr[r]; p < s.rowPtr[r+1]; p++ {
+			sum += s.values[p] * v[s.colIdx[p]]
+		}
+		out[r] = sum
+	}
+	return out
+}
+
+// TMulVec computes sᵀ·v (length rows → length cols).
+func (s *Sparse) TMulVec(v []float64) []float64 {
+	if len(v) != s.rows {
+		panic("linalg: TMulVec length mismatch")
+	}
+	out := make([]float64, s.cols)
+	for r := 0; r < s.rows; r++ {
+		vr := v[r]
+		if vr == 0 {
+			continue
+		}
+		for p := s.rowPtr[r]; p < s.rowPtr[r+1]; p++ {
+			out[s.colIdx[p]] += s.values[p] * vr
+		}
+	}
+	return out
+}
+
+// MulDense computes s·B where B is cols×k, returning a rows×k dense matrix.
+func (s *Sparse) MulDense(b *mat.Dense) *mat.Dense {
+	if b.Rows() != s.cols {
+		panic("linalg: MulDense shape mismatch")
+	}
+	k := b.Cols()
+	out := mat.NewDense(s.rows, k)
+	for r := 0; r < s.rows; r++ {
+		orow := out.Row(r)
+		for p := s.rowPtr[r]; p < s.rowPtr[r+1]; p++ {
+			v := s.values[p]
+			brow := b.Row(s.colIdx[p])
+			for j := 0; j < k; j++ {
+				orow[j] += v * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// TMulDense computes sᵀ·B where B is rows×k, returning a cols×k dense matrix.
+func (s *Sparse) TMulDense(b *mat.Dense) *mat.Dense {
+	if b.Rows() != s.rows {
+		panic("linalg: TMulDense shape mismatch")
+	}
+	k := b.Cols()
+	out := mat.NewDense(s.cols, k)
+	for r := 0; r < s.rows; r++ {
+		brow := b.Row(r)
+		for p := s.rowPtr[r]; p < s.rowPtr[r+1]; p++ {
+			v := s.values[p]
+			orow := out.Row(s.colIdx[p])
+			for j := 0; j < k; j++ {
+				orow[j] += v * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// QR orthonormalizes the columns of a in place using modified Gram–Schmidt
+// and returns a (now with orthonormal columns). Columns that become
+// numerically zero are replaced with random unit vectors orthogonal to the
+// previous ones so downstream subspace iteration never collapses.
+func QR(a *mat.Dense, rng *rand.Rand) *mat.Dense {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	n, k := a.Rows(), a.Cols()
+	for j := 0; j < k; j++ {
+		col := a.Col(j)
+		// Orthogonalize against previous columns (twice, for stability).
+		for pass := 0; pass < 2; pass++ {
+			for prev := 0; prev < j; prev++ {
+				p := a.Col(prev)
+				proj := mat.Dot(col, p)
+				mat.AXPY(-proj, p, col)
+			}
+		}
+		norm := mat.Norm2(col)
+		if norm < 1e-12 {
+			// Degenerate column: replace with a random direction and repeat
+			// the orthogonalization once.
+			for i := range col {
+				col[i] = rng.NormFloat64()
+			}
+			for prev := 0; prev < j; prev++ {
+				p := a.Col(prev)
+				proj := mat.Dot(col, p)
+				mat.AXPY(-proj, p, col)
+			}
+			norm = mat.Norm2(col)
+			if norm < 1e-12 {
+				norm = 1
+			}
+		}
+		mat.Scale(col, 1/norm)
+		a.SetCol(j, col)
+	}
+	_ = n
+	return a
+}
+
+// JacobiEigen computes the eigen-decomposition of a small symmetric matrix A
+// (k×k) using the cyclic Jacobi method. It returns the eigenvalues in
+// descending order and the matching eigenvectors as the columns of V.
+func JacobiEigen(a *mat.Dense, maxSweeps int, tol float64) (eigvals []float64, v *mat.Dense) {
+	k := a.Rows()
+	if a.Cols() != k {
+		panic("linalg: JacobiEigen requires a square matrix")
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 64
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	w := a.Clone()
+	v = mat.NewDense(k, k)
+	for i := 0; i < k; i++ {
+		v.Set(i, i, 1)
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < k; p++ {
+			for q := p + 1; q < k; q++ {
+				off += w.At(p, q) * w.At(p, q)
+			}
+		}
+		if math.Sqrt(off) < tol {
+			break
+		}
+		for p := 0; p < k; p++ {
+			for q := p + 1; q < k; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < tol/float64(k*k) {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply the rotation to W on both sides and accumulate into V.
+				for i := 0; i < k; i++ {
+					wip, wiq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*wip-s*wiq)
+					w.Set(i, q, s*wip+c*wiq)
+				}
+				for i := 0; i < k; i++ {
+					wpi, wqi := w.At(p, i), w.At(q, i)
+					w.Set(p, i, c*wpi-s*wqi)
+					w.Set(q, i, s*wpi+c*wqi)
+				}
+				for i := 0; i < k; i++ {
+					vip, viq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vip-s*viq)
+					v.Set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+	}
+	eigvals = make([]float64, k)
+	for i := 0; i < k; i++ {
+		eigvals[i] = w.At(i, i)
+	}
+	// Sort eigen-pairs by descending eigenvalue.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < k; i++ {
+		maxAt := i
+		for j := i + 1; j < k; j++ {
+			if eigvals[order[j]] > eigvals[order[maxAt]] {
+				maxAt = j
+			}
+		}
+		order[i], order[maxAt] = order[maxAt], order[i]
+	}
+	sortedVals := make([]float64, k)
+	sortedV := mat.NewDense(k, k)
+	for newIdx, oldIdx := range order {
+		sortedVals[newIdx] = eigvals[oldIdx]
+		sortedV.SetCol(newIdx, v.Col(oldIdx))
+	}
+	return sortedVals, sortedV
+}
+
+// SVDResult holds a truncated singular value decomposition A ≈ U·diag(S)·Vᵀ.
+type SVDResult struct {
+	U *mat.Dense // rows × k, orthonormal columns
+	S []float64  // k singular values, descending
+	V *mat.Dense // cols × k, orthonormal columns
+}
+
+// TruncatedSVD computes a rank-k approximation of the sparse matrix A using
+// randomized subspace iteration (Halko, Martinsson & Tropp, 2011): sketch the
+// range with a Gaussian test matrix, refine it with a few power iterations,
+// then solve the small k×k eigenproblem of the projected Gram matrix with the
+// Jacobi solver. powerIters=2 and an oversampling of 8 give singular values
+// accurate to a few percent on the rating matrices used here, which is far
+// below the noise floor of the recommendation metrics.
+func TruncatedSVD(a *Sparse, k, powerIters int, seed int64) (*SVDResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("linalg: rank must be positive, got %d", k)
+	}
+	minDim := a.rows
+	if a.cols < minDim {
+		minDim = a.cols
+	}
+	if k > minDim {
+		return nil, fmt.Errorf("linalg: rank %d exceeds min(rows, cols)=%d", k, minDim)
+	}
+	if powerIters < 0 {
+		powerIters = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	oversample := 8
+	p := k + oversample
+	if p > minDim {
+		p = minDim
+	}
+
+	// Random range sketch: Y = A·Ω, Ω gaussian cols×p.
+	omega := mat.NewDense(a.cols, p)
+	for r := 0; r < a.cols; r++ {
+		row := omega.Row(r)
+		for c := range row {
+			row[c] = rng.NormFloat64()
+		}
+	}
+	y := a.MulDense(omega) // rows × p
+	q := QR(y, rng)
+	for it := 0; it < powerIters; it++ {
+		z := a.TMulDense(q) // cols × p
+		z = QR(z, rng)
+		y = a.MulDense(z) // rows × p
+		q = QR(y, rng)
+	}
+
+	// Project: B = Qᵀ·A  (p × cols), then eigen-decompose B·Bᵀ (p × p).
+	bt := a.TMulDense(q) // cols × p  == Bᵀ
+	// G = B·Bᵀ = Btᵀ·Bt
+	g := mat.NewDense(p, p)
+	for i := 0; i < p; i++ {
+		ci := bt.Col(i)
+		for j := i; j < p; j++ {
+			val := mat.Dot(ci, bt.Col(j))
+			g.Set(i, j, val)
+			g.Set(j, i, val)
+		}
+	}
+	eigvals, w := JacobiEigen(g, 64, 1e-12)
+
+	result := &SVDResult{
+		U: mat.NewDense(a.rows, k),
+		S: make([]float64, k),
+		V: mat.NewDense(a.cols, k),
+	}
+	for j := 0; j < k; j++ {
+		lambda := eigvals[j]
+		if lambda < 0 {
+			lambda = 0
+		}
+		sigma := math.Sqrt(lambda)
+		result.S[j] = sigma
+		// U_j = Q · w_j
+		wj := w.Col(j)
+		uj := make([]float64, a.rows)
+		for r := 0; r < a.rows; r++ {
+			uj[r] = mat.Dot(q.Row(r), wj)
+		}
+		result.U.SetCol(j, uj)
+		// V_j = Bᵀ · w_j / σ = bt · w_j / σ
+		vj := make([]float64, a.cols)
+		if sigma > 1e-12 {
+			for r := 0; r < a.cols; r++ {
+				vj[r] = mat.Dot(bt.Row(r), wj) / sigma
+			}
+		}
+		result.V.SetCol(j, vj)
+	}
+	return result, nil
+}
+
+// Reconstruct returns the dense rank-k approximation U·diag(S)·Vᵀ. Intended
+// for tests and small matrices only.
+func (r *SVDResult) Reconstruct() *mat.Dense {
+	k := len(r.S)
+	us := r.U.Clone()
+	for j := 0; j < k; j++ {
+		col := us.Col(j)
+		mat.Scale(col, r.S[j])
+		us.SetCol(j, col)
+	}
+	return mat.Mul(us, r.V.T())
+}

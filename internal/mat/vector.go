@@ -1,0 +1,126 @@
+package mat
+
+import "math"
+
+// Dot returns the inner product of a and b. Panics if lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	sum := 0.0
+	for i, av := range a {
+		sum += av * b[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Scale multiplies every element of v by s in place and returns v.
+func Scale(v []float64, s float64) []float64 {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// AXPY computes y ← y + alpha·x in place and returns y.
+func AXPY(alpha float64, x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("mat: AXPY length mismatch")
+	}
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+	return y
+}
+
+// Sum returns the sum of elements of v.
+func Sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float64(len(v))
+}
+
+// Variance returns the population variance of v, or 0 for fewer than two
+// elements.
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 {
+	return math.Sqrt(Variance(v))
+}
+
+// MinMax returns the minimum and maximum of v. Panics on an empty slice.
+func MinMax(v []float64) (min, max float64) {
+	if len(v) == 0 {
+		panic("mat: MinMax of empty slice")
+	}
+	min, max = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Normalize01 rescales v in place to the [0,1] interval using min-max
+// normalization (the paper's x_i = (x_i − min x)/(max x − min x)). If all
+// values are equal the vector is set to all zeros, matching the convention
+// that a constant signal carries no ordering information. Returns v.
+func Normalize01(v []float64) []float64 {
+	if len(v) == 0 {
+		return v
+	}
+	min, max := MinMax(v)
+	span := max - min
+	if span == 0 {
+		for i := range v {
+			v[i] = 0
+		}
+		return v
+	}
+	for i := range v {
+		v[i] = (v[i] - min) / span
+	}
+	return v
+}
+
+// Clamp returns x restricted to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,172 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ganc/internal/dataset"
+	"ganc/internal/synth"
+	"ganc/internal/types"
+)
+
+func learnableSplit(t *testing.T) *dataset.Split {
+	t.Helper()
+	cfg := synth.ML100K(0.2)
+	d, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.SplitByUser(0.8, rand.New(rand.NewSource(9)))
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Factors = 0 },
+		func(c *Config) { c.LearningRate = 0 },
+		func(c *Config) { c.Regularization = -0.1 },
+		func(c *Config) { c.Epochs = 0 },
+		func(c *Config) { c.InitStd = 0 },
+		func(c *Config) { c.Loss = LossPairwise; c.PairsPerUser = 0 },
+	}
+	for k, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", k)
+		}
+	}
+}
+
+func TestTrainRejectsEmptyAndUnknownLoss(t *testing.T) {
+	sp := learnableSplit(t)
+	empty := sp.Train.SubsetUsers(nil)
+	if _, err := Train(empty, DefaultConfig()); err == nil {
+		t.Fatal("empty dataset did not error")
+	}
+	cfg := DefaultConfig()
+	cfg.Loss = Loss(99)
+	if _, err := Train(sp.Train, cfg); err == nil {
+		t.Fatal("unknown loss did not error")
+	}
+}
+
+func TestCofiRNamesAndScoreFallback(t *testing.T) {
+	sp := learnableSplit(t)
+	cfg := DefaultConfig()
+	cfg.Factors = 10
+	cfg.Epochs = 2
+	m, err := Train(sp.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "CofiR10" {
+		t.Fatalf("name = %s", m.Name())
+	}
+	if m.Factors() != 10 {
+		t.Fatalf("Factors = %d", m.Factors())
+	}
+	if got := m.Score(types.UserID(1_000_000), 0); got != sp.Train.MeanRating() {
+		t.Fatalf("unknown user should fall back to mean, got %v", got)
+	}
+}
+
+func TestCofiNNameAndFallback(t *testing.T) {
+	sp := learnableSplit(t)
+	cfg := DefaultConfig()
+	cfg.Loss = LossPairwise
+	cfg.Factors = 8
+	cfg.Epochs = 2
+	cfg.PairsPerUser = 10
+	m, err := Train(sp.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "CofiN8" {
+		t.Fatalf("name = %s", m.Name())
+	}
+	if got := m.Score(types.UserID(1_000_000), 0); got != 0 {
+		t.Fatalf("unknown user pairwise score = %v, want 0", got)
+	}
+}
+
+func TestCofiRLearnsBetterThanMean(t *testing.T) {
+	sp := learnableSplit(t)
+	cfg := Config{Factors: 16, Regularization: 0.05, LearningRate: 0.01, Epochs: 20, Loss: LossRegression, InitStd: 0.1, Seed: 5, PairsPerUser: 1}
+	m, err := Train(sp.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := sp.Train.MeanRating()
+	baseSE, modelSE := 0.0, 0.0
+	for _, r := range sp.Test.Ratings() {
+		be := r.Value - mean
+		me := r.Value - m.Score(r.User, r.Item)
+		baseSE += be * be
+		modelSE += me * me
+	}
+	if modelSE >= baseSE {
+		t.Fatalf("CofiR test SE %.2f not better than mean baseline %.2f", modelSE, baseSE)
+	}
+}
+
+func TestCofiNOrdersTrainPairsCorrectly(t *testing.T) {
+	// The pairwise model should, after training, order a user's own train
+	// items mostly consistently with their ratings.
+	sp := learnableSplit(t)
+	cfg := Config{Factors: 16, Regularization: 0.02, LearningRate: 0.05, Epochs: 10, Loss: LossPairwise, PairsPerUser: 30, InitStd: 0.1, Seed: 6}
+	m, err := Train(sp.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for u := 0; u < sp.Train.NumUsers() && total < 2000; u++ {
+		uid := types.UserID(u)
+		idxs := sp.Train.UserRatings(uid)
+		for a := 0; a < len(idxs); a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				ra, rb := sp.Train.Rating(idxs[a]), sp.Train.Rating(idxs[b])
+				if ra.Value == rb.Value {
+					continue
+				}
+				total++
+				sa, sb := m.Score(uid, ra.Item), m.Score(uid, rb.Item)
+				if (ra.Value > rb.Value) == (sa > sb) {
+					correct++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no comparable pairs")
+	}
+	if acc := float64(correct) / float64(total); acc < 0.6 {
+		t.Fatalf("pairwise training accuracy on train pairs = %.3f, want ≥ 0.6", acc)
+	}
+}
+
+func TestTrainDeterministicWithSeed(t *testing.T) {
+	sp := learnableSplit(t)
+	cfg := Config{Factors: 6, Regularization: 0.05, LearningRate: 0.02, Epochs: 3, Loss: LossRegression, InitStd: 0.1, Seed: 77, PairsPerUser: 1}
+	a, err := Train(sp.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(sp.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10; u++ {
+		for i := 0; i < 10; i++ {
+			sa := a.Score(types.UserID(u), types.ItemID(i))
+			sb := b.Score(types.UserID(u), types.ItemID(i))
+			if math.Abs(sa-sb) > 0 {
+				t.Fatal("same seed produced different models")
+			}
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package recommender defines the interfaces every base recommendation model
+// in this library implements, plus the non-personalized baselines the paper
+// uses (most-popular, random, item-average) and the shared top-N selection
+// machinery.
+//
+// Two interfaces matter downstream:
+//
+//   - Scorer produces a relevance score for any (user, item) pair. Latent
+//     factor models (RSVD, PSVD, CofiRank) and the non-personalized models
+//     all implement it. Scores are model-specific; callers that need [0,1]
+//     scores use NormalizedScorer.
+//   - TopN produces a ranked top-N list per user, excluding the user's train
+//     items. A generic implementation over any Scorer is provided.
+package recommender
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"ganc/internal/dataset"
+	"ganc/internal/types"
+)
+
+// Scorer scores a single (user, item) pair. Higher is better. Scores may be
+// on any scale; see NormalizedScores for a [0,1] mapping.
+type Scorer interface {
+	// Score returns the model's relevance score of item i for user u.
+	Score(u types.UserID, i types.ItemID) float64
+	// Name identifies the model in experiment output ("Pop", "RSVD", ...).
+	Name() string
+}
+
+// TopN generates ranked recommendation lists.
+type TopN interface {
+	// Recommend returns the top-N unseen items for user u, ranked best first.
+	// Items in exclude (typically the user's train items) are never returned.
+	Recommend(u types.UserID, n int, exclude map[types.ItemID]struct{}) types.TopNSet
+	Name() string
+}
+
+// scoredHeap is a min-heap over ScoredItem used for top-N selection.
+type scoredHeap []types.ScoredItem
+
+func (h scoredHeap) Len() int { return len(h) }
+func (h scoredHeap) Less(a, b int) bool {
+	if h[a].Score != h[b].Score {
+		return h[a].Score < h[b].Score
+	}
+	return h[a].Item > h[b].Item
+}
+func (h scoredHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *scoredHeap) Push(x interface{}) { *h = append(*h, x.(types.ScoredItem)) }
+func (h *scoredHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SelectTopN returns the n highest-scoring items among candidates according
+// to score, excluding any item in exclude. Ties break toward the smaller item
+// identifier so results are deterministic. The candidates callback is invoked
+// once per item identifier in [0, numItems).
+func SelectTopN(numItems, n int, exclude map[types.ItemID]struct{}, score func(types.ItemID) float64) types.TopNSet {
+	if n <= 0 {
+		return nil
+	}
+	h := make(scoredHeap, 0, n+1)
+	for idx := 0; idx < numItems; idx++ {
+		item := types.ItemID(idx)
+		if _, skip := exclude[item]; skip {
+			continue
+		}
+		s := score(item)
+		if len(h) < n {
+			heap.Push(&h, types.ScoredItem{Item: item, Score: s})
+			continue
+		}
+		// Replace the current minimum when strictly better, or equal score
+		// with smaller identifier (to match SortScoredDesc tie-breaking).
+		min := h[0]
+		if s > min.Score || (s == min.Score && item < min.Item) {
+			h[0] = types.ScoredItem{Item: item, Score: s}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]types.ScoredItem, len(h))
+	copy(out, h)
+	types.SortScoredDesc(out)
+	set := make(types.TopNSet, len(out))
+	for k, si := range out {
+		set[k] = si.Item
+	}
+	return set
+}
+
+// ScorerTopN adapts any Scorer into a TopN by exhaustively scoring the item
+// space (the paper's "all unrated items" ranking protocol).
+type ScorerTopN struct {
+	Scorer   Scorer
+	NumItems int
+}
+
+// Recommend implements TopN.
+func (s *ScorerTopN) Recommend(u types.UserID, n int, exclude map[types.ItemID]struct{}) types.TopNSet {
+	return SelectTopN(s.NumItems, n, exclude, func(i types.ItemID) float64 {
+		return s.Scorer.Score(u, i)
+	})
+}
+
+// Name implements TopN.
+func (s *ScorerTopN) Name() string { return s.Scorer.Name() }
+
+// --- Non-personalized baselines ---------------------------------------------
+
+// Pop recommends items by train-set popularity (the paper's "Most popular"
+// accuracy recommender). Its score for an item is the item's rating count.
+type Pop struct {
+	pop  []int
+	name string
+}
+
+// NewPop builds the popularity model from the train set.
+func NewPop(train *dataset.Dataset) *Pop {
+	return &Pop{pop: train.PopularityVector(), name: "Pop"}
+}
+
+// Score implements Scorer; the score is the raw popularity count.
+func (p *Pop) Score(_ types.UserID, i types.ItemID) float64 {
+	if int(i) >= len(p.pop) {
+		return 0
+	}
+	return float64(p.pop[i])
+}
+
+// Name implements Scorer.
+func (p *Pop) Name() string { return p.name }
+
+// Recommend implements TopN directly (slightly faster than going through
+// ScorerTopN since the scores do not depend on the user).
+func (p *Pop) Recommend(_ types.UserID, n int, exclude map[types.ItemID]struct{}) types.TopNSet {
+	return SelectTopN(len(p.pop), n, exclude, func(i types.ItemID) float64 { return float64(p.pop[i]) })
+}
+
+// Rand recommends unseen items uniformly at random. It has maximal coverage
+// and minimal accuracy, and anchors the coverage end of every trade-off plot
+// in the paper.
+type Rand struct {
+	numItems int
+	rng      *rand.Rand
+	name     string
+}
+
+// NewRand builds the random recommender over a catalog of numItems items.
+func NewRand(numItems int, seed int64) *Rand {
+	return &Rand{numItems: numItems, rng: rand.New(rand.NewSource(seed)), name: "Rand"}
+}
+
+// Score implements Scorer with a uniform random score. Successive calls for
+// the same pair return different values; Rand exists for ranking, not for
+// reproducible pointwise scoring.
+func (r *Rand) Score(_ types.UserID, _ types.ItemID) float64 { return r.rng.Float64() }
+
+// Name implements Scorer.
+func (r *Rand) Name() string { return r.name }
+
+// Recommend implements TopN by sampling n distinct unseen items.
+func (r *Rand) Recommend(_ types.UserID, n int, exclude map[types.ItemID]struct{}) types.TopNSet {
+	if n <= 0 {
+		return nil
+	}
+	// Reservoir-sample n items from the eligible set.
+	out := make(types.TopNSet, 0, n)
+	seen := 0
+	for idx := 0; idx < r.numItems; idx++ {
+		item := types.ItemID(idx)
+		if _, skip := exclude[item]; skip {
+			continue
+		}
+		seen++
+		if len(out) < n {
+			out = append(out, item)
+			continue
+		}
+		j := r.rng.Intn(seen)
+		if j < n {
+			out[j] = item
+		}
+	}
+	// Shuffle so position carries no popularity information.
+	r.rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out
+}
+
+// ItemAvg scores items by their mean train rating, shrunk toward the global
+// mean for rarely rated items (a damped mean with pseudo-count lambda). The
+// RBT re-ranker's "Avg" criterion uses it.
+type ItemAvg struct {
+	avg  []float64
+	name string
+}
+
+// NewItemAvg computes damped item means from the train set. lambda is the
+// shrinkage pseudo-count; 0 gives raw means.
+func NewItemAvg(train *dataset.Dataset, lambda float64) *ItemAvg {
+	global := train.MeanRating()
+	avg := make([]float64, train.NumItems())
+	for i := 0; i < train.NumItems(); i++ {
+		idxs := train.ItemRatings(types.ItemID(i))
+		sum := 0.0
+		for _, idx := range idxs {
+			sum += train.Rating(idx).Value
+		}
+		avg[i] = (sum + lambda*global) / (float64(len(idxs)) + lambdaOrOne(lambda, len(idxs)))
+	}
+	return &ItemAvg{avg: avg, name: "ItemAvg"}
+}
+
+func lambdaOrOne(lambda float64, n int) float64 {
+	if lambda == 0 && n == 0 {
+		return 1 // avoid 0/0 for never-rated items; their mean is 0
+	}
+	return lambda
+}
+
+// Score implements Scorer.
+func (a *ItemAvg) Score(_ types.UserID, i types.ItemID) float64 {
+	if int(i) >= len(a.avg) {
+		return 0
+	}
+	return a.avg[i]
+}
+
+// Name implements Scorer.
+func (a *ItemAvg) Name() string { return a.name }
+
+// Avg returns the damped mean of item i (same value Score returns).
+func (a *ItemAvg) Avg(i types.ItemID) float64 { return a.Score(0, i) }
+
+// --- Score normalization -----------------------------------------------------
+
+// NormalizedScorer wraps a Scorer and rescales each user's scores over the
+// whole catalog to [0,1] by min–max normalization, as the paper does before
+// plugging predicted ratings into the GANC value function. Normalization
+// vectors are computed lazily per user and cached. It is safe for concurrent
+// use provided the wrapped Scorer is (the latent-factor models are read-only
+// after training).
+type NormalizedScorer struct {
+	inner    Scorer
+	numItems int
+	mu       sync.Mutex
+	cacheMin map[types.UserID]float64
+	cacheSpn map[types.UserID]float64
+}
+
+// NewNormalizedScorer wraps inner for a catalog of numItems items.
+func NewNormalizedScorer(inner Scorer, numItems int) *NormalizedScorer {
+	return &NormalizedScorer{
+		inner:    inner,
+		numItems: numItems,
+		cacheMin: make(map[types.UserID]float64),
+		cacheSpn: make(map[types.UserID]float64),
+	}
+}
+
+// Score implements Scorer, returning the inner score min–max normalized over
+// the user's full catalog scores.
+func (n *NormalizedScorer) Score(u types.UserID, i types.ItemID) float64 {
+	min, span := n.userRange(u)
+	if span == 0 {
+		return 0
+	}
+	v := (n.inner.Score(u, i) - min) / span
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func (n *NormalizedScorer) userRange(u types.UserID) (min, span float64) {
+	n.mu.Lock()
+	if m, ok := n.cacheMin[u]; ok {
+		spn := n.cacheSpn[u]
+		n.mu.Unlock()
+		return m, spn
+	}
+	n.mu.Unlock()
+	min, max := 0.0, 0.0
+	for idx := 0; idx < n.numItems; idx++ {
+		s := n.inner.Score(u, types.ItemID(idx))
+		if idx == 0 || s < min {
+			min = s
+		}
+		if idx == 0 || s > max {
+			max = s
+		}
+	}
+	n.mu.Lock()
+	n.cacheMin[u] = min
+	n.cacheSpn[u] = max - min
+	n.mu.Unlock()
+	return min, max - min
+}
+
+// Name implements Scorer.
+func (n *NormalizedScorer) Name() string { return n.inner.Name() }
+
+// --- Batch recommendation helpers --------------------------------------------
+
+// RecommendAll produces the top-N collection for every user in the train set
+// using model, excluding each user's train items (the all-unrated-items
+// protocol).
+func RecommendAll(model TopN, train *dataset.Dataset, n int) types.Recommendations {
+	recs := make(types.Recommendations, train.NumUsers())
+	for u := 0; u < train.NumUsers(); u++ {
+		uid := types.UserID(u)
+		recs[uid] = model.Recommend(uid, n, train.UserItemSet(uid))
+	}
+	return recs
+}
+
+// Describe returns a one-line description of a recommendation collection,
+// useful for logs and CLI output.
+func Describe(recs types.Recommendations, numItems int) string {
+	distinct := len(recs.DistinctItems())
+	return fmt.Sprintf("%d users, %d distinct items recommended (%.1f%% of catalog)",
+		recs.NumUsers(), distinct, 100*float64(distinct)/float64(maxInt(numItems, 1)))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SortItemsByScoreDesc is a convenience wrapper used by re-rankers that need
+// a full ranking rather than just the top N.
+func SortItemsByScoreDesc(items []types.ItemID, score func(types.ItemID) float64) {
+	sort.Slice(items, func(a, b int) bool {
+		sa, sb := score(items[a]), score(items[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return items[a] < items[b]
+	})
+}

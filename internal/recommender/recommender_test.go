@@ -1,0 +1,255 @@
+package recommender
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ganc/internal/dataset"
+	"ganc/internal/types"
+)
+
+// trainFixture builds a small train set where item popularity is strictly
+// item0 > item1 > item2 > item3 > item4 (5, 4, 3, 2, 1 ratings).
+func trainFixture() *dataset.Dataset {
+	b := dataset.NewBuilder("train", 32)
+	pop := []int{5, 4, 3, 2, 1}
+	user := 0
+	for item, count := range pop {
+		for k := 0; k < count; k++ {
+			b.AddIDs(types.UserID(user%6), types.ItemID(item), float64(1+item%5))
+			user++
+		}
+	}
+	return b.Build()
+}
+
+func TestSelectTopNOrdersAndExcludes(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.7, 0.3}
+	exclude := map[types.ItemID]struct{}{1: {}}
+	got := SelectTopN(5, 3, exclude, func(i types.ItemID) float64 { return scores[i] })
+	want := types.TopNSet{3, 2, 4}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("SelectTopN = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectTopNHandlesSmallCandidateSets(t *testing.T) {
+	got := SelectTopN(2, 5, nil, func(i types.ItemID) float64 { return float64(i) })
+	if len(got) != 2 {
+		t.Fatalf("expected all candidates when n > catalog, got %v", got)
+	}
+	if got := SelectTopN(5, 0, nil, func(types.ItemID) float64 { return 1 }); got != nil {
+		t.Fatalf("n=0 should return nil, got %v", got)
+	}
+}
+
+func TestSelectTopNTieBreaksByItemID(t *testing.T) {
+	got := SelectTopN(10, 4, nil, func(types.ItemID) float64 { return 1.0 })
+	want := types.TopNSet{0, 1, 2, 3}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("tie-break order wrong: %v", got)
+		}
+	}
+}
+
+func TestSelectTopNMatchesFullSortProperty(t *testing.T) {
+	// Property: heap-based selection returns exactly the same list as a full
+	// sort of all candidate scores.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numItems := 50
+		scores := make([]float64, numItems)
+		for i := range scores {
+			scores[i] = rng.Float64()
+		}
+		n := 1 + rng.Intn(10)
+		got := SelectTopN(numItems, n, nil, func(i types.ItemID) float64 { return scores[i] })
+
+		all := make([]types.ScoredItem, numItems)
+		for i := range scores {
+			all[i] = types.ScoredItem{Item: types.ItemID(i), Score: scores[i]}
+		}
+		types.SortScoredDesc(all)
+		for k := 0; k < n; k++ {
+			if got[k] != all[k].Item {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopRecommendsMostPopularUnseen(t *testing.T) {
+	train := trainFixture()
+	pop := NewPop(train)
+	got := pop.Recommend(0, 3, nil)
+	want := types.TopNSet{0, 1, 2}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("Pop.Recommend = %v, want %v", got, want)
+		}
+	}
+	// Excluding the head item promotes the next most popular.
+	got = pop.Recommend(0, 3, map[types.ItemID]struct{}{0: {}})
+	if got[0] != 1 {
+		t.Fatalf("Pop with exclusion = %v", got)
+	}
+	if pop.Name() != "Pop" {
+		t.Fatal("name")
+	}
+	if pop.Score(0, 0) != 5 || pop.Score(0, 99) != 0 {
+		t.Fatalf("Pop.Score wrong: %v, %v", pop.Score(0, 0), pop.Score(0, 99))
+	}
+}
+
+func TestRandRecommendDistinctAndExcluded(t *testing.T) {
+	r := NewRand(50, 7)
+	exclude := map[types.ItemID]struct{}{3: {}, 7: {}, 11: {}}
+	got := r.Recommend(0, 10, exclude)
+	if len(got) != 10 {
+		t.Fatalf("Rand returned %d items, want 10", len(got))
+	}
+	seen := map[types.ItemID]bool{}
+	for _, i := range got {
+		if seen[i] {
+			t.Fatalf("duplicate item %d in %v", i, got)
+		}
+		seen[i] = true
+		if _, bad := exclude[i]; bad {
+			t.Fatalf("excluded item %d recommended", i)
+		}
+	}
+}
+
+func TestRandCoversCatalogAcrossUsers(t *testing.T) {
+	r := NewRand(30, 3)
+	hit := map[types.ItemID]bool{}
+	for u := 0; u < 200; u++ {
+		for _, i := range r.Recommend(types.UserID(u), 5, nil) {
+			hit[i] = true
+		}
+	}
+	if len(hit) < 28 {
+		t.Fatalf("random recommender only touched %d/30 items", len(hit))
+	}
+}
+
+func TestItemAvgScoresByMeanRating(t *testing.T) {
+	b := dataset.NewBuilder("avg", 8)
+	b.AddIDs(0, 0, 5)
+	b.AddIDs(1, 0, 5)
+	b.AddIDs(0, 1, 2)
+	b.AddIDs(1, 1, 2)
+	b.AddIDs(2, 2, 4)
+	d := b.Build()
+	avg := NewItemAvg(d, 0)
+	if avg.Avg(0) != 5 || avg.Avg(1) != 2 || avg.Avg(2) != 4 {
+		t.Fatalf("raw means wrong: %v %v %v", avg.Avg(0), avg.Avg(1), avg.Avg(2))
+	}
+	// With shrinkage, a single 4-star rating is pulled toward the global mean.
+	shrunk := NewItemAvg(d, 5)
+	if shrunk.Avg(2) >= 4 || shrunk.Avg(2) <= d.MeanRating()-1 {
+		t.Fatalf("shrinkage not applied sensibly: %v (global mean %v)", shrunk.Avg(2), d.MeanRating())
+	}
+	if avg.Name() != "ItemAvg" {
+		t.Fatal("name")
+	}
+}
+
+func TestItemAvgNeverRatedItemIsZeroWithoutShrinkage(t *testing.T) {
+	b := dataset.NewBuilder("gap", 4)
+	b.AddIDs(0, 0, 5)
+	b.AddIDs(0, 2, 3)
+	d := b.Build() // item 1 exists but unrated
+	avg := NewItemAvg(d, 0)
+	if avg.Avg(1) != 0 {
+		t.Fatalf("unrated item mean = %v, want 0", avg.Avg(1))
+	}
+}
+
+type fixedScorer struct{ scores map[types.ItemID]float64 }
+
+func (f fixedScorer) Score(_ types.UserID, i types.ItemID) float64 { return f.scores[i] }
+func (f fixedScorer) Name() string                                 { return "fixed" }
+
+func TestScorerTopNAdapter(t *testing.T) {
+	s := fixedScorer{scores: map[types.ItemID]float64{0: 0.2, 1: 0.8, 2: 0.5}}
+	top := &ScorerTopN{Scorer: s, NumItems: 3}
+	got := top.Recommend(0, 2, nil)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ScorerTopN = %v", got)
+	}
+	if top.Name() != "fixed" {
+		t.Fatal("name passthrough")
+	}
+}
+
+func TestNormalizedScorerMapsToUnitInterval(t *testing.T) {
+	s := fixedScorer{scores: map[types.ItemID]float64{0: -10, 1: 0, 2: 30}}
+	ns := NewNormalizedScorer(s, 3)
+	if got := ns.Score(0, 0); got != 0 {
+		t.Fatalf("min score normalized to %v, want 0", got)
+	}
+	if got := ns.Score(0, 2); got != 1 {
+		t.Fatalf("max score normalized to %v, want 1", got)
+	}
+	mid := ns.Score(0, 1)
+	if mid <= 0 || mid >= 1 {
+		t.Fatalf("mid score %v not strictly inside (0,1)", mid)
+	}
+	if ns.Name() != "fixed" {
+		t.Fatal("name passthrough")
+	}
+}
+
+func TestNormalizedScorerConstantScores(t *testing.T) {
+	s := fixedScorer{scores: map[types.ItemID]float64{0: 3, 1: 3, 2: 3}}
+	ns := NewNormalizedScorer(s, 3)
+	if got := ns.Score(0, 1); got != 0 {
+		t.Fatalf("constant scores should normalize to 0, got %v", got)
+	}
+}
+
+func TestRecommendAllExcludesTrainItems(t *testing.T) {
+	train := trainFixture()
+	pop := NewPop(train)
+	recs := RecommendAll(pop, train, 2)
+	if len(recs) != train.NumUsers() {
+		t.Fatalf("got recs for %d users, want %d", len(recs), train.NumUsers())
+	}
+	for u := 0; u < train.NumUsers(); u++ {
+		uid := types.UserID(u)
+		seen := train.UserItemSet(uid)
+		for _, i := range recs[uid] {
+			if _, bad := seen[i]; bad {
+				t.Fatalf("user %d recommended already-rated item %d", u, i)
+			}
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	recs := types.Recommendations{0: {0, 1}, 1: {1, 2}}
+	got := Describe(recs, 10)
+	if got == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestSortItemsByScoreDesc(t *testing.T) {
+	items := []types.ItemID{3, 1, 2}
+	SortItemsByScoreDesc(items, func(i types.ItemID) float64 { return float64(i) })
+	if items[0] != 3 || items[2] != 1 {
+		t.Fatalf("sorted = %v", items)
+	}
+}

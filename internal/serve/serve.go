@@ -1,0 +1,172 @@
+// Package serve exposes a trained recommendation pipeline over HTTP using
+// only the standard library. It is the thin "production" layer a downstream
+// adopter needs to put GANC behind a service boundary: recommendations are
+// computed once (or refreshed on demand) and served from memory, with
+// endpoints for per-user top-N lookups, model metadata and health checks.
+//
+// Endpoints:
+//
+//	GET /health              → 200 {"status":"ok"}
+//	GET /info                → dataset and model metadata
+//	GET /recommend?user=<id> → the user's top-N list (external identifiers)
+//	GET /users               → the number of users with recommendations
+//
+// The handler is an http.Handler, so it can be mounted into any mux and
+// tested with net/http/httptest.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"ganc/internal/dataset"
+	"ganc/internal/types"
+)
+
+// Recommender is the minimal surface the server needs: a name and a full
+// recommendation collection. core.GANC (via Recommend) and any baseline
+// produce these.
+type Recommender interface {
+	Name() string
+}
+
+// Server serves precomputed recommendations for one dataset.
+type Server struct {
+	mu      sync.RWMutex
+	train   *dataset.Dataset
+	recs    types.Recommendations
+	model   string
+	n       int
+	version int
+}
+
+// New builds a server from a train set (for identifier translation), the
+// model's display name and its recommendation collection.
+func New(train *dataset.Dataset, modelName string, recs types.Recommendations, n int) (*Server, error) {
+	if train == nil {
+		return nil, fmt.Errorf("serve: train dataset is required")
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("serve: refusing to serve an empty recommendation collection")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: N must be positive, got %d", n)
+	}
+	return &Server{train: train, recs: recs, model: modelName, n: n, version: 1}, nil
+}
+
+// Update atomically replaces the served collection (e.g. after a nightly
+// retrain) and bumps the version reported by /info.
+func (s *Server) Update(modelName string, recs types.Recommendations) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("serve: refusing to swap in an empty recommendation collection")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.model = modelName
+	s.recs = recs
+	s.version++
+	return nil
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/health", s.handleHealth)
+	mux.HandleFunc("/info", s.handleInfo)
+	mux.HandleFunc("/recommend", s.handleRecommend)
+	mux.HandleFunc("/users", s.handleUsers)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// InfoResponse is the payload of GET /info.
+type InfoResponse struct {
+	Model    string `json:"model"`
+	Dataset  string `json:"dataset"`
+	NumUsers int    `json:"num_users"`
+	NumItems int    `json:"num_items"`
+	TopN     int    `json:"top_n"`
+	Version  int    `json:"version"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	s.mu.RLock()
+	resp := InfoResponse{
+		Model:    s.model,
+		Dataset:  s.train.Name(),
+		NumUsers: s.train.NumUsers(),
+		NumItems: s.train.NumItems(),
+		TopN:     s.n,
+		Version:  s.version,
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RecommendResponse is the payload of GET /recommend.
+type RecommendResponse struct {
+	User  string   `json:"user"`
+	Items []string `json:"items"`
+	Model string   `json:"model"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	userKey := r.URL.Query().Get("user")
+	if userKey == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing ?user="})
+		return
+	}
+	idx, ok := s.train.UserInterner().Lookup(userKey)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown user " + userKey})
+		return
+	}
+	s.mu.RLock()
+	set, ok := s.recs[types.UserID(idx)]
+	model := s.model
+	s.mu.RUnlock()
+	if !ok || len(set) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no recommendations for user " + userKey})
+		return
+	}
+	items := make([]string, len(set))
+	for k, i := range set {
+		items[k] = s.train.ItemInterner().Key(int32(i))
+	}
+	writeJSON(w, http.StatusOK, RecommendResponse{User: userKey, Items: items, Model: model})
+}
+
+func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	s.mu.RLock()
+	count := s.recs.NumUsers()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]int{"users_with_recommendations": count})
+}

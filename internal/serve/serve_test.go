@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"ganc/internal/dataset"
+	"ganc/internal/types"
+)
+
+// fixture builds a tiny train set and a recommendation collection for it.
+func fixture() (*dataset.Dataset, types.Recommendations) {
+	b := dataset.NewBuilder("tiny", 8)
+	b.Add("alice", "matrix", 5)
+	b.Add("alice", "inception", 4)
+	b.Add("bob", "matrix", 3)
+	b.Add("bob", "alien", 5)
+	d := b.Build()
+	recs := types.Recommendations{
+		0: {2}, // alice → alien
+		1: {1}, // bob → inception
+	}
+	return d, recs
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	d, recs := fixture()
+	s, err := New(d, "GANC(Pop, θ^G, Dyn)", recs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestNewValidation(t *testing.T) {
+	d, recs := fixture()
+	if _, err := New(nil, "m", recs, 1); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := New(d, "m", nil, 1); err == nil {
+		t.Fatal("empty recommendations accepted")
+	}
+	if _, err := New(d, "m", recs, 0); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var body map[string]string
+	if code := getJSON(t, ts.URL+"/health", &body); code != http.StatusOK {
+		t.Fatalf("health status %d", code)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("health body %v", body)
+	}
+}
+
+func TestInfoEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var info InfoResponse
+	if code := getJSON(t, ts.URL+"/info", &info); code != http.StatusOK {
+		t.Fatalf("info status %d", code)
+	}
+	if info.Dataset != "tiny" || info.NumUsers != 2 || info.NumItems != 3 || info.TopN != 1 || info.Version != 1 {
+		t.Fatalf("info payload %+v", info)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var rec RecommendResponse
+	if code := getJSON(t, ts.URL+"/recommend?user=alice", &rec); code != http.StatusOK {
+		t.Fatalf("recommend status %d", code)
+	}
+	if rec.User != "alice" || len(rec.Items) != 1 || rec.Items[0] != "alien" {
+		t.Fatalf("recommend payload %+v", rec)
+	}
+}
+
+func TestRecommendErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code := getJSON(t, ts.URL+"/recommend", nil); code != http.StatusBadRequest {
+		t.Fatalf("missing user param → %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/recommend?user=nobody", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown user → %d, want 404", code)
+	}
+	resp, err := http.Post(ts.URL+"/recommend?user=alice", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST → %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestUsersEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var body map[string]int
+	if code := getJSON(t, ts.URL+"/users", &body); code != http.StatusOK {
+		t.Fatalf("users status %d", code)
+	}
+	if body["users_with_recommendations"] != 2 {
+		t.Fatalf("users payload %v", body)
+	}
+}
+
+func TestUpdateSwapsCollectionAndBumpsVersion(t *testing.T) {
+	s, ts := newTestServer(t)
+	if err := s.Update("retrained", types.Recommendations{0: {1}}); err != nil {
+		t.Fatal(err)
+	}
+	var info InfoResponse
+	getJSON(t, ts.URL+"/info", &info)
+	if info.Model != "retrained" || info.Version != 2 {
+		t.Fatalf("update not reflected: %+v", info)
+	}
+	var rec RecommendResponse
+	if code := getJSON(t, ts.URL+"/recommend?user=alice", &rec); code != http.StatusOK {
+		t.Fatalf("recommend after update status %d", code)
+	}
+	if rec.Items[0] != "inception" {
+		t.Fatalf("updated recommendation not served: %+v", rec)
+	}
+	// Bob no longer has a list in the new collection.
+	if code := getJSON(t, ts.URL+"/recommend?user=bob", nil); code != http.StatusNotFound {
+		t.Fatalf("bob should now be 404, got %d", code)
+	}
+	if err := s.Update("x", nil); err == nil {
+		t.Fatal("empty update accepted")
+	}
+}
+
+func TestConcurrentReadsAndUpdates(t *testing.T) {
+	s, ts := newTestServer(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				resp, err := http.Get(ts.URL + "/recommend?user=alice")
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = s.Update("v", types.Recommendations{0: {2}})
+		}
+	}()
+	wg.Wait()
+}

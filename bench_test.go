@@ -198,34 +198,46 @@ func BenchmarkTableV_RSVDConfig(b *testing.B) {
 
 // --- Ablation benches ------------------------------------------------------------
 
-// ablationFixture builds the split, preferences and accuracy recommender the
-// ablations share.
-func ablationFixture(b *testing.B) (*Split, *Preferences, AccuracyRecommender) {
+// ablationFixture builds the split and preferences the ablations share.
+func ablationFixture(b *testing.B) (*Split, *Preferences) {
 	b.Helper()
 	data, err := GenerateML100K(float64(benchScale()))
 	if err != nil {
 		b.Fatal(err)
 	}
 	split := SplitByUser(data, 0.8, rand.New(rand.NewSource(2)))
-	prefs, err := EstimatePreferences(PreferenceGeneralized, split.Train, 0, 2)
+	prefs, err := longtail.Estimate(longtail.ModelGeneralized, split.Train, nil, 0, 2)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return split, prefs, AccuracyFromPop(split.Train, 5)
+	return split, prefs
+}
+
+// ablationPipeline assembles GANC(Pop, prefs, Dyn) through the public
+// Pipeline API with the given OSLG sample size.
+func ablationPipeline(b *testing.B, split *Split, prefs *Preferences, sample int, seed int64) *Pipeline {
+	b.Helper()
+	p, err := NewPipeline(split.Train,
+		WithBaseNamed("Pop"),
+		WithPreferenceVector(prefs),
+		WithCoverage(CoverageDyn()),
+		WithTopN(5),
+		WithSampleSize(sample),
+		WithSeed(seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
 }
 
 // BenchmarkAblation_SamplingVsFull compares OSLG with sampling against the
 // fully sequential locally greedy optimizer (objective value and wall time).
 func BenchmarkAblation_SamplingVsFull(b *testing.B) {
-	split, prefs, arec := ablationFixture(b)
+	split, prefs := ablationFixture(b)
 	run := func(sample int) (float64, Recommendations) {
-		g, err := NewGANC(split.Train, arec, prefs, CoverageDyn(split.Train.NumItems()),
-			GANCConfig{N: 5, SampleSize: sample, Seed: 2})
-		if err != nil {
-			b.Fatal(err)
-		}
-		recs := g.Recommend()
-		return g.ValueOf(recs), recs
+		p := ablationPipeline(b, split, prefs, sample, 2)
+		recs := p.GANC().Recommend()
+		return p.GANC().ValueOf(recs), recs
 	}
 	b.Run("full-sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -244,14 +256,10 @@ func BenchmarkAblation_SamplingVsFull(b *testing.B) {
 // BenchmarkAblation_UserOrder compares processing users in increasing θ
 // (OSLG's ordering) against arbitrary order, measuring catalog coverage.
 func BenchmarkAblation_UserOrder(b *testing.B) {
-	split, prefs, arec := ablationFixture(b)
-	coverageWith := func(p *Preferences) float64 {
-		g, err := NewGANC(split.Train, arec, p, CoverageDyn(split.Train.NumItems()),
-			GANCConfig{N: 5, SampleSize: 0, Seed: 2})
-		if err != nil {
-			b.Fatal(err)
-		}
-		recs := g.Recommend()
+	split, prefs := ablationFixture(b)
+	coverageWith := func(pv *Preferences) float64 {
+		p := ablationPipeline(b, split, pv, 0, 2)
+		recs := p.GANC().Recommend()
 		return float64(len(recs.DistinctItems())) / float64(split.Train.NumItems())
 	}
 	b.Run("increasing-theta", func(b *testing.B) {
@@ -278,23 +286,29 @@ func prefValues(p *Preferences) []float64 { return p.Values }
 // BenchmarkAblation_CoverageRecommender compares the Dyn, Stat and Rand
 // coverage recommenders inside GANC on the same dataset.
 func BenchmarkAblation_CoverageRecommender(b *testing.B) {
-	split, prefs, arec := ablationFixture(b)
+	split, prefs := ablationFixture(b)
 	ev := NewEvaluator(split, 0)
 	for _, tc := range []struct {
 		name string
-		crec func() CoverageRecommender
+		spec CoverageSpec
 	}{
-		{"Dyn", func() CoverageRecommender { return CoverageDyn(split.Train.NumItems()) }},
-		{"Stat", func() CoverageRecommender { return CoverageStat(split.Train) }},
-		{"Rand", func() CoverageRecommender { return CoverageRand(3) }},
+		{"Dyn", CoverageDyn()},
+		{"Stat", CoverageStat()},
+		{"Rand", CoverageRand()},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				g, err := NewGANC(split.Train, arec, prefs, tc.crec(), GANCConfig{N: 5, SampleSize: 40, Seed: 3})
+				p, err := NewPipeline(split.Train,
+					WithBaseNamed("Pop"),
+					WithPreferenceVector(prefs),
+					WithCoverage(tc.spec),
+					WithTopN(5),
+					WithSampleSize(40),
+					WithSeed(3))
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep := ev.Evaluate(g.Name(), g.Recommend(), 5)
+				rep := ev.Evaluate(p.Name(), p.GANC().Recommend(), 5)
 				b.ReportMetric(rep.Coverage, "coverage")
 				b.ReportMetric(rep.FMeasure, "fmeasure")
 			}
@@ -305,20 +319,26 @@ func BenchmarkAblation_CoverageRecommender(b *testing.B) {
 // BenchmarkAblation_PreferenceModel compares θ^G against the simpler θ models
 // inside GANC(Pop, θ, Dyn).
 func BenchmarkAblation_PreferenceModel(b *testing.B) {
-	split, _, arec := ablationFixture(b)
+	split, _ := ablationFixture(b)
 	ev := NewEvaluator(split, 0)
 	for _, model := range []PreferenceModel{PreferenceConstant, PreferenceNormalizedLongTail, PreferenceTFIDF, PreferenceGeneralized} {
 		b.Run(string(model), func(b *testing.B) {
-			prefs, err := EstimatePreferences(model, split.Train, 0.5, 4)
+			prefs, err := longtail.Estimate(model, split.Train, nil, 0.5, 4)
 			if err != nil {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				g, err := NewGANC(split.Train, arec, prefs, CoverageDyn(split.Train.NumItems()), GANCConfig{N: 5, SampleSize: 40, Seed: 4})
+				p, err := NewPipeline(split.Train,
+					WithBaseNamed("Pop"),
+					WithPreferenceVector(prefs),
+					WithCoverage(CoverageDyn()),
+					WithTopN(5),
+					WithSampleSize(40),
+					WithSeed(4))
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep := ev.Evaluate(g.Name(), g.Recommend(), 5)
+				rep := ev.Evaluate(p.Name(), p.GANC().Recommend(), 5)
 				b.ReportMetric(rep.FMeasure, "fmeasure")
 				b.ReportMetric(rep.Coverage, "coverage")
 			}
@@ -374,14 +394,11 @@ func (o *dynOracle) Candidates(types.UserID) []types.ItemID { return o.cands }
 
 // BenchmarkCore_OSLGRecommend measures a single GANC(Pop, θ^G, Dyn) pass.
 func BenchmarkCore_OSLGRecommend(b *testing.B) {
-	split, prefs, arec := ablationFixture(b)
+	split, prefs := ablationFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g, err := NewGANC(split.Train, arec, prefs, CoverageDyn(split.Train.NumItems()), GANCConfig{N: 5, SampleSize: 40, Seed: 5})
-		if err != nil {
-			b.Fatal(err)
-		}
-		_ = g.Recommend()
+		p := ablationPipeline(b, split, prefs, 40, 5)
+		_ = p.GANC().Recommend()
 	}
 }
 
@@ -394,7 +411,7 @@ func BenchmarkCore_GeneralizedPreferenceLearning(b *testing.B) {
 	split := SplitByUser(data, 0.8, rand.New(rand.NewSource(6)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EstimatePreferences(PreferenceGeneralized, split.Train, 0, 6); err != nil {
+		if _, err := longtail.Estimate(longtail.ModelGeneralized, split.Train, nil, 0, 6); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,19 +2,29 @@
 // synthetic calibrated datasets and prints them as text tables. Individual
 // experiments can be selected with -only; by default every experiment runs.
 //
+// Beyond the fixed paper experiments, -compare runs an ad-hoc Table IV-style
+// comparison of any base/reranker combinations constructed by name from the
+// model registry: each entry is either "Base" (the raw model) or
+// "Reranker@Base".
+//
 // Examples:
 //
 //	experiments -scale 0.25                 # run everything at quarter scale
 //	experiments -only table4,figure6       # only the Table IV and Figure 6 runs
 //	experiments -only figure3 -scale 0.5   # the ML-1M sample-size sweep
+//	experiments -compare RSVD,RBT-Pop@RSVD,PRA-10@RSVD,GANC@RSVD -preset ML-100K
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"sort"
 	"strings"
 
+	"ganc"
 	"ganc/internal/experiment"
 	"ganc/internal/synth"
 )
@@ -25,7 +35,17 @@ func main() {
 	n := flag.Int("n", 5, "top-N cutoff")
 	sample := flag.Int("sample", 0, "OSLG sample size (0 = scaled default)")
 	only := flag.String("only", "", "comma-separated experiment ids: table2,figure1,figure2,figure3,figure4,figure5,table4,figure6,figure7,figure8,table5")
+	compare := flag.String("compare", "", "comma-separated registry combos to evaluate instead of the paper experiments: Base or Reranker@Base (bases: "+strings.Join(ganc.BaseNames(), ", ")+"; rerankers: "+strings.Join(ganc.RerankerNames(), ", ")+")")
+	preset := flag.String("preset", "ML-100K", "dataset preset for -compare")
 	flag.Parse()
+
+	if *compare != "" {
+		if err := runCompare(*compare, *preset, *scale, *n, *sample, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	s := experiment.NewSuite(synth.Scale(*scale), *seed, *n, *sample)
 	selected := map[string]bool{}
@@ -110,3 +130,79 @@ func main() {
 		return text, err
 	})
 }
+
+// runCompare evaluates every named base/reranker combination on one dataset
+// and prints a Table IV-style summary sorted by the average-rank score.
+func runCompare(spec, preset string, scale float64, n, sample int, seed int64) error {
+	data, err := ganc.GeneratePreset(preset, scale)
+	if err != nil {
+		return err
+	}
+	split := data.SplitByUser(0.8, rand.New(rand.NewSource(seed)))
+	fmt.Printf("dataset %s: %d users, %d items, %d train / %d test ratings\n",
+		data.Name(), data.NumUsers(), data.NumItems(), split.Train.NumRatings(), split.Test.NumRatings())
+
+	ctx := context.Background()
+	ev := ganc.NewEvaluator(split, 0)
+	bases := map[string]ganc.Scorer{} // train each named base once
+	var reports []ganc.Report
+	for _, combo := range strings.Split(spec, ",") {
+		combo = strings.TrimSpace(combo)
+		if combo == "" {
+			continue
+		}
+		rerankName, baseName := "", combo
+		if at := strings.IndexByte(combo, '@'); at >= 0 {
+			rerankName, baseName = combo[:at], combo[at+1:]
+		}
+		base, ok := bases[baseName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "training base %s ...\n", baseName)
+			if base, err = ganc.NewBaseScorer(baseName, split.Train, seed); err != nil {
+				return err
+			}
+			bases[baseName] = base
+		}
+		engine := ganc.NewBaseEngine(base, split.Train, n)
+		switch rerankName {
+		case "":
+		case "GANC":
+			// Assemble GANC directly so -sample reaches the OSLG optimizer;
+			// the registry entry always runs fully sequential.
+			var p *ganc.Pipeline
+			if p, err = ganc.NewPipeline(split.Train,
+				ganc.WithBase(base),
+				ganc.WithTopN(n),
+				ganc.WithSampleSize(sample),
+				ganc.WithSeed(seed)); err != nil {
+				return err
+			}
+			engine = p
+		default:
+			if engine, err = ganc.NewReranker(rerankName, split.Train, base, n, seed); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "running %s ...\n", engine.Name())
+		recs, err := engine.RecommendAll(ctx)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, ev.Evaluate(engine.Name(), recs, n))
+	}
+	if len(reports) == 0 {
+		return fmt.Errorf("-compare selected no combos")
+	}
+
+	ranks := ganc.RankReports(reports)
+	sort.Slice(reports, func(a, b int) bool {
+		return ranks[reports[a].Algorithm] < ranks[reports[b].Algorithm]
+	})
+	fmt.Printf("\n%-34s %8s %8s %8s %8s %8s %6s\n", "algorithm", "F", "S", "L", "C", "G", "score")
+	for _, rep := range reports {
+		fmt.Printf("%-34s %8.4f %8.4f %8.4f %8.4f %8.4f %6.1f\n",
+			rep.Algorithm, rep.FMeasure, rep.StratRecall, rep.LTAccuracy, rep.Coverage, rep.Gini, ranks[rep.Algorithm])
+	}
+	return nil
+}
+

@@ -1,36 +1,36 @@
 // Command ganc trains a base recommender on a ratings file (or a synthetic
-// preset), runs the GANC re-ranking framework on top of it and either prints
-// top-N recommendations or evaluates the result against a held-out test
-// split.
+// preset), assembles the GANC re-ranking pipeline on top of it and either
+// prints top-N recommendations, evaluates the result against a held-out test
+// split, or serves recommendations over HTTP with online per-user
+// computation.
+//
+// The accuracy recommender and the optional reranker are resolved by name
+// from the model registry, so any base/reranker combination can be selected
+// from flags.
 //
 // Examples:
 //
 //	# Evaluate GANC(RSVD, θ^G, Dyn) on a synthetic ML-100K stand-in.
 //	ganc -preset ML-100K -arec RSVD -theta G -crec Dyn -evaluate
 //
-//	# Recommend 10 items per user from a ratings CSV using Pop as the
-//	# accuracy recommender and print the first 5 users.
-//	ganc -ratings ratings.csv -arec Pop -theta T -n 10 -show 5
+//	# Serve GANC(Pop, θ^G, Dyn) with lazy per-user computation.
+//	ganc -preset ML-1M -arec Pop -serve :8080
+//
+//	# Evaluate a registry baseline instead of GANC (any -rerank name works).
+//	ganc -preset ML-100K -arec RSVD -rerank RBT-Pop -evaluate
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 
-	"ganc/internal/core"
-	"ganc/internal/dataset"
-	"ganc/internal/eval"
-	"ganc/internal/knn"
-	"ganc/internal/longtail"
-	"ganc/internal/mf"
-	"ganc/internal/recommender"
-	"ganc/internal/serve"
-	"ganc/internal/synth"
-	"ganc/internal/types"
+	"ganc"
 )
 
 func main() {
@@ -38,9 +38,10 @@ func main() {
 	preset := flag.String("preset", "ML-100K", "synthetic preset to use when -ratings is not given")
 	scale := flag.Float64("scale", 0.25, "synthetic preset scale")
 	kappa := flag.Float64("kappa", 0.8, "per-user train ratio")
-	arecName := flag.String("arec", "RSVD", "accuracy recommender: Pop, RSVD, PSVD10, PSVD100, ItemKNN")
-	thetaName := flag.String("theta", "G", "long-tail preference model: A, N, T, G, R, C")
-	crecName := flag.String("crec", "Dyn", "coverage recommender: Dyn, Stat, Rand")
+	arecName := flag.String("arec", "RSVD", "accuracy recommender: "+strings.Join(ganc.BaseNames(), ", "))
+	rerankName := flag.String("rerank", "GANC", "reranker applied on top of -arec: "+strings.Join(ganc.RerankerNames(), ", ")+", or \"none\" for the raw base model")
+	thetaName := flag.String("theta", "G", "long-tail preference model: A, N, T, G, R, C (GANC only)")
+	crecName := flag.String("crec", "Dyn", "coverage recommender: Dyn, Stat, Rand (GANC only)")
 	n := flag.Int("n", 5, "top-N size")
 	sample := flag.Int("sample", 0, "OSLG sample size (0 = fully sequential)")
 	workers := flag.Int("workers", 1, "worker goroutines for the parallel phases of GANC")
@@ -48,9 +49,11 @@ func main() {
 	evaluate := flag.Bool("evaluate", false, "evaluate against the held-out split instead of printing recommendations")
 	show := flag.Int("show", 3, "number of users whose recommendations are printed")
 	serveAddr := flag.String("serve", "", "serve recommendations over HTTP on this address (e.g. :8080) instead of printing them")
+	cacheCap := flag.Int("cache", 0, "serve-mode LRU cache capacity (0 = default)")
+	warm := flag.Bool("warm", false, "serve-mode: precompute the full batch collection as a warm cache")
 	flag.Parse()
 
-	data, err := loadData(*ratingsPath, *preset, synth.Scale(*scale))
+	data, err := loadData(*ratingsPath, *preset, *scale)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,40 +61,46 @@ func main() {
 	fmt.Fprintf(os.Stderr, "dataset %s: %d users, %d items, %d train / %d test ratings\n",
 		data.Name(), data.NumUsers(), data.NumItems(), split.Train.NumRatings(), split.Test.NumRatings())
 
-	arec, err := buildAccuracy(split.Train, *arecName, *n, *seed)
+	engine, err := buildEngine(split.Train, *arecName, *rerankName, *thetaName, *crecName, *n, *sample, *workers, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	crec, err := buildCoverage(split.Train, *crecName, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	prefs, err := longtail.Estimate(thetaModel(*thetaName), split.Train, nil, 0.5, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	g, err := core.New(split.Train, arec, prefs, crec, core.Config{N: *n, SampleSize: *sample, Seed: *seed, Workers: *workers})
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "running %s ...\n", g.Name())
-	recs := g.Recommend()
+	ctx := context.Background()
 
 	if *serveAddr != "" {
-		srv, err := serve.New(split.Train, g.Name(), recs, *n)
+		opts := []ganc.ServerOption{}
+		if *cacheCap > 0 {
+			opts = append(opts, ganc.WithServerCacheCapacity(*cacheCap))
+		}
+		if *warm {
+			fmt.Fprintf(os.Stderr, "precomputing warm cache for %s ...\n", engine.Name())
+			recs, err := engine.RecommendAll(ctx)
+			if err != nil {
+				fatal(err)
+			}
+			opts = append(opts, ganc.WithServerPrecomputed(recs))
+		}
+		srv, err := ganc.NewServer(split.Train, engine, *n, opts...)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "serving %s on %s (GET /recommend?user=<id>, /info, /health)\n", g.Name(), *serveAddr)
+		fmt.Fprintf(os.Stderr, "serving %s on %s (GET /recommend?user=<id>, POST /recommend/batch, /info, /health)\n",
+			engine.Name(), *serveAddr)
 		if err := http.ListenAndServe(*serveAddr, srv.Handler()); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
+	fmt.Fprintf(os.Stderr, "running %s ...\n", engine.Name())
+	recs, err := engine.RecommendAll(ctx)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *evaluate {
-		ev := eval.NewEvaluator(split, 0)
-		rep := ev.Evaluate(g.Name(), recs, *n)
+		ev := ganc.NewEvaluator(split, 0)
+		rep := ev.Evaluate(engine.Name(), recs, *n)
 		fmt.Printf("%-40s\n", rep.Algorithm)
 		fmt.Printf("  Precision@%d   : %.4f\n", *n, rep.Precision)
 		fmt.Printf("  Recall@%d      : %.4f\n", *n, rep.Recall)
@@ -103,7 +112,7 @@ func main() {
 		return
 	}
 
-	users := make([]types.UserID, 0, len(recs))
+	users := make([]ganc.UserID, 0, len(recs))
 	for u := range recs {
 		users = append(users, u)
 	}
@@ -121,92 +130,69 @@ func main() {
 	}
 }
 
-func loadData(path, preset string, scale synth.Scale) (*dataset.Dataset, error) {
-	if path != "" {
-		return dataset.LoadRatings(path, dataset.LoadOptions{Name: path})
+// buildEngine assembles the requested engine: a full GANC pipeline (the
+// default), a registry reranker over the named base, or the raw base model.
+func buildEngine(train *ganc.Dataset, arecName, rerankName, thetaName, crecName string, n, sample, workers int, seed int64) (ganc.Engine, error) {
+	if rerankName == "GANC" {
+		spec, err := coverageSpec(crecName)
+		if err != nil {
+			return nil, err
+		}
+		return ganc.NewPipeline(train,
+			ganc.WithBaseNamed(arecName),
+			ganc.WithPreferences(thetaModel(thetaName)),
+			ganc.WithCoverage(spec),
+			ganc.WithTopN(n),
+			ganc.WithSampleSize(sample),
+			ganc.WithWorkers(workers),
+			ganc.WithSeed(seed))
 	}
-	var cfg synth.Config
-	switch preset {
-	case "ML-100K":
-		cfg = synth.ML100K(scale)
-	case "ML-1M":
-		cfg = synth.ML1M(scale)
-	case "ML-10M":
-		cfg = synth.ML10M(scale)
-	case "MT-200K":
-		cfg = synth.MT200K(scale)
-	case "Netflix":
-		cfg = synth.NetflixSample(scale)
-	default:
-		return nil, fmt.Errorf("unknown preset %q", preset)
+	base, err := ganc.NewBaseScorer(arecName, train, seed)
+	if err != nil {
+		return nil, err
 	}
-	return synth.Generate(cfg)
+	if rerankName == "none" {
+		return ganc.NewBaseEngine(base, train, n), nil
+	}
+	return ganc.NewReranker(rerankName, train, base, n, seed)
 }
 
-func buildAccuracy(train *dataset.Dataset, name string, n int, seed int64) (core.AccuracyRecommender, error) {
-	switch name {
-	case "Pop":
-		return core.NewPopAccuracy(train, n), nil
-	case "RSVD":
-		cfg := mf.DefaultRSVDConfig()
-		cfg.Factors = 40
-		cfg.Epochs = 15
-		cfg.Seed = seed
-		m, err := mf.TrainRSVD(train, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(m, train.NumItems())}, nil
-	case "PSVD10", "PSVD100":
-		factors := 10
-		if name == "PSVD100" {
-			factors = 100
-		}
-		m, err := mf.TrainPSVD(train, mf.PSVDConfig{Factors: factors, PowerIterations: 2, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		return &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(m, train.NumItems())}, nil
-	case "ItemKNN":
-		m, err := knn.Train(train, knn.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		return &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(m, train.NumItems())}, nil
-	default:
-		return nil, fmt.Errorf("unknown accuracy recommender %q", name)
-	}
-}
-
-func buildCoverage(train *dataset.Dataset, name string, seed int64) (core.CoverageRecommender, error) {
+func coverageSpec(name string) (ganc.CoverageSpec, error) {
 	switch name {
 	case "Dyn":
-		return core.NewDynCoverage(train.NumItems()), nil
+		return ganc.CoverageDyn(), nil
 	case "Stat":
-		return core.NewStatCoverage(train), nil
+		return ganc.CoverageStat(), nil
 	case "Rand":
-		return core.NewRandCoverage(seed), nil
+		return ganc.CoverageRand(), nil
 	default:
-		return nil, fmt.Errorf("unknown coverage recommender %q", name)
+		return ganc.CoverageSpec{}, fmt.Errorf("unknown coverage recommender %q", name)
 	}
 }
 
-func thetaModel(short string) longtail.Model {
+func loadData(path, preset string, scale float64) (*ganc.Dataset, error) {
+	if path != "" {
+		return ganc.LoadRatings(path, ganc.LoadOptions{Name: path})
+	}
+	return ganc.GeneratePreset(preset, scale)
+}
+
+func thetaModel(short string) ganc.PreferenceModel {
 	switch short {
 	case "A":
-		return longtail.ModelActivity
+		return ganc.PreferenceActivity
 	case "N":
-		return longtail.ModelNormalizedLongTail
+		return ganc.PreferenceNormalizedLongTail
 	case "T":
-		return longtail.ModelTFIDF
+		return ganc.PreferenceTFIDF
 	case "G":
-		return longtail.ModelGeneralized
+		return ganc.PreferenceGeneralized
 	case "R":
-		return longtail.ModelRandom
+		return ganc.PreferenceRandom
 	case "C":
-		return longtail.ModelConstant
+		return ganc.PreferenceConstant
 	default:
-		return longtail.Model(short)
+		return ganc.PreferenceModel(short)
 	}
 }
 

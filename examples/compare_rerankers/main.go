@@ -1,10 +1,11 @@
 // Comparing re-ranking frameworks head-to-head.
 //
 // This example pits GANC against the three re-ranking baselines the paper
-// evaluates — RBT (both criteria), the 5D resource-allocation method (all
-// four variants) and PRA (both exchangeable-set sizes) — all post-processing
-// the same RSVD model on the same synthetic ML-100K stand-in, and prints a
-// Table IV-style summary with the average-rank score column.
+// evaluates — RBT (both criteria), the 5D resource-allocation method and PRA
+// (both exchangeable-set sizes) — all post-processing the same RSVD model on
+// the same synthetic ML-100K stand-in, and prints a Table IV-style summary
+// with the average-rank score column. Every re-ranker is constructed by name
+// from the model registry, exactly as cmd/experiments -compare does.
 //
 // Run with:
 //
@@ -12,99 +13,72 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"sort"
 
-	"ganc/internal/core"
-	"ganc/internal/eval"
-	"ganc/internal/longtail"
-	"ganc/internal/mf"
-	"ganc/internal/recommender"
-	"ganc/internal/rerank"
-	"ganc/internal/synth"
-	"ganc/internal/types"
+	"ganc"
 )
 
 func main() {
 	const n = 5
+	ctx := context.Background()
 
-	cfg := synth.ML100K(0.35)
-	data, err := synth.Generate(cfg)
+	data, err := ganc.GenerateML100K(0.35)
 	if err != nil {
 		log.Fatal(err)
 	}
-	split := data.SplitByUser(synth.Kappa(cfg.Name), rand.New(rand.NewSource(17)))
+	split := ganc.SplitByUser(data, 0.8, rand.New(rand.NewSource(17)))
 	fmt.Printf("dataset: %d users, %d items, %d train ratings\n",
 		data.NumUsers(), data.NumItems(), split.Train.NumRatings())
 
-	rsvdCfg := mf.DefaultRSVDConfig()
+	rsvdCfg := ganc.DefaultRSVDConfig()
 	rsvdCfg.Factors = 40
 	rsvdCfg.Epochs = 15
-	rsvd, err := mf.TrainRSVD(split.Train, rsvdCfg)
+	rsvd, err := ganc.TrainRSVD(split.Train, rsvdCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	ev := eval.NewEvaluator(split, 0)
-	var reports []eval.Report
-	add := func(name string, recs types.Recommendations) {
-		reports = append(reports, ev.Evaluate(name, recs, n))
-	}
-
-	// The base model.
-	add("RSVD", recommender.RecommendAll(
-		&recommender.ScorerTopN{Scorer: rsvd, NumItems: split.Train.NumItems()}, split.Train, n))
-
-	// RBT variants.
-	for _, crit := range []rerank.RBTCriterion{rerank.RBTPop, rerank.RBTAvg} {
-		r, err := rerank.NewRBT(split.Train, rsvd, rerank.DefaultRBTConfig(n, crit))
+	ev := ganc.NewEvaluator(split, 0)
+	var reports []ganc.Report
+	evaluate := func(e ganc.Engine) {
+		recs, err := e.RecommendAll(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		add(r.Name(), r.RecommendAll())
+		reports = append(reports, ev.Evaluate(e.Name(), recs, n))
 	}
 
-	// 5D resource-allocation variants.
-	fiveDConfigs := []rerank.FiveDConfig{
-		rerank.DefaultFiveDConfig(n),
-		{N: n, Q: 1, AccuracyFilter: true, RankByRankings: true},
-	}
-	for _, fc := range fiveDConfigs {
-		f, err := rerank.NewFiveD(split.Train, rsvd, fc)
+	// The base model itself, then every registry re-ranker over it.
+	evaluate(ganc.NewBaseEngine(rsvd, split.Train, n))
+	for _, name := range []string{"RBT-Pop", "RBT-Avg", "5D", "5D-AF", "PRA-10", "PRA-20"} {
+		e, err := ganc.NewReranker(name, split.Train, rsvd, n, 17)
 		if err != nil {
 			log.Fatal(err)
 		}
-		add(f.Name(), f.RecommendAll())
-	}
-
-	// PRA variants.
-	for _, x := range []int{10, 20} {
-		p, err := rerank.NewPRA(split.Train, rsvd, rerank.DefaultPRAConfig(n, x))
-		if err != nil {
-			log.Fatal(err)
-		}
-		add(p.Name(), p.RecommendAll())
+		evaluate(e)
 	}
 
 	// GANC with the TFIDF and learned generalized preferences.
-	arec := &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(rsvd, split.Train.NumItems())}
-	for _, theta := range []longtail.Model{longtail.ModelTFIDF, longtail.ModelGeneralized} {
-		prefs, err := longtail.Estimate(theta, split.Train, nil, 0, 17)
+	for _, theta := range []ganc.PreferenceModel{ganc.PreferenceTFIDF, ganc.PreferenceGeneralized} {
+		p, err := ganc.NewPipeline(split.Train,
+			ganc.WithBase(rsvd),
+			ganc.WithPreferences(theta),
+			ganc.WithCoverage(ganc.CoverageDyn()),
+			ganc.WithTopN(n),
+			ganc.WithSampleSize(120),
+			ganc.WithSeed(17))
 		if err != nil {
 			log.Fatal(err)
 		}
-		g, err := core.New(split.Train, arec, prefs, core.NewDynCoverage(split.Train.NumItems()),
-			core.Config{N: n, SampleSize: 120, Seed: 17})
-		if err != nil {
-			log.Fatal(err)
-		}
-		add(g.Name(), g.Recommend())
+		evaluate(p)
 	}
 
 	// Print sorted by the average-rank score (best first), as in Table IV.
-	ranks := eval.RankReports(reports)
+	ranks := ganc.RankReports(reports)
 	sort.Slice(reports, func(a, b int) bool {
 		return ranks[reports[a].Algorithm] < ranks[reports[b].Algorithm]
 	})

@@ -5,7 +5,8 @@
 // dramatically increases coverage and lowers the Gini concentration while
 // keeping the F-measure close to the base model. This example reproduces
 // that comparison on a synthetic ML-1M stand-in, also running the RBT and
-// PRA baselines for context.
+// PRA baselines for context — every model assembled by name from the model
+// registry or through the Pipeline API.
 //
 // Run with:
 //
@@ -13,79 +14,75 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"ganc/internal/core"
-	"ganc/internal/eval"
-	"ganc/internal/longtail"
-	"ganc/internal/mf"
-	"ganc/internal/recommender"
-	"ganc/internal/rerank"
-	"ganc/internal/synth"
+	"ganc"
 )
 
 func main() {
 	const n = 5
+	ctx := context.Background()
 
 	// Dense dataset: the ML-1M stand-in at 30% scale (density ≈ 4.5%).
-	cfg := synth.ML1M(0.3)
-	data, err := synth.Generate(cfg)
+	data, err := ganc.GenerateML1M(0.3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	split := data.SplitByUser(synth.Kappa(cfg.Name), rand.New(rand.NewSource(11)))
+	split := ganc.SplitByUser(data, 0.8, rand.New(rand.NewSource(11)))
 	fmt.Printf("dense dataset: %d users, %d items, density %.2f%%\n",
 		data.NumUsers(), data.NumItems(), data.Density()*100)
 
-	// Base model: RSVD trained with SGD (the paper's LIBMF analogue).
-	rsvdCfg := mf.DefaultRSVDConfig()
+	// Base model: RSVD trained with SGD (the paper's LIBMF analogue). Trained
+	// once, shared by every re-ranker below.
+	rsvdCfg := ganc.DefaultRSVDConfig()
 	rsvdCfg.Factors = 40
 	rsvdCfg.Epochs = 15
-	rsvd, err := mf.TrainRSVD(split.Train, rsvdCfg)
+	rsvd, err := ganc.TrainRSVD(split.Train, rsvdCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("RSVD trained: test RMSE %.3f\n", rsvd.RMSE(split.Test))
 
-	ev := eval.NewEvaluator(split, 0)
-	var reports []eval.Report
+	ev := ganc.NewEvaluator(split, 0)
+	var reports []ganc.Report
+	evaluate := func(e ganc.Engine) {
+		recs, err := e.RecommendAll(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, ev.Evaluate(e.Name(), recs, n))
+	}
 
 	// 1. The plain RSVD ranking.
-	base := recommender.RecommendAll(
-		&recommender.ScorerTopN{Scorer: rsvd, NumItems: split.Train.NumItems()}, split.Train, n)
-	reports = append(reports, ev.Evaluate("RSVD", base, n))
+	evaluate(ganc.NewBaseEngine(rsvd, split.Train, n))
 
-	// 2. RBT(RSVD, Pop): re-rank confident predictions by inverse popularity.
-	rbt, err := rerank.NewRBT(split.Train, rsvd, rerank.DefaultRBTConfig(n, rerank.RBTPop))
-	if err != nil {
-		log.Fatal(err)
+	// 2–3. RBT(RSVD, Pop) and PRA(RSVD, 10) from the reranker registry.
+	for _, name := range []string{"RBT-Pop", "PRA-10"} {
+		e, err := ganc.NewReranker(name, split.Train, rsvd, n, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evaluate(e)
 	}
-	reports = append(reports, ev.Evaluate(rbt.Name(), rbt.RecommendAll(), n))
 
-	// 3. PRA(RSVD, 10): swap items toward each user's novelty tendency.
-	pra, err := rerank.NewPRA(split.Train, rsvd, rerank.DefaultPRAConfig(n, 10))
+	// 4. GANC(RSVD, θ^G, Dyn): the paper's main model, assembled in one call.
+	p, err := ganc.NewPipeline(split.Train,
+		ganc.WithBase(rsvd),
+		ganc.WithPreferences(ganc.PreferenceGeneralized),
+		ganc.WithCoverage(ganc.CoverageDyn()),
+		ganc.WithTopN(n),
+		ganc.WithSampleSize(150),
+		ganc.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
-	reports = append(reports, ev.Evaluate(pra.Name(), pra.RecommendAll(), n))
-
-	// 4. GANC(RSVD, θ^G, Dyn): the paper's main model.
-	prefs, err := longtail.Estimate(longtail.ModelGeneralized, split.Train, nil, 0, 11)
-	if err != nil {
-		log.Fatal(err)
-	}
-	arec := &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(rsvd, split.Train.NumItems())}
-	g, err := core.New(split.Train, arec, prefs, core.NewDynCoverage(split.Train.NumItems()),
-		core.Config{N: n, SampleSize: 150, Seed: 11})
-	if err != nil {
-		log.Fatal(err)
-	}
-	reports = append(reports, ev.Evaluate(g.Name(), g.Recommend(), n))
+	evaluate(p)
 
 	// Print the Table IV–style comparison with the average-rank score.
-	ranks := eval.RankReports(reports)
+	ranks := ganc.RankReports(reports)
 	fmt.Printf("\n%-28s %8s %8s %8s %8s %8s %6s\n", "algorithm", "F@5", "S@5", "L@5", "C@5", "G@5", "score")
 	for _, rep := range reports {
 		fmt.Printf("%-28s %8.4f %8.4f %8.4f %8.4f %8.4f %6.1f\n",

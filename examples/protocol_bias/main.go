@@ -6,7 +6,7 @@
 // under the "all unrated items" protocol the model must place relevant items
 // above the whole catalog, which is what a deployed recommender really has to
 // do. This example re-runs the paper's Figure 7/8 study on one synthetic
-// dataset: the same models, both protocols, side by side.
+// dataset: the same registry models, both protocols, side by side.
 //
 // Run with:
 //
@@ -18,47 +18,37 @@ import (
 	"log"
 	"math/rand"
 
-	"ganc/internal/eval"
-	"ganc/internal/mf"
-	"ganc/internal/recommender"
-	"ganc/internal/synth"
+	"ganc"
 )
 
 func main() {
 	const n = 5
 
-	cfg := synth.ML100K(0.3)
-	data, err := synth.Generate(cfg)
+	data, err := ganc.GenerateML100K(0.3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	split := data.SplitByUser(synth.Kappa(cfg.Name), rand.New(rand.NewSource(23)))
+	split := ganc.SplitByUser(data, 0.8, rand.New(rand.NewSource(23)))
 	fmt.Printf("dataset: %d users, %d items, %d train / %d test ratings\n\n",
 		data.NumUsers(), data.NumItems(), split.Train.NumRatings(), split.Test.NumRatings())
 
-	// The accuracy-focused models of the appendix study.
-	models := []recommender.Scorer{
-		recommender.NewRand(split.Train.NumItems(), 23),
-		recommender.NewPop(split.Train),
-	}
-	rsvdCfg := mf.DefaultRSVDConfig()
-	rsvdCfg.Factors = 40
-	rsvdCfg.Epochs = 15
-	if rsvd, err := mf.TrainRSVD(split.Train, rsvdCfg); err == nil {
-		models = append(models, rsvd)
-	}
-	for _, k := range []int{10, 100} {
-		if psvd, err := mf.TrainPSVD(split.Train, mf.PSVDConfig{Factors: k, PowerIterations: 2, Seed: 23}); err == nil {
-			models = append(models, psvd)
+	// The accuracy-focused models of the appendix study, built by name.
+	var models []ganc.Scorer
+	for _, name := range []string{"Rand", "Pop", "RSVD", "PSVD10", "PSVD100"} {
+		m, err := ganc.NewBaseScorer(name, split.Train, 23)
+		if err != nil {
+			log.Printf("skipping %s: %v", name, err)
+			continue
 		}
+		models = append(models, m)
 	}
 
-	ev := eval.NewEvaluator(split, 0)
+	ev := ganc.NewEvaluator(split, 0)
 	fmt.Printf("%-10s  %-18s %10s %10s %10s %10s\n",
 		"model", "protocol", "precision", "f-measure", "coverage", "ltacc")
 	for _, m := range models {
-		for _, proto := range []eval.Protocol{eval.ProtocolAllUnrated, eval.ProtocolRatedTestItems} {
-			recs := eval.RecommendWithProtocol(m, split, n, proto)
+		for _, proto := range []ganc.Protocol{ganc.ProtocolAllUnrated, ganc.ProtocolRatedTestItems} {
+			recs := ganc.RecommendWithProtocol(m, split, n, proto)
 			rep := ev.Evaluate(m.Name(), recs, n)
 			fmt.Printf("%-10s  %-18s %10.4f %10.4f %10.4f %10.4f\n",
 				m.Name(), proto, rep.Precision, rep.FMeasure, rep.Coverage, rep.LTAccuracy)

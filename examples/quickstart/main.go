@@ -1,9 +1,10 @@
 // Quickstart: the ten-minute tour of the GANC library.
 //
 // This example generates a small synthetic MovieLens-100K stand-in, splits it
-// into train and test, learns the users' long-tail novelty preferences θ^G,
-// assembles GANC(Pop, θ^G, Dyn) and compares it against the plain popularity
-// recommender on all Table III metrics.
+// into train and test, assembles GANC(Pop, θ^G, Dyn) with a single
+// NewPipeline call and compares it against the plain popularity recommender
+// on all Table III metrics — then shows the online path: one user's list
+// computed on demand, as the serving layer does it.
 //
 // Run with:
 //
@@ -11,56 +12,60 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"ganc/internal/core"
-	"ganc/internal/eval"
-	"ganc/internal/longtail"
-	"ganc/internal/recommender"
-	"ganc/internal/synth"
-	"ganc/internal/types"
+	"ganc"
 )
 
 func main() {
 	// 1. Data: a calibrated synthetic stand-in for ML-100K at 20% scale.
-	//    To use a real ratings file instead, see dataset.LoadRatings.
-	cfg := synth.ML100K(0.2)
-	data, err := synth.Generate(cfg)
+	//    To use a real ratings file instead, see ganc.LoadRatings.
+	data, err := ganc.GenerateML100K(0.2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	split := data.SplitByUser(synth.Kappa(cfg.Name), rand.New(rand.NewSource(7)))
+	split := ganc.SplitByUser(data, 0.8, rand.New(rand.NewSource(7)))
 	fmt.Printf("dataset: %d users, %d items, %d train + %d test ratings\n",
 		data.NumUsers(), data.NumItems(), split.Train.NumRatings(), split.Test.NumRatings())
 
-	// 2. Learn each user's long-tail novelty preference from the train data
-	//    (the paper's generalized θ^G, Eq. II.4–II.6).
-	prefs, err := longtail.Estimate(longtail.ModelGeneralized, split.Train, nil, 0, 7)
+	// 2. Assemble GANC(Pop, θ^G, Dyn) in one call: the popularity accuracy
+	//    recommender from the registry, the learned generalized preferences
+	//    (Eq. II.4–II.6) and the dynamic coverage recommender.
+	const n = 5
+	p, err := ganc.NewPipeline(split.Train,
+		ganc.WithBaseNamed("Pop"),
+		ganc.WithPreferences(ganc.PreferenceGeneralized),
+		ganc.WithCoverage(ganc.CoverageDyn()),
+		ganc.WithTopN(n),
+		ganc.WithSampleSize(60),
+		ganc.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
+	prefs := p.Preferences()
 	fmt.Printf("learned θ^G for %d users (mean %.3f, std %.3f)\n", prefs.Len(), prefs.Mean(), prefs.StdDev())
 
-	// 3. Assemble GANC(Pop, θ^G, Dyn): the popularity accuracy recommender,
-	//    the learned preferences, and the dynamic coverage recommender.
-	const n = 5
-	arec := core.NewPopAccuracy(split.Train, n)
-	crec := core.NewDynCoverage(split.Train.NumItems())
-	g, err := core.New(split.Train, arec, prefs, crec, core.Config{N: n, SampleSize: 60, Seed: 7})
+	// 3. Batch generation through the Engine interface.
+	ctx := context.Background()
+	gancRecs, err := p.RecommendAll(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gancRecs := g.Recommend()
 
-	// 4. Baseline: the plain popularity recommender.
-	popRecs := recommender.RecommendAll(recommender.NewPop(split.Train), split.Train, n)
+	// 4. Baseline: the plain popularity recommender as an Engine.
+	pop := ganc.NewBaseEngine(ganc.NewPop(split.Train), split.Train, n)
+	popRecs, err := pop.RecommendAll(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 5. Evaluate both on the held-out test set.
-	ev := eval.NewEvaluator(split, 0)
-	popReport := ev.Evaluate("Pop", popRecs, n)
-	gancReport := ev.Evaluate(g.Name(), gancRecs, n)
+	ev := ganc.NewEvaluator(split, 0)
+	popReport := ev.Evaluate(pop.Name(), popRecs, n)
+	gancReport := ev.Evaluate(p.Name(), gancRecs, n)
 
 	fmt.Println("\nmetric            Pop        GANC")
 	fmt.Printf("F-measure@5     %8.4f   %8.4f\n", popReport.FMeasure, gancReport.FMeasure)
@@ -69,10 +74,14 @@ func main() {
 	fmt.Printf("Coverage@5      %8.4f   %8.4f\n", popReport.Coverage, gancReport.Coverage)
 	fmt.Printf("Gini@5          %8.4f   %8.4f\n", popReport.Gini, gancReport.Gini)
 
-	// 6. Show the first few users' lists with external identifiers.
-	fmt.Println("\nsample recommendations (GANC):")
+	// 6. The online path: one user's list computed on demand — no batch
+	//    precomputation required. This is what /recommend?user=X serves.
+	fmt.Println("\non-demand recommendations (RecommendUser):")
 	for u := 0; u < 3 && u < split.Train.NumUsers(); u++ {
-		set := gancRecs[types.UserID(u)]
+		set, err := p.RecommendUser(ctx, ganc.UserID(u), n)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %s:", split.Train.UserInterner().Key(int32(u)))
 		for _, i := range set {
 			fmt.Printf(" %s", split.Train.ItemInterner().Key(int32(i)))

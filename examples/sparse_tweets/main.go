@@ -8,7 +8,8 @@
 // model that is competitive with latent-factor rankers on accuracy while far
 // exceeding them on coverage.
 //
-// This example reproduces that comparison on the synthetic MT-200K stand-in.
+// This example reproduces that comparison on the synthetic MT-200K stand-in,
+// assembling every model through the Pipeline/Engine API.
 //
 // Run with:
 //
@@ -16,77 +17,60 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"ganc/internal/core"
-	"ganc/internal/eval"
-	"ganc/internal/longtail"
-	"ganc/internal/mf"
-	"ganc/internal/recommender"
-	"ganc/internal/synth"
+	"ganc"
 )
 
 func main() {
 	const n = 5
+	ctx := context.Background()
 
-	cfg := synth.MT200K(0.3)
-	data, err := synth.Generate(cfg)
+	data, err := ganc.GenerateMT200K(0.3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	split := data.SplitByUser(synth.Kappa(cfg.Name), rand.New(rand.NewSource(13)))
-	fmt.Printf("sparse dataset: %d users, %d items, density %.3f%% (τ=%d)\n",
-		data.NumUsers(), data.NumItems(), data.Density()*100, cfg.MinRatingsPerUser)
+	split := ganc.SplitByUser(data, 0.8, rand.New(rand.NewSource(13)))
+	fmt.Printf("sparse dataset: %d users, %d items, density %.3f%%\n",
+		data.NumUsers(), data.NumItems(), data.Density()*100)
 
-	ev := eval.NewEvaluator(split, 0)
-	var reports []eval.Report
-
-	// Non-personalized baselines.
-	popRecs := recommender.RecommendAll(recommender.NewPop(split.Train), split.Train, n)
-	reports = append(reports, ev.Evaluate("Pop", popRecs, n))
-	randRecs := recommender.RecommendAll(recommender.NewRand(split.Train.NumItems(), 13), split.Train, n)
-	reports = append(reports, ev.Evaluate("Rand", randRecs, n))
-
-	// A latent-factor ranker for contrast (PSVD with 50 factors).
-	psvd, err := mf.TrainPSVD(split.Train, mf.PSVDConfig{Factors: 50, PowerIterations: 2, Seed: 13})
-	if err != nil {
-		log.Fatal(err)
+	ev := ganc.NewEvaluator(split, 0)
+	var reports []ganc.Report
+	evaluate := func(e ganc.Engine) {
+		recs, err := e.RecommendAll(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, ev.Evaluate(e.Name(), recs, n))
 	}
-	psvdRecs := recommender.RecommendAll(
-		&recommender.ScorerTopN{Scorer: psvd, NumItems: split.Train.NumItems()}, split.Train, n)
-	reports = append(reports, ev.Evaluate(psvd.Name(), psvdRecs, n))
 
-	// A rating-prediction model re-ranked directly (what standard re-rankers
-	// would rely on): in sparse settings its ranking accuracy collapses.
-	rsvdCfg := mf.DefaultRSVDConfig()
-	rsvdCfg.Factors = 40
-	rsvdCfg.Epochs = 15
-	rsvdCfg.LearningRate = 0.01
-	rsvd, err := mf.TrainRSVD(split.Train, rsvdCfg)
-	if err != nil {
-		log.Fatal(err)
+	// Non-personalized and latent-factor baselines, all built by name from
+	// the model registry: Pop, Rand, a PSVD ranker and the RSVD predictor
+	// whose ranking accuracy collapses in sparse data.
+	for _, name := range []string{"Pop", "Rand", "PSVD100", "RSVD"} {
+		s, err := ganc.NewBaseScorer(name, split.Train, 13)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evaluate(ganc.NewBaseEngine(s, split.Train, n))
 	}
-	rsvdRecs := recommender.RecommendAll(
-		&recommender.ScorerTopN{Scorer: rsvd, NumItems: split.Train.NumItems()}, split.Train, n)
-	reports = append(reports, ev.Evaluate("RSVD", rsvdRecs, n))
 
 	// GANC(Pop, θ^G, Dyn): the paper's sparse-setting recipe — a generic
 	// framework lets us swap the accuracy recommender to match the data.
-	prefs, err := longtail.Estimate(longtail.ModelGeneralized, split.Train, nil, 0, 13)
+	p, err := ganc.NewPipeline(split.Train,
+		ganc.WithBaseNamed("Pop"),
+		ganc.WithPreferences(ganc.PreferenceGeneralized),
+		ganc.WithCoverage(ganc.CoverageDyn()),
+		ganc.WithTopN(n),
+		ganc.WithSampleSize(150),
+		ganc.WithSeed(13))
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := core.New(split.Train,
-		core.NewPopAccuracy(split.Train, n),
-		prefs,
-		core.NewDynCoverage(split.Train.NumItems()),
-		core.Config{N: n, SampleSize: 150, Seed: 13})
-	if err != nil {
-		log.Fatal(err)
-	}
-	reports = append(reports, ev.Evaluate(g.Name(), g.Recommend(), n))
+	evaluate(p)
 
 	fmt.Printf("\n%-26s %8s %8s %8s %8s %8s\n", "algorithm", "F@5", "S@5", "L@5", "C@5", "G@5")
 	for _, rep := range reports {

@@ -2,6 +2,7 @@ package ganc
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -19,7 +20,10 @@ func TestPublicAPIItemKNNAndRankingMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs := RecommendAll(m, split.Train, 5)
+	recs, err := NewBaseEngine(m, split.Train, 5).RecommendAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	ev := NewEvaluator(split, 0)
 	rep := ev.Evaluate(m.Name(), recs, 5)
 	if rep.Coverage <= 0 {

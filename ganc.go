@@ -8,16 +8,23 @@
 //
 //  1. load or generate rating data           (LoadRatings, GenerateML1M, ...)
 //  2. split it per user                       (Dataset.SplitByUser)
-//  3. train a base accuracy recommender       (TrainRSVD, TrainPSVD, NewPop)
-//  4. learn long-tail novelty preferences     (EstimatePreferences)
-//  5. assemble and run GANC                   (NewGANC → Recommend)
-//  6. evaluate accuracy/novelty/coverage      (NewEvaluator → Evaluate)
+//  3. assemble the pipeline in one call      (NewPipeline + With... options)
+//  4. serve or batch-generate through Engine (RecommendUser / RecommendAll)
+//  5. evaluate accuracy/novelty/coverage     (NewEvaluator → Evaluate)
+//
+// Base models can be trained explicitly (TrainRSVD, TrainPSVD, ...) and
+// passed to WithBase, or constructed by name from the model registry
+// (WithBaseNamed, NewBaseScorer, NewReranker). Assembled pipelines, base
+// models and re-ranking baselines all satisfy the Engine interface, whose
+// online RecommendUser path is what NewServer builds on.
 //
 // See examples/quickstart for a complete end-to-end program and DESIGN.md for
-// the experiment-by-experiment map of the paper reproduction.
+// the architecture and the experiment-by-experiment map of the paper
+// reproduction.
 package ganc
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -94,6 +101,16 @@ type (
 	Evaluator = eval.Evaluator
 	// Report holds one algorithm's metrics at one N.
 	Report = eval.Report
+	// Protocol selects which items are ranked at evaluation time (Appendix C).
+	Protocol = eval.Protocol
+)
+
+// Evaluation protocols (the paper reports all main results under
+// ProtocolAllUnrated; ProtocolRatedTestItems exists to reproduce the
+// Appendix C bias study).
+const (
+	ProtocolAllUnrated     = eval.ProtocolAllUnrated
+	ProtocolRatedTestItems = eval.ProtocolRatedTestItems
 )
 
 // Preference model identifiers (the paper's θ^A, θ^N, θ^T, θ^G, θ^R, θ^C).
@@ -136,6 +153,26 @@ func GenerateMT200K(scale float64) (*Dataset, error) {
 }
 func GenerateNetflixSample(scale float64) (*Dataset, error) {
 	return synth.Generate(synth.NetflixSample(synth.Scale(scale)))
+}
+
+// GeneratePreset generates the named synthetic preset ("ML-100K", "ML-1M",
+// "ML-10M", "MT-200K", "Netflix") at the given scale — the shared lookup the
+// CLIs use for their -preset flags.
+func GeneratePreset(name string, scale float64) (*Dataset, error) {
+	switch name {
+	case "ML-100K":
+		return GenerateML100K(scale)
+	case "ML-1M":
+		return GenerateML1M(scale)
+	case "ML-10M":
+		return GenerateML10M(scale)
+	case "MT-200K":
+		return GenerateMT200K(scale)
+	case "Netflix":
+		return GenerateNetflixSample(scale)
+	default:
+		return nil, fmt.Errorf("ganc: unknown preset %q (known: ML-100K, ML-1M, ML-10M, MT-200K, Netflix)", name)
+	}
 }
 
 // SplitByUser partitions d per user, keeping the fraction kappa of each
@@ -186,44 +223,6 @@ func CrossValidateRSVD(train *Dataset, base RSVDConfig, grid RSVDGrid, folds int
 // BestRSVDConfig returns the grid-search result with the lowest validation RMSE.
 func BestRSVDConfig(results []RSVDGridResult) (RSVDGridResult, error) { return mf.Best(results) }
 
-// EstimatePreferences computes θ_u for every user with the chosen model. The
-// constant argument is only used by PreferenceConstant, seed only by
-// PreferenceRandom.
-func EstimatePreferences(model PreferenceModel, train *Dataset, constant float64, seed int64) (*Preferences, error) {
-	return longtail.Estimate(model, train, nil, constant, seed)
-}
-
-// Accuracy-recommender adapters for assembling GANC.
-
-// AccuracyFromScorer wraps any Scorer whose scores are normalized per user to
-// [0,1] before use, as the paper does with RSVD and PSVD predictions.
-func AccuracyFromScorer(s Scorer, numItems int) AccuracyRecommender {
-	return &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(s, numItems)}
-}
-
-// AccuracyFromPop builds the indicator-style Pop accuracy recommender
-// (a(i)=1 iff i is in the user's popularity top-N).
-func AccuracyFromPop(train *Dataset, n int) AccuracyRecommender {
-	return core.NewPopAccuracy(train, n)
-}
-
-// Coverage recommenders (the paper's Rand, Stat and Dyn).
-func CoverageRand(seed int64) CoverageRecommender     { return core.NewRandCoverage(seed) }
-func CoverageStat(train *Dataset) CoverageRecommender { return core.NewStatCoverage(train) }
-func CoverageDyn(numItems int) CoverageRecommender    { return core.NewDynCoverage(numItems) }
-
-// NewGANC assembles a GANC(ARec, θ, CRec) instance.
-func NewGANC(train *Dataset, arec AccuracyRecommender, prefs *Preferences, crec CoverageRecommender, cfg GANCConfig) (*GANC, error) {
-	return core.New(train, arec, prefs, crec, cfg)
-}
-
-// RecommendAll ranks the full catalog for every user with any Scorer under
-// the all-unrated-items protocol (the baseline path that does not involve
-// GANC).
-func RecommendAll(s Scorer, train *Dataset, n int) Recommendations {
-	return recommender.RecommendAll(&recommender.ScorerTopN{Scorer: s, NumItems: train.NumItems()}, train, n)
-}
-
 // NewEvaluator builds a Table III metrics evaluator for a split. beta ≤ 0
 // selects the paper's stratified-recall exponent of 0.5.
 func NewEvaluator(split *Split, beta float64) *Evaluator { return eval.NewEvaluator(split, beta) }
@@ -231,3 +230,10 @@ func NewEvaluator(split *Split, beta float64) *Evaluator { return eval.NewEvalua
 // RankReports computes the Table IV "Score" column: each algorithm's average
 // rank across F-measure, stratified recall, LTAccuracy, coverage and Gini.
 func RankReports(reports []Report) map[string]float64 { return eval.RankReports(reports) }
+
+// RecommendWithProtocol ranks for every user under the chosen evaluation
+// protocol (Appendix C): all unrated items, or only the user's rated test
+// items.
+func RecommendWithProtocol(s Scorer, split *Split, n int, protocol Protocol) Recommendations {
+	return eval.RecommendWithProtocol(s, split, n, protocol)
+}

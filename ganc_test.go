@@ -1,14 +1,15 @@
 package ganc
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
 )
 
 // TestPublicAPIEndToEnd exercises the complete facade workflow exactly as the
-// README's quickstart describes it: generate → split → train → estimate θ →
-// assemble GANC → recommend → evaluate.
+// README's quickstart describes it: generate → split → assemble the pipeline
+// in one call → recommend through the Engine → evaluate.
 func TestPublicAPIEndToEnd(t *testing.T) {
 	data, err := GenerateML100K(0.12)
 	if err != nil {
@@ -19,31 +20,36 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("degenerate split")
 	}
 
-	prefs, err := EstimatePreferences(PreferenceGeneralized, split.Train, 0, 3)
+	const n = 5
+	p, err := NewPipeline(split.Train,
+		WithBaseNamed("Pop"),
+		WithPreferences(PreferenceGeneralized),
+		WithCoverage(CoverageDyn()),
+		WithTopN(n),
+		WithSampleSize(40),
+		WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if prefs.Len() != split.Train.NumUsers() {
+	if p.Preferences().Len() != split.Train.NumUsers() {
 		t.Fatal("preference vector size mismatch")
 	}
-
-	const n = 5
-	g, err := NewGANC(split.Train,
-		AccuracyFromPop(split.Train, n),
-		prefs,
-		CoverageDyn(split.Train.NumItems()),
-		GANCConfig{N: n, SampleSize: 40, Seed: 3})
+	ctx := context.Background()
+	recs, err := p.RecommendAll(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs := g.Recommend()
 	if len(recs) != split.Train.NumUsers() {
 		t.Fatalf("recommendations for %d users, want %d", len(recs), split.Train.NumUsers())
 	}
 
 	ev := NewEvaluator(split, 0)
-	gancRep := ev.Evaluate(g.Name(), recs, n)
-	popRep := ev.Evaluate("Pop", RecommendAll(NewPop(split.Train), split.Train, n), n)
+	gancRep := ev.Evaluate(p.Name(), recs, n)
+	popRecs, err := NewBaseEngine(NewPop(split.Train), split.Train, n).RecommendAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popRep := ev.Evaluate("Pop", popRecs, n)
 	if gancRep.Coverage <= popRep.Coverage {
 		t.Fatalf("GANC coverage %.4f should exceed Pop coverage %.4f", gancRep.Coverage, popRep.Coverage)
 	}
@@ -89,18 +95,22 @@ func TestPublicAPIModelTraining(t *testing.T) {
 		t.Fatal("Cofi factors wrong")
 	}
 
-	// AccuracyFromScorer clamps into [0,1]; smoke-test through GANC with Stat
-	// and Rand coverage as well.
-	prefs, err := EstimatePreferences(PreferenceTFIDF, split.Train, 0, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, crec := range []CoverageRecommender{CoverageStat(split.Train), CoverageRand(1)} {
-		g, err := NewGANC(split.Train, AccuracyFromScorer(rsvd, split.Train.NumItems()), prefs, crec, GANCConfig{N: 3})
+	// WithBase normalizes scorer output into [0,1]; smoke-test the pipeline
+	// with Stat and Rand coverage as well.
+	for _, spec := range []CoverageSpec{CoverageStat(), CoverageRand()} {
+		p, err := NewPipeline(split.Train,
+			WithBase(rsvd),
+			WithPreferences(PreferenceTFIDF),
+			WithCoverage(spec),
+			WithTopN(3))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := g.Recommend(); len(got) != split.Train.NumUsers() {
+		got, err := p.RecommendAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != split.Train.NumUsers() {
 			t.Fatal("facade GANC run incomplete")
 		}
 	}

@@ -1,0 +1,3 @@
+module ganc
+
+go 1.24

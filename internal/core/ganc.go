@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -271,6 +272,12 @@ type GANC struct {
 	prefs    *longtail.Preferences
 	train    *dataset.Dataset
 	numItems int
+
+	// onlineMu serializes snapshots of the Dyn coverage state taken by
+	// RecommendUser, so concurrent online requests are safe. The batch
+	// Recommend path must not run concurrently with RecommendUser on the
+	// same instance.
+	onlineMu sync.Mutex
 }
 
 // New assembles a GANC instance from its three components, following the
@@ -330,10 +337,20 @@ func (g *GANC) marginalGain(u types.UserID, i types.ItemID) float64 {
 // greedyForUser builds one user's top-N set greedily against the current
 // coverage state, notifying the coverage recommender of each pick.
 func (g *GANC) greedyForUser(u types.UserID, exclude map[types.ItemID]struct{}) types.TopNSet {
-	n := g.cfg.N
+	set, _ := g.greedySweep(context.Background(), u, exclude, g.cfg.N, true)
+	return set
+}
+
+// greedySweep is the n-parameterized greedy selection loop. When observe is
+// true each pick is reported to the coverage recommender (the batch path);
+// online callers pass false so shared state is never mutated.
+func (g *GANC) greedySweep(ctx context.Context, u types.UserID, exclude map[types.ItemID]struct{}, n int, observe bool) (types.TopNSet, error) {
 	set := make(types.TopNSet, 0, n)
 	chosen := make(map[types.ItemID]struct{}, n)
 	for step := 0; step < n; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		best := types.InvalidItem
 		bestGain := math.Inf(-1)
 		for idx := 0; idx < g.numItems; idx++ {
@@ -354,9 +371,11 @@ func (g *GANC) greedyForUser(u types.UserID, exclude map[types.ItemID]struct{}) 
 		}
 		set = append(set, best)
 		chosen[best] = struct{}{}
-		g.crec.Observe(best)
+		if observe {
+			g.crec.Observe(best)
+		}
 	}
-	return set
+	return set, nil
 }
 
 // Recommend produces the top-N collection for every user.
@@ -383,6 +402,54 @@ func (g *GANC) Recommend() types.Recommendations {
 		mu.Unlock()
 	})
 	return recs
+}
+
+// TopN returns the configured top-N size.
+func (g *GANC) TopN() int { return g.cfg.N }
+
+// RecommendUser computes a single user's top-N list on demand, without
+// touching any other user. With the Dyn coverage recommender the current
+// shared frequency state is snapshotted under a lock and the sweep runs
+// against the frozen copy, so concurrent RecommendUser calls are safe and
+// never mutate shared state; the result is deterministic for a given state,
+// which makes it cacheable. n ≤ 0 selects the configured Config.N.
+//
+// Batch Recommend must not run concurrently with RecommendUser on the same
+// instance (it mutates the Dyn state without the online lock).
+func (g *GANC) RecommendUser(ctx context.Context, u types.UserID, n int) (types.TopNSet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if int(u) < 0 || int(u) >= g.train.NumUsers() {
+		return nil, fmt.Errorf("core: user %d out of range [0,%d)", u, g.train.NumUsers())
+	}
+	if n <= 0 {
+		n = g.cfg.N
+	}
+	exclude := g.train.UserItemSet(u)
+	if dyn, ok := g.crec.(*DynCoverage); ok {
+		g.onlineMu.Lock()
+		freq := dyn.Frequencies()
+		g.onlineMu.Unlock()
+		return g.greedyFrozen(ctx, u, exclude, freq, n)
+	}
+	return g.greedySweep(ctx, u, exclude, n, false)
+}
+
+// RecommendAll is the context-aware batch entry point used by the Engine
+// interface. Cancellation is only checked before and after the sweep: once
+// the batch optimizer starts it runs to completion, because OSLG's
+// sequential phase cannot be abandoned midway without corrupting the Dyn
+// frequency state shared with the remaining users.
+func (g *GANC) RecommendAll(ctx context.Context) (types.Recommendations, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	recs := g.Recommend()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 // userTheta pairs a user with their long-tail preference for sorting.
@@ -503,12 +570,21 @@ func (g *GANC) forEachParallel(count int, fn func(int)) {
 // within the set), but the shared state is never modified, which makes the
 // call safe to run concurrently for different users.
 func (g *GANC) greedyForUserFrozenFreq(u types.UserID, exclude map[types.ItemID]struct{}, freq []int) types.TopNSet {
-	n := g.cfg.N
+	set, _ := g.greedyFrozen(context.Background(), u, exclude, freq, g.cfg.N)
+	return set
+}
+
+// greedyFrozen is the n-parameterized frozen-frequency sweep behind both the
+// OSLG out-of-sample phase and the online RecommendUser path.
+func (g *GANC) greedyFrozen(ctx context.Context, u types.UserID, exclude map[types.ItemID]struct{}, freq []int, n int) (types.TopNSet, error) {
 	set := make(types.TopNSet, 0, n)
 	chosen := make(map[types.ItemID]struct{}, n)
 	theta := g.prefs.Get(u)
 	localBump := make(map[types.ItemID]int, n)
 	for step := 0; step < n; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		best := types.InvalidItem
 		bestGain := math.Inf(-1)
 		for idx := 0; idx < g.numItems; idx++ {
@@ -536,7 +612,7 @@ func (g *GANC) greedyForUserFrozenFreq(u types.UserID, exclude map[types.ItemID]
 		chosen[best] = struct{}{}
 		localBump[best]++
 	}
-	return set
+	return set, nil
 }
 
 // sampleUsersByKDE draws sampleSize users whose θ values follow the KDE of

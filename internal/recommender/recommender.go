@@ -15,6 +15,7 @@ package recommender
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -324,6 +325,53 @@ func RecommendAll(model TopN, train *dataset.Dataset, n int) types.Recommendatio
 		recs[uid] = model.Recommend(uid, n, train.UserItemSet(uid))
 	}
 	return recs
+}
+
+// TopNEngine adapts any TopN model into the Engine shape shared by the facade
+// and the serving layer: per-user on-demand recommendation plus batch
+// generation, both excluding each user's train items. The zero value is not
+// usable; all three fields are required.
+type TopNEngine struct {
+	// Model produces the ranked lists.
+	Model TopN
+	// Train supplies the user universe and per-user exclusion sets.
+	Train *dataset.Dataset
+	// N is the default list size when a request passes n ≤ 0.
+	N int
+}
+
+// Name identifies the underlying model.
+func (e *TopNEngine) Name() string { return e.Model.Name() }
+
+// TopN returns the engine's default list size.
+func (e *TopNEngine) TopN() int { return e.N }
+
+// RecommendUser computes one user's list on demand.
+func (e *TopNEngine) RecommendUser(ctx context.Context, u types.UserID, n int) (types.TopNSet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if int(u) < 0 || int(u) >= e.Train.NumUsers() {
+		return nil, fmt.Errorf("recommender: user %d out of range [0,%d)", u, e.Train.NumUsers())
+	}
+	if n <= 0 {
+		n = e.N
+	}
+	return e.Model.Recommend(u, n, e.Train.UserItemSet(u)), nil
+}
+
+// RecommendAll generates the full collection, checking for cancellation
+// between users.
+func (e *TopNEngine) RecommendAll(ctx context.Context) (types.Recommendations, error) {
+	recs := make(types.Recommendations, e.Train.NumUsers())
+	for u := 0; u < e.Train.NumUsers(); u++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		uid := types.UserID(u)
+		recs[uid] = e.Model.Recommend(uid, e.N, e.Train.UserItemSet(uid))
+	}
+	return recs, nil
 }
 
 // Describe returns a one-line description of a recommendation collection,

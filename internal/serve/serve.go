@@ -1,74 +1,226 @@
-// Package serve exposes a trained recommendation pipeline over HTTP using
-// only the standard library. It is the thin "production" layer a downstream
-// adopter needs to put GANC behind a service boundary: recommendations are
-// computed once (or refreshed on demand) and served from memory, with
-// endpoints for per-user top-N lookups, model metadata and health checks.
+// Package serve exposes a recommendation Engine over HTTP using only the
+// standard library. It is the "production" layer a downstream adopter needs
+// to put GANC (or any baseline) behind a service boundary.
+//
+// Unlike a precomputed-map server, recommendations are computed lazily, one
+// user at a time, through the Engine interface: a request for one user never
+// pays for the rest of the catalog. Computed lists land in a bounded LRU
+// cache, duplicate in-flight requests for the same user are coalesced into a
+// single Engine call, and the whole engine can be swapped atomically (e.g.
+// after a nightly retrain) while requests are in flight — old requests finish
+// against the old engine, new requests see the new one.
 //
 // Endpoints:
 //
-//	GET /health              → 200 {"status":"ok"}
-//	GET /info                → dataset and model metadata
-//	GET /recommend?user=<id> → the user's top-N list (external identifiers)
-//	GET /users               → the number of users with recommendations
+//	GET  /health                   → 200 {"status":"ok"}
+//	GET  /info                     → model, dataset and cache metadata
+//	GET  /recommend?user=<id>[&n=] → the user's top-N list (external ids)
+//	POST /recommend/batch          → {"users":[...]} → lists for many users
+//	GET  /users                    → the number of servable users
 //
 // The handler is an http.Handler, so it can be mounted into any mux and
 // tested with net/http/httptest.
 package serve
 
 import (
+	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"ganc/internal/dataset"
 	"ganc/internal/types"
 )
 
-// Recommender is the minimal surface the server needs: a name and a full
-// recommendation collection. core.GANC (via Recommend) and any baseline
-// produce these.
-type Recommender interface {
+// Engine is the consumer-side interface the server needs: a display name and
+// per-user on-demand recommendation. core.GANC, recommender.TopNEngine and
+// the facade engines all satisfy it. (It replaces the old package-level
+// Recommender interface, which carried only a Name and was never used.)
+type Engine interface {
 	Name() string
+	RecommendUser(ctx context.Context, u types.UserID, n int) (types.TopNSet, error)
 }
 
-// Server serves precomputed recommendations for one dataset.
-type Server struct {
-	mu      sync.RWMutex
-	train   *dataset.Dataset
-	recs    types.Recommendations
-	model   string
-	n       int
+// DefaultCacheCapacity bounds the per-generation LRU cache when no explicit
+// capacity is configured.
+const DefaultCacheCapacity = 65536
+
+// Option customizes a Server at construction time.
+type Option func(*Server)
+
+// WithCacheCapacity bounds the per-user LRU cache. Capacity ≤ 0 disables
+// caching entirely (every request computes through the Engine).
+func WithCacheCapacity(capacity int) Option {
+	return func(s *Server) { s.capacity = capacity }
+}
+
+// WithPrecomputed seeds the initial generation's cache with an existing
+// collection (e.g. a batch RecommendAll run), so those users are served warm
+// while everyone else is computed lazily.
+func WithPrecomputed(recs types.Recommendations) Option {
+	return func(s *Server) { s.seed = recs }
+}
+
+// generation is one immutable (engine, cache, in-flight table) triple. Update
+// installs a fresh generation atomically: requests that loaded the old
+// pointer finish against the old engine and cache, so a swap never mixes two
+// engines' results under one version.
+type generation struct {
+	engine  Engine
 	version int
+	cache   *lruCache
+
+	mu     sync.Mutex
+	flight map[types.UserID]*inflight
+}
+
+// inflight is one coalesced computation: the first request for a user
+// computes, later requests wait on done and share the result.
+type inflight struct {
+	done chan struct{}
+	set  types.TopNSet
+	err  error
+}
+
+// Server serves one Engine over HTTP with lazy per-user computation.
+type Server struct {
+	train    *dataset.Dataset
+	n        int
+	capacity int
+	seed     types.Recommendations
+
+	gen atomic.Pointer[generation]
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
 }
 
 // New builds a server from a train set (for identifier translation), the
-// model's display name and its recommendation collection.
-func New(train *dataset.Dataset, modelName string, recs types.Recommendations, n int) (*Server, error) {
+// engine computing recommendations and the default list size n.
+func New(train *dataset.Dataset, engine Engine, n int, opts ...Option) (*Server, error) {
 	if train == nil {
 		return nil, fmt.Errorf("serve: train dataset is required")
 	}
-	if len(recs) == 0 {
-		return nil, fmt.Errorf("serve: refusing to serve an empty recommendation collection")
+	if engine == nil {
+		return nil, fmt.Errorf("serve: engine is required")
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("serve: N must be positive, got %d", n)
 	}
-	return &Server{train: train, recs: recs, model: modelName, n: n, version: 1}, nil
+	s := &Server{train: train, n: n, capacity: DefaultCacheCapacity}
+	for _, opt := range opts {
+		opt(s)
+	}
+	gen := s.newGeneration(engine, 1)
+	for u, set := range s.seed {
+		gen.cache.put(u, set)
+	}
+	s.seed = nil
+	s.gen.Store(gen)
+	return s, nil
 }
 
-// Update atomically replaces the served collection (e.g. after a nightly
-// retrain) and bumps the version reported by /info.
-func (s *Server) Update(modelName string, recs types.Recommendations) error {
-	if len(recs) == 0 {
-		return fmt.Errorf("serve: refusing to swap in an empty recommendation collection")
+func (s *Server) newGeneration(engine Engine, version int) *generation {
+	return &generation{
+		engine:  engine,
+		version: version,
+		cache:   newLRUCache(s.capacity),
+		flight:  make(map[types.UserID]*inflight),
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.model = modelName
-	s.recs = recs
-	s.version++
-	return nil
+}
+
+// Update atomically swaps in a new engine (e.g. after a nightly retrain),
+// bumps the version reported by /info and drops the old generation's cache.
+// In-flight requests complete against the generation they started with.
+func (s *Server) Update(engine Engine) error {
+	if engine == nil {
+		return fmt.Errorf("serve: refusing to swap in a nil engine")
+	}
+	for {
+		old := s.gen.Load()
+		next := s.newGeneration(engine, old.version+1)
+		if s.gen.CompareAndSwap(old, next) {
+			return nil
+		}
+	}
+}
+
+// Version returns the current engine generation (1 for the initial engine,
+// incremented by each Update).
+func (s *Server) Version() int { return s.gen.Load().version }
+
+// CacheStats reports cache effectiveness counters accumulated across all
+// generations.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (s *Server) Stats() CacheStats {
+	return CacheStats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Coalesced: s.coalesced.Load(),
+		Size:      s.gen.Load().cache.len(),
+		Capacity:  s.capacity,
+	}
+}
+
+// recommend resolves one user's list through the current generation:
+// cache hit → coalesced wait → engine compute, in that order.
+func (s *Server) recommend(ctx context.Context, u types.UserID) (set types.TopNSet, gen *generation, err error) {
+	gen = s.gen.Load()
+	if cached, ok := gen.cache.get(u); ok {
+		s.hits.Add(1)
+		return cached, gen, nil
+	}
+
+	gen.mu.Lock()
+	if fl, ok := gen.flight[u]; ok {
+		gen.mu.Unlock()
+		s.coalesced.Add(1)
+		select {
+		case <-fl.done:
+			return fl.set, gen, fl.err
+		case <-ctx.Done():
+			return nil, gen, ctx.Err()
+		}
+	}
+	fl := &inflight{done: make(chan struct{})}
+	gen.flight[u] = fl
+	gen.mu.Unlock()
+
+	s.misses.Add(1)
+	// Cleanup runs deferred so a panicking engine still deregisters the
+	// in-flight entry and releases waiters — otherwise every later request
+	// for u would block on done forever. The recovered panic is surfaced as
+	// an error to the leader and all coalesced waiters.
+	defer func() {
+		if r := recover(); r != nil {
+			fl.err = fmt.Errorf("serve: engine panic for user %d: %v", u, r)
+			set, err = nil, fl.err
+		}
+		if fl.err == nil {
+			gen.cache.put(u, fl.set)
+		}
+		gen.mu.Lock()
+		delete(gen.flight, u)
+		gen.mu.Unlock()
+		close(fl.done)
+	}()
+	// Compute without the requester's cancellation: coalesced waiters and the
+	// cache should not be poisoned because the first requester hung up.
+	fl.set, fl.err = gen.engine.RecommendUser(context.WithoutCancel(ctx), u, s.n)
+	return fl.set, gen, fl.err
 }
 
 // Handler returns the HTTP handler with all routes mounted.
@@ -77,6 +229,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/health", s.handleHealth)
 	mux.HandleFunc("/info", s.handleInfo)
 	mux.HandleFunc("/recommend", s.handleRecommend)
+	mux.HandleFunc("/recommend/batch", s.handleBatch)
 	mux.HandleFunc("/users", s.handleUsers)
 	return mux
 }
@@ -97,12 +250,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // InfoResponse is the payload of GET /info.
 type InfoResponse struct {
-	Model    string `json:"model"`
-	Dataset  string `json:"dataset"`
-	NumUsers int    `json:"num_users"`
-	NumItems int    `json:"num_items"`
-	TopN     int    `json:"top_n"`
-	Version  int    `json:"version"`
+	Model    string     `json:"model"`
+	Dataset  string     `json:"dataset"`
+	NumUsers int        `json:"num_users"`
+	NumItems int        `json:"num_items"`
+	TopN     int        `json:"top_n"`
+	Version  int        `json:"version"`
+	Cache    CacheStats `json:"cache"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -110,24 +264,39 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
 		return
 	}
-	s.mu.RLock()
-	resp := InfoResponse{
-		Model:    s.model,
+	gen := s.gen.Load()
+	writeJSON(w, http.StatusOK, InfoResponse{
+		Model:    gen.engine.Name(),
 		Dataset:  s.train.Name(),
 		NumUsers: s.train.NumUsers(),
 		NumItems: s.train.NumItems(),
 		TopN:     s.n,
-		Version:  s.version,
-	}
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, resp)
+		Version:  gen.version,
+		Cache:    s.Stats(),
+	})
 }
 
-// RecommendResponse is the payload of GET /recommend.
+// RecommendResponse is the payload of GET /recommend and one element of the
+// batch response.
 type RecommendResponse struct {
-	User  string   `json:"user"`
-	Items []string `json:"items"`
-	Model string   `json:"model"`
+	User    string   `json:"user"`
+	Items   []string `json:"items"`
+	Model   string   `json:"model,omitempty"`
+	Version int      `json:"version"`
+	Error   string   `json:"error,omitempty"`
+}
+
+func (s *Server) lookupUser(key string) (types.UserID, bool) {
+	idx, ok := s.train.UserInterner().Lookup(key)
+	return types.UserID(idx), ok
+}
+
+func (s *Server) externalItems(set types.TopNSet) []string {
+	items := make([]string, len(set))
+	for k, i := range set {
+		items[k] = s.train.ItemInterner().Key(int32(i))
+	}
+	return items
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
@@ -140,24 +309,122 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing ?user="})
 		return
 	}
-	idx, ok := s.train.UserInterner().Lookup(userKey)
+	u, ok := s.lookupUser(userKey)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown user " + userKey})
 		return
 	}
-	s.mu.RLock()
-	set, ok := s.recs[types.UserID(idx)]
-	model := s.model
-	s.mu.RUnlock()
-	if !ok || len(set) == 0 {
+	set, gen, err := s.recommend(r.Context(), u)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	if len(set) == 0 {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no recommendations for user " + userKey})
 		return
 	}
-	items := make([]string, len(set))
-	for k, i := range set {
-		items[k] = s.train.ItemInterner().Key(int32(i))
+	// An explicit &n= below the server's N truncates the (cached) full list;
+	// values above it are capped so every request stays cacheable.
+	if n := parseN(r.URL.Query().Get("n"), s.n); n < len(set) {
+		set = set[:n]
 	}
-	writeJSON(w, http.StatusOK, RecommendResponse{User: userKey, Items: items, Model: model})
+	writeJSON(w, http.StatusOK, RecommendResponse{
+		User:    userKey,
+		Items:   s.externalItems(set),
+		Model:   gen.engine.Name(),
+		Version: gen.version,
+	})
+}
+
+// BatchRequest is the payload of POST /recommend/batch.
+type BatchRequest struct {
+	Users []string `json:"users"`
+}
+
+// BatchResponse is the payload of POST /recommend/batch. Results preserve the
+// request order; per-user failures are reported inline so one bad user does
+// not fail the whole batch.
+type BatchResponse struct {
+	Model   string              `json:"model"`
+	Version int                 `json:"version"`
+	Results []RecommendResponse `json:"results"`
+}
+
+// maxBatchUsers bounds a single batch request so a malformed client cannot
+// ask for the whole catalog in one call; batchWorkers bounds the concurrent
+// engine sweeps one batch request may trigger.
+const (
+	maxBatchUsers = 10000
+	batchWorkers  = 8
+)
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
+		return
+	}
+	if len(req.Users) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "users list is empty"})
+		return
+	}
+	if len(req.Users) > maxBatchUsers {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("batch of %d users exceeds the limit of %d", len(req.Users), maxBatchUsers)})
+		return
+	}
+	gen := s.gen.Load()
+	results := make([]RecommendResponse, len(req.Users))
+	// Cold users each cost an engine sweep; resolve them on a bounded worker
+	// pool rather than serializing a potentially huge batch. recommend() is
+	// concurrency-safe (cache, coalescing and the generation swap all are).
+	workers := batchWorkers
+	if len(req.Users) < workers {
+		workers = len(req.Users)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int, len(req.Users))
+	for k := range req.Users {
+		idx <- k
+	}
+	close(idx)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range idx {
+				userKey := req.Users[k]
+				results[k] = RecommendResponse{User: userKey}
+				u, ok := s.lookupUser(userKey)
+				if !ok {
+					results[k].Error = "unknown user"
+					continue
+				}
+				set, rgen, err := s.recommend(r.Context(), u)
+				if err != nil {
+					results[k].Error = err.Error()
+					continue
+				}
+				if len(set) == 0 {
+					// Mirror the single-user endpoint's 404 contract inline.
+					results[k].Error = "no recommendations for user " + userKey
+					continue
+				}
+				results[k].Items = s.externalItems(set)
+				results[k].Version = rgen.version
+			}
+		}()
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Model:   gen.engine.Name(),
+		Version: gen.version,
+		Results: results,
+	})
 }
 
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
@@ -165,8 +432,80 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
 		return
 	}
-	s.mu.RLock()
-	count := s.recs.NumUsers()
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]int{"users_with_recommendations": count})
+	writeJSON(w, http.StatusOK, map[string]int{"servable_users": s.train.NumUsers()})
+}
+
+// parseN reads an optional positive integer query parameter, falling back to
+// def on absence or garbage.
+func parseN(raw string, def int) int {
+	if raw == "" {
+		return def
+	}
+	if v, err := strconv.Atoi(raw); err == nil && v > 0 {
+		return v
+	}
+	return def
+}
+
+// --- Bounded LRU cache --------------------------------------------------------
+
+// lruCache is a mutex-guarded bounded LRU over per-user top-N sets. A
+// capacity ≤ 0 disables it (every get misses, every put is dropped).
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[types.UserID]*list.Element
+}
+
+type lruEntry struct {
+	user types.UserID
+	set  types.TopNSet
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[types.UserID]*list.Element),
+	}
+}
+
+func (c *lruCache) get(u types.UserID) (types.TopNSet, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[u]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).set, true
+}
+
+func (c *lruCache) put(u types.UserID, set types.TopNSet) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[u]; ok {
+		el.Value.(*lruEntry).set = set
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[u] = c.ll.PushFront(&lruEntry{user: u, set: set})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).user)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
 }

@@ -1,0 +1,264 @@
+package ganc
+
+import (
+	"context"
+	"fmt"
+
+	"ganc/internal/core"
+	"ganc/internal/longtail"
+)
+
+// Pipeline is the one-call assembly surface of the library. It validates and
+// wires the train set, an accuracy recommender, a θ estimator, a coverage
+// recommender and the GANC configuration together, replacing the old
+// AccuracyFrom*/EstimatePreferences/NewGANC multi-step dance:
+//
+//	p, err := ganc.NewPipeline(train,
+//	        ganc.WithBase(rsvd),
+//	        ganc.WithPreferences(ganc.PreferenceGeneralized),
+//	        ganc.WithCoverage(ganc.CoverageDyn()),
+//	        ganc.WithTopN(20))
+//
+// A Pipeline is itself an Engine: it answers single-user requests online
+// (RecommendUser) and batch sweeps (RecommendAll) through the assembled GANC
+// instance.
+type Pipeline struct {
+	train *Dataset
+	ganc  *GANC
+	prefs *Preferences
+	cfg   pipelineConfig
+}
+
+type pipelineConfig struct {
+	baseName     string
+	scorer       Scorer
+	accuracy     AccuracyRecommender
+	prefModel    PreferenceModel
+	prefConstant float64
+	prefVector   *Preferences
+	coverage     CoverageSpec
+	topN         int
+	sampleSize   int
+	workers      int
+	seed         int64
+}
+
+// PipelineOption customizes a Pipeline at construction time.
+type PipelineOption func(*pipelineConfig)
+
+// WithBase selects a pre-trained Scorer as the accuracy component. If the
+// scorer's Name matches a registry base with a custom accuracy adaptation
+// (e.g. "Pop", whose paper-faithful form is the indicator-style top-N
+// membership), that adaptation is used; otherwise the scores are min–max
+// normalized per user to [0,1] before entering the value function, as the
+// paper does with RSVD and PSVD predictions. Exactly one of WithBase,
+// WithBaseNamed or WithAccuracy must be given.
+func WithBase(s Scorer) PipelineOption {
+	return func(c *pipelineConfig) { c.scorer = s }
+}
+
+// WithBaseNamed selects the accuracy component from the model registry by
+// name (see BaseNames). Registry entries know the paper-faithful adaptation
+// for each model — e.g. "Pop" uses the indicator-style top-N membership
+// accuracy rather than normalized raw counts.
+func WithBaseNamed(name string) PipelineOption {
+	return func(c *pipelineConfig) { c.baseName = name }
+}
+
+// WithAccuracy plugs in a fully custom accuracy recommender.
+func WithAccuracy(a AccuracyRecommender) PipelineOption {
+	return func(c *pipelineConfig) { c.accuracy = a }
+}
+
+// WithPreferences selects the long-tail preference estimator θ (default:
+// PreferenceGeneralized, the paper's learned θ^G).
+func WithPreferences(m PreferenceModel) PipelineOption {
+	return func(c *pipelineConfig) { c.prefModel = m }
+}
+
+// WithPreferenceConstant sets the constant used by PreferenceConstant
+// (default 0.5, the paper's θ^C; ignored by every other estimator).
+func WithPreferenceConstant(v float64) PipelineOption {
+	return func(c *pipelineConfig) { c.prefConstant = v }
+}
+
+// WithPreferenceVector bypasses θ estimation entirely and uses the supplied
+// per-user vector (ablation studies, precomputed preferences).
+func WithPreferenceVector(p *Preferences) PipelineOption {
+	return func(c *pipelineConfig) { c.prefVector = p }
+}
+
+// WithCoverage selects the coverage recommender (default: CoverageDyn()).
+func WithCoverage(spec CoverageSpec) PipelineOption {
+	return func(c *pipelineConfig) { c.coverage = spec }
+}
+
+// WithTopN sets the recommendation list size N (default 10).
+func WithTopN(n int) PipelineOption {
+	return func(c *pipelineConfig) { c.topN = n }
+}
+
+// WithSampleSize sets the OSLG sample size S; 0 (the default) runs the fully
+// sequential locally greedy algorithm. Only meaningful with CoverageDyn.
+func WithSampleSize(s int) PipelineOption {
+	return func(c *pipelineConfig) { c.sampleSize = s }
+}
+
+// WithWorkers sets the goroutine count for GANC's parallel phases (default 1,
+// fully deterministic sequential execution).
+func WithWorkers(w int) PipelineOption {
+	return func(c *pipelineConfig) { c.workers = w }
+}
+
+// WithSeed sets the random seed shared by the θ estimator, the KDE sampler
+// and any randomized component (default 1).
+func WithSeed(seed int64) PipelineOption {
+	return func(c *pipelineConfig) { c.seed = seed }
+}
+
+// CoverageSpec is a deferred coverage-recommender constructor: the pipeline
+// resolves it against the train set during assembly, so callers no longer
+// thread catalog sizes through by hand.
+type CoverageSpec struct {
+	name  string
+	build func(train *Dataset, seed int64) CoverageRecommender
+}
+
+// CoverageDyn selects the dynamic coverage recommender c(i) = 1/√(f_i^A + 1),
+// the paper's submodular default.
+func CoverageDyn() CoverageSpec {
+	return CoverageSpec{name: "Dyn", build: func(train *Dataset, _ int64) CoverageRecommender {
+		return core.NewDynCoverage(train.NumItems())
+	}}
+}
+
+// CoverageStat selects the static popularity-based coverage recommender
+// c(i) = 1/√(f_i^R + 1).
+func CoverageStat() CoverageSpec {
+	return CoverageSpec{name: "Stat", build: func(train *Dataset, _ int64) CoverageRecommender {
+		return core.NewStatCoverage(train)
+	}}
+}
+
+// CoverageRand selects the uniform-random coverage recommender, seeded from
+// the pipeline seed.
+func CoverageRand() CoverageSpec {
+	return CoverageSpec{name: "Rand", build: func(_ *Dataset, seed int64) CoverageRecommender {
+		return core.NewRandCoverage(seed)
+	}}
+}
+
+// CoverageCustom wraps an arbitrary coverage recommender constructor so
+// downstream code can extend the framework without leaving the Pipeline API.
+func CoverageCustom(name string, build func(train *Dataset, seed int64) CoverageRecommender) CoverageSpec {
+	return CoverageSpec{name: name, build: build}
+}
+
+// NewPipeline validates and assembles a complete GANC pipeline in one call.
+// The only required choice is the accuracy component (exactly one of
+// WithBase, WithBaseNamed or WithAccuracy); everything else has the paper's
+// defaults: θ^G preferences, Dyn coverage, N=10, fully sequential OSLG.
+func NewPipeline(train *Dataset, opts ...PipelineOption) (*Pipeline, error) {
+	if train == nil {
+		return nil, fmt.Errorf("ganc: pipeline requires a train dataset")
+	}
+	if train.NumUsers() == 0 || train.NumItems() == 0 {
+		return nil, fmt.Errorf("ganc: pipeline requires a non-empty train dataset, got %d users × %d items",
+			train.NumUsers(), train.NumItems())
+	}
+	cfg := pipelineConfig{
+		prefModel:    PreferenceGeneralized,
+		prefConstant: 0.5, // the paper's θ^C default; a constant of 0 would degenerate GANC to pure accuracy
+		coverage:     CoverageDyn(),
+		topN:         10,
+		workers:      1,
+		seed:         1,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	if cfg.topN <= 0 {
+		return nil, fmt.Errorf("ganc: top-N must be positive, got %d", cfg.topN)
+	}
+	if cfg.sampleSize < 0 {
+		return nil, fmt.Errorf("ganc: OSLG sample size must be ≥ 0, got %d", cfg.sampleSize)
+	}
+	if cfg.coverage.build == nil {
+		return nil, fmt.Errorf("ganc: coverage spec %q has no constructor", cfg.coverage.name)
+	}
+
+	sources := 0
+	if cfg.scorer != nil {
+		sources++
+	}
+	if cfg.baseName != "" {
+		sources++
+	}
+	if cfg.accuracy != nil {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("ganc: exactly one of WithBase, WithBaseNamed or WithAccuracy is required (got %d)", sources)
+	}
+
+	arec := cfg.accuracy
+	var err error
+	switch {
+	case cfg.scorer != nil:
+		arec, err = accuracyForScorer(cfg.scorer, train, cfg.topN, cfg.seed)
+	case cfg.baseName != "":
+		arec, err = newAccuracyByName(cfg.baseName, train, cfg.topN, cfg.seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	prefs := cfg.prefVector
+	if prefs == nil {
+		prefs, err = longtail.Estimate(cfg.prefModel, train, nil, cfg.prefConstant, cfg.seed)
+		if err != nil {
+			return nil, fmt.Errorf("ganc: estimating θ preferences: %w", err)
+		}
+	}
+
+	crec := cfg.coverage.build(train, cfg.seed)
+	g, err := core.New(train, arec, prefs, crec, core.Config{
+		N:          cfg.topN,
+		SampleSize: cfg.sampleSize,
+		Seed:       cfg.seed,
+		Workers:    cfg.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{train: train, ganc: g, prefs: prefs, cfg: cfg}, nil
+}
+
+// Name returns the paper-style template string GANC(ARec, θ, CRec).
+func (p *Pipeline) Name() string { return p.ganc.Name() }
+
+// TopN returns the configured list size.
+func (p *Pipeline) TopN() int { return p.cfg.topN }
+
+// Train returns the train set the pipeline was assembled against.
+func (p *Pipeline) Train() *Dataset { return p.train }
+
+// Preferences returns the estimated per-user θ vector.
+func (p *Pipeline) Preferences() *Preferences { return p.prefs }
+
+// GANC returns the assembled core instance for callers that need the
+// lower-level surface (e.g. ValueOf in ablation studies).
+func (p *Pipeline) GANC() *GANC { return p.ganc }
+
+// RecommendUser implements Engine: one user's list, computed on demand
+// against a frozen snapshot of the coverage state. Safe for concurrent use.
+func (p *Pipeline) RecommendUser(ctx context.Context, u UserID, n int) (TopNSet, error) {
+	return p.ganc.RecommendUser(ctx, u, n)
+}
+
+// RecommendAll implements Engine: the full batch collection (OSLG for Dyn
+// coverage, independent greedy sweeps otherwise).
+func (p *Pipeline) RecommendAll(ctx context.Context) (Recommendations, error) {
+	return p.ganc.RecommendAll(ctx)
+}

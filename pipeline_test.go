@@ -1,0 +1,198 @@
+package ganc
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func pipelineFixture(t *testing.T) *Split {
+	t.Helper()
+	data, err := GenerateML100K(0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SplitByUser(data, 0.8, rand.New(rand.NewSource(7)))
+}
+
+func TestPipelineValidation(t *testing.T) {
+	split := pipelineFixture(t)
+	if _, err := NewPipeline(nil, WithBaseNamed("Pop")); err == nil {
+		t.Fatal("nil train accepted")
+	}
+	if _, err := NewPipeline(split.Train); err == nil {
+		t.Fatal("pipeline without an accuracy source accepted")
+	}
+	if _, err := NewPipeline(split.Train, WithBaseNamed("Pop"), WithBase(NewPop(split.Train))); err == nil {
+		t.Fatal("two accuracy sources accepted")
+	}
+	if _, err := NewPipeline(split.Train, WithBaseNamed("Pop"), WithTopN(0)); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := NewPipeline(split.Train, WithBaseNamed("Pop"), WithSampleSize(-1)); err == nil {
+		t.Fatal("negative sample size accepted")
+	}
+	if _, err := NewPipeline(split.Train, WithBaseNamed("NoSuchModel")); err == nil {
+		t.Fatal("unknown base name accepted")
+	}
+}
+
+// TestPipelineOnlineMatchesFreshBatch verifies the core online-serving
+// contract: RecommendUser on a fresh pipeline (Dyn frequencies all zero)
+// agrees with the first sweep the batch path would make, and repeated online
+// calls are deterministic and mutate nothing.
+func TestPipelineOnlineMatchesFreshBatch(t *testing.T) {
+	split := pipelineFixture(t)
+	const n = 5
+	ctx := context.Background()
+
+	p, err := NewPipeline(split.Train,
+		WithBaseNamed("Pop"),
+		WithCoverage(CoverageStat()), // stateless coverage → online == batch exactly
+		WithTopN(n),
+		WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := p.RecommendAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 5 && u < split.Train.NumUsers(); u++ {
+		online, err := p.RecommendUser(ctx, UserID(u), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(online) != len(batch[UserID(u)]) {
+			t.Fatalf("user %d: online %v vs batch %v", u, online, batch[UserID(u)])
+		}
+		for k := range online {
+			if online[k] != batch[UserID(u)][k] {
+				t.Fatalf("user %d: online %v vs batch %v", u, online, batch[UserID(u)])
+			}
+		}
+	}
+
+	// Dyn coverage: online calls must be deterministic (no state mutation).
+	pd, err := NewPipeline(split.Train, WithBaseNamed("Pop"), WithTopN(n), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := pd.RecommendUser(ctx, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := pd.RecommendUser(ctx, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != n || len(second) != n {
+		t.Fatalf("online lists wrong length: %d / %d", len(first), len(second))
+	}
+	for k := range first {
+		if first[k] != second[k] {
+			t.Fatalf("online recommendation not deterministic: %v vs %v", first, second)
+		}
+	}
+
+	// Out-of-range users and canceled contexts error instead of panicking.
+	if _, err := pd.RecommendUser(ctx, UserID(split.Train.NumUsers()), n); err == nil {
+		t.Fatal("out-of-range user accepted")
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := pd.RecommendUser(canceled, 0, n); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+}
+
+func TestPipelineIsAnEngine(t *testing.T) {
+	split := pipelineFixture(t)
+	p, err := NewPipeline(split.Train, WithBaseNamed("Pop"), WithTopN(4), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Engine = p
+	if e.TopN() != 4 {
+		t.Fatalf("TopN %d, want 4", e.TopN())
+	}
+	if !strings.HasPrefix(e.Name(), "GANC(") {
+		t.Fatalf("engine name %q", e.Name())
+	}
+}
+
+func TestRegistryBasesAndRerankers(t *testing.T) {
+	split := pipelineFixture(t)
+	for _, name := range []string{"Pop", "Rand", "ItemAvg"} {
+		s, err := NewBaseScorer(name, split.Train, 7)
+		if err != nil {
+			t.Fatalf("base %s: %v", name, err)
+		}
+		recs, err := NewBaseEngine(s, split.Train, 3).RecommendAll(context.Background())
+		if err != nil {
+			t.Fatalf("base %s: %v", name, err)
+		}
+		if len(recs) != split.Train.NumUsers() {
+			t.Fatalf("base %s: %d users recommended", name, len(recs))
+		}
+	}
+	if _, err := NewBaseScorer("NoSuchModel", split.Train, 7); err == nil {
+		t.Fatal("unknown base accepted")
+	}
+
+	base, err := NewBaseScorer("Pop", split.Train, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"RBT-Pop", "PRA-10", "GANC"} {
+		e, err := NewReranker(name, split.Train, base, 3, 7)
+		if err != nil {
+			t.Fatalf("reranker %s: %v", name, err)
+		}
+		set, err := e.RecommendUser(context.Background(), 0, 3)
+		if err != nil {
+			t.Fatalf("reranker %s online: %v", name, err)
+		}
+		if len(set) == 0 {
+			t.Fatalf("reranker %s produced an empty list", name)
+		}
+	}
+	if _, err := NewReranker("NoSuchReranker", split.Train, base, 3, 7); err == nil {
+		t.Fatal("unknown reranker accepted")
+	}
+
+	// The registries enumerate their built-ins.
+	if len(BaseNames()) < 7 || len(RerankerNames()) < 6 {
+		t.Fatalf("registry incomplete: bases %v, rerankers %v", BaseNames(), RerankerNames())
+	}
+}
+
+func TestStaticEngine(t *testing.T) {
+	recs := Recommendations{0: {1, 2}, 1: {0}}
+	if _, err := NewStaticEngine("m", nil, 2); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+	e, err := NewStaticEngine("m", recs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	set, err := e.RecommendUser(ctx, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[0] != 1 {
+		t.Fatalf("static engine truncation wrong: %v", set)
+	}
+	if _, err := e.RecommendUser(ctx, 99, 1); err == nil {
+		t.Fatal("missing user should error")
+	}
+	all, err := e.RecommendAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("static RecommendAll %d users", len(all))
+	}
+}

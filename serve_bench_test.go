@@ -1,0 +1,139 @@
+package ganc
+
+// Online-serving benchmarks: per-user latency of the lazy Engine path through
+// the HTTP server, cold (engine compute) vs warm (LRU cache hit). The
+// TestServeOnline_CacheHitSpeedup assertion is the acceptance gate for the
+// online serving redesign: cache hits must be at least an order of magnitude
+// faster than cold computes.
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// serveFixture assembles a GANC(Pop, θ^G, Dyn) pipeline over a mid-sized
+// synthetic dataset and mounts it behind the HTTP server.
+func serveFixture(tb testing.TB, opts ...ServerOption) (*Server, *Dataset) {
+	tb.Helper()
+	data, err := GenerateML100K(0.35)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	split := SplitByUser(data, 0.8, rand.New(rand.NewSource(41)))
+	p, err := NewPipeline(split.Train,
+		WithBaseNamed("Pop"),
+		WithCoverage(CoverageDyn()),
+		WithTopN(10),
+		WithSeed(41))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv, err := NewServer(split.Train, p, 10, opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return srv, split.Train
+}
+
+// serveOnce drives one GET /recommend through the handler in process.
+func serveOnce(tb testing.TB, handler http.Handler, userKey string) {
+	tb.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/recommend?user="+userKey, nil)
+	w := httptest.NewRecorder()
+	handler.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		tb.Fatalf("recommend %s → %d: %s", userKey, w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServeOnline_ColdPerUser reports the per-user online latency when
+// every request is a cold compute (cache disabled, distinct users).
+func BenchmarkServeOnline_ColdPerUser(b *testing.B) {
+	srv, train := serveFixture(b, WithServerCacheCapacity(0))
+	handler := srv.Handler()
+	keys := userKeys(train)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveOnce(b, handler, keys[i%len(keys)])
+	}
+}
+
+// BenchmarkServeOnline_CacheHit reports the per-user latency once the user's
+// list is resident in the LRU cache.
+func BenchmarkServeOnline_CacheHit(b *testing.B) {
+	srv, train := serveFixture(b)
+	handler := srv.Handler()
+	key := userKeys(train)[0]
+	serveOnce(b, handler, key) // populate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveOnce(b, handler, key)
+	}
+}
+
+func userKeys(train *Dataset) []string {
+	keys := make([]string, train.NumUsers())
+	for u := 0; u < train.NumUsers(); u++ {
+		keys[u] = train.UserInterner().Key(int32(u))
+	}
+	return keys
+}
+
+// TestServeOnline_CacheHitSpeedup asserts the acceptance criterion: serving a
+// cached user is ≥10× faster than a cold online compute. Medians over
+// several probes keep the comparison robust to scheduler noise; in practice
+// the gap is two to three orders of magnitude, so the 10× bar has a wide
+// safety margin.
+func TestServeOnline_CacheHitSpeedup(t *testing.T) {
+	srv, train := serveFixture(t)
+	handler := srv.Handler()
+	keys := userKeys(train)
+
+	const coldProbes = 9
+	if len(keys) < coldProbes+1 {
+		t.Fatalf("fixture too small: %d users", len(keys))
+	}
+	coldTimes := make([]time.Duration, 0, coldProbes)
+	for k := 0; k < coldProbes; k++ {
+		start := time.Now()
+		serveOnce(t, handler, keys[k])
+		coldTimes = append(coldTimes, time.Since(start))
+	}
+
+	// The same users again: every request is now a cache hit. Time batches of
+	// hits so each sample is well above timer granularity.
+	const hitsPerProbe = 50
+	hitTimes := make([]time.Duration, 0, coldProbes)
+	for k := 0; k < coldProbes; k++ {
+		start := time.Now()
+		for j := 0; j < hitsPerProbe; j++ {
+			serveOnce(t, handler, keys[k])
+		}
+		hitTimes = append(hitTimes, time.Since(start)/hitsPerProbe)
+	}
+
+	cold, hit := median(coldTimes), median(hitTimes)
+	stats := srv.Stats()
+	if stats.Hits < coldProbes*hitsPerProbe {
+		t.Fatalf("expected ≥%d cache hits, stats: %+v", coldProbes*hitsPerProbe, stats)
+	}
+	t.Logf("online per-user latency: cold=%v cached=%v speedup=%.1fx (cache stats %+v)",
+		cold, hit, float64(cold)/float64(hit), stats)
+	if hit*10 > cold {
+		t.Fatalf("cache hit (%v) is not ≥10× faster than cold compute (%v)", hit, cold)
+	}
+}
+
+func median(ds []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}
+

@@ -1,0 +1,35 @@
+package ganc
+
+import (
+	"ganc/internal/serve"
+)
+
+// Serving re-exports: put any Engine behind the HTTP service boundary
+// implemented in internal/serve — lazy per-user computation, a bounded LRU
+// cache, in-flight request coalescing, batch lookups and atomic engine swaps.
+type (
+	// Server serves one Engine over HTTP.
+	Server = serve.Server
+	// ServerOption customizes a Server at construction time.
+	ServerOption = serve.Option
+	// ServerCacheStats reports the server's cache effectiveness counters.
+	ServerCacheStats = serve.CacheStats
+)
+
+// NewServer builds an HTTP server around an Engine. The train set supplies
+// the external↔internal identifier translation; n is the default list size.
+func NewServer(train *Dataset, engine Engine, n int, opts ...ServerOption) (*Server, error) {
+	return serve.New(train, engine, n, opts...)
+}
+
+// WithServerCacheCapacity bounds the server's per-user LRU cache (≤ 0
+// disables caching).
+func WithServerCacheCapacity(capacity int) ServerOption {
+	return serve.WithCacheCapacity(capacity)
+}
+
+// WithServerPrecomputed seeds the server's cache with a batch-computed
+// collection so those users are served warm from the first request.
+func WithServerPrecomputed(recs Recommendations) ServerOption {
+	return serve.WithPrecomputed(recs)
+}

@@ -1,0 +1,181 @@
+// Command bench records the performance trajectory of the recommendation hot
+// paths in BENCH_sweep.json: ns/op, B/op and allocs/op for online
+// RecommendUser and batch RecommendAll on the synthetic presets, for both the
+// buffered/CELF candidate pipeline and the preserved pre-refactor per-pick
+// rescan path (core.GANC's Reference* methods), plus the derived speedup and
+// allocation ratios. CI runs the benchmark smoke via `go test -bench`; this
+// runner exists so the numbers land in a stable, diffable artifact that
+// later PRs extend.
+//
+//	bench                      # ML-100K and ML-1M at the default scale
+//	bench -presets ML-1M -scale 0.5 -out BENCH_sweep.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ganc"
+	"ganc/internal/longtail"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Comparison derives the headline ratios between the pipeline and the
+// pre-refactor reference for one preset and operation.
+type Comparison struct {
+	Preset     string  `json:"preset"`
+	Op         string  `json:"op"`
+	Speedup    float64 `json:"speedup"`
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// Report is the BENCH_sweep.json document.
+type Report struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Scale       float64      `json:"scale"`
+	TopN        int          `json:"top_n"`
+	Results     []Result     `json:"results"`
+	Comparisons []Comparison `json:"comparisons"`
+}
+
+func main() {
+	presets := flag.String("presets", "ML-100K,ML-1M", "comma-separated synth presets to benchmark")
+	scale := flag.Float64("scale", 0.5, "synthetic dataset scale")
+	topN := flag.Int("n", 10, "top-N list size")
+	out := flag.String("out", "BENCH_sweep.json", "output path")
+	flag.Parse()
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       *scale,
+		TopN:        *topN,
+	}
+
+	for _, preset := range strings.Split(*presets, ",") {
+		preset = strings.TrimSpace(preset)
+		if preset == "" {
+			continue
+		}
+		if err := benchPreset(&rep, preset, *scale, *topN); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *out, len(rep.Results))
+}
+
+// benchPreset measures both paths on one preset and appends the results.
+func benchPreset(rep *Report, preset string, scale float64, topN int) error {
+	data, err := ganc.GeneratePreset(preset, scale)
+	if err != nil {
+		return err
+	}
+	split := ganc.SplitByUser(data, 0.8, rand.New(rand.NewSource(77)))
+	prefs, err := longtail.Estimate(longtail.ModelGeneralized, split.Train, nil, 0, 77)
+	if err != nil {
+		return err
+	}
+	p, err := ganc.NewPipeline(split.Train,
+		ganc.WithBaseNamed("Pop"),
+		ganc.WithPreferenceVector(prefs),
+		ganc.WithCoverage(ganc.CoverageDyn()),
+		ganc.WithTopN(topN),
+		ganc.WithSampleSize(split.Train.NumUsers()/10),
+		ganc.WithSeed(77))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	g := p.GANC()
+	numUsers := split.Train.NumUsers()
+
+	// Warm the accuracy cache and the Dyn state so every measurement below is
+	// steady state.
+	if _, err := p.RecommendAll(ctx); err != nil {
+		return err
+	}
+
+	record := func(op, path string, fn func(i int)) Result {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn(i)
+			}
+		})
+		r := Result{
+			Name:        fmt.Sprintf("%s/%s/%s", op, preset, path),
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-44s %12.0f ns/op %10d B/op %8d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		return r
+	}
+	compare := func(op string, pipeline, reference Result) {
+		c := Comparison{Preset: preset, Op: op}
+		if pipeline.NsPerOp > 0 {
+			c.Speedup = reference.NsPerOp / pipeline.NsPerOp
+		}
+		if pipeline.AllocsPerOp > 0 {
+			c.AllocRatio = float64(reference.AllocsPerOp) / float64(pipeline.AllocsPerOp)
+		}
+		rep.Comparisons = append(rep.Comparisons, c)
+		fmt.Printf("%-44s %.1fx faster, %.1fx fewer allocs\n", op+"/"+preset, c.Speedup, c.AllocRatio)
+	}
+
+	userPipeline := record("RecommendUser", "pipeline", func(i int) {
+		if _, err := p.RecommendUser(ctx, ganc.UserID(i%numUsers), 0); err != nil {
+			panic(err)
+		}
+	})
+	userReference := record("RecommendUser", "reference", func(i int) {
+		if _, err := g.ReferenceRecommendUser(ctx, ganc.UserID(i%numUsers), 0); err != nil {
+			panic(err)
+		}
+	})
+	compare("RecommendUser", userPipeline, userReference)
+
+	allPipeline := record("RecommendAll", "pipeline", func(int) {
+		if _, err := p.RecommendAll(ctx); err != nil {
+			panic(err)
+		}
+	})
+	allReference := record("RecommendAll", "reference", func(int) {
+		_ = g.ReferenceRecommendAll()
+	})
+	compare("RecommendAll", allPipeline, allReference)
+	return nil
+}

@@ -205,4 +205,3 @@ func runCompare(spec, preset string, scale float64, n, sample int, seed int64) e
 	}
 	return nil
 }
-

@@ -27,8 +27,11 @@ type Engine interface {
 }
 
 // NewBaseEngine wraps any Scorer as an Engine under the paper's
-// all-unrated-items protocol: each request exhaustively scores the catalog,
-// excluding the user's train items.
+// all-unrated-items protocol. Requests run through the index-contiguous
+// candidate pipeline: the user's candidates (catalog minus train items) are
+// enumerated by a linear merge and scored in one BulkScores call, so a model
+// implementing BulkScorer (RSVD, PSVD, ItemKNN, Pop, ItemAvg, CofiRank) pays
+// one virtual dispatch per request instead of one per item.
 func NewBaseEngine(s Scorer, train *Dataset, n int) Engine {
 	return &recommender.TopNEngine{
 		Model: &recommender.ScorerTopN{Scorer: s, NumItems: train.NumItems()},
@@ -37,11 +40,29 @@ func NewBaseEngine(s Scorer, train *Dataset, n int) Engine {
 	}
 }
 
+// NewParallelBaseEngine is NewBaseEngine with RecommendAll sharded over
+// contiguous user ranges across the given number of workers, each reusing its
+// own candidate buffer. The scorer must be safe for concurrent use (every
+// built-in model except Rand is).
+func NewParallelBaseEngine(s Scorer, train *Dataset, n, workers int) Engine {
+	return &recommender.TopNEngine{
+		Model:   &recommender.ScorerTopN{Scorer: s, NumItems: train.NumItems()},
+		Train:   train,
+		N:       n,
+		Workers: workers,
+	}
+}
+
 // NewTopNEngine wraps a model that already implements ranked top-N selection
-// (e.g. the Pop recommender's direct path) as an Engine.
+// (e.g. the Pop recommender's direct path) as an Engine. Models implementing
+// recommender.TopNFrom are served through the candidate pipeline.
 func NewTopNEngine(model TopNRecommender, train *Dataset, n int) Engine {
 	return &recommender.TopNEngine{Model: model, Train: train, N: n}
 }
+
+// BulkScorer re-exports the batch scoring contract of the candidate pipeline
+// (see internal/recommender.BulkScorer) so downstream models can opt in.
+type BulkScorer = recommender.BulkScorer
 
 // TopNRecommender is the per-user ranked-list interface the base models
 // implement (re-exported from internal/recommender).

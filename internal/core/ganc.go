@@ -28,6 +28,7 @@ import (
 	"ganc/internal/kde"
 	"ganc/internal/longtail"
 	"ganc/internal/recommender"
+	"ganc/internal/submodular"
 	"ganc/internal/types"
 )
 
@@ -55,6 +56,30 @@ type CoverageRecommender interface {
 
 // --- Accuracy recommender adapters -------------------------------------------
 
+// BulkAccuracy is the batch companion of AccuracyRecommender: one call fills
+// a preallocated buffer with a(items[k]) for user u. The candidate pipeline
+// uses it to score a user's whole candidate set in one call; implementations
+// must return exactly the values AccuracyScore would (accuracy scores are
+// stateless by contract, so buffering them for the duration of a sweep is
+// always sound).
+type BulkAccuracy interface {
+	// AccuracyScores fills out[k] with a(items[k]) for user u;
+	// len(out) == len(items).
+	AccuracyScores(u types.UserID, items []types.ItemID, out []float64)
+}
+
+// fillAccuracyScores fills out with arec's scores for items, using the bulk
+// path when available.
+func fillAccuracyScores(arec AccuracyRecommender, u types.UserID, items []types.ItemID, out []float64) {
+	if ba, ok := arec.(BulkAccuracy); ok {
+		ba.AccuracyScores(u, items, out)
+		return
+	}
+	for k, i := range items {
+		out[k] = arec.AccuracyScore(u, i)
+	}
+}
+
 // ScorerAccuracy adapts any recommender.Scorer whose scores are already in
 // [0,1] (e.g. a NormalizedScorer around RSVD or PSVD).
 type ScorerAccuracy struct {
@@ -73,17 +98,32 @@ func (s *ScorerAccuracy) AccuracyScore(u types.UserID, i types.ItemID) float64 {
 	return v
 }
 
+// AccuracyScores implements BulkAccuracy through the scorer's bulk path,
+// clamping to [0,1] exactly as AccuracyScore does.
+func (s *ScorerAccuracy) AccuracyScores(u types.UserID, items []types.ItemID, out []float64) {
+	recommender.BulkScores(s.Scorer, u, items, out)
+	for k, v := range out {
+		if v < 0 {
+			out[k] = 0
+		} else if v > 1 {
+			out[k] = 1
+		}
+	}
+}
+
 // Name implements AccuracyRecommender.
 func (s *ScorerAccuracy) Name() string { return s.Scorer.Name() }
 
 // PopAccuracy is the paper's Pop accuracy recommender: a(i) = 1 when i is in
 // the user's popularity top-N (excluding their train items), 0 otherwise.
-// It is safe for concurrent use.
+// It is safe for concurrent use: lookups take a read lock only, so the hot
+// serving path never serializes on the cache, and the cache is bounded by
+// cacheCap with arbitrary-entry eviction (map iteration order) once full.
 type PopAccuracy struct {
 	pop      *recommender.Pop
 	train    *dataset.Dataset
 	topN     int
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	cache    map[types.UserID]map[types.ItemID]struct{}
 	cacheCap int
 }
@@ -100,34 +140,108 @@ func NewPopAccuracy(train *dataset.Dataset, topN int) *PopAccuracy {
 	}
 }
 
+// topSet returns user u's popularity top-N membership set, computing and
+// caching it on first use. The fast path is a read-locked map lookup.
+func (p *PopAccuracy) topSet(u types.UserID) map[types.ItemID]struct{} {
+	p.mu.RLock()
+	set, ok := p.cache[u]
+	p.mu.RUnlock()
+	if ok {
+		return set
+	}
+	top := p.pop.RecommendFrom(u, p.topN, p.train.AppendCandidates(u, nil))
+	set = make(map[types.ItemID]struct{}, len(top))
+	for _, it := range top {
+		set[it] = struct{}{}
+	}
+	p.mu.Lock()
+	if cached, ok := p.cache[u]; ok {
+		// Another goroutine computed the set first; keep its copy so all
+		// callers share one map.
+		set = cached
+	} else {
+		if len(p.cache) >= p.cacheCap {
+			p.evictOneLocked()
+		}
+		p.cache[u] = set
+	}
+	p.mu.Unlock()
+	return set
+}
+
+// evictOneLocked removes one arbitrary cache entry (map iteration order is
+// randomized, which approximates random replacement) so the cache stays
+// bounded under serving load instead of refusing new users. Callers hold
+// p.mu for writing.
+func (p *PopAccuracy) evictOneLocked() {
+	for victim := range p.cache {
+		delete(p.cache, victim)
+		break
+	}
+}
+
 // AccuracyScore implements AccuracyRecommender: membership in the user's
 // popularity top-N.
 func (p *PopAccuracy) AccuracyScore(u types.UserID, i types.ItemID) float64 {
-	p.mu.Lock()
-	set, ok := p.cache[u]
-	p.mu.Unlock()
-	if !ok {
-		top := p.pop.Recommend(u, p.topN, p.train.UserItemSet(u))
-		set = make(map[types.ItemID]struct{}, len(top))
-		for _, it := range top {
-			set[it] = struct{}{}
-		}
-		p.mu.Lock()
-		if len(p.cache) < p.cacheCap {
-			p.cache[u] = set
-		}
-		p.mu.Unlock()
-	}
-	if _, in := set[i]; in {
+	if _, in := p.topSet(u)[i]; in {
 		return 1
 	}
 	return 0
+}
+
+// AccuracyScores implements BulkAccuracy: the membership set is resolved once
+// for the whole candidate slice.
+func (p *PopAccuracy) AccuracyScores(u types.UserID, items []types.ItemID, out []float64) {
+	set := p.topSet(u)
+	for k, i := range items {
+		if _, in := set[i]; in {
+			out[k] = 1
+		} else {
+			out[k] = 0
+		}
+	}
+}
+
+// SetCacheCap overrides the top-N membership cache bound (primarily for
+// tests). Caps ≤ 0 are treated as 1.
+func (p *PopAccuracy) SetCacheCap(cap int) {
+	if cap <= 0 {
+		cap = 1
+	}
+	p.mu.Lock()
+	p.cacheCap = cap
+	for len(p.cache) > cap {
+		p.evictOneLocked()
+	}
+	p.mu.Unlock()
+}
+
+// CacheLen reports how many users' top-N sets are currently cached.
+func (p *PopAccuracy) CacheLen() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.cache)
 }
 
 // Name implements AccuracyRecommender.
 func (p *PopAccuracy) Name() string { return "Pop" }
 
 // --- Coverage recommenders ----------------------------------------------------
+
+// BulkCoverage is an optional CoverageRecommender extension for recommenders
+// whose per-user scores can be materialized once per sweep: implementing it
+// asserts that, within a single user's greedy sweep, an item's coverage score
+// only changes through Observe calls on that same item (which the sweep never
+// re-evaluates, because picked items leave the candidate pool). Stat and Rand
+// qualify trivially; Dyn is handled natively by the optimizer. Stateful
+// custom recommenders that do not implement it are scored live through
+// CoverageScore on every (lazy) gain evaluation, which stays correct for any
+// submodular objective.
+type BulkCoverage interface {
+	// CoverageScores fills out[k] with c(items[k]) for user u;
+	// len(out) == len(items).
+	CoverageScores(u types.UserID, items []types.ItemID, out []float64)
+}
 
 // RandCoverage assigns each (user, item) pair an independent uniform score,
 // the paper's Rand coverage recommender. It is safe for concurrent use.
@@ -146,6 +260,16 @@ func (r *RandCoverage) CoverageScore(types.UserID, types.ItemID) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.rng.Float64()
+}
+
+// CoverageScores implements BulkCoverage: the mutex is taken once per sweep
+// instead of once per (item, pick) evaluation.
+func (r *RandCoverage) CoverageScores(_ types.UserID, items []types.ItemID, out []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range items {
+		out[k] = r.rng.Float64()
+	}
 }
 
 // Observe implements CoverageRecommender (no state).
@@ -176,6 +300,18 @@ func (s *StatCoverage) CoverageScore(_ types.UserID, i types.ItemID) float64 {
 		return 0
 	}
 	return s.scores[i]
+}
+
+// CoverageScores implements BulkCoverage: a vectorized lookup of the
+// precomputed static scores.
+func (s *StatCoverage) CoverageScores(_ types.UserID, items []types.ItemID, out []float64) {
+	for k, i := range items {
+		if int(i) >= len(s.scores) {
+			out[k] = 0
+			continue
+		}
+		out[k] = s.scores[i]
+	}
 }
 
 // Observe implements CoverageRecommender (no state).
@@ -222,6 +358,18 @@ func (d *DynCoverage) Frequencies() []int {
 	out := make([]int, len(d.freq))
 	copy(out, d.freq)
 	return out
+}
+
+// CopyFrequencies copies the current frequency state into dst, growing it if
+// needed, and returns the filled slice. The online serving path uses it to
+// snapshot without allocating per request.
+func (d *DynCoverage) CopyFrequencies(dst []int) []int {
+	if cap(dst) < len(d.freq) {
+		dst = make([]int, len(d.freq))
+	}
+	dst = dst[:len(d.freq)]
+	copy(dst, d.freq)
+	return dst
 }
 
 // SetFrequencies replaces the frequency state (OSLG restores snapshots for
@@ -278,6 +426,11 @@ type GANC struct {
 	// Recommend path must not run concurrently with RecommendUser on the
 	// same instance.
 	onlineMu sync.Mutex
+
+	// scratchPool recycles the per-sweep candidate and score buffers, so the
+	// online RecommendUser path and the sharded batch workers allocate the
+	// catalog-sized buffers once instead of per call.
+	scratchPool sync.Pool
 }
 
 // New assembles a GANC instance from its three components, following the
@@ -292,14 +445,16 @@ func New(train *dataset.Dataset, arec AccuracyRecommender, prefs *longtail.Prefe
 	if prefs.Len() != train.NumUsers() {
 		return nil, fmt.Errorf("core: preference vector covers %d users but train set has %d", prefs.Len(), train.NumUsers())
 	}
-	return &GANC{
+	g := &GANC{
 		cfg:      cfg,
 		arec:     arec,
 		crec:     crec,
 		prefs:    prefs,
 		train:    train,
 		numItems: train.NumItems(),
-	}, nil
+	}
+	g.scratchPool.New = func() interface{} { return newSweepScratch(g.numItems) }
+	return g, nil
 }
 
 // Name returns the paper-style template string GANC(ARec, θ, CRec).
@@ -334,48 +489,173 @@ func (g *GANC) marginalGain(u types.UserID, i types.ItemID) float64 {
 	return (1-theta)*g.arec.AccuracyScore(u, i) + theta*g.crec.CoverageScore(u, i)
 }
 
-// greedyForUser builds one user's top-N set greedily against the current
-// coverage state, notifying the coverage recommender of each pick.
-func (g *GANC) greedyForUser(u types.UserID, exclude map[types.ItemID]struct{}) types.TopNSet {
-	set, _ := g.greedySweep(context.Background(), u, exclude, g.cfg.N, true)
-	return set
+// --- Buffered CELF sweep machinery --------------------------------------------
+
+// coverageMode selects how the sweep oracle resolves coverage scores.
+type coverageMode int
+
+const (
+	// covBuffered reads the dense per-sweep coverage buffer (Stat, Rand and
+	// any custom BulkCoverage implementation).
+	covBuffered coverageMode = iota
+	// covDynLive reads the shared live Dyn frequency state (the OSLG
+	// sequential in-sample phase).
+	covDynLive
+	// covFrozen reads a frozen Dyn frequency snapshot (the OSLG out-of-sample
+	// phase and the online RecommendUser path).
+	covFrozen
+	// covLive calls CoverageScore on every gain evaluation (custom stateful
+	// recommenders without a bulk contract; correct for any submodular gain).
+	covLive
+)
+
+// sweepScratch holds one worker's reusable buffers: the candidate slice, a
+// packed staging buffer aligned with it, dense (by-ItemID) accuracy and
+// coverage score buffers, a frozen-frequency snapshot buffer and the CELF
+// heap storage. One scratch serves one sweep at a time.
+type sweepScratch struct {
+	cand   []types.ItemID
+	packed []float64
+	acc    []float64
+	cov    []float64
+	freq   []int
+	lazy   submodular.LazyScratch
+	oracle sweepOracle
 }
 
-// greedySweep is the n-parameterized greedy selection loop. When observe is
-// true each pick is reported to the coverage recommender (the batch path);
-// online callers pass false so shared state is never mutated.
-func (g *GANC) greedySweep(ctx context.Context, u types.UserID, exclude map[types.ItemID]struct{}, n int, observe bool) (types.TopNSet, error) {
-	set := make(types.TopNSet, 0, n)
-	chosen := make(map[types.ItemID]struct{}, n)
-	for step := 0; step < n; step++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+func newSweepScratch(numItems int) *sweepScratch {
+	return &sweepScratch{
+		acc: make([]float64, numItems),
+		cov: make([]float64, numItems),
+	}
+}
+
+func (g *GANC) getScratch() *sweepScratch   { return g.scratchPool.Get().(*sweepScratch) }
+func (g *GANC) putScratch(sc *sweepScratch) { g.scratchPool.Put(sc) }
+
+// sweepOracle adapts one user's buffered scores to the submodular.Oracle
+// interface consumed by the CELF lazy-greedy selection.
+type sweepOracle struct {
+	crec    CoverageRecommender
+	theta   float64
+	cand    []types.ItemID
+	acc     []float64 // dense by ItemID
+	cov     []float64 // dense by ItemID (covBuffered)
+	freq    []int     // frozen Dyn snapshot (covFrozen)
+	dyn     *DynCoverage
+	mode    coverageMode
+	observe bool
+}
+
+// Candidates implements submodular.Oracle.
+func (o *sweepOracle) Candidates(types.UserID) []types.ItemID { return o.cand }
+
+// Gain implements submodular.Oracle: (1−θ)·a(i) + θ·c(i) with a(i) read from
+// the dense accuracy buffer and c(i) resolved per the coverage mode.
+func (o *sweepOracle) Gain(u types.UserID, i types.ItemID) float64 {
+	var cov float64
+	switch o.mode {
+	case covBuffered:
+		cov = o.cov[i]
+	case covDynLive:
+		cov = o.dyn.CoverageScore(u, i)
+	case covFrozen:
+		base := 0
+		if int(i) < len(o.freq) {
+			base = o.freq[i]
 		}
-		best := types.InvalidItem
-		bestGain := math.Inf(-1)
-		for idx := 0; idx < g.numItems; idx++ {
-			item := types.ItemID(idx)
-			if _, skip := exclude[item]; skip {
-				continue
+		cov = 1 / math.Sqrt(float64(base)+1)
+	case covLive:
+		cov = o.crec.CoverageScore(u, i)
+	}
+	return (1-o.theta)*o.acc[i] + o.theta*cov
+}
+
+// Commit implements submodular.Oracle: batch sweeps report each pick to the
+// coverage recommender; frozen/online sweeps never mutate shared state.
+func (o *sweepOracle) Commit(_ types.UserID, i types.ItemID) {
+	if o.observe {
+		o.crec.Observe(i)
+	}
+}
+
+// sweepUser builds one user's top-n set through the index-contiguous
+// candidate pipeline: candidates are enumerated by a linear merge against the
+// user's sorted train adjacency, accuracy scores land in a dense buffer via
+// one bulk call, and items are selected with the CELF lazy-greedy heap. When
+// freq is non-nil the sweep runs against that frozen Dyn snapshot; observe
+// reports picks to the shared coverage recommender (the batch path).
+func (g *GANC) sweepUser(ctx context.Context, u types.UserID, n int, freq []int, observe bool, sc *sweepScratch) (types.TopNSet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sc.cand = g.train.AppendCandidates(u, sc.cand[:0])
+	cand := sc.cand
+	if cap(sc.packed) < len(cand) {
+		sc.packed = make([]float64, len(cand))
+	}
+	packed := sc.packed[:len(cand)]
+
+	fillAccuracyScores(g.arec, u, cand, packed)
+	for k, i := range cand {
+		sc.acc[i] = packed[k]
+	}
+	// Re-check cancellation between the scoring and selection stages: the old
+	// per-pick rescan checked ctx once per pick, and on large catalogs the
+	// bulk scoring above is the bulk of a sweep's cost.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	o := &sc.oracle
+	*o = sweepOracle{
+		crec:    g.crec,
+		theta:   g.prefs.Get(u),
+		cand:    cand,
+		acc:     sc.acc,
+		observe: observe,
+	}
+	switch {
+	case freq != nil:
+		o.mode, o.freq = covFrozen, freq
+	default:
+		if dyn, isDyn := g.crec.(*DynCoverage); isDyn {
+			o.mode, o.dyn = covDynLive, dyn
+		} else if bc, isBulk := g.crec.(BulkCoverage); isBulk {
+			bc.CoverageScores(u, cand, packed)
+			for k, i := range cand {
+				sc.cov[i] = packed[k]
 			}
-			if _, used := chosen[item]; used {
-				continue
-			}
-			gain := g.marginalGain(u, item)
-			if gain > bestGain || (gain == bestGain && item < best) {
-				bestGain, best = gain, item
-			}
-		}
-		if best == types.InvalidItem {
-			break
-		}
-		set = append(set, best)
-		chosen[best] = struct{}{}
-		if observe {
-			g.crec.Observe(best)
+			o.mode = covBuffered
+			o.cov = sc.cov
+		} else {
+			o.mode = covLive
 		}
 	}
-	return set, nil
+	return submodular.LazyGreedyForUserScratch(u, n, o, &sc.lazy), nil
+}
+
+// forEachShard splits [0, count) into contiguous ranges across the configured
+// workers (clamped to the CPU count) and runs fn(lo, hi) per range, inline
+// when parallelism is disabled.
+func (g *GANC) forEachShard(count int, fn func(lo, hi int)) {
+	workers := g.cfg.Workers
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+	if workers <= 1 || count <= 1 {
+		fn(0, count)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, r := range recommender.ShardRanges(count, workers) {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(r.Lo, r.Hi)
+	}
+	wg.Wait()
 }
 
 // Recommend produces the top-N collection for every user.
@@ -391,16 +671,23 @@ func (g *GANC) Recommend() types.Recommendations {
 		return g.recommendOSLG(dyn)
 	}
 	// Stateless coverage recommenders (Rand, Stat): every user's problem is
-	// independent, so the sweep parallelizes across Config.Workers.
-	recs := make(types.Recommendations, g.train.NumUsers())
-	var mu sync.Mutex
-	g.forEachParallel(g.train.NumUsers(), func(u int) {
-		uid := types.UserID(u)
-		set := g.greedyForUser(uid, g.train.UserItemSet(uid))
-		mu.Lock()
-		recs[uid] = set
-		mu.Unlock()
+	// independent, so the sweep shards across Config.Workers, one contiguous
+	// user range and one scratch per worker. Per-user results land in a slice
+	// indexed by user, so no mutex is needed.
+	numUsers := g.train.NumUsers()
+	sets := make([]types.TopNSet, numUsers)
+	ctx := context.Background()
+	g.forEachShard(numUsers, func(lo, hi int) {
+		sc := g.getScratch()
+		defer g.putScratch(sc)
+		for u := lo; u < hi; u++ {
+			sets[u], _ = g.sweepUser(ctx, types.UserID(u), g.cfg.N, nil, true, sc)
+		}
 	})
+	recs := make(types.Recommendations, numUsers)
+	for u, set := range sets {
+		recs[types.UserID(u)] = set
+	}
 	return recs
 }
 
@@ -426,14 +713,15 @@ func (g *GANC) RecommendUser(ctx context.Context, u types.UserID, n int) (types.
 	if n <= 0 {
 		n = g.cfg.N
 	}
-	exclude := g.train.UserItemSet(u)
+	sc := g.getScratch()
+	defer g.putScratch(sc)
 	if dyn, ok := g.crec.(*DynCoverage); ok {
 		g.onlineMu.Lock()
-		freq := dyn.Frequencies()
+		sc.freq = dyn.CopyFrequencies(sc.freq)
 		g.onlineMu.Unlock()
-		return g.greedyFrozen(ctx, u, exclude, freq, n)
+		return g.sweepUser(ctx, u, n, sc.freq, false, sc)
 	}
-	return g.greedySweep(ctx, u, exclude, n, false)
+	return g.sweepUser(ctx, u, n, nil, false, sc)
 }
 
 // RecommendAll is the context-aware batch entry point used by the Engine
@@ -490,14 +778,17 @@ func (g *GANC) recommendOSLG(dyn *DynCoverage) types.Recommendations {
 
 	// Sequential pass over the sample (lines 4–10), snapshotting the Dyn
 	// frequency state after each user, keyed by that user's θ.
+	ctx := context.Background()
 	snapshots := make([]freqSnapshot, 0, len(sample))
 	inSample := make(map[types.UserID]struct{}, len(sample))
+	sc := g.getScratch()
 	for _, ut := range sample {
 		inSample[ut.user] = struct{}{}
-		set := g.greedyForUser(ut.user, g.train.UserItemSet(ut.user))
+		set, _ := g.sweepUser(ctx, ut.user, g.cfg.N, nil, true, sc)
 		recs[ut.user] = set
 		snapshots = append(snapshots, freqSnapshot{theta: ut.theta, freq: dyn.Frequencies()})
 	}
+	g.putScratch(sc)
 
 	if fullSequential {
 		return recs
@@ -505,8 +796,9 @@ func (g *GANC) recommendOSLG(dyn *DynCoverage) types.Recommendations {
 
 	// Out-of-sample pass (lines 11–15): each remaining user reuses the frozen
 	// frequency snapshot of the sampled user with the closest θ. These users'
-	// value functions are independent of each other, so the pass runs on a
-	// worker pool when Config.Workers > 1, exactly as the paper observes.
+	// value functions are independent of each other, so the pass shards
+	// across Config.Workers, one contiguous range and one scratch per worker,
+	// exactly as the paper observes.
 	var remaining []userTheta
 	for _, ut := range all {
 		if _, done := inSample[ut.user]; done {
@@ -514,105 +806,25 @@ func (g *GANC) recommendOSLG(dyn *DynCoverage) types.Recommendations {
 		}
 		remaining = append(remaining, ut)
 	}
-	var mu sync.Mutex
-	g.forEachParallel(len(remaining), func(k int) {
-		ut := remaining[k]
-		snap := nearestSnapshotFreq(snapshots, ut.theta)
-		set := g.greedyForUserFrozenFreq(ut.user, g.train.UserItemSet(ut.user), snap)
-		mu.Lock()
-		recs[ut.user] = set
-		mu.Unlock()
+	sets := make([]types.TopNSet, len(remaining))
+	g.forEachShard(len(remaining), func(lo, hi int) {
+		wsc := g.getScratch()
+		defer g.putScratch(wsc)
+		for k := lo; k < hi; k++ {
+			ut := remaining[k]
+			snap := nearestSnapshotFreq(snapshots, ut.theta)
+			sets[k], _ = g.sweepUser(ctx, ut.user, g.cfg.N, snap, false, wsc)
+		}
 	})
 	// Fold the out-of-sample recommendations into the final frequency state
 	// so the recommender's end state reflects the full collection.
-	for _, ut := range remaining {
-		for _, i := range recs[ut.user] {
+	for k, ut := range remaining {
+		recs[ut.user] = sets[k]
+		for _, i := range sets[k] {
 			dyn.Observe(i)
 		}
 	}
 	return recs
-}
-
-// forEachParallel runs fn(0..count-1) across the configured number of
-// workers, or inline when parallelism is disabled.
-func (g *GANC) forEachParallel(count int, fn func(int)) {
-	workers := g.cfg.Workers
-	if workers > runtime.NumCPU() {
-		workers = runtime.NumCPU()
-	}
-	if workers <= 1 || count <= 1 {
-		for k := 0; k < count; k++ {
-			fn(k)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, count)
-	for k := 0; k < count; k++ {
-		next <- k
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range next {
-				fn(k)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// greedyForUserFrozenFreq builds a top-N set against a frozen Dyn frequency
-// snapshot: within the user's own set the frequencies still accumulate
-// locally (so the same item is not picked twice and diminishing returns apply
-// within the set), but the shared state is never modified, which makes the
-// call safe to run concurrently for different users.
-func (g *GANC) greedyForUserFrozenFreq(u types.UserID, exclude map[types.ItemID]struct{}, freq []int) types.TopNSet {
-	set, _ := g.greedyFrozen(context.Background(), u, exclude, freq, g.cfg.N)
-	return set
-}
-
-// greedyFrozen is the n-parameterized frozen-frequency sweep behind both the
-// OSLG out-of-sample phase and the online RecommendUser path.
-func (g *GANC) greedyFrozen(ctx context.Context, u types.UserID, exclude map[types.ItemID]struct{}, freq []int, n int) (types.TopNSet, error) {
-	set := make(types.TopNSet, 0, n)
-	chosen := make(map[types.ItemID]struct{}, n)
-	theta := g.prefs.Get(u)
-	localBump := make(map[types.ItemID]int, n)
-	for step := 0; step < n; step++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		best := types.InvalidItem
-		bestGain := math.Inf(-1)
-		for idx := 0; idx < g.numItems; idx++ {
-			item := types.ItemID(idx)
-			if _, skip := exclude[item]; skip {
-				continue
-			}
-			if _, used := chosen[item]; used {
-				continue
-			}
-			base := 0
-			if idx < len(freq) {
-				base = freq[idx]
-			}
-			cov := 1 / math.Sqrt(float64(base+localBump[item])+1)
-			gain := (1-theta)*g.arec.AccuracyScore(u, item) + theta*cov
-			if gain > bestGain || (gain == bestGain && item < best) {
-				bestGain, best = gain, item
-			}
-		}
-		if best == types.InvalidItem {
-			break
-		}
-		set = append(set, best)
-		chosen[best] = struct{}{}
-		localBump[best]++
-	}
-	return set, nil
 }
 
 // sampleUsersByKDE draws sampleSize users whose θ values follow the KDE of

@@ -29,6 +29,12 @@ type Dataset struct {
 
 	byUser [][]int // rating indices per user
 	byItem [][]int // rating indices per item
+
+	// sortedItemsByUser holds each user's distinct rated items in ascending
+	// ItemID order. It is the index-contiguous complement of byUser: the
+	// candidate pipeline merges it linearly against the catalog to enumerate
+	// "all unrated items" without building a map per call.
+	sortedItemsByUser [][]types.ItemID
 }
 
 // Builder accumulates ratings and produces a Dataset. The zero value is not
@@ -107,6 +113,25 @@ func (d *Dataset) buildIndexes() {
 		d.byUser[r.User] = append(d.byUser[r.User], idx)
 		d.byItem[r.Item] = append(d.byItem[r.Item], idx)
 	}
+	d.sortedItemsByUser = make([][]types.ItemID, len(d.byUser))
+	for u, idxs := range d.byUser {
+		if len(idxs) == 0 {
+			continue
+		}
+		items := make([]types.ItemID, len(idxs))
+		for k, idx := range idxs {
+			items[k] = d.ratings[idx].Item
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		// Deduplicate in place (a user may rate the same item more than once).
+		out := items[:1]
+		for _, it := range items[1:] {
+			if it != out[len(out)-1] {
+				out = append(out, it)
+			}
+		}
+		d.sortedItemsByUser[u] = out
+	}
 }
 
 // Name returns the dataset's human-readable name.
@@ -161,6 +186,45 @@ func (d *Dataset) UserItemSet(u types.UserID) map[types.ItemID]struct{} {
 		out[d.ratings[idx].Item] = struct{}{}
 	}
 	return out
+}
+
+// UserItemsSorted returns user u's distinct rated items in ascending ItemID
+// order. The returned slice is shared with the dataset and must not be
+// modified.
+func (d *Dataset) UserItemsSorted(u types.UserID) []types.ItemID {
+	if int(u) < 0 || int(u) >= len(d.sortedItemsByUser) {
+		return nil
+	}
+	return d.sortedItemsByUser[u]
+}
+
+// AppendCandidates appends user u's candidate items — the catalog minus the
+// user's rated items — to buf in ascending ItemID order and returns the
+// extended slice. The enumeration is a linear merge of the dense catalog
+// [0, NumItems) against the user's sorted adjacency, so it allocates nothing
+// when buf has capacity; callers reuse one buffer across users
+// (buf = d.AppendCandidates(u, buf[:0])).
+func (d *Dataset) AppendCandidates(u types.UserID, buf []types.ItemID) []types.ItemID {
+	rated := d.UserItemsSorted(u)
+	numItems := d.NumItems()
+	k := 0
+	for idx := 0; idx < numItems; idx++ {
+		item := types.ItemID(idx)
+		for k < len(rated) && rated[k] < item {
+			k++
+		}
+		if k < len(rated) && rated[k] == item {
+			continue
+		}
+		buf = append(buf, item)
+	}
+	return buf
+}
+
+// NumCandidates returns how many candidate items AppendCandidates would yield
+// for user u.
+func (d *Dataset) NumCandidates(u types.UserID) int {
+	return d.NumItems() - len(d.UserItemsSorted(u))
 }
 
 // ItemUsers returns the users who rated item i.

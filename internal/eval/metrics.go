@@ -58,6 +58,12 @@ type Evaluator struct {
 	tail     map[types.ItemID]struct{}
 	trainPop []int
 	beta     float64
+
+	// stratDen is the Stratified Recall denominator — the summed weights of
+	// every relevant test item. It is precomputed in deterministic (sorted)
+	// order once, so repeated Evaluate calls produce bitwise-identical
+	// reports instead of re-summing floats in randomized map order.
+	stratDen float64
 }
 
 // NewEvaluator builds an evaluator for the given split. beta ≤ 0 selects the
@@ -74,7 +80,7 @@ func NewEvaluator(split *dataset.Split, beta float64) *Evaluator {
 		}
 		rel[u] = set
 	}
-	return &Evaluator{
+	e := &Evaluator{
 		train:    split.Train,
 		test:     split.Test,
 		numItems: split.Train.NumItems(),
@@ -83,6 +89,22 @@ func NewEvaluator(split *dataset.Split, beta float64) *Evaluator {
 		trainPop: split.Train.PopularityVector(),
 		beta:     beta,
 	}
+	users := make([]types.UserID, 0, len(rel))
+	for u := range rel {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+	for _, u := range users {
+		items := make([]types.ItemID, 0, len(rel[u]))
+		for i := range rel[u] {
+			items = append(items, i)
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		for _, i := range items {
+			e.stratDen += e.stratWeight(i)
+		}
+	}
+	return e
 }
 
 // LongTail exposes the train-set long-tail item set used by LTAccuracy.
@@ -114,8 +136,11 @@ func (e *Evaluator) Evaluate(name string, recs types.Recommendations, n int) Rep
 	)
 	itemFreq := make([]int, e.numItems)
 
-	for u, fullSet := range recs {
-		set := fullSet
+	// Iterate users in sorted order: the report's floating-point sums (and
+	// therefore printed comparison tables and golden tests) are then stable
+	// run to run instead of following randomized map order.
+	for _, u := range recs.SortedUsers() {
+		set := recs[u]
 		if len(set) > n {
 			set = set[:n]
 		}
@@ -177,19 +202,13 @@ func (e *Evaluator) stratWeight(i types.ItemID) float64 {
 }
 
 // stratRecall finishes the Stratified Recall computation: the numerator is
-// the summed weights of the hits, the denominator the summed weights of all
-// relevant test items across users.
+// the summed weights of the hits, the denominator the precomputed summed
+// weights of all relevant test items across users.
 func (e *Evaluator) stratRecall(num float64) float64 {
-	den := 0.0
-	for _, rel := range e.relevant {
-		for i := range rel {
-			den += e.stratWeight(i)
-		}
-	}
-	if den == 0 {
+	if e.stratDen == 0 {
 		return 0
 	}
-	return num / den
+	return num / e.stratDen
 }
 
 // coverageFromFreq is |distinct recommended items| / |I|.

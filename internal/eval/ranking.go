@@ -20,7 +20,8 @@ func (e *Evaluator) NDCG(recs types.Recommendations, n int) float64 {
 		return 0
 	}
 	sum, users := 0.0, 0
-	for u, set := range recs {
+	for _, u := range recs.SortedUsers() {
+		set := recs[u]
 		rel := e.relevant[u]
 		if len(rel) == 0 {
 			continue
@@ -60,7 +61,8 @@ func (e *Evaluator) MRR(recs types.Recommendations, n int) float64 {
 		return 0
 	}
 	sum, users := 0.0, 0
-	for u, set := range recs {
+	for _, u := range recs.SortedUsers() {
+		set := recs[u]
 		rel := e.relevant[u]
 		if len(rel) == 0 {
 			continue
@@ -89,7 +91,8 @@ func (e *Evaluator) HitRate(recs types.Recommendations, n int) float64 {
 		return 0
 	}
 	hits, users := 0, 0
-	for u, set := range recs {
+	for _, u := range recs.SortedUsers() {
+		set := recs[u]
 		rel := e.relevant[u]
 		if len(rel) == 0 {
 			continue

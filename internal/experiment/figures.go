@@ -361,4 +361,3 @@ func (s *Suite) TableV(datasets []string) ([]TableVRow, string, error) {
 		formatTable([]string{"Dataset", "g", "eta", "lambda", "RMSE", "MAE"}, textRows)
 	return rows, text, nil
 }
-

@@ -488,4 +488,3 @@ func formatTable(header []string, rows [][]string) string {
 	}
 	return sb.String()
 }
-

@@ -1,0 +1,40 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ganc/internal/dataset"
+	"ganc/internal/types"
+)
+
+func TestItemKNNScoreUserMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ratings := []types.Rating{{User: 19, Item: 29, Value: 3}}
+	for k := 0; k < 500; k++ {
+		ratings = append(ratings, types.Rating{
+			User:  types.UserID(rng.Intn(20)),
+			Item:  types.ItemID(rng.Intn(30)),
+			Value: float64(1 + rng.Intn(5)),
+		})
+	}
+	d := dataset.FromRatings("knn-bulk", ratings)
+	m, err := Train(d, Config{Neighbors: 10, MinOverlap: 2, Shrinkage: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]types.ItemID, d.NumItems()+2)
+	for k := range items {
+		items[k] = types.ItemID(k)
+	}
+	out := make([]float64, len(items))
+	for u := -1; u <= d.NumUsers(); u++ {
+		uid := types.UserID(u)
+		m.ScoreUser(uid, items, out)
+		for k, i := range items {
+			if want := m.Score(uid, i); out[k] != want {
+				t.Fatalf("user %d item %d: bulk %v != score %v", u, i, out[k], want)
+			}
+		}
+	}
+}

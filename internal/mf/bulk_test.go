@@ -1,0 +1,67 @@
+package mf
+
+import (
+	"math/rand"
+	"testing"
+
+	"ganc/internal/dataset"
+	"ganc/internal/types"
+)
+
+// bulkSplitDataset builds a small random dataset for the bulk-contract tests.
+func bulkSplitDataset(seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ratings := []types.Rating{{User: 24, Item: 49, Value: 3}}
+	for k := 0; k < 600; k++ {
+		ratings = append(ratings, types.Rating{
+			User:  types.UserID(rng.Intn(25)),
+			Item:  types.ItemID(rng.Intn(50)),
+			Value: float64(1 + rng.Intn(5)),
+		})
+	}
+	return dataset.FromRatings("mf-bulk", ratings)
+}
+
+// assertBulkContract verifies ScoreUser against the pointwise Score,
+// including out-of-range users and items.
+func assertBulkContract(t *testing.T, name string, score func(types.UserID, types.ItemID) float64,
+	scoreUser func(types.UserID, []types.ItemID, []float64), numUsers, numItems int) {
+	t.Helper()
+	items := make([]types.ItemID, numItems+3)
+	for k := range items {
+		items[k] = types.ItemID(k)
+	}
+	out := make([]float64, len(items))
+	for u := -1; u <= numUsers; u++ {
+		uid := types.UserID(u)
+		scoreUser(uid, items, out)
+		for k, i := range items {
+			if want := score(uid, i); out[k] != want {
+				t.Fatalf("%s: user %d item %d: bulk %v != score %v", name, u, i, out[k], want)
+			}
+		}
+	}
+}
+
+func TestRSVDScoreUserMatchesScore(t *testing.T) {
+	d := bulkSplitDataset(1)
+	for _, useBiases := range []bool{true, false} {
+		cfg := DefaultRSVDConfig()
+		cfg.Factors, cfg.Epochs, cfg.Seed = 6, 4, 1
+		cfg.UseBiases = useBiases
+		m, err := TrainRSVD(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBulkContract(t, m.Name(), m.Score, m.ScoreUser, d.NumUsers(), d.NumItems())
+	}
+}
+
+func TestPSVDScoreUserMatchesScore(t *testing.T) {
+	d := bulkSplitDataset(2)
+	m, err := TrainPSVD(d, PSVDConfig{Factors: 8, PowerIterations: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBulkContract(t, m.Name(), m.Score, m.ScoreUser, d.NumUsers(), d.NumItems())
+}

@@ -116,6 +116,30 @@ func (m *PSVD) Score(u types.UserID, i types.ItemID) float64 {
 	return s
 }
 
+// ScoreUser implements recommender.BulkScorer: one factor-row lookup, then a
+// dense dot product per candidate.
+func (m *PSVD) ScoreUser(u types.UserID, items []types.ItemID, out []float64) {
+	if int(u) < 0 || int(u) >= m.numUsers {
+		for k := range items {
+			out[k] = 0
+		}
+		return
+	}
+	pu := m.userF[u]
+	for k, i := range items {
+		if int(i) < 0 || int(i) >= m.numItems {
+			out[k] = 0
+			continue
+		}
+		qi := m.itemF[i]
+		s := 0.0
+		for f := range pu {
+			s += pu[f] * qi[f]
+		}
+		out[k] = s
+	}
+}
+
 // Name implements recommender.Scorer ("PSVD10", "PSVD100", ...).
 func (m *PSVD) Name() string { return m.name }
 

@@ -167,6 +167,36 @@ func (m *RSVD) Score(u types.UserID, i types.ItemID) float64 {
 	return m.predict(u, i)
 }
 
+// ScoreUser implements recommender.BulkScorer: the user's factor row and bias
+// are hoisted out of the item loop, so a candidate sweep is len(items) dense
+// dot products over contiguous factor slices.
+func (m *RSVD) ScoreUser(u types.UserID, items []types.ItemID, out []float64) {
+	if int(u) < 0 || int(u) >= len(m.userF) {
+		for k := range items {
+			out[k] = m.globalMean
+		}
+		return
+	}
+	pu := m.userF[u]
+	for k, i := range items {
+		if int(i) < 0 || int(i) >= len(m.itemF) {
+			out[k] = m.globalMean
+			continue
+		}
+		// Mirror predict's exact summation order so bulk and pointwise scores
+		// are bit-identical.
+		s := m.globalMean
+		if m.cfg.UseBiases {
+			s += m.userBias[u] + m.itemBias[i]
+		}
+		qi := m.itemF[i]
+		for f := range pu {
+			s += pu[f] * qi[f]
+		}
+		out[k] = s
+	}
+}
+
 // Name implements recommender.Scorer.
 func (m *RSVD) Name() string { return m.name }
 

@@ -1,0 +1,44 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+
+	"ganc/internal/dataset"
+	"ganc/internal/types"
+)
+
+func TestCofiScoreUserMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ratings := []types.Rating{{User: 14, Item: 24, Value: 3}}
+	for k := 0; k < 400; k++ {
+		ratings = append(ratings, types.Rating{
+			User:  types.UserID(rng.Intn(15)),
+			Item:  types.ItemID(rng.Intn(25)),
+			Value: float64(1 + rng.Intn(5)),
+		})
+	}
+	d := dataset.FromRatings("rank-bulk", ratings)
+	for _, loss := range []Loss{LossRegression, LossPairwise} {
+		cfg := DefaultConfig()
+		cfg.Factors, cfg.Epochs, cfg.Seed, cfg.Loss = 6, 3, 6, loss
+		m, err := Train(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := make([]types.ItemID, d.NumItems()+2)
+		for k := range items {
+			items[k] = types.ItemID(k)
+		}
+		out := make([]float64, len(items))
+		for u := -1; u <= d.NumUsers(); u++ {
+			uid := types.UserID(u)
+			m.ScoreUser(uid, items, out)
+			for k, i := range items {
+				if want := m.Score(uid, i); out[k] != want {
+					t.Fatalf("loss %v user %d item %d: bulk %v != score %v", loss, u, i, out[k], want)
+				}
+			}
+		}
+	}
+}

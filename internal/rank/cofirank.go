@@ -205,6 +205,33 @@ func (m *Model) Score(u types.UserID, i types.ItemID) float64 {
 	return s
 }
 
+// ScoreUser implements recommender.BulkScorer with the user factor row
+// hoisted out of the candidate loop.
+func (m *Model) ScoreUser(u types.UserID, items []types.ItemID, out []float64) {
+	oob := 0.0
+	if m.cfg.Loss == LossRegression {
+		oob = m.mean
+	}
+	if int(u) < 0 || int(u) >= len(m.userF) {
+		for k := range items {
+			out[k] = oob
+		}
+		return
+	}
+	pu := m.userF[u]
+	for k, i := range items {
+		if int(i) < 0 || int(i) >= len(m.itemF) {
+			out[k] = oob
+			continue
+		}
+		s := dot(pu, m.itemF[i])
+		if m.cfg.Loss == LossRegression {
+			s += m.mean
+		}
+		out[k] = s
+	}
+}
+
 // Name implements recommender.Scorer ("CofiR100", "CofiN100", ...).
 func (m *Model) Name() string { return m.name }
 

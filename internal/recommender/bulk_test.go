@@ -1,0 +1,244 @@
+package recommender
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ganc/internal/dataset"
+	"ganc/internal/types"
+)
+
+// bulkTestDataset builds a small random dataset shared by the bulk tests.
+func bulkTestDataset(seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ratings := []types.Rating{{User: 19, Item: 39, Value: 3}}
+	for k := 0; k < 400; k++ {
+		ratings = append(ratings, types.Rating{
+			User:  types.UserID(rng.Intn(20)),
+			Item:  types.ItemID(rng.Intn(40)),
+			Value: float64(1 + rng.Intn(5)),
+		})
+	}
+	return dataset.FromRatings("bulk", ratings)
+}
+
+// assertBulkMatchesScore checks the BulkScorer contract: ScoreUser fills
+// exactly the values the pointwise Score returns.
+func assertBulkMatchesScore(t *testing.T, s Scorer, numUsers, numItems int) {
+	t.Helper()
+	bs, ok := s.(BulkScorer)
+	if !ok {
+		t.Fatalf("%s does not implement BulkScorer", s.Name())
+	}
+	items := make([]types.ItemID, numItems+2)
+	for k := range items {
+		items[k] = types.ItemID(k) // includes out-of-range items
+	}
+	out := make([]float64, len(items))
+	for u := 0; u < numUsers; u++ {
+		uid := types.UserID(u)
+		bs.ScoreUser(uid, items, out)
+		for k, i := range items {
+			if want := s.Score(uid, i); out[k] != want {
+				t.Fatalf("%s: user %d item %d: bulk %v != score %v", s.Name(), u, i, out[k], want)
+			}
+		}
+	}
+}
+
+func TestPopBulkMatchesScore(t *testing.T) {
+	d := bulkTestDataset(1)
+	assertBulkMatchesScore(t, NewPop(d), d.NumUsers(), d.NumItems())
+}
+
+func TestItemAvgBulkMatchesScore(t *testing.T) {
+	d := bulkTestDataset(2)
+	assertBulkMatchesScore(t, NewItemAvg(d, 5), d.NumUsers(), d.NumItems())
+}
+
+func TestNormalizedScorerBulkMatchesScore(t *testing.T) {
+	d := bulkTestDataset(3)
+	// Wrap a deterministic inner scorer (item average) in the normalizer.
+	assertBulkMatchesScore(t, NewNormalizedScorer(NewItemAvg(d, 0), d.NumItems()), d.NumUsers(), d.NumItems())
+}
+
+// plainScorer deliberately does NOT implement BulkScorer, to exercise the
+// fallback adapter.
+type plainScorer struct{}
+
+func (plainScorer) Score(u types.UserID, i types.ItemID) float64 {
+	return float64(int(u)*31+int(i)*7) / 97.0
+}
+func (plainScorer) Name() string { return "plain" }
+
+func TestBulkScoresFallbackAdapter(t *testing.T) {
+	items := []types.ItemID{3, 1, 4, 1, 5}
+	out := make([]float64, len(items))
+	BulkScores(plainScorer{}, 2, items, out)
+	for k, i := range items {
+		if want := (plainScorer{}).Score(2, i); out[k] != want {
+			t.Fatalf("fallback mismatch at %d: %v != %v", k, out[k], want)
+		}
+	}
+}
+
+func TestBulkScoresPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	BulkScores(plainScorer{}, 0, []types.ItemID{1, 2}, make([]float64, 1))
+}
+
+func TestScorerTopNRecommendFromMatchesRecommend(t *testing.T) {
+	d := bulkTestDataset(4)
+	model := &ScorerTopN{Scorer: NewItemAvg(d, 2), NumItems: d.NumItems()}
+	var cand []types.ItemID
+	for u := 0; u < d.NumUsers(); u++ {
+		uid := types.UserID(u)
+		cand = d.AppendCandidates(uid, cand[:0])
+		got := model.RecommendFrom(uid, 7, cand)
+		want := model.Recommend(uid, 7, d.UserItemSet(uid))
+		if len(got) != len(want) {
+			t.Fatalf("user %d: lengths differ: %v vs %v", u, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("user %d: RecommendFrom %v != Recommend %v", u, got, want)
+			}
+		}
+	}
+}
+
+func TestPopRecommendFromMatchesRecommend(t *testing.T) {
+	d := bulkTestDataset(5)
+	pop := NewPop(d)
+	var cand []types.ItemID
+	for u := 0; u < d.NumUsers(); u++ {
+		uid := types.UserID(u)
+		cand = d.AppendCandidates(uid, cand[:0])
+		got := pop.RecommendFrom(uid, 5, cand)
+		want := pop.Recommend(uid, 5, d.UserItemSet(uid))
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("user %d: RecommendFrom %v != Recommend %v", u, got, want)
+			}
+		}
+	}
+}
+
+func TestRandRecommendFromIsValid(t *testing.T) {
+	d := bulkTestDataset(6)
+	r := NewRand(d.NumItems(), 9)
+	var cand []types.ItemID
+	for u := 0; u < d.NumUsers(); u++ {
+		uid := types.UserID(u)
+		cand = d.AppendCandidates(uid, cand[:0])
+		set := r.RecommendFrom(uid, 5, cand)
+		if len(set) != 5 && len(set) != len(cand) {
+			t.Fatalf("user %d: got %d items", u, len(set))
+		}
+		seen := map[types.ItemID]bool{}
+		rated := d.UserItemSet(uid)
+		for _, i := range set {
+			if seen[i] {
+				t.Fatalf("user %d: duplicate item %d", u, i)
+			}
+			seen[i] = true
+			if _, bad := rated[i]; bad {
+				t.Fatalf("user %d: rated item %d recommended", u, i)
+			}
+		}
+	}
+}
+
+func TestSelectTopNScoredMatchesSelectTopN(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		numItems := 30 + rng.Intn(40)
+		scores := make([]float64, numItems)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(7)) // coarse values force ties
+		}
+		cands := make([]types.ItemID, numItems)
+		for i := range cands {
+			cands[i] = types.ItemID(i)
+		}
+		n := 1 + rng.Intn(10)
+		got := SelectTopNScored(cands, scores, n)
+		want := SelectTopN(numItems, n, nil, func(i types.ItemID) float64 { return scores[i] })
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d: %v != %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestShardRangesCoverExactly(t *testing.T) {
+	for count := 0; count <= 40; count++ {
+		for workers := 1; workers <= 9; workers++ {
+			ranges := ShardRanges(count, workers)
+			next := 0
+			for _, r := range ranges {
+				if r.Lo != next || r.Hi <= r.Lo {
+					t.Fatalf("count=%d workers=%d: bad range %+v (next=%d)", count, workers, r, next)
+				}
+				next = r.Hi
+			}
+			if next != count {
+				t.Fatalf("count=%d workers=%d: ranges cover [0,%d), want [0,%d)", count, workers, next, count)
+			}
+		}
+	}
+}
+
+func TestTopNEngineParallelMatchesSequential(t *testing.T) {
+	d := bulkTestDataset(7)
+	build := func(workers int) *TopNEngine {
+		return &TopNEngine{
+			Model:   &ScorerTopN{Scorer: NewItemAvg(d, 1), NumItems: d.NumItems()},
+			Train:   d,
+			N:       6,
+			Workers: workers,
+		}
+	}
+	seq, err := build(0).RecommendAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := build(8).RecommendAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("user counts differ: %d vs %d", len(seq), len(par))
+	}
+	for u := range seq {
+		for k := range seq[u] {
+			if seq[u][k] != par[u][k] {
+				t.Fatalf("user %d: %v != %v", u, seq[u], par[u])
+			}
+		}
+	}
+}
+
+func TestTopNEngineRecommendUserUsesCandidatePipeline(t *testing.T) {
+	d := bulkTestDataset(8)
+	e := &TopNEngine{Model: &ScorerTopN{Scorer: NewPop(d), NumItems: d.NumItems()}, Train: d, N: 4}
+	set, err := e.RecommendUser(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 4 {
+		t.Fatalf("got %d items", len(set))
+	}
+	rated := d.UserItemSet(0)
+	for _, i := range set {
+		if _, bad := rated[i]; bad {
+			t.Fatalf("rated item %d recommended", i)
+		}
+	}
+}

@@ -34,12 +34,57 @@ type Scorer interface {
 	Name() string
 }
 
+// BulkScorer is the batch companion of Scorer: one call fills a preallocated
+// dense buffer with a user's scores for an explicit item slice. It is the
+// contract the index-contiguous candidate pipeline is built on — a user's
+// whole candidate set is scored in one call instead of one virtual dispatch
+// per (user, item) pair, letting implementations hoist per-user work (factor
+// rows, rating lookups, normalization ranges) out of the item loop.
+//
+// Contract: out must have len(out) == len(items); out[k] receives the score
+// of items[k] and every value must equal what Score(u, items[k]) returns at
+// the same model state. Implementations must be safe for concurrent use when
+// the underlying Scorer is.
+type BulkScorer interface {
+	Scorer
+	// ScoreUser fills out[k] with the score of items[k] for user u.
+	ScoreUser(u types.UserID, items []types.ItemID, out []float64)
+}
+
+// BulkScores fills out with s's scores for items, using the BulkScorer fast
+// path when s implements it and falling back to one Score call per item
+// otherwise. It panics if len(out) != len(items), mirroring copy-style APIs.
+func BulkScores(s Scorer, u types.UserID, items []types.ItemID, out []float64) {
+	if len(out) != len(items) {
+		panic(fmt.Sprintf("recommender: BulkScores buffer length %d != item count %d", len(out), len(items)))
+	}
+	if bs, ok := s.(BulkScorer); ok {
+		bs.ScoreUser(u, items, out)
+		return
+	}
+	for k, i := range items {
+		out[k] = s.Score(u, i)
+	}
+}
+
 // TopN generates ranked recommendation lists.
 type TopN interface {
 	// Recommend returns the top-N unseen items for user u, ranked best first.
 	// Items in exclude (typically the user's train items) are never returned.
 	Recommend(u types.UserID, n int, exclude map[types.ItemID]struct{}) types.TopNSet
 	Name() string
+}
+
+// TopNFrom is the candidate-pipeline extension of TopN: models that can rank
+// an explicit pre-filtered candidate slice (typically
+// dataset.AppendCandidates, the catalog minus the user's train items) without
+// consulting an exclusion map. Engines prefer this path because the candidate
+// slice is reusable across users while the map is a per-call allocation.
+type TopNFrom interface {
+	// RecommendFrom returns the top-n items among candidates, ranked best
+	// first. candidates must be sorted in ascending ItemID order and free of
+	// duplicates; the model never returns an item outside it.
+	RecommendFrom(u types.UserID, n int, candidates []types.ItemID) types.TopNSet
 }
 
 // scoredHeap is a min-heap over ScoredItem used for top-N selection.
@@ -99,6 +144,56 @@ func SelectTopN(numItems, n int, exclude map[types.ItemID]struct{}, score func(t
 	return set
 }
 
+// SelectTopNFrom returns the n best items of an explicit candidate slice
+// according to score(k, item), where k is the candidate's position. Ties
+// break toward the smaller item identifier, matching SelectTopN.
+func SelectTopNFrom(candidates []types.ItemID, n int, score func(k int, i types.ItemID) float64) types.TopNSet {
+	if n <= 0 {
+		return nil
+	}
+	h := make(scoredHeap, 0, n+1)
+	for k, item := range candidates {
+		s := score(k, item)
+		if len(h) < n {
+			heap.Push(&h, types.ScoredItem{Item: item, Score: s})
+			continue
+		}
+		min := h[0]
+		if s > min.Score || (s == min.Score && item < min.Item) {
+			h[0] = types.ScoredItem{Item: item, Score: s}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]types.ScoredItem, len(h))
+	copy(out, h)
+	types.SortScoredDesc(out)
+	set := make(types.TopNSet, len(out))
+	for k, si := range out {
+		set[k] = si.Item
+	}
+	return set
+}
+
+// SelectTopNScored returns the n best items of candidates given their
+// pre-computed scores (scores[k] belongs to candidates[k]).
+func SelectTopNScored(candidates []types.ItemID, scores []float64, n int) types.TopNSet {
+	return SelectTopNFrom(candidates, n, func(k int, _ types.ItemID) float64 { return scores[k] })
+}
+
+// scoreBufPool recycles the per-call score buffers of the candidate ranking
+// path, so concurrent RecommendFrom calls (the serving layer) do not allocate
+// one catalog-sized slice per request.
+var scoreBufPool = sync.Pool{New: func() interface{} { return new([]float64) }}
+
+func getScoreBuf(n int) *[]float64 {
+	bp := scoreBufPool.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
 // ScorerTopN adapts any Scorer into a TopN by exhaustively scoring the item
 // space (the paper's "all unrated items" ranking protocol).
 type ScorerTopN struct {
@@ -111,6 +206,15 @@ func (s *ScorerTopN) Recommend(u types.UserID, n int, exclude map[types.ItemID]s
 	return SelectTopN(s.NumItems, n, exclude, func(i types.ItemID) float64 {
 		return s.Scorer.Score(u, i)
 	})
+}
+
+// RecommendFrom implements TopNFrom: the candidates are scored in one
+// BulkScores call into a pooled buffer and the top n selected from it.
+func (s *ScorerTopN) RecommendFrom(u types.UserID, n int, candidates []types.ItemID) types.TopNSet {
+	bp := getScoreBuf(len(candidates))
+	defer scoreBufPool.Put(bp)
+	BulkScores(s.Scorer, u, candidates, *bp)
+	return SelectTopNScored(candidates, *bp, n)
 }
 
 // Name implements TopN.
@@ -138,6 +242,17 @@ func (p *Pop) Score(_ types.UserID, i types.ItemID) float64 {
 	return float64(p.pop[i])
 }
 
+// ScoreUser implements BulkScorer: a vectorized popularity lookup.
+func (p *Pop) ScoreUser(_ types.UserID, items []types.ItemID, out []float64) {
+	for k, i := range items {
+		if int(i) >= len(p.pop) {
+			out[k] = 0
+			continue
+		}
+		out[k] = float64(p.pop[i])
+	}
+}
+
 // Name implements Scorer.
 func (p *Pop) Name() string { return p.name }
 
@@ -145,6 +260,16 @@ func (p *Pop) Name() string { return p.name }
 // ScorerTopN since the scores do not depend on the user).
 func (p *Pop) Recommend(_ types.UserID, n int, exclude map[types.ItemID]struct{}) types.TopNSet {
 	return SelectTopN(len(p.pop), n, exclude, func(i types.ItemID) float64 { return float64(p.pop[i]) })
+}
+
+// RecommendFrom implements TopNFrom over an explicit candidate slice.
+func (p *Pop) RecommendFrom(_ types.UserID, n int, candidates []types.ItemID) types.TopNSet {
+	return SelectTopNFrom(candidates, n, func(_ int, i types.ItemID) float64 {
+		if int(i) >= len(p.pop) {
+			return 0
+		}
+		return float64(p.pop[i])
+	})
 }
 
 // Rand recommends unseen items uniformly at random. It has maximal coverage
@@ -197,6 +322,25 @@ func (r *Rand) Recommend(_ types.UserID, n int, exclude map[types.ItemID]struct{
 	return out
 }
 
+// RecommendFrom implements TopNFrom by reservoir-sampling n candidates.
+func (r *Rand) RecommendFrom(_ types.UserID, n int, candidates []types.ItemID) types.TopNSet {
+	if n <= 0 {
+		return nil
+	}
+	out := make(types.TopNSet, 0, n)
+	for seen, item := range candidates {
+		if len(out) < n {
+			out = append(out, item)
+			continue
+		}
+		if j := r.rng.Intn(seen + 1); j < n {
+			out[j] = item
+		}
+	}
+	r.rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out
+}
+
 // ItemAvg scores items by their mean train rating, shrunk toward the global
 // mean for rarely rated items (a damped mean with pseudo-count lambda). The
 // RBT re-ranker's "Avg" criterion uses it.
@@ -236,6 +380,17 @@ func (a *ItemAvg) Score(_ types.UserID, i types.ItemID) float64 {
 	return a.avg[i]
 }
 
+// ScoreUser implements BulkScorer: a vectorized damped-mean lookup.
+func (a *ItemAvg) ScoreUser(_ types.UserID, items []types.ItemID, out []float64) {
+	for k, i := range items {
+		if int(i) >= len(a.avg) {
+			out[k] = 0
+			continue
+		}
+		out[k] = a.avg[i]
+	}
+}
+
 // Name implements Scorer.
 func (a *ItemAvg) Name() string { return a.name }
 
@@ -256,6 +411,11 @@ type NormalizedScorer struct {
 	mu       sync.Mutex
 	cacheMin map[types.UserID]float64
 	cacheSpn map[types.UserID]float64
+
+	// catalog is the [0..numItems) identity slice the bulk range computation
+	// scores against, built once on first use and shared read-only.
+	catalogOnce sync.Once
+	catalog     []types.ItemID
 }
 
 // NewNormalizedScorer wraps inner for a catalog of numItems items.
@@ -285,6 +445,28 @@ func (n *NormalizedScorer) Score(u types.UserID, i types.ItemID) float64 {
 	return v
 }
 
+// ScoreUser implements BulkScorer: the normalization range is resolved once
+// and the inner scorer's bulk path fills the buffer before the min–max map.
+func (n *NormalizedScorer) ScoreUser(u types.UserID, items []types.ItemID, out []float64) {
+	min, span := n.userRange(u)
+	BulkScores(n.inner, u, items, out)
+	if span == 0 {
+		for k := range out {
+			out[k] = 0
+		}
+		return
+	}
+	for k := range out {
+		v := (out[k] - min) / span
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		out[k] = v
+	}
+}
+
 func (n *NormalizedScorer) userRange(u types.UserID) (min, span float64) {
 	n.mu.Lock()
 	if m, ok := n.cacheMin[u]; ok {
@@ -294,13 +476,34 @@ func (n *NormalizedScorer) userRange(u types.UserID) (min, span float64) {
 	}
 	n.mu.Unlock()
 	min, max := 0.0, 0.0
-	for idx := 0; idx < n.numItems; idx++ {
-		s := n.inner.Score(u, types.ItemID(idx))
-		if idx == 0 || s < min {
-			min = s
+	if bs, ok := n.inner.(BulkScorer); ok && n.numItems > 0 {
+		// Bulk path: score the whole catalog in one call into a pooled buffer.
+		n.catalogOnce.Do(func() {
+			n.catalog = make([]types.ItemID, n.numItems)
+			for idx := range n.catalog {
+				n.catalog[idx] = types.ItemID(idx)
+			}
+		})
+		bp := getScoreBuf(n.numItems)
+		bs.ScoreUser(u, n.catalog, *bp)
+		for idx, s := range *bp {
+			if idx == 0 || s < min {
+				min = s
+			}
+			if idx == 0 || s > max {
+				max = s
+			}
 		}
-		if idx == 0 || s > max {
-			max = s
+		scoreBufPool.Put(bp)
+	} else {
+		for idx := 0; idx < n.numItems; idx++ {
+			s := n.inner.Score(u, types.ItemID(idx))
+			if idx == 0 || s < min {
+				min = s
+			}
+			if idx == 0 || s > max {
+				max = s
+			}
 		}
 	}
 	n.mu.Lock()
@@ -315,14 +518,26 @@ func (n *NormalizedScorer) Name() string { return n.inner.Name() }
 
 // --- Batch recommendation helpers --------------------------------------------
 
+// recommendOne resolves one user's list through the candidate pipeline when
+// the model supports it (TopNFrom + a reusable candidate buffer) and the
+// legacy exclusion-map path otherwise. It returns the possibly-grown buffer.
+func recommendOne(model TopN, train *dataset.Dataset, u types.UserID, n int, candBuf []types.ItemID) (types.TopNSet, []types.ItemID) {
+	if cm, ok := model.(TopNFrom); ok {
+		candBuf = train.AppendCandidates(u, candBuf[:0])
+		return cm.RecommendFrom(u, n, candBuf), candBuf
+	}
+	return model.Recommend(u, n, train.UserItemSet(u)), candBuf
+}
+
 // RecommendAll produces the top-N collection for every user in the train set
 // using model, excluding each user's train items (the all-unrated-items
 // protocol).
 func RecommendAll(model TopN, train *dataset.Dataset, n int) types.Recommendations {
 	recs := make(types.Recommendations, train.NumUsers())
+	var candBuf []types.ItemID
 	for u := 0; u < train.NumUsers(); u++ {
 		uid := types.UserID(u)
-		recs[uid] = model.Recommend(uid, n, train.UserItemSet(uid))
+		recs[uid], candBuf = recommendOne(model, train, uid, n, candBuf)
 	}
 	return recs
 }
@@ -330,14 +545,19 @@ func RecommendAll(model TopN, train *dataset.Dataset, n int) types.Recommendatio
 // TopNEngine adapts any TopN model into the Engine shape shared by the facade
 // and the serving layer: per-user on-demand recommendation plus batch
 // generation, both excluding each user's train items. The zero value is not
-// usable; all three fields are required.
+// usable; Model, Train and N are required.
 type TopNEngine struct {
-	// Model produces the ranked lists.
+	// Model produces the ranked lists. Models implementing TopNFrom are
+	// served through the index-contiguous candidate pipeline.
 	Model TopN
 	// Train supplies the user universe and per-user exclusion sets.
 	Train *dataset.Dataset
 	// N is the default list size when a request passes n ≤ 0.
 	N int
+	// Workers shards RecommendAll over user ranges; values ≤ 1 run
+	// sequentially. Leave at 0 for models whose scoring is not safe for
+	// concurrent use (e.g. Rand's shared rng).
+	Workers int
 }
 
 // Name identifies the underlying model.
@@ -357,21 +577,85 @@ func (e *TopNEngine) RecommendUser(ctx context.Context, u types.UserID, n int) (
 	if n <= 0 {
 		n = e.N
 	}
-	return e.Model.Recommend(u, n, e.Train.UserItemSet(u)), nil
+	bp := candBufPool.Get().(*[]types.ItemID)
+	set, buf := recommendOne(e.Model, e.Train, u, n, *bp)
+	*bp = buf
+	candBufPool.Put(bp)
+	return set, nil
 }
 
-// RecommendAll generates the full collection, checking for cancellation
-// between users.
+// candBufPool recycles candidate buffers across concurrent RecommendUser
+// calls, so the online serving hot path does not allocate one catalog-sized
+// slice per request.
+var candBufPool = sync.Pool{New: func() interface{} { return new([]types.ItemID) }}
+
+// RecommendAll generates the full collection. With Workers > 1 the user space
+// is split into contiguous ranges, one goroutine per range, each reusing its
+// own candidate buffer; per-user results land in a shared slice so no mutex
+// is needed. Cancellation is checked between users.
 func (e *TopNEngine) RecommendAll(ctx context.Context) (types.Recommendations, error) {
-	recs := make(types.Recommendations, e.Train.NumUsers())
-	for u := 0; u < e.Train.NumUsers(); u++ {
+	numUsers := e.Train.NumUsers()
+	sets := make([]types.TopNSet, numUsers)
+	workers := e.Workers
+	if workers > numUsers {
+		workers = numUsers
+	}
+	if workers <= 1 {
+		var candBuf []types.ItemID
+		for u := 0; u < numUsers; u++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			sets[u], candBuf = recommendOne(e.Model, e.Train, types.UserID(u), e.N, candBuf)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, r := range ShardRanges(numUsers, workers) {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				var candBuf []types.ItemID
+				for u := lo; u < hi; u++ {
+					if ctx.Err() != nil {
+						return
+					}
+					sets[u], candBuf = recommendOne(e.Model, e.Train, types.UserID(u), e.N, candBuf)
+				}
+			}(r.Lo, r.Hi)
+		}
+		wg.Wait()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		uid := types.UserID(u)
-		recs[uid] = e.Model.Recommend(uid, e.N, e.Train.UserItemSet(uid))
+	}
+	recs := make(types.Recommendations, numUsers)
+	for u, set := range sets {
+		recs[types.UserID(u)] = set
 	}
 	return recs, nil
+}
+
+// Range is one contiguous [Lo, Hi) user shard of a parallel sweep.
+type Range struct{ Lo, Hi int }
+
+// ShardRanges splits [0, count) into at most workers near-equal contiguous
+// ranges. Every shard is non-empty.
+func ShardRanges(count, workers int) []Range {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > count {
+		workers = count
+	}
+	out := make([]Range, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := count * w / workers
+		hi := count * (w + 1) / workers
+		if lo < hi {
+			out = append(out, Range{Lo: lo, Hi: hi})
+		}
+	}
+	return out
 }
 
 // Describe returns a one-line description of a recommendation collection,

@@ -65,6 +65,19 @@ func WithPrecomputed(recs types.Recommendations) Option {
 	return func(s *Server) { s.seed = recs }
 }
 
+// WithBatchWorkers bounds how many engine sweeps one POST /recommend/batch
+// request may run concurrently (default DefaultBatchWorkers). Engines built
+// on the buffered candidate pipeline pool their sweep scratch, so raising
+// this trades memory for batch latency linearly. Values ≤ 0 select the
+// default.
+func WithBatchWorkers(workers int) Option {
+	return func(s *Server) {
+		if workers > 0 {
+			s.batchWorkers = workers
+		}
+	}
+}
+
 // generation is one immutable (engine, cache, in-flight table) triple. Update
 // installs a fresh generation atomically: requests that loaded the old
 // pointer finish against the old engine and cache, so a swap never mixes two
@@ -88,10 +101,11 @@ type inflight struct {
 
 // Server serves one Engine over HTTP with lazy per-user computation.
 type Server struct {
-	train    *dataset.Dataset
-	n        int
-	capacity int
-	seed     types.Recommendations
+	train        *dataset.Dataset
+	n            int
+	capacity     int
+	batchWorkers int
+	seed         types.Recommendations
 
 	gen atomic.Pointer[generation]
 
@@ -112,7 +126,7 @@ func New(train *dataset.Dataset, engine Engine, n int, opts ...Option) (*Server,
 	if n <= 0 {
 		return nil, fmt.Errorf("serve: N must be positive, got %d", n)
 	}
-	s := &Server{train: train, n: n, capacity: DefaultCacheCapacity}
+	s := &Server{train: train, n: n, capacity: DefaultCacheCapacity, batchWorkers: DefaultBatchWorkers}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -351,11 +365,12 @@ type BatchResponse struct {
 }
 
 // maxBatchUsers bounds a single batch request so a malformed client cannot
-// ask for the whole catalog in one call; batchWorkers bounds the concurrent
-// engine sweeps one batch request may trigger.
+// ask for the whole catalog in one call; DefaultBatchWorkers bounds the
+// concurrent engine sweeps one batch request may trigger unless
+// WithBatchWorkers overrides it.
 const (
-	maxBatchUsers = 10000
-	batchWorkers  = 8
+	maxBatchUsers       = 10000
+	DefaultBatchWorkers = 8
 )
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -382,7 +397,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Cold users each cost an engine sweep; resolve them on a bounded worker
 	// pool rather than serializing a potentially huge batch. recommend() is
 	// concurrency-safe (cache, coalescing and the generation swap all are).
-	workers := batchWorkers
+	workers := s.batchWorkers
 	if len(req.Users) < workers {
 		workers = len(req.Users)
 	}

@@ -14,7 +14,6 @@
 package submodular
 
 import (
-	"container/heap"
 	"fmt"
 
 	"ganc/internal/types"
@@ -88,23 +87,71 @@ type lazyEntry struct {
 	stamp int // selection count at which the gain was computed
 }
 
+// lazyHeap is a max-heap over lazyEntry with direct sift operations instead
+// of container/heap: the interface-based API boxes every pushed and popped
+// entry, which dominated the allocation profile of the hot CELF sweeps.
 type lazyHeap []lazyEntry
 
-func (h lazyHeap) Len() int { return len(h) }
-func (h lazyHeap) Less(a, b int) bool {
+func (h lazyHeap) less(a, b int) bool {
 	if h[a].gain != h[b].gain {
 		return h[a].gain > h[b].gain
 	}
 	return h[a].item < h[b].item
 }
-func (h lazyHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyEntry)) }
-func (h *lazyHeap) Pop() interface{} {
+
+func (h lazyHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h lazyHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && h.less(right, left) {
+			best = right
+		}
+		if !h.less(best, i) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+func (h lazyHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// replaceTop overwrites the maximum entry and restores the heap property —
+// the pop-recompute-push cycle of lazy greedy collapsed into one sift.
+func (h lazyHeap) replaceTop(e lazyEntry) {
+	h[0] = e
+	h.siftDown(0)
+}
+
+// popTop removes and returns the maximum entry.
+func (h *lazyHeap) popTop() lazyEntry {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old = old[:n]
+	old.siftDown(0)
+	*h = old
+	return top
 }
 
 // LazyGreedyForUser selects n items for a single user using lazy evaluation
@@ -115,30 +162,55 @@ func (h *lazyHeap) Pop() interface{} {
 // objective (Stat and Rand coverage) it degenerates gracefully to a single
 // evaluation per item.
 func LazyGreedyForUser(u types.UserID, n int, oracle Oracle) types.TopNSet {
+	return LazyGreedyForUserScratch(u, n, oracle, nil)
+}
+
+// LazyScratch holds the CELF priority queue's backing storage so hot callers
+// (the per-user sweeps of core.GANC's optimizer) can run thousands of lazy
+// selections without reallocating the heap. The zero value is ready to use;
+// a LazyScratch must not be shared between concurrent sweeps.
+type LazyScratch struct {
+	h lazyHeap
+}
+
+// LazyGreedyForUserScratch is LazyGreedyForUser with caller-owned heap
+// storage. A nil scratch allocates fresh storage (LazyGreedyForUser's
+// behaviour); otherwise the scratch's buffer is reused across calls.
+func LazyGreedyForUserScratch(u types.UserID, n int, oracle Oracle, scratch *LazyScratch) types.TopNSet {
 	candidates := oracle.Candidates(u)
 	if n > len(candidates) {
 		n = len(candidates)
 	}
-	h := make(lazyHeap, 0, len(candidates))
+	var h lazyHeap
+	if scratch != nil {
+		h = scratch.h[:0]
+	}
+	if cap(h) < len(candidates) {
+		h = make(lazyHeap, 0, len(candidates))
+	}
 	for _, i := range candidates {
 		h = append(h, lazyEntry{item: i, gain: oracle.Gain(u, i), stamp: 0})
 	}
-	heap.Init(&h)
+	h.init()
 	set := make(types.TopNSet, 0, n)
 	selections := 0
-	for len(set) < n && h.Len() > 0 {
-		top := heap.Pop(&h).(lazyEntry)
+	for len(set) < n && len(h) > 0 {
+		top := h[0]
 		if top.stamp == selections {
 			// Fresh gain: take it.
 			set = append(set, top.item)
 			oracle.Commit(u, top.item)
 			selections++
+			h.popTop()
 			continue
 		}
-		// Stale: re-evaluate and push back.
+		// Stale: re-evaluate in place and restore the heap property.
 		top.gain = oracle.Gain(u, top.item)
 		top.stamp = selections
-		heap.Push(&h, top)
+		h.replaceTop(top)
+	}
+	if scratch != nil {
+		scratch.h = h[:0]
 	}
 	return set
 }

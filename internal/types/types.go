@@ -149,6 +149,19 @@ func (r Recommendations) NumUsers() int {
 	return n
 }
 
+// SortedUsers returns the collection's user identifiers in ascending order.
+// Iterating a Recommendations map directly follows Go's randomized map order,
+// which makes floating-point aggregates and printed tables differ run to run;
+// every output and evaluation path iterates via SortedUsers instead.
+func (r Recommendations) SortedUsers() []UserID {
+	users := make([]UserID, 0, len(r))
+	for u := range r {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+	return users
+}
+
 // DistinctItems returns the set of distinct items appearing anywhere in the
 // collection.
 func (r Recommendations) DistinctItems() map[ItemID]struct{} {

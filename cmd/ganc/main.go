@@ -8,13 +8,21 @@
 // from the model registry, so any base/reranker combination can be selected
 // from flags.
 //
+// Trained pipelines can be persisted and warm-started: -save writes a
+// versioned snapshot (dataset, trained base, θ preferences, coverage state),
+// -load restores one without retraining, and in serve mode the POST /ingest
+// endpoint absorbs new interactions incrementally, with -ingest-log enabling
+// a write-ahead log and -checkpoint-interval periodic snapshots (see
+// DESIGN.md §8).
+//
 // Examples:
 //
 //	# Evaluate GANC(RSVD, θ^G, Dyn) on a synthetic ML-100K stand-in.
 //	ganc -preset ML-100K -arec RSVD -theta G -crec Dyn -evaluate
 //
-//	# Serve GANC(Pop, θ^G, Dyn) with lazy per-user computation.
-//	ganc -preset ML-1M -arec Pop -serve :8080
+//	# Train once, snapshot, then serve warm-started with streaming ingestion.
+//	ganc -preset ML-1M -arec Pop -save model.snap
+//	ganc -load model.snap -serve :8080 -ingest-log events.log -checkpoint-interval 1000
 //
 //	# Evaluate a registry baseline instead of GANC (any -rerank name works).
 //	ganc -preset ML-100K -arec RSVD -rerank RBT-Pop -evaluate
@@ -22,6 +30,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -51,80 +60,216 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve recommendations over HTTP on this address (e.g. :8080) instead of printing them")
 	cacheCap := flag.Int("cache", 0, "serve-mode LRU cache capacity (0 = default)")
 	warm := flag.Bool("warm", false, "serve-mode: precompute the full batch collection as a warm cache")
+	savePath := flag.String("save", "", "write a warm-start snapshot of the assembled GANC pipeline to this path")
+	loadPath := flag.String("load", "", "load a snapshot written by -save instead of training (skips -ratings/-preset)")
+	ingestLog := flag.String("ingest-log", "", "serve-mode: write-ahead log path for POST /ingest events")
+	checkpointInterval := flag.Int("checkpoint-interval", 0, "serve-mode: snapshot the serving state every this many ingested events (0 = never; target is -save, falling back to -load)")
 	flag.Parse()
 
-	data, err := loadData(*ratingsPath, *preset, *scale)
-	if err != nil {
-		fatal(err)
-	}
-	split := data.SplitByUser(*kappa, rand.New(rand.NewSource(*seed)))
-	fmt.Fprintf(os.Stderr, "dataset %s: %d users, %d items, %d train / %d test ratings\n",
-		data.Name(), data.NumUsers(), data.NumItems(), split.Train.NumRatings(), split.Test.NumRatings())
-
-	engine, err := buildEngine(split.Train, *arecName, *rerankName, *thetaName, *crecName, *n, *sample, *workers, *seed)
+	engine, train, err := assemble(*ratingsPath, *preset, *scale, *kappa, *arecName, *rerankName,
+		*thetaName, *crecName, *n, *sample, *workers, *seed, *evaluate, *savePath, *loadPath)
 	if err != nil {
 		fatal(err)
 	}
 	ctx := context.Background()
 
 	if *serveAddr != "" {
-		opts := []ganc.ServerOption{}
-		if *cacheCap > 0 {
-			opts = append(opts, ganc.WithServerCacheCapacity(*cacheCap))
-		}
-		if *warm {
-			fmt.Fprintf(os.Stderr, "precomputing warm cache for %s ...\n", engine.Name())
-			recs, err := engine.RecommendAll(ctx)
-			if err != nil {
-				fatal(err)
-			}
-			opts = append(opts, ganc.WithServerPrecomputed(recs))
-		}
-		srv, err := ganc.NewServer(split.Train, engine, *n, opts...)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "serving %s on %s (GET /recommend?user=<id>, POST /recommend/batch, /info, /health)\n",
-			engine.Name(), *serveAddr)
-		if err := http.ListenAndServe(*serveAddr, srv.Handler()); err != nil {
+		if err := serveHTTP(ctx, engine, train, *serveAddr, *n, *cacheCap, *warm,
+			*savePath, *loadPath, *ingestLog, *checkpointInterval); err != nil {
 			fatal(err)
 		}
 		return
 	}
+	if *ingestLog != "" || *checkpointInterval > 0 {
+		fatal(fmt.Errorf("-ingest-log and -checkpoint-interval only apply in serve mode (-serve)"))
+	}
 
+	// The evaluate path prints its report and exits inside assemble (it needs
+	// the held-out split, which only exists at train time).
 	fmt.Fprintf(os.Stderr, "running %s ...\n", engine.Name())
 	recs, err := engine.RecommendAll(ctx)
 	if err != nil {
 		fatal(err)
 	}
+	printRecommendations(recs, train, *show)
+}
 
-	if *evaluate {
-		ev := ganc.NewEvaluator(split, 0)
-		rep := ev.Evaluate(engine.Name(), recs, *n)
-		fmt.Printf("%-40s\n", rep.Algorithm)
-		fmt.Printf("  Precision@%d   : %.4f\n", *n, rep.Precision)
-		fmt.Printf("  Recall@%d      : %.4f\n", *n, rep.Recall)
-		fmt.Printf("  F-measure@%d   : %.4f\n", *n, rep.FMeasure)
-		fmt.Printf("  LTAccuracy@%d  : %.4f\n", *n, rep.LTAccuracy)
-		fmt.Printf("  StratRecall@%d : %.4f\n", *n, rep.StratRecall)
-		fmt.Printf("  Coverage@%d    : %.4f\n", *n, rep.Coverage)
-		fmt.Printf("  Gini@%d        : %.4f\n", *n, rep.Gini)
-		return
+// assemble resolves the engine either by loading a snapshot (-load) or by
+// generating data, splitting and training (-preset/-ratings), applying -save
+// when requested. It returns the engine plus the train set backing it (for
+// identifier translation). Every failure path returns a clear error; nothing
+// panics.
+func assemble(ratingsPath, preset string, scale, kappa float64, arecName, rerankName, thetaName, crecName string,
+	n, sample, workers int, seed int64, evaluate bool, savePath, loadPath string) (ganc.Engine, *ganc.Dataset, error) {
+	if loadPath != "" {
+		if ratingsPath != "" {
+			return nil, nil, fmt.Errorf("-load and -ratings are mutually exclusive: a snapshot carries its own dataset")
+		}
+		if evaluate {
+			return nil, nil, fmt.Errorf("-load cannot be combined with -evaluate: a snapshot has no held-out test split (evaluate at train time, before -save)")
+		}
+		if savePath != "" {
+			return nil, nil, fmt.Errorf("-load and -save are mutually exclusive (checkpointing in serve mode re-uses the -load path)")
+		}
+		p, err := ganc.LoadEngine(loadPath)
+		if err != nil {
+			switch {
+			case errors.Is(err, ganc.ErrSnapshotVersion):
+				return nil, nil, fmt.Errorf("snapshot %s was written by an incompatible version of this tool: %w", loadPath, err)
+			case errors.Is(err, ganc.ErrSnapshotBadMagic):
+				return nil, nil, fmt.Errorf("%s is not a GANC snapshot: %w", loadPath, err)
+			case errors.Is(err, ganc.ErrSnapshotCorrupt):
+				return nil, nil, fmt.Errorf("snapshot %s is corrupt (truncated or bit-flipped): %w", loadPath, err)
+			default:
+				return nil, nil, err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s from %s: %d users, %d items, %d ratings\n",
+			p.Name(), loadPath, p.Train().NumUsers(), p.Train().NumItems(), p.Train().NumRatings())
+		return p, p.Train(), nil
 	}
 
+	data, err := loadData(ratingsPath, preset, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	split := data.SplitByUser(kappa, rand.New(rand.NewSource(seed)))
+	fmt.Fprintf(os.Stderr, "dataset %s: %d users, %d items, %d train / %d test ratings\n",
+		data.Name(), data.NumUsers(), data.NumItems(), split.Train.NumRatings(), split.Test.NumRatings())
+
+	engine, err := buildEngine(split.Train, arecName, rerankName, thetaName, crecName, n, sample, workers, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Save before evaluating: -evaluate -save means "snapshot the trained
+	// pipeline AND report its metrics" — the training run must not be lost
+	// to the evaluate path's early exit. Saving first also snapshots the
+	// pristine pre-sweep coverage state.
+	if savePath != "" {
+		p, ok := engine.(*ganc.Pipeline)
+		if !ok {
+			return nil, nil, fmt.Errorf("-save supports GANC pipelines only (use -rerank GANC); %s has no snapshot format", engine.Name())
+		}
+		if err := p.Save(savePath); err != nil {
+			return nil, nil, fmt.Errorf("saving snapshot: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "saved warm-start snapshot to %s\n", savePath)
+	}
+	if evaluate {
+		if err := runEvaluation(engine, split, n); err != nil {
+			return nil, nil, err
+		}
+		os.Exit(0)
+	}
+	return engine, split.Train, nil
+}
+
+// runEvaluation scores the engine's batch output against the held-out split.
+func runEvaluation(engine ganc.Engine, split *ganc.Split, n int) error {
+	fmt.Fprintf(os.Stderr, "running %s ...\n", engine.Name())
+	recs, err := engine.RecommendAll(context.Background())
+	if err != nil {
+		return err
+	}
+	ev := ganc.NewEvaluator(split, 0)
+	rep := ev.Evaluate(engine.Name(), recs, n)
+	fmt.Printf("%-40s\n", rep.Algorithm)
+	fmt.Printf("  Precision@%d   : %.4f\n", n, rep.Precision)
+	fmt.Printf("  Recall@%d      : %.4f\n", n, rep.Recall)
+	fmt.Printf("  F-measure@%d   : %.4f\n", n, rep.FMeasure)
+	fmt.Printf("  LTAccuracy@%d  : %.4f\n", n, rep.LTAccuracy)
+	fmt.Printf("  StratRecall@%d : %.4f\n", n, rep.StratRecall)
+	fmt.Printf("  Coverage@%d    : %.4f\n", n, rep.Coverage)
+	fmt.Printf("  Gini@%d        : %.4f\n", n, rep.Gini)
+	return nil
+}
+
+// serveHTTP puts the engine behind the HTTP serving layer, enabling streaming
+// ingestion (POST /ingest) when the engine is a GANC pipeline.
+func serveHTTP(ctx context.Context, engine ganc.Engine, train *ganc.Dataset, addr string,
+	n, cacheCap int, warm bool, savePath, loadPath, ingestLog string, checkpointInterval int) error {
+	opts := []ganc.ServerOption{}
+	if cacheCap > 0 {
+		opts = append(opts, ganc.WithServerCacheCapacity(cacheCap))
+	}
+	if warm {
+		fmt.Fprintf(os.Stderr, "precomputing warm cache for %s ...\n", engine.Name())
+		recs, err := engine.RecommendAll(ctx)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, ganc.WithServerPrecomputed(recs))
+	}
+	srv, err := ganc.NewServer(train, engine, n, opts...)
+	if err != nil {
+		return err
+	}
+
+	// Streaming ingestion requires a snapshot-compatible GANC pipeline. When
+	// the operator asked for it (-ingest-log / -checkpoint-interval), an
+	// incompatible engine is a hard error; otherwise ingestion is enabled
+	// opportunistically and silently skipped for engines that cannot ingest
+	// (rerankers, Rand components), which still serve read-only.
+	ingestRequested := ingestLog != "" || checkpointInterval > 0
+	endpoints := "GET /recommend?user=<id>, POST /recommend/batch, /info, /health"
+	p, isPipeline := engine.(*ganc.Pipeline)
+	if !isPipeline && ingestRequested {
+		return fmt.Errorf("streaming ingestion supports GANC pipelines only (use -rerank GANC); %s cannot ingest", engine.Name())
+	}
+	if isPipeline {
+		ingOpts := []ganc.IngestorOption{}
+		if ingestLog != "" {
+			ingOpts = append(ingOpts, ganc.WithIngestLog(ingestLog))
+		}
+		checkpointPath := savePath
+		if checkpointPath == "" {
+			checkpointPath = loadPath
+		}
+		if checkpointInterval > 0 && checkpointPath == "" {
+			return fmt.Errorf("-checkpoint-interval needs a snapshot target: pass -save (cold start) or -load (warm start)")
+		}
+		if checkpointPath != "" {
+			ingOpts = append(ingOpts, ganc.WithIngestCheckpoint(checkpointPath, checkpointInterval))
+		}
+		switch ing, err := ganc.NewIngestor(srv, p, ingOpts...); {
+		case err != nil && ingestRequested:
+			return fmt.Errorf("enabling ingestion: %w", err)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "serving without ingestion (%v)\n", err)
+		default:
+			if ingestLog != "" {
+				replayed, err := ing.Recover()
+				if err != nil {
+					return fmt.Errorf("replaying ingest log %s: %w", ingestLog, err)
+				}
+				if replayed > 0 {
+					fmt.Fprintf(os.Stderr, "replayed %d events from %s (resuming at seq %d)\n", replayed, ingestLog, ing.Seq())
+				}
+			}
+			endpoints += ", POST /ingest"
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "serving %s on %s (%s)\n", engine.Name(), addr, endpoints)
+	return http.ListenAndServe(addr, srv.Handler())
+}
+
+// printRecommendations prints the first `show` users' lists with external
+// identifiers.
+func printRecommendations(recs ganc.Recommendations, train *ganc.Dataset, show int) {
 	users := make([]ganc.UserID, 0, len(recs))
 	for u := range recs {
 		users = append(users, u)
 	}
 	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
-	if *show < len(users) {
-		users = users[:*show]
+	if show < len(users) {
+		users = users[:show]
 	}
 	for _, u := range users {
-		key := split.Train.UserInterner().Key(int32(u))
+		key := train.UserInterner().Key(int32(u))
 		fmt.Printf("user %s:", key)
 		for _, i := range recs[u] {
-			fmt.Printf(" %s", split.Train.ItemInterner().Key(int32(i)))
+			fmt.Printf(" %s", train.ItemInterner().Key(int32(i)))
 		}
 		fmt.Println()
 	}
@@ -170,8 +315,17 @@ func coverageSpec(name string) (ganc.CoverageSpec, error) {
 	}
 }
 
+// loadData resolves the input dataset, failing fast with a clear message when
+// the ratings path does not exist instead of surfacing a bare open error deep
+// in a parse stack.
 func loadData(path, preset string, scale float64) (*ganc.Dataset, error) {
 	if path != "" {
+		if _, err := os.Stat(path); err != nil {
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("ratings file %s does not exist (check -ratings, or drop it to use the -preset synthetic data)", path)
+			}
+			return nil, fmt.Errorf("ratings file %s is not readable: %w", path, err)
+		}
 		return ganc.LoadRatings(path, ganc.LoadOptions{Name: path})
 	}
 	return ganc.GeneratePreset(preset, scale)

@@ -1,0 +1,168 @@
+package ganc
+
+// The docs gate: a golint/revive-style exported-comment check implemented on
+// the standard library's go/parser so it runs in plain `go test` (and in CI)
+// with no external tooling. It enforces that
+//
+//   - every package (including the mains under cmd/ and examples/) has a
+//     package comment, and
+//   - every exported top-level declaration — functions, methods, types, and
+//     const/var specs — in the library packages carries a doc comment,
+//
+// so `go doc ganc` (and every internal package) reads as a real API
+// reference and documentation cannot silently rot.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// collectPackageDirs walks the module and returns every directory containing
+// non-test Go files.
+func collectPackageDirs(t *testing.T) []string {
+	t.Helper()
+	dirSet := map[string]struct{}{}
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || (name != "." && strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirSet[filepath.Dir(path)] = struct{}{}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for dir := range dirSet {
+		dirs = append(dirs, dir)
+	}
+	return dirs
+}
+
+func TestDocCommentsDoNotRot(t *testing.T) {
+	var violations []string
+	for _, dir := range collectPackageDirs(t) {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			violations = append(violations, lintPackage(fset, dir, pkg)...)
+		}
+	}
+	if len(violations) > 0 {
+		t.Errorf("%d documentation violations:\n  %s", len(violations), strings.Join(violations, "\n  "))
+	}
+}
+
+// lintPackage checks one parsed package and returns its violations.
+func lintPackage(fset *token.FileSet, dir string, pkg *ast.Package) []string {
+	var out []string
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		out = append(out, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+	}
+	// Exported-symbol docs are enforced in library packages; mains document
+	// themselves through their package (command) comment.
+	if pkg.Name == "main" {
+		return out
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && !exportedRecvOk(d) {
+					continue // unexported receiver: method is not reachable API
+				}
+				if d.Name.IsExported() && d.Doc == nil {
+					out = append(out, fmt.Sprintf("%s: exported %s %s is undocumented",
+						position(fset, d.Pos()), funcKind(d), d.Name.Name))
+				}
+			case *ast.GenDecl:
+				out = append(out, lintGenDecl(fset, d)...)
+			}
+		}
+	}
+	return out
+}
+
+// exportedRecvOk reports whether a method's receiver type is exported (doc
+// comments on methods of unexported types never surface in go doc).
+func exportedRecvOk(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic receiver type parameters if present.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.IsExported()
+	}
+	return true
+}
+
+// lintGenDecl checks type/const/var declarations: a doc comment may sit on
+// the grouped declaration or on the individual spec.
+func lintGenDecl(fset *token.FileSet, d *ast.GenDecl) []string {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return nil
+	}
+	var out []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				out = append(out, fmt.Sprintf("%s: exported type %s is undocumented", position(fset, s.Pos()), s.Name.Name))
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					out = append(out, fmt.Sprintf("%s: exported %s %s is undocumented",
+						position(fset, s.Pos()), strings.ToLower(d.Tok.String()), name.Name))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func position(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

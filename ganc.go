@@ -11,16 +11,21 @@
 //  3. assemble the pipeline in one call      (NewPipeline + With... options)
 //  4. serve or batch-generate through Engine (RecommendUser / RecommendAll)
 //  5. evaluate accuracy/novelty/coverage     (NewEvaluator → Evaluate)
+//  6. persist and warm-start                 (Pipeline.Save → LoadEngine)
+//  7. ingest interaction streams             (NewIngestor → POST /ingest)
 //
 // Base models can be trained explicitly (TrainRSVD, TrainPSVD, ...) and
 // passed to WithBase, or constructed by name from the model registry
 // (WithBaseNamed, NewBaseScorer, NewReranker). Assembled pipelines, base
 // models and re-ranking baselines all satisfy the Engine interface, whose
-// online RecommendUser path is what NewServer builds on.
+// online RecommendUser path is what NewServer builds on. A trained pipeline
+// snapshots to a versioned binary file and reloads byte-identically, and the
+// serving layer absorbs new interactions incrementally with write-ahead
+// logging and periodic checkpoints (DESIGN.md §8).
 //
-// See examples/quickstart for a complete end-to-end program and DESIGN.md for
-// the architecture and the experiment-by-experiment map of the paper
-// reproduction.
+// See examples/quickstart for a complete end-to-end program (each examples/
+// directory has a README), and DESIGN.md for the architecture and the
+// experiment-by-experiment map of the paper reproduction.
 package ganc
 
 import (
@@ -136,21 +141,31 @@ func ReadRatings(r io.Reader, opts LoadOptions) (*Dataset, error) {
 // GenerateDataset builds a synthetic dataset from an explicit configuration.
 func GenerateDataset(cfg SynthConfig) (*Dataset, error) { return synth.Generate(cfg) }
 
-// Calibrated synthetic stand-ins for the paper's evaluation datasets
-// (see DESIGN.md §4 for the substitution rationale). scale 1.0 reproduces the
+// GenerateML100K builds the calibrated synthetic ML-100K stand-in (see
+// DESIGN.md §4 for the substitution rationale). scale 1.0 reproduces the
 // calibrated defaults; smaller values shrink everything proportionally.
 func GenerateML100K(scale float64) (*Dataset, error) {
 	return synth.Generate(synth.ML100K(synth.Scale(scale)))
 }
+
+// GenerateML1M builds the calibrated synthetic ML-1M stand-in.
 func GenerateML1M(scale float64) (*Dataset, error) {
 	return synth.Generate(synth.ML1M(synth.Scale(scale)))
 }
+
+// GenerateML10M builds the calibrated synthetic ML-10M stand-in.
 func GenerateML10M(scale float64) (*Dataset, error) {
 	return synth.Generate(synth.ML10M(synth.Scale(scale)))
 }
+
+// GenerateMT200K builds the calibrated synthetic MovieTweetings-200K
+// stand-in.
 func GenerateMT200K(scale float64) (*Dataset, error) {
 	return synth.Generate(synth.MT200K(synth.Scale(scale)))
 }
+
+// GenerateNetflixSample builds the calibrated synthetic Netflix-sample
+// stand-in.
 func GenerateNetflixSample(scale float64) (*Dataset, error) {
 	return synth.Generate(synth.NetflixSample(synth.Scale(scale)))
 }
@@ -202,9 +217,12 @@ func DefaultItemKNNConfig() ItemKNNConfig { return knn.DefaultConfig() }
 // NewPop builds the most-popular recommender from the train set.
 func NewPop(train *Dataset) Scorer { return recommender.NewPop(train) }
 
-// LoadRSVD and LoadPSVD reload models previously written with their Save
-// methods, so applications can train offline and serve from snapshots.
+// LoadRSVD reloads a model previously written with (*RSVD).Save, so
+// applications can train offline and serve from snapshots. (Full-pipeline
+// snapshots use Pipeline.Save / LoadEngine instead.)
 func LoadRSVD(r io.Reader) (*RSVD, error) { return mf.LoadRSVD(r) }
+
+// LoadPSVD reloads a model previously written with (*PSVD).Save.
 func LoadPSVD(r io.Reader) (*PSVD, error) { return mf.LoadPSVD(r) }
 
 // RSVDGrid and RSVDGridResult re-export the cross-validation grid search used

@@ -1,0 +1,202 @@
+package ganc
+
+import (
+	"fmt"
+
+	"ganc/internal/core"
+	"ganc/internal/ingest"
+	"ganc/internal/knn"
+	"ganc/internal/recommender"
+	"ganc/internal/serve"
+)
+
+// Streaming-ingestion facade: NewIngestor puts a Pipeline's state behind the
+// internal/ingest consumer, so POST /ingest events (or direct Apply calls)
+// update the served model incrementally — popularity counts, item-average
+// sums, the dataset adjacency and the Dyn coverage frequencies — and publish
+// each batch through the server's versioned atomic engine swap. Trained
+// factor models stay frozen between full retrains (warm-start semantics);
+// everything derived cheaply from counts is rebuilt per batch.
+
+// IngestEvent is one interaction event, keyed by external identifiers. New
+// users and items are interned on the fly.
+type IngestEvent = serve.IngestEvent
+
+// IngestResult summarizes one applied batch (events absorbed, sequence
+// cursor, serving engine version).
+type IngestResult = serve.IngestResult
+
+// Ingestor consumes interaction events behind the serving layer; construct
+// with NewIngestor. See internal/ingest for the full contract.
+type Ingestor = ingest.Ingestor
+
+// IngestorOption customizes an Ingestor at construction time.
+type IngestorOption func(*ingestorConfig)
+
+type ingestorConfig struct {
+	logPath         string
+	checkpointPath  string
+	checkpointEvery int
+}
+
+// WithIngestLog makes the write path write-ahead: events are appended and
+// fsynced to the JSON-lines log at path before they touch serving state, and
+// recovery replays the un-checkpointed suffix after a restart.
+func WithIngestLog(path string) IngestorOption {
+	return func(c *ingestorConfig) { c.logPath = path }
+}
+
+// WithIngestCheckpoint writes a full warm-start snapshot (the Pipeline.Save
+// format plus the ingestion cursor) to path after every `every` applied
+// events; every ≤ 0 disables automatic checkpoints but keeps manual
+// Ingestor.Checkpoint calls working.
+func WithIngestCheckpoint(path string, every int) IngestorOption {
+	return func(c *ingestorConfig) {
+		c.checkpointPath = path
+		c.checkpointEvery = every
+	}
+}
+
+// NewIngestor wires streaming ingestion around a pipeline and, when srv is
+// non-nil, attaches itself as the sink behind the server's POST /ingest
+// endpoint. The pipeline must be snapshot-compatible (see Pipeline.Save);
+// for a pipeline restored by LoadEngine from a checkpoint, the ingestion
+// cursor carries over, so calling (*Ingestor).Recover() afterwards replays
+// exactly the write-ahead-log suffix the checkpoint had not absorbed.
+func NewIngestor(srv *Server, p *Pipeline, opts ...IngestorOption) (*Ingestor, error) {
+	var c ingestorConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	kind, err := p.baseKind()
+	if err != nil {
+		return nil, err
+	}
+	covName, err := p.coverageName()
+	if err != nil {
+		return nil, err
+	}
+
+	lambda := p.ingestAvgLambda
+	if lambda == 0 {
+		if ia, ok := p.baseScorer.(*recommender.ItemAvg); ok {
+			lambda = ia.Lambda()
+		} else {
+			lambda = 5 // the registry's ItemAvg shrinkage default
+		}
+	}
+	state := ingest.NewStateFromDataset(p.train, p.prefs, lambda)
+	if p.ingestPrefFill > 0 {
+		state.PrefFill = p.ingestPrefFill
+	}
+	if dyn, ok := p.crec.(*core.DynCoverage); ok {
+		state.DynFreq = dyn.Frequencies()
+	}
+	state.AppliedSeq = p.ingestSeq
+
+	cfg := ingest.Config{
+		State: state,
+		Rebuild: func(s *ingest.State) (serve.Engine, error) {
+			return p.pipelineFromState(kind, covName, s)
+		},
+		Server: srv,
+	}
+	if c.logPath != "" {
+		log, err := ingest.OpenLog(c.logPath)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Log = log
+	}
+	if c.checkpointPath != "" {
+		path := c.checkpointPath
+		cfg.Checkpoint = func(s *ingest.State) error {
+			np, err := p.pipelineFromState(kind, covName, s)
+			if err != nil {
+				return err
+			}
+			b, err := np.snapshotBuilder(s.AppliedSeq, s.AvgLambda, s.PrefFill)
+			if err != nil {
+				return err
+			}
+			return b.Save(path)
+		}
+		cfg.CheckpointEvery = c.checkpointEvery
+	}
+	ing, err := ingest.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if srv != nil {
+		srv.SetIngestSink(ing)
+	}
+	return ing, nil
+}
+
+// pipelineFromState reassembles a serving pipeline around the ingestion
+// state: incrementally maintained statistics rebuild the cheap components
+// (Pop counts, ItemAvg means, Stat/Dyn coverage, PopAccuracy), while trained
+// factor models are reused frozen — ItemKNN rebound so its scoring consults
+// the extended user profiles.
+func (p *Pipeline) pipelineFromState(kind, covName string, s *ingest.State) (*Pipeline, error) {
+	train := s.Train
+	normalized := func(sc Scorer) AccuracyRecommender {
+		return newNormalizedAccuracy(sc, train.NumItems())
+	}
+	var arec AccuracyRecommender
+	var scorer Scorer
+	switch kind {
+	case "Pop":
+		pop := recommender.NewPopFromCounts(s.PopCounts)
+		arec = core.NewPopAccuracyWith(pop, train, p.cfg.topN)
+		scorer = pop
+	case "ItemAvg":
+		ia := recommender.NewItemAvgFromStats(s.AvgSums, s.AvgCounts, s.AvgLambda, s.GlobalMean())
+		arec, scorer = normalized(ia), ia
+	case "ItemKNN":
+		m := p.baseScorer.(*knn.ItemKNN).Rebind(train)
+		arec, scorer = normalized(m), m
+	case "RSVD", "PSVD", "CofiRank":
+		scorer = p.baseScorer
+		arec = normalized(scorer)
+	default:
+		return nil, fmt.Errorf("%w: base kind %q", ErrSnapshotUnsupported, kind)
+	}
+
+	var crec CoverageRecommender
+	var covSpec CoverageSpec
+	switch covName {
+	case "Dyn":
+		crec = core.NewDynCoverageFrom(s.DynFreq)
+		covSpec = CoverageDyn()
+	case "Stat":
+		crec = core.NewStatCoverageFromCounts(s.PopCounts)
+		covSpec = CoverageStat()
+	default:
+		return nil, fmt.Errorf("%w: coverage recommender %q", ErrSnapshotUnsupported, covName)
+	}
+
+	g, err := core.New(train, arec, s.Prefs, crec, core.Config{
+		N:          p.cfg.topN,
+		SampleSize: p.cfg.sampleSize,
+		Seed:       p.cfg.seed,
+		Workers:    p.cfg.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := p.cfg
+	cfg.coverage = covSpec
+	return &Pipeline{
+		train:           train,
+		ganc:            g,
+		prefs:           s.Prefs,
+		cfg:             cfg,
+		arec:            arec,
+		baseScorer:      scorer,
+		crec:            crec,
+		ingestSeq:       s.AppliedSeq,
+		ingestPrefFill:  s.PrefFill,
+		ingestAvgLambda: s.AvgLambda,
+	}, nil
+}

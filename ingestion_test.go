@@ -1,0 +1,173 @@
+package ganc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"ganc/internal/ingest"
+)
+
+// streamEvents synthesizes an interaction stream: mostly existing users and
+// items (addressed by their real external keys), with a tail of brand-new
+// users and items to exercise on-the-fly interning.
+func streamEvents(t *testing.T, train *Dataset, n int, seed int64) []IngestEvent {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	users := train.UserInterner()
+	items := train.ItemInterner()
+	events := make([]IngestEvent, n)
+	for k := range events {
+		ev := IngestEvent{Value: float64(1 + rng.Intn(5))}
+		if rng.Intn(5) == 0 {
+			ev.User = fmt.Sprintf("fresh-user-%d", rng.Intn(8))
+		} else {
+			ev.User = users.Key(int32(rng.Intn(users.Len())))
+		}
+		if rng.Intn(7) == 0 {
+			ev.Item = fmt.Sprintf("fresh-item-%d", rng.Intn(6))
+		} else {
+			ev.Item = items.Key(int32(rng.Intn(items.Len())))
+		}
+		events[k] = ev
+	}
+	return events
+}
+
+// applyInBatches feeds the stream through an ingestor in fixed-size batches.
+func applyInBatches(t *testing.T, ing *Ingestor, events []IngestEvent, batch int) {
+	t.Helper()
+	for lo := 0; lo < len(events); lo += batch {
+		hi := lo + batch
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if _, err := ing.Apply(context.Background(), events[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestIngestCheckpointRestoreParity is the second acceptance property: a
+// stream ingested with a mid-stream crash (checkpoint restore + write-ahead
+// log replay) must land on exactly the Pop/Dyn state — and byte-identical
+// served output — of uninterrupted ingestion.
+func TestIngestCheckpointRestoreParity(t *testing.T) {
+	split := persistSplit(t, 53)
+	events := streamEvents(t, split.Train, 150, 59)
+	dir := t.TempDir()
+
+	// Uninterrupted reference.
+	refPipe := buildPersistablePipeline(t, split.Train, "Pop")
+	refIng, err := NewIngestor(nil, refPipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyInBatches(t, refIng, events, 30)
+
+	// Interrupted run: WAL + checkpoint every 60 events → the checkpoint
+	// lands at seq 60 and 120, leaving a 30-event suffix in the log.
+	livePipe := buildPersistablePipeline(t, split.Train, "Pop")
+	logPath := filepath.Join(dir, "events.log")
+	snapPath := filepath.Join(dir, "checkpoint.snap")
+	liveIng, err := NewIngestor(nil, livePipe,
+		WithIngestLog(logPath),
+		WithIngestCheckpoint(snapPath, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyInBatches(t, liveIng, events, 30)
+
+	// "Crash" and warm-start: restore the checkpoint, replay the log suffix.
+	restoredPipe, err := LoadEngine(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restoredPipe.ingestSeq != 120 {
+		t.Fatalf("checkpoint cursor %d, want 120", restoredPipe.ingestSeq)
+	}
+	restoredIng, err := NewIngestor(nil, restoredPipe, WithIngestLog(logPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := restoredIng.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 30 {
+		t.Fatalf("replayed %d events, want 30", replayed)
+	}
+
+	// Pop/Dyn state parity.
+	refIng.View(func(want *ingest.State) {
+		restoredIng.View(func(got *ingest.State) {
+			if got.AppliedSeq != want.AppliedSeq {
+				t.Fatalf("seq %d != %d", got.AppliedSeq, want.AppliedSeq)
+			}
+			if len(got.PopCounts) != len(want.PopCounts) {
+				t.Fatalf("pop counts cover %d items, want %d", len(got.PopCounts), len(want.PopCounts))
+			}
+			for i := range want.PopCounts {
+				if got.PopCounts[i] != want.PopCounts[i] {
+					t.Fatalf("pop count of item %d: %d != %d", i, got.PopCounts[i], want.PopCounts[i])
+				}
+			}
+			for i := range want.DynFreq {
+				if got.DynFreq[i] != want.DynFreq[i] {
+					t.Fatalf("dyn freq of item %d: %d != %d", i, got.DynFreq[i], want.DynFreq[i])
+				}
+			}
+			if got.Train.NumRatings() != want.Train.NumRatings() {
+				t.Fatalf("ratings %d != %d", got.Train.NumRatings(), want.Train.NumRatings())
+			}
+			if got.Prefs.Len() != want.Prefs.Len() {
+				t.Fatalf("preference vectors cover %d vs %d users", got.Prefs.Len(), want.Prefs.Len())
+			}
+			for u := range want.Prefs.Values {
+				if got.Prefs.Values[u] != want.Prefs.Values[u] {
+					t.Fatalf("θ of user %d: %v != %v", u, got.Prefs.Values[u], want.Prefs.Values[u])
+				}
+			}
+		})
+	})
+
+	// Served-output parity: engines rebuilt from both states must recommend
+	// byte-identically.
+	var wantRecs, gotRecs Recommendations
+	refIng.View(func(s *ingest.State) {
+		p, err := refPipe.pipelineFromState("Pop", "Dyn", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRecs, err = p.RecommendAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	restoredIng.View(func(s *ingest.State) {
+		p, err := restoredPipe.pipelineFromState("Pop", "Dyn", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRecs, err = p.RecommendAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertRecsIdentical(t, "ingested", gotRecs, wantRecs)
+}
+
+// TestIngestorRejectsUnsupportedPipeline mirrors the Save contract: streaming
+// ingestion needs the same component codecs.
+func TestIngestorRejectsUnsupportedPipeline(t *testing.T) {
+	split := persistSplit(t, 61)
+	p, err := NewPipeline(split.Train, WithBaseNamed("Pop"), WithCoverage(CoverageRand()), WithTopN(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIngestor(nil, p); err == nil {
+		t.Fatal("expected NewIngestor to reject a Rand-coverage pipeline")
+	}
+}

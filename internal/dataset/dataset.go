@@ -71,10 +71,10 @@ func (b *Builder) Add(userKey, itemKey string, value float64) {
 // responsible for keeping identifiers dense; gaps create phantom users or
 // items with no ratings.
 func (b *Builder) AddIDs(u types.UserID, i types.ItemID, value float64) {
-	for int32(len(b.users.Keys())) <= int32(u) {
+	for int32(b.users.Len()) <= int32(u) {
 		b.users.Intern(fmt.Sprintf("u%d", b.users.Len()))
 	}
-	for int32(len(b.items.Keys())) <= int32(i) {
+	for int32(b.items.Len()) <= int32(i) {
 		b.items.Intern(fmt.Sprintf("i%d", b.items.Len()))
 	}
 	b.ratings = append(b.ratings, types.Rating{User: u, Item: i, Value: value})
@@ -137,11 +137,16 @@ func (d *Dataset) buildIndexes() {
 // Name returns the dataset's human-readable name.
 func (d *Dataset) Name() string { return d.name }
 
-// NumUsers returns |U|, the number of distinct users.
-func (d *Dataset) NumUsers() int { return d.users.Len() }
+// NumUsers returns |U|, the user universe this dataset was indexed over. It
+// is frozen at construction time: streaming ingestion may intern new keys
+// into the shared identifier tables afterwards, but this snapshot's universe
+// (and every index sized by it) does not move — the extended universe belongs
+// to the Dataset returned by Extend.
+func (d *Dataset) NumUsers() int { return len(d.byUser) }
 
-// NumItems returns |I|, the number of distinct items.
-func (d *Dataset) NumItems() int { return d.items.Len() }
+// NumItems returns |I|, the item universe this dataset was indexed over (see
+// NumUsers for the frozen-snapshot semantics).
+func (d *Dataset) NumItems() int { return len(d.byItem) }
 
 // NumRatings returns |D|, the number of ratings.
 func (d *Dataset) NumRatings() int { return len(d.ratings) }
@@ -263,9 +268,12 @@ func (d *Dataset) PopularityVector() []int {
 	return out
 }
 
-// UserInterner and ItemInterner expose the identifier mappings so callers can
-// translate recommendations back into external keys.
+// UserInterner exposes the user identifier mapping so callers can translate
+// recommendations back into external keys. The table is shared across every
+// dataset derived from the same parent (splits, Extend children).
 func (d *Dataset) UserInterner() *types.Interner { return d.users }
+
+// ItemInterner exposes the item identifier mapping (see UserInterner).
 func (d *Dataset) ItemInterner() *types.Interner { return d.items }
 
 // Density returns |D| / (|U|·|I|), the fill rate of the rating matrix.
@@ -455,6 +463,90 @@ func (d *Dataset) childFromRatings(name string, ratings []types.Rating) *Dataset
 		items:   d.items,
 	}
 	child.buildIndexes()
+	return child
+}
+
+// Extend returns a new Dataset containing this dataset's ratings plus the
+// given new ones, sharing the (concurrency-safe) identifier spaces with the
+// parent. It is the incremental-ingestion counterpart of Build: the per-user
+// and per-item indexes are updated copy-on-write — only the outer index
+// slices and the inner slices of touched users/items are reallocated, and the
+// sorted per-user adjacency is re-sorted only for the users that actually
+// received new ratings. Untouched users share their index slices with the
+// parent, so extending a million-user dataset with a small event batch costs
+// O(|D| copy + touched users) rather than a full rebuild.
+//
+// The parent dataset is never mutated and stays fully usable (the serving
+// layer keeps answering against it until the engine swap). New users or items
+// must already be interned by the caller; identifiers beyond the parent's
+// range simply grow the indexes.
+func (d *Dataset) Extend(newRatings []types.Rating) *Dataset {
+	numUsers := d.users.Len()
+	numItems := d.items.Len()
+	for _, r := range newRatings {
+		if int(r.User) < 0 || int(r.User) >= numUsers {
+			panic(fmt.Sprintf("dataset: Extend rating references user %d outside the interned range [0,%d)", r.User, numUsers))
+		}
+		if int(r.Item) < 0 || int(r.Item) >= numItems {
+			panic(fmt.Sprintf("dataset: Extend rating references item %d outside the interned range [0,%d)", r.Item, numItems))
+		}
+	}
+
+	ratings := make([]types.Rating, len(d.ratings), len(d.ratings)+len(newRatings))
+	copy(ratings, d.ratings)
+	ratings = append(ratings, newRatings...)
+
+	child := &Dataset{
+		name:    d.name,
+		ratings: ratings,
+		users:   d.users,
+		items:   d.items,
+	}
+
+	// Copy-on-write indexes: clone the outer slices (growing them to the
+	// current interner sizes so freshly interned users/items get entries),
+	// then replace only the touched inner slices.
+	child.byUser = make([][]int, numUsers)
+	copy(child.byUser, d.byUser)
+	child.byItem = make([][]int, numItems)
+	copy(child.byItem, d.byItem)
+	child.sortedItemsByUser = make([][]types.ItemID, numUsers)
+	copy(child.sortedItemsByUser, d.sortedItemsByUser)
+
+	touchedUser := make(map[types.UserID]struct{}, len(newRatings))
+	touchedItem := make(map[types.ItemID]struct{}, len(newRatings))
+	for k, r := range newRatings {
+		idx := len(d.ratings) + k
+		if _, done := touchedUser[r.User]; !done {
+			touchedUser[r.User] = struct{}{}
+			child.byUser[r.User] = append(append([]int(nil), child.byUser[r.User]...), idx)
+		} else {
+			child.byUser[r.User] = append(child.byUser[r.User], idx)
+		}
+		if _, done := touchedItem[r.Item]; !done {
+			touchedItem[r.Item] = struct{}{}
+			child.byItem[r.Item] = append(append([]int(nil), child.byItem[r.Item]...), idx)
+		} else {
+			child.byItem[r.Item] = append(child.byItem[r.Item], idx)
+		}
+	}
+
+	// Re-sort the adjacency of touched users only.
+	for u := range touchedUser {
+		idxs := child.byUser[u]
+		items := make([]types.ItemID, len(idxs))
+		for k, idx := range idxs {
+			items[k] = ratings[idx].Item
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		out := items[:1]
+		for _, it := range items[1:] {
+			if it != out[len(out)-1] {
+				out = append(out, it)
+			}
+		}
+		child.sortedItemsByUser[u] = out
+	}
 	return child
 }
 

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ganc/internal/types"
+)
+
+// Dataset persistence: a Dataset serializes to a compact struct-of-arrays gob
+// payload (identifier key tables plus three parallel rating columns) and is
+// rebuilt on load by re-interning the key tables and re-running the index
+// construction, so the loaded dataset is bit-identical to the saved one
+// without storing any derived structure.
+
+// datasetSnapshotVersion guards the gob payload layout; bump it on any
+// incompatible change so old snapshots fail loudly instead of mis-decoding.
+const datasetSnapshotVersion = 1
+
+// datasetSnapshot is the gob-encoded form of a Dataset.
+type datasetSnapshot struct {
+	Version  int
+	Name     string
+	UserKeys []string
+	ItemKeys []string
+	Users    []types.UserID
+	Items    []types.ItemID
+	Values   []float64
+}
+
+// EncodeSnapshot writes the dataset to w in its versioned gob form.
+func (d *Dataset) EncodeSnapshot(w io.Writer) error {
+	snap := datasetSnapshot{
+		Version:  datasetSnapshotVersion,
+		Name:     d.name,
+		UserKeys: d.users.Keys(),
+		ItemKeys: d.items.Keys(),
+		Users:    make([]types.UserID, len(d.ratings)),
+		Items:    make([]types.ItemID, len(d.ratings)),
+		Values:   make([]float64, len(d.ratings)),
+	}
+	for k, r := range d.ratings {
+		snap.Users[k] = r.User
+		snap.Items[k] = r.Item
+		snap.Values[k] = r.Value
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("dataset: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a dataset previously written by EncodeSnapshot.
+func DecodeSnapshot(r io.Reader) (*Dataset, error) {
+	var snap datasetSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("dataset: decode snapshot: %w", err)
+	}
+	if snap.Version != datasetSnapshotVersion {
+		return nil, fmt.Errorf("dataset: unsupported dataset snapshot version %d (this build reads version %d)",
+			snap.Version, datasetSnapshotVersion)
+	}
+	if len(snap.Users) != len(snap.Items) || len(snap.Users) != len(snap.Values) {
+		return nil, fmt.Errorf("dataset: corrupt snapshot: rating columns have mismatched lengths %d/%d/%d",
+			len(snap.Users), len(snap.Items), len(snap.Values))
+	}
+	users := types.NewInternerFromKeys(snap.UserKeys)
+	items := types.NewInternerFromKeys(snap.ItemKeys)
+	ratings := make([]types.Rating, len(snap.Users))
+	for k := range snap.Users {
+		if int(snap.Users[k]) < 0 || int(snap.Users[k]) >= users.Len() {
+			return nil, fmt.Errorf("dataset: corrupt snapshot: rating %d references user %d outside [0,%d)", k, snap.Users[k], users.Len())
+		}
+		if int(snap.Items[k]) < 0 || int(snap.Items[k]) >= items.Len() {
+			return nil, fmt.Errorf("dataset: corrupt snapshot: rating %d references item %d outside [0,%d)", k, snap.Items[k], items.Len())
+		}
+		ratings[k] = types.Rating{User: snap.Users[k], Item: snap.Items[k], Value: snap.Values[k]}
+	}
+	d := &Dataset{
+		name:    snap.Name,
+		ratings: ratings,
+		users:   users,
+		items:   items,
+	}
+	d.buildIndexes()
+	return d, nil
+}

@@ -210,6 +210,7 @@ func (s *Suite) CofiR(name string, factors int) (*rank.Model, error) {
 // AccuracyRecName identifies a base accuracy recommender in runner arguments.
 type AccuracyRecName string
 
+// The accuracy recommenders the experiment suite assembles GANC around.
 const (
 	ARecPop     AccuracyRecName = "Pop"
 	ARecRSVD    AccuracyRecName = "RSVD"
@@ -258,6 +259,7 @@ func (s *Suite) accuracyComponent(datasetName string, arec AccuracyRecName, n in
 // CoverageRecName identifies a coverage recommender in runner arguments.
 type CoverageRecName string
 
+// The paper's three coverage recommenders.
 const (
 	CRecDyn  CoverageRecName = "Dyn"
 	CRecStat CoverageRecName = "Stat"
@@ -341,6 +343,7 @@ func (s *Suite) Evaluator(datasetName string) (*eval.Evaluator, error) {
 // the protocol study.
 type BaselineName string
 
+// The standalone baseline algorithms of the comparison studies.
 const (
 	BaselineRand    BaselineName = "Rand"
 	BaselinePop     BaselineName = "Pop"

@@ -180,7 +180,10 @@ func (m *ItemKNN) buildSimilarities() {
 // user's ratings on item i's neighbours, centred on the user's mean. Items
 // with no overlapping neighbours fall back to the user's mean rating.
 func (m *ItemKNN) Score(u types.UserID, i types.ItemID) float64 {
-	if int(u) < 0 || int(u) >= m.train.NumUsers() || int(i) < 0 || int(i) >= len(m.neighbors) {
+	// Bound by the trained per-user means, not the attached dataset: a
+	// rebound model may score a dataset that has grown new users since
+	// training, and those fall back to the global mean.
+	if int(u) < 0 || int(u) >= len(m.userMean) || int(i) < 0 || int(i) >= len(m.neighbors) {
 		return m.global
 	}
 	mean := m.userMean[u]
@@ -201,7 +204,7 @@ func (m *ItemKNN) Score(u types.UserID, i types.ItemID) float64 {
 // once into a map, so each neighbour lookup is O(1) instead of the O(|I_u|)
 // profile scan the pointwise Score pays per neighbour.
 func (m *ItemKNN) ScoreUser(u types.UserID, items []types.ItemID, out []float64) {
-	if int(u) < 0 || int(u) >= m.train.NumUsers() {
+	if int(u) < 0 || int(u) >= len(m.userMean) {
 		for k := range items {
 			out[k] = m.global
 		}

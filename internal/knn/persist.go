@@ -1,0 +1,113 @@
+package knn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ganc/internal/dataset"
+	"ganc/internal/types"
+)
+
+// Model persistence: the expensive part of an ItemKNN model is the item-item
+// similarity search, so snapshots store the pruned neighbour lists (plus the
+// per-user means) and reattach the train set at load time — the dataset is
+// persisted once, at the snapshot container level, not per model.
+
+// knnSnapshotVersion guards the gob payload layout.
+const knnSnapshotVersion = 1
+
+// knnSnapshot is the gob-encoded form of an ItemKNN model. Neighbour lists
+// are flattened into parallel columns with per-item offsets so the payload is
+// three flat slices instead of a million tiny ones.
+type knnSnapshot struct {
+	Version  int
+	Config   Config
+	Offsets  []int // len NumItems+1; neighbours of item i live in [Offsets[i], Offsets[i+1])
+	NbItems  []types.ItemID
+	NbSims   []float64
+	UserMean []float64
+	Global   float64
+}
+
+// Save writes the model to w in its versioned gob form.
+func (m *ItemKNN) Save(w io.Writer) error {
+	total := 0
+	for _, nbs := range m.neighbors {
+		total += len(nbs)
+	}
+	snap := knnSnapshot{
+		Version:  knnSnapshotVersion,
+		Config:   m.cfg,
+		Offsets:  make([]int, len(m.neighbors)+1),
+		NbItems:  make([]types.ItemID, 0, total),
+		NbSims:   make([]float64, 0, total),
+		UserMean: m.userMean,
+		Global:   m.global,
+	}
+	for i, nbs := range m.neighbors {
+		snap.Offsets[i] = len(snap.NbItems)
+		for _, nb := range nbs {
+			snap.NbItems = append(snap.NbItems, nb.item)
+			snap.NbSims = append(snap.NbSims, nb.sim)
+		}
+	}
+	snap.Offsets[len(m.neighbors)] = len(snap.NbItems)
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("knn: save ItemKNN: %w", err)
+	}
+	return nil
+}
+
+// Rebind returns a copy of the model scoring against a different train set
+// (typically an incrementally extended one): the frozen similarity lists are
+// shared, while the user profiles consulted at scoring time come from the new
+// dataset. The per-user means are carried over for users the model was
+// trained on and fall back to the global mean for users beyond that range
+// (Score and ScoreUser already treat missing means that way via bounds
+// checks).
+func (m *ItemKNN) Rebind(train *dataset.Dataset) *ItemKNN {
+	out := *m
+	out.train = train
+	return &out
+}
+
+// Load reads a model previously written by Save and reattaches it to train
+// (the dataset the model scores against; scoring needs the user profiles, not
+// just the similarity lists).
+func Load(r io.Reader, train *dataset.Dataset) (*ItemKNN, error) {
+	if train == nil {
+		return nil, fmt.Errorf("knn: load ItemKNN: a train dataset is required")
+	}
+	var snap knnSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("knn: load ItemKNN: %w", err)
+	}
+	if snap.Version != knnSnapshotVersion {
+		return nil, fmt.Errorf("knn: load ItemKNN: unsupported snapshot version %d (this build reads version %d)",
+			snap.Version, knnSnapshotVersion)
+	}
+	if len(snap.Offsets) == 0 || len(snap.NbItems) != len(snap.NbSims) {
+		return nil, fmt.Errorf("knn: load ItemKNN: corrupt neighbour columns")
+	}
+	numItems := len(snap.Offsets) - 1
+	neighbors := make([][]neighbor, numItems)
+	for i := 0; i < numItems; i++ {
+		lo, hi := snap.Offsets[i], snap.Offsets[i+1]
+		if lo < 0 || hi < lo || hi > len(snap.NbItems) {
+			return nil, fmt.Errorf("knn: load ItemKNN: corrupt offset table at item %d", i)
+		}
+		nbs := make([]neighbor, hi-lo)
+		for k := lo; k < hi; k++ {
+			nbs[k-lo] = neighbor{item: snap.NbItems[k], sim: snap.NbSims[k]}
+		}
+		neighbors[i] = nbs
+	}
+	return &ItemKNN{
+		cfg:       snap.Config,
+		train:     train,
+		neighbors: neighbors,
+		userMean:  snap.UserMean,
+		global:    snap.Global,
+	}, nil
+}

@@ -1,0 +1,123 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func buildSample(t *testing.T) []byte {
+	t.Helper()
+	var b Builder
+	b.Add("alpha", []byte("hello snapshot"))
+	if err := b.AddGob("beta", map[string]int{"x": 1, "y": 2}); err != nil {
+		t.Fatal(err)
+	}
+	b.Add("gamma", nil) // empty payloads are legal
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	raw := buildSample(t)
+	snap, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snap.Sections()
+	want := []string{"alpha", "beta", "gamma"}
+	if len(got) != len(want) {
+		t.Fatalf("sections %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("sections %v, want %v", got, want)
+		}
+	}
+	payload, err := snap.Section("alpha")
+	if err != nil || string(payload) != "hello snapshot" {
+		t.Fatalf("alpha payload %q err %v", payload, err)
+	}
+	var m map[string]int
+	if err := snap.Gob("beta", &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["x"] != 1 || m["y"] != 2 {
+		t.Fatalf("beta decoded to %v", m)
+	}
+	if _, err := snap.Section("missing"); !errors.Is(err, ErrNoSection) {
+		t.Fatalf("missing section error = %v, want ErrNoSection", err)
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.ganc")
+	var b Builder
+	b.Add("only", []byte("payload"))
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected exactly the snapshot in %s, found %d entries", dir, len(entries))
+	}
+	snap, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Has("only") {
+		t.Fatal("section lost across save/load")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTASNAPxxxxxxxxxxx"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestUnsupportedVersion(t *testing.T) {
+	raw := buildSample(t)
+	raw[11] = 99 // big-endian format version's low byte
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("err = %v, want ErrUnsupportedVersion", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	raw := buildSample(t)
+	for _, cut := range []int{4, 13, len(raw) / 2, len(raw) - 1} {
+		if _, err := Read(bytes.NewReader(raw[:cut])); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("cut at %d: err = %v, want corruption", cut, err)
+		}
+	}
+}
+
+func TestBitFlippedPayload(t *testing.T) {
+	raw := buildSample(t)
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-10] ^= 0x40 // somewhere inside a payload
+	if _, err := Read(bytes.NewReader(flipped)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDuplicateSectionRejected(t *testing.T) {
+	var b Builder
+	b.Add("dup", []byte("a"))
+	b.Add("dup", []byte("b"))
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err == nil {
+		t.Fatal("duplicate section names must be rejected")
+	}
+}

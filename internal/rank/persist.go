@@ -1,0 +1,62 @@
+package rank
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Model persistence: trained collaborative-ranking factorizations serialize
+// their factor matrices with encoding/gob behind a version tag, matching the
+// RSVD/PSVD snapshot convention in internal/mf.
+
+// rankSnapshotVersion guards the gob payload layout.
+const rankSnapshotVersion = 1
+
+// rankSnapshot is the gob-encoded form of a rank.Model.
+type rankSnapshot struct {
+	Version int
+	Config  Config
+	UserF   [][]float64
+	ItemF   [][]float64
+	Mean    float64
+	Name    string
+}
+
+// Save writes the model to w in its versioned gob form.
+func (m *Model) Save(w io.Writer) error {
+	snap := rankSnapshot{
+		Version: rankSnapshotVersion,
+		Config:  m.cfg,
+		UserF:   m.userF,
+		ItemF:   m.itemF,
+		Mean:    m.mean,
+		Name:    m.name,
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("rank: save model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var snap rankSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("rank: load model: %w", err)
+	}
+	if snap.Version != rankSnapshotVersion {
+		return nil, fmt.Errorf("rank: load model: unsupported snapshot version %d (this build reads version %d)",
+			snap.Version, rankSnapshotVersion)
+	}
+	if len(snap.UserF) == 0 || len(snap.ItemF) == 0 {
+		return nil, fmt.Errorf("rank: load model: snapshot has no factors")
+	}
+	return &Model{
+		cfg:   snap.Config,
+		userF: snap.UserF,
+		itemF: snap.ItemF,
+		mean:  snap.Mean,
+		name:  snap.Name,
+	}, nil
+}

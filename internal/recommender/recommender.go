@@ -234,6 +234,25 @@ func NewPop(train *dataset.Dataset) *Pop {
 	return &Pop{pop: train.PopularityVector(), name: "Pop"}
 }
 
+// NewPopFromCounts builds the popularity model from an explicit per-item
+// rating-count vector (indexed by ItemID). The streaming-ingestion layer
+// maintains such counts incrementally and rebuilds the model from them
+// instead of recounting the whole dataset; the persistence layer restores
+// them from a snapshot. The slice is copied.
+func NewPopFromCounts(counts []int) *Pop {
+	pop := make([]int, len(counts))
+	copy(pop, counts)
+	return &Pop{pop: pop, name: "Pop"}
+}
+
+// Counts returns a copy of the per-item rating counts backing the model (the
+// quantity persisted in engine snapshots).
+func (p *Pop) Counts() []int {
+	out := make([]int, len(p.pop))
+	copy(out, p.pop)
+	return out
+}
+
 // Score implements Scorer; the score is the raw popularity count.
 func (p *Pop) Score(_ types.UserID, i types.ItemID) float64 {
 	if int(i) >= len(p.pop) {
@@ -345,25 +364,57 @@ func (r *Rand) RecommendFrom(_ types.UserID, n int, candidates []types.ItemID) t
 // mean for rarely rated items (a damped mean with pseudo-count lambda). The
 // RBT re-ranker's "Avg" criterion uses it.
 type ItemAvg struct {
-	avg  []float64
-	name string
+	avg    []float64
+	lambda float64
+	name   string
 }
 
 // NewItemAvg computes damped item means from the train set. lambda is the
 // shrinkage pseudo-count; 0 gives raw means.
 func NewItemAvg(train *dataset.Dataset, lambda float64) *ItemAvg {
 	global := train.MeanRating()
-	avg := make([]float64, train.NumItems())
+	sums := make([]float64, train.NumItems())
+	counts := make([]int, train.NumItems())
 	for i := 0; i < train.NumItems(); i++ {
 		idxs := train.ItemRatings(types.ItemID(i))
-		sum := 0.0
 		for _, idx := range idxs {
-			sum += train.Rating(idx).Value
+			sums[i] += train.Rating(idx).Value
 		}
-		avg[i] = (sum + lambda*global) / (float64(len(idxs)) + lambdaOrOne(lambda, len(idxs)))
+		counts[i] = len(idxs)
 	}
-	return &ItemAvg{avg: avg, name: "ItemAvg"}
+	return NewItemAvgFromStats(sums, counts, lambda, global)
 }
+
+// NewItemAvgFromStats builds the damped-mean model from explicit per-item
+// rating sums and counts plus the global mean. The streaming-ingestion layer
+// maintains these statistics incrementally (one add per event) and rebuilds
+// the model from them without rescanning the dataset. sums and counts must
+// have equal length; both are consumed read-only.
+func NewItemAvgFromStats(sums []float64, counts []int, lambda, global float64) *ItemAvg {
+	avg := make([]float64, len(sums))
+	for i := range sums {
+		avg[i] = (sums[i] + lambda*global) / (float64(counts[i]) + lambdaOrOne(lambda, counts[i]))
+	}
+	return &ItemAvg{avg: avg, lambda: lambda, name: "ItemAvg"}
+}
+
+// NewItemAvgFromAverages restores the model directly from its damped means
+// (the quantity persisted in engine snapshots). The slice is copied.
+func NewItemAvgFromAverages(avg []float64, lambda float64) *ItemAvg {
+	out := make([]float64, len(avg))
+	copy(out, avg)
+	return &ItemAvg{avg: out, lambda: lambda, name: "ItemAvg"}
+}
+
+// Averages returns a copy of the per-item damped means.
+func (a *ItemAvg) Averages() []float64 {
+	out := make([]float64, len(a.avg))
+	copy(out, a.avg)
+	return out
+}
+
+// Lambda returns the shrinkage pseudo-count the model was built with.
+func (a *ItemAvg) Lambda() float64 { return a.lambda }
 
 func lambdaOrOne(lambda float64, n int) float64 {
 	if lambda == 0 && n == 0 {

@@ -16,7 +16,12 @@
 //	GET  /info                     → model, dataset and cache metadata
 //	GET  /recommend?user=<id>[&n=] → the user's top-N list (external ids)
 //	POST /recommend/batch          → {"users":[...]} → lists for many users
+//	POST /ingest                   → {"events":[...]} → stream new interactions
 //	GET  /users                    → the number of servable users
+//
+// POST /ingest is live only when an IngestSink has been attached with
+// SetIngestSink (the internal/ingest package provides one); without a sink it
+// answers 404, so a read-only deployment exposes no write surface.
 //
 // The handler is an http.Handler, so it can be mounted into any mux and
 // tested with net/http/httptest.
@@ -109,10 +114,19 @@ type Server struct {
 
 	gen atomic.Pointer[generation]
 
+	// ingest holds the optional streaming-ingestion sink behind POST /ingest.
+	// It is attached after construction (the sink needs the server handle to
+	// swap engines), hence the atomic rather than a constructor option.
+	ingest atomic.Pointer[ingestHolder]
+
 	hits      atomic.Int64
 	misses    atomic.Int64
 	coalesced atomic.Int64
 }
+
+// ingestHolder wraps the sink so the atomic pointer has a concrete type even
+// though IngestSink is an interface.
+type ingestHolder struct{ sink IngestSink }
 
 // New builds a server from a train set (for identifier translation), the
 // engine computing recommendations and the default list size n.
@@ -244,6 +258,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/info", s.handleInfo)
 	mux.HandleFunc("/recommend", s.handleRecommend)
 	mux.HandleFunc("/recommend/batch", s.handleBatch)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/users", s.handleUsers)
 	return mux
 }
@@ -279,11 +294,14 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	gen := s.gen.Load()
+	// Universe sizes come from the identifier tables, not the construction-
+	// time dataset snapshot: streaming ingestion grows the tables in place,
+	// so this reflects every currently addressable user/item.
 	writeJSON(w, http.StatusOK, InfoResponse{
 		Model:    gen.engine.Name(),
 		Dataset:  s.train.Name(),
-		NumUsers: s.train.NumUsers(),
-		NumItems: s.train.NumItems(),
+		NumUsers: s.train.UserInterner().Len(),
+		NumItems: s.train.ItemInterner().Len(),
 		TopN:     s.n,
 		Version:  gen.version,
 		Cache:    s.Stats(),
@@ -442,12 +460,102 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// --- Streaming ingestion ------------------------------------------------------
+
+// IngestEvent is one observed interaction submitted through POST /ingest,
+// keyed by external identifiers (new users and items are interned on the
+// fly).
+type IngestEvent struct {
+	User  string  `json:"user"`
+	Item  string  `json:"item"`
+	Value float64 `json:"value"`
+}
+
+// IngestResult summarizes one applied ingestion batch.
+type IngestResult struct {
+	// Applied is the number of events absorbed into the serving state.
+	Applied int `json:"applied"`
+	// Seq is the sink's total applied-event sequence number after the batch
+	// (the checkpoint/replay cursor).
+	Seq uint64 `json:"seq"`
+	// Version is the engine generation serving the post-batch state.
+	Version int `json:"version"`
+	// Warning reports a post-commit problem (engine republish or checkpoint
+	// failure): the events ARE durably applied — retrying the batch would
+	// double-count it — but the operator should look. Empty on full success.
+	Warning string `json:"warning,omitempty"`
+}
+
+// IngestSink consumes interaction events and folds them into the serving
+// state, typically finishing with an atomic engine swap on this server. The
+// internal/ingest package provides the standard implementation.
+type IngestSink interface {
+	IngestEvents(ctx context.Context, events []IngestEvent) (IngestResult, error)
+}
+
+// SetIngestSink attaches (or, with nil, detaches) the sink behind POST
+// /ingest. Safe to call while the server is handling requests.
+func (s *Server) SetIngestSink(sink IngestSink) {
+	if sink == nil {
+		s.ingest.Store(nil)
+		return
+	}
+	s.ingest.Store(&ingestHolder{sink: sink})
+}
+
+// IngestRequest is the payload of POST /ingest.
+type IngestRequest struct {
+	Events []IngestEvent `json:"events"`
+}
+
+// maxIngestEvents bounds one ingestion batch, mirroring maxBatchUsers.
+const maxIngestEvents = 10000
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	holder := s.ingest.Load()
+	if holder == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "ingestion is not enabled on this server"})
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
+		return
+	}
+	if len(req.Events) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "events list is empty"})
+		return
+	}
+	if len(req.Events) > maxIngestEvents {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("batch of %d events exceeds the limit of %d", len(req.Events), maxIngestEvents)})
+		return
+	}
+	for k, ev := range req.Events {
+		if ev.User == "" || ev.Item == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("event %d is missing a user or item key", k)})
+			return
+		}
+	}
+	res, err := holder.sink.IngestEvents(r.Context(), req.Events)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"servable_users": s.train.NumUsers()})
+	writeJSON(w, http.StatusOK, map[string]int{"servable_users": s.train.UserInterner().Len()})
 }
 
 // parseN reads an optional positive integer query parameter, falling back to

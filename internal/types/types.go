@@ -11,6 +11,7 @@ package types
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // UserID is a dense, zero-based index identifying a user within a Dataset.
@@ -43,8 +44,14 @@ func (r Rating) String() string {
 }
 
 // Interner maps external string keys to dense indices. The zero value is not
-// usable; construct with NewInterner.
+// usable; construct with NewInterner or NewInternerFromKeys.
+//
+// An Interner is safe for concurrent use: lookups take a read lock only, so
+// the serving hot path (key → index → key translation) never serializes, and
+// streaming ingestion can intern new users and items while requests are in
+// flight.
 type Interner struct {
+	mu      sync.RWMutex
 	toIndex map[string]int32
 	toKey   []string
 }
@@ -60,13 +67,31 @@ func NewInterner(n int) *Interner {
 	}
 }
 
+// NewInternerFromKeys rebuilds an interner from a key list in index order
+// (the inverse of Keys, used when loading a persisted dataset snapshot).
+func NewInternerFromKeys(keys []string) *Interner {
+	in := NewInterner(len(keys))
+	for _, k := range keys {
+		in.Intern(k)
+	}
+	return in
+}
+
 // Intern returns the dense index for key, assigning the next free index if
 // the key has not been seen before.
 func (in *Interner) Intern(key string) int32 {
+	in.mu.RLock()
+	idx, ok := in.toIndex[key]
+	in.mu.RUnlock()
+	if ok {
+		return idx
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if idx, ok := in.toIndex[key]; ok {
 		return idx
 	}
-	idx := int32(len(in.toKey))
+	idx = int32(len(in.toKey))
 	in.toIndex[key] = idx
 	in.toKey = append(in.toKey, key)
 	return idx
@@ -74,6 +99,8 @@ func (in *Interner) Intern(key string) int32 {
 
 // Lookup returns the dense index for key and whether it has been interned.
 func (in *Interner) Lookup(key string) (int32, bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	idx, ok := in.toIndex[key]
 	return idx, ok
 }
@@ -81,14 +108,22 @@ func (in *Interner) Lookup(key string) (int32, bool) {
 // Key returns the external key for a dense index. It panics if idx is out of
 // range, mirroring slice semantics.
 func (in *Interner) Key(idx int32) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	return in.toKey[idx]
 }
 
 // Len reports how many distinct keys have been interned.
-func (in *Interner) Len() int { return len(in.toKey) }
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.toKey)
+}
 
 // Keys returns a copy of all interned keys in index order.
 func (in *Interner) Keys() []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	out := make([]string, len(in.toKey))
 	copy(out, in.toKey)
 	return out

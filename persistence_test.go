@@ -1,0 +1,269 @@
+package ganc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// persistSplit builds the small synthetic split shared by the persistence
+// round-trip tests.
+func persistSplit(t *testing.T, seed int64) *Split {
+	t.Helper()
+	data, err := GenerateML100K(0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SplitByUser(data, 0.8, rand.New(rand.NewSource(seed)))
+}
+
+// assertRecsIdentical fails unless the two collections are byte-identical:
+// same users, same lists, same order.
+func assertRecsIdentical(t *testing.T, label string, got, want Recommendations) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: user counts differ: %d vs %d", label, len(got), len(want))
+	}
+	for _, u := range want.SortedUsers() {
+		gotSet, wantSet := got[u], want[u]
+		if len(gotSet) != len(wantSet) {
+			t.Fatalf("%s: user %d list sizes differ: %v vs %v", label, u, gotSet, wantSet)
+		}
+		for k := range wantSet {
+			if gotSet[k] != wantSet[k] {
+				t.Fatalf("%s: user %d: loaded %v != saved %v", label, u, gotSet, wantSet)
+			}
+		}
+	}
+}
+
+// buildPersistablePipeline assembles a pipeline for the named base kind on
+// cheap-to-train configurations.
+func buildPersistablePipeline(t *testing.T, train *Dataset, base string) *Pipeline {
+	t.Helper()
+	opts := []PipelineOption{
+		WithTopN(5),
+		WithPreferences(PreferenceTFIDF),
+		WithSeed(7),
+	}
+	switch base {
+	case "RSVD":
+		cfg := DefaultRSVDConfig()
+		cfg.Factors = 6
+		cfg.Epochs = 2
+		cfg.Seed = 7
+		m, err := TrainRSVD(train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts = append(opts, WithBase(m))
+	case "PSVD":
+		m, err := TrainPSVD(train, PSVDConfig{Factors: 5, PowerIterations: 1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts = append(opts, WithBase(m))
+	case "ItemKNN":
+		cfg := DefaultItemKNNConfig()
+		cfg.Neighbors = 10
+		m, err := TrainItemKNN(train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts = append(opts, WithBase(m))
+	case "CofiRank":
+		m, err := TrainCofi(train, CofiConfig{
+			Factors: 6, Regularization: 0.05, LearningRate: 0.02,
+			Epochs: 2, InitStd: 0.1, Seed: 7, PairsPerUser: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts = append(opts, WithBase(m))
+	default: // registry kinds trained by name (Pop, ItemAvg)
+		opts = append(opts, WithBaseNamed(base))
+	}
+	p, err := NewPipeline(train, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSaveLoadRoundTripByteIdentical is the acceptance property: for every
+// persistable base kind, a loaded engine must produce byte-identical
+// RecommendAll output to the engine that saved it, and agree online as well.
+func TestSaveLoadRoundTripByteIdentical(t *testing.T) {
+	split := persistSplit(t, 31)
+	dir := t.TempDir()
+	for _, base := range []string{"Pop", "ItemAvg", "RSVD", "PSVD", "ItemKNN", "CofiRank"} {
+		base := base
+		t.Run(base, func(t *testing.T) {
+			p := buildPersistablePipeline(t, split.Train, base)
+			path := filepath.Join(dir, base+".snap")
+			if err := p.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadEngine(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Name() != p.Name() {
+				t.Fatalf("loaded pipeline %q != saved %q", loaded.Name(), p.Name())
+			}
+			ctx := context.Background()
+			// Online parity first (before any batch sweep mutates Dyn state).
+			for u := UserID(0); u < 5; u++ {
+				a, err := p.RecommendUser(ctx, u, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := loaded.RecommendUser(ctx, u, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertRecsIdentical(t, base+" online", Recommendations{u: b}, Recommendations{u: a})
+			}
+			want, err := p.RecommendAll(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.RecommendAll(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertRecsIdentical(t, base, got, want)
+		})
+	}
+}
+
+// TestSaveLoadPreservesDynState checks that accumulated Dyn frequencies
+// survive the round trip: an engine saved *after* a batch sweep must reload
+// with the discounted coverage state, not a zeroed one.
+func TestSaveLoadPreservesDynState(t *testing.T) {
+	split := persistSplit(t, 37)
+	p := buildPersistablePipeline(t, split.Train, "Pop")
+	ctx := context.Background()
+	if _, err := p.RecommendAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "warm.snap")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both engines now hold the post-sweep frequency state; their next
+	// outputs must again be identical.
+	want, err := p.RecommendAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.RecommendAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRecsIdentical(t, "post-sweep", got, want)
+}
+
+// TestLoadEngineErrorPaths exercises the corrupted/truncated/unsupported
+// snapshot failure modes: every one must yield a matchable error, never a
+// panic or a silently wrong engine.
+func TestLoadEngineErrorPaths(t *testing.T) {
+	split := persistSplit(t, 41)
+	p := buildPersistablePipeline(t, split.Train, "Pop")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "good.snap")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := LoadEngine(filepath.Join(dir, "nope.snap")); err == nil {
+			t.Fatal("expected an error for a missing snapshot")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := filepath.Join(dir, "magic.snap")
+		if err := os.WriteFile(bad, []byte("definitely not a snapshot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadEngine(bad); !errors.Is(err, ErrSnapshotBadMagic) {
+			t.Fatalf("err = %v, want ErrSnapshotBadMagic", err)
+		}
+	})
+	t.Run("unsupported version", func(t *testing.T) {
+		buf := append([]byte("GANCSNAP"), 0, 0, 0, 0, 0, 0, 0, 0)
+		binary.BigEndian.PutUint32(buf[8:], 99)
+		bad := filepath.Join(dir, "future.snap")
+		if err := os.WriteFile(bad, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadEngine(bad); !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("err = %v, want ErrSnapshotVersion", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{10, 40, len(raw) / 2, len(raw) - 3} {
+			bad := filepath.Join(dir, fmt.Sprintf("trunc%d.snap", cut))
+			if err := os.WriteFile(bad, raw[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadEngine(bad); !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("cut %d: err = %v, want ErrSnapshotCorrupt", cut, err)
+			}
+		}
+	})
+	t.Run("bit flip", func(t *testing.T) {
+		flipped := append([]byte(nil), raw...)
+		flipped[len(flipped)/2] ^= 0x10
+		bad := filepath.Join(dir, "flip.snap")
+		if err := os.WriteFile(bad, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadEngine(bad); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+}
+
+// TestSaveRejectsUnsupportedComponents: custom accuracy recommenders and the
+// Rand coverage baseline have no snapshot codec and must fail loudly.
+func TestSaveRejectsUnsupportedComponents(t *testing.T) {
+	split := persistSplit(t, 43)
+	dir := t.TempDir()
+
+	randCov, err := NewPipeline(split.Train, WithBaseNamed("Pop"), WithCoverage(CoverageRand()), WithTopN(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := randCov.Save(filepath.Join(dir, "rand.snap")); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Fatalf("Rand coverage: err = %v, want ErrSnapshotUnsupported", err)
+	}
+
+	custom, err := NewPipeline(split.Train, WithAccuracy(constantAccuracy{}), WithTopN(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := custom.Save(filepath.Join(dir, "custom.snap")); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Fatalf("custom accuracy: err = %v, want ErrSnapshotUnsupported", err)
+	}
+}
+
+// constantAccuracy is a minimal custom accuracy recommender for the
+// unsupported-component test.
+type constantAccuracy struct{}
+
+func (constantAccuracy) AccuracyScore(UserID, ItemID) float64 { return 0.5 }
+func (constantAccuracy) Name() string                         { return "Const" }

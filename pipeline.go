@@ -27,6 +27,25 @@ type Pipeline struct {
 	ganc  *GANC
 	prefs *Preferences
 	cfg   pipelineConfig
+
+	// Handles to the assembled components, retained so the persistence layer
+	// (Pipeline.Save) and the streaming-ingestion rebuild path can reach them
+	// without reaching into the core instance: the accuracy component, the
+	// raw base scorer behind it (nil for fully custom accuracy recommenders)
+	// and the coverage recommender.
+	arec       AccuracyRecommender
+	baseScorer Scorer
+	crec       CoverageRecommender
+
+	// ingestSeq is the applied-event cursor carried by a loaded checkpoint
+	// snapshot (zero for cold-built pipelines); NewIngestor seeds its state
+	// with it so write-ahead-log recovery replays only the un-checkpointed
+	// suffix. ingestPrefFill and ingestAvgLambda carry the matching
+	// ingestion parameters so a restored stream treats new users and item
+	// averages exactly as the uninterrupted one would have.
+	ingestSeq       uint64
+	ingestPrefFill  float64
+	ingestAvgLambda float64
 }
 
 type pipelineConfig struct {
@@ -206,12 +225,13 @@ func NewPipeline(train *Dataset, opts ...PipelineOption) (*Pipeline, error) {
 	}
 
 	arec := cfg.accuracy
+	baseScorer := cfg.scorer
 	var err error
 	switch {
 	case cfg.scorer != nil:
 		arec, err = accuracyForScorer(cfg.scorer, train, cfg.topN, cfg.seed)
 	case cfg.baseName != "":
-		arec, err = newAccuracyByName(cfg.baseName, train, cfg.topN, cfg.seed)
+		arec, baseScorer, err = newAccuracyByName(cfg.baseName, train, cfg.topN, cfg.seed)
 	}
 	if err != nil {
 		return nil, err
@@ -235,7 +255,15 @@ func NewPipeline(train *Dataset, opts ...PipelineOption) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{train: train, ganc: g, prefs: prefs, cfg: cfg}, nil
+	return &Pipeline{
+		train:      train,
+		ganc:       g,
+		prefs:      prefs,
+		cfg:        cfg,
+		arec:       arec,
+		baseScorer: baseScorer,
+		crec:       crec,
+	}, nil
 }
 
 // Name returns the paper-style template string GANC(ARec, θ, CRec).

@@ -96,6 +96,16 @@ func NewBaseScorer(name string, train *Dataset, seed int64) (Scorer, error) {
 	return b.Scorer(train, seed)
 }
 
+// newNormalizedAccuracy is the one place a raw scorer becomes a GANC
+// accuracy component without a custom adaptation: per-user min–max
+// normalization over the catalog, clamped to [0,1]. Cold assembly, snapshot
+// loading and ingestion rebuilds all share it, so the three paths cannot
+// diverge from each other (the byte-identical round-trip invariant depends
+// on that).
+func newNormalizedAccuracy(s Scorer, numItems int) AccuracyRecommender {
+	return &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(s, numItems)}
+}
+
 // accuracyForScorer adapts an already-trained scorer into a GANC accuracy
 // component. A registry base with the same name and a custom Accuracy
 // builder (e.g. Pop's indicator adaptation) takes precedence, so
@@ -108,25 +118,32 @@ func accuracyForScorer(s Scorer, train *Dataset, topN int, seed int64) (Accuracy
 	if ok && b.Accuracy != nil {
 		return b.Accuracy(train, topN, seed)
 	}
-	return &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(s, train.NumItems())}, nil
+	return newNormalizedAccuracy(s, train.NumItems()), nil
 }
 
-// newAccuracyByName resolves a registry base into a GANC accuracy component.
-func newAccuracyByName(name string, train *Dataset, topN int, seed int64) (AccuracyRecommender, error) {
+// newAccuracyByName resolves a registry base into a GANC accuracy component,
+// also returning the raw base scorer (when one was built) so the pipeline can
+// retain it for persistence and ingestion rebuilds. Entries with a custom
+// Accuracy builder short-circuit before the Scorer constructor runs — the
+// scorer may be expensive to train and the accuracy component replaces it
+// entirely (persistence handles the built-in such case, Pop, from the
+// accuracy component itself).
+func newAccuracyByName(name string, train *Dataset, topN int, seed int64) (AccuracyRecommender, Scorer, error) {
 	registryMu.RLock()
 	b, ok := baseModels[name]
 	registryMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("ganc: unknown base model %q (known: %v)", name, BaseNames())
+		return nil, nil, fmt.Errorf("ganc: unknown base model %q (known: %v)", name, BaseNames())
 	}
 	if b.Accuracy != nil {
-		return b.Accuracy(train, topN, seed)
+		arec, err := b.Accuracy(train, topN, seed)
+		return arec, nil, err
 	}
 	s, err := b.Scorer(train, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &core.ScorerAccuracy{Scorer: recommender.NewNormalizedScorer(s, train.NumItems())}, nil
+	return newNormalizedAccuracy(s, train.NumItems()), s, nil
 }
 
 // NewReranker assembles the named re-ranker over base and returns its Engine.

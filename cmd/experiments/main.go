@@ -7,6 +7,10 @@
 // model registry: each entry is either "Base" (the raw model) or
 // "Reranker@Base".
 //
+// Output is deterministic: for a fixed flag set, the report bytes are
+// identical run to run and for any -workers value (pinned by this package's
+// golden-file tests), so regenerated experiment artifacts diff cleanly.
+//
 // Examples:
 //
 //	experiments -scale 0.25                 # run everything at quarter scale
@@ -17,8 +21,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
@@ -30,24 +36,40 @@ import (
 )
 
 func main() {
-	scale := flag.Float64("scale", 0.2, "synthetic dataset scale (1.0 = calibrated defaults)")
-	seed := flag.Int64("seed", 1, "random seed")
-	n := flag.Int("n", 5, "top-N cutoff")
-	sample := flag.Int("sample", 0, "OSLG sample size (0 = scaled default)")
-	only := flag.String("only", "", "comma-separated experiment ids: table2,figure1,figure2,figure3,figure4,figure5,table4,figure6,figure7,figure8,table5")
-	compare := flag.String("compare", "", "comma-separated registry combos to evaluate instead of the paper experiments: Base or Reranker@Base (bases: "+strings.Join(ganc.BaseNames(), ", ")+"; rerankers: "+strings.Join(ganc.RerankerNames(), ", ")+")")
-	preset := flag.String("preset", "ML-100K", "dataset preset for -compare")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses the argument vector and executes the selected experiments,
+// writing the report to stdout and progress to stderr. Separated from main
+// (and writer-injected) so the golden-file determinism tests can execute the
+// CLI end to end in-process.
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 0.2, "synthetic dataset scale (1.0 = calibrated defaults)")
+	seed := fs.Int64("seed", 1, "random seed")
+	n := fs.Int("n", 5, "top-N cutoff")
+	sample := fs.Int("sample", 0, "OSLG sample size (0 = scaled default)")
+	workers := fs.Int("workers", 1, "worker goroutines for GANC's parallel phases (output is identical for any value)")
+	only := fs.String("only", "", "comma-separated experiment ids: table2,figure1,figure2,figure3,figure4,figure5,table4,figure6,figure7,figure8,table5")
+	compare := fs.String("compare", "", "comma-separated registry combos to evaluate instead of the paper experiments: Base or Reranker@Base (bases: "+strings.Join(ganc.BaseNames(), ", ")+"; rerankers: "+strings.Join(ganc.RerankerNames(), ", ")+")")
+	preset := fs.String("preset", "ML-100K", "dataset preset for -compare")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h printed usage; that is success, not failure
+		}
+		return err
+	}
 
 	if *compare != "" {
-		if err := runCompare(*compare, *preset, *scale, *n, *sample, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		return
+		return runCompare(stdout, stderr, *compare, *preset, *scale, *n, *sample, *workers, *seed)
 	}
 
 	s := experiment.NewSuite(synth.Scale(*scale), *seed, *n, *sample)
+	s.Workers = *workers
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -56,24 +78,25 @@ func main() {
 	}
 	want := func(id string) bool { return len(selected) == 0 || selected[id] }
 
-	run := func(id, title string, f func() (string, error)) {
-		if !want(id) {
+	var firstErr error
+	runOne := func(id, title string, f func() (string, error)) {
+		if firstErr != nil || !want(id) {
 			return
 		}
-		fmt.Printf("==== %s ====\n", title)
+		fmt.Fprintf(stdout, "==== %s ====\n", title)
 		text, err := f()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", id, err)
-			os.Exit(1)
+			firstErr = fmt.Errorf("%s failed: %w", id, err)
+			return
 		}
-		fmt.Println(text)
+		fmt.Fprintln(stdout, text)
 	}
 
-	run("table2", "Table II — dataset statistics", func() (string, error) {
+	runOne("table2", "Table II — dataset statistics", func() (string, error) {
 		_, text, err := s.TableII()
 		return text, err
 	})
-	run("figure1", "Figure 1 — avg popularity of rated items vs activity", func() (string, error) {
+	runOne("figure1", "Figure 1 — avg popularity of rated items vs activity", func() (string, error) {
 		var sb strings.Builder
 		for _, name := range experiment.DatasetNames() {
 			_, text, err := s.Figure1(name, 10)
@@ -85,7 +108,7 @@ func main() {
 		}
 		return sb.String(), nil
 	})
-	run("figure2", "Figure 2 — long-tail preference distributions", func() (string, error) {
+	runOne("figure2", "Figure 2 — long-tail preference distributions", func() (string, error) {
 		var sb strings.Builder
 		for _, name := range experiment.DatasetNames() {
 			_, text, err := s.Figure2(name, 20)
@@ -97,49 +120,50 @@ func main() {
 		}
 		return sb.String(), nil
 	})
-	run("figure3", "Figure 3 — sample size sweep (ML-1M)", func() (string, error) {
+	runOne("figure3", "Figure 3 — sample size sweep (ML-1M)", func() (string, error) {
 		_, text, err := s.SampleSizeSweep("ML-1M", nil, nil)
 		return text, err
 	})
-	run("figure4", "Figure 4 — sample size sweep (MT-200K)", func() (string, error) {
+	runOne("figure4", "Figure 4 — sample size sweep (MT-200K)", func() (string, error) {
 		_, text, err := s.SampleSizeSweep("MT-200K", nil, nil)
 		return text, err
 	})
-	run("figure5", "Figure 5 — preference models × accuracy recommenders (ML-1M)", func() (string, error) {
+	runOne("figure5", "Figure 5 — preference models × accuracy recommenders (ML-1M)", func() (string, error) {
 		_, text, err := s.PreferenceModelSweep("ML-1M", nil, nil, nil)
 		return text, err
 	})
-	run("table4", "Table IV — re-ranking RSVD across datasets", func() (string, error) {
+	runOne("table4", "Table IV — re-ranking RSVD across datasets", func() (string, error) {
 		_, text, err := s.TableIV(nil)
 		return text, err
 	})
-	run("figure6", "Figure 6 — accuracy vs coverage vs novelty", func() (string, error) {
+	runOne("figure6", "Figure 6 — accuracy vs coverage vs novelty", func() (string, error) {
 		_, text, err := s.Figure6(nil)
 		return text, err
 	})
-	run("figure7", "Figure 7 — ranking protocol comparison (ML-100K)", func() (string, error) {
+	runOne("figure7", "Figure 7 — ranking protocol comparison (ML-100K)", func() (string, error) {
 		_, text, err := s.ProtocolComparison("ML-100K")
 		return text, err
 	})
-	run("figure8", "Figure 8 — ranking protocol comparison (ML-1M)", func() (string, error) {
+	runOne("figure8", "Figure 8 — ranking protocol comparison (ML-1M)", func() (string, error) {
 		_, text, err := s.ProtocolComparison("ML-1M")
 		return text, err
 	})
-	run("table5", "Table V — RSVD configuration and error", func() (string, error) {
+	runOne("table5", "Table V — RSVD configuration and error", func() (string, error) {
 		_, text, err := s.TableV(nil)
 		return text, err
 	})
+	return firstErr
 }
 
 // runCompare evaluates every named base/reranker combination on one dataset
 // and prints a Table IV-style summary sorted by the average-rank score.
-func runCompare(spec, preset string, scale float64, n, sample int, seed int64) error {
+func runCompare(stdout, stderr io.Writer, spec, preset string, scale float64, n, sample, workers int, seed int64) error {
 	data, err := ganc.GeneratePreset(preset, scale)
 	if err != nil {
 		return err
 	}
 	split := data.SplitByUser(0.8, rand.New(rand.NewSource(seed)))
-	fmt.Printf("dataset %s: %d users, %d items, %d train / %d test ratings\n",
+	fmt.Fprintf(stdout, "dataset %s: %d users, %d items, %d train / %d test ratings\n",
 		data.Name(), data.NumUsers(), data.NumItems(), split.Train.NumRatings(), split.Test.NumRatings())
 
 	ctx := context.Background()
@@ -157,7 +181,7 @@ func runCompare(spec, preset string, scale float64, n, sample int, seed int64) e
 		}
 		base, ok := bases[baseName]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "training base %s ...\n", baseName)
+			fmt.Fprintf(stderr, "training base %s ...\n", baseName)
 			if base, err = ganc.NewBaseScorer(baseName, split.Train, seed); err != nil {
 				return err
 			}
@@ -167,13 +191,14 @@ func runCompare(spec, preset string, scale float64, n, sample int, seed int64) e
 		switch rerankName {
 		case "":
 		case "GANC":
-			// Assemble GANC directly so -sample reaches the OSLG optimizer;
-			// the registry entry always runs fully sequential.
+			// Assemble GANC directly so -sample and -workers reach the OSLG
+			// optimizer; the registry entry always runs fully sequential.
 			var p *ganc.Pipeline
 			if p, err = ganc.NewPipeline(split.Train,
 				ganc.WithBase(base),
 				ganc.WithTopN(n),
 				ganc.WithSampleSize(sample),
+				ganc.WithWorkers(workers),
 				ganc.WithSeed(seed)); err != nil {
 				return err
 			}
@@ -183,7 +208,7 @@ func runCompare(spec, preset string, scale float64, n, sample int, seed int64) e
 				return err
 			}
 		}
-		fmt.Fprintf(os.Stderr, "running %s ...\n", engine.Name())
+		fmt.Fprintf(stderr, "running %s ...\n", engine.Name())
 		recs, err := engine.RecommendAll(ctx)
 		if err != nil {
 			return err
@@ -198,9 +223,9 @@ func runCompare(spec, preset string, scale float64, n, sample int, seed int64) e
 	sort.Slice(reports, func(a, b int) bool {
 		return ranks[reports[a].Algorithm] < ranks[reports[b].Algorithm]
 	})
-	fmt.Printf("\n%-34s %8s %8s %8s %8s %8s %6s\n", "algorithm", "F", "S", "L", "C", "G", "score")
+	fmt.Fprintf(stdout, "\n%-34s %8s %8s %8s %8s %8s %6s\n", "algorithm", "F", "S", "L", "C", "G", "score")
 	for _, rep := range reports {
-		fmt.Printf("%-34s %8.4f %8.4f %8.4f %8.4f %8.4f %6.1f\n",
+		fmt.Fprintf(stdout, "%-34s %8.4f %8.4f %8.4f %8.4f %8.4f %6.1f\n",
 			rep.Algorithm, rep.FMeasure, rep.StratRecall, rep.LTAccuracy, rep.Coverage, rep.Gini, ranks[rep.Algorithm])
 	}
 	return nil

@@ -285,7 +285,7 @@ func buildEngine(train *ganc.Dataset, arecName, rerankName, thetaName, crecName 
 		}
 		return ganc.NewPipeline(train,
 			ganc.WithBaseNamed(arecName),
-			ganc.WithPreferences(thetaModel(thetaName)),
+			ganc.WithPreferences(ganc.ParsePreferenceModel(thetaName)),
 			ganc.WithCoverage(spec),
 			ganc.WithTopN(n),
 			ganc.WithSampleSize(sample),
@@ -329,25 +329,6 @@ func loadData(path, preset string, scale float64) (*ganc.Dataset, error) {
 		return ganc.LoadRatings(path, ganc.LoadOptions{Name: path})
 	}
 	return ganc.GeneratePreset(preset, scale)
-}
-
-func thetaModel(short string) ganc.PreferenceModel {
-	switch short {
-	case "A":
-		return ganc.PreferenceActivity
-	case "N":
-		return ganc.PreferenceNormalizedLongTail
-	case "T":
-		return ganc.PreferenceTFIDF
-	case "G":
-		return ganc.PreferenceGeneralized
-	case "R":
-		return ganc.PreferenceRandom
-	case "C":
-		return ganc.PreferenceConstant
-	default:
-		return ganc.PreferenceModel(short)
-	}
 }
 
 func fatal(err error) {

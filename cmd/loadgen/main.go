@@ -1,0 +1,189 @@
+// Command loadgen benchmarks the serving layer: it drives a closed loop of
+// mixed /recommend, /recommend/batch and /ingest traffic and writes the
+// latency/throughput/cache measurement as BENCH_serve.json (the serving
+// counterpart of cmd/bench's BENCH_sweep.json).
+//
+// By default it is self-contained: it generates a seeded synthetic universe,
+// trains a pipeline on it, serves it on a loopback listener with streaming
+// ingestion enabled, and measures that server. Against -url it becomes a pure
+// driver for an externally running server — the universe flags must then
+// match the dataset the target was trained on, because request user keys are
+// derived from the generated universe.
+//
+// Examples:
+//
+//	# The standard benchmark: a 100k-user universe, read-heavy mix.
+//	loadgen -users 100000 -items 10000 -ratings 1000000 -requests 20000
+//
+//	# Quick smoke for CI.
+//	loadgen -users 2000 -items 500 -ratings 40000 -requests 2000 -out BENCH_serve.json
+//
+//	# Drive an already running server.
+//	ganc -preset ML-100K -arec Pop -serve :8080 &
+//	loadgen -url http://127.0.0.1:8080 -users 943 ...
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"ganc"
+)
+
+func main() {
+	users := flag.Int("users", 100_000, "universe user count")
+	items := flag.Int("items", 10_000, "universe item count")
+	ratings := flag.Int("ratings", 1_000_000, "universe rating count")
+	zipf := flag.Float64("zipf", 1.1, "item-popularity Zipf exponent")
+	seed := flag.Int64("seed", 1, "universe and stream seed")
+	arec := flag.String("arec", "Pop", "accuracy recommender for the served pipeline")
+	theta := flag.String("theta", "T", "preference model: A, N, T, G, R, C (cheap estimators recommended at scale)")
+	topN := flag.Int("n", 10, "serving list size")
+	cache := flag.Int("cache", 0, "serving LRU capacity (0 = serving default)")
+	url := flag.String("url", "", "drive this external server instead of self-hosting")
+	requests := flag.Int("requests", 20_000, "total requests in the closed loop")
+	concurrency := flag.Int("concurrency", 16, "closed-loop worker count")
+	mixRecommend := flag.Int("mix-recommend", 90, "relative weight of GET /recommend traffic")
+	mixBatch := flag.Int("mix-batch", 8, "relative weight of POST /recommend/batch traffic")
+	mixIngest := flag.Int("mix-ingest", 2, "relative weight of POST /ingest traffic")
+	batchSize := flag.Int("batch", 20, "users per batch request")
+	ingestBatch := flag.Int("ingest-batch", 20, "events per ingest request")
+	reqZipf := flag.Float64("request-zipf", 1.0, "request-popularity skew across users")
+	out := flag.String("out", "BENCH_serve.json", "output report path")
+	flag.Parse()
+
+	if err := run(universeConfig(*users, *items, *ratings, *zipf, *seed),
+		*arec, *theta, *topN, *cache, *url, *out,
+		ganc.LoadConfig{
+			Requests:        *requests,
+			Concurrency:     *concurrency,
+			Mix:             ganc.LoadMix{Recommend: *mixRecommend, Batch: *mixBatch, Ingest: *mixIngest},
+			BatchSize:       *batchSize,
+			IngestBatchSize: *ingestBatch,
+			RequestZipf:     *reqZipf,
+			Seed:            *seed,
+		}); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// universeConfig maps the flags onto a universe description.
+func universeConfig(users, items, ratings int, zipf float64, seed int64) ganc.UniverseConfig {
+	return ganc.UniverseConfig{
+		Name:         "loadgen",
+		Users:        users,
+		Items:        items,
+		Ratings:      ratings,
+		ZipfExponent: zipf,
+		Seed:         seed,
+	}
+}
+
+// run generates the universe, resolves (or stands up) the target server,
+// drives the load and writes the report.
+func run(ucfg ganc.UniverseConfig, arec, theta string, topN, cache int, url, out string, load ganc.LoadConfig) error {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "generating universe: %d users × %d items, %d ratings ...\n",
+		ucfg.Users, ucfg.Items, ucfg.Ratings)
+	u, err := ganc.NewUniverse(ucfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "universe ready in %.1fs (%d ratings)\n",
+		time.Since(start).Seconds(), u.Train().NumRatings())
+
+	if url == "" {
+		addr, shutdown, err := selfHost(u, arec, theta, topN, cache)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		url = "http://" + addr
+	}
+	load.BaseURL = url
+
+	fmt.Fprintf(os.Stderr, "driving %d requests × %d workers against %s ...\n",
+		load.Requests, load.Concurrency, load.BaseURL)
+	res, err := ganc.RunLoad(context.Background(), u, load)
+	if err != nil {
+		return err
+	}
+	printSummary(res)
+
+	// The target's /info is authoritative for what was actually measured —
+	// in external mode the local -n/-arec flags describe nothing.
+	rep := &ganc.BenchReport{
+		Universe: u.Config(),
+		Engine:   res.Model,
+		TopN:     res.TopN,
+		Load:     load,
+		Result:   res,
+	}
+	if err := ganc.WriteBenchReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	if res.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed server-side", res.Errors, res.Requests)
+	}
+	// Rejected (4xx) traffic means the driver and the target disagree — the
+	// universe flags don't match the served dataset, or /ingest is disabled —
+	// and its fast error responses would silently flatter every latency
+	// percentile. A trace of legitimate 404s (a user with an exhausted
+	// candidate set) is tolerated; more fails the benchmark.
+	if res.Rejected*200 > res.Requests {
+		return fmt.Errorf("%d of %d requests were rejected (4xx): universe flags likely do not match the target "+
+			"(check -users/-items/-seed, or -mix-ingest 0 for targets without ingestion)", res.Rejected, res.Requests)
+	}
+	return nil
+}
+
+// selfHost trains a pipeline on the universe and serves it (with in-memory
+// streaming ingestion) on a loopback listener.
+func selfHost(u *ganc.Universe, arec, theta string, topN, cache int) (addr string, shutdown func(), err error) {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "training %s pipeline ...\n", arec)
+	p, err := ganc.NewPipeline(u.Train(),
+		ganc.WithBaseNamed(arec),
+		ganc.WithPreferences(ganc.ParsePreferenceModel(theta)),
+		ganc.WithTopN(topN))
+	if err != nil {
+		return "", nil, err
+	}
+	opts := []ganc.ServerOption{}
+	if cache > 0 {
+		opts = append(opts, ganc.WithServerCacheCapacity(cache))
+	}
+	srv, err := ganc.NewServer(u.Train(), p, topN, opts...)
+	if err != nil {
+		return "", nil, err
+	}
+	if _, err := ganc.NewIngestor(srv, p); err != nil {
+		return "", nil, fmt.Errorf("enabling ingestion: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	fmt.Fprintf(os.Stderr, "serving %s on %s (trained in %.1fs)\n",
+		p.Name(), ln.Addr(), time.Since(start).Seconds())
+	return ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+// printSummary reports the headline numbers on stderr.
+func printSummary(res *ganc.LoadResult) {
+	fmt.Fprintf(os.Stderr, "done: %d requests in %.1fs → %.0f req/s, %d errors, %d rejected, cache hit rate %.3f\n",
+		res.Requests, res.DurationSec, res.ThroughputRPS, res.Errors, res.Rejected, res.CacheHitRate)
+	for ep, st := range res.Endpoints {
+		fmt.Fprintf(os.Stderr, "  %-10s n=%-7d p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+			ep, st.Count, st.P50Ms, st.P95Ms, st.P99Ms, st.MaxMs)
+	}
+}

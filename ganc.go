@@ -128,6 +128,28 @@ const (
 	PreferenceConstant           = longtail.ModelConstant
 )
 
+// ParsePreferenceModel resolves the paper's one-letter θ names (A, N, T, G,
+// R, C) — the form the CLIs accept — to their PreferenceModel identifiers.
+// Unknown strings pass through unchanged, so full model names keep working.
+func ParsePreferenceModel(short string) PreferenceModel {
+	switch short {
+	case "A":
+		return PreferenceActivity
+	case "N":
+		return PreferenceNormalizedLongTail
+	case "T":
+		return PreferenceTFIDF
+	case "G":
+		return PreferenceGeneralized
+	case "R":
+		return PreferenceRandom
+	case "C":
+		return PreferenceConstant
+	default:
+		return PreferenceModel(short)
+	}
+}
+
 // LoadRatings reads a ratings file (CSV, MovieLens "::", or tab separated).
 func LoadRatings(path string, opts LoadOptions) (*Dataset, error) {
 	return dataset.LoadRatings(path, opts)

@@ -41,6 +41,10 @@ type Suite struct {
 	// the suite scales it with Scale so the sample remains a comparable
 	// fraction of the user base).
 	SampleSize int
+	// Workers drives GANC's parallel phases (0/1 = sequential). Reports are
+	// byte-identical for any worker count — the determinism tests in
+	// cmd/experiments pin this.
+	Workers int
 
 	mu     sync.Mutex
 	splits map[string]*dataset.Split
@@ -321,7 +325,7 @@ func (s *Suite) RunGANC(datasetName string, spec GANCSpec) (types.Recommendation
 	if err != nil {
 		return nil, "", err
 	}
-	g, err := core.New(sp.Train, arec, prefs, crec, core.Config{N: n, SampleSize: sample, Seed: s.Seed})
+	g, err := core.New(sp.Train, arec, prefs, crec, core.Config{N: n, SampleSize: sample, Seed: s.Seed, Workers: s.Workers})
 	if err != nil {
 		return nil, "", err
 	}

@@ -30,6 +30,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -41,6 +42,12 @@ import (
 	"ganc/internal/serve"
 	"ganc/internal/types"
 )
+
+// ErrCorruptLog marks a write-ahead log whose non-trailing records cannot be
+// parsed — genuine corruption, as opposed to the torn trailing record a crash
+// mid-append legitimately leaves (which is repaired silently). Matchable with
+// errors.Is through every wrapping layer (OpenLog, ReplayLog).
+var ErrCorruptLog = errors.New("ingest: corrupt log")
 
 // Event is one interaction record, keyed by external identifiers. It is the
 // serving layer's ingestion payload, re-used verbatim so the HTTP body and
@@ -93,7 +100,7 @@ func forEachRecord(r *bufio.Reader, fn func(line []byte) error) (records uint64,
 			if _, peekErr := r.Peek(1); peekErr == io.EOF {
 				return records, goodEnd, nil // torn trailing record
 			}
-			return records, goodEnd, fmt.Errorf("ingest: corrupt log record at byte %d", goodEnd)
+			return records, goodEnd, fmt.Errorf("%w: unparseable record at byte %d", ErrCorruptLog, goodEnd)
 		}
 		if fn != nil {
 			if err := fn(trimmed); err != nil {
@@ -215,7 +222,7 @@ func ReplayLog(path string, after uint64, fn func(seq uint64, ev Event) error) e
 		}
 		var ev Event
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("ingest: log %s record %d: %w", path, seq, err)
+			return fmt.Errorf("%w: log %s record %d: %v", ErrCorruptLog, path, seq, err)
 		}
 		return fn(seq, ev)
 	})
@@ -514,6 +521,20 @@ func (in *Ingestor) Checkpoint() error {
 	}
 	in.sinceCheckpoint = 0
 	return nil
+}
+
+// Close releases the write-ahead log's file handle, if any. Acknowledged
+// batches are already durable, so there is nothing to flush; Close exists so
+// an orderly shutdown — or a simulated crash in the scenario harness — lets a
+// successor process reopen the same log file cleanly. The ingestor must not
+// be used afterwards.
+func (in *Ingestor) Close() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.Log == nil {
+		return nil
+	}
+	return in.cfg.Log.Close()
 }
 
 // View runs fn with the current state under the ingestor's lock, for

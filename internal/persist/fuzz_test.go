@@ -1,0 +1,122 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// fuzzSeedContainer builds a realistic two-section snapshot for the corpus —
+// the shape every real snapshot (dataset + base + prefs + coverage) has.
+func fuzzSeedContainer(t interface{ Fatal(...interface{}) }) []byte {
+	var b Builder
+	b.Add("meta", []byte(`{"name":"GANC(Pop)","topn":10}`))
+	if err := b.AddGob("prefs", struct{ Values []float64 }{Values: []float64{0.1, 0.9, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Add("coverage", bytes.Repeat([]byte{0xAB, 0xCD}, 512))
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzSnapshotRead throws arbitrary bytes at the container parser. The
+// contract under corruption: never panic, never allocate unboundedly (the
+// parser copies incrementally and caps counts/names), and always fail with
+// one of the three typed sentinels so callers can produce precise operator
+// messages. Structurally valid inputs must yield enumerable sections.
+func FuzzSnapshotRead(f *testing.F) {
+	valid := fuzzSeedContainer(f)
+	f.Add(valid)
+	// Truncations at every structural boundary: magic, version, count, table,
+	// payload.
+	for _, cut := range []int{0, 4, 8, 10, 12, 14, 20, len(valid) / 2, len(valid) - 1} {
+		if cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	// Bit flips in the header, table and payload regions.
+	for _, pos := range []int{0, 9, 13, 17, 30, len(valid) - 3} {
+		if pos >= 0 && pos < len(valid) {
+			mut := append([]byte(nil), valid...)
+			mut[pos] ^= 0x40
+			f.Add(mut)
+		}
+	}
+	// A header claiming an absurd section size: must fail at EOF with memory
+	// growth bounded by the bytes actually present.
+	huge := append([]byte(nil), valid[:16]...)
+	var hdr bytes.Buffer
+	hdr.WriteString(Magic)
+	binary.Write(&hdr, binary.BigEndian, uint32(FormatVersion))
+	binary.Write(&hdr, binary.BigEndian, uint32(1))
+	binary.Write(&hdr, binary.BigEndian, uint16(4))
+	hdr.WriteString("boom")
+	binary.Write(&hdr, binary.BigEndian, uint64(1<<39))
+	binary.Write(&hdr, binary.BigEndian, uint32(0))
+	f.Add(hdr.Bytes())
+	f.Add([]byte("GANCSNAP"))
+	f.Add([]byte("not a snapshot at all"))
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrUnsupportedVersion) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped parse error %v (input %d bytes)", err, len(data))
+			}
+			return
+		}
+		// A successfully parsed container must be internally consistent:
+		// every listed section resolvable, unknown sections refused with the
+		// typed sentinel.
+		for _, name := range snap.Sections() {
+			if !snap.Has(name) {
+				t.Fatalf("section %q listed but not present", name)
+			}
+			if _, err := snap.Section(name); err != nil {
+				t.Fatalf("section %q listed but unreadable: %v", name, err)
+			}
+		}
+		if _, err := snap.Section("no-such-section-name"); !errors.Is(err, ErrNoSection) {
+			t.Fatalf("missing-section error is untyped: %v", err)
+		}
+	})
+}
+
+// FuzzSnapshotGob narrows in on the second parse layer: gob payloads inside a
+// valid container must decode or fail with ErrCorrupt — a bit-flipped model
+// section must never panic or mis-decode silently into success.
+func FuzzSnapshotGob(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x03, 0xFF, 0x82, 0x00})
+	var ok bytes.Buffer
+	b := &Builder{}
+	if err := b.AddGob("v", []float64{1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := b.WriteTo(&ok); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ok.Bytes()[len(ok.Bytes())/2:])
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var b Builder
+		b.Add("v", payload)
+		var buf bytes.Buffer
+		if _, err := b.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("self-built container unreadable: %v", err)
+		}
+		var out []float64
+		if err := snap.Gob("v", &out); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped gob error %v", err)
+		}
+	})
+}

@@ -158,37 +158,50 @@ func (b *Builder) WriteTo(w io.Writer) (int64, error) {
 // in the same directory, are fsynced, and are renamed over the target only on
 // success.
 func (b *Builder) Save(path string) error {
+	return AtomicWrite(path, func(w io.Writer) error {
+		if _, err := b.WriteTo(w); err != nil {
+			return fmt.Errorf("persist: write snapshot: %w", err)
+		}
+		return nil
+	})
+}
+
+// AtomicWrite streams write's output into a file at path atomically: the
+// bytes land in a temp file in the same directory (widened from CreateTemp's
+// 0600 to the usual umask-limited 0644), are fsynced, and are renamed over
+// the target only on success — a crash mid-write never leaves a half-written
+// file at path. Shared by the snapshot container and every other durable
+// artifact (e.g. the load-benchmark report).
+func AtomicWrite(path string, write func(w io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("persist: create temp snapshot: %w", err)
+		return fmt.Errorf("persist: create temp file: %w", err)
 	}
 	tmpPath := tmp.Name()
 	cleanup := func() {
 		tmp.Close()
 		os.Remove(tmpPath)
 	}
-	// CreateTemp opens 0600; snapshots are ordinary data files, so widen to
-	// the usual umask-limited default before installing.
 	if err := tmp.Chmod(0o644); err != nil {
 		cleanup()
-		return fmt.Errorf("persist: chmod snapshot: %w", err)
+		return fmt.Errorf("persist: chmod %s: %w", path, err)
 	}
-	if _, err := b.WriteTo(tmp); err != nil {
+	if err := write(tmp); err != nil {
 		cleanup()
-		return fmt.Errorf("persist: write snapshot: %w", err)
+		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		cleanup()
-		return fmt.Errorf("persist: sync snapshot: %w", err)
+		return fmt.Errorf("persist: sync %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpPath)
-		return fmt.Errorf("persist: close snapshot: %w", err)
+		return fmt.Errorf("persist: close %s: %w", path, err)
 	}
 	if err := os.Rename(tmpPath, path); err != nil {
 		os.Remove(tmpPath)
-		return fmt.Errorf("persist: install snapshot: %w", err)
+		return fmt.Errorf("persist: install %s: %w", path, err)
 	}
 	return nil
 }

@@ -1,0 +1,149 @@
+package simulate
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"ganc/internal/serve"
+	"ganc/internal/types"
+)
+
+// echoEngine answers every user with a fixed list, counting computes.
+type echoEngine struct {
+	computes atomic.Int64
+}
+
+func (e *echoEngine) Name() string { return "echo" }
+
+func (e *echoEngine) RecommendUser(ctx context.Context, u types.UserID, n int) (types.TopNSet, error) {
+	e.computes.Add(1)
+	return types.TopNSet{0}, nil
+}
+
+// countingSink applies batches by counting them (no engine swap).
+type countingSink struct {
+	events atomic.Int64
+}
+
+func (s *countingSink) IngestEvents(ctx context.Context, events []serve.IngestEvent) (serve.IngestResult, error) {
+	s.events.Add(int64(len(events)))
+	return serve.IngestResult{Applied: len(events), Seq: uint64(s.events.Load())}, nil
+}
+
+// TestRunLoadMixedTraffic drives the closed loop against a real serve.Server
+// and checks the bookkeeping: request accounting, per-endpoint buckets,
+// cache-hit measurement and zero errors on a healthy server.
+func TestRunLoadMixedTraffic(t *testing.T) {
+	u, err := NewUniverse(tinyConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &echoEngine{}
+	srv, err := serve.New(u.Train(), eng, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &countingSink{}
+	srv.SetIngestSink(sink)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, err := RunLoad(context.Background(), u, LoadConfig{
+		BaseURL:         ts.URL,
+		Requests:        300,
+		Concurrency:     4,
+		Mix:             LoadMix{Recommend: 6, Batch: 2, Ingest: 2},
+		BatchSize:       5,
+		IngestBatchSize: 3,
+		Seed:            13,
+		Client:          ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 300 {
+		t.Fatalf("completed %d requests, want 300", res.Requests)
+	}
+	if res.Errors != 0 || res.Rejected != 0 {
+		t.Fatalf("errors=%d rejected=%d on a healthy server", res.Errors, res.Rejected)
+	}
+	total := 0
+	for ep, st := range res.Endpoints {
+		if st.Count == 0 {
+			t.Fatalf("endpoint %s has an empty bucket", ep)
+		}
+		if st.P50Ms < 0 || st.P99Ms < st.P50Ms || st.MaxMs < st.P99Ms {
+			t.Fatalf("endpoint %s has inconsistent percentiles: %+v", ep, st)
+		}
+		total += st.Count
+	}
+	if total != res.Overall.Count || total != 300 {
+		t.Fatalf("endpoint buckets sum to %d, overall %d", total, res.Overall.Count)
+	}
+	if len(res.Endpoints) != 3 {
+		t.Fatalf("expected all three endpoints in the mix, got %v", res.Endpoints)
+	}
+	if res.ThroughputRPS <= 0 || res.DurationSec <= 0 {
+		t.Fatalf("throughput %v over %vs", res.ThroughputRPS, res.DurationSec)
+	}
+	if sink.events.Load() == 0 {
+		t.Fatal("ingest traffic never reached the sink")
+	}
+	// The universe has 60 users and the cache is unbounded by default, so
+	// repeated hot users must produce hits.
+	if res.CacheHitRate <= 0 || res.CacheHitRate >= 1 {
+		t.Fatalf("cache hit rate %v, want within (0,1)", res.CacheHitRate)
+	}
+	if res.CacheHits+res.CacheMisses == 0 {
+		t.Fatal("no cache lookups measured")
+	}
+}
+
+// TestRunLoadValidation pins the config error paths.
+func TestRunLoadValidation(t *testing.T) {
+	u, err := NewUniverse(tinyConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := RunLoad(ctx, u, LoadConfig{Requests: 10}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := RunLoad(ctx, u, LoadConfig{BaseURL: "http://x"}); err == nil {
+		t.Fatal("zero request count accepted")
+	}
+	if _, err := RunLoad(ctx, u, LoadConfig{BaseURL: "http://x", Requests: 1, Mix: LoadMix{Recommend: -1, Batch: 1}}); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}
+
+// TestWriteBenchReport checks the artifact round-trips as JSON.
+func TestWriteBenchReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	rep := &BenchReport{
+		Universe: tinyConfig(3),
+		Engine:   "echo",
+		TopN:     5,
+		Load:     LoadConfig{Requests: 10}.withDefaults(),
+		Result:   &LoadResult{Requests: 10, CacheHitRate: 0.5},
+	}
+	if err := WriteBenchReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Engine != "echo" || back.Result.Requests != 10 || back.Load.Concurrency != 8 {
+		t.Fatalf("report did not round-trip: %+v", back)
+	}
+}

@@ -1,0 +1,513 @@
+package simulate
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ganc/internal/dataset"
+	"ganc/internal/serve"
+	"ganc/internal/types"
+)
+
+// System is the recommendation stack a scenario drives: trainable,
+// persistable, servable, ingestible, killable. The facade binds it to the
+// real Pipeline/Server/Ingestor assembly; tests can substitute fakes. A
+// scenario may run two instances side by side (a primary and an uninterrupted
+// shadow) and compare their Fingerprints for equivalence.
+type System interface {
+	// Train builds the serving engine from the train set and stands the
+	// serving layer up.
+	Train(train *dataset.Dataset, topN int) error
+	// Handler exposes the current HTTP serving surface.
+	Handler() (http.Handler, error)
+	// Save writes a warm-start snapshot of the current state to path.
+	Save(path string) error
+	// Load replaces the running system with one restored from the snapshot at
+	// path (the process-restart half of a crash).
+	Load(path string) error
+	// EnableIngest attaches streaming ingestion. Empty paths select a pure
+	// in-memory ingestor (no WAL, no checkpoints); checkpointEvery ≤ 0
+	// disables periodic snapshots.
+	EnableIngest(logPath, checkpointPath string, checkpointEvery int) error
+	// Ingest applies one event batch directly (the shadow system's path; the
+	// primary ingests over HTTP so the full endpoint stack is exercised).
+	Ingest(ctx context.Context, events []serve.IngestEvent) error
+	// Recover re-attaches ingestion after Load and replays the write-ahead
+	// log suffix past the restored checkpoint cursor.
+	Recover() (replayed int, err error)
+	// Kill drops every in-memory structure and releases file handles,
+	// simulating a crash; durable files survive for Load/Recover.
+	Kill() error
+	// Fingerprint returns a canonical byte serialization of the system's full
+	// batch output in external identifiers. It must not disturb serving state
+	// (implementations sweep a throwaway clone), so scenarios can fingerprint
+	// mid-lifecycle.
+	Fingerprint(ctx context.Context) ([]byte, error)
+}
+
+// PhaseKind names a lifecycle phase.
+type PhaseKind string
+
+// The scenario phase vocabulary.
+const (
+	// PhaseTrain generates nothing itself: it trains the system on the
+	// universe's dataset and stands serving up. Must come first.
+	PhaseTrain PhaseKind = "train"
+	// PhaseSave snapshots the system to the scenario's snapshot path.
+	PhaseSave PhaseKind = "save"
+	// PhaseLoad restores the snapshot into the primary and asserts warm-start
+	// parity: the fingerprint before and after the reload must be identical.
+	PhaseLoad PhaseKind = "load"
+	// PhaseServeUnderLoad runs the closed-loop driver against the primary.
+	PhaseServeUnderLoad PhaseKind = "serve-under-load"
+	// PhaseIngestChurn streams event batches through POST /ingest while
+	// concurrent readers hammer /recommend and /recommend/batch.
+	PhaseIngestChurn PhaseKind = "ingest-churn"
+	// PhaseKillAndRecover crashes the primary, restores it from the last
+	// checkpoint plus the write-ahead-log suffix, and asserts its fingerprint
+	// matches the uninterrupted shadow system byte for byte.
+	PhaseKillAndRecover PhaseKind = "kill-and-recover"
+)
+
+// Phase is one step of a scenario. Zero-valued knobs select the defaults
+// documented per field.
+type Phase struct {
+	// Kind selects the behavior.
+	Kind PhaseKind `json:"kind"`
+	// Requests is the serve-under-load request count (default 200).
+	Requests int `json:"requests,omitempty"`
+	// Concurrency is the worker count for serve-under-load and the reader
+	// count for ingest-churn (default 4).
+	Concurrency int `json:"concurrency,omitempty"`
+	// Mix composes serve-under-load traffic (default 90% single lookups, 10%
+	// batches). The ingest weight is forced to 0 in scenarios with a
+	// kill-and-recover phase: the shadow system cannot observe the driver's
+	// internally generated events, so they would void the equivalence check —
+	// stream events through ingest-churn phases instead.
+	Mix LoadMix `json:"mix,omitempty"`
+	// BatchSize is the users per batch request (default 20, from the load
+	// driver's own default).
+	BatchSize int `json:"batch_size,omitempty"`
+	// Events is the ingest-churn event count (default 200).
+	Events int `json:"events,omitempty"`
+	// EventBatch is the events per /ingest POST (default 25).
+	EventBatch int `json:"event_batch,omitempty"`
+}
+
+// Scenario is a full lifecycle expressed as data: a universe, a system
+// configuration hint (TopN, checkpoint cadence) and an ordered phase list.
+type Scenario struct {
+	// Name labels the run in results and errors.
+	Name string `json:"name"`
+	// Universe describes the synthetic population.
+	Universe UniverseConfig `json:"universe"`
+	// TopN is the serving list size (default 10).
+	TopN int `json:"top_n"`
+	// CheckpointEvery is the ingestion checkpoint cadence in events (0 =
+	// only explicit PhaseSave snapshots).
+	CheckpointEvery int `json:"checkpoint_every"`
+	// Seed drives the scenario's event and request streams (the universe has
+	// its own seed).
+	Seed int64 `json:"seed"`
+	// Phases run in order. The first must be PhaseTrain.
+	Phases []Phase `json:"phases"`
+}
+
+// has reports whether the scenario contains a phase of the given kind.
+func (sc *Scenario) has(kind PhaseKind) bool {
+	for _, p := range sc.Phases {
+		if p.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// PhaseResult records one executed phase.
+type PhaseResult struct {
+	// Kind echoes the phase.
+	Kind PhaseKind `json:"kind"`
+	// Load carries the driver measurement of a serve-under-load phase.
+	Load *LoadResult `json:"load,omitempty"`
+	// EventsApplied counts ingest-churn events accepted by the server.
+	EventsApplied int `json:"events_applied,omitempty"`
+	// ReaderRequests and ReaderErrors count the concurrent read traffic of an
+	// ingest-churn phase.
+	ReaderRequests int64 `json:"reader_requests,omitempty"`
+	ReaderErrors   int64 `json:"reader_errors,omitempty"`
+	// Replayed is the write-ahead-log suffix length a kill-and-recover phase
+	// replayed.
+	Replayed int `json:"replayed,omitempty"`
+	// ParityChecked marks phases that asserted a fingerprint equivalence.
+	ParityChecked bool `json:"parity_checked,omitempty"`
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	// Scenario echoes the scenario name.
+	Scenario string `json:"scenario"`
+	// Phases records each executed phase in order.
+	Phases []PhaseResult `json:"phases"`
+}
+
+// Runner executes scenarios. NewSystem builds a fresh system instance; Dir is
+// the working directory for snapshots and write-ahead logs (a test's TempDir).
+type Runner struct {
+	// NewSystem constructs one system under test. It is called once for the
+	// primary and once more for the shadow when the scenario contains a
+	// kill-and-recover phase.
+	NewSystem func() System
+	// Dir holds the scenario's durable files (snapshot, WAL).
+	Dir string
+}
+
+// runState carries one run's live pieces between phase executions.
+type runState struct {
+	universe *Universe
+	primary  System
+	shadow   System // nil unless the scenario kill-and-recovers
+	events   *EventStream
+	snapPath string
+	walPath  string
+}
+
+// Run executes the scenario and returns its per-phase record. Any phase
+// failure — including a broken parity or equivalence assertion — aborts the
+// run with an error naming the scenario and phase.
+func (r *Runner) Run(ctx context.Context, sc Scenario) (*Result, error) {
+	if r.NewSystem == nil {
+		return nil, fmt.Errorf("simulate: runner needs a NewSystem factory")
+	}
+	if r.Dir == "" {
+		return nil, fmt.Errorf("simulate: runner needs a working directory")
+	}
+	if len(sc.Phases) == 0 {
+		return nil, fmt.Errorf("simulate: scenario %q has no phases", sc.Name)
+	}
+	if sc.Phases[0].Kind != PhaseTrain {
+		return nil, fmt.Errorf("simulate: scenario %q must start with a %q phase", sc.Name, PhaseTrain)
+	}
+	if sc.TopN <= 0 {
+		sc.TopN = 10
+	}
+	u, err := NewUniverse(sc.Universe)
+	if err != nil {
+		return nil, err
+	}
+	st := &runState{
+		universe: u,
+		events:   u.EventStream(EventStreamConfig{Seed: sc.Seed}),
+		snapPath: filepath.Join(r.Dir, "scenario.snap"),
+		walPath:  filepath.Join(r.Dir, "scenario.wal"),
+	}
+	res := &Result{Scenario: sc.Name}
+	for k, phase := range sc.Phases {
+		pr, err := r.runPhase(ctx, &sc, st, phase)
+		if err != nil {
+			return res, fmt.Errorf("simulate: scenario %q phase %d (%s): %w", sc.Name, k, phase.Kind, err)
+		}
+		res.Phases = append(res.Phases, pr)
+	}
+	return res, nil
+}
+
+// runPhase dispatches one phase against the run state.
+func (r *Runner) runPhase(ctx context.Context, sc *Scenario, st *runState, p Phase) (PhaseResult, error) {
+	pr := PhaseResult{Kind: p.Kind}
+	switch p.Kind {
+	case PhaseTrain:
+		return pr, r.train(sc, st)
+	case PhaseSave:
+		if st.primary == nil {
+			return pr, fmt.Errorf("save before train")
+		}
+		return pr, st.primary.Save(st.snapPath)
+	case PhaseLoad:
+		return r.load(ctx, st, pr)
+	case PhaseServeUnderLoad:
+		return r.serveUnderLoad(ctx, sc, st, p, pr)
+	case PhaseIngestChurn:
+		return r.ingestChurn(ctx, sc, st, p, pr)
+	case PhaseKillAndRecover:
+		return r.killAndRecover(ctx, st, pr)
+	default:
+		return pr, fmt.Errorf("unknown phase kind %q", p.Kind)
+	}
+}
+
+// train stands up the primary (and the shadow when the scenario needs one)
+// and enables ingestion when later phases will stream events.
+func (r *Runner) train(sc *Scenario, st *runState) error {
+	st.primary = r.NewSystem()
+	if err := st.primary.Train(st.universe.Train(), sc.TopN); err != nil {
+		return err
+	}
+	needIngest := sc.has(PhaseIngestChurn) || sc.has(PhaseKillAndRecover)
+	if needIngest {
+		// The primary runs the full durability stack; checkpoints target the
+		// same snapshot path PhaseSave writes, mirroring cmd/ganc.
+		if err := st.primary.EnableIngest(st.walPath, st.snapPath, sc.CheckpointEvery); err != nil {
+			return err
+		}
+	}
+	if sc.has(PhaseKillAndRecover) {
+		st.shadow = r.NewSystem()
+		if err := st.shadow.Train(st.universe.Train(), sc.TopN); err != nil {
+			return fmt.Errorf("shadow: %w", err)
+		}
+		// The shadow is the uninterrupted reference: same events, no WAL, no
+		// checkpoints, no crash.
+		if err := st.shadow.EnableIngest("", "", 0); err != nil {
+			return fmt.Errorf("shadow: %w", err)
+		}
+	}
+	return nil
+}
+
+// load asserts warm-start parity: reloading the snapshot must not change the
+// system's observable output.
+func (r *Runner) load(ctx context.Context, st *runState, pr PhaseResult) (PhaseResult, error) {
+	if st.primary == nil {
+		return pr, fmt.Errorf("load before train")
+	}
+	before, err := st.primary.Fingerprint(ctx)
+	if err != nil {
+		return pr, fmt.Errorf("fingerprint before load: %w", err)
+	}
+	if err := st.primary.Load(st.snapPath); err != nil {
+		return pr, err
+	}
+	after, err := st.primary.Fingerprint(ctx)
+	if err != nil {
+		return pr, fmt.Errorf("fingerprint after load: %w", err)
+	}
+	if !bytes.Equal(before, after) {
+		return pr, fmt.Errorf("warm-start parity broken: output changed across save/load (%d vs %d bytes)", len(before), len(after))
+	}
+	pr.ParityChecked = true
+	return pr, nil
+}
+
+// serveUnderLoad runs the closed-loop driver against the primary's handler.
+func (r *Runner) serveUnderLoad(ctx context.Context, sc *Scenario, st *runState, p Phase, pr PhaseResult) (PhaseResult, error) {
+	if st.primary == nil {
+		return pr, fmt.Errorf("serve-under-load before train")
+	}
+	h, err := st.primary.Handler()
+	if err != nil {
+		return pr, err
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	requests := p.Requests
+	if requests <= 0 {
+		requests = 200
+	}
+	concurrency := p.Concurrency
+	if concurrency <= 0 {
+		concurrency = 4
+	}
+	mix := p.Mix
+	if mix == (LoadMix{}) {
+		mix = LoadMix{Recommend: 90, Batch: 10}
+	}
+	if st.shadow != nil {
+		// Driver-generated ingest traffic would advance the primary past the
+		// shadow (the driver's events never reach it), voiding the recovery
+		// equivalence the shadow exists for; event streaming belongs to
+		// ingest-churn phases, which feed both systems identically.
+		mix.Ingest = 0
+	}
+	res, err := RunLoad(ctx, st.universe, LoadConfig{
+		BaseURL:     ts.URL,
+		Requests:    requests,
+		Concurrency: concurrency,
+		Mix:         mix,
+		BatchSize:   p.BatchSize,
+		Seed:        sc.Seed + 1,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		return pr, err
+	}
+	pr.Load = res
+	if res.Errors > 0 {
+		return pr, fmt.Errorf("%d of %d requests failed with server-side errors", res.Errors, res.Requests)
+	}
+	return pr, nil
+}
+
+// ingestChurn streams event batches through the primary's POST /ingest while
+// concurrent readers exercise /recommend and /recommend/batch; the shadow
+// (when present) absorbs the identical batches directly.
+func (r *Runner) ingestChurn(ctx context.Context, sc *Scenario, st *runState, p Phase, pr PhaseResult) (PhaseResult, error) {
+	if st.primary == nil {
+		return pr, fmt.Errorf("ingest-churn before train")
+	}
+	h, err := st.primary.Handler()
+	if err != nil {
+		return pr, err
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	client := ts.Client()
+
+	events := p.Events
+	if events <= 0 {
+		events = 200
+	}
+	batch := p.EventBatch
+	if batch <= 0 {
+		batch = 25
+	}
+	concurrency := p.Concurrency
+	if concurrency <= 0 {
+		concurrency = 4
+	}
+
+	// Concurrent readers: half issue single lookups, half batch lookups, so
+	// the versioned-swap path races both request shapes. They run until the
+	// writer below finishes its stream.
+	stop := make(chan struct{})
+	var readerReqs, readerErrs atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			req := st.universe.RequestStream(RequestStreamConfig{Seed: sc.Seed + 100 + int64(w)})
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				var s sample
+				if w%2 == 0 {
+					s = doRecommend(ctx, client, ts.URL, req.NextUser())
+				} else {
+					s = doBatch(ctx, client, ts.URL, req.NextUsers(5))
+				}
+				readerReqs.Add(1)
+				if s.bad {
+					readerErrs.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Sprintf("reader %d: server-side error on %s", w, endpointNames[s.ep]))
+				}
+			}
+		}(w)
+	}
+
+	applied := 0
+	var ingestErr error
+	for applied < events {
+		n := batch
+		if rest := events - applied; rest < n {
+			n = rest
+		}
+		evs := st.events.NextBatch(n)
+		if s := doIngest(ctx, client, ts.URL, evs); s.bad || s.rej {
+			// Distinguish a driver-side cancellation from a server rejection,
+			// so a CI deadline does not read as an ingestion bug.
+			if err := ctx.Err(); err != nil {
+				ingestErr = err
+			} else {
+				ingestErr = fmt.Errorf("ingest batch rejected after %d events", applied)
+			}
+			break
+		}
+		if st.shadow != nil {
+			if err := st.shadow.Ingest(ctx, evs); err != nil {
+				ingestErr = fmt.Errorf("shadow ingest: %w", err)
+				break
+			}
+		}
+		applied += n
+	}
+	close(stop)
+	wg.Wait()
+
+	pr.EventsApplied = applied
+	pr.ReaderRequests = readerReqs.Load()
+	pr.ReaderErrors = readerErrs.Load()
+	if ingestErr != nil {
+		return pr, ingestErr
+	}
+	if err := ctx.Err(); err != nil {
+		return pr, err
+	}
+	if n := readerErrs.Load(); n > 0 {
+		msg, _ := firstErr.Load().(string)
+		return pr, fmt.Errorf("%d reader requests failed under ingest churn (%s)", n, msg)
+	}
+	return pr, nil
+}
+
+// killAndRecover crashes the primary, restores it from the checkpoint plus
+// the WAL suffix, and asserts byte equivalence with the uninterrupted shadow.
+func (r *Runner) killAndRecover(ctx context.Context, st *runState, pr PhaseResult) (PhaseResult, error) {
+	if st.primary == nil {
+		return pr, fmt.Errorf("kill-and-recover before train")
+	}
+	if st.shadow == nil {
+		return pr, fmt.Errorf("kill-and-recover needs a shadow system (runner bug)")
+	}
+	want, err := st.shadow.Fingerprint(ctx)
+	if err != nil {
+		return pr, fmt.Errorf("shadow fingerprint: %w", err)
+	}
+	if err := st.primary.Kill(); err != nil {
+		return pr, err
+	}
+	if err := st.primary.Load(st.snapPath); err != nil {
+		return pr, fmt.Errorf("restore checkpoint: %w", err)
+	}
+	replayed, err := st.primary.Recover()
+	if err != nil {
+		return pr, fmt.Errorf("replay WAL: %w", err)
+	}
+	pr.Replayed = replayed
+	got, err := st.primary.Fingerprint(ctx)
+	if err != nil {
+		return pr, fmt.Errorf("recovered fingerprint: %w", err)
+	}
+	if !bytes.Equal(got, want) {
+		return pr, fmt.Errorf("recovery equivalence broken: recovered output differs from uninterrupted shadow (replayed %d events)", replayed)
+	}
+	pr.ParityChecked = true
+	return pr, nil
+}
+
+// CanonicalRecommendations serializes a collection in external identifiers,
+// one line per user sorted by user key, items in rank order — the byte form
+// scenario fingerprints compare. External keys (not dense indices) make the
+// form stable across systems whose interner tables grew in different orders.
+func CanonicalRecommendations(train *dataset.Dataset, recs types.Recommendations) []byte {
+	users := train.UserInterner()
+	items := train.ItemInterner()
+	lines := make([]string, 0, len(recs))
+	for u, set := range recs {
+		var sb strings.Builder
+		sb.WriteString(users.Key(int32(u)))
+		sb.WriteByte('\t')
+		for k, i := range set {
+			if k > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(items.Key(int32(i)))
+		}
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, "\n"))
+}

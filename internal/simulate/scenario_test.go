@@ -1,0 +1,354 @@
+package simulate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"ganc/internal/dataset"
+	"ganc/internal/serve"
+	"ganc/internal/types"
+)
+
+// fakeSystem is an in-memory System: state is the ordered list of applied
+// events, "snapshots" serialize that list to disk, the WAL mirrors the real
+// ingestor's append-then-checkpoint contract. It lets the runner's sequencing
+// and assertions be tested without training anything.
+type fakeSystem struct {
+	mu     sync.Mutex
+	train  *dataset.Dataset
+	events []serve.IngestEvent
+	// walPath/ckptPath/every mirror EnableIngest.
+	walPath  string
+	ckptPath string
+	every    int
+	// checkpointed is the event count covered by the last checkpoint.
+	checkpointed int
+	sinceCkpt    int
+	killed       bool
+	// calls records the lifecycle for sequencing assertions.
+	calls []string
+}
+
+// fakeState is the snapshot/WAL wire form.
+type fakeState struct {
+	Events []serve.IngestEvent `json:"events"`
+}
+
+func (f *fakeSystem) record(call string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = append(f.calls, call)
+}
+
+func (f *fakeSystem) Train(train *dataset.Dataset, topN int) error {
+	f.record("train")
+	f.train = train
+	f.killed = false
+	return nil
+}
+
+func (f *fakeSystem) Handler() (http.Handler, error) {
+	if f.killed {
+		return nil, fmt.Errorf("fake: killed")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(serve.InfoResponse{Version: 1})
+	})
+	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(serve.RecommendResponse{User: r.URL.Query().Get("user")})
+	})
+	mux.HandleFunc("/recommend/batch", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(serve.BatchResponse{})
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.IngestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		if err := f.Ingest(r.Context(), req.Events); err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(serve.IngestResult{Applied: len(req.Events)})
+	})
+	return mux, nil
+}
+
+func (f *fakeSystem) Save(path string) error {
+	f.record("save")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writeStateLocked(path)
+}
+
+func (f *fakeSystem) writeStateLocked(path string) error {
+	data, err := json.Marshal(fakeState{Events: f.events})
+	if err != nil {
+		return err
+	}
+	f.checkpointed = len(f.events)
+	return os.WriteFile(path, data, 0o644)
+}
+
+func (f *fakeSystem) Load(path string) error {
+	f.record("load")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var st fakeState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.events = st.Events
+	f.checkpointed = len(st.Events)
+	f.killed = false
+	return nil
+}
+
+func (f *fakeSystem) EnableIngest(logPath, checkpointPath string, every int) error {
+	f.record("enable-ingest")
+	f.walPath, f.ckptPath, f.every = logPath, checkpointPath, every
+	return nil
+}
+
+func (f *fakeSystem) Ingest(ctx context.Context, events []serve.IngestEvent) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed {
+		return fmt.Errorf("fake: killed")
+	}
+	// WAL first, then state, then maybe checkpoint — the real contract.
+	if f.walPath != "" {
+		wal, err := os.OpenFile(f.walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		for _, ev := range events {
+			line, _ := json.Marshal(ev)
+			if _, err := wal.Write(append(line, '\n')); err != nil {
+				wal.Close()
+				return err
+			}
+		}
+		if err := wal.Close(); err != nil {
+			return err
+		}
+	}
+	f.events = append(f.events, events...)
+	f.sinceCkpt += len(events)
+	if f.every > 0 && f.sinceCkpt >= f.every && f.ckptPath != "" {
+		if err := f.writeStateLocked(f.ckptPath); err != nil {
+			return err
+		}
+		f.sinceCkpt = 0
+	}
+	return nil
+}
+
+func (f *fakeSystem) Recover() (int, error) {
+	f.record("recover")
+	if f.walPath == "" {
+		return 0, nil
+	}
+	data, err := os.ReadFile(f.walPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	replayed := 0
+	for k, line := range lines {
+		if line == "" || k < f.checkpointed {
+			continue
+		}
+		var ev serve.IngestEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return replayed, err
+		}
+		f.events = append(f.events, ev)
+		replayed++
+	}
+	return replayed, nil
+}
+
+func (f *fakeSystem) Kill() error {
+	f.record("kill")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.killed = true
+	// A crash loses everything not persisted.
+	f.events = nil
+	return nil
+}
+
+func (f *fakeSystem) Fingerprint(ctx context.Context) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed {
+		return nil, fmt.Errorf("fake: killed")
+	}
+	data, err := json.Marshal(f.events)
+	return data, err
+}
+
+// scenarioFixture is a small but real universe for runner tests.
+func scenarioFixture() Scenario {
+	return Scenario{
+		Name:            "fake-lifecycle",
+		Universe:        UniverseConfig{Users: 30, Items: 20, Ratings: 400, Seed: 5},
+		TopN:            5,
+		CheckpointEvery: 40,
+		Seed:            17,
+	}
+}
+
+// TestRunnerFullLifecycle drives every phase kind through fake systems and
+// checks the sequencing, the shadow bookkeeping and the recovery equivalence.
+func TestRunnerFullLifecycle(t *testing.T) {
+	var systems []*fakeSystem
+	r := &Runner{
+		NewSystem: func() System {
+			f := &fakeSystem{}
+			systems = append(systems, f)
+			return f
+		},
+		Dir: t.TempDir(),
+	}
+	sc := scenarioFixture()
+	// Checkpoint cadence 45 with 30-event batches: checkpoint at 60 applied
+	// events, leaving a 40-event WAL suffix for the recovery to replay.
+	sc.CheckpointEvery = 45
+	sc.Phases = []Phase{
+		{Kind: PhaseTrain},
+		{Kind: PhaseSave},
+		{Kind: PhaseLoad},
+		{Kind: PhaseServeUnderLoad, Requests: 60, Concurrency: 3},
+		{Kind: PhaseIngestChurn, Events: 100, EventBatch: 30, Concurrency: 2},
+		{Kind: PhaseKillAndRecover},
+	}
+	res, err := r.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(systems) != 2 {
+		t.Fatalf("expected a primary and a shadow, got %d systems", len(systems))
+	}
+	primary, shadow := systems[0], systems[1]
+	if len(res.Phases) != len(sc.Phases) {
+		t.Fatalf("recorded %d phases, want %d", len(res.Phases), len(sc.Phases))
+	}
+
+	if !res.Phases[2].ParityChecked {
+		t.Fatal("load phase did not record its parity check")
+	}
+
+	churn := res.Phases[4]
+	if churn.EventsApplied != 100 {
+		t.Fatalf("churn applied %d events, want 100", churn.EventsApplied)
+	}
+	if churn.ReaderRequests == 0 || churn.ReaderErrors != 0 {
+		t.Fatalf("churn readers: %d requests, %d errors", churn.ReaderRequests, churn.ReaderErrors)
+	}
+
+	kr := res.Phases[5]
+	if !kr.ParityChecked {
+		t.Fatal("kill-and-recover did not record its equivalence check")
+	}
+	if kr.Replayed != 40 {
+		t.Fatalf("kill-and-recover replayed %d events, want the 40-event WAL suffix", kr.Replayed)
+	}
+	pFp, _ := primary.Fingerprint(context.Background())
+	sFp, _ := shadow.Fingerprint(context.Background())
+	if string(pFp) != string(sFp) {
+		t.Fatal("runner accepted diverged primary/shadow states")
+	}
+	wantCalls := []string{"train", "enable-ingest", "save", "load", "kill", "load", "recover"}
+	if got := strings.Join(primary.calls, ","); got != strings.Join(wantCalls, ",") {
+		t.Fatalf("primary lifecycle %v, want %v", primary.calls, wantCalls)
+	}
+}
+
+// TestRunnerRejectsBadScenarios pins the validation paths.
+func TestRunnerRejectsBadScenarios(t *testing.T) {
+	r := &Runner{NewSystem: func() System { return &fakeSystem{} }, Dir: t.TempDir()}
+	ctx := context.Background()
+	sc := scenarioFixture()
+	if _, err := r.Run(ctx, sc); err == nil {
+		t.Fatal("scenario without phases accepted")
+	}
+	sc.Phases = []Phase{{Kind: PhaseSave}}
+	if _, err := r.Run(ctx, sc); err == nil {
+		t.Fatal("scenario not starting with train accepted")
+	}
+	sc.Phases = []Phase{{Kind: PhaseTrain}, {Kind: PhaseKind("explode")}}
+	if _, err := r.Run(ctx, sc); err == nil {
+		t.Fatal("unknown phase kind accepted")
+	}
+	if _, err := (&Runner{Dir: t.TempDir()}).Run(ctx, scenarioFixture()); err == nil {
+		t.Fatal("runner without a factory accepted")
+	}
+}
+
+// TestRunnerDetectsBrokenParity ensures the load phase's parity assertion has
+// teeth: a system whose reload diverges must fail the scenario.
+func TestRunnerDetectsBrokenParity(t *testing.T) {
+	r := &Runner{
+		NewSystem: func() System { return &divergingSystem{fakeSystem{}} },
+		Dir:       t.TempDir(),
+	}
+	sc := scenarioFixture()
+	sc.Phases = []Phase{{Kind: PhaseTrain}, {Kind: PhaseSave}, {Kind: PhaseLoad}}
+	_, err := r.Run(context.Background(), sc)
+	if err == nil || !strings.Contains(err.Error(), "parity") {
+		t.Fatalf("broken parity not detected, err=%v", err)
+	}
+}
+
+// divergingSystem corrupts its state on reload.
+type divergingSystem struct{ fakeSystem }
+
+func (d *divergingSystem) Load(path string) error {
+	if err := d.fakeSystem.Load(path); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.events = append(d.events, serve.IngestEvent{User: "ghost", Item: "ghost", Value: 1})
+	return nil
+}
+
+// TestCanonicalRecommendations pins the fingerprint serialization: sorted by
+// external user key, items in rank order, stable across map iteration.
+func TestCanonicalRecommendations(t *testing.T) {
+	b := dataset.NewBuilder("c", 4)
+	b.Add("u-b", "i-1", 5)
+	b.Add("u-a", "i-2", 4)
+	d := b.Build()
+	recs := types.Recommendations{
+		0: {1}, // u-b → i-2
+		1: {0}, // u-a → i-1
+	}
+	got := string(CanonicalRecommendations(d, recs))
+	want := "u-a\ti-1\nu-b\ti-2"
+	if got != want {
+		t.Fatalf("canonical form %q, want %q", got, want)
+	}
+	if again := string(CanonicalRecommendations(d, recs)); again != got {
+		t.Fatal("canonical form is not stable")
+	}
+}

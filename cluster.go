@@ -1,0 +1,445 @@
+package ganc
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ganc/internal/cluster"
+)
+
+// Cluster facade: stand a sharded serving tier up in one process — N shard
+// servers, each bootstrapped from a shard-scoped snapshot (SaveShard) with
+// its own write-ahead log and checkpoint cadence, behind a consistent-hash
+// scatter-gather router from internal/cluster. Users are partitioned by the
+// hash ring; every shard holds the full model state but serves (and caches,
+// and ingests) only its owned users, so the cluster's aggregate cache and
+// compute capacity scale with the shard count. DESIGN.md §10 documents the
+// architecture, the hash-ring epoch rules and the failure semantics;
+// cmd/gancd runs the same roles as separate processes.
+
+// Cluster re-exported types from internal/cluster, so drivers and tests can
+// partition work exactly the way the router does.
+type (
+	// Ring is the consistent-hash user-sharding ring.
+	Ring = cluster.Ring
+	// ShardInfo describes one shard of a ring (ID + address).
+	ShardInfo = cluster.ShardInfo
+	// Router is the scatter-gather HTTP router.
+	Router = cluster.Router
+	// RouterConfig assembles a Router over an existing ring.
+	RouterConfig = cluster.RouterConfig
+	// ClusterInfoResponse is the router's aggregated /info payload.
+	ClusterInfoResponse = cluster.InfoResponse
+)
+
+// Cluster error sentinels re-exported from internal/cluster.
+var (
+	// ErrShardUnavailable marks a shard unreachable within the retry budget.
+	ErrShardUnavailable = cluster.ErrShardUnavailable
+	// ErrBadPeerList marks a malformed -peers value.
+	ErrBadPeerList = cluster.ErrBadPeers
+)
+
+// NewRing builds a consistent-hash ring (epoch, default virtual-node count)
+// over the given shards.
+func NewRing(epoch uint64, shards []ShardInfo) (*Ring, error) {
+	return cluster.NewRing(epoch, 0, shards)
+}
+
+// ParsePeers parses a comma-separated shard address list into ring shard
+// descriptors with positional IDs.
+func ParsePeers(list string) ([]ShardInfo, error) { return cluster.ParsePeers(list) }
+
+// NewRouter builds a scatter-gather router over a ring whose shards carry
+// addresses.
+func NewRouter(cfg RouterConfig) (*Router, error) { return cluster.NewRouter(cfg) }
+
+// ClusterOption customizes a Cluster at construction time.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	shards          int
+	routerAddr      string
+	dir             string
+	cacheCap        int
+	checkpointEvery int
+	epoch           uint64
+	retries         int
+}
+
+// WithShards sets the shard count (default 3).
+func WithShards(n int) ClusterOption {
+	return func(c *clusterConfig) { c.shards = n }
+}
+
+// WithRouterAddr makes the cluster listen for router traffic on addr (e.g.
+// ":8080"). Without it the router is reachable only through
+// Cluster.Handler() — the in-process form tests and benchmarks mount
+// themselves.
+func WithRouterAddr(addr string) ClusterOption {
+	return func(c *clusterConfig) { c.routerAddr = addr }
+}
+
+// WithClusterDir places the shard snapshots and write-ahead logs in dir
+// (which must exist). Without it the cluster owns a temporary directory,
+// removed on Close.
+func WithClusterDir(dir string) ClusterOption {
+	return func(c *clusterConfig) { c.dir = dir }
+}
+
+// WithShardCacheCapacity bounds every shard server's LRU cache — the
+// per-node memory budget. The cluster's aggregate cache is shards × this.
+func WithShardCacheCapacity(capacity int) ClusterOption {
+	return func(c *clusterConfig) { c.cacheCap = capacity }
+}
+
+// WithClusterCheckpointEvery makes every shard checkpoint its snapshot after
+// that many ingested events (0, the default, keeps the write-ahead log as
+// the only durability between explicit SaveShards calls).
+func WithClusterCheckpointEvery(every int) ClusterOption {
+	return func(c *clusterConfig) { c.checkpointEvery = every }
+}
+
+// WithClusterEpoch sets the hash-ring epoch stamped into the shard
+// snapshots and the router's ring (default 1). Bump it whenever the shard
+// count changes.
+func WithClusterEpoch(epoch uint64) ClusterOption {
+	return func(c *clusterConfig) { c.epoch = epoch }
+}
+
+// WithRouterRetries sets the router's bounded retry budget per shard call
+// (default 2).
+func WithRouterRetries(retries int) ClusterOption {
+	return func(c *clusterConfig) { c.retries = retries }
+}
+
+// clusterShard is one in-process shard: its restored pipeline, server,
+// ingestor and HTTP listener. A killed shard keeps its paths and address
+// (nil runtime fields) so RestartShard can bring it back.
+type clusterShard struct {
+	id       int
+	addr     string
+	snapPath string
+	walPath  string
+
+	pipe *Pipeline
+	srv  *Server
+	ing  *Ingestor
+	hs   *http.Server
+}
+
+// Cluster is an in-process sharded serving tier: N shard servers behind a
+// scatter-gather router. Construct with NewCluster; drive it through
+// Handler() (or the WithRouterAddr listener); tear it down with Close.
+type Cluster struct {
+	cfg     clusterConfig
+	ring    *Ring
+	router  *Router
+	shards  []*clusterShard
+	topN    int
+	ownsDir bool
+
+	routerLn net.Listener
+	routerHS *http.Server
+}
+
+// NewCluster shard-splits a trained (snapshot-compatible) pipeline and
+// stands the cluster up: each shard gets a shard-scoped snapshot
+// (SaveShard), is restored from it exactly like a warm-started process,
+// serves on its own loopback listener with streaming ingestion (per-shard
+// write-ahead log, checkpoints back into its snapshot), and the router
+// scatter-gathers over all of them.
+func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
+	if p == nil {
+		return nil, fmt.Errorf("ganc: cluster requires a trained pipeline")
+	}
+	cfg := clusterConfig{shards: 3, epoch: 1, retries: 2}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.shards <= 0 {
+		return nil, fmt.Errorf("ganc: cluster needs a positive shard count, got %d", cfg.shards)
+	}
+	c := &Cluster{cfg: cfg, topN: p.TopN()}
+	if cfg.dir == "" {
+		dir, err := os.MkdirTemp("", "ganc-cluster-*")
+		if err != nil {
+			return nil, fmt.Errorf("ganc: cluster work directory: %w", err)
+		}
+		c.cfg.dir = dir
+		c.ownsDir = true
+	}
+
+	fail := func(err error) (*Cluster, error) {
+		_ = c.Close()
+		return nil, err
+	}
+
+	// Bind every shard listener first: the ring must carry final addresses.
+	infos := make([]ShardInfo, cfg.shards)
+	listeners := make([]net.Listener, cfg.shards)
+	for i := 0; i < cfg.shards; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return fail(fmt.Errorf("ganc: shard %d listener: %w", i, err))
+		}
+		listeners[i] = ln
+		infos[i] = ShardInfo{ID: i, Addr: ln.Addr().String()}
+	}
+	ring, err := cluster.NewRing(cfg.epoch, 0, infos)
+	if err != nil {
+		for _, l := range listeners {
+			l.Close()
+		}
+		return fail(err)
+	}
+	c.ring = ring
+
+	c.shards = make([]*clusterShard, cfg.shards)
+	for i := 0; i < cfg.shards; i++ {
+		sh := &clusterShard{
+			id:       i,
+			addr:     infos[i].Addr,
+			snapPath: filepath.Join(c.cfg.dir, fmt.Sprintf("shard-%03d.snap", i)),
+			walPath:  filepath.Join(c.cfg.dir, fmt.Sprintf("shard-%03d.wal", i)),
+		}
+		c.shards[i] = sh
+		if err := p.SaveShard(sh.snapPath, ShardIdentity{ShardID: i, NumShards: cfg.shards, RingEpoch: cfg.epoch}); err != nil {
+			for _, l := range listeners[i:] {
+				l.Close()
+			}
+			return fail(fmt.Errorf("ganc: shard-splitting snapshot for shard %d: %w", i, err))
+		}
+		if err := c.bootShard(sh, listeners[i]); err != nil {
+			for _, l := range listeners[i+1:] {
+				l.Close()
+			}
+			return fail(fmt.Errorf("ganc: booting shard %d: %w", i, err))
+		}
+	}
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Ring: ring, Retries: cfg.retries})
+	if err != nil {
+		return fail(err)
+	}
+	c.router = rt
+
+	if cfg.routerAddr != "" {
+		ln, err := net.Listen("tcp", cfg.routerAddr)
+		if err != nil {
+			return fail(fmt.Errorf("ganc: router listener on %s: %w", cfg.routerAddr, err))
+		}
+		c.routerLn = ln
+		c.routerHS = &http.Server{Handler: rt.Handler()}
+		go func() { _ = c.routerHS.Serve(ln) }()
+	}
+	return c, nil
+}
+
+// bootShard restores a shard from its snapshot, verifies the identity,
+// attaches ingestion and starts serving on the listener.
+func (c *Cluster) bootShard(sh *clusterShard, ln net.Listener) error {
+	pipe, id, err := LoadShardEngine(sh.snapPath)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	if id.ShardID != sh.id || id.NumShards != c.cfg.shards || id.RingEpoch != c.cfg.epoch {
+		ln.Close()
+		return fmt.Errorf("snapshot %s identifies as shard %d/%d epoch %d, want %d/%d epoch %d",
+			sh.snapPath, id.ShardID, id.NumShards, id.RingEpoch, sh.id, c.cfg.shards, c.cfg.epoch)
+	}
+	opts := []ServerOption{WithServerShardIdentity(id)}
+	if c.cfg.cacheCap > 0 {
+		opts = append(opts, WithServerCacheCapacity(c.cfg.cacheCap))
+	}
+	srv, err := NewServer(pipe.Train(), pipe, c.topN, opts...)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	ingOpts := []IngestorOption{
+		WithIngestLog(sh.walPath),
+		WithIngestCheckpoint(sh.snapPath, c.cfg.checkpointEvery),
+	}
+	ing, err := NewIngestor(srv, pipe, ingOpts...)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	sh.pipe, sh.srv, sh.ing = pipe, srv, ing
+	sh.hs = &http.Server{Handler: srv.Handler()}
+	go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(sh.hs, ln)
+	return nil
+}
+
+// Handler returns the router's HTTP surface (for mounting on a test
+// listener or an existing mux).
+func (c *Cluster) Handler() http.Handler { return c.router.Handler() }
+
+// Router returns the scatter-gather router.
+func (c *Cluster) Router() *Router { return c.router }
+
+// Ring returns the cluster's hash ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// OwnerShard returns the shard index owning an external user key.
+func (c *Cluster) OwnerShard(userKey string) int { return c.ring.Owner(userKey) }
+
+// ShardAddr returns shard i's listen address.
+func (c *Cluster) ShardAddr(i int) string { return c.shards[i].addr }
+
+// RouterAddr returns the router's listen address, or "" when the cluster
+// was built without WithRouterAddr.
+func (c *Cluster) RouterAddr() string {
+	if c.routerLn == nil {
+		return ""
+	}
+	return c.routerLn.Addr().String()
+}
+
+// Dir returns the directory holding the shard snapshots and write-ahead
+// logs.
+func (c *Cluster) Dir() string { return c.cfg.dir }
+
+// shardByIndex validates a shard index.
+func (c *Cluster) shardByIndex(i int) (*clusterShard, error) {
+	if i < 0 || i >= len(c.shards) {
+		return nil, fmt.Errorf("ganc: shard %d out of range [0,%d)", i, len(c.shards))
+	}
+	return c.shards[i], nil
+}
+
+// KillShard crashes shard i: its listener and connections close, in-memory
+// state drops, the write-ahead-log handle is released. Durable files (the
+// shard snapshot and WAL) survive for RestartShard. Requests routed to the
+// dead shard fail with the router's typed 503 until the restart.
+func (c *Cluster) KillShard(i int) error {
+	sh, err := c.shardByIndex(i)
+	if err != nil {
+		return err
+	}
+	if sh.pipe == nil {
+		return fmt.Errorf("ganc: shard %d is already dead", i)
+	}
+	var closeErr error
+	if sh.hs != nil {
+		closeErr = sh.hs.Close()
+	}
+	if sh.ing != nil {
+		if err := sh.ing.Close(); err != nil && closeErr == nil {
+			closeErr = err
+		}
+	}
+	sh.pipe, sh.srv, sh.ing, sh.hs = nil, nil, nil, nil
+	return closeErr
+}
+
+// RestartShard brings a killed shard back on its original address: the
+// pipeline is restored from the shard snapshot (the last checkpoint),
+// ingestion re-attaches, and the write-ahead-log suffix past the checkpoint
+// cursor is replayed. Returns how many events the replay recovered.
+func (c *Cluster) RestartShard(i int) (replayed int, err error) {
+	sh, err := c.shardByIndex(i)
+	if err != nil {
+		return 0, err
+	}
+	if sh.pipe != nil {
+		return 0, fmt.Errorf("ganc: shard %d is still running (kill it first)", i)
+	}
+	// The old listener is closed, so the original port is free to rebind —
+	// the ring's address for this shard must not change.
+	ln, err := net.Listen("tcp", sh.addr)
+	if err != nil {
+		return 0, fmt.Errorf("ganc: rebinding shard %d on %s: %w", i, sh.addr, err)
+	}
+	if err := c.bootShard(sh, ln); err != nil {
+		return 0, err
+	}
+	return sh.ing.Recover()
+}
+
+// SaveShards checkpoints every live shard's current state into its shard
+// snapshot (the same files RestartShard restores from).
+func (c *Cluster) SaveShards() error {
+	for _, sh := range c.shards {
+		if sh.ing == nil {
+			continue
+		}
+		if err := sh.ing.Checkpoint(); err != nil {
+			return fmt.Errorf("ganc: checkpointing shard %d: %w", sh.id, err)
+		}
+	}
+	return nil
+}
+
+// ShardVersion returns shard i's serving-engine generation (0 for a dead
+// shard).
+func (c *Cluster) ShardVersion(i int) int {
+	if sh := c.shards[i]; sh.srv != nil {
+		return sh.srv.Version()
+	}
+	return 0
+}
+
+// Close tears the cluster down: every shard is killed, the router listener
+// (if any) stops, and the work directory is removed when the cluster owns
+// it.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for i, sh := range c.shards {
+		if sh == nil || sh.pipe == nil {
+			continue
+		}
+		if err := c.KillShard(i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.routerHS != nil {
+		if err := c.routerHS.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		c.routerHS, c.routerLn = nil, nil
+	}
+	if c.ownsDir && c.cfg.dir != "" {
+		if err := os.RemoveAll(c.cfg.dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		c.ownsDir = false
+	}
+	return firstErr
+}
+
+// WaitReady blocks until every shard answers /health (or the timeout
+// expires) — a convenience for callers that start driving traffic
+// immediately after NewCluster.
+func (c *Cluster) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: time.Second}
+	for _, sh := range c.shards {
+		for {
+			resp, err := client.Get("http://" + sh.addr + "/health")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("ganc: shard %d not ready within %v", sh.id, timeout)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package ganc
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"ganc/internal/dataset"
+	"ganc/internal/simulate"
+)
+
+// Cluster scenario binding: the multi-node counterpart of
+// NewScenarioSystem. A clusterSystem drives the real NewCluster assembly —
+// router, shard servers, per-shard write-ahead logs and checkpoints —
+// through the scenario runner's ShardedSystem interface, so cluster
+// lifecycles (kill one shard mid-load, restart from snapshot + WAL, compare
+// the recovered shard against a single-node shadow) are expressed as the
+// same phase lists single-node scenarios use.
+
+// ShardedScenarioSystem is the multi-node scenario-system abstraction
+// re-exported from internal/simulate.
+type ShardedScenarioSystem = simulate.ShardedSystem
+
+// Cluster scenario phase kinds, re-exported for scenario literals.
+const (
+	PhaseKillShard    = simulate.PhaseKillShard
+	PhaseRestartShard = simulate.PhaseRestartShard
+)
+
+// NewClusterScenarioSystem binds the NewCluster assembly to the scenario
+// runner: a sharded primary with `shards` shard servers whose durable files
+// (shard snapshots, write-ahead logs) live in dir, checkpointing every
+// checkpointEvery ingested events per shard.
+func NewClusterScenarioSystem(cfg SimSystemConfig, shards int, dir string, checkpointEvery int) ShardedScenarioSystem {
+	return &clusterSystem{cfg: cfg.withDefaults(), shards: shards, dir: dir, checkpointEvery: checkpointEvery}
+}
+
+// RunClusterScenario executes a scenario against a sharded primary with a
+// single-node shadow: the cluster serves through its scatter-gather router,
+// the shadow absorbs exactly the events routed to the scenario's drilled
+// shard, and a restart-shard phase asserts the recovered shard's owned-user
+// output is byte-identical to the shadow's.
+func RunClusterScenario(ctx context.Context, sc Scenario, dir string, cfg SimSystemConfig, shards int) (*ScenarioResult, error) {
+	r := &simulate.Runner{
+		NewSystem: func() simulate.System {
+			return NewClusterScenarioSystem(cfg, shards, dir, sc.CheckpointEvery)
+		},
+		NewShadow: func() simulate.System { return NewScenarioSystem(cfg) },
+		Dir:       dir,
+	}
+	return r.Run(ctx, sc)
+}
+
+// clusterSystem implements simulate.ShardedSystem over the facade Cluster.
+type clusterSystem struct {
+	cfg             SimSystemConfig
+	shards          int
+	dir             string
+	checkpointEvery int
+	topN            int
+
+	cluster *Cluster
+}
+
+// Train implements simulate.System: build the pipeline, shard-split it and
+// stand the whole cluster (shards + router) up. Streaming ingestion is part
+// of the cluster's standing configuration — every shard runs its
+// write-ahead log from boot — so EnableIngest below only confirms it.
+func (s *clusterSystem) Train(train *dataset.Dataset, topN int) error {
+	p, err := NewPipeline(train,
+		WithBaseNamed(s.cfg.Base),
+		WithPreferences(s.cfg.Theta),
+		WithTopN(topN),
+		WithWorkers(s.cfg.Workers),
+		WithSeed(s.cfg.Seed))
+	if err != nil {
+		return err
+	}
+	s.topN = topN
+	opts := []ClusterOption{
+		WithShards(s.shards),
+		WithClusterDir(s.dir),
+		WithClusterCheckpointEvery(s.checkpointEvery),
+	}
+	if s.cfg.CacheCapacity > 0 {
+		opts = append(opts, WithShardCacheCapacity(s.cfg.CacheCapacity))
+	}
+	c, err := NewCluster(p, opts...)
+	if err != nil {
+		return err
+	}
+	s.cluster = c
+	return nil
+}
+
+// Handler implements simulate.System: the router's scatter-gather surface.
+func (s *clusterSystem) Handler() (http.Handler, error) {
+	if s.cluster == nil {
+		return nil, fmt.Errorf("ganc: cluster scenario system is not serving (killed or untrained)")
+	}
+	return s.cluster.Handler(), nil
+}
+
+// Save implements simulate.System: checkpoint every shard into its own
+// shard snapshot (the path argument names the single-node snapshot file and
+// is ignored — shard snapshots live at the cluster's fixed per-shard
+// paths).
+func (s *clusterSystem) Save(string) error {
+	if s.cluster == nil {
+		return fmt.Errorf("ganc: cluster scenario system has nothing to save")
+	}
+	return s.cluster.SaveShards()
+}
+
+// Load implements simulate.System: restore every shard from its snapshot
+// (killing live ones first), replaying each write-ahead-log suffix — the
+// whole-cluster restart. Warm-start parity holds because checkpoint + WAL
+// suffix reconstructs exactly the pre-restart state.
+func (s *clusterSystem) Load(string) error {
+	if s.cluster == nil {
+		return fmt.Errorf("ganc: cluster scenario system was never trained")
+	}
+	for i := 0; i < s.cluster.NumShards(); i++ {
+		if s.cluster.ShardVersion(i) > 0 {
+			if err := s.cluster.KillShard(i); err != nil {
+				return err
+			}
+		}
+		if _, err := s.cluster.RestartShard(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnableIngest implements simulate.System. The cluster's durability stack
+// (per-shard WAL + checkpoints) is wired at construction, so this only
+// validates the request: a cluster cannot run the shadow's pure in-memory
+// mode.
+func (s *clusterSystem) EnableIngest(logPath, checkpointPath string, every int) error {
+	if s.cluster == nil {
+		return fmt.Errorf("ganc: cannot enable ingestion before training")
+	}
+	if every != s.checkpointEvery {
+		return fmt.Errorf("ganc: cluster checkpoint cadence is fixed at construction (%d), cannot change to %d", s.checkpointEvery, every)
+	}
+	return nil
+}
+
+// Ingest implements simulate.System: apply a batch directly, partitioned by
+// the ring exactly as the router would partition it.
+func (s *clusterSystem) Ingest(ctx context.Context, events []IngestEvent) error {
+	if s.cluster == nil {
+		return fmt.Errorf("ganc: cluster scenario system is not ingesting")
+	}
+	perShard := make(map[int][]IngestEvent)
+	for _, ev := range events {
+		owner := s.cluster.OwnerShard(ev.User)
+		perShard[owner] = append(perShard[owner], ev)
+	}
+	for shard, evs := range perShard {
+		sh := s.cluster.shards[shard]
+		if sh.ing == nil {
+			return fmt.Errorf("ganc: shard %d is not ingesting (killed?)", shard)
+		}
+		if _, err := sh.ing.Apply(ctx, evs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover implements simulate.System. Load already replayed every shard's
+// write-ahead-log suffix, so there is nothing left to recover.
+func (s *clusterSystem) Recover() (int, error) { return 0, nil }
+
+// Kill implements simulate.System: crash every shard. Durable files survive
+// for Load; the cluster's listeners' addresses stay reserved for restarts.
+func (s *clusterSystem) Kill() error {
+	if s.cluster == nil {
+		return nil
+	}
+	var firstErr error
+	for i := 0; i < s.cluster.NumShards(); i++ {
+		if s.cluster.ShardVersion(i) == 0 {
+			continue
+		}
+		if err := s.cluster.KillShard(i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Fingerprint implements simulate.System: the union of every shard's
+// owned-user fingerprint — each user appears exactly once, under its owning
+// shard's state.
+func (s *clusterSystem) Fingerprint(ctx context.Context) ([]byte, error) {
+	if s.cluster == nil {
+		return nil, fmt.Errorf("ganc: cannot fingerprint an untrained cluster system")
+	}
+	var lines []string
+	for i := 0; i < s.cluster.NumShards(); i++ {
+		fp, err := s.ShardFingerprint(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		if len(fp) > 0 {
+			lines = append(lines, strings.Split(string(fp), "\n")...)
+		}
+	}
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, "\n")), nil
+}
+
+// NumShards implements simulate.ShardedSystem.
+func (s *clusterSystem) NumShards() int {
+	if s.cluster == nil {
+		return s.shards
+	}
+	return s.cluster.NumShards()
+}
+
+// ShardOwner implements simulate.ShardedSystem.
+func (s *clusterSystem) ShardOwner(userKey string) int { return s.cluster.OwnerShard(userKey) }
+
+// KillShard implements simulate.ShardedSystem.
+func (s *clusterSystem) KillShard(shard int) error { return s.cluster.KillShard(shard) }
+
+// RestartShard implements simulate.ShardedSystem.
+func (s *clusterSystem) RestartShard(shard int) (int, error) { return s.cluster.RestartShard(shard) }
+
+// ShardFingerprint implements simulate.ShardedSystem: the shard's current
+// state swept on a throwaway clone, restricted to the users the ring
+// assigns to it. The sweep deliberately covers the whole universe even
+// though only the owned users' lines survive: the OSLG batch sweep evolves
+// Dyn coverage state across users in order, so a subset sweep would produce
+// different lists than the single-node shadow's full sweep — the filter
+// must come after the sweep for the byte-identical parity contract to hold.
+func (s *clusterSystem) ShardFingerprint(ctx context.Context, shard int) ([]byte, error) {
+	sh, err := s.cluster.shardByIndex(shard)
+	if err != nil {
+		return nil, err
+	}
+	if sh.pipe == nil {
+		return nil, fmt.Errorf("ganc: cannot fingerprint dead shard %d", shard)
+	}
+	return fingerprintPipeline(ctx, sh.pipe, sh.ing, func(userKey string) bool {
+		return s.cluster.OwnerShard(userKey) == shard
+	})
+}

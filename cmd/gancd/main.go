@@ -1,0 +1,282 @@
+// Command gancd is the serving daemon: it runs one role of a (possibly
+// sharded) GANC serving deployment from warm-start snapshots. Training and
+// evaluation live in cmd/ganc; gancd only loads, splits and serves.
+//
+// Roles (-role):
+//
+//	standalone  serve one snapshot on one node (the cmd/ganc serve mode,
+//	            without the training machinery)
+//	split       shard-split a snapshot: write N shard-scoped snapshots
+//	            (shard id + hash-ring epoch in each) into -out
+//	shard       serve one shard snapshot; refuses snapshots whose identity
+//	            disagrees with the -shards/-shard-id/-epoch flags
+//	router      scatter-gather front over -peers: proxies /recommend, fans
+//	            /recommend/batch and /ingest out by user ownership, merges,
+//	            aggregates /info and /health, answers typed 503s for dead
+//	            shards
+//	cluster     the whole topology in one process (a demo/benchmark form):
+//	            split into a temp dir, boot every shard, serve the router
+//
+// A 3-shard deployment, one process per node:
+//
+//	ganc -preset ML-1M -arec Pop -save model.snap
+//	gancd -role split -load model.snap -shards 3 -out shards/
+//	gancd -role shard -load shards/shard-000.snap -serve :8081 &
+//	gancd -role shard -load shards/shard-001.snap -serve :8082 &
+//	gancd -role shard -load shards/shard-002.snap -serve :8083 &
+//	gancd -role router -peers :8081,:8082,:8083 -serve :8080
+//
+// The same topology in one process:
+//
+//	gancd -role cluster -load model.snap -shards 3 -serve :8080
+//
+// The router and the shard snapshots must agree on (epoch, shard count):
+// ownership is a pure function of that pair, so a mismatched deployment
+// would silently route users to shards that never ingested their events.
+// Shard servers embed their identity in /info and the router flags
+// mismatches there (see DESIGN.md §10 for the epoch rules).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ganc"
+)
+
+func main() {
+	role := flag.String("role", "standalone", "standalone | split | shard | router | cluster")
+	loadPath := flag.String("load", "", "snapshot to load (written by ganc -save, or a shard snapshot from -role split)")
+	serveAddr := flag.String("serve", "", "listen address (e.g. :8080)")
+	shards := flag.Int("shards", 3, "shard count (split, cluster; cross-checked in shard role)")
+	shardID := flag.Int("shard-id", -1, "expected shard id (shard role; -1 trusts the snapshot)")
+	peers := flag.String("peers", "", "comma-separated shard addresses in shard-id order (router role)")
+	epoch := flag.Uint64("epoch", 1, "hash-ring epoch (split, router, cluster; cross-checked in shard role)")
+	outDir := flag.String("out", "", "output directory for shard snapshots (split role)")
+	cache := flag.Int("cache", 0, "per-node LRU cache capacity (0 = serving default)")
+	ingestLog := flag.String("ingest-log", "", "write-ahead log path for POST /ingest (standalone and shard roles)")
+	checkpointInterval := flag.Int("checkpoint-interval", 0, "checkpoint the snapshot every this many ingested events (0 = never)")
+	retries := flag.Int("retries", 2, "router: bounded retries per shard call before the typed 503")
+	flag.Parse()
+
+	var err error
+	switch *role {
+	case "standalone":
+		err = runStandalone(*loadPath, *serveAddr, *cache, *ingestLog, *checkpointInterval)
+	case "split":
+		err = runSplit(*loadPath, *outDir, *shards, *epoch)
+	case "shard":
+		err = runShard(*loadPath, *serveAddr, *shards, *shardID, *epoch, *cache, *ingestLog, *checkpointInterval)
+	case "router":
+		err = runRouter(*peers, *serveAddr, *epoch, *retries)
+	case "cluster":
+		err = runCluster(*loadPath, *serveAddr, *shards, *epoch, *cache, *checkpointInterval)
+	default:
+		err = fmt.Errorf("unknown -role %q (standalone, split, shard, router, cluster)", *role)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gancd:", err)
+		os.Exit(1)
+	}
+}
+
+// loadSnapshot loads a snapshot with operator-grade error messages.
+func loadSnapshot(path string) (*ganc.Pipeline, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-load is required (train and snapshot with: ganc -arec Pop -save model.snap)")
+	}
+	p, err := ganc.LoadEngine(path)
+	switch {
+	case errors.Is(err, ganc.ErrSnapshotVersion):
+		return nil, fmt.Errorf("snapshot %s was written by an incompatible version of this tool: %w", path, err)
+	case errors.Is(err, ganc.ErrSnapshotBadMagic):
+		return nil, fmt.Errorf("%s is not a GANC snapshot: %w", path, err)
+	case errors.Is(err, ganc.ErrSnapshotCorrupt):
+		return nil, fmt.Errorf("snapshot %s is corrupt (truncated or bit-flipped): %w", path, err)
+	case err != nil:
+		return nil, err
+	}
+	return p, nil
+}
+
+// serveNode stands one serve.Server up around a pipeline (standalone and
+// shard roles share it) and blocks.
+func serveNode(p *ganc.Pipeline, addr string, cache int, shard *ganc.ShardIdentity,
+	ingestLog string, checkpointPath string, checkpointInterval int) error {
+	if addr == "" {
+		return fmt.Errorf("-serve is required for serving roles")
+	}
+	opts := []ganc.ServerOption{}
+	if cache > 0 {
+		opts = append(opts, ganc.WithServerCacheCapacity(cache))
+	}
+	if shard != nil {
+		opts = append(opts, ganc.WithServerShardIdentity(*shard))
+	}
+	srv, err := ganc.NewServer(p.Train(), p, p.TopN(), opts...)
+	if err != nil {
+		return err
+	}
+	ingOpts := []ganc.IngestorOption{}
+	if ingestLog != "" {
+		ingOpts = append(ingOpts, ganc.WithIngestLog(ingestLog))
+	}
+	if checkpointInterval > 0 {
+		ingOpts = append(ingOpts, ganc.WithIngestCheckpoint(checkpointPath, checkpointInterval))
+	}
+	endpoints := "GET /recommend?user=<id>, POST /recommend/batch, /info, /health"
+	ing, err := ganc.NewIngestor(srv, p, ingOpts...)
+	if err != nil {
+		return fmt.Errorf("enabling ingestion: %w", err)
+	}
+	if ingestLog != "" {
+		replayed, err := ing.Recover()
+		if err != nil {
+			return fmt.Errorf("replaying ingest log %s: %w", ingestLog, err)
+		}
+		if replayed > 0 {
+			fmt.Fprintf(os.Stderr, "replayed %d events from %s (resuming at seq %d)\n", replayed, ingestLog, ing.Seq())
+		}
+	}
+	endpoints += ", POST /ingest"
+	if shard != nil {
+		fmt.Fprintf(os.Stderr, "serving %s on %s as shard %d/%d epoch %d (%s)\n",
+			p.Name(), addr, shard.ShardID, shard.NumShards, shard.RingEpoch, endpoints)
+	} else {
+		fmt.Fprintf(os.Stderr, "serving %s on %s (%s)\n", p.Name(), addr, endpoints)
+	}
+	return http.ListenAndServe(addr, srv.Handler())
+}
+
+// runStandalone serves a plain snapshot on one node.
+func runStandalone(loadPath, addr string, cache int, ingestLog string, checkpointInterval int) error {
+	p, err := loadSnapshot(loadPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s from %s: %d users, %d items, %d ratings\n",
+		p.Name(), loadPath, p.Train().NumUsers(), p.Train().NumItems(), p.Train().NumRatings())
+	return serveNode(p, addr, cache, nil, ingestLog, loadPath, checkpointInterval)
+}
+
+// runSplit writes N shard-scoped snapshots of one plain snapshot.
+func runSplit(loadPath, outDir string, shards int, epoch uint64) error {
+	if outDir == "" {
+		return fmt.Errorf("-out directory is required for -role split")
+	}
+	if shards <= 0 {
+		return fmt.Errorf("-shards must be positive, got %d", shards)
+	}
+	p, err := loadSnapshot(loadPath)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < shards; i++ {
+		path := filepath.Join(outDir, fmt.Sprintf("shard-%03d.snap", i))
+		id := ganc.ShardIdentity{ShardID: i, NumShards: shards, RingEpoch: epoch}
+		if err := p.SaveShard(path, id); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (shard %d/%d, epoch %d)\n", path, i, shards, epoch)
+	}
+	fmt.Fprintf(os.Stderr, "serve each with: gancd -role shard -load %s/shard-NNN.snap -serve :PORT\n", outDir)
+	return nil
+}
+
+// runShard serves one shard snapshot, cross-checking its identity against
+// the flags when they are given.
+func runShard(loadPath, addr string, shards, shardID int, epoch uint64, cache int,
+	ingestLog string, checkpointInterval int) error {
+	if loadPath == "" {
+		return fmt.Errorf("-load is required (produce shard snapshots with -role split)")
+	}
+	p, id, err := ganc.LoadShardEngine(loadPath)
+	if err != nil {
+		return err
+	}
+	if shardID >= 0 && id.ShardID != shardID {
+		return fmt.Errorf("snapshot %s is shard %d, but -shard-id says %d", loadPath, id.ShardID, shardID)
+	}
+	if flagWasSet("shards") && id.NumShards != shards {
+		return fmt.Errorf("snapshot %s was cut for %d shards, but -shards says %d", loadPath, id.NumShards, shards)
+	}
+	if flagWasSet("epoch") && id.RingEpoch != epoch {
+		return fmt.Errorf("snapshot %s was cut for ring epoch %d, but -epoch says %d (re-split after membership changes)",
+			loadPath, id.RingEpoch, epoch)
+	}
+	return serveNode(p, addr, cache, &id, ingestLog, loadPath, checkpointInterval)
+}
+
+// runRouter fronts the peers with the scatter-gather router.
+func runRouter(peers, addr string, epoch uint64, retries int) error {
+	if addr == "" {
+		return fmt.Errorf("-serve is required for -role router")
+	}
+	infos, err := ganc.ParsePeers(peers)
+	if err != nil {
+		return fmt.Errorf("-peers: %w (expected \"host1:port,host2:port,…\" in shard-id order)", err)
+	}
+	ring, err := ganc.NewRing(epoch, infos)
+	if err != nil {
+		return err
+	}
+	rt, err := ganc.NewRouter(ganc.RouterConfig{Ring: ring, Retries: retries})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "routing over %d shards (epoch %d) on %s: %s\n",
+		ring.NumShards(), epoch, addr, peers)
+	return http.ListenAndServe(addr, rt.Handler())
+}
+
+// runCluster boots the whole sharded topology in one process.
+func runCluster(loadPath, addr string, shards int, epoch uint64, cache, checkpointInterval int) error {
+	if addr == "" {
+		return fmt.Errorf("-serve is required for -role cluster")
+	}
+	p, err := loadSnapshot(loadPath)
+	if err != nil {
+		return err
+	}
+	opts := []ganc.ClusterOption{
+		ganc.WithShards(shards),
+		ganc.WithRouterAddr(addr),
+		ganc.WithClusterEpoch(epoch),
+		ganc.WithClusterCheckpointEvery(checkpointInterval),
+	}
+	if cache > 0 {
+		opts = append(opts, ganc.WithShardCacheCapacity(cache))
+	}
+	c, err := ganc.NewCluster(p, opts...)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	shardAddrs := make([]string, c.NumShards())
+	for i := range shardAddrs {
+		shardAddrs[i] = c.ShardAddr(i)
+	}
+	fmt.Fprintf(os.Stderr, "cluster up: router on %s, %d shards on %s (dir %s)\n",
+		c.RouterAddr(), c.NumShards(), strings.Join(shardAddrs, ", "), c.Dir())
+	select {} // serve until killed
+}
+
+// flagWasSet reports whether the named flag was given explicitly (so the
+// shard role only cross-checks identities the operator asserted).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

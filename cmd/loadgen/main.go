@@ -10,6 +10,14 @@
 // match the dataset the target was trained on, because request user keys are
 // derived from the generated universe.
 //
+// With -cluster N it instead benchmarks the sharded serving tier: the same
+// universe and load are driven against a single node and an N-shard cluster
+// behind the scatter-gather router, both with the identical per-node cache
+// budget (-node-cache) and an unmeasured warm-up pass first, and the
+// comparison lands in BENCH_cluster.json. On one machine the cluster's win
+// is aggregate cache capacity (N× the working set), so the measured speedup
+// is a conservative floor for multi-host deployments — see DESIGN.md §10.
+//
 // Examples:
 //
 //	# The standard benchmark: a 100k-user universe, read-heavy mix.
@@ -21,6 +29,9 @@
 //	# Drive an already running server.
 //	ganc -preset ML-100K -arec Pop -serve :8080 &
 //	loadgen -url http://127.0.0.1:8080 -users 943 ...
+//
+//	# 3-shard cluster vs single node on the standard universe.
+//	loadgen -cluster 3 -arec RSVD -requests 20000 -mix-ingest 0
 package main
 
 import (
@@ -33,6 +44,7 @@ import (
 	"time"
 
 	"ganc"
+	"ganc/internal/simtest"
 )
 
 func main() {
@@ -54,35 +66,53 @@ func main() {
 	batchSize := flag.Int("batch", 20, "users per batch request")
 	ingestBatch := flag.Int("ingest-batch", 20, "events per ingest request")
 	reqZipf := flag.Float64("request-zipf", 1.0, "request-popularity skew across users")
-	out := flag.String("out", "BENCH_serve.json", "output report path")
+	out := flag.String("out", "", "output report path (default BENCH_serve.json, or BENCH_cluster.json in -cluster mode)")
+	clusterShards := flag.Int("cluster", 0, "compare an N-shard cluster against a single node and write BENCH_cluster.json (0 = plain single-target mode)")
+	nodeCache := flag.Int("node-cache", 8192, "cluster mode: per-node LRU budget shared by the single node and every shard")
+	warmup := flag.Int("warmup", -1, "cluster mode: unmeasured warm-up requests before each measured run (-1 = same as -requests)")
 	flag.Parse()
 
-	if err := run(universeConfig(*users, *items, *ratings, *zipf, *seed),
-		*arec, *theta, *topN, *cache, *url, *out,
-		ganc.LoadConfig{
-			Requests:        *requests,
-			Concurrency:     *concurrency,
-			Mix:             ganc.LoadMix{Recommend: *mixRecommend, Batch: *mixBatch, Ingest: *mixIngest},
-			BatchSize:       *batchSize,
-			IngestBatchSize: *ingestBatch,
-			RequestZipf:     *reqZipf,
-			Seed:            *seed,
-		}); err != nil {
+	load := ganc.LoadConfig{
+		Requests:        *requests,
+		Concurrency:     *concurrency,
+		Mix:             ganc.LoadMix{Recommend: *mixRecommend, Batch: *mixBatch, Ingest: *mixIngest},
+		BatchSize:       *batchSize,
+		IngestBatchSize: *ingestBatch,
+		RequestZipf:     *reqZipf,
+		Seed:            *seed,
+	}
+	var err error
+	if *clusterShards > 0 {
+		if *url != "" {
+			err = fmt.Errorf("-cluster and -url are mutually exclusive: the comparison self-hosts both targets")
+		} else {
+			err = runCluster(universeConfig(*users, *items, *ratings, *zipf, *seed),
+				*arec, *theta, *topN, *clusterShards, *nodeCache, *warmup,
+				defaultOut(*out, "BENCH_cluster.json"), load)
+		}
+	} else {
+		err = run(universeConfig(*users, *items, *ratings, *zipf, *seed),
+			*arec, *theta, *topN, *cache, *url, defaultOut(*out, "BENCH_serve.json"), load)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-// universeConfig maps the flags onto a universe description.
-func universeConfig(users, items, ratings int, zipf float64, seed int64) ganc.UniverseConfig {
-	return ganc.UniverseConfig{
-		Name:         "loadgen",
-		Users:        users,
-		Items:        items,
-		Ratings:      ratings,
-		ZipfExponent: zipf,
-		Seed:         seed,
+// defaultOut resolves the output path for the selected mode.
+func defaultOut(out, def string) string {
+	if out == "" {
+		return def
 	}
+	return out
+}
+
+// universeConfig maps the flags onto the shared universe fixture
+// (internal/simtest), so the benchmark's universe shape and the test
+// suites' stay defined in one place.
+func universeConfig(users, items, ratings int, zipf float64, seed int64) ganc.UniverseConfig {
+	return simtest.Config(users, items, ratings, zipf, seed)
 }
 
 // run generates the universe, resolves (or stands up) the target server,
@@ -144,9 +174,8 @@ func run(ucfg ganc.UniverseConfig, arec, theta string, topN, cache int, url, out
 	return nil
 }
 
-// selfHost trains a pipeline on the universe and serves it (with in-memory
-// streaming ingestion) on a loopback listener.
-func selfHost(u *ganc.Universe, arec, theta string, topN, cache int) (addr string, shutdown func(), err error) {
+// trainPipeline builds the pipeline under test.
+func trainPipeline(u *ganc.Universe, arec, theta string, topN int) (*ganc.Pipeline, error) {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "training %s pipeline ...\n", arec)
 	p, err := ganc.NewPipeline(u.Train(),
@@ -154,8 +183,15 @@ func selfHost(u *ganc.Universe, arec, theta string, topN, cache int) (addr strin
 		ganc.WithPreferences(ganc.ParsePreferenceModel(theta)),
 		ganc.WithTopN(topN))
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
+	fmt.Fprintf(os.Stderr, "trained %s in %.1fs\n", p.Name(), time.Since(start).Seconds())
+	return p, nil
+}
+
+// servePipeline serves an already trained pipeline (with in-memory
+// streaming ingestion) on a loopback listener.
+func servePipeline(u *ganc.Universe, p *ganc.Pipeline, topN, cache int) (addr string, shutdown func(), err error) {
 	opts := []ganc.ServerOption{}
 	if cache > 0 {
 		opts = append(opts, ganc.WithServerCacheCapacity(cache))
@@ -173,9 +209,130 @@ func selfHost(u *ganc.Universe, arec, theta string, topN, cache int) (addr strin
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
-	fmt.Fprintf(os.Stderr, "serving %s on %s (trained in %.1fs)\n",
-		p.Name(), ln.Addr(), time.Since(start).Seconds())
+	fmt.Fprintf(os.Stderr, "serving %s on %s\n", p.Name(), ln.Addr())
 	return ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+// selfHost trains a pipeline on the universe and serves it on a loopback
+// listener (the plain single-target mode).
+func selfHost(u *ganc.Universe, arec, theta string, topN, cache int) (addr string, shutdown func(), err error) {
+	p, err := trainPipeline(u, arec, theta, topN)
+	if err != nil {
+		return "", nil, err
+	}
+	return servePipeline(u, p, topN, cache)
+}
+
+// runCluster measures the same universe and load against a single node and
+// an N-shard cluster (identical per-node cache budgets), and writes the
+// comparison as BENCH_cluster.json. Each target gets an unmeasured warm-up
+// pass of the same seeded request sequence first, so the measurement
+// captures steady-state serving: the regime where the cluster's aggregate
+// cache (N × node budget) holds the working set a single node's budget
+// cannot.
+func runCluster(ucfg ganc.UniverseConfig, arec, theta string, topN, shards, nodeCache, warmup int, out string, load ganc.LoadConfig) error {
+	if nodeCache <= 0 {
+		return fmt.Errorf("-node-cache must be positive in cluster mode (it is the per-node budget under comparison)")
+	}
+	if warmup < 0 {
+		warmup = load.Requests
+	}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "generating universe: %d users × %d items, %d ratings ...\n",
+		ucfg.Users, ucfg.Items, ucfg.Ratings)
+	u, err := ganc.NewUniverse(ucfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "universe ready in %.1fs\n", time.Since(start).Seconds())
+	p, err := trainPipeline(u, arec, theta, topN)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	measure := func(label, url string) (*ganc.LoadResult, error) {
+		if warmup > 0 {
+			wcfg := load
+			wcfg.BaseURL = url
+			wcfg.Requests = warmup
+			fmt.Fprintf(os.Stderr, "%s: warming with %d requests ...\n", label, warmup)
+			if _, err := ganc.RunLoad(ctx, u, wcfg); err != nil {
+				return nil, fmt.Errorf("%s warm-up: %w", label, err)
+			}
+		}
+		mcfg := load
+		mcfg.BaseURL = url
+		fmt.Fprintf(os.Stderr, "%s: driving %d requests × %d workers ...\n", label, mcfg.Requests, mcfg.Concurrency)
+		res, err := ganc.RunLoad(ctx, u, mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s measurement: %w", label, err)
+		}
+		printSummary(res)
+		return res, nil
+	}
+
+	// Single node, bounded to the per-node cache budget.
+	addr, shutdown, err := servePipeline(u, p, topN, nodeCache)
+	if err != nil {
+		return err
+	}
+	single, err := measure("single-node", "http://"+addr)
+	shutdown()
+	if err != nil {
+		return err
+	}
+
+	// The cluster: same pipeline shard-split via the snapshot format, same
+	// per-node budget on every shard, the scatter-gather router in front.
+	fmt.Fprintf(os.Stderr, "shard-splitting into %d shards ...\n", shards)
+	c, err := ganc.NewCluster(p,
+		ganc.WithShards(shards),
+		ganc.WithShardCacheCapacity(nodeCache))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.WaitReady(30 * time.Second); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: c.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	clusterRes, err := measure(fmt.Sprintf("%d-shard cluster", shards), "http://"+ln.Addr().String())
+	if err != nil {
+		return err
+	}
+
+	speedup := 0.0
+	if single.ThroughputRPS > 0 {
+		speedup = clusterRes.ThroughputRPS / single.ThroughputRPS
+	}
+	rep := &ganc.ClusterBenchReport{
+		Universe:          u.Config(),
+		Engine:            clusterRes.Model,
+		TopN:              clusterRes.TopN,
+		Shards:            shards,
+		NodeCacheCapacity: nodeCache,
+		WarmupRequests:    warmup,
+		Load:              load,
+		SingleNode:        single,
+		Cluster:           clusterRes,
+		Speedup:           speedup,
+	}
+	if err := ganc.WriteClusterBenchReport(out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: single %.0f req/s vs %d-shard %.0f req/s → %.2fx\n",
+		out, single.ThroughputRPS, shards, clusterRes.ThroughputRPS, speedup)
+	if single.Errors > 0 || clusterRes.Errors > 0 {
+		return fmt.Errorf("server-side errors during the comparison (single %d, cluster %d)", single.Errors, clusterRes.Errors)
+	}
+	return nil
 }
 
 // printSummary reports the headline numbers on stderr.

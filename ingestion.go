@@ -198,5 +198,6 @@ func (p *Pipeline) pipelineFromState(kind, covName string, s *ingest.State) (*Pi
 		ingestSeq:       s.AppliedSeq,
 		ingestPrefFill:  s.PrefFill,
 		ingestAvgLambda: s.AvgLambda,
+		shard:           p.shard,
 	}, nil
 }

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// BenchmarkRouterOverhead measures the price of the extra scatter-gather hop
+// on the single-user read path: the same GET /recommend issued directly
+// against a shard server versus through the router fronting it. The delta is
+// the router's per-request cost (owner lookup, proxy call, passthrough) —
+// the overhead every cache hit pays in a cluster, which DESIGN.md §10 weighs
+// against the aggregate-cache win.
+func BenchmarkRouterOverhead(b *testing.B) {
+	rt, shards := clusterFixture(b, 1)
+	routerTS := routerServer(b, rt)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+
+	get := func(b *testing.B, url string) {
+		b.Helper()
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d from %s", resp.StatusCode, url)
+		}
+	}
+
+	users := make([]string, 16)
+	for k := range users {
+		users[k] = fmt.Sprintf("user-%d", k)
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			get(b, shards[0].ts.URL+"/recommend?user="+users[n%len(users)])
+		}
+	})
+	b.Run("routed", func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			get(b, routerTS.URL+"/recommend?user="+users[n%len(users)])
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ganc/internal/serve"
+)
+
+// allowedDecodeError reports whether a DecodeRing failure is one of the
+// typed sentinels — the only failures the wire parser may produce.
+func allowedDecodeError(err error) bool {
+	return errors.Is(err, ErrRingMagic) || errors.Is(err, ErrRingVersion) ||
+		errors.Is(err, ErrRingCorrupt) || errors.Is(err, ErrBadRing)
+}
+
+// FuzzRingDecode throws arbitrary bytes at the shard-map wire parser. The
+// contract: never panic, fail only with the typed sentinels, and any map
+// that does parse must route every user key to exactly one in-range shard,
+// deterministically, with ownership surviving a re-encode round trip.
+func FuzzRingDecode(f *testing.F) {
+	good, err := NewRing(3, 16, []ShardInfo{{ID: 0, Addr: "h1:1"}, {ID: 7, Addr: "h2:2"}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Encode())
+	f.Add([]byte(RingMagic))
+	f.Add([]byte("GANCRINGgarbage"))
+	f.Add([]byte{})
+	mutated := good.Encode()
+	mutated[len(mutated)/2] ^= 0x40
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRing(data)
+		if err != nil {
+			if !allowedDecodeError(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		users := []string{"", "alice", string(data), "user-42", "\x00\xff"}
+		for _, u := range users {
+			owner := r.Owner(u)
+			if owner < 0 || owner >= r.NumShards() {
+				t.Fatalf("user %q routed to out-of-range shard %d of %d", u, owner, r.NumShards())
+			}
+			if again := r.Owner(u); again != owner {
+				t.Fatalf("user %q routed to %d then %d", u, owner, again)
+			}
+		}
+		back, err := DecodeRing(r.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded ring does not decode: %v", err)
+		}
+		for _, u := range users {
+			if back.Owner(u) != r.Owner(u) {
+				t.Fatalf("ownership of %q changed across re-encode", u)
+			}
+		}
+	})
+}
+
+// FuzzPeerListRouting feeds hostile peer lists and user keys to the
+// cmd-line parsing and routing pipeline: ParsePeers must fail typed or
+// yield a ring on which every user key routes to exactly one shard, and —
+// with an arbitrary live subset — OwnerAmong lands on a live shard whenever
+// one exists.
+func FuzzPeerListRouting(f *testing.F) {
+	f.Add("h1:8081,h2:8082,h3:8083", "alice", uint8(0b101))
+	f.Add("", "u", uint8(0))
+	f.Add(",,,", "u", uint8(1))
+	f.Add("a,a", "u", uint8(3))
+	f.Add(strings.Repeat("x", 300), "u", uint8(7))
+
+	f.Fuzz(func(t *testing.T, list, user string, liveMask uint8) {
+		shards, err := ParsePeers(list)
+		if err != nil {
+			if !errors.Is(err, ErrBadPeers) {
+				t.Fatalf("untyped peer-list error: %v", err)
+			}
+			return
+		}
+		r, err := NewRing(1, 0, shards)
+		if err != nil {
+			t.Fatalf("parsed peers do not build a ring: %v", err)
+		}
+		owner := r.Owner(user)
+		if owner < 0 || owner >= r.NumShards() {
+			t.Fatalf("user %q routed to out-of-range shard %d", user, owner)
+		}
+		if again := r.Owner(user); again != owner {
+			t.Fatalf("routing of %q is not deterministic", user)
+		}
+		alive := func(s int) bool { return liveMask&(1<<(s%8)) != 0 }
+		anyAlive := false
+		for s := 0; s < r.NumShards(); s++ {
+			if alive(s) {
+				anyAlive = true
+				break
+			}
+		}
+		got := r.OwnerAmong(user, alive)
+		switch {
+		case !anyAlive && got != -1:
+			t.Fatalf("no live shards but OwnerAmong returned %d", got)
+		case anyAlive && (got < 0 || got >= r.NumShards() || !alive(got)):
+			t.Fatalf("OwnerAmong returned %d, which is not a live shard", got)
+		case anyAlive && alive(owner) && got != owner:
+			t.Fatalf("owner %d is alive but OwnerAmong chose %d", owner, got)
+		}
+	})
+}
+
+// FuzzRouterHostileShardResponse stands a fake shard that answers every
+// request with attacker-controlled status and body, and drives every router
+// route through it. The router must never panic and must answer each client
+// with a bounded, well-formed status: a passthrough, a 4xx of its own, or a
+// typed 503.
+func FuzzRouterHostileShardResponse(f *testing.F) {
+	f.Add(200, []byte("{}"))
+	f.Add(200, []byte("\x00\xff not json"))
+	f.Add(200, []byte(`{"results":[{"user":"u"}],"model":"m","version":1}`))
+	f.Add(500, []byte("boom"))
+	f.Add(404, []byte(`{"error":"nope"}`))
+	f.Add(200, []byte(`{"results":[],"version":-9}`))
+
+	f.Fuzz(func(t *testing.T, status int, body []byte) {
+		if status < 100 || status > 999 {
+			status = 200 + (((status % 500) + 500) % 500)
+		}
+		shard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(status)
+			_, _ = w.Write(body)
+		}))
+		defer shard.Close()
+		ring, err := NewRing(1, 0, []ShardInfo{{ID: 0, Addr: strings.TrimPrefix(shard.URL, "http://")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := NewRouter(RouterConfig{Ring: ring, Retries: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(rt.Handler())
+		defer ts.Close()
+
+		check := func(route string, resp *http.Response, err error) {
+			if err != nil {
+				t.Fatalf("%s: transport error through router: %v", route, err)
+			}
+			defer resp.Body.Close()
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				t.Fatalf("%s: reading router answer: %v", route, err)
+			}
+			if resp.StatusCode < 200 || resp.StatusCode > 599 {
+				t.Fatalf("%s: router produced status %d", route, resp.StatusCode)
+			}
+		}
+
+		resp, err := http.Get(ts.URL + "/recommend?user=u")
+		check("/recommend", resp, err)
+		batch, _ := json.Marshal(serve.BatchRequest{Users: []string{"u", "v"}})
+		resp, err = http.Post(ts.URL+"/recommend/batch", "application/json", bytes.NewReader(batch))
+		check("/recommend/batch", resp, err)
+		ing, _ := json.Marshal(serve.IngestRequest{Events: []serve.IngestEvent{{User: "u", Item: "i", Value: 1}}})
+		resp, err = http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(ing))
+		check("/ingest", resp, err)
+		resp, err = http.Get(ts.URL + "/info")
+		check("/info", resp, err)
+		resp, err = http.Get(ts.URL + "/health")
+		check("/health", resp, err)
+		resp, err = http.Get(ts.URL + "/users")
+		check("/users", resp, err)
+	})
+}
+
+// FuzzRingOwnershipPartition drives the partition property the scatter
+// paths rely on directly: for any shard count and any two user keys, owners
+// are in range, equal keys share an owner, and the partition of a batch by
+// owner covers each key exactly once.
+func FuzzRingOwnershipPartition(f *testing.F) {
+	f.Add(uint8(3), "alice", "bob")
+	f.Add(uint8(1), "", "x")
+	f.Add(uint8(16), "sim-user-7-0000001", "sim-user-7-0000002")
+
+	f.Fuzz(func(t *testing.T, n uint8, a, b string) {
+		shardCount := int(n)%16 + 1
+		r, err := NewUniformRing(1, shardCount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		users := []string{a, b, a + b, fmt.Sprintf("%s|%s", a, b)}
+		seen := make(map[string]int)
+		for _, u := range users {
+			owner := r.Owner(u)
+			if owner < 0 || owner >= shardCount {
+				t.Fatalf("user %q routed to shard %d of %d", u, owner, shardCount)
+			}
+			if prev, ok := seen[u]; ok && prev != owner {
+				t.Fatalf("user %q owned by both shard %d and shard %d", u, prev, owner)
+			}
+			seen[u] = owner
+		}
+	})
+}

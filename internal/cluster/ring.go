@@ -1,0 +1,361 @@
+// Package cluster implements the sharded serving tier: a consistent-hash
+// user-sharding layer and an HTTP scatter-gather router that fronts N shard
+// servers (each an ordinary internal/serve server bootstrapped from a
+// shard-scoped snapshot).
+//
+// The unit of partitioning is the user: the paper's GANC framework computes
+// every recommendation list from one user's profile against shared item-level
+// statistics, so user-partitioned serving needs no cross-shard coordination
+// on the read path. The Ring assigns every external user key to exactly one
+// shard via a consistent-hash ring with virtual nodes; the Router proxies
+// GET /recommend to the owning shard, fans POST /recommend/batch and
+// POST /ingest out across owning shards and merges the answers, and
+// aggregates /info and /health across the whole cluster.
+//
+// Hashing is by shard ID only — never by address — so the same (epoch,
+// replicas, shard count) triple yields the byte-identical ring everywhere:
+// the process that shard-splits a snapshot, every shard and the router all
+// agree on ownership without talking to each other. The epoch number
+// versions that agreement: any membership change (shard count, replicas)
+// must bump the epoch, and mixing epochs in one cluster is a deployment
+// error the router surfaces through /info (see DESIGN.md §10).
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Ring limits guarding against nonsense in corrupt or hostile shard maps.
+const (
+	maxShards   = 1 << 10
+	maxReplicas = 1 << 10
+	maxAddrLen  = 1 << 8
+)
+
+// DefaultReplicas is the virtual-node count per shard when a Ring is built
+// without an explicit override. 256 vnodes put the per-shard share's
+// coefficient of variation around 6%, keeping the worst shard within ~20%
+// of fair even on unlucky draws.
+const DefaultReplicas = 256
+
+// Sentinel errors for ring construction and wire-format parsing, matchable
+// with errors.Is.
+var (
+	// ErrRingMagic marks bytes that are not a GANC shard map at all.
+	ErrRingMagic = errors.New("cluster: not a GANC shard map (bad magic)")
+	// ErrRingVersion marks a shard map written by an incompatible format
+	// version.
+	ErrRingVersion = errors.New("cluster: unsupported shard-map format version")
+	// ErrRingCorrupt marks a shard map whose structure or checksum does not
+	// hold.
+	ErrRingCorrupt = errors.New("cluster: corrupt shard map")
+	// ErrBadRing marks an invalid ring description (no shards, duplicate
+	// shard IDs, out-of-range replica counts).
+	ErrBadRing = errors.New("cluster: invalid ring")
+	// ErrBadPeers marks a malformed peer list.
+	ErrBadPeers = errors.New("cluster: invalid peer list")
+)
+
+// RingMagic identifies the shard-map wire format. It never changes; the
+// format version after it gates layout evolution.
+const RingMagic = "GANCRING"
+
+// ringFormatVersion is the wire-format version this build reads and writes.
+const ringFormatVersion = 1
+
+// ShardInfo describes one shard: its stable identifier (the hashing key) and
+// the address its HTTP server answers on. The address is routing metadata
+// only — it never enters the hash, so shards can move between hosts without
+// changing ownership.
+type ShardInfo struct {
+	// ID is the shard's stable identifier within the ring.
+	ID int `json:"id"`
+	// Addr is the shard server's host:port (empty for in-process rings that
+	// are resolved by index instead of address).
+	Addr string `json:"addr"`
+}
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash  uint64
+	shard int // index into shards, not shard ID
+}
+
+// Ring is an immutable consistent-hash ring over a fixed shard set. Safe for
+// concurrent use.
+type Ring struct {
+	epoch    uint64
+	replicas int
+	shards   []ShardInfo
+	points   []ringPoint
+}
+
+// NewRing builds a ring over the given shards. replicas ≤ 0 selects
+// DefaultReplicas. Shard IDs must be unique, non-negative and fit the wire
+// format; the shard order is preserved for index-based lookups.
+func NewRing(epoch uint64, replicas int, shards []ShardInfo) (*Ring, error) {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("%w: no shards", ErrBadRing)
+	}
+	if len(shards) > maxShards {
+		return nil, fmt.Errorf("%w: %d shards exceeds the limit of %d", ErrBadRing, len(shards), maxShards)
+	}
+	if replicas > maxReplicas {
+		return nil, fmt.Errorf("%w: %d replicas exceeds the limit of %d", ErrBadRing, replicas, maxReplicas)
+	}
+	seen := make(map[int]struct{}, len(shards))
+	for _, s := range shards {
+		if s.ID < 0 || uint64(s.ID) > uint64(^uint32(0)) {
+			return nil, fmt.Errorf("%w: shard ID %d out of range", ErrBadRing, s.ID)
+		}
+		if len(s.Addr) > maxAddrLen {
+			return nil, fmt.Errorf("%w: shard %d address exceeds %d bytes", ErrBadRing, s.ID, maxAddrLen)
+		}
+		if _, dup := seen[s.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate shard ID %d", ErrBadRing, s.ID)
+		}
+		seen[s.ID] = struct{}{}
+	}
+	r := &Ring{
+		epoch:    epoch,
+		replicas: replicas,
+		shards:   append([]ShardInfo(nil), shards...),
+		points:   make([]ringPoint, 0, replicas*len(shards)),
+	}
+	var vnode [20]byte
+	for idx, s := range r.shards {
+		binary.BigEndian.PutUint64(vnode[4:], uint64(s.ID))
+		for rep := 0; rep < replicas; rep++ {
+			copy(vnode[:4], "vn|")
+			binary.BigEndian.PutUint64(vnode[12:], uint64(rep))
+			r.points = append(r.points, ringPoint{hash: hashBytes(vnode[:]), shard: idx})
+		}
+	}
+	// Ties between vnodes of different shards are broken by shard ID so the
+	// ring is a pure function of (epoch, replicas, shard IDs).
+	sort.Slice(r.points, func(a, b int) bool {
+		pa, pb := r.points[a], r.points[b]
+		if pa.hash != pb.hash {
+			return pa.hash < pb.hash
+		}
+		return r.shards[pa.shard].ID < r.shards[pb.shard].ID
+	})
+	return r, nil
+}
+
+// NewUniformRing builds the standard ring over shards 0..n-1 with empty
+// addresses and DefaultReplicas — the form used to shard-split snapshots,
+// where ownership matters but addresses are not known yet.
+func NewUniformRing(epoch uint64, n int) (*Ring, error) {
+	shards := make([]ShardInfo, n)
+	for i := range shards {
+		shards[i] = ShardInfo{ID: i}
+	}
+	return NewRing(epoch, 0, shards)
+}
+
+// hashBytes is the ring's hash function: FNV-1a 64 with a splitmix64
+// avalanche finalizer. Plain FNV-1a clusters badly on vnode inputs that
+// differ only in a trailing counter byte; the finalizer restores full-width
+// dispersion. Both stages are fixed arithmetic, so the hash is stable across
+// processes and platforms — which the cross-process ownership agreement
+// depends on.
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return mix64(h.Sum64())
+}
+
+// hashKey hashes an external user key onto the ring.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer (Steele et al.), a fixed bijective
+// avalanche over uint64.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e9b5
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Epoch returns the ring's membership epoch.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// Replicas returns the virtual-node count per shard.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// NumShards returns the shard count.
+func (r *Ring) NumShards() int { return len(r.shards) }
+
+// Shards returns a copy of the shard descriptors in ring order.
+func (r *Ring) Shards() []ShardInfo {
+	out := make([]ShardInfo, len(r.shards))
+	copy(out, r.shards)
+	return out
+}
+
+// Shard returns the descriptor at index i (ring order, not shard ID).
+func (r *Ring) Shard(i int) ShardInfo { return r.shards[i] }
+
+// ownerIndex finds the ring point owning a hash: the first point clockwise
+// from the hash, wrapping at the top.
+func (r *Ring) ownerIndex(h uint64) int {
+	k := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if k == len(r.points) {
+		k = 0
+	}
+	return k
+}
+
+// Owner returns the index (into Shards) of the shard owning the user key.
+// Every key maps to exactly one shard, deterministically.
+func (r *Ring) Owner(userKey string) int {
+	return r.points[r.ownerIndex(hashKey(userKey))].shard
+}
+
+// OwnerAmong returns the owning shard index restricted to shards for which
+// alive reports true, walking clockwise past dead owners — the failover
+// ownership rule for state-free decisions (health summaries, rebalancing
+// previews). State-bearing routes must use Owner: a user's profile lives
+// only on its true owner. Returns -1 when no shard is alive.
+func (r *Ring) OwnerAmong(userKey string, alive func(shard int) bool) int {
+	start := r.ownerIndex(hashKey(userKey))
+	for k := 0; k < len(r.points); k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if alive(p.shard) {
+			return p.shard
+		}
+	}
+	return -1
+}
+
+// --- Wire format ---------------------------------------------------------------
+//
+//	offset  size  field
+//	0       8     magic "GANCRING"
+//	8       4     format version (uint32, big endian)
+//	12      8     epoch (uint64)
+//	20      4     replicas (uint32)
+//	24      4     shard count (uint32)
+//	28      …     per shard: 4  shard ID (uint32)
+//	              2  address length (uint16)
+//	              …  address (UTF-8)
+//	…       4     CRC-32 (IEEE) of every preceding byte
+
+// Encode serializes the ring's shard map in the wire format documented
+// above.
+func (r *Ring) Encode() []byte {
+	n := 28
+	for _, s := range r.shards {
+		n += 6 + len(s.Addr)
+	}
+	buf := make([]byte, 0, n+4)
+	buf = append(buf, RingMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, ringFormatVersion)
+	buf = binary.BigEndian.AppendUint64(buf, r.epoch)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.replicas))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.shards)))
+	for _, s := range r.shards {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.ID))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(s.Addr)))
+		buf = append(buf, s.Addr...)
+	}
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeRing parses a shard map from the wire format and rebuilds the ring.
+// Malformed input fails with an error wrapping ErrRingMagic, ErrRingVersion,
+// ErrRingCorrupt or ErrBadRing — never a panic — so hostile bytes cannot
+// take a router down.
+func DecodeRing(data []byte) (*Ring, error) {
+	if len(data) < len(RingMagic) {
+		return nil, fmt.Errorf("%w: %d bytes is too short for the magic", ErrRingCorrupt, len(data))
+	}
+	if string(data[:len(RingMagic)]) != RingMagic {
+		return nil, ErrRingMagic
+	}
+	if len(data) < 32 {
+		return nil, fmt.Errorf("%w: %d bytes is too short for the header", ErrRingCorrupt, len(data))
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: shard map fails its checksum", ErrRingCorrupt)
+	}
+	if v := binary.BigEndian.Uint32(body[8:]); v != ringFormatVersion {
+		return nil, fmt.Errorf("%w: shard map has version %d, this build reads version %d",
+			ErrRingVersion, v, ringFormatVersion)
+	}
+	epoch := binary.BigEndian.Uint64(body[12:])
+	replicas := binary.BigEndian.Uint32(body[20:])
+	count := binary.BigEndian.Uint32(body[24:])
+	if replicas == 0 || replicas > maxReplicas {
+		return nil, fmt.Errorf("%w: replica count %d out of range", ErrRingCorrupt, replicas)
+	}
+	if count == 0 || count > maxShards {
+		return nil, fmt.Errorf("%w: shard count %d out of range", ErrRingCorrupt, count)
+	}
+	shards := make([]ShardInfo, 0, count)
+	rest := body[28:]
+	for k := uint32(0); k < count; k++ {
+		if len(rest) < 6 {
+			return nil, fmt.Errorf("%w: shard table truncated at entry %d", ErrRingCorrupt, k)
+		}
+		id := binary.BigEndian.Uint32(rest)
+		addrLen := int(binary.BigEndian.Uint16(rest[4:]))
+		rest = rest[6:]
+		if addrLen > maxAddrLen {
+			return nil, fmt.Errorf("%w: shard %d address length %d out of range", ErrRingCorrupt, id, addrLen)
+		}
+		if len(rest) < addrLen {
+			return nil, fmt.Errorf("%w: shard %d address truncated", ErrRingCorrupt, id)
+		}
+		shards = append(shards, ShardInfo{ID: int(id), Addr: string(rest[:addrLen])})
+		rest = rest[addrLen:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the shard table", ErrRingCorrupt, len(rest))
+	}
+	return NewRing(epoch, int(replicas), shards)
+}
+
+// ParsePeers turns a comma-separated address list ("h1:8081,h2:8082") into
+// shard descriptors with IDs assigned by position — the cmd-line form of a
+// shard map. Empty entries and duplicate addresses fail with ErrBadPeers.
+func ParsePeers(list string) ([]ShardInfo, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, fmt.Errorf("%w: empty list", ErrBadPeers)
+	}
+	parts := strings.Split(list, ",")
+	shards := make([]ShardInfo, 0, len(parts))
+	seen := make(map[string]struct{}, len(parts))
+	for k, part := range parts {
+		addr := strings.TrimSpace(part)
+		if addr == "" {
+			return nil, fmt.Errorf("%w: entry %d is empty", ErrBadPeers, k)
+		}
+		if len(addr) > maxAddrLen {
+			return nil, fmt.Errorf("%w: entry %d exceeds %d bytes", ErrBadPeers, k, maxAddrLen)
+		}
+		if _, dup := seen[addr]; dup {
+			return nil, fmt.Errorf("%w: duplicate address %q", ErrBadPeers, addr)
+		}
+		seen[addr] = struct{}{}
+		shards = append(shards, ShardInfo{ID: k, Addr: addr})
+	}
+	return shards, nil
+}

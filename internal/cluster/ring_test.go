@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// testRing builds a 3-shard ring with loopback-style addresses.
+func testRing(t *testing.T) *Ring {
+	t.Helper()
+	r, err := NewRing(1, 0, []ShardInfo{
+		{ID: 0, Addr: "127.0.0.1:9000"},
+		{ID: 1, Addr: "127.0.0.1:9001"},
+		{ID: 2, Addr: "127.0.0.1:9002"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRingOwnershipDeterministicAndBalanced pins the two properties routing
+// correctness rests on: the same key always maps to the same shard (across
+// independently built rings), and the key space is spread over all shards
+// within consistent-hash tolerance.
+func TestRingOwnershipDeterministicAndBalanced(t *testing.T) {
+	a, b := testRing(t), testRing(t)
+	counts := make([]int, a.NumShards())
+	const keys = 30000
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("user-%d", k)
+		owner := a.Owner(key)
+		if owner < 0 || owner >= a.NumShards() {
+			t.Fatalf("key %q routed to out-of-range shard %d", key, owner)
+		}
+		if again := b.Owner(key); again != owner {
+			t.Fatalf("independently built rings disagree on %q: %d vs %d", key, owner, again)
+		}
+		counts[owner]++
+	}
+	fair := float64(keys) / float64(len(counts))
+	for shard, c := range counts {
+		if math.Abs(float64(c)-fair)/fair > 0.35 {
+			t.Fatalf("shard %d owns %d of %d keys (fair share %.0f): ring is unbalanced %v", shard, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestRingOwnershipIgnoresAddresses: moving a shard to a new host must not
+// reshuffle users — the hash covers shard IDs only.
+func TestRingOwnershipIgnoresAddresses(t *testing.T) {
+	a := testRing(t)
+	moved, err := NewRing(1, 0, []ShardInfo{
+		{ID: 0, Addr: "10.0.0.1:80"},
+		{ID: 1, Addr: "10.0.0.2:80"},
+		{ID: 2, Addr: "10.0.0.3:80"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2000; k++ {
+		key := fmt.Sprintf("user-%d", k)
+		if a.Owner(key) != moved.Owner(key) {
+			t.Fatalf("ownership of %q changed when addresses moved", key)
+		}
+	}
+}
+
+// TestRingConsistentOnGrowth checks the consistent-hashing contract: adding
+// a shard relocates roughly 1/(n+1) of the keys, not all of them.
+func TestRingConsistentOnGrowth(t *testing.T) {
+	three := testRing(t)
+	four, err := NewRing(2, 0, []ShardInfo{
+		{ID: 0, Addr: "a"}, {ID: 1, Addr: "b"}, {ID: 2, Addr: "c"}, {ID: 3, Addr: "d"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 20000
+	moved := 0
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("user-%d", k)
+		if three.Owner(key) != four.Owner(key) {
+			moved++
+		}
+	}
+	// Expect ~25% relocation; a modulo hash would relocate ~75%.
+	if frac := float64(moved) / keys; frac > 0.45 {
+		t.Fatalf("adding one shard relocated %.0f%% of keys — not consistent hashing", frac*100)
+	}
+}
+
+// TestOwnerAmongSkipsDeadShards pins the failover lookup: the true owner
+// when alive, a live shard otherwise, -1 only when nothing is alive.
+func TestOwnerAmongSkipsDeadShards(t *testing.T) {
+	r := testRing(t)
+	key := "some-user"
+	owner := r.Owner(key)
+	if got := r.OwnerAmong(key, func(int) bool { return true }); got != owner {
+		t.Fatalf("all-alive OwnerAmong %d != Owner %d", got, owner)
+	}
+	got := r.OwnerAmong(key, func(s int) bool { return s != owner })
+	if got == owner || got < 0 || got >= r.NumShards() {
+		t.Fatalf("OwnerAmong with dead owner returned %d (owner %d)", got, owner)
+	}
+	if got := r.OwnerAmong(key, func(int) bool { return false }); got != -1 {
+		t.Fatalf("OwnerAmong with no live shards returned %d, want -1", got)
+	}
+}
+
+// TestRingWireRoundTrip: encode → decode preserves epoch, replicas, shard
+// set and — crucially — ownership.
+func TestRingWireRoundTrip(t *testing.T) {
+	r, err := NewRing(7, 32, []ShardInfo{{ID: 0, Addr: "h1:1"}, {ID: 4, Addr: "h2:2"}, {ID: 9, Addr: ""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeRing(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch() != 7 || back.Replicas() != 32 || back.NumShards() != 3 {
+		t.Fatalf("round-trip lost header: epoch=%d replicas=%d shards=%d", back.Epoch(), back.Replicas(), back.NumShards())
+	}
+	for i, s := range r.Shards() {
+		if back.Shard(i) != s {
+			t.Fatalf("shard %d round-tripped as %+v, want %+v", i, back.Shard(i), s)
+		}
+	}
+	for k := 0; k < 2000; k++ {
+		key := fmt.Sprintf("u%d", k)
+		if r.Owner(key) != back.Owner(key) {
+			t.Fatalf("ownership of %q changed across the wire", key)
+		}
+	}
+}
+
+// TestDecodeRingTypedErrors pins the failure taxonomy of the wire parser.
+func TestDecodeRingTypedErrors(t *testing.T) {
+	good := func() []byte { return testRing(t).Encode() }
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrRingCorrupt},
+		{"bad magic", []byte("NOTARING????????"), ErrRingMagic},
+		{"truncated header", []byte(RingMagic + "xx"), ErrRingCorrupt},
+		{"bit flip", func() []byte { d := good(); d[len(d)/2] ^= 0xff; return d }(), ErrRingCorrupt},
+		{"truncated tail", func() []byte { d := good(); return d[:len(d)-6] }(), ErrRingCorrupt},
+		{"bad version", func() []byte {
+			d := good()
+			d[11] = 99 // format version low byte
+			// Recompute the checksum so the version check is what fires.
+			return append(d[:len(d)-4], testRingChecksum(d[:len(d)-4])...)
+		}(), ErrRingVersion},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRing(tc.data); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: got %v, want errors.Is %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// testRingChecksum recomputes the trailing CRC for a doctored body.
+func testRingChecksum(body []byte) []byte {
+	return binary.BigEndian.AppendUint32(nil, crc32.ChecksumIEEE(body))
+}
+
+// TestNewRingRejectsBadShardSets pins construction validation.
+func TestNewRingRejectsBadShardSets(t *testing.T) {
+	if _, err := NewRing(1, 0, nil); !errors.Is(err, ErrBadRing) {
+		t.Fatalf("empty shard set: %v", err)
+	}
+	if _, err := NewRing(1, 0, []ShardInfo{{ID: 0}, {ID: 0}}); !errors.Is(err, ErrBadRing) {
+		t.Fatalf("duplicate IDs: %v", err)
+	}
+	if _, err := NewRing(1, 0, []ShardInfo{{ID: -1}}); !errors.Is(err, ErrBadRing) {
+		t.Fatalf("negative ID: %v", err)
+	}
+	if _, err := NewRing(1, maxReplicas+1, []ShardInfo{{ID: 0}}); !errors.Is(err, ErrBadRing) {
+		t.Fatalf("replica overflow: %v", err)
+	}
+}
+
+// TestParsePeers pins the peer-list grammar and its typed failures.
+func TestParsePeers(t *testing.T) {
+	shards, err := ParsePeers("h1:8081, h2:8082 ,h3:8083")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 3 || shards[1] != (ShardInfo{ID: 1, Addr: "h2:8082"}) {
+		t.Fatalf("parsed %+v", shards)
+	}
+	for _, bad := range []string{"", "  ", "h1:1,,h2:2", "h1:1,h1:1"} {
+		if _, err := ParsePeers(bad); !errors.Is(err, ErrBadPeers) {
+			t.Fatalf("peer list %q: got %v, want ErrBadPeers", bad, err)
+		}
+	}
+}

@@ -1,0 +1,671 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"ganc/internal/serve"
+)
+
+// ErrShardUnavailable marks a shard that could not be reached (or kept
+// answering 5xx) within the router's bounded retry budget. HTTP handlers
+// translate it into a typed 503 response.
+var ErrShardUnavailable = errors.New("cluster: shard unavailable")
+
+// ErrShardResponse marks a shard answer the router could not interpret — a
+// hostile or corrupt body where a JSON document was expected. It is a
+// distinct sentinel from ErrShardUnavailable because retrying does not help:
+// the shard is up but speaking the wrong protocol.
+var ErrShardResponse = errors.New("cluster: malformed shard response")
+
+// ShardError carries the shard context of a routing failure. It wraps
+// ErrShardUnavailable or ErrShardResponse for errors.Is matching.
+type ShardError struct {
+	// Shard and Addr identify the failing shard.
+	Shard int
+	Addr  string
+	// Attempts is how many times the router tried before giving up.
+	Attempts int
+	// Err is the underlying sentinel-wrapped cause.
+	Err error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("cluster: shard %d (%s) failed after %d attempts: %v", e.Shard, e.Addr, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the sentinel cause to errors.Is.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// RouterConfig assembles a Router.
+type RouterConfig struct {
+	// Ring supplies shard ownership and addresses. Required; every shard
+	// must carry a non-empty address.
+	Ring *Ring
+	// Client is the HTTP client used for shard calls (default: a client with
+	// keep-alive pooling sized for the shard count and a 30s timeout).
+	Client *http.Client
+	// Retries is how many times a failed shard call is retried before the
+	// typed 503 (default 2, i.e. 3 attempts). Negative disables retries.
+	Retries int
+	// RetryBackoff is the pause between attempts (default 25ms).
+	RetryBackoff time.Duration
+	// ProbeTimeout bounds one shard's /health or /info probe during
+	// aggregation (default 2s).
+	ProbeTimeout time.Duration
+}
+
+// Router is the scatter-gather front of a shard set: it proxies single-user
+// reads to the owning shard, fans batch reads and ingest batches out across
+// owning shards, merges the answers, and aggregates health and info. It is
+// stateless apart from its configuration, so any number of router replicas
+// can front the same shard set.
+type Router struct {
+	ring     *Ring
+	client   *http.Client
+	attempts int
+	backoff  time.Duration
+	probe    time.Duration
+}
+
+// NewRouter validates the configuration and builds the router.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Ring == nil {
+		return nil, fmt.Errorf("%w: router needs a ring", ErrBadRing)
+	}
+	for _, s := range cfg.Ring.Shards() {
+		if s.Addr == "" {
+			return nil, fmt.Errorf("%w: shard %d has no address", ErrBadRing, s.ID)
+		}
+	}
+	attempts := cfg.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	probe := cfg.ProbeTimeout
+	if probe <= 0 {
+		probe = 2 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		transport := http.DefaultTransport.(*http.Transport).Clone()
+		transport.MaxIdleConnsPerHost = 64
+		client = &http.Client{Transport: transport, Timeout: 30 * time.Second}
+	}
+	return &Router{
+		ring:     cfg.Ring,
+		client:   client,
+		attempts: attempts,
+		backoff:  backoff,
+		probe:    probe,
+	}, nil
+}
+
+// Ring returns the ring the router routes by.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Owner returns the index of the shard owning the user key (the ring's
+// assignment; exposed so drivers and tests can partition work the same way
+// the router does).
+func (rt *Router) Owner(userKey string) int { return rt.ring.Owner(userKey) }
+
+// shardURL builds the target URL for a shard call.
+func (rt *Router) shardURL(shard int, pathAndQuery string) string {
+	return "http://" + rt.ring.Shard(shard).Addr + pathAndQuery
+}
+
+// callShard performs one shard call with the bounded retry budget: transport
+// errors and 5xx answers are retried with backoff; any other HTTP answer is
+// returned as-is (4xx is the shard's verdict, not a routing failure). The
+// returned body is fully read so connections return to the keep-alive pool.
+func (rt *Router) callShard(ctx context.Context, shard int, method, pathAndQuery string, body []byte) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < rt.attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return 0, nil, &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: attempt,
+					Err: fmt.Errorf("%w: %v", ErrShardUnavailable, ctx.Err())}
+			case <-time.After(rt.backoff):
+			}
+		}
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, rt.shardURL(shard, pathAndQuery), reader)
+		if err != nil {
+			return 0, nil, &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: attempt + 1,
+				Err: fmt.Errorf("%w: building request: %v", ErrShardUnavailable, err)}
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponse))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = fmt.Errorf("shard answered %d", resp.StatusCode)
+			continue
+		}
+		return resp.StatusCode, payload, nil
+	}
+	return 0, nil, &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: rt.attempts,
+		Err: fmt.Errorf("%w: %v", ErrShardUnavailable, lastErr)}
+}
+
+// maxShardResponse bounds how much of a shard answer the router will buffer,
+// so a hostile or broken shard cannot balloon router memory.
+const maxShardResponse = 64 << 20
+
+// Handler returns the router's HTTP surface. The routes mirror the shard
+// servers', so a client cannot tell a router from a single node apart from
+// the extra cluster detail in /info.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/health", rt.handleHealth)
+	mux.HandleFunc("/info", rt.handleInfo)
+	mux.HandleFunc("/recommend", rt.handleRecommend)
+	mux.HandleFunc("/recommend/batch", rt.handleBatch)
+	mux.HandleFunc("/ingest", rt.handleIngest)
+	mux.HandleFunc("/users", rt.handleUsers)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeShardFailure answers the typed 503 for a routing failure.
+func writeShardFailure(w http.ResponseWriter, err error) {
+	resp := map[string]interface{}{"error": err.Error(), "code": "shard_unavailable"}
+	var se *ShardError
+	if errors.As(err, &se) {
+		resp["shard"] = se.Shard
+		if errors.Is(err, ErrShardResponse) {
+			resp["code"] = "shard_response"
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, resp)
+}
+
+// passthrough relays a shard's verbatim answer (status and body) to the
+// client — the single-user proxy path.
+func passthrough(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func (rt *Router) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	userKey := r.URL.Query().Get("user")
+	if userKey == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing ?user="})
+		return
+	}
+	shard := rt.ring.Owner(userKey)
+	status, body, err := rt.callShard(r.Context(), shard, http.MethodGet, "/recommend?"+r.URL.RawQuery, nil)
+	if err != nil {
+		writeShardFailure(w, err)
+		return
+	}
+	passthrough(w, status, body)
+}
+
+// ShardBatchMeta records one shard's contribution to a scatter-gather
+// answer, including the exact engine version that served it — the
+// per-shard accounting the race regression tests pin.
+type ShardBatchMeta struct {
+	// Shard is the shard ID.
+	Shard int `json:"shard"`
+	// Users is how many of the request's users the shard owned.
+	Users int `json:"users"`
+	// Model and Version echo the shard's self-report for this call.
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+}
+
+// BatchResponse is the router's POST /recommend/batch payload: the standard
+// serving shape (results in request order) plus the per-shard scatter
+// record. Version is the sum of the participating shards' versions, so a
+// version delta across two calls bounds how many shard republishes happened
+// in between.
+type BatchResponse struct {
+	serve.BatchResponse
+	// Shards records the scatter: which shards participated, with how many
+	// users, at which engine version.
+	Shards []ShardBatchMeta `json:"shards"`
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	var req serve.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
+		return
+	}
+	if len(req.Users) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "users list is empty"})
+		return
+	}
+	// The router enforces the single-node batch limit itself: fanning an
+	// oversized batch out would either multiply the limit by the shard count
+	// or bounce a client mistake back as a misleading shard-side 503.
+	if len(req.Users) > serve.MaxBatchUsers {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("batch of %d users exceeds the limit of %d", len(req.Users), serve.MaxBatchUsers)})
+		return
+	}
+	// Partition the users by owning shard, remembering each user's position
+	// so the merged results preserve request order.
+	perShard := make(map[int][]int)
+	for k, user := range req.Users {
+		shard := rt.ring.Owner(user)
+		perShard[shard] = append(perShard[shard], k)
+	}
+
+	type shardAnswer struct {
+		shard   int
+		indices []int
+		resp    serve.BatchResponse
+		err     error
+	}
+	answers := make(chan shardAnswer, len(perShard))
+	for shard, indices := range perShard {
+		go func(shard int, indices []int) {
+			users := make([]string, len(indices))
+			for k, idx := range indices {
+				users[k] = req.Users[idx]
+			}
+			payload, _ := json.Marshal(serve.BatchRequest{Users: users})
+			ans := shardAnswer{shard: shard, indices: indices}
+			status, body, err := rt.callShard(r.Context(), shard, http.MethodPost, "/recommend/batch", payload)
+			switch {
+			case err != nil:
+				ans.err = err
+			case status != http.StatusOK:
+				ans.err = &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: 1,
+					Err: fmt.Errorf("%w: sub-batch rejected with status %d: %s", ErrShardResponse, status, truncate(body))}
+			default:
+				if err := json.Unmarshal(body, &ans.resp); err != nil {
+					ans.err = &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: 1,
+						Err: fmt.Errorf("%w: decoding sub-batch answer: %v", ErrShardResponse, err)}
+				} else if len(ans.resp.Results) != len(users) {
+					ans.err = &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: 1,
+						Err: fmt.Errorf("%w: sub-batch answered %d results for %d users", ErrShardResponse, len(ans.resp.Results), len(users))}
+				}
+			}
+			answers <- ans
+		}(shard, indices)
+	}
+
+	out := BatchResponse{}
+	out.Results = make([]serve.RecommendResponse, len(req.Users))
+	var failure error
+	for range perShard {
+		ans := <-answers
+		if ans.err != nil {
+			// A partial batch would silently drop users, so any shard failure
+			// fails the whole request loudly; collect the remaining answers
+			// first to keep the channel drained.
+			if failure == nil {
+				failure = ans.err
+			}
+			continue
+		}
+		for k, idx := range ans.indices {
+			out.Results[idx] = ans.resp.Results[k]
+		}
+		out.Shards = append(out.Shards, ShardBatchMeta{
+			Shard:   rt.ring.Shard(ans.shard).ID,
+			Users:   len(ans.indices),
+			Model:   ans.resp.Model,
+			Version: ans.resp.Version,
+		})
+		out.Model = ans.resp.Model
+		out.Version += ans.resp.Version
+	}
+	if failure != nil {
+		writeShardFailure(w, failure)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ShardIngestMeta records one shard's slice of a routed ingest batch.
+type ShardIngestMeta struct {
+	// Shard is the shard ID.
+	Shard int `json:"shard"`
+	// Result is the shard's own ingest summary (events applied, sequence
+	// cursor, serving version, post-commit warning).
+	Result serve.IngestResult `json:"result"`
+}
+
+// IngestResponse is the router's POST /ingest payload: the total applied
+// count plus the per-shard routing record. There is no cluster-wide
+// sequence number — each shard owns its cursor — so Seq is omitted.
+type IngestResponse struct {
+	// Applied is the event count absorbed across all shards.
+	Applied int `json:"applied"`
+	// Shards records which owner received which slice.
+	Shards []ShardIngestMeta `json:"shards"`
+}
+
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	var req serve.IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
+		return
+	}
+	if len(req.Events) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "events list is empty"})
+		return
+	}
+	// Mirror the single-node ingest limit (see handleBatch for the reason).
+	if len(req.Events) > serve.MaxIngestEvents {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("batch of %d events exceeds the limit of %d", len(req.Events), serve.MaxIngestEvents)})
+		return
+	}
+	for k, ev := range req.Events {
+		if ev.User == "" || ev.Item == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("event %d is missing a user or item key", k)})
+			return
+		}
+	}
+	// Events go to the shard owning their user: the owner's write-ahead log
+	// is the durability point for that user's interactions.
+	perShard := make(map[int][]serve.IngestEvent)
+	for _, ev := range req.Events {
+		shard := rt.ring.Owner(ev.User)
+		perShard[shard] = append(perShard[shard], ev)
+	}
+
+	type shardAnswer struct {
+		shard  int
+		events int
+		result serve.IngestResult
+		err    error
+	}
+	answers := make(chan shardAnswer, len(perShard))
+	for shard, events := range perShard {
+		go func(shard int, events []serve.IngestEvent) {
+			payload, _ := json.Marshal(serve.IngestRequest{Events: events})
+			ans := shardAnswer{shard: shard, events: len(events)}
+			status, body, err := rt.callShard(r.Context(), shard, http.MethodPost, "/ingest", payload)
+			switch {
+			case err != nil:
+				ans.err = err
+			case status != http.StatusOK:
+				ans.err = &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: 1,
+					Err: fmt.Errorf("%w: ingest slice rejected with status %d: %s", ErrShardResponse, status, truncate(body))}
+			default:
+				if err := json.Unmarshal(body, &ans.result); err != nil {
+					ans.err = &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: 1,
+						Err: fmt.Errorf("%w: decoding ingest answer: %v", ErrShardResponse, err)}
+				}
+			}
+			answers <- ans
+		}(shard, events)
+	}
+
+	out := IngestResponse{}
+	var failure error
+	for range perShard {
+		ans := <-answers
+		if ans.err != nil {
+			if failure == nil {
+				failure = ans.err
+			}
+			continue
+		}
+		out.Applied += ans.result.Applied
+		out.Shards = append(out.Shards, ShardIngestMeta{Shard: rt.ring.Shard(ans.shard).ID, Result: ans.result})
+	}
+	if failure != nil {
+		// Slices that did land are durably applied at their shards; the 503
+		// reports what succeeded so the caller does not blindly retry the
+		// whole batch (re-sending an applied slice would double-count it).
+		// The code distinguishes retryable outages (shard_unavailable) from
+		// protocol mismatches (shard_response), like every other route.
+		resp := map[string]interface{}{
+			"error":   failure.Error(),
+			"code":    "shard_unavailable",
+			"applied": out.Applied,
+			"shards":  out.Shards,
+		}
+		if errors.Is(failure, ErrShardResponse) {
+			resp["code"] = "shard_response"
+		}
+		var se *ShardError
+		if errors.As(failure, &se) {
+			resp["shard"] = se.Shard
+		}
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ShardStatus is one shard's row in the aggregated /info and /health
+// answers.
+type ShardStatus struct {
+	// Shard and Addr identify the shard.
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	// Healthy reports whether the shard answered its probe.
+	Healthy bool `json:"healthy"`
+	// Error carries the probe failure when Healthy is false.
+	Error string `json:"error,omitempty"`
+	// Info is the shard's own /info answer (nil when unreachable).
+	Info *serve.InfoResponse `json:"info,omitempty"`
+	// EpochMismatch flags a shard whose snapshot was cut for a different
+	// ring epoch or shard count than the router routes by — a deployment
+	// error that silently misroutes users if ignored.
+	EpochMismatch bool `json:"epoch_mismatch,omitempty"`
+}
+
+// ClusterInfo is the cluster-level block of the router's /info answer.
+type ClusterInfo struct {
+	// Epoch and NumShards describe the router's ring.
+	Epoch     uint64 `json:"epoch"`
+	NumShards int    `json:"num_shards"`
+	// Healthy counts the shards that answered the probe.
+	Healthy int `json:"healthy"`
+	// Shards holds the per-shard detail.
+	Shards []ShardStatus `json:"shards"`
+}
+
+// InfoResponse is the router's GET /info payload. The embedded standard
+// fields aggregate across reachable shards (version is the SUM of shard
+// versions, so deltas count cluster-wide republishes; cache counters are
+// summed; universe sizes take the widest shard view), which keeps the
+// router drop-in compatible with single-node /info consumers like the load
+// driver.
+type InfoResponse struct {
+	serve.InfoResponse
+	// Cluster carries the per-shard breakdown.
+	Cluster ClusterInfo `json:"cluster"`
+}
+
+// probeShards fans one GET across all shards with the probe timeout.
+func (rt *Router) probeShards(ctx context.Context, path string) []ShardStatus {
+	statuses := make([]ShardStatus, rt.ring.NumShards())
+	ctx, cancel := context.WithTimeout(ctx, rt.probe)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < rt.ring.NumShards(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			info := rt.ring.Shard(i)
+			st := ShardStatus{Shard: info.ID, Addr: info.Addr}
+			status, body, err := rt.callShard(ctx, i, http.MethodGet, path, nil)
+			switch {
+			case err != nil:
+				st.Error = err.Error()
+			case status != http.StatusOK:
+				st.Error = fmt.Sprintf("shard answered %d", status)
+			default:
+				var parsed serve.InfoResponse
+				if path == "/info" {
+					if err := json.Unmarshal(body, &parsed); err != nil {
+						st.Error = fmt.Errorf("%w: decoding /info: %v", ErrShardResponse, err).Error()
+						break
+					}
+					st.Info = &parsed
+					if id := parsed.Shard; id != nil &&
+						(id.RingEpoch != rt.ring.Epoch() || id.NumShards != rt.ring.NumShards() || id.ShardID != info.ID) {
+						st.EpochMismatch = true
+					}
+				}
+				st.Healthy = true
+			}
+			statuses[i] = st
+		}(i)
+	}
+	wg.Wait()
+	return statuses
+}
+
+func (rt *Router) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	statuses := rt.probeShards(r.Context(), "/info")
+	out := InfoResponse{Cluster: ClusterInfo{
+		Epoch:     rt.ring.Epoch(),
+		NumShards: rt.ring.NumShards(),
+		Shards:    statuses,
+	}}
+	for _, st := range statuses {
+		if !st.Healthy {
+			continue
+		}
+		out.Cluster.Healthy++
+		info := st.Info
+		if info == nil {
+			continue
+		}
+		if out.Model == "" {
+			out.Model = info.Model
+			out.Dataset = info.Dataset
+			out.TopN = info.TopN
+		}
+		out.Version += info.Version
+		if info.NumUsers > out.NumUsers {
+			out.NumUsers = info.NumUsers
+		}
+		if info.NumItems > out.NumItems {
+			out.NumItems = info.NumItems
+		}
+		out.Cache.Hits += info.Cache.Hits
+		out.Cache.Misses += info.Cache.Misses
+		out.Cache.Coalesced += info.Cache.Coalesced
+		out.Cache.Size += info.Cache.Size
+		out.Cache.Capacity += info.Cache.Capacity
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// HealthResponse is the router's GET /health payload: "ok" when every shard
+// answered its probe, "degraded" otherwise. The router itself answers 200
+// either way — it is alive and still routing to the healthy shards.
+type HealthResponse struct {
+	// Status is "ok" or "degraded".
+	Status string `json:"status"`
+	// Healthy and Shards count probe outcomes.
+	Healthy int `json:"healthy"`
+	Shards  int `json:"shards"`
+	// Down lists the unreachable shard IDs (absent when all are up).
+	Down []int `json:"down,omitempty"`
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	statuses := rt.probeShards(r.Context(), "/health")
+	out := HealthResponse{Status: "ok", Shards: len(statuses)}
+	for _, st := range statuses {
+		if st.Healthy {
+			out.Healthy++
+		} else {
+			out.Down = append(out.Down, st.Shard)
+		}
+	}
+	if out.Healthy < out.Shards {
+		out.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleUsers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	// Shards replicate the identifier universe (ownership partitions the
+	// serving work, not the tables), so the widest shard view is the
+	// cluster's servable-user count.
+	statuses := rt.probeShards(r.Context(), "/info")
+	max, reachable := 0, 0
+	for _, st := range statuses {
+		if st.Info != nil {
+			reachable++
+			if st.Info.NumUsers > max {
+				max = st.Info.NumUsers
+			}
+		}
+	}
+	if reachable == 0 {
+		writeShardFailure(w, fmt.Errorf("%w: no shard answered /info", ErrShardUnavailable))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"servable_users": max})
+}
+
+// truncate bounds a hostile body's appearance in an error message.
+func truncate(body []byte) string {
+	const limit = 200
+	if len(body) > limit {
+		return string(body[:limit]) + "…"
+	}
+	return string(body)
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ganc/internal/serve"
+)
+
+// swappingSink is an IngestSink that republishes a fresh engine generation
+// on every routed slice — the shape internal/ingest gives each shard — so
+// the router's scatter-gather paths race real per-shard version swaps.
+type swappingSink struct {
+	srv    *serve.Server
+	shard  int
+	slices atomic.Int64
+}
+
+// IngestEvents implements serve.IngestSink.
+func (s *swappingSink) IngestEvents(ctx context.Context, events []serve.IngestEvent) (serve.IngestResult, error) {
+	n := s.slices.Add(1)
+	if err := s.srv.Update(&echoEngine{name: fmt.Sprintf("shard%d-gen%d", s.shard, n), items: 12}); err != nil {
+		return serve.IngestResult{}, err
+	}
+	return serve.IngestResult{Applied: len(events), Seq: uint64(n), Version: s.srv.Version()}, nil
+}
+
+// TestRouterScatterGatherRacesShardPublishes is the cluster-tier sibling of
+// internal/serve's swap_race_test: scatter-gather batch reads through the
+// router racing concurrent per-shard ingest publishes (each slice swapping
+// that shard's engine generation) and /info aggregation. Run under -race in
+// CI. The functional assertions are exact per-shard version accounting —
+// every shard's final version is 1 + the slices routed to it, the aggregate
+// /info version is the sum across shards — and that every response the
+// router hands out cites versions that actually existed.
+func TestRouterScatterGatherRacesShardPublishes(t *testing.T) {
+	rt, shards := clusterFixture(t, 3)
+	sinks := make([]*swappingSink, len(shards))
+	for i, s := range shards {
+		sinks[i] = &swappingSink{srv: s.srv, shard: i}
+		s.srv.SetIngestSink(sinks[i])
+	}
+	ts := routerServer(t, rt)
+
+	// One event per shard per batch, so every ingest POST swaps every
+	// shard's generation exactly once — the accounting below depends on it.
+	perShardUser := make([]string, len(shards))
+	for u := 0; u < 40; u++ {
+		user := fmt.Sprintf("user-%d", u)
+		if owner := rt.Owner(user); perShardUser[owner] == "" {
+			perShardUser[owner] = user
+		}
+	}
+	batchEvents := make([]serve.IngestEvent, 0, len(shards))
+	for _, user := range perShardUser {
+		if user == "" {
+			t.Fatal("fixture users do not cover every shard")
+		}
+		batchEvents = append(batchEvents, serve.IngestEvent{User: user, Item: "item-1", Value: 4})
+	}
+
+	const (
+		writers    = 3
+		readers    = 4
+		iterations = 30
+	)
+	start := make(chan struct{})
+	errs := make(chan error, (writers+readers*2)*iterations*4)
+	var wg sync.WaitGroup
+
+	// Ingest writers: every batch fans one slice to every shard.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for k := 0; k < iterations; k++ {
+				var res IngestResponse
+				status := postJSON(t, ts.URL+"/ingest", serve.IngestRequest{Events: batchEvents}, &res)
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("writer %d: ingest status %d", w, status)
+					continue
+				}
+				if res.Applied != len(batchEvents) || len(res.Shards) != len(shards) {
+					errs <- fmt.Errorf("writer %d: applied %d across %d shards", w, res.Applied, len(res.Shards))
+				}
+			}
+		}(w)
+	}
+
+	// Batch readers: scatter-gather across all shards while versions churn.
+	users := make([]string, 12)
+	for k := range users {
+		users[k] = fmt.Sprintf("user-%d", k)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for k := 0; k < iterations; k++ {
+				var res BatchResponse
+				status := postJSON(t, ts.URL+"/recommend/batch", serve.BatchRequest{Users: users}, &res)
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("batch reader %d: status %d", r, status)
+					continue
+				}
+				if len(res.Results) != len(users) {
+					errs <- fmt.Errorf("batch reader %d: %d results for %d users", r, len(res.Results), len(users))
+					continue
+				}
+				sum := 0
+				for _, m := range res.Shards {
+					// A slice served at any real generation is fine; a version
+					// outside [1, current] never existed.
+					if m.Version < 1 || m.Version > shards[m.Shard].srv.Version() {
+						errs <- fmt.Errorf("batch reader %d: impossible version %d on shard %d", r, m.Version, m.Shard)
+					}
+					sum += m.Version
+				}
+				if res.Version != sum {
+					errs <- fmt.Errorf("batch reader %d: aggregate version %d != shard sum %d", r, res.Version, sum)
+				}
+			}
+		}(r)
+	}
+
+	// Info readers: aggregation must stay coherent mid-churn.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for k := 0; k < iterations; k++ {
+				var info InfoResponse
+				status := getJSON(t, ts.URL+"/info", &info)
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("info reader %d: status %d", r, status)
+					continue
+				}
+				if info.Cluster.Healthy != len(shards) {
+					errs <- fmt.Errorf("info reader %d: %d healthy shards mid-churn", r, info.Cluster.Healthy)
+					continue
+				}
+				sum := 0
+				for _, st := range info.Cluster.Shards {
+					if st.Info == nil {
+						errs <- fmt.Errorf("info reader %d: shard %d row has no info", r, st.Shard)
+						continue
+					}
+					if v := st.Info.Version; v < 1 || v > shards[st.Shard].srv.Version() {
+						errs <- fmt.Errorf("info reader %d: impossible version %d on shard %d", r, v, st.Shard)
+					}
+					sum += st.Info.Version
+				}
+				if info.Version != sum {
+					errs <- fmt.Errorf("info reader %d: aggregate version %d != shard sum %d", r, info.Version, sum)
+				}
+			}
+		}(r)
+	}
+
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Exact per-shard accounting: every writer batch put exactly one slice
+	// on every shard, and every slice swapped exactly one generation in.
+	wantVersion := 1 + writers*iterations
+	total := 0
+	for i, s := range shards {
+		if got := s.srv.Version(); got != wantVersion {
+			t.Fatalf("shard %d at version %d after %d routed slices, want %d", i, got, writers*iterations, wantVersion)
+		}
+		if got := sinks[i].slices.Load(); got != int64(writers*iterations) {
+			t.Fatalf("shard %d absorbed %d slices, want %d", i, got, writers*iterations)
+		}
+		total += s.srv.Version()
+	}
+	var info InfoResponse
+	if status := getJSON(t, ts.URL+"/info", &info); status != http.StatusOK {
+		t.Fatalf("final /info status %d", status)
+	}
+	if info.Version != total {
+		t.Fatalf("final aggregate version %d, want %d", info.Version, total)
+	}
+}

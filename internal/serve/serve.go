@@ -70,6 +70,28 @@ func WithPrecomputed(recs types.Recommendations) Option {
 	return func(s *Server) { s.seed = recs }
 }
 
+// ShardIdentity names a server's place in a sharded cluster: which shard it
+// is, out of how many, cut for which hash-ring epoch. It is reported through
+// /info and /health so a router can detect a shard serving a snapshot from a
+// different ring generation (see internal/cluster).
+type ShardIdentity struct {
+	// ShardID is this server's shard number.
+	ShardID int `json:"shard_id"`
+	// NumShards is the ring's shard count.
+	NumShards int `json:"num_shards"`
+	// RingEpoch is the hash-ring membership epoch the shard was cut for.
+	RingEpoch uint64 `json:"ring_epoch"`
+}
+
+// WithShardIdentity marks the server as one shard of a cluster; the identity
+// is echoed in /info and /health for router-side epoch verification.
+func WithShardIdentity(id ShardIdentity) Option {
+	return func(s *Server) {
+		shard := id
+		s.shard = &shard
+	}
+}
+
 // WithBatchWorkers bounds how many engine sweeps one POST /recommend/batch
 // request may run concurrently (default DefaultBatchWorkers). Engines built
 // on the buffered candidate pipeline pool their sweep scratch, so raising
@@ -111,6 +133,7 @@ type Server struct {
 	capacity     int
 	batchWorkers int
 	seed         types.Recommendations
+	shard        *ShardIdentity
 
 	gen atomic.Pointer[generation]
 
@@ -274,7 +297,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := map[string]interface{}{"status": "ok"}
+	if s.shard != nil {
+		resp["shard"] = s.shard.ShardID
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // InfoResponse is the payload of GET /info.
@@ -286,6 +313,9 @@ type InfoResponse struct {
 	TopN     int        `json:"top_n"`
 	Version  int        `json:"version"`
 	Cache    CacheStats `json:"cache"`
+	// Shard carries the server's cluster identity when it serves as one
+	// shard of a sharded deployment (absent on single-node servers).
+	Shard *ShardIdentity `json:"cluster_shard,omitempty"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -305,6 +335,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		TopN:     s.n,
 		Version:  gen.version,
 		Cache:    s.Stats(),
+		Shard:    s.shard,
 	})
 }
 
@@ -382,12 +413,12 @@ type BatchResponse struct {
 	Results []RecommendResponse `json:"results"`
 }
 
-// maxBatchUsers bounds a single batch request so a malformed client cannot
+// MaxBatchUsers bounds a single batch request so a malformed client cannot
 // ask for the whole catalog in one call; DefaultBatchWorkers bounds the
 // concurrent engine sweeps one batch request may trigger unless
 // WithBatchWorkers overrides it.
 const (
-	maxBatchUsers       = 10000
+	MaxBatchUsers       = 10000
 	DefaultBatchWorkers = 8
 )
 
@@ -405,9 +436,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "users list is empty"})
 		return
 	}
-	if len(req.Users) > maxBatchUsers {
+	if len(req.Users) > MaxBatchUsers {
 		writeJSON(w, http.StatusBadRequest, map[string]string{
-			"error": fmt.Sprintf("batch of %d users exceeds the limit of %d", len(req.Users), maxBatchUsers)})
+			"error": fmt.Sprintf("batch of %d users exceeds the limit of %d", len(req.Users), MaxBatchUsers)})
 		return
 	}
 	gen := s.gen.Load()
@@ -508,8 +539,10 @@ type IngestRequest struct {
 	Events []IngestEvent `json:"events"`
 }
 
-// maxIngestEvents bounds one ingestion batch, mirroring maxBatchUsers.
-const maxIngestEvents = 10000
+// MaxIngestEvents bounds one ingestion batch, mirroring MaxBatchUsers. The
+// cluster router enforces the same limits, so a routed deployment rejects
+// exactly what a single node rejects.
+const MaxIngestEvents = 10000
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -530,9 +563,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "events list is empty"})
 		return
 	}
-	if len(req.Events) > maxIngestEvents {
+	if len(req.Events) > MaxIngestEvents {
 		writeJSON(w, http.StatusBadRequest, map[string]string{
-			"error": fmt.Sprintf("batch of %d events exceeds the limit of %d", len(req.Events), maxIngestEvents)})
+			"error": fmt.Sprintf("batch of %d events exceeds the limit of %d", len(req.Events), MaxIngestEvents)})
 		return
 	}
 	for k, ev := range req.Events {

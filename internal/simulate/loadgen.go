@@ -301,7 +301,15 @@ func reduce(samples [][]sample, elapsed time.Duration, before, after serve.InfoR
 	}
 	res.CacheHits = after.Cache.Hits - before.Cache.Hits
 	res.CacheMisses = after.Cache.Misses - before.Cache.Misses
-	if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
+	if res.CacheHits < 0 || res.CacheMisses < 0 {
+		// The /info aggregation scope shrank mid-run — a cluster target lost
+		// a shard between the before and after reads (the mid-load kill
+		// drill), taking its accumulated counters with it. The deltas are
+		// meaningless then; report "no measurement" rather than negative
+		// nonsense. StartVersion/EndVersion stay as observed for the same
+		// reason — they are raw before/after readings, not deltas.
+		res.CacheHits, res.CacheMisses, res.CacheHitRate = 0, 0, -1
+	} else if lookups := res.CacheHits + res.CacheMisses; lookups > 0 {
 		res.CacheHitRate = float64(res.CacheHits) / float64(lookups)
 	}
 	return res
@@ -401,7 +409,52 @@ type BenchReport struct {
 // shared persist.AtomicWrite temp+fsync+rename sequence) so a crashed run
 // never leaves a half-written benchmark artifact.
 func WriteBenchReport(path string, rep *BenchReport) error {
-	data, err := json.MarshalIndent(rep, "", "  ")
+	return writeJSONArtifact(path, rep)
+}
+
+// ClusterBenchReport is the BENCH_cluster.json document: the same universe
+// and load driven once against a single node and once against an N-shard
+// cluster behind the scatter-gather router, with identical per-node cache
+// budgets. On one machine the comparison isolates what sharding actually
+// buys — aggregate cache capacity (each node's LRU holds only its owned
+// users, so the cluster's working set is N× a single node's) — while CPU is
+// shared, making the measured speedup a conservative floor for a real
+// multi-host deployment. See DESIGN.md §10.
+type ClusterBenchReport struct {
+	// Universe describes the synthetic population every node held.
+	Universe UniverseConfig `json:"universe"`
+	// Engine is the served model's display name.
+	Engine string `json:"engine"`
+	// TopN is the serving list size.
+	TopN int `json:"top_n"`
+	// Shards is the cluster's shard count.
+	Shards int `json:"shards"`
+	// NodeCacheCapacity is the per-node LRU budget shared by the single
+	// node and every shard — the knob that makes the comparison fair.
+	NodeCacheCapacity int `json:"node_cache_capacity"`
+	// WarmupRequests is the unmeasured warm-up request count driven before
+	// each measured run (the same seeded sequence as the measurement).
+	WarmupRequests int `json:"warmup_requests"`
+	// Load is the measured driver configuration (identical for both
+	// targets apart from the base URL).
+	Load LoadConfig `json:"load"`
+	// SingleNode and Cluster are the two measurements.
+	SingleNode *LoadResult `json:"single_node"`
+	Cluster    *LoadResult `json:"cluster"`
+	// Speedup is Cluster.ThroughputRPS / SingleNode.ThroughputRPS.
+	Speedup float64 `json:"speedup"`
+}
+
+// WriteClusterBenchReport writes the cluster comparison artifact
+// atomically.
+func WriteClusterBenchReport(path string, rep *ClusterBenchReport) error {
+	return writeJSONArtifact(path, rep)
+}
+
+// writeJSONArtifact writes v as indented JSON through the atomic
+// temp+fsync+rename sequence.
+func writeJSONArtifact(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("simulate: encode bench report: %w", err)
 	}

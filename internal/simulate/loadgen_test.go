@@ -39,7 +39,7 @@ func (s *countingSink) IngestEvents(ctx context.Context, events []serve.IngestEv
 // and checks the bookkeeping: request accounting, per-endpoint buckets,
 // cache-hit measurement and zero errors on a healthy server.
 func TestRunLoadMixedTraffic(t *testing.T) {
-	u, err := NewUniverse(tinyConfig(21))
+	u, err := NewUniverse(TinyConfig(21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestRunLoadMixedTraffic(t *testing.T) {
 
 // TestRunLoadValidation pins the config error paths.
 func TestRunLoadValidation(t *testing.T) {
-	u, err := NewUniverse(tinyConfig(21))
+	u, err := NewUniverse(TinyConfig(21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestRunLoadValidation(t *testing.T) {
 func TestWriteBenchReport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
 	rep := &BenchReport{
-		Universe: tinyConfig(3),
+		Universe: TinyConfig(3),
 		Engine:   "echo",
 		TopN:     5,
 		Load:     LoadConfig{Requests: 10}.withDefaults(),
@@ -145,5 +145,35 @@ func TestWriteBenchReport(t *testing.T) {
 	}
 	if back.Engine != "echo" || back.Result.Requests != 10 || back.Load.Concurrency != 8 {
 		t.Fatalf("report did not round-trip: %+v", back)
+	}
+}
+
+// TestWriteClusterBenchReport checks the cluster comparison artifact
+// round-trips as JSON.
+func TestWriteClusterBenchReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	rep := &ClusterBenchReport{
+		Universe:          TinyConfig(3),
+		Engine:            "echo",
+		Shards:            3,
+		NodeCacheCapacity: 1024,
+		WarmupRequests:    100,
+		SingleNode:        &LoadResult{Requests: 100, ThroughputRPS: 50},
+		Cluster:           &LoadResult{Requests: 100, ThroughputRPS: 150},
+		Speedup:           3,
+	}
+	if err := WriteClusterBenchReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ClusterBenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Shards != 3 || back.Speedup != 3 || back.SingleNode.ThroughputRPS != 50 || back.Cluster.ThroughputRPS != 150 {
+		t.Fatalf("cluster report did not round-trip: %+v", back)
 	}
 }

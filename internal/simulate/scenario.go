@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ganc/internal/dataset"
 	"ganc/internal/serve"
@@ -53,6 +54,30 @@ type System interface {
 	Fingerprint(ctx context.Context) ([]byte, error)
 }
 
+// ShardedSystem is the multi-node extension of System: a cluster whose
+// shards can be killed and restarted individually. The facade binds it to
+// the real router/shard-server assembly; scenario phases that name a shard
+// (kill-shard, restart-shard, a mid-load kill) require the primary to
+// implement it.
+type ShardedSystem interface {
+	System
+	// NumShards returns the cluster's shard count.
+	NumShards() int
+	// ShardOwner returns the shard index owning an external user key (the
+	// hash ring's assignment).
+	ShardOwner(userKey string) int
+	// KillShard crashes one shard: its listener drops, requests routed to it
+	// fail, durable files survive.
+	KillShard(shard int) error
+	// RestartShard restores a killed shard from its snapshot and replays its
+	// write-ahead-log suffix, returning the replayed event count.
+	RestartShard(shard int) (replayed int, err error)
+	// ShardFingerprint returns the canonical serialization of one shard's
+	// output restricted to the users it owns. Like Fingerprint, it must not
+	// disturb serving state.
+	ShardFingerprint(ctx context.Context, shard int) ([]byte, error)
+}
+
 // PhaseKind names a lifecycle phase.
 type PhaseKind string
 
@@ -75,6 +100,16 @@ const (
 	// checkpoint plus the write-ahead-log suffix, and asserts its fingerprint
 	// matches the uninterrupted shadow system byte for byte.
 	PhaseKillAndRecover PhaseKind = "kill-and-recover"
+	// PhaseKillShard crashes one shard of a sharded primary (Phase.Shard);
+	// the rest of the cluster keeps serving.
+	PhaseKillShard PhaseKind = "kill-shard"
+	// PhaseRestartShard restores a killed shard from its snapshot plus its
+	// write-ahead-log suffix and, when the scenario runs a shadow, asserts
+	// the recovered shard's owned-user fingerprint matches the single-node
+	// shadow byte for byte (the shadow is fed exactly the events the router
+	// delivered to that shard, so an uninterrupted single node is the
+	// ground truth for what the shard must look like after recovery).
+	PhaseRestartShard PhaseKind = "restart-shard"
 )
 
 // Phase is one step of a scenario. Zero-valued knobs select the defaults
@@ -100,6 +135,18 @@ type Phase struct {
 	Events int `json:"events,omitempty"`
 	// EventBatch is the events per /ingest POST (default 25).
 	EventBatch int `json:"event_batch,omitempty"`
+	// Shard names the target of kill-shard and restart-shard phases.
+	Shard int `json:"shard,omitempty"`
+	// KillShardMid, on a serve-under-load phase against a sharded primary,
+	// kills that shard KillDelayMs into the load (the mid-load outage
+	// drill). Requests hitting the dead shard fail with the router's typed
+	// 503, so the phase tolerates server-side errors instead of failing on
+	// them; a later restart-shard + serve-under-load pair asserts the
+	// cluster is error-free again.
+	KillShardMid *int `json:"kill_shard_mid,omitempty"`
+	// KillDelayMs is how far into the load the mid-load kill fires
+	// (default 100).
+	KillDelayMs int `json:"kill_delay_ms,omitempty"`
 }
 
 // Scenario is a full lifecycle expressed as data: a universe, a system
@@ -131,6 +178,37 @@ func (sc *Scenario) has(kind PhaseKind) bool {
 	return false
 }
 
+// shardUnderTest returns the shard targeted by the scenario's kill/restart
+// choreography (-1 when there is none), erroring when phases disagree: the
+// shadow can mirror only one shard's event feed, so one scenario may drill
+// one shard.
+func (sc *Scenario) shardUnderTest() (int, error) {
+	shard := -1
+	consider := func(s int) error {
+		if shard == -1 {
+			shard = s
+			return nil
+		}
+		if shard != s {
+			return fmt.Errorf("simulate: scenario %q drills both shard %d and shard %d; one scenario may target one shard", sc.Name, shard, s)
+		}
+		return nil
+	}
+	for _, p := range sc.Phases {
+		switch {
+		case p.Kind == PhaseKillShard || p.Kind == PhaseRestartShard:
+			if err := consider(p.Shard); err != nil {
+				return -1, err
+			}
+		case p.Kind == PhaseServeUnderLoad && p.KillShardMid != nil:
+			if err := consider(*p.KillShardMid); err != nil {
+				return -1, err
+			}
+		}
+	}
+	return shard, nil
+}
+
 // PhaseResult records one executed phase.
 type PhaseResult struct {
 	// Kind echoes the phase.
@@ -143,11 +221,14 @@ type PhaseResult struct {
 	// ingest-churn phase.
 	ReaderRequests int64 `json:"reader_requests,omitempty"`
 	ReaderErrors   int64 `json:"reader_errors,omitempty"`
-	// Replayed is the write-ahead-log suffix length a kill-and-recover phase
-	// replayed.
+	// Replayed is the write-ahead-log suffix length a kill-and-recover or
+	// restart-shard phase replayed.
 	Replayed int `json:"replayed,omitempty"`
 	// ParityChecked marks phases that asserted a fingerprint equivalence.
 	ParityChecked bool `json:"parity_checked,omitempty"`
+	// Shard echoes the target of a kill-shard/restart-shard phase (and of a
+	// mid-load kill).
+	Shard int `json:"shard,omitempty"`
 }
 
 // Result is the outcome of one scenario run.
@@ -163,8 +244,13 @@ type Result struct {
 type Runner struct {
 	// NewSystem constructs one system under test. It is called once for the
 	// primary and once more for the shadow when the scenario contains a
-	// kill-and-recover phase.
+	// kill-and-recover or restart-shard phase (unless NewShadow overrides
+	// the shadow's construction).
 	NewSystem func() System
+	// NewShadow, when set, constructs the shadow reference system instead of
+	// NewSystem. Cluster scenarios use it to compare a sharded primary
+	// against a single-node shadow.
+	NewShadow func() System
 	// Dir holds the scenario's durable files (snapshot, WAL).
 	Dir string
 }
@@ -173,10 +259,15 @@ type Runner struct {
 type runState struct {
 	universe *Universe
 	primary  System
-	shadow   System // nil unless the scenario kill-and-recovers
+	shadow   System // nil unless the scenario kill-and-recovers or restarts a shard
 	events   *EventStream
 	snapPath string
 	walPath  string
+	// sharded is the primary's multi-node view (nil for single-node runs);
+	// shadowShard is the shard whose routed events feed the shadow (-1 when
+	// the shadow absorbs everything, the single-node semantics).
+	sharded     ShardedSystem
+	shadowShard int
 }
 
 // Run executes the scenario and returns its per-phase record. Any phase
@@ -202,11 +293,16 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	shadowShard, err := sc.shardUnderTest()
+	if err != nil {
+		return nil, err
+	}
 	st := &runState{
-		universe: u,
-		events:   u.EventStream(EventStreamConfig{Seed: sc.Seed}),
-		snapPath: filepath.Join(r.Dir, "scenario.snap"),
-		walPath:  filepath.Join(r.Dir, "scenario.wal"),
+		universe:    u,
+		events:      u.EventStream(EventStreamConfig{Seed: sc.Seed}),
+		snapPath:    filepath.Join(r.Dir, "scenario.snap"),
+		walPath:     filepath.Join(r.Dir, "scenario.wal"),
+		shadowShard: shadowShard,
 	}
 	res := &Result{Scenario: sc.Name}
 	for k, phase := range sc.Phases {
@@ -238,9 +334,31 @@ func (r *Runner) runPhase(ctx context.Context, sc *Scenario, st *runState, p Pha
 		return r.ingestChurn(ctx, sc, st, p, pr)
 	case PhaseKillAndRecover:
 		return r.killAndRecover(ctx, st, pr)
+	case PhaseKillShard:
+		pr.Shard = p.Shard
+		ss, err := st.shardedOrErr(p.Kind)
+		if err != nil {
+			return pr, err
+		}
+		return pr, ss.KillShard(p.Shard)
+	case PhaseRestartShard:
+		pr.Shard = p.Shard
+		return r.restartShard(ctx, st, p, pr)
 	default:
 		return pr, fmt.Errorf("unknown phase kind %q", p.Kind)
 	}
+}
+
+// shardedOrErr returns the primary's multi-node view, erroring for phases
+// that need one against a single-node primary.
+func (st *runState) shardedOrErr(kind PhaseKind) (ShardedSystem, error) {
+	if st.primary == nil {
+		return nil, fmt.Errorf("%s before train", kind)
+	}
+	if st.sharded == nil {
+		return nil, fmt.Errorf("%s phase requires a sharded primary", kind)
+	}
+	return st.sharded, nil
 }
 
 // train stands up the primary (and the shadow when the scenario needs one)
@@ -250,7 +368,16 @@ func (r *Runner) train(sc *Scenario, st *runState) error {
 	if err := st.primary.Train(st.universe.Train(), sc.TopN); err != nil {
 		return err
 	}
-	needIngest := sc.has(PhaseIngestChurn) || sc.has(PhaseKillAndRecover)
+	st.sharded, _ = st.primary.(ShardedSystem)
+	if st.shadowShard >= 0 {
+		if st.sharded == nil {
+			return fmt.Errorf("scenario drills shard %d but the primary is not sharded", st.shadowShard)
+		}
+		if n := st.sharded.NumShards(); st.shadowShard >= n {
+			return fmt.Errorf("scenario drills shard %d of a %d-shard primary", st.shadowShard, n)
+		}
+	}
+	needIngest := sc.has(PhaseIngestChurn) || sc.has(PhaseKillAndRecover) || sc.has(PhaseRestartShard)
 	if needIngest {
 		// The primary runs the full durability stack; checkpoints target the
 		// same snapshot path PhaseSave writes, mirroring cmd/ganc.
@@ -258,18 +385,40 @@ func (r *Runner) train(sc *Scenario, st *runState) error {
 			return err
 		}
 	}
-	if sc.has(PhaseKillAndRecover) {
-		st.shadow = r.NewSystem()
+	if sc.has(PhaseKillAndRecover) || (sc.has(PhaseRestartShard) && st.shadowShard >= 0) {
+		newShadow := r.NewShadow
+		if newShadow == nil {
+			newShadow = r.NewSystem
+		}
+		st.shadow = newShadow()
 		if err := st.shadow.Train(st.universe.Train(), sc.TopN); err != nil {
 			return fmt.Errorf("shadow: %w", err)
 		}
 		// The shadow is the uninterrupted reference: same events, no WAL, no
-		// checkpoints, no crash.
+		// checkpoints, no crash. For a sharded primary it absorbs only the
+		// drilled shard's routed events, making it the single-node ground
+		// truth for that shard's recovery.
 		if err := st.shadow.EnableIngest("", "", 0); err != nil {
 			return fmt.Errorf("shadow: %w", err)
 		}
 	}
 	return nil
+}
+
+// shadowEvents filters an applied batch down to what the shadow must
+// absorb: everything for single-node runs, only the drilled shard's routed
+// slice for cluster runs.
+func (st *runState) shadowEvents(events []serve.IngestEvent) []serve.IngestEvent {
+	if st.sharded == nil || st.shadowShard < 0 {
+		return events
+	}
+	var out []serve.IngestEvent
+	for _, ev := range events {
+		if st.sharded.ShardOwner(ev.User) == st.shadowShard {
+			out = append(out, ev)
+		}
+	}
+	return out
 }
 
 // load asserts warm-start parity: reloading the snapshot must not change the
@@ -326,7 +475,7 @@ func (r *Runner) serveUnderLoad(ctx context.Context, sc *Scenario, st *runState,
 		// ingest-churn phases, which feed both systems identically.
 		mix.Ingest = 0
 	}
-	res, err := RunLoad(ctx, st.universe, LoadConfig{
+	cfg := LoadConfig{
 		BaseURL:     ts.URL,
 		Requests:    requests,
 		Concurrency: concurrency,
@@ -334,7 +483,43 @@ func (r *Runner) serveUnderLoad(ctx context.Context, sc *Scenario, st *runState,
 		BatchSize:   p.BatchSize,
 		Seed:        sc.Seed + 1,
 		Client:      ts.Client(),
-	})
+	}
+
+	if p.KillShardMid != nil {
+		// The mid-load outage drill: kill the shard partway through the
+		// load. Requests owned by the dead shard fail with the router's
+		// typed 503 from that moment on — those errors are the point, so
+		// the phase records them instead of failing on them.
+		ss, err := st.shardedOrErr(PhaseKind("serve-under-load kill-shard-mid"))
+		if err != nil {
+			return pr, err
+		}
+		shard := *p.KillShardMid
+		pr.Shard = shard
+		delay := time.Duration(p.KillDelayMs) * time.Millisecond
+		if delay <= 0 {
+			delay = 100 * time.Millisecond
+		}
+		killErr := make(chan error, 1)
+		timer := time.AfterFunc(delay, func() { killErr <- ss.KillShard(shard) })
+		defer timer.Stop()
+		res, err := RunLoad(ctx, st.universe, cfg)
+		if err != nil {
+			return pr, err
+		}
+		pr.Load = res
+		select {
+		case err := <-killErr:
+			if err != nil {
+				return pr, fmt.Errorf("mid-load kill of shard %d: %w", shard, err)
+			}
+		case <-time.After(5 * time.Second):
+			return pr, fmt.Errorf("mid-load kill of shard %d never fired", shard)
+		}
+		return pr, nil
+	}
+
+	res, err := RunLoad(ctx, st.universe, cfg)
 	if err != nil {
 		return pr, err
 	}
@@ -342,6 +527,42 @@ func (r *Runner) serveUnderLoad(ctx context.Context, sc *Scenario, st *runState,
 	if res.Errors > 0 {
 		return pr, fmt.Errorf("%d of %d requests failed with server-side errors", res.Errors, res.Requests)
 	}
+	return pr, nil
+}
+
+// restartShard restores a killed shard and, when a shadow exists, asserts
+// the recovered shard's owned-user output is byte-identical to the
+// uninterrupted single-node shadow restricted to the same users.
+func (r *Runner) restartShard(ctx context.Context, st *runState, p Phase, pr PhaseResult) (PhaseResult, error) {
+	ss, err := st.shardedOrErr(p.Kind)
+	if err != nil {
+		return pr, err
+	}
+	replayed, err := ss.RestartShard(p.Shard)
+	if err != nil {
+		return pr, fmt.Errorf("restart shard %d: %w", p.Shard, err)
+	}
+	pr.Replayed = replayed
+	if st.shadow == nil {
+		return pr, nil
+	}
+	shadowFp, err := st.shadow.Fingerprint(ctx)
+	if err != nil {
+		return pr, fmt.Errorf("shadow fingerprint: %w", err)
+	}
+	want := FilterCanonical(shadowFp, func(user string) bool { return ss.ShardOwner(user) == p.Shard })
+	if len(want) == 0 {
+		return pr, fmt.Errorf("shadow fingerprint covers no users owned by shard %d: the parity check would be vacuous", p.Shard)
+	}
+	got, err := ss.ShardFingerprint(ctx, p.Shard)
+	if err != nil {
+		return pr, fmt.Errorf("recovered shard fingerprint: %w", err)
+	}
+	if !bytes.Equal(got, want) {
+		return pr, fmt.Errorf("shard recovery equivalence broken: shard %d's owned-user output differs from the single-node shadow (replayed %d events, %d vs %d bytes)",
+			p.Shard, replayed, len(got), len(want))
+	}
+	pr.ParityChecked = true
 	return pr, nil
 }
 
@@ -427,9 +648,11 @@ func (r *Runner) ingestChurn(ctx context.Context, sc *Scenario, st *runState, p 
 			break
 		}
 		if st.shadow != nil {
-			if err := st.shadow.Ingest(ctx, evs); err != nil {
-				ingestErr = fmt.Errorf("shadow ingest: %w", err)
-				break
+			if mirror := st.shadowEvents(evs); len(mirror) > 0 {
+				if err := st.shadow.Ingest(ctx, mirror); err != nil {
+					ingestErr = fmt.Errorf("shadow ingest: %w", err)
+					break
+				}
 			}
 		}
 		applied += n
@@ -510,4 +733,21 @@ func CanonicalRecommendations(train *dataset.Dataset, recs types.Recommendations
 	}
 	sort.Strings(lines)
 	return []byte(strings.Join(lines, "\n"))
+}
+
+// FilterCanonical keeps the lines of a canonical fingerprint whose user key
+// passes the predicate — how a sharded fingerprint is compared against the
+// relevant slice of a whole-universe shadow fingerprint.
+func FilterCanonical(fp []byte, keep func(userKey string) bool) []byte {
+	if len(fp) == 0 {
+		return fp
+	}
+	var out []string
+	for _, line := range strings.Split(string(fp), "\n") {
+		user, _, ok := strings.Cut(line, "\t")
+		if ok && keep(user) {
+			out = append(out, line)
+		}
+	}
+	return []byte(strings.Join(out, "\n"))
 }

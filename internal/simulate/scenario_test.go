@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -202,8 +203,235 @@ func (f *fakeSystem) Fingerprint(ctx context.Context) ([]byte, error) {
 	if f.killed {
 		return nil, fmt.Errorf("fake: killed")
 	}
-	data, err := json.Marshal(f.events)
-	return data, err
+	return canonicalEvents(f.events), nil
+}
+
+// canonicalEvents serializes applied events in the canonical fingerprint
+// line form ("user\tv1,v2,…", sorted by user), so fake fingerprints compose
+// with FilterCanonical exactly like real ones.
+func canonicalEvents(events []serve.IngestEvent) []byte {
+	perUser := make(map[string][]string)
+	for _, ev := range events {
+		perUser[ev.User] = append(perUser[ev.User], fmt.Sprintf("%s=%g", ev.Item, ev.Value))
+	}
+	lines := make([]string, 0, len(perUser))
+	for user, vals := range perUser {
+		lines = append(lines, user+"\t"+strings.Join(vals, ","))
+	}
+	sort.Strings(lines)
+	return []byte(strings.Join(lines, "\n"))
+}
+
+// shardedFake is a multi-node fake: one fakeSystem per shard behind a
+// hash-partitioning mux — the same topology the real cluster binding has,
+// without any training. It implements ShardedSystem for the cluster-phase
+// runner tests.
+type shardedFake struct {
+	shards []*fakeSystem
+	n      int
+	// paths remember the prefixes EnableIngest/Save derived per-shard files
+	// from, so RestartShard can reload shard i alone.
+	snapPrefix string
+}
+
+func newShardedFake(n int) *shardedFake {
+	f := &shardedFake{n: n}
+	for i := 0; i < n; i++ {
+		f.shards = append(f.shards, &fakeSystem{})
+	}
+	return f
+}
+
+// owner assigns users to shards by a stable string hash.
+func (f *shardedFake) owner(user string) int {
+	h := 0
+	for _, c := range user {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % f.n
+}
+
+func (f *shardedFake) shardPath(prefix string, i int) string {
+	return fmt.Sprintf("%s-shard%03d", prefix, i)
+}
+
+func (f *shardedFake) Train(train *dataset.Dataset, topN int) error {
+	for _, s := range f.shards {
+		if err := s.Train(train, topN); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *shardedFake) Handler() (http.Handler, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(serve.InfoResponse{Version: 1})
+	})
+	mux.HandleFunc("/recommend", func(w http.ResponseWriter, r *http.Request) {
+		user := r.URL.Query().Get("user")
+		s := f.shards[f.owner(user)]
+		s.mu.Lock()
+		dead := s.killed
+		s.mu.Unlock()
+		if dead {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "shard unavailable", "code": "shard_unavailable"})
+			return
+		}
+		json.NewEncoder(w).Encode(serve.RecommendResponse{User: user})
+	})
+	mux.HandleFunc("/recommend/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		for _, user := range req.Users {
+			s := f.shards[f.owner(user)]
+			s.mu.Lock()
+			dead := s.killed
+			s.mu.Unlock()
+			if dead {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(map[string]string{"error": "shard unavailable", "code": "shard_unavailable"})
+				return
+			}
+		}
+		json.NewEncoder(w).Encode(serve.BatchResponse{})
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.IngestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		if err := f.Ingest(r.Context(), req.Events); err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(serve.IngestResult{Applied: len(req.Events)})
+	})
+	return mux, nil
+}
+
+func (f *shardedFake) Save(path string) error {
+	f.snapPrefix = path
+	for i, s := range f.shards {
+		if err := s.Save(f.shardPath(path, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *shardedFake) Load(path string) error {
+	for i, s := range f.shards {
+		if err := s.Load(f.shardPath(path, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *shardedFake) EnableIngest(logPath, checkpointPath string, every int) error {
+	for i, s := range f.shards {
+		log := ""
+		if logPath != "" {
+			log = f.shardPath(logPath, i)
+		}
+		ckpt := ""
+		if checkpointPath != "" {
+			ckpt = f.shardPath(checkpointPath, i)
+		}
+		if err := s.EnableIngest(log, ckpt, every); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *shardedFake) Ingest(ctx context.Context, events []serve.IngestEvent) error {
+	perShard := make(map[int][]serve.IngestEvent)
+	for _, ev := range events {
+		o := f.owner(ev.User)
+		perShard[o] = append(perShard[o], ev)
+	}
+	for shard, evs := range perShard {
+		if err := f.shards[shard].Ingest(ctx, evs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *shardedFake) Recover() (int, error) {
+	total := 0
+	for _, s := range f.shards {
+		n, err := s.Recover()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func (f *shardedFake) Kill() error {
+	for _, s := range f.shards {
+		if err := s.Kill(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *shardedFake) Fingerprint(ctx context.Context) ([]byte, error) {
+	var all []serve.IngestEvent
+	for _, s := range f.shards {
+		s.mu.Lock()
+		if s.killed {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("fake: shard killed")
+		}
+		all = append(all, s.events...)
+		s.mu.Unlock()
+	}
+	return canonicalEvents(all), nil
+}
+
+// NumShards implements ShardedSystem.
+func (f *shardedFake) NumShards() int { return f.n }
+
+// ShardOwner implements ShardedSystem.
+func (f *shardedFake) ShardOwner(userKey string) int { return f.owner(userKey) }
+
+// KillShard implements ShardedSystem.
+func (f *shardedFake) KillShard(shard int) error { return f.shards[shard].Kill() }
+
+// RestartShard implements ShardedSystem: reload the shard's snapshot, then
+// replay its WAL suffix.
+func (f *shardedFake) RestartShard(shard int) (int, error) {
+	s := f.shards[shard]
+	if err := s.Load(s.ckptPath); err != nil {
+		return 0, err
+	}
+	return s.Recover()
+}
+
+// ShardFingerprint implements ShardedSystem.
+func (f *shardedFake) ShardFingerprint(ctx context.Context, shard int) ([]byte, error) {
+	s := f.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.killed {
+		return nil, fmt.Errorf("fake: shard killed")
+	}
+	return canonicalEvents(s.events), nil
 }
 
 // scenarioFixture is a small but real universe for runner tests.
@@ -280,6 +508,131 @@ func TestRunnerFullLifecycle(t *testing.T) {
 	wantCalls := []string{"train", "enable-ingest", "save", "load", "kill", "load", "recover"}
 	if got := strings.Join(primary.calls, ","); got != strings.Join(wantCalls, ",") {
 		t.Fatalf("primary lifecycle %v, want %v", primary.calls, wantCalls)
+	}
+}
+
+// TestRunnerClusterLifecycle drives the multi-node phases through sharded
+// fakes: ingest churn routed per shard, a mid-load shard kill, and a
+// restart-shard recovery whose owned-user fingerprint must match a
+// single-node shadow fed exactly the drilled shard's routed events.
+func TestRunnerClusterLifecycle(t *testing.T) {
+	const drilled = 1
+	var primary *shardedFake
+	var shadow *fakeSystem
+	r := &Runner{
+		NewSystem: func() System {
+			primary = newShardedFake(3)
+			return primary
+		},
+		NewShadow: func() System {
+			shadow = &fakeSystem{}
+			return shadow
+		},
+		Dir: t.TempDir(),
+	}
+	sc := scenarioFixture()
+	sc.CheckpointEvery = 0 // WAL-only durability: the restart must replay everything
+	target := drilled
+	sc.Phases = []Phase{
+		{Kind: PhaseTrain},
+		{Kind: PhaseSave},
+		{Kind: PhaseIngestChurn, Events: 90, EventBatch: 30, Concurrency: 2},
+		{Kind: PhaseServeUnderLoad, Requests: 200, Concurrency: 2, KillShardMid: &target, KillDelayMs: 1},
+		{Kind: PhaseRestartShard, Shard: drilled},
+		{Kind: PhaseIngestChurn, Events: 30, EventBatch: 10, Concurrency: 2},
+	}
+	res, err := r.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shadow == nil {
+		t.Fatal("no shadow was constructed")
+	}
+	shadow.mu.Lock()
+	shadowEvents := len(shadow.events)
+	for _, ev := range shadow.events {
+		if primary.owner(ev.User) != drilled {
+			t.Fatalf("shadow absorbed %q, owned by shard %d not %d", ev.User, primary.owner(ev.User), drilled)
+		}
+	}
+	shadow.mu.Unlock()
+	if shadowEvents == 0 {
+		t.Fatal("shadow absorbed no events — the churn never routed anything to the drilled shard")
+	}
+
+	restart := res.Phases[4]
+	if !restart.ParityChecked {
+		t.Fatal("restart-shard did not assert shard recovery equivalence")
+	}
+	// The kill wiped the shard after the first churn's 90 events; WAL-only
+	// durability means the restart replays exactly the shard's slice of
+	// them. The event stream is deterministic, so the expected slice can be
+	// recomputed from the scenario's seed.
+	u, err := NewUniverse(sc.Universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReplayed := 0
+	for _, ev := range u.EventStream(EventStreamConfig{Seed: sc.Seed}).NextBatch(90) {
+		if primary.owner(ev.User) == drilled {
+			wantReplayed++
+		}
+	}
+	if wantReplayed == 0 {
+		t.Fatal("fixture stream routes nothing to the drilled shard")
+	}
+	if restart.Replayed != wantReplayed {
+		t.Fatalf("restart replayed %d events, want the shard's full %d-event WAL", restart.Replayed, wantReplayed)
+	}
+	if restart.Shard != drilled {
+		t.Fatalf("restart phase recorded shard %d, want %d", restart.Shard, drilled)
+	}
+	if res.Phases[3].Load == nil {
+		t.Fatal("mid-kill serve phase recorded no load result")
+	}
+	// The post-restart churn must have run error-free against the healed
+	// cluster (an error would have failed the run).
+	if res.Phases[5].EventsApplied != 30 {
+		t.Fatalf("post-restart churn applied %d events, want 30", res.Phases[5].EventsApplied)
+	}
+}
+
+// TestRunnerClusterPhaseValidation: shard phases against single-node
+// primaries and conflicting shard targets must be rejected.
+func TestRunnerClusterPhaseValidation(t *testing.T) {
+	ctx := context.Background()
+	single := &Runner{NewSystem: func() System { return &fakeSystem{} }, Dir: t.TempDir()}
+	sc := scenarioFixture()
+	sc.Phases = []Phase{{Kind: PhaseTrain}, {Kind: PhaseKillShard, Shard: 0}}
+	if _, err := single.Run(ctx, sc); err == nil || !strings.Contains(err.Error(), "sharded") {
+		t.Fatalf("kill-shard against a single-node primary: %v", err)
+	}
+
+	sharded := &Runner{NewSystem: func() System { return newShardedFake(2) }, Dir: t.TempDir()}
+	sc = scenarioFixture()
+	sc.Phases = []Phase{{Kind: PhaseTrain}, {Kind: PhaseKillShard, Shard: 0}, {Kind: PhaseRestartShard, Shard: 1}}
+	if _, err := sharded.Run(ctx, sc); err == nil || !strings.Contains(err.Error(), "one shard") {
+		t.Fatalf("conflicting shard targets: %v", err)
+	}
+	sc.Phases = []Phase{{Kind: PhaseTrain}, {Kind: PhaseRestartShard, Shard: 7}}
+	if _, err := sharded.Run(ctx, sc); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+// TestFilterCanonical pins the fingerprint filter the shard parity check
+// composes with.
+func TestFilterCanonical(t *testing.T) {
+	fp := []byte("alice\ti1,i2\nbob\ti3\ncarol\ti4")
+	got := string(FilterCanonical(fp, func(u string) bool { return u != "bob" }))
+	if got != "alice\ti1,i2\ncarol\ti4" {
+		t.Fatalf("filtered fingerprint %q", got)
+	}
+	if out := FilterCanonical(nil, func(string) bool { return true }); len(out) != 0 {
+		t.Fatalf("empty fingerprint filtered to %q", out)
+	}
+	if out := string(FilterCanonical(fp, func(string) bool { return false })); out != "" {
+		t.Fatalf("reject-all filter left %q", out)
 	}
 }
 

@@ -7,17 +7,12 @@ import (
 	"time"
 )
 
-// tinyConfig is a universe small enough for unit tests.
-func tinyConfig(seed int64) UniverseConfig {
-	return UniverseConfig{Users: 60, Items: 40, Ratings: 900, Seed: seed}
-}
-
 // TestUniverseDeterministic is the generator half of the determinism
 // acceptance criterion: the same seed must produce the byte-identical
 // dataset; a different seed must not.
 func TestUniverseDeterministic(t *testing.T) {
 	serialize := func(seed int64) []byte {
-		u, err := NewUniverse(tinyConfig(seed))
+		u, err := NewUniverse(TinyConfig(seed))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,7 +35,7 @@ func TestUniverseDeterministic(t *testing.T) {
 // seed yields the byte-identical event sequence (compared in JSON, the WAL's
 // wire form).
 func TestEventStreamDeterministic(t *testing.T) {
-	u, err := NewUniverse(tinyConfig(3))
+	u, err := NewUniverse(TinyConfig(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +60,7 @@ func TestEventStreamDeterministic(t *testing.T) {
 // identifiers appear at roughly the configured rates, and known identifiers
 // come from the universe.
 func TestEventStreamInjectsNewUsersAndItems(t *testing.T) {
-	u, err := NewUniverse(tinyConfig(3))
+	u, err := NewUniverse(TinyConfig(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +95,7 @@ func TestEventStreamInjectsNewUsersAndItems(t *testing.T) {
 // TestRequestStreamSkewAndDeterminism checks that request traffic is hot-user
 // skewed (the cache-relevance property) and seed-deterministic.
 func TestRequestStreamSkewAndDeterminism(t *testing.T) {
-	u, err := NewUniverse(tinyConfig(3))
+	u, err := NewUniverse(TinyConfig(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,7 @@ const (
 	sectionCoverage = "coverage"
 	sectionPopCache = "popcache"
 	sectionIngest   = "ingest"
+	sectionCluster  = "cluster"
 )
 
 // ErrSnapshotUnsupported marks pipelines that cannot be persisted: fully
@@ -80,6 +81,16 @@ type popSnapshot struct {
 type itemAvgSnapshot struct {
 	Avg    []float64
 	Lambda float64
+}
+
+// clusterSnapshot is the "cluster" section written by shard-scoped
+// snapshots: the shard's identity and the hash-ring epoch the split was cut
+// for, so a shard server can refuse a snapshot from another ring generation
+// and a router can detect a mixed-epoch deployment through /info.
+type clusterSnapshot struct {
+	ShardID   int
+	NumShards int
+	RingEpoch uint64
 }
 
 // ingestSnapshot is the "ingest" section written by checkpoints: the
@@ -212,6 +223,15 @@ func (p *Pipeline) snapshotBuilder(seq uint64, avgLambda, prefFill float64) (*pe
 			return nil, err
 		}
 	}
+	if p.shard != nil {
+		if err := b.AddGob(sectionCluster, &clusterSnapshot{
+			ShardID:   p.shard.ShardID,
+			NumShards: p.shard.NumShards,
+			RingEpoch: p.shard.RingEpoch,
+		}); err != nil {
+			return nil, err
+		}
+	}
 	return &b, nil
 }
 
@@ -334,7 +354,52 @@ func LoadEngine(path string) (*Pipeline, error) {
 		p.ingestPrefFill = ing.PrefFill
 		p.ingestAvgLambda = ing.AvgLambda
 	}
+	if snap.Has(sectionCluster) {
+		var cs clusterSnapshot
+		if err := snap.Gob(sectionCluster, &cs); err != nil {
+			return nil, err
+		}
+		if cs.NumShards <= 0 || cs.ShardID < 0 || cs.ShardID >= cs.NumShards {
+			return nil, fmt.Errorf("ganc: snapshot %s has invalid shard identity %d/%d", path, cs.ShardID, cs.NumShards)
+		}
+		p.shard = &ShardIdentity{ShardID: cs.ShardID, NumShards: cs.NumShards, RingEpoch: cs.RingEpoch}
+	}
 	return p, nil
+}
+
+// SaveShard writes a shard-scoped warm-start snapshot: the full Pipeline.Save
+// payload plus a cluster section naming the shard, the shard count and the
+// hash-ring epoch the split was cut for. A snapshot dealt out by SaveShard is
+// what bootstraps one shard server of a cluster (see NewCluster and
+// cmd/gancd -role split).
+func (p *Pipeline) SaveShard(path string, id ShardIdentity) error {
+	if id.NumShards <= 0 || id.ShardID < 0 || id.ShardID >= id.NumShards {
+		return fmt.Errorf("ganc: invalid shard identity %d/%d", id.ShardID, id.NumShards)
+	}
+	shadow := *p
+	shadow.shard = &id
+	b, err := shadow.snapshotBuilder(p.ingestSeq, p.ingestAvgLambda, p.ingestPrefFill)
+	if err != nil {
+		return err
+	}
+	return b.Save(path)
+}
+
+// LoadShardEngine restores a shard-scoped snapshot written by SaveShard (or
+// by a shard's ingestion checkpoint) and returns the pipeline together with
+// its shard identity. Snapshots without a cluster section are refused: a
+// plain single-node snapshot behind a shard flag is a deployment mistake
+// worth failing fast on (LoadEngine still reads shard snapshots fine when no
+// identity is expected).
+func LoadShardEngine(path string) (*Pipeline, ShardIdentity, error) {
+	p, err := LoadEngine(path)
+	if err != nil {
+		return nil, ShardIdentity{}, err
+	}
+	if p.shard == nil {
+		return nil, ShardIdentity{}, fmt.Errorf("ganc: snapshot %s carries no shard identity (not written by SaveShard)", path)
+	}
+	return p, *p.shard, nil
 }
 
 // loadBase restores the accuracy component and the raw base scorer from the

@@ -46,6 +46,12 @@ type Pipeline struct {
 	ingestSeq       uint64
 	ingestPrefFill  float64
 	ingestAvgLambda float64
+
+	// shard is the cluster identity of a shard-scoped pipeline (nil for
+	// single-node pipelines). It is written by SaveShard, restored by
+	// LoadShardEngine, and carried through ingestion rebuilds so shard
+	// checkpoints keep their identity.
+	shard *ShardIdentity
 }
 
 type pipelineConfig struct {
@@ -281,6 +287,16 @@ func (p *Pipeline) Preferences() *Preferences { return p.prefs }
 // GANC returns the assembled core instance for callers that need the
 // lower-level surface (e.g. ValueOf in ablation studies).
 func (p *Pipeline) GANC() *GANC { return p.ganc }
+
+// Shard returns the pipeline's cluster identity, or nil for single-node
+// pipelines (see SaveShard/LoadShardEngine).
+func (p *Pipeline) Shard() *ShardIdentity {
+	if p.shard == nil {
+		return nil
+	}
+	id := *p.shard
+	return &id
+}
 
 // RecommendUser implements Engine: one user's list, computed on demand
 // against a frozen snapshot of the coverage state. Safe for concurrent use.

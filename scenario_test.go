@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"ganc/internal/simtest"
 )
 
 // The tier-2 E2E scenario suite: full system lifecycles — train, snapshot,
@@ -22,17 +24,22 @@ import (
 // and error-free serving (PhaseServeUnderLoad, PhaseIngestChurn) all fail the
 // scenario with a descriptive error.
 
-// e2eUniverse is large enough to exercise real eviction/coalescing behavior
-// but small enough for -race throughput.
+// e2eUniverse is the shared tier-2 universe fixture (internal/simtest):
+// large enough to exercise real eviction/coalescing behavior but small
+// enough for -race throughput.
 func e2eUniverse(seed int64) UniverseConfig {
-	return UniverseConfig{Users: 400, Items: 300, Ratings: 8000, Seed: seed}
+	return simtest.E2E(seed)
 }
 
-// e2eSystem is the standard system under test: the cheapest snapshot-
-// compatible pipeline, so scenario time goes to lifecycle coverage rather
-// than training.
+// e2eSystem is the standard system under test from the shared fixture
+// parameters: the cheapest snapshot-compatible pipeline, so scenario time
+// goes to lifecycle coverage rather than training.
 func e2eSystem() SimSystemConfig {
-	return SimSystemConfig{Base: "Pop", Theta: PreferenceTFIDF, Seed: 7}
+	return SimSystemConfig{
+		Base:  simtest.StandardBase,
+		Theta: ParsePreferenceModel(simtest.StandardTheta),
+		Seed:  simtest.StandardSeed,
+	}
 }
 
 // TestScenarioWarmStartParity: train → save → serve under load → reload the

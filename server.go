@@ -14,6 +14,9 @@ type (
 	ServerOption = serve.Option
 	// ServerCacheStats reports the server's cache effectiveness counters.
 	ServerCacheStats = serve.CacheStats
+	// ShardIdentity names a server's place in a sharded cluster (shard id,
+	// shard count, hash-ring epoch), reported through /info.
+	ShardIdentity = serve.ShardIdentity
 )
 
 // NewServer builds an HTTP server around an Engine. The train set supplies
@@ -38,4 +41,10 @@ func WithServerPrecomputed(recs Recommendations) ServerOption {
 // request may trigger (default serve.DefaultBatchWorkers).
 func WithServerBatchWorkers(workers int) ServerOption {
 	return serve.WithBatchWorkers(workers)
+}
+
+// WithServerShardIdentity marks the server as one shard of a cluster; the
+// identity is echoed in /info and /health for router-side epoch checks.
+func WithServerShardIdentity(id ShardIdentity) ServerOption {
+	return serve.WithShardIdentity(id)
 }

@@ -34,6 +34,9 @@ type (
 	LatencyStats = simulate.LatencyStats
 	// BenchReport is the BENCH_serve.json document.
 	BenchReport = simulate.BenchReport
+	// ClusterBenchReport is the BENCH_cluster.json document (single node vs
+	// N-shard cluster under the same load and per-node cache budget).
+	ClusterBenchReport = simulate.ClusterBenchReport
 	// Scenario is a system lifecycle expressed as a phase list.
 	Scenario = simulate.Scenario
 	// ScenarioPhase is one step of a Scenario.
@@ -68,6 +71,12 @@ func RunLoad(ctx context.Context, u *Universe, cfg LoadConfig) (*LoadResult, err
 // artifact (BENCH_serve.json), atomically.
 func WriteBenchReport(path string, rep *BenchReport) error {
 	return simulate.WriteBenchReport(path, rep)
+}
+
+// WriteClusterBenchReport writes the single-node vs cluster comparison as
+// an indented-JSON benchmark artifact (BENCH_cluster.json), atomically.
+func WriteClusterBenchReport(path string, rep *ClusterBenchReport) error {
+	return simulate.WriteClusterBenchReport(path, rep)
 }
 
 // SimSystemConfig describes the pipeline a scenario system assembles: a
@@ -279,19 +288,28 @@ func (s *pipelineSystem) Fingerprint(ctx context.Context) ([]byte, error) {
 	if s.pipe == nil {
 		return nil, fmt.Errorf("ganc: cannot fingerprint a killed scenario system")
 	}
-	kind, err := s.pipe.baseKind()
+	return fingerprintPipeline(ctx, s.pipe, s.ing, nil)
+}
+
+// fingerprintPipeline computes the canonical batch fingerprint of a
+// pipeline's current state (live ingestor state when ing is non-nil, an
+// equivalent fresh view otherwise), sweeping a throwaway clone so serving
+// state is never disturbed. A non-nil keep predicate restricts the
+// fingerprint to the users it accepts — the shard-scoped form.
+func fingerprintPipeline(ctx context.Context, p *Pipeline, ing *Ingestor, keep func(userKey string) bool) ([]byte, error) {
+	kind, err := p.baseKind()
 	if err != nil {
 		return nil, err
 	}
-	covName, err := s.pipe.coverageName()
+	covName, err := p.coverageName()
 	if err != nil {
 		return nil, err
 	}
-	viewIng := s.ing
+	viewIng := ing
 	if viewIng == nil {
 		// No live ingestor: derive a state view the same way NewIngestor
 		// would, without attaching anything to the server.
-		viewIng, err = NewIngestor(nil, s.pipe)
+		viewIng, err = NewIngestor(nil, p)
 		if err != nil {
 			return nil, err
 		}
@@ -299,7 +317,7 @@ func (s *pipelineSystem) Fingerprint(ctx context.Context) ([]byte, error) {
 	var clone *Pipeline
 	var cloneErr error
 	viewIng.View(func(st *ingest.State) {
-		clone, cloneErr = s.pipe.pipelineFromState(kind, covName, st)
+		clone, cloneErr = p.pipelineFromState(kind, covName, st)
 	})
 	if cloneErr != nil {
 		return nil, cloneErr
@@ -308,5 +326,9 @@ func (s *pipelineSystem) Fingerprint(ctx context.Context) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return simulate.CanonicalRecommendations(clone.Train(), recs), nil
+	fp := simulate.CanonicalRecommendations(clone.Train(), recs)
+	if keep == nil {
+		return fp, nil
+	}
+	return simulate.FilterCanonical(fp, keep), nil
 }

@@ -8,7 +8,10 @@ import (
 	"path/filepath"
 	"time"
 
+	"ganc/internal/admit"
 	"ganc/internal/cluster"
+	"ganc/internal/obs"
+	"ganc/internal/serve"
 )
 
 // Cluster facade: stand a sharded serving tier up in one process — N shard
@@ -34,6 +37,12 @@ type (
 	RouterConfig = cluster.RouterConfig
 	// ClusterInfoResponse is the router's aggregated /info payload.
 	ClusterInfoResponse = cluster.InfoResponse
+	// ClusterHealthResponse is the router's aggregated /health payload,
+	// including per-shard admission rows when shards shed.
+	ClusterHealthResponse = cluster.HealthResponse
+	// ShardAdmissionStatus is one shard's admission row in the router's
+	// aggregated /health: shed counts and limiter saturation.
+	ShardAdmissionStatus = cluster.ShardAdmission
 )
 
 // Cluster error sentinels re-exported from internal/cluster.
@@ -69,6 +78,10 @@ type clusterConfig struct {
 	checkpointEvery int
 	epoch           uint64
 	retries         int
+	metrics         *obs.Registry
+	reqLog          *obs.RequestLogger
+	routerAdmit     admit.Config
+	shardAdmit      *admit.Config
 }
 
 // WithShards sets the shard count (default 3).
@@ -115,6 +128,35 @@ func WithClusterEpoch(epoch uint64) ClusterOption {
 // (default 2).
 func WithRouterRetries(retries int) ClusterOption {
 	return func(c *clusterConfig) { c.retries = retries }
+}
+
+// WithClusterMetrics instruments the whole tier: the router registers its
+// per-shard fan-out/retry/failure counters, epoch-mismatch gauges and
+// per-route HTTP series on reg and mounts GET /metrics; every shard gets its
+// own private registry with the full single-node catalog, scrapable on the
+// shard's own address (registries must not be shared between servers).
+func WithClusterMetrics(reg *MetricsRegistry) ClusterOption {
+	return func(c *clusterConfig) { c.metrics = reg }
+}
+
+// WithClusterRequestLog emits one structured JSON line per router request to
+// the logger (shard-level requests are not logged; enable per-shard logging
+// by running shards as separate processes with cmd/gancd -request-log).
+func WithClusterRequestLog(l *RequestLogger) ClusterOption {
+	return func(c *clusterConfig) { c.reqLog = l }
+}
+
+// WithClusterAdmission applies admission control at the router: per-client
+// rate limiting and a concurrency cap over the whole fan-out surface.
+func WithClusterAdmission(cfg AdmissionConfig) ClusterOption {
+	return func(c *clusterConfig) { c.routerAdmit = cfg }
+}
+
+// WithShardAdmission applies admission control on every shard server (each
+// shard gets its own controller from cfg). The router's aggregated /health
+// surfaces each shard's shed counts and limiter saturation.
+func WithShardAdmission(cfg AdmissionConfig) ClusterOption {
+	return func(c *clusterConfig) { cc := cfg; c.shardAdmit = &cc }
 }
 
 // clusterShard is one in-process shard: its restored pipeline, server,
@@ -225,7 +267,13 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 		}
 	}
 
-	rt, err := cluster.NewRouter(cluster.RouterConfig{Ring: ring, Retries: cfg.retries})
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Ring:       ring,
+		Retries:    cfg.retries,
+		Metrics:    c.cfg.metrics,
+		RequestLog: c.cfg.reqLog,
+		Admission:  admit.New(c.cfg.routerAdmit),
+	})
 	if err != nil {
 		return fail(err)
 	}
@@ -259,6 +307,12 @@ func (c *Cluster) bootShard(sh *clusterShard, ln net.Listener) error {
 	opts := []ServerOption{WithServerShardIdentity(id)}
 	if c.cfg.cacheCap > 0 {
 		opts = append(opts, WithServerCacheCapacity(c.cfg.cacheCap))
+	}
+	if c.cfg.metrics != nil {
+		opts = append(opts, serve.WithMetrics(obs.NewRegistry()))
+	}
+	if c.cfg.shardAdmit != nil {
+		opts = append(opts, serve.WithAdmission(admit.New(*c.cfg.shardAdmit)))
 	}
 	srv, err := NewServer(pipe.Train(), pipe, c.topN, opts...)
 	if err != nil {

@@ -87,6 +87,14 @@ func (s *clusterSystem) Train(train *dataset.Dataset, topN int) error {
 	if s.cfg.CacheCapacity > 0 {
 		opts = append(opts, WithShardCacheCapacity(s.cfg.CacheCapacity))
 	}
+	if s.cfg.Metrics {
+		opts = append(opts, WithClusterMetrics(NewMetricsRegistry()))
+	}
+	if NewAdmission(s.cfg.Admission) != nil {
+		// Admission applies at the router — the surface scenarios drive — so
+		// overload phases shed with the router's typed 429s.
+		opts = append(opts, WithClusterAdmission(s.cfg.Admission))
+	}
 	c, err := NewCluster(p, opts...)
 	if err != nil {
 		return err

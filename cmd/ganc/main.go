@@ -38,6 +38,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"ganc"
 )
@@ -64,6 +65,7 @@ func main() {
 	loadPath := flag.String("load", "", "load a snapshot written by -save instead of training (skips -ratings/-preset)")
 	ingestLog := flag.String("ingest-log", "", "serve-mode: write-ahead log path for POST /ingest events")
 	checkpointInterval := flag.Int("checkpoint-interval", 0, "serve-mode: snapshot the serving state every this many ingested events (0 = never; target is -save, falling back to -load)")
+	obsFlags := registerObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	engine, train, err := assemble(*ratingsPath, *preset, *scale, *kappa, *arecName, *rerankName,
@@ -75,13 +77,16 @@ func main() {
 
 	if *serveAddr != "" {
 		if err := serveHTTP(ctx, engine, train, *serveAddr, *n, *cacheCap, *warm,
-			*savePath, *loadPath, *ingestLog, *checkpointInterval); err != nil {
+			*savePath, *loadPath, *ingestLog, *checkpointInterval, obsFlags); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *ingestLog != "" || *checkpointInterval > 0 {
 		fatal(fmt.Errorf("-ingest-log and -checkpoint-interval only apply in serve mode (-serve)"))
+	}
+	if obsFlags.active() {
+		fatal(fmt.Errorf("-metrics, -request-log and the admission flags only apply in serve mode (-serve)"))
 	}
 
 	// The evaluate path prints its report and exits inside assemble (it needs
@@ -184,11 +189,75 @@ func runEvaluation(engine ganc.Engine, split *ganc.Split, n int) error {
 	return nil
 }
 
+// obsFlags bundles the serve-mode observability and admission flags shared
+// by ganc and gancd.
+type obsFlags struct {
+	metrics       *bool
+	requestLog    *string
+	rateLimit     *float64
+	rateBurst     *float64
+	maxConcurrent *int
+	maxWaitMs     *int
+}
+
+// registerObsFlags declares the observability/admission flag set on fs.
+func registerObsFlags(fs *flag.FlagSet) obsFlags {
+	return obsFlags{
+		metrics:       fs.Bool("metrics", false, "serve-mode: mount GET /metrics (Prometheus text format)"),
+		requestLog:    fs.String("request-log", "", "serve-mode: append one JSON line per request to this file (\"-\" = stderr)"),
+		rateLimit:     fs.Float64("rate-limit", 0, "serve-mode: per-client sustained requests/second (0 = unlimited)"),
+		rateBurst:     fs.Float64("rate-burst", 0, "serve-mode: per-client burst allowance (0 = max(rate-limit, 1))"),
+		maxConcurrent: fs.Int("max-concurrent", 0, "serve-mode: cap on requests inside handlers at once (0 = uncapped)"),
+		maxWaitMs:     fs.Int("max-wait-ms", 0, "serve-mode: how long an over-capacity request waits for a slot before a 429 (0 = shed immediately)"),
+	}
+}
+
+// active reports whether any observability/admission flag was set.
+func (f obsFlags) active() bool {
+	return *f.metrics || *f.requestLog != "" || *f.rateLimit > 0 || *f.maxConcurrent > 0
+}
+
+// serverOptions translates the flags into server options, opening the
+// request-log sink when one was named. The returned cleanup (possibly nil)
+// closes that sink.
+func (f obsFlags) serverOptions() ([]ganc.ServerOption, func() error, error) {
+	var opts []ganc.ServerOption
+	var cleanup func() error
+	if *f.metrics {
+		opts = append(opts, ganc.WithMetrics(ganc.NewMetricsRegistry()))
+	}
+	if *f.requestLog != "" {
+		w := os.Stderr
+		if *f.requestLog != "-" {
+			file, err := os.OpenFile(*f.requestLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, nil, fmt.Errorf("opening request log: %w", err)
+			}
+			w = file
+			cleanup = file.Close
+		}
+		opts = append(opts, ganc.WithRequestLog(ganc.NewRequestLogger(w, ganc.LogInfo)))
+	}
+	if *f.rateLimit > 0 {
+		opts = append(opts, ganc.WithRateLimit(*f.rateLimit, *f.rateBurst))
+	}
+	if *f.maxConcurrent > 0 {
+		opts = append(opts, ganc.WithMaxConcurrent(*f.maxConcurrent, time.Duration(*f.maxWaitMs)*time.Millisecond))
+	}
+	return opts, cleanup, nil
+}
+
 // serveHTTP puts the engine behind the HTTP serving layer, enabling streaming
 // ingestion (POST /ingest) when the engine is a GANC pipeline.
 func serveHTTP(ctx context.Context, engine ganc.Engine, train *ganc.Dataset, addr string,
-	n, cacheCap int, warm bool, savePath, loadPath, ingestLog string, checkpointInterval int) error {
-	opts := []ganc.ServerOption{}
+	n, cacheCap int, warm bool, savePath, loadPath, ingestLog string, checkpointInterval int, obs obsFlags) error {
+	opts, obsCleanup, err := obs.serverOptions()
+	if err != nil {
+		return err
+	}
+	if obsCleanup != nil {
+		defer func() { _ = obsCleanup() }()
+	}
 	if cacheCap > 0 {
 		opts = append(opts, ganc.WithServerCacheCapacity(cacheCap))
 	}
@@ -212,6 +281,9 @@ func serveHTTP(ctx context.Context, engine ganc.Engine, train *ganc.Dataset, add
 	// (rerankers, Rand components), which still serve read-only.
 	ingestRequested := ingestLog != "" || checkpointInterval > 0
 	endpoints := "GET /recommend?user=<id>, POST /recommend/batch, /info, /health"
+	if *obs.metrics {
+		endpoints += ", GET /metrics"
+	}
 	p, isPipeline := engine.(*ganc.Pipeline)
 	if !isPipeline && ingestRequested {
 		return fmt.Errorf("streaming ingestion supports GANC pipelines only (use -rerank GANC); %s cannot ingest", engine.Name())

@@ -45,9 +45,71 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"ganc"
 )
+
+// obsSettings carries the observability/admission flags every serving role
+// shares: a /metrics endpoint, JSON-line request logging, per-client rate
+// limiting and a concurrency cap.
+type obsSettings struct {
+	metrics       bool
+	requestLog    string
+	rateLimit     float64
+	rateBurst     float64
+	maxConcurrent int
+	maxWaitMs     int
+}
+
+// admission translates the flags into an admission configuration (the zero
+// value disables both gates).
+func (o obsSettings) admission() ganc.AdmissionConfig {
+	return ganc.AdmissionConfig{
+		RatePerSec:    o.rateLimit,
+		Burst:         o.rateBurst,
+		MaxConcurrent: o.maxConcurrent,
+		MaxWait:       time.Duration(o.maxWaitMs) * time.Millisecond,
+	}
+}
+
+// logger opens the request-log sink ("-" = stderr). The cleanup (possibly
+// nil) closes a file sink.
+func (o obsSettings) logger() (*ganc.RequestLogger, func() error, error) {
+	if o.requestLog == "" {
+		return nil, nil, nil
+	}
+	if o.requestLog == "-" {
+		return ganc.NewRequestLogger(os.Stderr, ganc.LogInfo), nil, nil
+	}
+	f, err := os.OpenFile(o.requestLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening request log: %w", err)
+	}
+	return ganc.NewRequestLogger(f, ganc.LogInfo), f.Close, nil
+}
+
+// serverOptions translates the flags into single-node server options.
+func (o obsSettings) serverOptions() ([]ganc.ServerOption, func() error, error) {
+	var opts []ganc.ServerOption
+	if o.metrics {
+		opts = append(opts, ganc.WithMetrics(ganc.NewMetricsRegistry()))
+	}
+	log, cleanup, err := o.logger()
+	if err != nil {
+		return nil, nil, err
+	}
+	if log != nil {
+		opts = append(opts, ganc.WithRequestLog(log))
+	}
+	if o.rateLimit > 0 {
+		opts = append(opts, ganc.WithRateLimit(o.rateLimit, o.rateBurst))
+	}
+	if o.maxConcurrent > 0 {
+		opts = append(opts, ganc.WithMaxConcurrent(o.maxConcurrent, time.Duration(o.maxWaitMs)*time.Millisecond))
+	}
+	return opts, cleanup, nil
+}
 
 func main() {
 	role := flag.String("role", "standalone", "standalone | split | shard | router | cluster")
@@ -62,20 +124,34 @@ func main() {
 	ingestLog := flag.String("ingest-log", "", "write-ahead log path for POST /ingest (standalone and shard roles)")
 	checkpointInterval := flag.Int("checkpoint-interval", 0, "checkpoint the snapshot every this many ingested events (0 = never)")
 	retries := flag.Int("retries", 2, "router: bounded retries per shard call before the typed 503")
+	metrics := flag.Bool("metrics", false, "mount GET /metrics (Prometheus text format) on serving roles")
+	requestLog := flag.String("request-log", "", "append one JSON line per request to this file (\"-\" = stderr)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client sustained requests/second (0 = unlimited)")
+	rateBurst := flag.Float64("rate-burst", 0, "per-client burst allowance (0 = max(rate-limit, 1))")
+	maxConcurrent := flag.Int("max-concurrent", 0, "cap on requests inside handlers at once (0 = uncapped)")
+	maxWaitMs := flag.Int("max-wait-ms", 0, "how long an over-capacity request waits for a slot before a 429 (0 = shed immediately)")
 	flag.Parse()
 
+	obs := obsSettings{
+		metrics:       *metrics,
+		requestLog:    *requestLog,
+		rateLimit:     *rateLimit,
+		rateBurst:     *rateBurst,
+		maxConcurrent: *maxConcurrent,
+		maxWaitMs:     *maxWaitMs,
+	}
 	var err error
 	switch *role {
 	case "standalone":
-		err = runStandalone(*loadPath, *serveAddr, *cache, *ingestLog, *checkpointInterval)
+		err = runStandalone(*loadPath, *serveAddr, *cache, *ingestLog, *checkpointInterval, obs)
 	case "split":
 		err = runSplit(*loadPath, *outDir, *shards, *epoch)
 	case "shard":
-		err = runShard(*loadPath, *serveAddr, *shards, *shardID, *epoch, *cache, *ingestLog, *checkpointInterval)
+		err = runShard(*loadPath, *serveAddr, *shards, *shardID, *epoch, *cache, *ingestLog, *checkpointInterval, obs)
 	case "router":
-		err = runRouter(*peers, *serveAddr, *epoch, *retries)
+		err = runRouter(*peers, *serveAddr, *epoch, *retries, obs)
 	case "cluster":
-		err = runCluster(*loadPath, *serveAddr, *shards, *epoch, *cache, *checkpointInterval)
+		err = runCluster(*loadPath, *serveAddr, *shards, *epoch, *cache, *checkpointInterval, obs)
 	default:
 		err = fmt.Errorf("unknown -role %q (standalone, split, shard, router, cluster)", *role)
 	}
@@ -107,11 +183,17 @@ func loadSnapshot(path string) (*ganc.Pipeline, error) {
 // serveNode stands one serve.Server up around a pipeline (standalone and
 // shard roles share it) and blocks.
 func serveNode(p *ganc.Pipeline, addr string, cache int, shard *ganc.ShardIdentity,
-	ingestLog string, checkpointPath string, checkpointInterval int) error {
+	ingestLog string, checkpointPath string, checkpointInterval int, obs obsSettings) error {
 	if addr == "" {
 		return fmt.Errorf("-serve is required for serving roles")
 	}
-	opts := []ganc.ServerOption{}
+	opts, obsCleanup, err := obs.serverOptions()
+	if err != nil {
+		return err
+	}
+	if obsCleanup != nil {
+		defer func() { _ = obsCleanup() }()
+	}
 	if cache > 0 {
 		opts = append(opts, ganc.WithServerCacheCapacity(cache))
 	}
@@ -130,6 +212,9 @@ func serveNode(p *ganc.Pipeline, addr string, cache int, shard *ganc.ShardIdenti
 		ingOpts = append(ingOpts, ganc.WithIngestCheckpoint(checkpointPath, checkpointInterval))
 	}
 	endpoints := "GET /recommend?user=<id>, POST /recommend/batch, /info, /health"
+	if obs.metrics {
+		endpoints += ", GET /metrics"
+	}
 	ing, err := ganc.NewIngestor(srv, p, ingOpts...)
 	if err != nil {
 		return fmt.Errorf("enabling ingestion: %w", err)
@@ -154,14 +239,14 @@ func serveNode(p *ganc.Pipeline, addr string, cache int, shard *ganc.ShardIdenti
 }
 
 // runStandalone serves a plain snapshot on one node.
-func runStandalone(loadPath, addr string, cache int, ingestLog string, checkpointInterval int) error {
+func runStandalone(loadPath, addr string, cache int, ingestLog string, checkpointInterval int, obs obsSettings) error {
 	p, err := loadSnapshot(loadPath)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "loaded %s from %s: %d users, %d items, %d ratings\n",
 		p.Name(), loadPath, p.Train().NumUsers(), p.Train().NumItems(), p.Train().NumRatings())
-	return serveNode(p, addr, cache, nil, ingestLog, loadPath, checkpointInterval)
+	return serveNode(p, addr, cache, nil, ingestLog, loadPath, checkpointInterval, obs)
 }
 
 // runSplit writes N shard-scoped snapshots of one plain snapshot.
@@ -194,7 +279,7 @@ func runSplit(loadPath, outDir string, shards int, epoch uint64) error {
 // runShard serves one shard snapshot, cross-checking its identity against
 // the flags when they are given.
 func runShard(loadPath, addr string, shards, shardID int, epoch uint64, cache int,
-	ingestLog string, checkpointInterval int) error {
+	ingestLog string, checkpointInterval int, obs obsSettings) error {
 	if loadPath == "" {
 		return fmt.Errorf("-load is required (produce shard snapshots with -role split)")
 	}
@@ -212,11 +297,11 @@ func runShard(loadPath, addr string, shards, shardID int, epoch uint64, cache in
 		return fmt.Errorf("snapshot %s was cut for ring epoch %d, but -epoch says %d (re-split after membership changes)",
 			loadPath, id.RingEpoch, epoch)
 	}
-	return serveNode(p, addr, cache, &id, ingestLog, loadPath, checkpointInterval)
+	return serveNode(p, addr, cache, &id, ingestLog, loadPath, checkpointInterval, obs)
 }
 
 // runRouter fronts the peers with the scatter-gather router.
-func runRouter(peers, addr string, epoch uint64, retries int) error {
+func runRouter(peers, addr string, epoch uint64, retries int, obs obsSettings) error {
 	if addr == "" {
 		return fmt.Errorf("-serve is required for -role router")
 	}
@@ -228,7 +313,19 @@ func runRouter(peers, addr string, epoch uint64, retries int) error {
 	if err != nil {
 		return err
 	}
-	rt, err := ganc.NewRouter(ganc.RouterConfig{Ring: ring, Retries: retries})
+	cfg := ganc.RouterConfig{Ring: ring, Retries: retries, Admission: ganc.NewAdmission(obs.admission())}
+	if obs.metrics {
+		cfg.Metrics = ganc.NewMetricsRegistry()
+	}
+	log, logCleanup, err := obs.logger()
+	if err != nil {
+		return err
+	}
+	if logCleanup != nil {
+		defer func() { _ = logCleanup() }()
+	}
+	cfg.RequestLog = log
+	rt, err := ganc.NewRouter(cfg)
 	if err != nil {
 		return err
 	}
@@ -238,7 +335,7 @@ func runRouter(peers, addr string, epoch uint64, retries int) error {
 }
 
 // runCluster boots the whole sharded topology in one process.
-func runCluster(loadPath, addr string, shards int, epoch uint64, cache, checkpointInterval int) error {
+func runCluster(loadPath, addr string, shards int, epoch uint64, cache, checkpointInterval int, obs obsSettings) error {
 	if addr == "" {
 		return fmt.Errorf("-serve is required for -role cluster")
 	}
@@ -254,6 +351,22 @@ func runCluster(loadPath, addr string, shards int, epoch uint64, cache, checkpoi
 	}
 	if cache > 0 {
 		opts = append(opts, ganc.WithShardCacheCapacity(cache))
+	}
+	if obs.metrics {
+		opts = append(opts, ganc.WithClusterMetrics(ganc.NewMetricsRegistry()))
+	}
+	if a := obs.admission(); ganc.NewAdmission(a) != nil {
+		opts = append(opts, ganc.WithClusterAdmission(a))
+	}
+	log, logCleanup, err := obs.logger()
+	if err != nil {
+		return err
+	}
+	if logCleanup != nil {
+		defer func() { _ = logCleanup() }()
+	}
+	if log != nil {
+		opts = append(opts, ganc.WithClusterRequestLog(log))
 	}
 	c, err := ganc.NewCluster(p, opts...)
 	if err != nil {

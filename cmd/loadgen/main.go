@@ -32,6 +32,10 @@
 //
 //	# 3-shard cluster vs single node on the standard universe.
 //	loadgen -cluster 3 -arec RSVD -requests 20000 -mix-ingest 0
+//
+//	# Overload drill: admission-controlled server, offered load beyond
+//	# capacity, graceful shedding required (typed 429s, zero 5xx).
+//	loadgen -overload -users 2000 -items 500 -ratings 40000 -requests 4000 -max-concurrent 4
 package main
 
 import (
@@ -66,10 +70,15 @@ func main() {
 	batchSize := flag.Int("batch", 20, "users per batch request")
 	ingestBatch := flag.Int("ingest-batch", 20, "events per ingest request")
 	reqZipf := flag.Float64("request-zipf", 1.0, "request-popularity skew across users")
-	out := flag.String("out", "", "output report path (default BENCH_serve.json, or BENCH_cluster.json in -cluster mode)")
+	out := flag.String("out", "", "output report path (default BENCH_serve.json; BENCH_cluster.json in -cluster mode, BENCH_overload.json in -overload mode)")
 	clusterShards := flag.Int("cluster", 0, "compare an N-shard cluster against a single node and write BENCH_cluster.json (0 = plain single-target mode)")
 	nodeCache := flag.Int("node-cache", 8192, "cluster mode: per-node LRU budget shared by the single node and every shard")
 	warmup := flag.Int("warmup", -1, "cluster mode: unmeasured warm-up requests before each measured run (-1 = same as -requests)")
+	overload := flag.Bool("overload", false, "overload drill: serve with admission control, offer load beyond capacity and require graceful shedding (typed 429s, zero 5xx)")
+	rateLimit := flag.Float64("rate-limit", 0, "overload mode: per-client sustained requests/second (0 = no rate gate)")
+	rateBurst := flag.Float64("rate-burst", 0, "overload mode: per-client burst allowance (0 = max(rate-limit, 1))")
+	maxConcurrent := flag.Int("max-concurrent", 0, "overload mode: concurrency cap inside handlers (0 with no -rate-limit = defaults to concurrency/4, forcing overload)")
+	maxWaitMs := flag.Int("max-wait-ms", 0, "overload mode: how long an over-capacity request waits before the 429 (0 = shed immediately)")
 	flag.Parse()
 
 	load := ganc.LoadConfig{
@@ -81,18 +90,41 @@ func main() {
 		RequestZipf:     *reqZipf,
 		Seed:            *seed,
 	}
-	var err error
-	if *clusterShards > 0 {
-		if *url != "" {
-			err = fmt.Errorf("-cluster and -url are mutually exclusive: the comparison self-hosts both targets")
-		} else {
-			err = runCluster(universeConfig(*users, *items, *ratings, *zipf, *seed),
-				*arec, *theta, *topN, *clusterShards, *nodeCache, *warmup,
-				defaultOut(*out, "BENCH_cluster.json"), load)
+	admitCfg := ganc.AdmissionConfig{
+		RatePerSec:    *rateLimit,
+		Burst:         *rateBurst,
+		MaxConcurrent: *maxConcurrent,
+		MaxWait:       time.Duration(*maxWaitMs) * time.Millisecond,
+	}
+	if *overload && *rateLimit <= 0 && *maxConcurrent <= 0 {
+		// No admission flag given: cap concurrency at a quarter of the offered
+		// worker count, so the closed loop overruns capacity by construction.
+		admitCfg.MaxConcurrent = *concurrency / 4
+		if admitCfg.MaxConcurrent < 1 {
+			admitCfg.MaxConcurrent = 1
 		}
-	} else {
+	}
+	var err error
+	switch {
+	case *clusterShards > 0 && *url != "":
+		err = fmt.Errorf("-cluster and -url are mutually exclusive: the comparison self-hosts both targets")
+	case *clusterShards > 0 && *overload:
+		err = fmt.Errorf("-cluster and -overload are mutually exclusive (run the overload drill against a single node, or an external router via -url)")
+	case *clusterShards > 0:
+		err = runCluster(universeConfig(*users, *items, *ratings, *zipf, *seed),
+			*arec, *theta, *topN, *clusterShards, *nodeCache, *warmup,
+			defaultOut(*out, "BENCH_cluster.json"), load)
+	default:
+		// The overload drill gets its own default output: its latency numbers
+		// describe a deliberately saturated server and must not clobber the
+		// steady-state BENCH_serve.json artifact.
+		def := "BENCH_serve.json"
+		if *overload {
+			def = "BENCH_overload.json"
+		}
 		err = run(universeConfig(*users, *items, *ratings, *zipf, *seed),
-			*arec, *theta, *topN, *cache, *url, defaultOut(*out, "BENCH_serve.json"), load)
+			*arec, *theta, *topN, *cache, *url, defaultOut(*out, def), load,
+			*overload, admitCfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
@@ -116,8 +148,11 @@ func universeConfig(users, items, ratings int, zipf float64, seed int64) ganc.Un
 }
 
 // run generates the universe, resolves (or stands up) the target server,
-// drives the load and writes the report.
-func run(ucfg ganc.UniverseConfig, arec, theta string, topN, cache int, url, out string, load ganc.LoadConfig) error {
+// drives the load and writes the report. In overload mode the self-hosted
+// server gets admission control and /metrics, and the run fails unless the
+// target shed (429) without any 5xx.
+func run(ucfg ganc.UniverseConfig, arec, theta string, topN, cache int, url, out string, load ganc.LoadConfig,
+	overload bool, admitCfg ganc.AdmissionConfig) error {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "generating universe: %d users × %d items, %d ratings ...\n",
 		ucfg.Users, ucfg.Items, ucfg.Ratings)
@@ -129,7 +164,18 @@ func run(ucfg ganc.UniverseConfig, arec, theta string, topN, cache int, url, out
 		time.Since(start).Seconds(), u.Train().NumRatings())
 
 	if url == "" {
-		addr, shutdown, err := selfHost(u, arec, theta, topN, cache)
+		// The self-hosted target always serves the production configuration —
+		// metrics registry mounted, request instrumentation on the hot path —
+		// so BENCH_serve.json prices the instrumented serving stack rather
+		// than an idealized bare one.
+		extra := []ganc.ServerOption{ganc.WithMetrics(ganc.NewMetricsRegistry())}
+		if overload {
+			extra = append(extra,
+				ganc.WithServerAdmission(ganc.NewAdmission(admitCfg)))
+			fmt.Fprintf(os.Stderr, "overload drill: admission rate=%.1f/s burst=%.1f max-concurrent=%d max-wait=%s\n",
+				admitCfg.RatePerSec, admitCfg.Burst, admitCfg.MaxConcurrent, admitCfg.MaxWait)
+		}
+		addr, shutdown, err := selfHost(u, arec, theta, topN, cache, extra...)
 		if err != nil {
 			return err
 		}
@@ -162,6 +208,10 @@ func run(ucfg ganc.UniverseConfig, arec, theta string, topN, cache int, url, out
 	if res.Errors > 0 {
 		return fmt.Errorf("%d of %d requests failed server-side", res.Errors, res.Requests)
 	}
+	if overload && res.Shed == 0 {
+		return fmt.Errorf("overload drill shed nothing across %d requests: the target admitted everything "+
+			"(tighten -rate-limit/-max-concurrent, or raise -concurrency)", res.Requests)
+	}
 	// Rejected (4xx) traffic means the driver and the target disagree — the
 	// universe flags don't match the served dataset, or /ingest is disabled —
 	// and its fast error responses would silently flatter every latency
@@ -191,8 +241,8 @@ func trainPipeline(u *ganc.Universe, arec, theta string, topN int) (*ganc.Pipeli
 
 // servePipeline serves an already trained pipeline (with in-memory
 // streaming ingestion) on a loopback listener.
-func servePipeline(u *ganc.Universe, p *ganc.Pipeline, topN, cache int) (addr string, shutdown func(), err error) {
-	opts := []ganc.ServerOption{}
+func servePipeline(u *ganc.Universe, p *ganc.Pipeline, topN, cache int, extra ...ganc.ServerOption) (addr string, shutdown func(), err error) {
+	opts := append([]ganc.ServerOption{}, extra...)
 	if cache > 0 {
 		opts = append(opts, ganc.WithServerCacheCapacity(cache))
 	}
@@ -215,12 +265,12 @@ func servePipeline(u *ganc.Universe, p *ganc.Pipeline, topN, cache int) (addr st
 
 // selfHost trains a pipeline on the universe and serves it on a loopback
 // listener (the plain single-target mode).
-func selfHost(u *ganc.Universe, arec, theta string, topN, cache int) (addr string, shutdown func(), err error) {
+func selfHost(u *ganc.Universe, arec, theta string, topN, cache int, extra ...ganc.ServerOption) (addr string, shutdown func(), err error) {
 	p, err := trainPipeline(u, arec, theta, topN)
 	if err != nil {
 		return "", nil, err
 	}
-	return servePipeline(u, p, topN, cache)
+	return servePipeline(u, p, topN, cache, extra...)
 }
 
 // runCluster measures the same universe and load against a single node and
@@ -337,8 +387,8 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, topN, shards, node
 
 // printSummary reports the headline numbers on stderr.
 func printSummary(res *ganc.LoadResult) {
-	fmt.Fprintf(os.Stderr, "done: %d requests in %.1fs → %.0f req/s, %d errors, %d rejected, cache hit rate %.3f\n",
-		res.Requests, res.DurationSec, res.ThroughputRPS, res.Errors, res.Rejected, res.CacheHitRate)
+	fmt.Fprintf(os.Stderr, "done: %d requests in %.1fs → %.0f req/s, %d errors, %d rejected, %d shed (%.1f%%), cache hit rate %.3f\n",
+		res.Requests, res.DurationSec, res.ThroughputRPS, res.Errors, res.Rejected, res.Shed, 100*res.ShedRate, res.CacheHitRate)
 	for ep, st := range res.Endpoints {
 		fmt.Fprintf(os.Stderr, "  %-10s n=%-7d p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 			ep, st.Count, st.P50Ms, st.P95Ms, st.P99Ms, st.MaxMs)

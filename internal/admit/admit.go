@@ -1,0 +1,277 @@
+// Package admit is the admission-control layer for the serving tier: a
+// per-client token-bucket rate limiter and a server-wide concurrency cap with
+// bounded wait. Requests that cannot be admitted are shed with a typed 429
+// JSON body — {"error": ..., "code": "rate_limited" | "over_capacity"} —
+// mirroring the cluster router's typed-503 convention, so load-test drivers
+// and callers can distinguish "slow down" (429, retryable after backoff) from
+// "a shard is gone" (503).
+//
+// The middleware sits between the observability wrapper and the route mux:
+// shed requests are therefore still counted and logged, but never reach a
+// handler. /health, /metrics and /info are exempt — an operator must be able
+// to observe an overloaded server.
+package admit
+
+import (
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultKeyHeader is the request header identifying the client for rate
+// limiting when Config.KeyHeader is empty.
+const DefaultKeyHeader = "X-Client-ID"
+
+// DefaultMaxClients caps the token-bucket table when Config.MaxClients is
+// zero.
+const DefaultMaxClients = 4096
+
+// Config tunes a Controller. The zero value admits everything.
+type Config struct {
+	// RatePerSec is the sustained per-client request rate. Zero or negative
+	// disables rate limiting.
+	RatePerSec float64
+	// Burst is the token-bucket capacity — how many requests a quiet client
+	// may issue back to back. Zero defaults to max(RatePerSec, 1).
+	Burst float64
+	// KeyHeader names the header whose value identifies a client. Empty
+	// selects DefaultKeyHeader; when the header is absent the remote host
+	// (without port) is the key.
+	KeyHeader string
+	// MaxClients bounds the bucket table. When a new client would exceed it,
+	// an arbitrary existing bucket is evicted (the evicted client restarts
+	// with a full bucket — a brief over-admit, never a lockout). Zero
+	// defaults to DefaultMaxClients.
+	MaxClients int
+	// MaxConcurrent caps requests inside handlers at once. Zero or negative
+	// disables the cap.
+	MaxConcurrent int
+	// MaxWait bounds how long an over-capacity request waits for a slot
+	// before being shed. Zero sheds immediately when saturated.
+	MaxWait time.Duration
+	// Now is the clock (tests pin it). Nil selects time.Now.
+	Now func() time.Time
+}
+
+// Stats is a snapshot of a Controller's admission counters.
+type Stats struct {
+	// Admitted counts requests that passed both gates.
+	Admitted int64 `json:"admitted"`
+	// RateLimited counts 429s from the per-client token bucket.
+	RateLimited int64 `json:"rate_limited"`
+	// OverCapacity counts 429s from the concurrency cap.
+	OverCapacity int64 `json:"over_capacity"`
+	// InFlight is the number of requests currently inside handlers.
+	InFlight int `json:"in_flight"`
+	// MaxConcurrent echoes the configured cap (0 = uncapped).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// Saturation is InFlight/MaxConcurrent in [0,1], 0 when uncapped.
+	Saturation float64 `json:"saturation"`
+}
+
+// Shed returns the total number of shed (429) requests.
+func (s Stats) Shed() int64 { return s.RateLimited + s.OverCapacity }
+
+// bucket is one client's token bucket.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// Controller applies admission control. A nil Controller admits everything,
+// so callers can thread it through unconditionally.
+type Controller struct {
+	cfg Config
+	now func() time.Time
+
+	sem chan struct{} // nil when uncapped
+
+	bmu     sync.Mutex
+	buckets map[string]*bucket
+
+	admitted     atomic.Int64
+	rateLimited  atomic.Int64
+	overCapacity atomic.Int64
+	inFlight     atomic.Int64
+}
+
+// New builds a Controller from cfg. Returns nil (admit-everything) when cfg
+// enables neither gate.
+func New(cfg Config) *Controller {
+	if cfg.RatePerSec <= 0 && cfg.MaxConcurrent <= 0 {
+		return nil
+	}
+	if cfg.KeyHeader == "" {
+		cfg.KeyHeader = DefaultKeyHeader
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = DefaultMaxClients
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = math.Max(cfg.RatePerSec, 1)
+	}
+	c := &Controller{cfg: cfg, now: cfg.Now, buckets: make(map[string]*bucket)}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if cfg.MaxConcurrent > 0 {
+		c.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return c
+}
+
+// Stats snapshots the counters.
+func (c *Controller) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Admitted:      c.admitted.Load(),
+		RateLimited:   c.rateLimited.Load(),
+		OverCapacity:  c.overCapacity.Load(),
+		InFlight:      int(c.inFlight.Load()),
+		MaxConcurrent: c.cfg.MaxConcurrent,
+	}
+	if s.MaxConcurrent > 0 {
+		s.Saturation = float64(s.InFlight) / float64(s.MaxConcurrent)
+	}
+	return s
+}
+
+// ClientKey returns the admission key the controller would use for r — the
+// configured header when present, else the remote host.
+func (c *Controller) ClientKey(r *http.Request) string {
+	header := DefaultKeyHeader
+	if c != nil && c.cfg.KeyHeader != "" {
+		header = c.cfg.KeyHeader
+	}
+	if v := r.Header.Get(header); v != "" {
+		return v
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// allowRate refills and drains the client's bucket; on refusal it also
+// reports how long until a token is available.
+func (c *Controller) allowRate(key string) (bool, time.Duration) {
+	if c.cfg.RatePerSec <= 0 {
+		return true, 0
+	}
+	c.bmu.Lock()
+	b := c.buckets[key]
+	if b == nil {
+		if len(c.buckets) >= c.cfg.MaxClients {
+			for evict := range c.buckets {
+				delete(c.buckets, evict)
+				break
+			}
+		}
+		b = &bucket{tokens: c.cfg.Burst, last: c.now()}
+		c.buckets[key] = b
+	}
+	c.bmu.Unlock()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := c.now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(c.cfg.Burst, b.tokens+dt*c.cfg.RatePerSec)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / c.cfg.RatePerSec * float64(time.Second))
+	return false, wait
+}
+
+// acquire takes a concurrency slot, waiting at most MaxWait.
+func (c *Controller) acquire() bool {
+	if c.sem == nil {
+		return true
+	}
+	select {
+	case c.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if c.cfg.MaxWait <= 0 {
+		return false
+	}
+	t := time.NewTimer(c.cfg.MaxWait)
+	defer t.Stop()
+	select {
+	case c.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// release returns a concurrency slot.
+func (c *Controller) release() {
+	if c.sem != nil {
+		<-c.sem
+	}
+}
+
+// exempt reports whether a path bypasses admission: operators (and the load
+// driver's before/after bookkeeping reads) must be able to probe, scrape and
+// inspect an overloaded server.
+func exempt(path string) bool {
+	return path == "/health" || path == "/metrics" || path == "/info"
+}
+
+// writeShed answers a typed 429. Retry-After is in whole seconds, rounded
+// up, floored at 1.
+func writeShed(w http.ResponseWriter, code string, msg string, retryAfter time.Duration) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
+}
+
+// Middleware applies both admission gates around next. A nil Controller
+// returns next unchanged.
+func (c *Controller) Middleware(next http.Handler) http.Handler {
+	if c == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if ok, wait := c.allowRate(c.ClientKey(r)); !ok {
+			c.rateLimited.Add(1)
+			writeShed(w, "rate_limited", "client request rate exceeds the limit", wait)
+			return
+		}
+		if !c.acquire() {
+			c.overCapacity.Add(1)
+			writeShed(w, "over_capacity", "server concurrency limit reached", time.Second)
+			return
+		}
+		c.admitted.Add(1)
+		c.inFlight.Add(1)
+		defer func() {
+			c.inFlight.Add(-1)
+			c.release()
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

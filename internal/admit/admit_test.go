@@ -1,0 +1,246 @@
+package admit
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ganc/internal/obs"
+)
+
+// fakeClock is a settable clock for deterministic bucket refills.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func doReq(t *testing.T, h http.Handler, path, client string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if client != "" {
+		req.Header.Set(DefaultKeyHeader, client)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	h := c.Middleware(okHandler())
+	for i := 0; i < 100; i++ {
+		if rec := doReq(t, h, "/recommend", "a"); rec.Code != http.StatusOK {
+			t.Fatalf("nil controller shed a request: %d", rec.Code)
+		}
+	}
+	if s := c.Stats(); s.Shed() != 0 {
+		t.Fatalf("nil controller stats = %+v", s)
+	}
+	if New(Config{}) != nil {
+		t.Fatal("zero config should yield a nil (admit-everything) controller")
+	}
+}
+
+func TestRateLimitPerClient(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New(Config{RatePerSec: 1, Burst: 3, Now: clk.now})
+	h := c.Middleware(okHandler())
+
+	for i := 0; i < 3; i++ {
+		if rec := doReq(t, h, "/recommend", "alice"); rec.Code != http.StatusOK {
+			t.Fatalf("burst request %d shed: %d", i, rec.Code)
+		}
+	}
+	rec := doReq(t, h, "/recommend", "alice")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("4th request = %d, want 429", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("429 body is not JSON: %v", err)
+	}
+	if body["code"] != "rate_limited" || body["error"] == "" {
+		t.Fatalf("429 body = %v", body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+
+	// A different client has its own bucket.
+	if rec := doReq(t, h, "/recommend", "bob"); rec.Code != http.StatusOK {
+		t.Fatalf("bob shed by alice's bucket: %d", rec.Code)
+	}
+
+	// Refill: one token per second.
+	clk.advance(2 * time.Second)
+	if rec := doReq(t, h, "/recommend", "alice"); rec.Code != http.StatusOK {
+		t.Fatalf("refilled request shed: %d", rec.Code)
+	}
+
+	s := c.Stats()
+	if s.RateLimited != 1 || s.Admitted != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestExemptPaths(t *testing.T) {
+	c := New(Config{RatePerSec: 0.001, Burst: 0.001})
+	h := c.Middleware(okHandler())
+	for _, path := range []string{"/health", "/metrics", "/info"} {
+		for i := 0; i < 5; i++ {
+			if rec := doReq(t, h, path, "x"); rec.Code != http.StatusOK {
+				t.Fatalf("%s shed by admission: %d", path, rec.Code)
+			}
+		}
+	}
+	if rec := doReq(t, h, "/recommend", "x"); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("non-exempt path admitted at near-zero rate: %d", rec.Code)
+	}
+}
+
+func TestConcurrencyCap(t *testing.T) {
+	c := New(Config{MaxConcurrent: 2, MaxWait: 0})
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		started <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	var wg sync.WaitGroup
+	var ok, shed atomic.Int64
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := doReq(t, h, "/recommend", "c")
+			if rec.Code == http.StatusOK {
+				ok.Add(1)
+			}
+		}()
+	}
+	<-started
+	<-started
+	// Both slots are held; the third request must shed immediately.
+	rec := doReq(t, h, "/recommend", "c")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request = %d, want 429", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["code"] != "over_capacity" {
+		t.Fatalf("429 body = %v (err %v)", body, err)
+	}
+	shed.Add(1)
+
+	if s := c.Stats(); s.InFlight != 2 || s.Saturation != 1 {
+		t.Fatalf("saturated stats = %+v", s)
+	}
+	close(release)
+	wg.Wait()
+	s := c.Stats()
+	if s.InFlight != 0 || ok.Load() != 2 || s.OverCapacity != shed.Load() {
+		t.Fatalf("final stats = %+v (ok %d)", s, ok.Load())
+	}
+}
+
+func TestBoundedWaitAdmitsWhenSlotFrees(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxWait: 2 * time.Second})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		select {
+		case started <- struct{}{}:
+			<-release
+		default:
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	go doReq(t, h, "/recommend", "c")
+	<-started
+	done := make(chan int, 1)
+	go func() {
+		done <- doReq(t, h, "/recommend", "c").Code
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park on the semaphore
+	close(release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("waiter = %d, want 200 after slot freed", code)
+	}
+}
+
+func TestClientKeyFallsBackToRemoteHost(t *testing.T) {
+	c := New(Config{RatePerSec: 1})
+	req := httptest.NewRequest(http.MethodGet, "/recommend", nil)
+	req.RemoteAddr = "10.1.2.3:5555"
+	if key := c.ClientKey(req); key != "10.1.2.3" {
+		t.Fatalf("key = %q, want remote host", key)
+	}
+	req.Header.Set(DefaultKeyHeader, "svc-7")
+	if key := c.ClientKey(req); key != "svc-7" {
+		t.Fatalf("key = %q, want header value", key)
+	}
+}
+
+func TestBucketTableEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New(Config{RatePerSec: 1, Burst: 1, MaxClients: 4, Now: clk.now})
+	h := c.Middleware(okHandler())
+	for _, client := range []string{"a", "b", "c", "d", "e", "f"} {
+		doReq(t, h, "/recommend", client)
+	}
+	c.bmu.Lock()
+	n := len(c.buckets)
+	c.bmu.Unlock()
+	if n > 4 {
+		t.Fatalf("bucket table grew to %d, cap 4", n)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	c := New(Config{RatePerSec: 1, Burst: 1, MaxConcurrent: 8})
+	h := c.Middleware(okHandler())
+	doReq(t, h, "/recommend", "a")
+	doReq(t, h, "/recommend", "a") // shed
+
+	reg := obs.NewRegistry()
+	c.Register(reg, obs.L("shard", "0"))
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := obs.ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("ganc_admission_admitted_total", obs.L("shard", "0")); !ok || v != 1 {
+		t.Fatalf("admitted = %v, %v", v, ok)
+	}
+	if v, ok := sc.Value("ganc_admission_rate_limited_total", obs.L("shard", "0")); !ok || v != 1 {
+		t.Fatalf("rate_limited = %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,26 @@
+package admit
+
+import "ganc/internal/obs"
+
+// Register exposes the controller's admission counters on a metrics
+// registry. The extra labels (e.g. shard identity on a sharded node) are
+// attached to every series. Safe to call on a nil Controller — the series
+// then render as permanent zeros, which keeps dashboards uniform whether or
+// not admission is enabled.
+func (c *Controller) Register(reg *obs.Registry, labels ...obs.Label) {
+	reg.CounterFunc("ganc_admission_admitted_total",
+		"Requests admitted through both admission gates.",
+		func() float64 { return float64(c.Stats().Admitted) }, labels...)
+	reg.CounterFunc("ganc_admission_rate_limited_total",
+		"Requests shed with 429 by the per-client token bucket.",
+		func() float64 { return float64(c.Stats().RateLimited) }, labels...)
+	reg.CounterFunc("ganc_admission_over_capacity_total",
+		"Requests shed with 429 by the concurrency cap.",
+		func() float64 { return float64(c.Stats().OverCapacity) }, labels...)
+	reg.GaugeFunc("ganc_admission_in_flight",
+		"Requests currently inside handlers.",
+		func() float64 { return float64(c.Stats().InFlight) }, labels...)
+	reg.GaugeFunc("ganc_admission_saturation",
+		"InFlight over MaxConcurrent, 0 when uncapped.",
+		func() float64 { return c.Stats().Saturation }, labels...)
+}

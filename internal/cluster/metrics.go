@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"net/http"
+	"strconv"
+
+	"ganc/internal/admit"
+	"ganc/internal/obs"
+)
+
+// routerMetrics is the router's per-shard instrument set, indexed by shard
+// number. Slices are sized at construction (the ring's shard count is fixed
+// for a router's lifetime), so recording is an index plus an atomic add —
+// no map, no lock.
+type routerMetrics struct {
+	fanout   []*obs.Counter
+	retries  []*obs.Counter
+	failures []*obs.Counter
+	mismatch []*obs.Gauge
+}
+
+// newRouterMetrics registers the per-shard families on reg.
+func newRouterMetrics(reg *obs.Registry, shards int) *routerMetrics {
+	rm := &routerMetrics{
+		fanout:   make([]*obs.Counter, shards),
+		retries:  make([]*obs.Counter, shards),
+		failures: make([]*obs.Counter, shards),
+		mismatch: make([]*obs.Gauge, shards),
+	}
+	for i := 0; i < shards; i++ {
+		label := obs.L("shard", strconv.Itoa(i))
+		rm.fanout[i] = reg.Counter("ganc_router_fanout_total",
+			"Shard calls issued by the router (one per logical call, retries excluded).", label)
+		rm.retries[i] = reg.Counter("ganc_router_retries_total",
+			"Retry attempts beyond the first call per shard.", label)
+		rm.failures[i] = reg.Counter("ganc_router_shard_failures_total",
+			"Shard calls that exhausted the retry budget.", label)
+		rm.mismatch[i] = reg.Gauge("ganc_router_epoch_mismatch",
+			"1 when the shard's snapshot was cut for a different ring epoch or shard count (0 otherwise).", label)
+	}
+	return rm
+}
+
+// call records one logical shard call.
+func (rm *routerMetrics) call(shard int) {
+	if rm != nil && shard >= 0 && shard < len(rm.fanout) {
+		rm.fanout[shard].Inc()
+	}
+}
+
+// retry records one retry attempt against a shard.
+func (rm *routerMetrics) retry(shard int) {
+	if rm != nil && shard >= 0 && shard < len(rm.retries) {
+		rm.retries[shard].Inc()
+	}
+}
+
+// failure records a shard call that exhausted its retry budget.
+func (rm *routerMetrics) failure(shard int) {
+	if rm != nil && shard >= 0 && shard < len(rm.failures) {
+		rm.failures[shard].Inc()
+	}
+}
+
+// epochMismatch records a probe's epoch verdict for a shard.
+func (rm *routerMetrics) epochMismatch(shard int, mismatched bool) {
+	if rm == nil || shard < 0 || shard >= len(rm.mismatch) {
+		return
+	}
+	v := 0.0
+	if mismatched {
+		v = 1.0
+	}
+	rm.mismatch[shard].Set(v)
+}
+
+// requestMeta supplies the router's request-log fields: no serving shard or
+// engine version (the router is stateless), just the admission client key.
+func (rt *Router) requestMeta(r *http.Request) (*int, int, string) {
+	return nil, 0, rt.admission.ClientKey(r)
+}
+
+// ShardAdmission is one shard's admission row in the router's aggregated
+// /health answer: how much the shard is shedding and how saturated its
+// concurrency cap is, as reported by the shard's own /health endpoint.
+type ShardAdmission struct {
+	// Shard is the shard number.
+	Shard int `json:"shard"`
+	// Stats is the shard's admission snapshot.
+	admit.Stats
+	// Shed is RateLimited + OverCapacity, precomputed for dashboards.
+	Shed int64 `json:"shed"`
+}

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"time"
 
+	"ganc/internal/admit"
+	"ganc/internal/obs"
 	"ganc/internal/serve"
 )
 
@@ -61,6 +63,16 @@ type RouterConfig struct {
 	// ProbeTimeout bounds one shard's /health or /info probe during
 	// aggregation (default 2s).
 	ProbeTimeout time.Duration
+	// Metrics, when set, registers the router's per-shard fan-out, retry,
+	// failure and epoch-mismatch series plus per-route HTTP instrumentation
+	// on the registry, and mounts GET /metrics on the handler.
+	Metrics *obs.Registry
+	// RequestLog, when set, emits one structured JSON line per routed
+	// request.
+	RequestLog *obs.RequestLogger
+	// Admission, when set, applies rate limiting and a concurrency cap at
+	// the router before any shard is contacted (nil admits everything).
+	Admission *admit.Controller
 }
 
 // Router is the scatter-gather front of a shard set: it proxies single-user
@@ -74,6 +86,11 @@ type Router struct {
 	attempts int
 	backoff  time.Duration
 	probe    time.Duration
+
+	metrics   *obs.Registry
+	httpObs   *obs.HTTPMetrics
+	admission *admit.Controller
+	rm        *routerMetrics
 }
 
 // NewRouter validates the configuration and builds the router.
@@ -104,13 +121,29 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		transport.MaxIdleConnsPerHost = 64
 		client = &http.Client{Transport: transport, Timeout: 30 * time.Second}
 	}
-	return &Router{
-		ring:     cfg.Ring,
-		client:   client,
-		attempts: attempts,
-		backoff:  backoff,
-		probe:    probe,
-	}, nil
+	rt := &Router{
+		ring:      cfg.Ring,
+		client:    client,
+		attempts:  attempts,
+		backoff:   backoff,
+		probe:     probe,
+		metrics:   cfg.Metrics,
+		admission: cfg.Admission,
+	}
+	if cfg.Metrics != nil || cfg.RequestLog != nil {
+		reg := cfg.Metrics
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		rt.httpObs = obs.NewHTTPMetrics(reg, cfg.RequestLog, rt.requestMeta, nil)
+	}
+	if cfg.Metrics != nil {
+		rt.rm = newRouterMetrics(cfg.Metrics, cfg.Ring.NumShards())
+		if cfg.Admission != nil {
+			cfg.Admission.Register(cfg.Metrics)
+		}
+	}
+	return rt, nil
 }
 
 // Ring returns the ring the router routes by.
@@ -131,11 +164,14 @@ func (rt *Router) shardURL(shard int, pathAndQuery string) string {
 // returned as-is (4xx is the shard's verdict, not a routing failure). The
 // returned body is fully read so connections return to the keep-alive pool.
 func (rt *Router) callShard(ctx context.Context, shard int, method, pathAndQuery string, body []byte) (int, []byte, error) {
+	rt.rm.call(shard)
 	var lastErr error
 	for attempt := 0; attempt < rt.attempts; attempt++ {
 		if attempt > 0 {
+			rt.rm.retry(shard)
 			select {
 			case <-ctx.Done():
+				rt.rm.failure(shard)
 				return 0, nil, &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: attempt,
 					Err: fmt.Errorf("%w: %v", ErrShardUnavailable, ctx.Err())}
 			case <-time.After(rt.backoff):
@@ -170,6 +206,7 @@ func (rt *Router) callShard(ctx context.Context, shard int, method, pathAndQuery
 		}
 		return resp.StatusCode, payload, nil
 	}
+	rt.rm.failure(shard)
 	return 0, nil, &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: rt.attempts,
 		Err: fmt.Errorf("%w: %v", ErrShardUnavailable, lastErr)}
 }
@@ -189,7 +226,18 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/recommend/batch", rt.handleBatch)
 	mux.HandleFunc("/ingest", rt.handleIngest)
 	mux.HandleFunc("/users", rt.handleUsers)
-	return mux
+	if rt.metrics != nil {
+		mux.Handle("/metrics", rt.metrics.Handler())
+	}
+	// Same middleware order as a shard server: instrumentation outermost so
+	// shed requests are counted, admission next so /health and /metrics stay
+	// reachable under overload.
+	var h http.Handler = mux
+	h = rt.admission.Middleware(h)
+	if rt.httpObs != nil {
+		h = rt.httpObs.Wrap(h)
+	}
+	return h
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -493,6 +541,9 @@ type ShardStatus struct {
 	Error string `json:"error,omitempty"`
 	// Info is the shard's own /info answer (nil when unreachable).
 	Info *serve.InfoResponse `json:"info,omitempty"`
+	// Health is the shard's own /health answer when the probe path was
+	// /health (nil when unreachable or when probing /info).
+	Health *serve.HealthResponse `json:"health,omitempty"`
 	// EpochMismatch flags a shard whose snapshot was cut for a different
 	// ring epoch or shard count than the router routes by — a deployment
 	// error that silently misroutes users if ignored.
@@ -551,6 +602,15 @@ func (rt *Router) probeShards(ctx context.Context, path string) []ShardStatus {
 					if id := parsed.Shard; id != nil &&
 						(id.RingEpoch != rt.ring.Epoch() || id.NumShards != rt.ring.NumShards() || id.ShardID != info.ID) {
 						st.EpochMismatch = true
+					}
+					rt.rm.epochMismatch(i, st.EpochMismatch)
+				}
+				if path == "/health" {
+					// Best-effort: a shard running an older build answers a
+					// bare {"status":"ok"}, which still decodes.
+					var health serve.HealthResponse
+					if err := json.Unmarshal(body, &health); err == nil {
+						st.Health = &health
 					}
 				}
 				st.Healthy = true
@@ -614,6 +674,12 @@ type HealthResponse struct {
 	Shards  int `json:"shards"`
 	// Down lists the unreachable shard IDs (absent when all are up).
 	Down []int `json:"down,omitempty"`
+	// Admission lists per-shard shed counts and limiter saturation, one row
+	// per reachable shard that reports admission state in its own /health.
+	Admission []ShardAdmission `json:"admission,omitempty"`
+	// RouterAdmission is the router's own admission snapshot when admission
+	// control is enabled at the router.
+	RouterAdmission *admit.Stats `json:"router_admission,omitempty"`
 }
 
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -629,9 +695,21 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 		} else {
 			out.Down = append(out.Down, st.Shard)
 		}
+		if st.Health != nil && st.Health.Admission != nil {
+			a := *st.Health.Admission
+			out.Admission = append(out.Admission, ShardAdmission{
+				Shard: st.Shard,
+				Stats: a,
+				Shed:  a.Shed(),
+			})
+		}
 	}
 	if out.Healthy < out.Shards {
 		out.Status = "degraded"
+	}
+	if rt.admission != nil {
+		stats := rt.admission.Stats()
+		out.RouterAdmission = &stats
 	}
 	writeJSON(w, http.StatusOK, out)
 }

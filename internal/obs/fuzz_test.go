@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRenderText throws hostile metric names, label pairs, and values
+// (including NaN and the infinities) at the registry and asserts the encoder
+// neither panics nor emits text the strict parser rejects. This pins the
+// sanitize-don't-panic contract: arbitrary input may be coerced, but the
+// exposition is always well-formed.
+func FuzzRenderText(f *testing.F) {
+	f.Add("ganc_requests_total", "route", "/recommend", 1.5)
+	f.Add("", "", "", 0.0)
+	f.Add("1starts_with_digit", "le", "0.5", -3.25)
+	f.Add("weird name!", "läbel", "va\"lu\\e\n", 1e300)
+	f.Add("inf_total", "l", "v", 1.0)
+	f.Add("dup", "dup", "dup", 2.0)
+	f.Fuzz(func(t *testing.T, name, labelName, labelValue string, value float64) {
+		r := NewRegistry()
+		c := r.Counter(name, "fuzzed counter", L(labelName, labelValue))
+		c.Add(value)
+		g := r.Gauge(name+"_g", "fuzzed gauge", L(labelName, labelValue))
+		g.Set(value)
+		h := r.Histogram(name+"_h", "fuzzed histogram", []float64{value, 0.5}, L(labelName, labelValue))
+		h.Observe(value)
+		h.Observe(0.1)
+		r.GaugeFunc(name+"_fn", "fuzzed func", func() float64 { return value })
+
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		if _, err := ParseText(&buf); err != nil {
+			t.Fatalf("encoder emitted unparseable text: %v\nbody:\n%s", err, buf.String())
+		}
+	})
+}
+
+// FuzzParseText asserts the parser itself never panics on arbitrary bytes —
+// it must either return a Scrape or an error, whatever the input.
+func FuzzParseText(f *testing.F) {
+	f.Add("# TYPE a counter\na 1\n")
+	f.Add("a{l=\"v\"} NaN\n")
+	f.Add("a{l=\"\\n\\\\\\\"\"} +Inf 123\n")
+	f.Add("# HELP\n#\nname 1e9\n")
+	f.Fuzz(func(t *testing.T, body string) {
+		_, _ = ParseText(strings.NewReader(body))
+	})
+}

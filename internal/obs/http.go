@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RequestMeta supplies the per-request context fields the middleware cannot
+// see on its own: the serving shard (nil when unsharded), the engine
+// generation, and the caller's admission key. Implementations must be safe
+// for concurrent use; any field may be zero.
+type RequestMeta func(r *http.Request) (shard *int, version int, client string)
+
+// HTTPMetrics instruments an http.Handler: per-route request counters
+// (labelled by status code), per-route latency histograms, and an optional
+// structured request log. Series are created lazily on first hit and cached
+// behind an RWMutex, so the steady-state hot path is a read-lock, two atomic
+// adds and a histogram observe.
+type HTTPMetrics struct {
+	reg     *Registry
+	log     *RequestLogger
+	meta    RequestMeta
+	buckets []float64
+
+	mu     sync.RWMutex
+	routes map[string]*routeMetrics
+}
+
+// routeMetrics is one route's instrument set.
+type routeMetrics struct {
+	latency *Histogram
+
+	cmu      sync.RWMutex
+	byStatus map[int]*Counter
+}
+
+// NewHTTPMetrics builds the middleware state over a registry. log and meta
+// may be nil (no request logging / no extra fields); buckets nil selects
+// DefBuckets.
+func NewHTTPMetrics(reg *Registry, log *RequestLogger, meta RequestMeta, buckets []float64) *HTTPMetrics {
+	return &HTTPMetrics{
+		reg:     reg,
+		log:     log,
+		meta:    meta,
+		buckets: buckets,
+		routes:  make(map[string]*routeMetrics),
+	}
+}
+
+// routeFor normalizes a request path to its route label. Unknown paths
+// collapse into "other" so a path-scanning client cannot balloon series
+// cardinality.
+func routeFor(path string) string {
+	switch path {
+	case "/health", "/info", "/recommend", "/recommend/batch", "/ingest", "/users", "/metrics":
+		return path
+	}
+	return "other"
+}
+
+// route returns (creating on first use) the instrument set for a route.
+func (m *HTTPMetrics) route(name string) *routeMetrics {
+	m.mu.RLock()
+	rm := m.routes[name]
+	m.mu.RUnlock()
+	if rm != nil {
+		return rm
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rm = m.routes[name]; rm != nil {
+		return rm
+	}
+	rm = &routeMetrics{
+		latency: m.reg.Histogram("ganc_http_request_duration_seconds",
+			"HTTP request latency by route.", m.buckets, L("route", name)),
+		byStatus: make(map[int]*Counter),
+	}
+	m.routes[name] = rm
+	return rm
+}
+
+// counter returns the route's counter for a status code.
+func (rm *routeMetrics) counter(m *HTTPMetrics, route string, status int) *Counter {
+	rm.cmu.RLock()
+	c := rm.byStatus[status]
+	rm.cmu.RUnlock()
+	if c != nil {
+		return c
+	}
+	rm.cmu.Lock()
+	defer rm.cmu.Unlock()
+	if c = rm.byStatus[status]; c != nil {
+		return c
+	}
+	c = m.reg.Counter("ganc_http_requests_total",
+		"HTTP requests by route and status code.",
+		L("route", route), L("code", strconv.Itoa(status)))
+	rm.byStatus[status] = c
+	return c
+}
+
+// statusWriter captures the written status code.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the code before delegating.
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write defaults the status to 200 on an implicit header.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Wrap instruments next: every request is timed, counted under its route and
+// status, observed into the route's latency histogram, and (when a logger is
+// configured) logged as one JSON line.
+func (m *HTTPMetrics) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeFor(r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(t0)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		rm := m.route(route)
+		rm.counter(m, route, sw.status).Inc()
+		rm.latency.Observe(elapsed.Seconds())
+		if m.log != nil {
+			entry := RequestEntry{
+				Method:     r.Method,
+				Route:      route,
+				Status:     sw.status,
+				DurationMs: float64(elapsed) / float64(time.Millisecond),
+			}
+			if m.meta != nil {
+				entry.Shard, entry.Version, entry.Client = m.meta(r)
+			}
+			m.log.Log(levelForStatus(sw.status), entry)
+		}
+	})
+}

@@ -1,0 +1,305 @@
+// Package obs is the observability layer: a dependency-free metrics registry
+// (counters, gauges, fixed-bucket latency histograms) rendered in the
+// Prometheus text exposition format, plus leveled structured request logging
+// and an HTTP instrumentation middleware. Everything in here is hot-path
+// safe: recording a sample is a handful of atomic operations, histograms
+// stripe their buckets across shards so concurrent observers do not contend
+// on one cache line, and the registry mutex is touched only when a new
+// series is created or /metrics is scraped.
+//
+// The package deliberately implements only the slice of the Prometheus data
+// model the serving tier needs — counter, gauge, histogram, flat label sets —
+// so the server keeps its zero-dependency footprint. ParseText (parse.go) is
+// the matching validator: tests and the CI e2e job scrape /metrics and feed
+// the body through it to prove the encoder emits well-formed text.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metricKind enumerates the supported Prometheus metric types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain instances from Registry.Counter.
+type Counter struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v; negative or NaN deltas are dropped (a
+// counter must never go backwards, and the encoder must never see garbage).
+func (c *Counter) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	atomicAddFloat(&c.v, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.v.Load()) }
+
+// Gauge is a metric that can go up and down. Obtain instances from
+// Registry.Gauge.
+type Gauge struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by v (may be negative).
+func (g *Gauge) Add(v float64) { atomicAddFloat(&g.v, v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+// atomicAddFloat adds delta to a float64 stored as uint64 bits with a CAS
+// loop.
+func atomicAddFloat(a *atomic.Uint64, delta float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// series is one rendered sample line: a label signature plus a value source.
+type series struct {
+	labels []Label
+	sig    string // canonical signature for dedup and deterministic render order
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64 // CounterFunc/GaugeFunc source
+	hist    *Histogram
+}
+
+// value resolves the series' current scalar (not used for histograms).
+func (s *series) value() float64 {
+	switch {
+	case s.counter != nil:
+		return s.counter.Value()
+	case s.gauge != nil:
+		return s.gauge.Value()
+	case s.fn != nil:
+		return s.fn()
+	}
+	return 0
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind metricKind
+
+	mu     sync.Mutex
+	series []*series
+	bySig  map[string]*series
+}
+
+// find returns the series with the given signature, or nil.
+func (f *family) find(sig string) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bySig[sig]
+}
+
+// add registers a new series under the family, keeping render order
+// deterministic (sorted by signature).
+func (f *family) add(s *series) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.bySig[s.sig] = s
+	f.series = append(f.series, s)
+	sort.Slice(f.series, func(a, b int) bool { return f.series[a].sig < f.series[b].sig })
+}
+
+// Registry holds metric families and renders them as Prometheus text. The
+// zero value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// familyFor returns (creating if needed) the family for name. A name reused
+// with a different kind gets a disambiguating suffix instead of corrupting
+// the exposition (two TYPE lines for one name is invalid text format).
+func (r *Registry) familyFor(name, help string, kind metricKind) *family {
+	name = sanitizeName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		f, ok := r.byName[name]
+		if !ok {
+			f = &family{name: name, help: help, kind: kind, bySig: make(map[string]*series)}
+			r.byName[name] = f
+			r.families = append(r.families, f)
+			return f
+		}
+		if f.kind == kind {
+			return f
+		}
+		name += "_" + kind.String()
+	}
+}
+
+// Counter returns the counter series for name+labels, creating it on first
+// use. Calling again with the same name and labels returns the same
+// instance.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.familyFor(name, help, kindCounter)
+	sig, clean := signature(labels)
+	if s := f.find(sig); s != nil && s.counter != nil {
+		return s.counter
+	}
+	c := &Counter{}
+	f.add(&series{labels: clean, sig: sig, counter: c})
+	return c
+}
+
+// Gauge returns the gauge series for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.familyFor(name, help, kindGauge)
+	sig, clean := signature(labels)
+	if s := f.find(sig); s != nil && s.gauge != nil {
+		return s.gauge
+	}
+	g := &Gauge{}
+	f.add(&series{labels: clean, sig: sig, gauge: g})
+	return g
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the bridge for pre-existing atomics (cache hit counters and
+// the like) that must not be double-counted into a second variable. fn must
+// be monotonically non-decreasing and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.familyFor(name, help, kindCounter)
+	sig, clean := signature(labels)
+	if s := f.find(sig); s != nil {
+		s.fn = fn
+		return
+	}
+	f.add(&series{labels: clean, sig: sig, fn: fn})
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.familyFor(name, help, kindGauge)
+	sig, clean := signature(labels)
+	if s := f.find(sig); s != nil {
+		s.fn = fn
+		return
+	}
+	f.add(&series{labels: clean, sig: sig, fn: fn})
+}
+
+// Histogram returns the histogram series for name+labels, creating it with
+// the given bucket upper bounds on first use (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	f := r.familyFor(name, help, kindHistogram)
+	sig, clean := signature(labels)
+	if s := f.find(sig); s != nil && s.hist != nil {
+		return s.hist
+	}
+	h := newHistogram(buckets)
+	f.add(&series{labels: clean, sig: sig, hist: h})
+	return h
+}
+
+// signature canonicalizes a label set: names sanitized, sorted, values
+// escaped at render time. Reserved label names (le) are dropped — the
+// histogram encoder owns them.
+func signature(labels []Label) (string, []Label) {
+	clean := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		name := sanitizeName(l.Name)
+		if name == "le" || name == "" {
+			continue
+		}
+		clean = append(clean, Label{Name: name, Value: l.Value})
+	}
+	sort.Slice(clean, func(a, b int) bool {
+		if clean[a].Name != clean[b].Name {
+			return clean[a].Name < clean[b].Name
+		}
+		return clean[a].Value < clean[b].Value
+	})
+	var sb strings.Builder
+	for _, l := range clean {
+		sb.WriteString(l.Name)
+		sb.WriteByte(1)
+		sb.WriteString(l.Value)
+		sb.WriteByte(2)
+	}
+	return sb.String(), clean
+}
+
+// sanitizeName coerces an arbitrary string into a valid Prometheus metric or
+// label name ([a-zA-Z_:][a-zA-Z0-9_:]*): invalid runes become underscores, a
+// leading digit is prefixed. The registry never panics on a hostile name —
+// the fuzz target feeds it garbage on purpose.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the full sample name including any _bucket/_sum/_count suffix.
+	Name string
+	// Labels holds the sample's label pairs in appearance order (including
+	// le for histogram buckets).
+	Labels []Label
+	// Value is the parsed sample value (may be NaN or ±Inf).
+	Value float64
+}
+
+// Scrape is the parsed form of one /metrics body.
+type Scrape struct {
+	// Types maps family name → declared TYPE.
+	Types map[string]string
+	// Samples holds every sample line in order.
+	Samples []Sample
+}
+
+// Value returns the value of the first sample matching name and every given
+// label pair, and whether one was found.
+func (s *Scrape) Value(name string, labels ...Label) (float64, bool) {
+	for _, sm := range s.Samples {
+		if sm.Name != name {
+			continue
+		}
+		ok := true
+		for _, want := range labels {
+			found := false
+			for _, l := range sm.Labels {
+				if l.Name == want.Name && l.Value == want.Value {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return sm.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumByPrefix sums the values of every sample whose name matches exactly and
+// whose labels include the given pairs — the helper for asserting "requests
+// across all status codes".
+func (s *Scrape) SumByPrefix(name string, labels ...Label) float64 {
+	var sum float64
+	for _, sm := range s.Samples {
+		if sm.Name != name {
+			continue
+		}
+		ok := true
+		for _, want := range labels {
+			found := false
+			for _, l := range sm.Labels {
+				if l.Name == want.Name && l.Value == want.Value {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sum += sm.Value
+		}
+	}
+	return sum
+}
+
+// ParseText parses a Prometheus text-format exposition, validating it line
+// by line: well-formed comments, sample names, label syntax, and float
+// values. It is the test-side counterpart of Registry.WriteText — the CI e2e
+// job scrapes /metrics mid-scenario and feeds the body through this parser,
+// so an encoder regression (bad escaping, malformed floats, duplicate TYPE
+// lines) fails loudly rather than silently corrupting a real scrape.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{Types: make(map[string]string)}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(sc, line); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		sc.Samples = append(sc.Samples, sample)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %w", err)
+	}
+	return sc, nil
+}
+
+// parseComment validates a # HELP / # TYPE line (other comments are legal
+// and ignored).
+func parseComment(sc *Scrape, line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validName(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE line", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %q", typ, name)
+		}
+		if prev, ok := sc.Types[name]; ok && prev != typ {
+			return fmt.Errorf("family %q declared twice with types %q and %q", name, prev, typ)
+		}
+		sc.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 || !validName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		nameEnd = sp
+	} else {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = rest[:nameEnd]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		close := strings.LastIndexByte(rest, '}')
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:close])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q has a malformed value section", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses the inside of a {...} label set.
+func parseLabels(body string) ([]Label, error) {
+	var labels []Label
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q has no =", body[i:])
+		}
+		name := strings.TrimSpace(body[i : i+eq])
+		if !validName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label %q value is not quoted", name)
+		}
+		i++
+		var sb strings.Builder
+		closed := false
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return nil, fmt.Errorf("label %q value ends mid-escape", name)
+				}
+				switch body[i+1] {
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %q value has invalid escape \\%c", name, body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %q value is unterminated", name)
+		}
+		labels = append(labels, Label{Name: name, Value: sb.String()})
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return labels, nil
+}
+
+// parseValue parses a sample value, accepting the special spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid value %q", s)
+	}
+	return v, nil
+}
+
+// validName reports whether s is a valid metric/label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE lines followed by the
+// family's samples, histograms expanded into cumulative _bucket/_sum/_count
+// series. Output is deterministic: families in registration order, series
+// sorted by label signature.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		f.mu.Lock()
+		series := make([]*series, len(f.series))
+		copy(series, f.series)
+		f.mu.Unlock()
+		if len(series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range series {
+			if f.kind == kindHistogram && s.hist != nil {
+				writeHistogram(bw, f.name, s)
+				continue
+			}
+			writeSample(bw, f.name, "", s.labels, "", s.value())
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram expands one histogram series into its exposition lines.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	cum, count, sum := s.hist.snapshot()
+	for i, bound := range s.hist.bounds {
+		writeSample(bw, name, "_bucket", s.labels, formatFloat(bound), float64(cum[i]))
+	}
+	writeSample(bw, name, "_bucket", s.labels, "+Inf", float64(cum[len(cum)-1]))
+	writeSample(bw, name, "_sum", s.labels, "", sum)
+	writeSample(bw, name, "_count", s.labels, "", float64(count))
+}
+
+// writeSample emits one sample line: name[suffix]{labels[,le]} value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, le string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a float the way the exposition format expects: NaN and
+// the infinities by name, everything else in shortest round-trip form.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text format: backslash, double
+// quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes are legal
+// there).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// Handler returns the GET /metrics endpoint over this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

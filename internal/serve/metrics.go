@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"ganc/internal/admit"
+	"ganc/internal/obs"
+)
+
+// WithMetrics attaches a metrics registry: the server registers its engine,
+// cache and ingestion series on it, instruments every route with request
+// counters and latency histograms, and mounts GET /metrics on the handler.
+// The registry may be shared (e.g. with an admission controller or a
+// process-level registrar); series names are fixed, so two servers must not
+// share one registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.metrics = reg }
+}
+
+// WithRequestLog emits one structured JSON line per request (method, route,
+// status, shard, duration, engine version, client key) to the logger.
+func WithRequestLog(l *obs.RequestLogger) Option {
+	return func(s *Server) { s.reqLog = l }
+}
+
+// WithAdmission applies an admission controller — per-client rate limiting
+// and a concurrency cap — around every route except /health, /metrics and
+// /info. A nil controller is accepted and admits everything.
+func WithAdmission(c *admit.Controller) Option {
+	return func(s *Server) { s.admission = c }
+}
+
+// WithRateLimit applies per-client token-bucket rate limiting: a sustained
+// ratePerSec with a burst allowance (burst ≤ 0 defaults to max(rate, 1)).
+// Clients are keyed by the X-Client-ID header, falling back to the remote
+// host. Composes with WithMaxConcurrent into one admission controller; an
+// explicit WithAdmission controller overrides both.
+func WithRateLimit(ratePerSec, burst float64) Option {
+	return func(s *Server) {
+		cfg := s.pendingAdmit()
+		cfg.RatePerSec = ratePerSec
+		cfg.Burst = burst
+	}
+}
+
+// WithMaxConcurrent caps requests inside handlers at n; an over-capacity
+// request waits up to maxWait for a slot before being shed with a typed 429.
+// Composes with WithRateLimit into one admission controller.
+func WithMaxConcurrent(n int, maxWait time.Duration) Option {
+	return func(s *Server) {
+		cfg := s.pendingAdmit()
+		cfg.MaxConcurrent = n
+		cfg.MaxWait = maxWait
+	}
+}
+
+// pendingAdmit returns the admission configuration accumulated by
+// WithRateLimit/WithMaxConcurrent, creating it on first use. New builds the
+// controller from it after all options have applied.
+func (s *Server) pendingAdmit() *admit.Config {
+	if s.admitCfg == nil {
+		s.admitCfg = &admit.Config{}
+	}
+	return s.admitCfg
+}
+
+// initObservability finishes construction: builds the HTTP instrumentation
+// middleware and registers the server's metric families. Called once from
+// New after options are applied.
+func (s *Server) initObservability() {
+	if s.metrics == nil && s.reqLog == nil {
+		return
+	}
+	reg := s.metrics
+	if reg == nil {
+		// Request logging without a /metrics endpoint still needs a registry
+		// for the middleware's internals; keep it private.
+		reg = obs.NewRegistry()
+	}
+	s.httpObs = obs.NewHTTPMetrics(reg, s.reqLog, s.requestMeta, nil)
+	s.computeHist = reg.Histogram("ganc_engine_compute_seconds",
+		"Cold-path engine computation latency per user (cache misses only).", nil)
+	reg.GaugeFunc("ganc_engine_version",
+		"Current engine generation (1 initial, +1 per swap).",
+		func() float64 { return float64(s.Version()) })
+	reg.CounterFunc("ganc_engine_swaps_total",
+		"Atomic engine swaps since start.",
+		func() float64 { return float64(s.swaps.Load()) })
+	reg.CounterFunc("ganc_cache_hits_total",
+		"Recommendation cache hits.",
+		func() float64 { return float64(s.hits.Load()) })
+	reg.CounterFunc("ganc_cache_misses_total",
+		"Recommendation cache misses (each one is an engine computation).",
+		func() float64 { return float64(s.misses.Load()) })
+	reg.CounterFunc("ganc_cache_coalesced_total",
+		"Requests coalesced onto another request's in-flight computation.",
+		func() float64 { return float64(s.coalesced.Load()) })
+	reg.GaugeFunc("ganc_cache_size",
+		"Entries in the current generation's cache.",
+		func() float64 { return float64(s.gen.Load().cache.len()) })
+	reg.GaugeFunc("ganc_cache_capacity",
+		"Configured cache capacity.",
+		func() float64 { return float64(s.capacity) })
+	reg.CounterFunc("ganc_batch_users_total",
+		"Users processed through POST /recommend/batch.",
+		func() float64 { return float64(s.batchUsers.Load()) })
+	reg.CounterFunc("ganc_ingest_events_total",
+		"Interaction events applied through POST /ingest.",
+		func() float64 { return float64(s.ingestEvents.Load()) })
+	if s.admission != nil {
+		s.admission.Register(reg)
+	}
+}
+
+// requestMeta supplies the request-log fields the middleware cannot derive:
+// shard identity, serving version, and the admission client key.
+func (s *Server) requestMeta(r *http.Request) (*int, int, string) {
+	var shard *int
+	if s.shard != nil {
+		id := s.shard.ShardID
+		shard = &id
+	}
+	return shard, s.Version(), s.admission.ClientKey(r)
+}
+
+// HealthResponse is the payload of GET /health. Status is always "ok" when
+// the process can answer at all; the point of the extra fields is triage —
+// a router aggregates them so an operator can see which shard is shedding
+// and how saturated its concurrency cap is without scraping every node.
+type HealthResponse struct {
+	// Status is "ok".
+	Status string `json:"status"`
+	// Shard is the server's shard ID when it serves as part of a cluster.
+	Shard *int `json:"shard,omitempty"`
+	// Version is the current engine generation.
+	Version int `json:"version"`
+	// Admission carries shed counts and limiter saturation when admission
+	// control is enabled.
+	Admission *admit.Stats `json:"admission,omitempty"`
+}

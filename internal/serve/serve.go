@@ -18,6 +18,7 @@
 //	POST /recommend/batch          → {"users":[...]} → lists for many users
 //	POST /ingest                   → {"events":[...]} → stream new interactions
 //	GET  /users                    → the number of servable users
+//	GET  /metrics                  → Prometheus text exposition (with WithMetrics)
 //
 // POST /ingest is live only when an IngestSink has been attached with
 // SetIngestSink (the internal/ingest package provides one); without a sink it
@@ -36,8 +37,11 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"ganc/internal/admit"
 	"ganc/internal/dataset"
+	"ganc/internal/obs"
 	"ganc/internal/types"
 )
 
@@ -145,6 +149,17 @@ type Server struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	coalesced atomic.Int64
+
+	// Observability and admission wiring (all optional; see metrics.go).
+	metrics      *obs.Registry
+	reqLog       *obs.RequestLogger
+	admission    *admit.Controller
+	admitCfg     *admit.Config
+	httpObs      *obs.HTTPMetrics
+	computeHist  *obs.Histogram
+	swaps        atomic.Int64
+	batchUsers   atomic.Int64
+	ingestEvents atomic.Int64
 }
 
 // ingestHolder wraps the sink so the atomic pointer has a concrete type even
@@ -167,12 +182,18 @@ func New(train *dataset.Dataset, engine Engine, n int, opts ...Option) (*Server,
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.admission == nil && s.admitCfg != nil {
+		// Build the controller from the WithRateLimit/WithMaxConcurrent
+		// accumulation (admit.New returns nil when neither gate is enabled).
+		s.admission = admit.New(*s.admitCfg)
+	}
 	gen := s.newGeneration(engine, 1)
 	for u, set := range s.seed {
 		gen.cache.put(u, set)
 	}
 	s.seed = nil
 	s.gen.Store(gen)
+	s.initObservability()
 	return s, nil
 }
 
@@ -196,6 +217,7 @@ func (s *Server) Update(engine Engine) error {
 		old := s.gen.Load()
 		next := s.newGeneration(engine, old.version+1)
 		if s.gen.CompareAndSwap(old, next) {
+			s.swaps.Add(1)
 			return nil
 		}
 	}
@@ -270,11 +292,22 @@ func (s *Server) recommend(ctx context.Context, u types.UserID) (set types.TopNS
 	}()
 	// Compute without the requester's cancellation: coalesced waiters and the
 	// cache should not be poisoned because the first requester hung up.
+	var t0 time.Time
+	if s.computeHist != nil {
+		t0 = time.Now()
+	}
 	fl.set, fl.err = gen.engine.RecommendUser(context.WithoutCancel(ctx), u, s.n)
+	if s.computeHist != nil {
+		s.computeHist.Observe(time.Since(t0).Seconds())
+	}
 	return fl.set, gen, fl.err
 }
 
-// Handler returns the HTTP handler with all routes mounted.
+// Handler returns the HTTP handler with all routes mounted. When metrics,
+// request logging or admission control are configured the mux is wrapped in
+// middleware, outermost first: instrumentation (so shed requests are still
+// counted and logged), then admission (so /health and /metrics stay
+// reachable on an overloaded server), then the routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/health", s.handleHealth)
@@ -283,7 +316,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/recommend/batch", s.handleBatch)
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/users", s.handleUsers)
-	return mux
+	if s.metrics != nil {
+		mux.Handle("/metrics", s.metrics.Handler())
+	}
+	var h http.Handler = mux
+	h = s.admission.Middleware(h)
+	if s.httpObs != nil {
+		h = s.httpObs.Wrap(h)
+	}
+	return h
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -297,9 +338,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
 		return
 	}
-	resp := map[string]interface{}{"status": "ok"}
+	resp := HealthResponse{Status: "ok", Version: s.Version()}
 	if s.shard != nil {
-		resp["shard"] = s.shard.ShardID
+		id := s.shard.ShardID
+		resp.Shard = &id
+	}
+	if s.admission != nil {
+		stats := s.admission.Stats()
+		resp.Admission = &stats
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -484,6 +530,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	wg.Wait()
+	s.batchUsers.Add(int64(len(req.Users)))
 	writeJSON(w, http.StatusOK, BatchResponse{
 		Model:   gen.engine.Name(),
 		Version: gen.version,
@@ -580,6 +627,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		return
 	}
+	s.ingestEvents.Add(int64(res.Applied))
 	writeJSON(w, http.StatusOK, res)
 }
 

@@ -100,12 +100,15 @@ func TestNewValidation(t *testing.T) {
 
 func TestHealthEndpoint(t *testing.T) {
 	_, _, ts := newTestServer(t)
-	var body map[string]string
+	var body HealthResponse
 	if code := getJSON(t, ts.URL+"/health", &body); code != http.StatusOK {
 		t.Fatalf("health status %d", code)
 	}
-	if body["status"] != "ok" {
-		t.Fatalf("health body %v", body)
+	if body.Status != "ok" || body.Version != 1 {
+		t.Fatalf("health body %+v", body)
+	}
+	if body.Admission != nil {
+		t.Fatalf("admission block should be absent without admission control: %+v", body)
 	}
 }
 

@@ -131,10 +131,17 @@ func computeStats(d []time.Duration) LatencyStats {
 type LoadResult struct {
 	// Requests and Errors count completed calls and failures (transport
 	// errors and 5xx responses; 4xx answers are client mistakes and counted
-	// separately as Rejected).
+	// separately as Rejected, except 429s which are admission sheds and
+	// counted as Shed).
 	Requests int `json:"requests"`
 	Errors   int `json:"errors"`
 	Rejected int `json:"rejected"`
+	// Shed counts 429 answers — requests the server's admission control
+	// refused (rate limit or concurrency cap). ShedRate is Shed/Requests;
+	// ShedByEndpoint breaks the 429s down per route.
+	Shed           int            `json:"shed"`
+	ShedRate       float64        `json:"shed_rate"`
+	ShedByEndpoint map[string]int `json:"shed_by_endpoint,omitempty"`
 	// DurationSec is the wall-clock span of the run.
 	DurationSec float64 `json:"duration_sec"`
 	// ThroughputRPS is successfully answered requests per second; failed and
@@ -175,10 +182,11 @@ var endpointNames = [epCount]string{"recommend", "batch", "ingest"}
 
 // sample is one completed request observation.
 type sample struct {
-	ep  int8
-	bad bool // 5xx or transport failure
-	rej bool // 4xx
-	d   time.Duration
+	ep   int8
+	bad  bool // 5xx or transport failure
+	rej  bool // 4xx other than 429
+	shed bool // 429 — shed by admission control
+	d    time.Duration
 }
 
 // RunLoad drives a closed loop of mixed traffic against the server at
@@ -282,6 +290,13 @@ func reduce(samples [][]sample, elapsed time.Duration, before, after serve.InfoR
 			case s.bad:
 				res.Errors++
 				continue
+			case s.shed:
+				res.Shed++
+				if res.ShedByEndpoint == nil {
+					res.ShedByEndpoint = make(map[string]int, epCount)
+				}
+				res.ShedByEndpoint[endpointNames[s.ep]]++
+				continue
 			case s.rej:
 				res.Rejected++
 				continue
@@ -289,6 +304,9 @@ func reduce(samples [][]sample, elapsed time.Duration, before, after serve.InfoR
 			perEp[s.ep] = append(perEp[s.ep], s.d)
 			all = append(all, s.d)
 		}
+	}
+	if res.Requests > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Requests)
 	}
 	res.Overall = computeStats(all)
 	for ep, d := range perEp {
@@ -381,6 +399,8 @@ func finish(client *http.Client, req *http.Request, s sample, t0 time.Time) samp
 	switch {
 	case resp.StatusCode >= 500:
 		s.bad = true
+	case resp.StatusCode == http.StatusTooManyRequests:
+		s.shed = true
 	case resp.StatusCode >= 400:
 		s.rej = true
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"ganc/internal/admit"
 	"ganc/internal/serve"
 	"ganc/internal/types"
 )
@@ -101,6 +102,57 @@ func TestRunLoadMixedTraffic(t *testing.T) {
 	}
 	if res.CacheHits+res.CacheMisses == 0 {
 		t.Fatal("no cache lookups measured")
+	}
+}
+
+// TestRunLoadShedTracking drives an admission-limited server and checks the
+// 429 bookkeeping: sheds counted apart from errors and rejections, broken
+// down per endpoint, and excluded from the latency distributions.
+func TestRunLoadShedTracking(t *testing.T) {
+	u, err := NewUniverse(TinyConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &echoEngine{}
+	srv, err := serve.New(u.Train(), eng, 5,
+		serve.WithAdmission(admit.New(admit.Config{RatePerSec: 1, Burst: 10})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// All driver workers share one client key (the loopback remote host), so
+	// 120 requests against a burst of 10 must drain the bucket and shed.
+	res, err := RunLoad(context.Background(), u, LoadConfig{
+		BaseURL:     ts.URL,
+		Requests:    120,
+		Concurrency: 4,
+		Mix:         LoadMix{Recommend: 9, Batch: 1},
+		Seed:        17,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Rejected != 0 {
+		t.Fatalf("errors=%d rejected=%d; 429s must not count as either", res.Errors, res.Rejected)
+	}
+	if res.Shed == 0 {
+		t.Fatal("no sheds recorded against a burst-10 rate limit")
+	}
+	if got := res.Overall.Count + res.Shed; got != res.Requests {
+		t.Fatalf("served %d + shed %d = %d, want %d", res.Overall.Count, res.Shed, got, res.Requests)
+	}
+	if want := float64(res.Shed) / float64(res.Requests); res.ShedRate != want {
+		t.Fatalf("shed rate %v, want %v", res.ShedRate, want)
+	}
+	byEp := 0
+	for _, n := range res.ShedByEndpoint {
+		byEp += n
+	}
+	if byEp != res.Shed {
+		t.Fatalf("per-endpoint sheds sum to %d, total %d", byEp, res.Shed)
 	}
 }
 

@@ -3,9 +3,12 @@ package simulate
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -14,6 +17,7 @@ import (
 	"time"
 
 	"ganc/internal/dataset"
+	"ganc/internal/obs"
 	"ganc/internal/serve"
 	"ganc/internal/types"
 )
@@ -103,6 +107,13 @@ const (
 	// PhaseKillShard crashes one shard of a sharded primary (Phase.Shard);
 	// the rest of the cluster keeps serving.
 	PhaseKillShard PhaseKind = "kill-shard"
+	// PhaseOverload offers load well beyond the primary's admission capacity
+	// and asserts graceful degradation instead of collapse: shed requests get
+	// typed 429 bodies, served requests keep a bounded p99, and nothing
+	// answers 5xx. The primary must be built with admission control enabled —
+	// a system that cannot shed fails the phase (zero 429s means the
+	// assertion is vacuous).
+	PhaseOverload PhaseKind = "overload"
 	// PhaseRestartShard restores a killed shard from its snapshot plus its
 	// write-ahead-log suffix and, when the scenario runs a shadow, asserts
 	// the recovered shard's owned-user fingerprint matches the single-node
@@ -147,6 +158,11 @@ type Phase struct {
 	// KillDelayMs is how far into the load the mid-load kill fires
 	// (default 100).
 	KillDelayMs int `json:"kill_delay_ms,omitempty"`
+	// MaxP99Ms bounds the served-request p99 an overload phase tolerates
+	// (default 2000). Generous by design: the assertion is "bounded, not
+	// collapsing", robust to a loaded CI machine, while still catching a
+	// server that stops answering admitted requests under overload.
+	MaxP99Ms float64 `json:"max_p99_ms,omitempty"`
 }
 
 // Scenario is a full lifecycle expressed as data: a universe, a system
@@ -226,6 +242,9 @@ type PhaseResult struct {
 	Replayed int `json:"replayed,omitempty"`
 	// ParityChecked marks phases that asserted a fingerprint equivalence.
 	ParityChecked bool `json:"parity_checked,omitempty"`
+	// MetricsValidated marks phases that scraped GET /metrics mid-phase and
+	// validated the body with the strict text-format parser.
+	MetricsValidated bool `json:"metrics_validated,omitempty"`
 	// Shard echoes the target of a kill-shard/restart-shard phase (and of a
 	// mid-load kill).
 	Shard int `json:"shard,omitempty"`
@@ -330,6 +349,8 @@ func (r *Runner) runPhase(ctx context.Context, sc *Scenario, st *runState, p Pha
 		return r.load(ctx, st, pr)
 	case PhaseServeUnderLoad:
 		return r.serveUnderLoad(ctx, sc, st, p, pr)
+	case PhaseOverload:
+		return r.overload(ctx, sc, st, p, pr)
 	case PhaseIngestChurn:
 		return r.ingestChurn(ctx, sc, st, p, pr)
 	case PhaseKillAndRecover:
@@ -528,6 +549,149 @@ func (r *Runner) serveUnderLoad(ctx context.Context, sc *Scenario, st *runState,
 		return pr, fmt.Errorf("%d of %d requests failed with server-side errors", res.Errors, res.Requests)
 	}
 	return pr, nil
+}
+
+// overload drives offered load well past the primary's admission capacity
+// and asserts the degradation is graceful: some requests shed with typed 429
+// bodies, zero 5xx, and the requests that were served keep a bounded p99.
+// When the handler exposes /metrics the phase also scrapes it mid-scenario
+// and validates the body with the strict text-format parser.
+func (r *Runner) overload(ctx context.Context, sc *Scenario, st *runState, p Phase, pr PhaseResult) (PhaseResult, error) {
+	if st.primary == nil {
+		return pr, fmt.Errorf("overload before train")
+	}
+	h, err := st.primary.Handler()
+	if err != nil {
+		return pr, err
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	requests := p.Requests
+	if requests <= 0 {
+		requests = 400
+	}
+	concurrency := p.Concurrency
+	if concurrency <= 0 {
+		concurrency = 16
+	}
+	mix := p.Mix
+	if mix == (LoadMix{}) {
+		mix = LoadMix{Recommend: 100}
+	}
+	maxP99 := p.MaxP99Ms
+	if maxP99 <= 0 {
+		maxP99 = 2000
+	}
+	res, err := RunLoad(ctx, st.universe, LoadConfig{
+		BaseURL:     ts.URL,
+		Requests:    requests,
+		Concurrency: concurrency,
+		Mix:         mix,
+		BatchSize:   p.BatchSize,
+		Seed:        sc.Seed + 1,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		return pr, err
+	}
+	pr.Load = res
+	if res.Errors > 0 {
+		return pr, fmt.Errorf("overload must degrade gracefully, but %d of %d requests failed with 5xx/transport errors", res.Errors, res.Requests)
+	}
+	if res.Shed == 0 {
+		return pr, fmt.Errorf("overload shed nothing across %d requests — is the system built with admission control?", res.Requests)
+	}
+	if served := res.Overall.Count; served > 0 && res.Overall.P99Ms > maxP99 {
+		return pr, fmt.Errorf("served-request p99 %.1fms exceeds the %.1fms bound (%d served, %d shed)",
+			res.Overall.P99Ms, maxP99, served, res.Shed)
+	}
+
+	// The driver discards response bodies, so re-establish the typed-429
+	// contract directly: the load just drained the admission budget, so a
+	// prompt probe sheds — but admission recovers with time, hence the short
+	// retry loop rather than a single attempt.
+	if err := probeTyped429(ctx, ts.Client(), ts.URL, st.universe); err != nil {
+		return pr, err
+	}
+
+	if validated, err := scrapeMetrics(ctx, ts.Client(), ts.URL); err != nil {
+		return pr, err
+	} else {
+		pr.MetricsValidated = validated
+	}
+	return pr, nil
+}
+
+// probeTyped429 provokes one shed response and asserts the typed-429
+// contract: status 429, a Retry-After header, and a JSON body whose code is
+// rate_limited or over_capacity.
+func probeTyped429(ctx context.Context, client *http.Client, base string, u *Universe) error {
+	req := u.RequestStream(RequestStreamConfig{Seed: 424242})
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/recommend?user="+url.QueryEscape(req.NextUser()), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(httpReq)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.Header.Get("Retry-After") == "" {
+			return fmt.Errorf("429 response is missing a Retry-After header")
+		}
+		var body struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return fmt.Errorf("429 body is not the typed JSON shape: %w", err)
+		}
+		if body.Code != "rate_limited" && body.Code != "over_capacity" {
+			return fmt.Errorf("429 body code = %q, want rate_limited or over_capacity", body.Code)
+		}
+		if body.Error == "" {
+			return fmt.Errorf("429 body has an empty error message")
+		}
+		return nil
+	}
+	return fmt.Errorf("no 429 observed across %d probe requests despite a shedding load", rounds)
+}
+
+// scrapeMetrics fetches GET /metrics and validates the exposition with the
+// strict parser. Returns false without error when the handler has no
+// /metrics endpoint (metrics not configured on the system under test).
+func scrapeMetrics(ctx context.Context, client *http.Client, base string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("/metrics answered %d", resp.StatusCode)
+	}
+	if _, err := obs.ParseText(resp.Body); err != nil {
+		return false, fmt.Errorf("/metrics body failed the strict text-format parse: %w", err)
+	}
+	return true, nil
 }
 
 // restartShard restores a killed shard and, when a shadow exists, asserts

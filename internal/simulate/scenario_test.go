@@ -11,7 +11,9 @@ import (
 	"sync"
 	"testing"
 
+	"ganc/internal/admit"
 	"ganc/internal/dataset"
+	"ganc/internal/obs"
 	"ganc/internal/serve"
 	"ganc/internal/types"
 )
@@ -683,6 +685,78 @@ func (d *divergingSystem) Load(path string) error {
 	defer d.mu.Unlock()
 	d.events = append(d.events, serve.IngestEvent{User: "ghost", Item: "ghost", Value: 1})
 	return nil
+}
+
+// admittedFake wraps fakeSystem's handler with real admission control and
+// metrics, mirroring the facade's middleware order: instrumentation outermost
+// (sheds are counted), then admission, then the mux, with /metrics mounted.
+type admittedFake struct {
+	fakeSystem
+	cfg admit.Config
+}
+
+func (f *admittedFake) Handler() (http.Handler, error) {
+	inner, err := f.fakeSystem.Handler()
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	ctrl := admit.New(f.cfg)
+	ctrl.Register(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/", inner)
+	mux.Handle("/metrics", reg.Handler())
+	hm := obs.NewHTTPMetrics(reg, nil, nil, nil)
+	return hm.Wrap(ctrl.Middleware(mux)), nil
+}
+
+// TestRunnerOverloadPhase drives the overload phase against an
+// admission-limited system: the load must shed without 5xx, the typed-429
+// probe must pass, and the mid-phase /metrics scrape must validate.
+func TestRunnerOverloadPhase(t *testing.T) {
+	r := &Runner{
+		NewSystem: func() System {
+			return &admittedFake{cfg: admit.Config{RatePerSec: 1, Burst: 8}}
+		},
+		Dir: t.TempDir(),
+	}
+	sc := scenarioFixture()
+	sc.Phases = []Phase{
+		{Kind: PhaseTrain},
+		{Kind: PhaseOverload, Requests: 150, Concurrency: 8},
+	}
+	res, err := r.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := res.Phases[1]
+	if pr.Load == nil {
+		t.Fatal("overload phase recorded no load result")
+	}
+	if pr.Load.Errors != 0 {
+		t.Fatalf("overload produced %d server-side errors", pr.Load.Errors)
+	}
+	if pr.Load.Shed == 0 {
+		t.Fatal("overload shed nothing against a burst-8 rate limit")
+	}
+	if !pr.MetricsValidated {
+		t.Fatal("overload phase did not validate the /metrics scrape")
+	}
+}
+
+// TestRunnerOverloadRequiresShedding gives the overload phase a system
+// without admission control: the phase must fail rather than pass vacuously.
+func TestRunnerOverloadRequiresShedding(t *testing.T) {
+	r := &Runner{NewSystem: func() System { return &fakeSystem{} }, Dir: t.TempDir()}
+	sc := scenarioFixture()
+	sc.Phases = []Phase{
+		{Kind: PhaseTrain},
+		{Kind: PhaseOverload, Requests: 40, Concurrency: 4},
+	}
+	_, err := r.Run(context.Background(), sc)
+	if err == nil || !strings.Contains(err.Error(), "shed nothing") {
+		t.Fatalf("overload without admission control passed, err=%v", err)
+	}
 }
 
 // TestCanonicalRecommendations pins the fingerprint serialization: sorted by

@@ -1,0 +1,9 @@
+//go:build race
+
+package ganc
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Latency-ratio gates skip under the race detector: it multiplies
+// the cost of exactly the atomic and lock operations instrumentation is
+// made of, so the measured ratio says nothing about production overhead.
+const raceDetectorEnabled = true

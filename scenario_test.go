@@ -120,6 +120,46 @@ func TestScenarioKillRecoverEquivalence(t *testing.T) {
 	}
 }
 
+// TestScenarioOverloadGracefulDegradation: drive offered load well past the
+// admission budget and assert the system degrades gracefully — typed 429s
+// with Retry-After, zero 5xx, bounded served-request p99 — while /metrics
+// stays scrapeable mid-scenario and parses under the strict text-format
+// parser. The token bucket (1 req/s, burst 8) against 300 closed-loop
+// requests from one client key makes shedding an arithmetic certainty, so
+// the assertion is deterministic under the scenario seed.
+func TestScenarioOverloadGracefulDegradation(t *testing.T) {
+	cfg := e2eSystem()
+	cfg.Metrics = true
+	cfg.Admission = AdmissionConfig{RatePerSec: 1, Burst: 8}
+	sc := Scenario{
+		Name:     "overload-graceful-degradation",
+		Universe: e2eUniverse(19),
+		TopN:     10,
+		Seed:     37,
+		Phases: []ScenarioPhase{
+			{Kind: PhaseTrain},
+			{Kind: PhaseOverload, Requests: 300, Concurrency: 8},
+		},
+	}
+	res, err := RunScenario(context.Background(), sc, t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := res.Phases[1]
+	if ov.Load == nil || ov.Load.Requests == 0 {
+		t.Fatal("overload phase recorded no load result")
+	}
+	if ov.Load.Shed == 0 {
+		t.Fatalf("overload shed nothing across %d requests", ov.Load.Requests)
+	}
+	if ov.Load.Errors != 0 {
+		t.Fatalf("overload produced %d hard errors; degradation must be 429s, not 5xx", ov.Load.Errors)
+	}
+	if !ov.MetricsValidated {
+		t.Fatal("mid-scenario /metrics scrape was not validated")
+	}
+}
+
 // TestScenarioIngestChurnUnderLoad: sustained concurrent ingestion against
 // read traffic, twice, with no crash — the no-panic/no-leak property. The
 // goroutine census before and after bounds leaks from the serving layer's

@@ -130,6 +130,75 @@ func TestServeOnline_CacheHitSpeedup(t *testing.T) {
 	}
 }
 
+// BenchmarkServeOnline_InstrumentedCacheHit reports the cache-hit latency
+// with the full observability stack enabled — metrics registry, request
+// instrumentation and admission middleware — so the delta against
+// BenchmarkServeOnline_CacheHit is the whole per-request instrumentation
+// cost (two atomic counter bumps, one histogram observe, one token-bucket
+// check). BENCH_serve.json records the same comparison at the full
+// operating point.
+func BenchmarkServeOnline_InstrumentedCacheHit(b *testing.B) {
+	srv, train := serveFixture(b,
+		WithMetrics(NewMetricsRegistry()),
+		WithRateLimit(1e9, 1e9))
+	handler := srv.Handler()
+	key := userKeys(train)[0]
+	serveOnce(b, handler, key) // populate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveOnce(b, handler, key)
+	}
+}
+
+// TestServeOnline_InstrumentationOverhead is the tier-1 smoke for the
+// instrumentation budget: the fully instrumented recommend path (metrics +
+// admission) must stay within 1.5× of the bare path on the cache-hit
+// latency. The design budget is <5% (documented in BENCH_serve.json at the
+// operating point, where request cost dominates); the in-test gate is
+// deliberately loose so scheduler noise on shared CI runners cannot flake
+// it, while still catching an accidental lock or allocation on the hot
+// path, which costs far more than 1.5×.
+func TestServeOnline_InstrumentationOverhead(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("latency-ratio gate is meaningless under the race detector (it multiplies atomic/lock costs); CI runs this test without -race")
+	}
+	bare, bareTrain := serveFixture(t)
+	inst, instTrain := serveFixture(t,
+		WithMetrics(NewMetricsRegistry()),
+		WithRateLimit(1e9, 1e9))
+	bareKey := userKeys(bareTrain)[0]
+	instKey := userKeys(instTrain)[0]
+	bareHandler, instHandler := bare.Handler(), inst.Handler()
+	serveOnce(t, bareHandler, bareKey) // populate caches
+	serveOnce(t, instHandler, instKey)
+
+	const probes, hitsPerProbe = 9, 200
+	timeHits := func(h http.Handler, key string) []time.Duration {
+		out := make([]time.Duration, 0, probes)
+		for k := 0; k < probes; k++ {
+			start := time.Now()
+			for j := 0; j < hitsPerProbe; j++ {
+				serveOnce(t, h, key)
+			}
+			out = append(out, time.Since(start)/hitsPerProbe)
+		}
+		return out
+	}
+	// Interleave a warmup pass of each before measuring so neither side pays
+	// first-touch costs inside its timed window.
+	timeHits(bareHandler, bareKey)
+	timeHits(instHandler, instKey)
+	bareHit := median(timeHits(bareHandler, bareKey))
+	instHit := median(timeHits(instHandler, instKey))
+
+	ratio := float64(instHit) / float64(bareHit)
+	t.Logf("cache-hit per-request latency: bare=%v instrumented=%v ratio=%.3f", bareHit, instHit, ratio)
+	if ratio > 1.5 {
+		t.Fatalf("instrumented recommend path is %.2f× the bare path (%v vs %v); budget is <5%% at the operating point, gate is 1.5×",
+			ratio, instHit, bareHit)
+	}
+}
+
 func median(ds []time.Duration) time.Duration {
 	sorted := append([]time.Duration(nil), ds...)
 	for i := 1; i < len(sorted); i++ {

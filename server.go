@@ -1,6 +1,11 @@
 package ganc
 
 import (
+	"io"
+	"time"
+
+	"ganc/internal/admit"
+	"ganc/internal/obs"
 	"ganc/internal/serve"
 )
 
@@ -47,4 +52,89 @@ func WithServerBatchWorkers(workers int) ServerOption {
 // identity is echoed in /info and /health for router-side epoch checks.
 func WithServerShardIdentity(id ShardIdentity) ServerOption {
 	return serve.WithShardIdentity(id)
+}
+
+// Observability re-exports: the dependency-free metrics registry and
+// structured request logging from internal/obs, and the admission middleware
+// (per-client rate limiting + a concurrency cap with typed 429s) from
+// internal/admit. DESIGN.md §11 documents the metric catalog and the
+// admission semantics.
+type (
+	// MetricsRegistry collects counters, gauges and latency histograms and
+	// renders them in the Prometheus text exposition format.
+	MetricsRegistry = obs.Registry
+	// MetricsLabel is one name=value label on a metric series.
+	MetricsLabel = obs.Label
+	// MetricsScrape is a parsed /metrics body (the validation helper's view).
+	MetricsScrape = obs.Scrape
+	// RequestLogger writes leveled JSON-line request records.
+	RequestLogger = obs.RequestLogger
+	// LogLevel grades request-log entries (LogDebug … LogError).
+	LogLevel = obs.Level
+	// AdmissionConfig tunes an admission controller.
+	AdmissionConfig = admit.Config
+	// AdmissionController applies per-client rate limiting and a server-wide
+	// concurrency cap in front of the serving routes. Nil admits everything.
+	AdmissionController = admit.Controller
+	// AdmissionStats is a snapshot of an admission controller's counters.
+	AdmissionStats = admit.Stats
+	// ServerHealth is the typed GET /health payload (status, shard, engine
+	// version, admission counters).
+	ServerHealth = serve.HealthResponse
+)
+
+// Request-log levels, least to most severe.
+const (
+	LogDebug = obs.LevelDebug
+	LogInfo  = obs.LevelInfo
+	LogWarn  = obs.LevelWarn
+	LogError = obs.LevelError
+)
+
+// NewMetricsRegistry builds an empty metrics registry. Each server (or
+// router) needs its own: series names are fixed, so two servers must not
+// share one registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewRequestLogger logs JSON-line request records at or above min to w. A
+// nil writer discards everything.
+func NewRequestLogger(w io.Writer, min LogLevel) *RequestLogger {
+	return obs.NewRequestLogger(w, min)
+}
+
+// NewAdmission builds an admission controller; returns nil (admit
+// everything) when the configuration enables neither gate.
+func NewAdmission(cfg AdmissionConfig) *AdmissionController { return admit.New(cfg) }
+
+// ParseMetricsText strictly parses a Prometheus text-format exposition —
+// the validation helper tests and CI use against GET /metrics bodies.
+func ParseMetricsText(r io.Reader) (*MetricsScrape, error) { return obs.ParseText(r) }
+
+// WithMetrics attaches a metrics registry to the server: engine, cache,
+// ingestion and per-route HTTP series are registered on it and GET /metrics
+// is mounted on the handler.
+func WithMetrics(reg *MetricsRegistry) ServerOption { return serve.WithMetrics(reg) }
+
+// WithRequestLog emits one structured JSON line per request (method, route,
+// status, shard, duration, engine version, client key) to the logger.
+func WithRequestLog(l *RequestLogger) ServerOption { return serve.WithRequestLog(l) }
+
+// WithRateLimit applies per-client token-bucket rate limiting: a sustained
+// ratePerSec with a burst allowance (burst ≤ 0 defaults to max(rate, 1)).
+// Clients are keyed by the X-Client-ID header, falling back to the remote
+// host; rejected requests get a typed 429 with Retry-After.
+func WithRateLimit(ratePerSec, burst float64) ServerOption {
+	return serve.WithRateLimit(ratePerSec, burst)
+}
+
+// WithMaxConcurrent caps requests inside handlers at n; an over-capacity
+// request waits up to maxWait for a slot before being shed with a typed 429.
+func WithMaxConcurrent(n int, maxWait time.Duration) ServerOption {
+	return serve.WithMaxConcurrent(n, maxWait)
+}
+
+// WithServerAdmission installs a fully configured admission controller,
+// overriding WithRateLimit/WithMaxConcurrent.
+func WithServerAdmission(c *AdmissionController) ServerOption {
+	return serve.WithAdmission(c)
 }

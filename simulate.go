@@ -55,6 +55,11 @@ const (
 	PhaseServeUnderLoad = simulate.PhaseServeUnderLoad
 	PhaseIngestChurn    = simulate.PhaseIngestChurn
 	PhaseKillAndRecover = simulate.PhaseKillAndRecover
+	// PhaseOverload offers load beyond the system's admission capacity and
+	// asserts graceful degradation: typed 429s, zero 5xx, bounded p99 for the
+	// requests that were served. Requires a system built with admission
+	// control (see SimSystemConfig.Admission).
+	PhaseOverload = simulate.PhaseOverload
 )
 
 // NewUniverse generates a synthetic serving universe. Deterministic: the same
@@ -95,6 +100,14 @@ type SimSystemConfig struct {
 	Workers int
 	// Seed drives training and θ estimation.
 	Seed int64
+	// Metrics mounts GET /metrics on the system's serving surface (a fresh
+	// registry per served generation), so scenario phases can scrape and
+	// validate the exposition mid-run.
+	Metrics bool
+	// Admission applies admission control (per-client rate limiting and/or a
+	// concurrency cap) on the serving surface. The zero value disables it;
+	// overload phases require it.
+	Admission AdmissionConfig
 }
 
 // withDefaults fills the optional fields.
@@ -167,6 +180,12 @@ func (s *pipelineSystem) serve() error {
 	opts := []ServerOption{}
 	if s.cfg.CacheCapacity > 0 {
 		opts = append(opts, WithServerCacheCapacity(s.cfg.CacheCapacity))
+	}
+	if s.cfg.Metrics {
+		opts = append(opts, WithMetrics(NewMetricsRegistry()))
+	}
+	if c := NewAdmission(s.cfg.Admission); c != nil {
+		opts = append(opts, WithServerAdmission(c))
 	}
 	srv, err := NewServer(s.pipe.Train(), s.pipe, s.topN, opts...)
 	if err != nil {

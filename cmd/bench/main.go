@@ -7,8 +7,13 @@
 // runner exists so the numbers land in a stable, diffable artifact that
 // later PRs extend.
 //
+// The -precision flag selects the serving tier for the pipeline under test
+// (f64, f32 or int8; see DESIGN.md §12), and -cpuprofile/-memprofile write
+// pprof profiles of the benchmark loops for `go tool pprof`.
+//
 //	bench                      # ML-100K and ML-1M at the default scale
 //	bench -presets ML-1M -scale 0.5 -out BENCH_sweep.json
+//	bench -precision f32 -cpuprofile cpu.out
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -52,6 +58,7 @@ type Report struct {
 	GOMAXPROCS  int          `json:"gomaxprocs"`
 	Scale       float64      `json:"scale"`
 	TopN        int          `json:"top_n"`
+	Precision   string       `json:"precision"`
 	Results     []Result     `json:"results"`
 	Comparisons []Comparison `json:"comparisons"`
 }
@@ -61,7 +68,30 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "synthetic dataset scale")
 	topN := flag.Int("n", 10, "top-N list size")
 	out := flag.String("out", "BENCH_sweep.json", "output path")
+	precisionName := flag.String("precision", "f64", "scoring precision tier for the pipeline under test (f64, f32, int8)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark loops to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after all benchmarks) to this file")
 	flag.Parse()
+
+	precision, err := ganc.ParseScoringPrecision(*precisionName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -69,6 +99,7 @@ func main() {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Scale:       *scale,
 		TopN:        *topN,
+		Precision:   precision.String(),
 	}
 
 	for _, preset := range strings.Split(*presets, ",") {
@@ -76,10 +107,24 @@ func main() {
 		if preset == "" {
 			continue
 		}
-		if err := benchPreset(&rep, preset, *scale, *topN); err != nil {
+		if err := benchPreset(&rep, preset, *scale, *topN, precision); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -96,7 +141,7 @@ func main() {
 }
 
 // benchPreset measures both paths on one preset and appends the results.
-func benchPreset(rep *Report, preset string, scale float64, topN int) error {
+func benchPreset(rep *Report, preset string, scale float64, topN int, precision ganc.ScoringPrecision) error {
 	data, err := ganc.GeneratePreset(preset, scale)
 	if err != nil {
 		return err
@@ -112,6 +157,7 @@ func benchPreset(rep *Report, preset string, scale float64, topN int) error {
 		ganc.WithCoverage(ganc.CoverageDyn()),
 		ganc.WithTopN(topN),
 		ganc.WithSampleSize(split.Train.NumUsers()/10),
+		ganc.WithScoringPrecision(precision),
 		ganc.WithSeed(77))
 	if err != nil {
 		return err

@@ -58,6 +58,7 @@ func main() {
 	zipf := flag.Float64("zipf", 1.1, "item-popularity Zipf exponent")
 	seed := flag.Int64("seed", 1, "universe and stream seed")
 	arec := flag.String("arec", "Pop", "accuracy recommender for the served pipeline")
+	precisionName := flag.String("precision", "f64", "scoring precision tier for the served pipeline (f64, f32, int8)")
 	theta := flag.String("theta", "T", "preference model: A, N, T, G, R, C (cheap estimators recommended at scale)")
 	topN := flag.Int("n", 10, "serving list size")
 	cache := flag.Int("cache", 0, "serving LRU capacity (0 = serving default)")
@@ -80,6 +81,12 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "overload mode: concurrency cap inside handlers (0 with no -rate-limit = defaults to concurrency/4, forcing overload)")
 	maxWaitMs := flag.Int("max-wait-ms", 0, "overload mode: how long an over-capacity request waits before the 429 (0 = shed immediately)")
 	flag.Parse()
+
+	precision, err := ganc.ParseScoringPrecision(*precisionName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
 
 	load := ganc.LoadConfig{
 		Requests:        *requests,
@@ -104,7 +111,6 @@ func main() {
 			admitCfg.MaxConcurrent = 1
 		}
 	}
-	var err error
 	switch {
 	case *clusterShards > 0 && *url != "":
 		err = fmt.Errorf("-cluster and -url are mutually exclusive: the comparison self-hosts both targets")
@@ -112,7 +118,7 @@ func main() {
 		err = fmt.Errorf("-cluster and -overload are mutually exclusive (run the overload drill against a single node, or an external router via -url)")
 	case *clusterShards > 0:
 		err = runCluster(universeConfig(*users, *items, *ratings, *zipf, *seed),
-			*arec, *theta, *topN, *clusterShards, *nodeCache, *warmup,
+			*arec, *theta, precision, *topN, *clusterShards, *nodeCache, *warmup,
 			defaultOut(*out, "BENCH_cluster.json"), load)
 	default:
 		// The overload drill gets its own default output: its latency numbers
@@ -123,7 +129,7 @@ func main() {
 			def = "BENCH_overload.json"
 		}
 		err = run(universeConfig(*users, *items, *ratings, *zipf, *seed),
-			*arec, *theta, *topN, *cache, *url, defaultOut(*out, def), load,
+			*arec, *theta, precision, *topN, *cache, *url, defaultOut(*out, def), load,
 			*overload, admitCfg)
 	}
 	if err != nil {
@@ -151,7 +157,7 @@ func universeConfig(users, items, ratings int, zipf float64, seed int64) ganc.Un
 // drives the load and writes the report. In overload mode the self-hosted
 // server gets admission control and /metrics, and the run fails unless the
 // target shed (429) without any 5xx.
-func run(ucfg ganc.UniverseConfig, arec, theta string, topN, cache int, url, out string, load ganc.LoadConfig,
+func run(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.ScoringPrecision, topN, cache int, url, out string, load ganc.LoadConfig,
 	overload bool, admitCfg ganc.AdmissionConfig) error {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "generating universe: %d users × %d items, %d ratings ...\n",
@@ -175,7 +181,7 @@ func run(ucfg ganc.UniverseConfig, arec, theta string, topN, cache int, url, out
 			fmt.Fprintf(os.Stderr, "overload drill: admission rate=%.1f/s burst=%.1f max-concurrent=%d max-wait=%s\n",
 				admitCfg.RatePerSec, admitCfg.Burst, admitCfg.MaxConcurrent, admitCfg.MaxWait)
 		}
-		addr, shutdown, err := selfHost(u, arec, theta, topN, cache, extra...)
+		addr, shutdown, err := selfHost(u, arec, theta, precision, topN, cache, extra...)
 		if err != nil {
 			return err
 		}
@@ -225,12 +231,13 @@ func run(ucfg ganc.UniverseConfig, arec, theta string, topN, cache int, url, out
 }
 
 // trainPipeline builds the pipeline under test.
-func trainPipeline(u *ganc.Universe, arec, theta string, topN int) (*ganc.Pipeline, error) {
+func trainPipeline(u *ganc.Universe, arec, theta string, precision ganc.ScoringPrecision, topN int) (*ganc.Pipeline, error) {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "training %s pipeline ...\n", arec)
 	p, err := ganc.NewPipeline(u.Train(),
 		ganc.WithBaseNamed(arec),
 		ganc.WithPreferences(ganc.ParsePreferenceModel(theta)),
+		ganc.WithScoringPrecision(precision),
 		ganc.WithTopN(topN))
 	if err != nil {
 		return nil, err
@@ -265,8 +272,8 @@ func servePipeline(u *ganc.Universe, p *ganc.Pipeline, topN, cache int, extra ..
 
 // selfHost trains a pipeline on the universe and serves it on a loopback
 // listener (the plain single-target mode).
-func selfHost(u *ganc.Universe, arec, theta string, topN, cache int, extra ...ganc.ServerOption) (addr string, shutdown func(), err error) {
-	p, err := trainPipeline(u, arec, theta, topN)
+func selfHost(u *ganc.Universe, arec, theta string, precision ganc.ScoringPrecision, topN, cache int, extra ...ganc.ServerOption) (addr string, shutdown func(), err error) {
+	p, err := trainPipeline(u, arec, theta, precision, topN)
 	if err != nil {
 		return "", nil, err
 	}
@@ -280,7 +287,7 @@ func selfHost(u *ganc.Universe, arec, theta string, topN, cache int, extra ...ga
 // captures steady-state serving: the regime where the cluster's aggregate
 // cache (N × node budget) holds the working set a single node's budget
 // cannot.
-func runCluster(ucfg ganc.UniverseConfig, arec, theta string, topN, shards, nodeCache, warmup int, out string, load ganc.LoadConfig) error {
+func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.ScoringPrecision, topN, shards, nodeCache, warmup int, out string, load ganc.LoadConfig) error {
 	if nodeCache <= 0 {
 		return fmt.Errorf("-node-cache must be positive in cluster mode (it is the per-node budget under comparison)")
 	}
@@ -295,7 +302,7 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, topN, shards, node
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "universe ready in %.1fs\n", time.Since(start).Seconds())
-	p, err := trainPipeline(u, arec, theta, topN)
+	p, err := trainPipeline(u, arec, theta, precision, topN)
 	if err != nil {
 		return err
 	}

@@ -181,6 +181,7 @@ func (p *Pipeline) pipelineFromState(kind, covName string, s *ingest.State) (*Pi
 		SampleSize: p.cfg.sampleSize,
 		Seed:       p.cfg.seed,
 		Workers:    p.cfg.workers,
+		Precision:  p.cfg.precision,
 	})
 	if err != nil {
 		return nil, err

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -68,6 +69,17 @@ type BulkAccuracy interface {
 	AccuracyScores(u types.UserID, items []types.ItemID, out []float64)
 }
 
+// BulkAccuracy32 is the reduced-precision companion of BulkAccuracy: scores
+// land in a float32 arena instead of a float64 buffer. Implementations must
+// agree with AccuracyScore to the serving tier's documented tolerance
+// (DESIGN.md §12); the optimizer only consults it when Config.Precision is
+// not float64, so the default pipeline never leaves the exact path.
+type BulkAccuracy32 interface {
+	// AccuracyScores32 fills out[k] with a(items[k]) for user u;
+	// len(out) == len(items).
+	AccuracyScores32(u types.UserID, items []types.ItemID, out []float32)
+}
+
 // fillAccuracyScores fills out with arec's scores for items, using the bulk
 // path when available.
 func fillAccuracyScores(arec AccuracyRecommender, u types.UserID, items []types.ItemID, out []float64) {
@@ -111,6 +123,27 @@ func (s *ScorerAccuracy) AccuracyScores(u types.UserID, items []types.ItemID, ou
 	}
 }
 
+// AccuracyScores32 implements BulkAccuracy32. When the wrapped scorer serves
+// a reduced-precision tier (recommender.Bulk32For), scores stay in float32
+// end to end; otherwise the float64 scores are computed pointwise and
+// truncated. Clamping mirrors AccuracyScore.
+func (s *ScorerAccuracy) AccuracyScores32(u types.UserID, items []types.ItemID, out []float32) {
+	if bs, ok := recommender.Bulk32For(s.Scorer); ok {
+		bs.ScoreUser32(u, items, out)
+	} else {
+		for k, i := range items {
+			out[k] = float32(s.Scorer.Score(u, i))
+		}
+	}
+	for k, v := range out {
+		if v < 0 {
+			out[k] = 0
+		} else if v > 1 {
+			out[k] = 1
+		}
+	}
+}
+
 // Name implements AccuracyRecommender.
 func (s *ScorerAccuracy) Name() string { return s.Scorer.Name() }
 
@@ -120,11 +153,15 @@ func (s *ScorerAccuracy) Name() string { return s.Scorer.Name() }
 // serving path never serializes on the cache, and the cache is bounded by
 // cacheCap with arbitrary-entry eviction (map iteration order) once full.
 type PopAccuracy struct {
-	pop      *recommender.Pop
-	train    *dataset.Dataset
-	topN     int
-	mu       sync.RWMutex
-	cache    map[types.UserID]map[types.ItemID]struct{}
+	pop   *recommender.Pop
+	train *dataset.Dataset
+	topN  int
+	mu    sync.RWMutex
+	// cache maps a user to their top-N membership bitset: bit i set means
+	// item i is in the user's popularity top-N. A bitset row costs |I|/8
+	// bytes and answers a membership probe with one shift instead of a map
+	// probe, which is what the candidate-sweep hot loop does per item.
+	cache    map[types.UserID][]uint64
 	cacheCap int
 }
 
@@ -135,38 +172,45 @@ func NewPopAccuracy(train *dataset.Dataset, topN int) *PopAccuracy {
 		pop:      recommender.NewPop(train),
 		train:    train,
 		topN:     topN,
-		cache:    make(map[types.UserID]map[types.ItemID]struct{}),
+		cache:    make(map[types.UserID][]uint64),
 		cacheCap: 200_000,
 	}
 }
 
-// topSet returns user u's popularity top-N membership set, computing and
+// topBits returns user u's popularity top-N membership bitset, computing and
 // caching it on first use. The fast path is a read-locked map lookup.
-func (p *PopAccuracy) topSet(u types.UserID) map[types.ItemID]struct{} {
+func (p *PopAccuracy) topBits(u types.UserID) []uint64 {
 	p.mu.RLock()
-	set, ok := p.cache[u]
+	bits, ok := p.cache[u]
 	p.mu.RUnlock()
 	if ok {
-		return set
+		return bits
 	}
 	top := p.pop.RecommendFrom(u, p.topN, p.train.AppendCandidates(u, nil))
-	set = make(map[types.ItemID]struct{}, len(top))
+	bits = make([]uint64, (p.train.NumItems()+63)/64)
 	for _, it := range top {
-		set[it] = struct{}{}
+		bits[it>>6] |= 1 << (uint(it) & 63)
 	}
 	p.mu.Lock()
 	if cached, ok := p.cache[u]; ok {
 		// Another goroutine computed the set first; keep its copy so all
-		// callers share one map.
-		set = cached
+		// callers share one bitset.
+		bits = cached
 	} else {
 		if len(p.cache) >= p.cacheCap {
 			p.evictOneLocked()
 		}
-		p.cache[u] = set
+		p.cache[u] = bits
 	}
 	p.mu.Unlock()
-	return set
+	return bits
+}
+
+// inBits reports whether item i's bit is set (items beyond the bitset are
+// absent by definition).
+func inBits(bits []uint64, i types.ItemID) bool {
+	w := int(i) >> 6
+	return w < len(bits) && bits[w]>>(uint(i)&63)&1 == 1
 }
 
 // evictOneLocked removes one arbitrary cache entry (map iteration order is
@@ -183,18 +227,31 @@ func (p *PopAccuracy) evictOneLocked() {
 // AccuracyScore implements AccuracyRecommender: membership in the user's
 // popularity top-N.
 func (p *PopAccuracy) AccuracyScore(u types.UserID, i types.ItemID) float64 {
-	if _, in := p.topSet(u)[i]; in {
+	if inBits(p.topBits(u), i) {
 		return 1
 	}
 	return 0
 }
 
-// AccuracyScores implements BulkAccuracy: the membership set is resolved once
-// for the whole candidate slice.
+// AccuracyScores implements BulkAccuracy: the membership bitset is resolved
+// once for the whole candidate slice.
 func (p *PopAccuracy) AccuracyScores(u types.UserID, items []types.ItemID, out []float64) {
-	set := p.topSet(u)
+	bits := p.topBits(u)
 	for k, i := range items {
-		if _, in := set[i]; in {
+		if inBits(bits, i) {
+			out[k] = 1
+		} else {
+			out[k] = 0
+		}
+	}
+}
+
+// AccuracyScores32 implements BulkAccuracy32: indicator scores are exact in
+// float32, so the reduced-precision sweep path reads the same memberships.
+func (p *PopAccuracy) AccuracyScores32(u types.UserID, items []types.ItemID, out []float32) {
+	bits := p.topBits(u)
+	for k, i := range items {
+		if inBits(bits, i) {
 			out[k] = 1
 		} else {
 			out[k] = 0
@@ -241,6 +298,48 @@ type BulkCoverage interface {
 	// CoverageScores fills out[k] with c(items[k]) for user u;
 	// len(out) == len(items).
 	CoverageScores(u types.UserID, items []types.ItemID, out []float64)
+}
+
+// invSqrtTab caches 1/√(f+1) for small frequencies f. Coverage scores are
+// dominated by tiny integer frequencies (train popularities and
+// recommendation counts), so the hot gain loops read a table entry instead
+// of calling math.Sqrt. Entries are computed by the exact expression the
+// live fallback uses, so tabled and computed scores are bit-identical.
+var invSqrtTab = func() [1024]float64 {
+	var t [1024]float64
+	for f := range t {
+		t[f] = 1 / math.Sqrt(float64(f)+1)
+	}
+	return t
+}()
+
+// invSqrtFreq returns 1/√(f+1), from the table when f is small.
+func invSqrtFreq(f int) float64 {
+	if f >= 0 && f < len(invSqrtTab) {
+		return invSqrtTab[f]
+	}
+	return 1 / math.Sqrt(float64(f)+1)
+}
+
+// invSqrtTab32 is invSqrtTab rounded to float32 once at init. Each entry
+// equals float32(invSqrtFreq(f)) bit-for-bit (one float64→float32 rounding of
+// the same double), so the reduced-precision sweep can read the narrow table
+// directly and stay bit-identical to the general float32 gain expression.
+var invSqrtTab32 = func() [1024]float32 {
+	var t [1024]float32
+	for f := range t {
+		t[f] = float32(invSqrtTab[f])
+	}
+	return t
+}()
+
+// invSqrtFreq32 returns float32(invSqrtFreq(f)), from the narrow table when f
+// is small.
+func invSqrtFreq32(f int) float32 {
+	if f >= 0 && f < len(invSqrtTab32) {
+		return invSqrtTab32[f]
+	}
+	return float32(1 / math.Sqrt(float64(f)+1))
 }
 
 // RandCoverage assigns each (user, item) pair an independent uniform score,
@@ -326,6 +425,17 @@ func (s *StatCoverage) Name() string { return "Stat" }
 // diminishing-returns property that makes GANC's objective submodular.
 type DynCoverage struct {
 	freq []int
+
+	// gen counts mutations of freq; FrozenFrequencies compares it against
+	// snapGen to decide whether the cached read-only snapshot is still
+	// current. Mutators (Observe, SetFrequencies — the batch path) must not
+	// run concurrently with readers, per the engine contract; snapMu only
+	// serializes concurrent online snapshot requests against each other.
+	gen     uint64
+	snapMu  sync.Mutex
+	snap    []int
+	snapGen uint64
+	hasSnap bool
 }
 
 // NewDynCoverage builds a Dyn coverage recommender over a catalog of numItems
@@ -339,13 +449,14 @@ func (d *DynCoverage) CoverageScore(_ types.UserID, i types.ItemID) float64 {
 	if int(i) >= len(d.freq) {
 		return 0
 	}
-	return 1 / math.Sqrt(float64(d.freq[i])+1)
+	return invSqrtFreq(d.freq[i])
 }
 
 // Observe implements CoverageRecommender: bumps the item's frequency.
 func (d *DynCoverage) Observe(i types.ItemID) {
 	if int(i) < len(d.freq) {
 		d.freq[i]++
+		d.gen++
 	}
 }
 
@@ -360,16 +471,21 @@ func (d *DynCoverage) Frequencies() []int {
 	return out
 }
 
-// CopyFrequencies copies the current frequency state into dst, growing it if
-// needed, and returns the filled slice. The online serving path uses it to
-// snapshot without allocating per request.
-func (d *DynCoverage) CopyFrequencies(dst []int) []int {
-	if cap(dst) < len(d.freq) {
-		dst = make([]int, len(d.freq))
+// FrozenFrequencies returns a read-only snapshot of the current frequency
+// state for the online serving path. The snapshot is cached and shared across
+// requests until the next mutation: when the generation counter has moved, a
+// fresh slice is built (never the old one re-filled, since earlier callers
+// may still be reading it), otherwise the call is a mutex-protected pointer
+// read. Callers must not modify the returned slice.
+func (d *DynCoverage) FrozenFrequencies() []int {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	if !d.hasSnap || d.snapGen != d.gen {
+		d.snap = append([]int(nil), d.freq...)
+		d.snapGen = d.gen
+		d.hasSnap = true
 	}
-	dst = dst[:len(d.freq)]
-	copy(dst, d.freq)
-	return dst
+	return d.snap
 }
 
 // SetFrequencies replaces the frequency state (OSLG restores snapshots for
@@ -379,6 +495,7 @@ func (d *DynCoverage) SetFrequencies(f []int) {
 		panic(fmt.Sprintf("core: frequency vector length %d != catalog size %d", len(f), len(d.freq)))
 	}
 	copy(d.freq, f)
+	d.gen++
 }
 
 // NumItems returns the catalog size the recommender was built for.
@@ -402,6 +519,13 @@ type Config struct {
 	// coverage recommenders. Values ≤ 1 run sequentially; values above
 	// runtime.NumCPU() are clamped to it.
 	Workers int
+	// Precision selects the arithmetic tier of the modular sweep fast path.
+	// The zero value (PrecisionF64) keeps every sweep on exact float64
+	// arithmetic; PrecisionF32/PrecisionInt8 let sweeps whose accuracy
+	// recommender implements BulkAccuracy32 score and select in a pooled
+	// float32 arena (DESIGN.md §12 documents the tolerance contract). It
+	// should match the precision configured on the underlying base scorer.
+	Precision types.ScoringPrecision
 }
 
 // Validate checks the configuration.
@@ -421,16 +545,18 @@ type GANC struct {
 	train    *dataset.Dataset
 	numItems int
 
-	// onlineMu serializes snapshots of the Dyn coverage state taken by
-	// RecommendUser, so concurrent online requests are safe. The batch
-	// Recommend path must not run concurrently with RecommendUser on the
-	// same instance.
-	onlineMu sync.Mutex
-
 	// scratchPool recycles the per-sweep candidate and score buffers, so the
 	// online RecommendUser path and the sharded batch workers allocate the
 	// catalog-sized buffers once instead of per call.
 	scratchPool sync.Pool
+
+	// popRank caches the catalog ranked by Dyn coverage score for the
+	// current frozen snapshot (identified by slice identity), so online
+	// Pop+Dyn sweeps walk ~n ranked positions per request instead of
+	// re-scoring the catalog. Rebuilt whenever the snapshot generation
+	// moves; batch sweeps pass per-θ snapshots and never hit it.
+	popRankMu sync.Mutex
+	popRank   *popDynRank
 }
 
 // New assembles a GANC instance from its three components, following the
@@ -491,42 +617,44 @@ func (g *GANC) marginalGain(u types.UserID, i types.ItemID) float64 {
 
 // --- Buffered CELF sweep machinery --------------------------------------------
 
-// coverageMode selects how the sweep oracle resolves coverage scores.
+// coverageMode selects how the sweep oracle resolves coverage scores. Only
+// the live modes reach the oracle: sweeps whose gains are static for the
+// whole sweep (frozen Dyn snapshots, buffered Stat/Rand coverage) take the
+// modular fast path in sweepModular and never build an oracle.
 type coverageMode int
 
 const (
-	// covBuffered reads the dense per-sweep coverage buffer (Stat, Rand and
-	// any custom BulkCoverage implementation).
-	covBuffered coverageMode = iota
 	// covDynLive reads the shared live Dyn frequency state (the OSLG
 	// sequential in-sample phase).
-	covDynLive
-	// covFrozen reads a frozen Dyn frequency snapshot (the OSLG out-of-sample
-	// phase and the online RecommendUser path).
-	covFrozen
+	covDynLive coverageMode = iota
 	// covLive calls CoverageScore on every gain evaluation (custom stateful
 	// recommenders without a bulk contract; correct for any submodular gain).
 	covLive
 )
 
-// sweepScratch holds one worker's reusable buffers: the candidate slice, a
-// packed staging buffer aligned with it, dense (by-ItemID) accuracy and
-// coverage score buffers, a frozen-frequency snapshot buffer and the CELF
-// heap storage. One scratch serves one sweep at a time.
+// sweepScratch holds one worker's reusable buffers: the candidate slice,
+// packed staging buffers aligned with it (float64 gains, float64 coverage
+// and the reduced-precision float32 arena), the dense (by-ItemID) accuracy
+// buffer, the streaming top-k selectors of the sparse Pop+Dyn fast path and
+// the CELF heap storage. One scratch serves one sweep at a time.
 type sweepScratch struct {
-	cand   []types.ItemID
-	packed []float64
-	acc    []float64
-	cov    []float64
-	freq   []int
-	lazy   submodular.LazyScratch
-	oracle sweepOracle
+	cand      []types.ItemID
+	packed    []float64
+	packedCov []float64
+	packed32  []float32
+	acc       []float64
+	hist      []int32
+	popCand   []types.ItemID
+	popBase   []int32
+	top32     recommender.TopK32
+	top64     recommender.TopK64
+	lazy      submodular.LazyScratch
+	oracle    sweepOracle
 }
 
 func newSweepScratch(numItems int) *sweepScratch {
 	return &sweepScratch{
 		acc: make([]float64, numItems),
-		cov: make([]float64, numItems),
 	}
 }
 
@@ -540,8 +668,6 @@ type sweepOracle struct {
 	theta   float64
 	cand    []types.ItemID
 	acc     []float64 // dense by ItemID
-	cov     []float64 // dense by ItemID (covBuffered)
-	freq    []int     // frozen Dyn snapshot (covFrozen)
 	dyn     *DynCoverage
 	mode    coverageMode
 	observe bool
@@ -555,16 +681,8 @@ func (o *sweepOracle) Candidates(types.UserID) []types.ItemID { return o.cand }
 func (o *sweepOracle) Gain(u types.UserID, i types.ItemID) float64 {
 	var cov float64
 	switch o.mode {
-	case covBuffered:
-		cov = o.cov[i]
 	case covDynLive:
 		cov = o.dyn.CoverageScore(u, i)
-	case covFrozen:
-		base := 0
-		if int(i) < len(o.freq) {
-			base = o.freq[i]
-		}
-		cov = 1 / math.Sqrt(float64(base)+1)
 	case covLive:
 		cov = o.crec.CoverageScore(u, i)
 	}
@@ -585,9 +703,22 @@ func (o *sweepOracle) Commit(_ types.UserID, i types.ItemID) {
 // one bulk call, and items are selected with the CELF lazy-greedy heap. When
 // freq is non-nil the sweep runs against that frozen Dyn snapshot; observe
 // reports picks to the shared coverage recommender (the batch path).
+//
+// Frozen-snapshot and buffered-coverage sweeps never change a candidate's
+// gain mid-sweep (the objective restricted to one user is modular: picked
+// items leave the pool, and the BulkCoverage contract rules out other
+// mutations), so those modes take sweepModular — a straight top-n selection
+// over per-candidate gains that skips the dense scatter and the CELF heap.
+// Live modes (the sequential Dyn phase, custom stateful recommenders) keep
+// the lazy-greedy machinery, which stays correct for any submodular gain.
 func (g *GANC) sweepUser(ctx context.Context, u types.UserID, n int, freq []int, observe bool, sc *sweepScratch) (types.TopNSet, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if freq != nil {
+		if pa, ok := g.arec.(*PopAccuracy); ok {
+			return g.sweepPopDyn(u, n, freq, pa, observe, sc), nil
+		}
 	}
 	sc.cand = g.train.AppendCandidates(u, sc.cand[:0])
 	cand := sc.cand
@@ -595,6 +726,15 @@ func (g *GANC) sweepUser(ctx context.Context, u types.UserID, n int, freq []int,
 		sc.packed = make([]float64, len(cand))
 	}
 	packed := sc.packed[:len(cand)]
+
+	if freq != nil {
+		return g.sweepModular(ctx, u, n, cand, freq, nil, observe, sc)
+	}
+	if _, isDyn := g.crec.(*DynCoverage); !isDyn {
+		if bc, isBulk := g.crec.(BulkCoverage); isBulk {
+			return g.sweepModular(ctx, u, n, cand, nil, bc, observe, sc)
+		}
+	}
 
 	fillAccuracyScores(g.arec, u, cand, packed)
 	for k, i := range cand {
@@ -615,24 +755,582 @@ func (g *GANC) sweepUser(ctx context.Context, u types.UserID, n int, freq []int,
 		acc:     sc.acc,
 		observe: observe,
 	}
-	switch {
-	case freq != nil:
-		o.mode, o.freq = covFrozen, freq
-	default:
-		if dyn, isDyn := g.crec.(*DynCoverage); isDyn {
-			o.mode, o.dyn = covDynLive, dyn
-		} else if bc, isBulk := g.crec.(BulkCoverage); isBulk {
-			bc.CoverageScores(u, cand, packed)
-			for k, i := range cand {
-				sc.cov[i] = packed[k]
-			}
-			o.mode = covBuffered
-			o.cov = sc.cov
-		} else {
-			o.mode = covLive
-		}
+	if dyn, isDyn := g.crec.(*DynCoverage); isDyn {
+		o.mode, o.dyn = covDynLive, dyn
+	} else {
+		o.mode = covLive
 	}
 	return submodular.LazyGreedyForUserScratch(u, n, o, &sc.lazy), nil
+}
+
+// sweepModular is the modular-objective fast path: every candidate's gain
+// (1−θ)·a(i) + θ·c(i) is constant for the duration of the sweep, so the
+// top-n set is selected directly from the packed gain buffer. The gain
+// expression, tie-breaks (higher gain first, ties to the smaller ItemID) and
+// resulting pick order are identical to the lazy-greedy sweep over the same
+// static gains, so results are bit-identical to the CELF path at the float64
+// tier. Exactly one of freq (frozen Dyn snapshot) and bc (buffered coverage)
+// is non-nil. When Config.Precision requests a reduced tier and the accuracy
+// recommender implements BulkAccuracy32, gains are computed and selected in
+// the pooled float32 arena instead.
+func (g *GANC) sweepModular(ctx context.Context, u types.UserID, n int, cand []types.ItemID, freq []int, bc BulkCoverage, observe bool, sc *sweepScratch) (types.TopNSet, error) {
+	theta := g.prefs.Get(u)
+
+	if g.cfg.Precision != types.PrecisionF64 {
+		if ba, ok := g.arec.(BulkAccuracy32); ok {
+			return g.sweepModular32(ctx, u, n, cand, freq, bc, observe, sc, ba, theta)
+		}
+	}
+
+	packed := sc.packed[:len(cand)]
+	fillAccuracyScores(g.arec, u, cand, packed)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if freq != nil {
+		for k, i := range cand {
+			base := 0
+			if int(i) < len(freq) {
+				base = freq[i]
+			}
+			packed[k] = (1-theta)*packed[k] + theta*invSqrtFreq(base)
+		}
+	} else {
+		if cap(sc.packedCov) < len(cand) {
+			sc.packedCov = make([]float64, len(cand))
+		}
+		covs := sc.packedCov[:len(cand)]
+		bc.CoverageScores(u, cand, covs)
+		for k := range packed {
+			packed[k] = (1-theta)*packed[k] + theta*covs[k]
+		}
+	}
+	set := recommender.SelectTopNScored(cand, packed, n)
+	if observe {
+		for _, i := range set {
+			g.crec.Observe(i)
+		}
+	}
+	return set, nil
+}
+
+// sweepModular32 is sweepModular on the float32 arena: accuracy scores land
+// in the pooled float32 buffer via BulkAccuracy32, gains are combined in
+// float32 and the top-n set is selected without ever widening to float64.
+// Scores at this tier match the exact path only to the serving tier's
+// documented tolerance (DESIGN.md §12).
+func (g *GANC) sweepModular32(ctx context.Context, u types.UserID, n int, cand []types.ItemID, freq []int, bc BulkCoverage, observe bool, sc *sweepScratch, ba BulkAccuracy32, theta float64) (types.TopNSet, error) {
+	if cap(sc.packed32) < len(cand) {
+		sc.packed32 = make([]float32, len(cand))
+	}
+	gains := sc.packed32[:len(cand)]
+	ba.AccuracyScores32(u, cand, gains)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t32 := float32(theta)
+	a32 := 1 - t32
+	if freq != nil {
+		for k, i := range cand {
+			base := 0
+			if int(i) < len(freq) {
+				base = freq[i]
+			}
+			gains[k] = a32*gains[k] + t32*float32(invSqrtFreq(base))
+		}
+	} else {
+		if cap(sc.packedCov) < len(cand) {
+			sc.packedCov = make([]float64, len(cand))
+		}
+		covs := sc.packedCov[:len(cand)]
+		bc.CoverageScores(u, cand, covs)
+		for k := range gains {
+			gains[k] = a32*gains[k] + t32*float32(covs[k])
+		}
+	}
+	set := recommender.SelectTopNScored32(cand, gains, n)
+	if observe {
+		for _, i := range set {
+			g.crec.Observe(i)
+		}
+	}
+	return set, nil
+}
+
+const maxFreqCutoff = int(^uint(0) >> 1)
+
+// popDynRank is a frozen snapshot's catalog ranking by Dyn coverage score:
+// every item id sorted by (c32 desc, id asc) with the aligned float32
+// coverage scores, where c32 = float32(invSqrtFreq(freq[i])) — the exact
+// value the general float32 sweep computes. User-specific θ scaling, rated
+// exclusions and B-ties are resolved per request by the walk in sweepPopDyn.
+type popDynRank struct {
+	freq []int // snapshot the ranking was built from (slice identity key)
+	ids  []types.ItemID
+	c32  []float32
+}
+
+// sameIntSlice reports whether two slices are the same array view (identity,
+// not element equality).
+func sameIntSlice(a, b []int) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// buildPopDynRank ranks the full catalog for one frozen snapshot.
+func buildPopDynRank(freq []int, numItems int) *popDynRank {
+	r := &popDynRank{
+		freq: freq,
+		ids:  make([]types.ItemID, numItems),
+		c32:  make([]float32, numItems),
+	}
+	for i := 0; i < numItems; i++ {
+		r.ids[i] = types.ItemID(i)
+		base := 0
+		if i < len(freq) {
+			base = freq[i]
+		}
+		r.c32[i] = invSqrtFreq32(base)
+	}
+	sort.Sort(byCovDesc{r})
+	return r
+}
+
+// byCovDesc sorts a popDynRank's aligned arrays by (c32 desc, id asc).
+type byCovDesc struct{ r *popDynRank }
+
+func (s byCovDesc) Len() int { return len(s.r.ids) }
+func (s byCovDesc) Less(a, b int) bool {
+	if s.r.c32[a] != s.r.c32[b] {
+		return s.r.c32[a] > s.r.c32[b]
+	}
+	return s.r.ids[a] < s.r.ids[b]
+}
+func (s byCovDesc) Swap(a, b int) {
+	s.r.ids[a], s.r.ids[b] = s.r.ids[b], s.r.ids[a]
+	s.r.c32[a], s.r.c32[b] = s.r.c32[b], s.r.c32[a]
+}
+
+// popDynRankFor returns the cached catalog ranking when freq is the Dyn
+// recommender's current frozen snapshot (the online serving path), building
+// it on first use per snapshot generation. Batch sweeps pass per-θ snapshot
+// copies whose identity never matches, so they keep the counting path — a
+// per-call rebuild there would cost more than it saves.
+func (g *GANC) popDynRankFor(freq []int) *popDynRank {
+	dyn, ok := g.crec.(*DynCoverage)
+	if !ok {
+		return nil
+	}
+	g.popRankMu.Lock()
+	defer g.popRankMu.Unlock()
+	if g.popRank != nil && sameIntSlice(g.popRank.freq, freq) {
+		return g.popRank
+	}
+	if !sameIntSlice(dyn.FrozenFrequencies(), freq) {
+		return nil
+	}
+	g.popRank = buildPopDynRank(freq, g.numItems)
+	return g.popRank
+}
+
+// popDynWalk32 is pass 1 of sweepPopDyn over a cached catalog ranking: it
+// appends the top n unrated items by (B, id), B(i) = θ32·c32(i), to
+// cand/gains, skipping boosted items (already present at full gain). Because
+// the ranking orders positions by (c32 desc, id asc) and multiplying by
+// θ32 ≥ 0 is monotone, the first n unrated positions are the winners — except
+// inside the boundary tie class, where equal-B positions are re-broken by
+// ascending id. Within one c32 class position order IS id order; distinct c32
+// classes can collide to one B value only through float32 rounding of the
+// θ32·c32 product, which is the rare gather-and-sort path below. Gains are
+// computed as θ32·c32 — bit-identical to the counting pass and to
+// sweepModular32.
+func popDynWalk32(rank *popDynRank, rated []types.ItemID, boost []uint64, cand []types.ItemID, gains []float32, t32 float32, n int, sc *sweepScratch) ([]types.ItemID, []float32) {
+	ids, c32s := rank.ids, rank.c32
+
+	// Find the position of the n-th unrated item in ranking order.
+	wcount, lastPos := 0, -1
+	for pos := 0; pos < len(ids) && wcount < n; pos++ {
+		if !containsSortedItem(rated, ids[pos]) {
+			wcount++
+			lastPos = pos
+		}
+	}
+	if wcount < n {
+		// Fewer than n candidates in the whole catalog: they all win.
+		for p, item := range ids {
+			if containsSortedItem(rated, item) || inBits(boost, item) {
+				continue
+			}
+			cand = append(cand, item)
+			gains = append(gains, t32*c32s[p])
+		}
+		return cand, gains
+	}
+
+	// The boundary tie class: every position whose B equals the n-th
+	// winner's. Positions strictly before it are definite winners.
+	bMin := t32 * c32s[lastPos]
+	tieStart := lastPos
+	for tieStart > 0 && t32*c32s[tieStart-1] == bMin {
+		tieStart--
+	}
+	slots := n
+	for p := 0; p < tieStart; p++ {
+		item := ids[p]
+		if containsSortedItem(rated, item) {
+			continue
+		}
+		slots--
+		if inBits(boost, item) {
+			continue
+		}
+		cand = append(cand, item)
+		gains = append(gains, t32*c32s[p])
+	}
+
+	tieEnd := lastPos + 1
+	oneClass := c32s[tieStart] == c32s[lastPos]
+	for tieEnd < len(ids) && t32*c32s[tieEnd] == bMin {
+		if c32s[tieEnd] != c32s[lastPos] {
+			oneClass = false
+		}
+		tieEnd++
+	}
+	if oneClass {
+		// Single coverage class: ids ascend within it, so taking unrated
+		// positions in order fills the remaining slots with the smallest ids.
+		for p := tieStart; p < tieEnd && slots > 0; p++ {
+			item := ids[p]
+			if containsSortedItem(rated, item) {
+				continue
+			}
+			slots--
+			if inBits(boost, item) {
+				continue
+			}
+			cand = append(cand, item)
+			gains = append(gains, t32*c32s[p])
+		}
+		return cand, gains
+	}
+
+	// Rare: θ32 rounding collided distinct coverage classes into one B value,
+	// so ids are not ascending across the region — gather the unrated ids and
+	// take the smallest. Every member scores exactly bMin.
+	span := sc.popCand[:0]
+	for p := tieStart; p < tieEnd; p++ {
+		if !containsSortedItem(rated, ids[p]) {
+			span = append(span, ids[p])
+		}
+	}
+	sc.popCand = span
+	sort.Slice(span, func(a, b int) bool { return span[a] < span[b] })
+	for _, item := range span {
+		if slots == 0 {
+			break
+		}
+		slots--
+		if inBits(boost, item) {
+			continue
+		}
+		cand = append(cand, item)
+		gains = append(gains, bMin)
+	}
+	return cand, gains
+}
+
+// containsSortedItem reports whether the ascending slice contains item.
+func containsSortedItem(sorted []types.ItemID, item types.ItemID) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sorted[mid] < item {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == item
+}
+
+// sweepPopDyn is the frozen-Dyn modular sweep specialized for the PopAccuracy
+// recommender — the serving tier's flagship configuration. It exploits that
+// Pop accuracy scores are sparse indicators: at most topN items (the user's
+// popularity top-N, all of them candidates by construction) carry the
+// (1−θ)·a(i) term, and every other candidate's gain is exactly the coverage
+// term θ·c(i). The sweep therefore never materializes the candidate slice:
+//
+//  1. candidates are enumerated as the gap runs between consecutive rated
+//     items and the top n by the coverage-only score B(i) = θ·c(i) — ties to
+//     the smaller id, SelectTopNScored's order — are found without a float
+//     comparison per item (see the per-tier passes below);
+//  2. the union of those pass-1 winners and the boosted items (≤ n + topN
+//     entries) is re-ranked at true gains by the regular top-n selector.
+//
+// The union contains the true top-n: a non-boosted candidate outside the
+// pass-1 winners was beaten by n entries under the (B, id) order, and each of
+// those beats it under the (gain, id) order too — non-boosted entries keep
+// gain = B, and boosted entries only improve (the boost (1−θ)·1 ≥ 0 wins
+// B-ties when θ < 1, and is zero when θ = 1, making the entry behave
+// non-boosted). Gains use the exact expressions of
+// sweepModular/sweepModular32 — for non-boosted items (1−θ)·0 + θ·c(i)
+// evaluates bit-for-bit to θ·c(i) at both tiers — so the selected sets are
+// bit-identical to the general modular path.
+func (g *GANC) sweepPopDyn(u types.UserID, n int, freq []int, pa *PopAccuracy, observe bool, sc *sweepScratch) types.TopNSet {
+	theta := g.prefs.Get(u)
+	boost := pa.topBits(u)
+	rated := g.train.UserItemsSorted(u)
+	numItems := g.numItems
+
+	var set types.TopNSet
+	if g.cfg.Precision != types.PrecisionF64 {
+		t32 := float32(theta)
+		a32 := 1 - t32
+
+		// Boosted candidates at their full gain — the same union member set
+		// feeds every pass-1 variant below.
+		cand, gains := sc.cand[:0], sc.packed32[:0]
+		for w, word := range boost {
+			for word != 0 {
+				item := types.ItemID(w<<6 + bits.TrailingZeros64(word))
+				word &= word - 1
+				if int(item) >= numItems || containsSortedItem(rated, item) {
+					continue
+				}
+				base := 0
+				if int(item) < len(freq) {
+					base = freq[item]
+				}
+				cand = append(cand, item)
+				gains = append(gains, a32*1+t32*invSqrtFreq32(base))
+			}
+		}
+
+		// Serving steady state: walk the cached (c32 desc, id asc) catalog
+		// ranking instead of re-scanning the catalog — only ~n positions plus
+		// the rated items interleaved among them are inspected. θ = 0 scales
+		// every B to zero (one giant tie), where the counting pass is cheaper.
+		var rank *popDynRank
+		if t32 != 0 {
+			rank = g.popDynRankFor(freq)
+		}
+		if rank != nil {
+			cand, gains = popDynWalk32(rank, rated, boost, cand, gains, t32, n, sc)
+			sc.cand, sc.packed32 = cand, gains
+			set = recommender.SelectTopNScored32(cand, gains, n)
+			if observe {
+				for _, i := range set {
+					g.crec.Observe(i)
+				}
+			}
+			return set
+		}
+
+		if len(sc.hist) != len(invSqrtTab32) {
+			sc.hist = make([]int32, len(invSqrtTab32))
+		}
+		hist := sc.hist
+
+		// Pass A: enumerate candidates as the gap runs between consecutive
+		// rated items, materializing compact (id, frequency) arrays and a
+		// frequency histogram. B(i) depends only on freq[i], so the top-n by
+		// (B, id) can be found by counting: equal-score classes are
+		// contiguous frequency runs (s(f) is monotone non-increasing in f).
+		cids, cbase := sc.popCand[:0], sc.popBase[:0]
+		maxBase := 0
+		overflow := false
+		for r, lo := 0, 0; ; {
+			for r < len(rated) && int(rated[r]) < lo {
+				r++
+			}
+			hi := numItems
+			if r < len(rated) && int(rated[r]) < numItems {
+				hi = int(rated[r])
+			}
+			for idx := lo; idx < hi; idx++ {
+				base := 0
+				if idx < len(freq) {
+					base = freq[idx]
+				}
+				if base < len(hist) {
+					hist[base]++
+					if base > maxBase {
+						maxBase = base
+					}
+				} else {
+					// Off-table frequency; the heap fallback below re-reads
+					// the exact value from freq.
+					overflow = true
+					base = 0
+				}
+				cids = append(cids, types.ItemID(idx))
+				cbase = append(cbase, int32(base))
+			}
+			if hi >= numItems {
+				break
+			}
+			lo = hi + 1
+			r++
+		}
+		sc.popCand, sc.popBase = cids, cbase
+
+		if overflow {
+			// A frequency beyond the score table: off-table scores are not
+			// class-countable, so fall back to a streaming top-n heap with a
+			// cached admission threshold (exactly Push's replacement rule).
+			clear(hist[:maxBase+1])
+			top := &sc.top32
+			top.Reset(n)
+			minItem, minScore := top.Threshold()
+			for _, item := range cids {
+				base := 0
+				if int(item) < len(freq) {
+					base = freq[item]
+				}
+				s := t32 * invSqrtFreq32(base)
+				if s < minScore || (s == minScore && item >= minItem) {
+					continue
+				}
+				top.Push(item, s)
+				minItem, minScore = top.Threshold()
+			}
+			// Heap survivors at coverage-only gain; boosted ones are already
+			// in the union at their full gain, so drop those duplicates.
+			mark := len(cand)
+			cand, gains = top.AppendTo(cand, gains)
+			w := mark
+			for k := mark; k < len(cand); k++ {
+				if !inBits(boost, cand[k]) {
+					cand[w], gains[w] = cand[k], gains[k]
+					w++
+				}
+			}
+			cand, gains = cand[:w], gains[:w]
+		} else {
+			// Class scan: group occupied frequencies with bit-equal scores
+			// (empty buckets between them don't matter — no members) and
+			// accumulate counts in descending score order until the class
+			// holding the n-th entry — the tie class [tieLo, tieHi] with
+			// `slots` openings — is found. total ≤ n means every candidate
+			// wins and the sentinel cutoffs select them all.
+			tieLo, tieHi, slots := maxFreqCutoff, -1, 0
+			if len(cids) > n {
+				cum, f := 0, 0
+				for f <= maxBase {
+					for f <= maxBase && hist[f] == 0 {
+						f++
+					}
+					if f > maxBase {
+						break
+					}
+					s := t32 * invSqrtTab32[f]
+					cnt := int(hist[f])
+					first, last := f, f
+					f++
+					for {
+						for f <= maxBase && hist[f] == 0 {
+							f++
+						}
+						if f > maxBase || t32*invSqrtTab32[f] != s {
+							break
+						}
+						cnt += int(hist[f])
+						last = f
+						f++
+					}
+					if cum+cnt >= n {
+						tieLo, tieHi, slots = first, last, n-cum
+						break
+					}
+					cum += cnt
+				}
+			}
+			clear(hist[:maxBase+1])
+			// Pass B: collect the winners from the compact arrays in
+			// ascending id order — which is exactly the (B, id) tie-break,
+			// so the tie class's `slots` smallest ids are taken. Boosted
+			// winners still consume their slot but are skipped (already
+			// present at full gain).
+			for k, item := range cids {
+				base := int(cbase[k])
+				if base >= tieLo {
+					if base > tieHi || slots == 0 {
+						continue
+					}
+					slots--
+				}
+				if inBits(boost, item) {
+					continue
+				}
+				cand = append(cand, item)
+				gains = append(gains, t32*invSqrtFreq32(base))
+			}
+		}
+		sc.cand, sc.packed32 = cand, gains
+		set = recommender.SelectTopNScored32(cand, gains, n)
+	} else {
+		top := &sc.top64
+		top.Reset(n)
+		minItem, minScore := top.Threshold()
+		for r, lo := 0, 0; ; {
+			for r < len(rated) && int(rated[r]) < lo {
+				r++
+			}
+			hi := numItems
+			if r < len(rated) && int(rated[r]) < numItems {
+				hi = int(rated[r])
+			}
+			for idx := lo; idx < hi; idx++ {
+				base := 0
+				if idx < len(freq) {
+					base = freq[idx]
+				}
+				s := theta * invSqrtFreq(base)
+				if s < minScore || (s == minScore && types.ItemID(idx) >= minItem) {
+					continue
+				}
+				top.Push(types.ItemID(idx), s)
+				minItem, minScore = top.Threshold()
+			}
+			if hi >= numItems {
+				break
+			}
+			lo = hi + 1
+			r++
+		}
+		cand, gains := sc.cand[:0], sc.packed[:0]
+		for w, word := range boost {
+			for word != 0 {
+				item := types.ItemID(w<<6 + bits.TrailingZeros64(word))
+				word &= word - 1
+				if int(item) >= numItems || containsSortedItem(rated, item) {
+					continue
+				}
+				base := 0
+				if int(item) < len(freq) {
+					base = freq[item]
+				}
+				cand = append(cand, item)
+				gains = append(gains, (1-theta)*1+theta*invSqrtFreq(base))
+			}
+		}
+		mark := len(cand)
+		cand, gains = sc.top64.AppendTo(cand, gains)
+		w := mark
+		for k := mark; k < len(cand); k++ {
+			if !inBits(boost, cand[k]) {
+				cand[w], gains[w] = cand[k], gains[k]
+				w++
+			}
+		}
+		sc.cand, sc.packed = cand[:w], gains[:w]
+		set = recommender.SelectTopNScored(sc.cand, sc.packed, n)
+	}
+	if observe {
+		for _, i := range set {
+			g.crec.Observe(i)
+		}
+	}
+	return set
 }
 
 // forEachShard splits [0, count) into contiguous ranges across the configured
@@ -695,14 +1393,15 @@ func (g *GANC) Recommend() types.Recommendations {
 func (g *GANC) TopN() int { return g.cfg.N }
 
 // RecommendUser computes a single user's top-N list on demand, without
-// touching any other user. With the Dyn coverage recommender the current
-// shared frequency state is snapshotted under a lock and the sweep runs
-// against the frozen copy, so concurrent RecommendUser calls are safe and
-// never mutate shared state; the result is deterministic for a given state,
-// which makes it cacheable. n ≤ 0 selects the configured Config.N.
+// touching any other user. With the Dyn coverage recommender the sweep runs
+// against the shared frozen snapshot of the frequency state (rebuilt only
+// when the state has actually mutated, see DynCoverage.FrozenFrequencies),
+// so concurrent RecommendUser calls are safe and never mutate shared state;
+// the result is deterministic for a given state, which makes it cacheable.
+// n ≤ 0 selects the configured Config.N.
 //
 // Batch Recommend must not run concurrently with RecommendUser on the same
-// instance (it mutates the Dyn state without the online lock).
+// instance (it mutates the Dyn state, which the online path reads unlocked).
 func (g *GANC) RecommendUser(ctx context.Context, u types.UserID, n int) (types.TopNSet, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -716,10 +1415,7 @@ func (g *GANC) RecommendUser(ctx context.Context, u types.UserID, n int) (types.
 	sc := g.getScratch()
 	defer g.putScratch(sc)
 	if dyn, ok := g.crec.(*DynCoverage); ok {
-		g.onlineMu.Lock()
-		sc.freq = dyn.CopyFrequencies(sc.freq)
-		g.onlineMu.Unlock()
-		return g.sweepUser(ctx, u, n, sc.freq, false, sc)
+		return g.sweepUser(ctx, u, n, dyn.FrozenFrequencies(), false, sc)
 	}
 	return g.sweepUser(ctx, u, n, nil, false, sc)
 }

@@ -49,10 +49,7 @@ func (g *GANC) ReferenceRecommendUser(ctx context.Context, u types.UserID, n int
 	}
 	exclude := g.train.UserItemSet(u)
 	if dyn, ok := g.crec.(*DynCoverage); ok {
-		g.onlineMu.Lock()
-		freq := dyn.Frequencies()
-		g.onlineMu.Unlock()
-		return g.referenceFrozen(ctx, u, exclude, freq, n)
+		return g.referenceFrozen(ctx, u, exclude, dyn.Frequencies(), n)
 	}
 	return g.referenceSweep(ctx, u, exclude, n, false)
 }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"math"
+	"math/bits"
 	"sort"
 
 	"ganc/internal/dataset"
@@ -32,7 +32,7 @@ func NewDynCoverageFrom(freq []int) *DynCoverage {
 func NewStatCoverageFromCounts(counts []int) *StatCoverage {
 	scores := make([]float64, len(counts))
 	for i, c := range counts {
-		scores[i] = 1 / math.Sqrt(float64(c)+1)
+		scores[i] = invSqrtFreq(c)
 	}
 	return &StatCoverage{scores: scores}
 }
@@ -45,7 +45,7 @@ func NewPopAccuracyWith(pop *recommender.Pop, train *dataset.Dataset, topN int) 
 		pop:      pop,
 		train:    train,
 		topN:     topN,
-		cache:    make(map[types.UserID]map[types.ItemID]struct{}),
+		cache:    make(map[types.UserID][]uint64),
 		cacheCap: 200_000,
 	}
 }
@@ -58,12 +58,16 @@ func (p *PopAccuracy) CacheSnapshot() map[types.UserID][]types.ItemID {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	out := make(map[types.UserID][]types.ItemID, len(p.cache))
-	for u, set := range p.cache {
-		items := make([]types.ItemID, 0, len(set))
-		for i := range set {
-			items = append(items, i)
+	for u, row := range p.cache {
+		items := make([]types.ItemID, 0, p.topN)
+		// Walking the bitset words low-to-high yields the items already in
+		// ascending order, the form the snapshot format requires.
+		for w, word := range row {
+			for word != 0 {
+				items = append(items, types.ItemID(w*64+bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
 		}
-		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
 		out[u] = items
 	}
 	return out
@@ -81,15 +85,22 @@ func (p *PopAccuracy) RestoreCache(snapshot map[types.UserID][]types.ItemID) {
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.cache = make(map[types.UserID]map[types.ItemID]struct{}, len(snapshot))
+	words := (p.train.NumItems() + 63) / 64
+	p.cache = make(map[types.UserID][]uint64, len(snapshot))
 	for _, u := range users {
 		if len(p.cache) >= p.cacheCap {
 			break
 		}
-		set := make(map[types.ItemID]struct{}, len(snapshot[u]))
+		rowWords := words
 		for _, i := range snapshot[u] {
-			set[i] = struct{}{}
+			if w := int(i)/64 + 1; w > rowWords {
+				rowWords = w // snapshot from a larger catalog than train
+			}
 		}
-		p.cache[u] = set
+		row := make([]uint64, rowWords)
+		for _, i := range snapshot[u] {
+			row[i>>6] |= 1 << (uint(i) & 63)
+		}
+		p.cache[u] = row
 	}
 }

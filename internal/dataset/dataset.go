@@ -205,25 +205,41 @@ func (d *Dataset) UserItemsSorted(u types.UserID) []types.ItemID {
 
 // AppendCandidates appends user u's candidate items — the catalog minus the
 // user's rated items — to buf in ascending ItemID order and returns the
-// extended slice. The enumeration is a linear merge of the dense catalog
-// [0, NumItems) against the user's sorted adjacency, so it allocates nothing
-// when buf has capacity; callers reuse one buffer across users
+// extended slice. Rather than merging item by item, it grows buf once and
+// fills the gap runs between consecutive rated items with plain index
+// writes, so the per-item cost is one store; it allocates nothing when buf
+// has capacity, and callers reuse one buffer across users
 // (buf = d.AppendCandidates(u, buf[:0])).
 func (d *Dataset) AppendCandidates(u types.UserID, buf []types.ItemID) []types.ItemID {
 	rated := d.UserItemsSorted(u)
 	numItems := d.NumItems()
-	k := 0
-	for idx := 0; idx < numItems; idx++ {
-		item := types.ItemID(idx)
-		for k < len(rated) && rated[k] < item {
-			k++
+	n := len(buf)
+	if cap(buf) < n+numItems {
+		grown := make([]types.ItemID, n, n+numItems)
+		copy(grown, buf)
+		buf = grown
+	}
+	out := buf[n : n+numItems]
+	w := 0
+	next := types.ItemID(0)
+	for _, r := range rated {
+		if r >= types.ItemID(numItems) {
+			break
 		}
-		if k < len(rated) && rated[k] == item {
+		if r < next { // duplicate in the adjacency; already skipped
 			continue
 		}
-		buf = append(buf, item)
+		for i := next; i < r; i++ {
+			out[w] = i
+			w++
+		}
+		next = r + 1
 	}
-	return buf
+	for i := next; i < types.ItemID(numItems); i++ {
+		out[w] = i
+		w++
+	}
+	return buf[:n+w]
 }
 
 // NumCandidates returns how many candidate items AppendCandidates would yield

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"ganc/internal/dataset"
 	"ganc/internal/types"
@@ -53,7 +54,8 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// neighbor is one entry of an item's similarity list.
+// neighbor is one entry of an item's similarity list (used only while
+// building; the trained model stores the lists in CSR columns).
 type neighbor struct {
 	item types.ItemID
 	sim  float64
@@ -61,11 +63,55 @@ type neighbor struct {
 
 // ItemKNN is a trained item-based nearest-neighbour model.
 type ItemKNN struct {
-	cfg       Config
-	train     *dataset.Dataset
-	neighbors [][]neighbor // per item, sorted by descending similarity
-	userMean  []float64
-	global    float64
+	cfg   Config
+	train *dataset.Dataset
+	// The similarity matrix lives in CSR block layout: the neighbours of
+	// item i are nbItems[nbOff[i]:nbOff[i+1]] with similarities in the
+	// parallel nbSims, each list sorted by descending similarity. Three flat
+	// slices walk contiguously in the scoring loop instead of chasing one
+	// slice header per item.
+	nbOff    []int32 // len numItems+1
+	nbItems  []types.ItemID
+	nbSims   []float64
+	userMean []float64
+	global   float64
+	// arenas pools the dense per-call rating arenas ScoreUser fills (one
+	// value + epoch-mark pair per trained item). A pointer so Rebind's
+	// struct copy shares the pool instead of copying a sync.Pool by value.
+	arenas *sync.Pool
+}
+
+// numItems returns the trained catalog size (neighbour lists never
+// reference an item at or beyond it).
+func (m *ItemKNN) numItems() int { return len(m.nbOff) - 1 }
+
+// scoreArena is the dense rating-lookup scratch of one ScoreUser call:
+// val[i] holds the user's rating of item i when mark[i] equals the current
+// epoch. Bumping the epoch invalidates the whole arena in O(1); marks are
+// zeroed only when the epoch counter wraps.
+type scoreArena struct {
+	val   []float64
+	mark  []uint32
+	epoch uint32
+}
+
+func newArenaPool() *sync.Pool {
+	return &sync.Pool{New: func() interface{} { return new(scoreArena) }}
+}
+
+func (a *scoreArena) reset(n int) {
+	if len(a.val) < n {
+		a.val = make([]float64, n)
+		a.mark = make([]uint32, n)
+		a.epoch = 0
+	}
+	a.epoch++
+	if a.epoch == 0 { // wrapped: stale marks could collide, clear them
+		for i := range a.mark {
+			a.mark[i] = 0
+		}
+		a.epoch = 1
+	}
 }
 
 // Train builds the item-item similarity lists from the train set.
@@ -77,11 +123,11 @@ func Train(train *dataset.Dataset, cfg Config) (*ItemKNN, error) {
 		return nil, fmt.Errorf("knn: cannot train on an empty dataset")
 	}
 	m := &ItemKNN{
-		cfg:       cfg,
-		train:     train,
-		neighbors: make([][]neighbor, train.NumItems()),
-		userMean:  make([]float64, train.NumUsers()),
-		global:    train.MeanRating(),
+		cfg:      cfg,
+		train:    train,
+		userMean: make([]float64, train.NumUsers()),
+		global:   train.MeanRating(),
+		arenas:   newArenaPool(),
 	}
 	for u := 0; u < train.NumUsers(); u++ {
 		idxs := train.UserRatings(types.UserID(u))
@@ -173,7 +219,26 @@ func (m *ItemKNN) buildSimilarities() {
 			lists[i] = lists[i][:m.cfg.Neighbors]
 		}
 	}
-	m.neighbors = lists
+	m.setNeighborLists(lists)
+}
+
+// setNeighborLists packs per-item neighbour lists into the CSR columns.
+func (m *ItemKNN) setNeighborLists(lists [][]neighbor) {
+	total := 0
+	for _, nbs := range lists {
+		total += len(nbs)
+	}
+	m.nbOff = make([]int32, len(lists)+1)
+	m.nbItems = make([]types.ItemID, 0, total)
+	m.nbSims = make([]float64, 0, total)
+	for i, nbs := range lists {
+		m.nbOff[i] = int32(len(m.nbItems))
+		for _, nb := range nbs {
+			m.nbItems = append(m.nbItems, nb.item)
+			m.nbSims = append(m.nbSims, nb.sim)
+		}
+	}
+	m.nbOff[len(lists)] = int32(len(m.nbItems))
 }
 
 // Score implements recommender.Scorer: the similarity-weighted average of the
@@ -183,15 +248,16 @@ func (m *ItemKNN) Score(u types.UserID, i types.ItemID) float64 {
 	// Bound by the trained per-user means, not the attached dataset: a
 	// rebound model may score a dataset that has grown new users since
 	// training, and those fall back to the global mean.
-	if int(u) < 0 || int(u) >= len(m.userMean) || int(i) < 0 || int(i) >= len(m.neighbors) {
+	if int(u) < 0 || int(u) >= len(m.userMean) || int(i) < 0 || int(i) >= m.numItems() {
 		return m.global
 	}
 	mean := m.userMean[u]
 	num, den := 0.0, 0.0
-	for _, nb := range m.neighbors[i] {
-		if v, ok := m.train.UserRating(u, nb.item); ok {
-			num += nb.sim * (v - mean)
-			den += nb.sim
+	lo, hi := m.nbOff[i], m.nbOff[i+1]
+	for t := lo; t < hi; t++ {
+		if v, ok := m.train.UserRating(u, m.nbItems[t]); ok {
+			num += m.nbSims[t] * (v - mean)
+			den += m.nbSims[t]
 		}
 	}
 	if den == 0 {
@@ -200,9 +266,13 @@ func (m *ItemKNN) Score(u types.UserID, i types.ItemID) float64 {
 	return mean + num/den
 }
 
-// ScoreUser implements recommender.BulkScorer. The user's ratings are indexed
-// once into a map, so each neighbour lookup is O(1) instead of the O(|I_u|)
-// profile scan the pointwise Score pays per neighbour.
+// ScoreUser implements recommender.BulkScorer. The user's ratings are
+// scattered once into a pooled dense arena (value + epoch mark per trained
+// item), so each neighbour lookup is one array read instead of the map
+// probe the previous layout paid — and the neighbour walk itself streams
+// the contiguous CSR columns. The accumulation visits neighbours in the
+// same order with the same arithmetic as the map version did, so scores
+// stay bit-identical to pointwise Score.
 func (m *ItemKNN) ScoreUser(u types.UserID, items []types.ItemID, out []float64) {
 	if int(u) < 0 || int(u) >= len(m.userMean) {
 		for k := range items {
@@ -211,24 +281,33 @@ func (m *ItemKNN) ScoreUser(u types.UserID, items []types.ItemID, out []float64)
 		return
 	}
 	mean := m.userMean[u]
-	ratings := make(map[types.ItemID]float64, len(m.train.UserRatings(u)))
+	numItems := m.numItems()
+	ar := m.arenas.Get().(*scoreArena)
+	ar.reset(numItems)
+	epoch := ar.epoch
 	for _, idx := range m.train.UserRatings(u) {
 		r := m.train.Rating(idx)
+		// Neighbour lists never reference items beyond the trained catalog,
+		// so later profile items (a rebound, extended dataset) are skipped.
 		// Keep the first value per item, matching Dataset.UserRating's scan.
-		if _, ok := ratings[r.Item]; !ok {
-			ratings[r.Item] = r.Value
+		if int(r.Item) < numItems && ar.mark[r.Item] != epoch {
+			ar.mark[r.Item] = epoch
+			ar.val[r.Item] = r.Value
 		}
 	}
 	for k, i := range items {
-		if int(i) < 0 || int(i) >= len(m.neighbors) {
+		if int(i) < 0 || int(i) >= numItems {
 			out[k] = m.global
 			continue
 		}
 		num, den := 0.0, 0.0
-		for _, nb := range m.neighbors[i] {
-			if v, ok := ratings[nb.item]; ok {
-				num += nb.sim * (v - mean)
-				den += nb.sim
+		lo, hi := m.nbOff[i], m.nbOff[i+1]
+		nbs := m.nbItems[lo:hi]
+		sims := m.nbSims[lo:hi]
+		for t, nb := range nbs {
+			if ar.mark[nb] == epoch {
+				num += sims[t] * (ar.val[nb] - mean)
+				den += sims[t]
 			}
 		}
 		if den == 0 {
@@ -237,6 +316,7 @@ func (m *ItemKNN) ScoreUser(u types.UserID, items []types.ItemID, out []float64)
 		}
 		out[k] = mean + num/den
 	}
+	m.arenas.Put(ar)
 }
 
 // Name implements recommender.Scorer.
@@ -245,12 +325,13 @@ func (m *ItemKNN) Name() string { return fmt.Sprintf("ItemKNN%d", m.cfg.Neighbor
 // Neighbors returns the similarity list of item i (item, similarity pairs in
 // descending similarity). Intended for inspection and tests.
 func (m *ItemKNN) Neighbors(i types.ItemID) []types.ScoredItem {
-	if int(i) < 0 || int(i) >= len(m.neighbors) {
+	if int(i) < 0 || int(i) >= m.numItems() {
 		return nil
 	}
-	out := make([]types.ScoredItem, len(m.neighbors[i]))
-	for k, nb := range m.neighbors[i] {
-		out[k] = types.ScoredItem{Item: nb.item, Score: nb.sim}
+	lo, hi := m.nbOff[i], m.nbOff[i+1]
+	out := make([]types.ScoredItem, hi-lo)
+	for t := lo; t < hi; t++ {
+		out[t-lo] = types.ScoredItem{Item: m.nbItems[t], Score: m.nbSims[t]}
 	}
 	return out
 }

@@ -30,29 +30,22 @@ type knnSnapshot struct {
 	Global   float64
 }
 
-// Save writes the model to w in its versioned gob form.
+// Save writes the model to w in its versioned gob form. The in-memory CSR
+// columns already match the snapshot layout, so encoding is a straight copy
+// (only the offset table widens from int32 to the format's int).
 func (m *ItemKNN) Save(w io.Writer) error {
-	total := 0
-	for _, nbs := range m.neighbors {
-		total += len(nbs)
-	}
 	snap := knnSnapshot{
 		Version:  knnSnapshotVersion,
 		Config:   m.cfg,
-		Offsets:  make([]int, len(m.neighbors)+1),
-		NbItems:  make([]types.ItemID, 0, total),
-		NbSims:   make([]float64, 0, total),
+		Offsets:  make([]int, len(m.nbOff)),
+		NbItems:  m.nbItems,
+		NbSims:   m.nbSims,
 		UserMean: m.userMean,
 		Global:   m.global,
 	}
-	for i, nbs := range m.neighbors {
-		snap.Offsets[i] = len(snap.NbItems)
-		for _, nb := range nbs {
-			snap.NbItems = append(snap.NbItems, nb.item)
-			snap.NbSims = append(snap.NbSims, nb.sim)
-		}
+	for i, off := range m.nbOff {
+		snap.Offsets[i] = int(off)
 	}
-	snap.Offsets[len(m.neighbors)] = len(snap.NbItems)
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("knn: save ItemKNN: %w", err)
 	}
@@ -91,23 +84,31 @@ func Load(r io.Reader, train *dataset.Dataset) (*ItemKNN, error) {
 		return nil, fmt.Errorf("knn: load ItemKNN: corrupt neighbour columns")
 	}
 	numItems := len(snap.Offsets) - 1
-	neighbors := make([][]neighbor, numItems)
-	for i := 0; i < numItems; i++ {
-		lo, hi := snap.Offsets[i], snap.Offsets[i+1]
+	nbOff := make([]int32, len(snap.Offsets))
+	for i, off := range snap.Offsets {
+		lo := off
+		var hi int
+		if i < numItems {
+			hi = snap.Offsets[i+1]
+		} else {
+			hi = off
+		}
 		if lo < 0 || hi < lo || hi > len(snap.NbItems) {
 			return nil, fmt.Errorf("knn: load ItemKNN: corrupt offset table at item %d", i)
 		}
-		nbs := make([]neighbor, hi-lo)
-		for k := lo; k < hi; k++ {
-			nbs[k-lo] = neighbor{item: snap.NbItems[k], sim: snap.NbSims[k]}
-		}
-		neighbors[i] = nbs
+		nbOff[i] = int32(off)
+	}
+	if snap.Offsets[numItems] != len(snap.NbItems) {
+		return nil, fmt.Errorf("knn: load ItemKNN: offset table does not cover the neighbour columns")
 	}
 	return &ItemKNN{
-		cfg:       snap.Config,
-		train:     train,
-		neighbors: neighbors,
-		userMean:  snap.UserMean,
-		global:    snap.Global,
+		cfg:      snap.Config,
+		train:    train,
+		nbOff:    nbOff,
+		nbItems:  snap.NbItems,
+		nbSims:   snap.NbSims,
+		userMean: snap.UserMean,
+		global:   snap.Global,
+		arenas:   newArenaPool(),
 	}, nil
 }

@@ -1,0 +1,148 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dot32x8(a, b []float32) float32
+//
+// Float32 dot product over len(a) elements (caller guarantees
+// len(b) >= len(a)). Main loop: 16 elements per iteration into four
+// independent XMM accumulators (MULPS+ADDPS), then a 4-wide loop, then a
+// scalar tail, then a fixed-shape horizontal reduction — the same
+// deterministic tree for every call with the same length.
+TEXT ·dot32x8(SB), NOSPLIT, $0-52
+	MOVQ  a_base+0(FP), SI
+	MOVQ  a_len+8(FP), CX
+	MOVQ  b_base+24(FP), DI
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORQ  AX, AX
+	MOVQ  CX, DX
+	ANDQ  $-16, DX
+	CMPQ  DX, $0
+	JE    quad
+
+loop16:
+	MOVUPS (SI)(AX*4), X4
+	MOVUPS 16(SI)(AX*4), X5
+	MOVUPS 32(SI)(AX*4), X6
+	MOVUPS 48(SI)(AX*4), X7
+	MOVUPS (DI)(AX*4), X8
+	MOVUPS 16(DI)(AX*4), X9
+	MOVUPS 32(DI)(AX*4), X10
+	MOVUPS 48(DI)(AX*4), X11
+	MULPS  X8, X4
+	MULPS  X9, X5
+	MULPS  X10, X6
+	MULPS  X11, X7
+	ADDPS  X4, X0
+	ADDPS  X5, X1
+	ADDPS  X6, X2
+	ADDPS  X7, X3
+	ADDQ   $16, AX
+	CMPQ   AX, DX
+	JL     loop16
+
+quad:
+	MOVQ  CX, DX
+	ANDQ  $-4, DX
+	CMPQ  AX, DX
+	JGE   reduce
+
+loop4:
+	MOVUPS (SI)(AX*4), X4
+	MOVUPS (DI)(AX*4), X8
+	MULPS  X8, X4
+	ADDPS  X4, X0
+	ADDQ   $4, AX
+	CMPQ   AX, DX
+	JL     loop4
+
+reduce:
+	ADDPS   X1, X0
+	ADDPS   X3, X2
+	ADDPS   X2, X0
+	MOVAPS  X0, X1
+	MOVHLPS X0, X1               // X1 low pair = X0 high pair
+	ADDPS   X1, X0
+	MOVAPS  X0, X1
+	SHUFPS  $0x01, X1, X1        // X1 lane0 = X0 lane1
+	ADDSS   X1, X0
+	CMPQ    AX, CX
+	JGE     done
+
+scalar:
+	MOVSS (SI)(AX*4), X4
+	MULSS (DI)(AX*4), X4
+	ADDSS X4, X0
+	INCQ  AX
+	CMPQ  AX, CX
+	JL    scalar
+
+done:
+	MOVSS X0, ret+48(FP)
+	RET
+
+// func dotQ8(a, b []int8) int32
+//
+// Symmetric int8 dot product accumulated in int32 (caller guarantees
+// len(b) >= len(a)). Main loop: 16 bytes per iteration, sign-extended to
+// int16 via the SSE2 unpack-with-self + arithmetic-shift idiom, pair-summed
+// into int32 lanes with PMADDWL, accumulated with PADDL. A scalar tail in
+// GPRs handles len%16.
+TEXT ·dotQ8(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+	PXOR X0, X0
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+	CMPQ DX, $0
+	JE   qreduce
+
+qloop16:
+	MOVOU     (SI)(AX*1), X4
+	MOVOU     (DI)(AX*1), X5
+	MOVOU     X4, X6
+	MOVOU     X5, X7
+	PUNPCKLBW X4, X4
+	PSRAW     $8, X4             // a, low 8 bytes sign-extended to words
+	PUNPCKHBW X6, X6
+	PSRAW     $8, X6             // a, high 8 bytes
+	PUNPCKLBW X5, X5
+	PSRAW     $8, X5             // b, low
+	PUNPCKHBW X7, X7
+	PSRAW     $8, X7             // b, high
+	PMADDWL   X5, X4             // four int32 pair-sums (low half)
+	PMADDWL   X7, X6             // four int32 pair-sums (high half)
+	PADDL     X4, X0
+	PADDL     X6, X0
+	ADDQ      $16, AX
+	CMPQ      AX, DX
+	JL        qloop16
+
+qreduce:
+	MOVOU X0, X1
+	PSRLO $8, X1
+	PADDL X1, X0
+	MOVOU X0, X1
+	PSRLO $4, X1
+	PADDL X1, X0
+	MOVL  X0, R10                // low int32 lane holds the vector sum
+	CMPQ  AX, CX
+	JGE   qdone
+
+qscalar:
+	MOVBQSX (SI)(AX*1), R8
+	MOVBQSX (DI)(AX*1), R9
+	IMULQ   R9, R8
+	ADDQ    R8, R10
+	INCQ    AX
+	CMPQ    AX, CX
+	JL      qscalar
+
+qdone:
+	MOVL R10, ret+48(FP)
+	RET

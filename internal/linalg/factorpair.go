@@ -1,0 +1,75 @@
+package linalg
+
+import "fmt"
+
+// FactorPair holds one latent-factor model's (user, item) matrices in the
+// reduced-precision layouts, built lazily from the float64 training rows.
+// Models embed one and call the Ensure methods from SetPrecision; blocks
+// already populated (e.g. decoded straight from a snapshot's f32 section)
+// are kept as-is, so loading never round-trips through float64.
+//
+// The Ensure methods are not safe for concurrent use with each other or
+// with scoring — precision is fixed at pipeline assembly or snapshot load,
+// before a model starts serving.
+type FactorPair struct {
+	UserB, ItemB Block
+	UserQ, ItemQ QuantizedBlock
+}
+
+// EnsureF32 builds the float32 blocks from the float64 rows if absent.
+func (p *FactorPair) EnsureF32(userF, itemF [][]float64) {
+	if p.UserB.Rows() == 0 && len(userF) > 0 {
+		p.UserB = BlockFrom64(userF)
+	}
+	if p.ItemB.Rows() == 0 && len(itemF) > 0 {
+		p.ItemB = BlockFrom64(itemF)
+	}
+}
+
+// EnsureInt8 builds the int8 quantized blocks if absent (first ensuring the
+// float32 blocks they derive from).
+func (p *FactorPair) EnsureInt8(userF, itemF [][]float64) {
+	p.EnsureF32(userF, itemF)
+	if p.UserQ.Rows() == 0 && p.UserB.Rows() > 0 {
+		p.UserQ = Quantize(p.UserB)
+	}
+	if p.ItemQ.Rows() == 0 && p.ItemB.Rows() > 0 {
+		p.ItemQ = Quantize(p.ItemB)
+	}
+}
+
+// FactorSection is the flat, gob-friendly form of a FactorPair's float32
+// blocks — the versioned model snapshots' "f32 factor section" (DESIGN.md
+// §12). Only the float32 blocks are persisted: the int8 codes derive
+// deterministically from them and are cheap to re-quantize at load time.
+type FactorSection struct {
+	Dims int
+	User []float32
+	Item []float32
+}
+
+// F32Section returns the pair's float32 blocks in snapshot form, or nil when
+// no blocks were built (the float64-only default tier).
+func (p *FactorPair) F32Section() *FactorSection {
+	if p.UserB.Rows() == 0 || p.ItemB.Rows() == 0 {
+		return nil
+	}
+	return &FactorSection{Dims: p.UserB.Dims(), User: p.UserB.Data(), Item: p.ItemB.Data()}
+}
+
+// RestoreF32Section installs a decoded snapshot section as the pair's
+// float32 blocks, validating the flat lengths against the expected row
+// counts. A nil or empty section is a no-op (snapshots from before the
+// tiered path, or models saved at the float64 tier).
+func (p *FactorPair) RestoreF32Section(s *FactorSection, userRows, itemRows int) error {
+	if s == nil || (s.Dims == 0 && len(s.User) == 0 && len(s.Item) == 0) {
+		return nil
+	}
+	if s.Dims <= 0 || len(s.User) != userRows*s.Dims || len(s.Item) != itemRows*s.Dims {
+		return fmt.Errorf("linalg: f32 factor section (%d user + %d item values at dim %d) does not cover %d user and %d item rows",
+			len(s.User), len(s.Item), s.Dims, userRows, itemRows)
+	}
+	p.UserB = BlockFromData(userRows, s.Dims, s.User)
+	p.ItemB = BlockFromData(itemRows, s.Dims, s.Item)
+	return nil
+}

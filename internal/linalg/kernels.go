@@ -1,0 +1,256 @@
+package linalg
+
+import "math"
+
+// Scoring kernels and contiguous factor-block layouts for the bulk-scoring
+// hot path. The MF/rank models train in float64 per-row slices (numerically
+// convenient) but serve from the types below: one backing slice per factor
+// matrix (row stride = dims), float32 or symmetric int8 elements, and
+// fixed-width unrolled dot kernels whose independent accumulators break the
+// loop-carried ADD dependency that bounds a naive scalar loop. DESIGN.md §12
+// documents the layout, the quantization scheme and the benchmark
+// methodology; kernels_bench_test.go gates the speedup ratio in CI.
+
+// Dot64 is the scalar float64 reference dot product. Single accumulator,
+// left-to-right — the exact summation order the per-row [][]float64 paths
+// use, kept here so the kernel benchmarks compare against the real baseline.
+func Dot64(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Dot32 is the scalar float32 dot product (single accumulator,
+// left-to-right). It is the remainder loop for the unrolled kernels and the
+// fallback for dims < 4.
+func Dot32(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Dot32x4 computes a float32 dot product with 4 independent accumulators.
+// The three-index slice expressions pin the slice capacity so the compiler
+// proves all eight loads in a block are in bounds from one comparison.
+func Dot32x4(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		s0 += aa[0] * bb[0]
+		s1 += aa[1] * bb[1]
+		s2 += aa[2] * bb[2]
+		s3 += aa[3] * bb[3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Dot32x8 computes the widest float32 dot product — the kernel the bulk
+// scorers run and the one the CI ratio gate measures against Dot64. On
+// amd64 it dispatches to a hand-scheduled SSE2 kernel (4 lanes × 4
+// accumulators; SSE2 is part of the amd64 baseline so no feature detection
+// is needed — gc does not auto-vectorize scalar loops, so the unrolled Go
+// version below tops out at the 2-loads-per-element scalar port limit).
+// Other architectures run the 8-accumulator pure-Go version. Both reduce
+// through a fixed tree, so results are deterministic for a given dims.
+func Dot32x8(a, b []float32) float32 {
+	if len(b) < len(a) { // one bounds check up front covers the asm kernel
+		panic("linalg: Dot32x8: len(b) < len(a)")
+	}
+	return dot32x8(a, b)
+}
+
+// dot32x8Generic is the portable Dot32x8: 8 independent accumulators break
+// the loop-carried ADD dependency of the single-accumulator scalar loop;
+// three-index slice expressions pin capacities so one comparison proves all
+// sixteen loads per block are in bounds.
+func dot32x8Generic(a, b []float32) float32 {
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		aa := a[i : i+8 : i+8]
+		bb := b[i : i+8 : i+8]
+		s0 += aa[0] * bb[0]
+		s1 += aa[1] * bb[1]
+		s2 += aa[2] * bb[2]
+		s3 += aa[3] * bb[3]
+		s4 += aa[4] * bb[4]
+		s5 += aa[5] * bb[5]
+		s6 += aa[6] * bb[6]
+		s7 += aa[7] * bb[7]
+	}
+	s := ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// DotQ8 computes the integer dot product of two symmetric int8-quantized
+// rows, accumulating in int32. With |x| ≤ 127 a product is ≤ 16129, so
+// int32 holds > 130k dims without overflow — far beyond any factor count
+// this system uses. On amd64 it runs an SSE2 kernel (sign-extend via
+// unpack+shift, PMADDWD pair-sums); elsewhere the 4-wide unrolled Go loop.
+func DotQ8(a, b []int8) int32 {
+	if len(b) < len(a) { // one bounds check up front covers the asm kernel
+		panic("linalg: DotQ8: len(b) < len(a)")
+	}
+	return dotQ8(a, b)
+}
+
+// dotQ8Generic is the portable DotQ8 (4 independent int32 accumulators).
+func dotQ8Generic(a, b []int8) int32 {
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		s0 += int32(aa[0]) * int32(bb[0])
+		s1 += int32(aa[1]) * int32(bb[1])
+		s2 += int32(aa[2]) * int32(bb[2])
+		s3 += int32(aa[3]) * int32(bb[3])
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}
+
+// Block is a dense rows×dims float32 matrix in one backing slice, row-major
+// with stride = dims. Factor matrices convert into Blocks once after
+// training (or snapshot load) so the scoring loop walks contiguous memory
+// instead of chasing per-row slice headers.
+type Block struct {
+	rows, dims int
+	data       []float32
+}
+
+// BlockFrom64 packs a [][]float64 factor matrix into a Block, truncating
+// each element to float32. Every row must have the same length. A matrix
+// with zero rows yields an empty Block with dims 0.
+func BlockFrom64(m [][]float64) Block {
+	if len(m) == 0 {
+		return Block{}
+	}
+	dims := len(m[0])
+	data := make([]float32, len(m)*dims)
+	for r, row := range m {
+		base := r * dims
+		for c, v := range row {
+			data[base+c] = float32(v)
+		}
+	}
+	return Block{rows: len(m), dims: dims, data: data}
+}
+
+// BlockFromData wraps an existing flat row-major slice (len = rows*dims)
+// without copying — the snapshot load path hands gob-decoded sections
+// straight to it.
+func BlockFromData(rows, dims int, data []float32) Block {
+	if len(data) != rows*dims {
+		panic("linalg: BlockFromData length mismatch")
+	}
+	return Block{rows: rows, dims: dims, data: data}
+}
+
+// Rows returns the number of rows.
+func (b Block) Rows() int { return b.rows }
+
+// Dims returns the row width (and stride).
+func (b Block) Dims() int { return b.dims }
+
+// Data returns the backing slice (rows×dims, row-major). Persistence
+// serializes it directly.
+func (b Block) Data() []float32 { return b.data }
+
+// Row returns row r as a full-capacity subslice of the backing array.
+func (b Block) Row(r int) []float32 {
+	off := r * b.dims
+	return b.data[off : off+b.dims : off+b.dims]
+}
+
+// QuantizedBlock is a Block quantized to symmetric int8 with one scale per
+// row: q[c] = round(row[c]/scale) clamped to [-127,127], scale =
+// maxabs(row)/127. The dot of two quantized rows recovers the real value as
+// float64(int32 dot) × scaleA × scaleB.
+type QuantizedBlock struct {
+	rows, dims int
+	data       []int8
+	scales     []float32
+}
+
+// Quantize converts a float32 Block to a QuantizedBlock.
+func Quantize(b Block) QuantizedBlock {
+	q := QuantizedBlock{
+		rows:   b.rows,
+		dims:   b.dims,
+		data:   make([]int8, len(b.data)),
+		scales: make([]float32, b.rows),
+	}
+	for r := 0; r < b.rows; r++ {
+		off := r * b.dims
+		q.scales[r] = QuantizeRowInto(b.data[off:off+b.dims], q.data[off:off+b.dims])
+	}
+	return q
+}
+
+// QuantizeRowInto quantizes one float32 row into dst (same length) and
+// returns the row scale. An all-zero row gets scale 0 and all-zero codes; a
+// non-finite element makes the whole row zero (scale 0) rather than
+// poisoning the scale — trained factors are always finite, so this only
+// guards corrupted input.
+func QuantizeRowInto(row []float32, dst []int8) float32 {
+	var maxAbs float32
+	for _, v := range row {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 || math.IsInf(float64(maxAbs), 0) || maxAbs != maxAbs {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
+	}
+	scale := maxAbs / 127
+	inv := 1 / scale
+	for i, v := range row {
+		q := int32(math.RoundToEven(float64(v * inv)))
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+	return scale
+}
+
+// Rows returns the number of rows.
+func (q QuantizedBlock) Rows() int { return q.rows }
+
+// Dims returns the row width.
+func (q QuantizedBlock) Dims() int { return q.dims }
+
+// Row returns quantized row r.
+func (q QuantizedBlock) Row(r int) []int8 {
+	off := r * q.dims
+	return q.data[off : off+q.dims : off+q.dims]
+}
+
+// Scale returns the quantization scale of row r.
+func (q QuantizedBlock) Scale(r int) float32 { return q.scales[r] }

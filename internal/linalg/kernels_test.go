@@ -1,0 +1,283 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randRow64(rng *rand.Rand, dims int) []float64 {
+	row := make([]float64, dims)
+	for i := range row {
+		row[i] = rng.NormFloat64()
+	}
+	return row
+}
+
+func to32(row []float64) []float32 {
+	out := make([]float32, len(row))
+	for i, v := range row {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// All float32 kernels must agree with a float64 accumulation of the same
+// float32 inputs to within float32 rounding, for every dims alignment the
+// remainder loops can see.
+func TestDot32KernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for dims := 0; dims <= 40; dims++ {
+		a64 := randRow64(rng, dims)
+		b64 := randRow64(rng, dims)
+		a, b := to32(a64), to32(b64)
+		var want float64
+		for i := range a {
+			want += float64(a[i]) * float64(b[i])
+		}
+		tol := 1e-4 * (1 + math.Abs(want))
+		for _, k := range []struct {
+			name string
+			fn   func(a, b []float32) float32
+		}{
+			{"Dot32", Dot32},
+			{"Dot32x4", Dot32x4},
+			{"Dot32x8", Dot32x8},
+		} {
+			got := float64(k.fn(a, b))
+			if math.Abs(got-want) > tol {
+				t.Errorf("dims=%d %s = %v, want %v (tol %v)", dims, k.name, got, want, tol)
+			}
+		}
+	}
+}
+
+// The dispatched Dot32x8/DotQ8 (SSE2 asm on amd64) must agree with their
+// portable generic implementations for every tail alignment: float32
+// bit-identically is not required (different summation trees), but within
+// float32 rounding; int8 exactly (integer arithmetic has one answer).
+func TestAsmMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for dims := 0; dims <= 70; dims++ {
+		a64 := randRow64(rng, dims)
+		b64 := randRow64(rng, dims)
+		a, b := to32(a64), to32(b64)
+		got := float64(Dot32x8(a, b))
+		want := float64(dot32x8Generic(a, b))
+		if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("dims=%d Dot32x8 = %v, generic = %v", dims, got, want)
+		}
+		qa := make([]int8, dims)
+		qb := make([]int8, dims)
+		for i := range qa {
+			qa[i] = int8(rng.Intn(255) - 127)
+			qb[i] = int8(rng.Intn(255) - 127)
+		}
+		if g, w := DotQ8(qa, qb), dotQ8Generic(qa, qb); g != w {
+			t.Errorf("dims=%d DotQ8 = %d, generic = %d", dims, g, w)
+		}
+	}
+}
+
+// Kernels read len(a) elements: a longer b is fine, a shorter b panics up
+// front instead of letting the asm read out of bounds.
+func TestKernelLengthContract(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	b := []float32{1, 1, 1, 1, 1, 9, 9}
+	if got := Dot32x8(a, b); got != 15 {
+		t.Fatalf("Dot32x8 with longer b = %v, want 15", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot32x8 with short b did not panic")
+		}
+	}()
+	Dot32x8(a, b[:3])
+}
+
+func TestDot64MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for dims := 0; dims <= 17; dims++ {
+		a := randRow64(rng, dims)
+		b := randRow64(rng, dims)
+		var want float64
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		if got := Dot64(a, b); got != want {
+			t.Fatalf("dims=%d Dot64 = %v, want bit-identical %v", dims, got, want)
+		}
+	}
+}
+
+func TestBlockFrom64(t *testing.T) {
+	m := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	b := BlockFrom64(m)
+	if b.Rows() != 2 || b.Dims() != 3 {
+		t.Fatalf("got %dx%d, want 2x3", b.Rows(), b.Dims())
+	}
+	for r := range m {
+		row := b.Row(r)
+		if len(row) != 3 || cap(row) != 3 {
+			t.Fatalf("row %d: len=%d cap=%d, want 3/3", r, len(row), cap(row))
+		}
+		for c, v := range m[r] {
+			if row[c] != float32(v) {
+				t.Fatalf("row %d col %d: got %v want %v", r, c, row[c], v)
+			}
+		}
+	}
+	empty := BlockFrom64(nil)
+	if empty.Rows() != 0 || empty.Dims() != 0 || len(empty.Data()) != 0 {
+		t.Fatalf("empty block not empty: %+v", empty)
+	}
+}
+
+func TestBlockFromData(t *testing.T) {
+	data := []float32{1, 2, 3, 4, 5, 6}
+	b := BlockFromData(3, 2, data)
+	if got := b.Row(2); got[0] != 5 || got[1] != 6 {
+		t.Fatalf("Row(2) = %v, want [5 6]", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BlockFromData with wrong length did not panic")
+		}
+	}()
+	BlockFromData(2, 2, data)
+}
+
+// Quantized dots must recover the float32 reference dot to within the
+// per-element quantization error bound: each code is off by at most half a
+// step (scale/2), so the dot error is bounded by
+// sum_i(|a_i|·sb/2 + |b_i|·sa/2 + sa·sb/4).
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for dims := 1; dims <= 40; dims++ {
+		a64 := randRow64(rng, dims)
+		b64 := randRow64(rng, dims)
+		a, b := to32(a64), to32(b64)
+		qa := Quantize(BlockFromData(1, dims, a))
+		qb := Quantize(BlockFromData(1, dims, b))
+		sa, sb := float64(qa.Scale(0)), float64(qb.Scale(0))
+		got := float64(DotQ8(qa.Row(0), qb.Row(0))) * sa * sb
+		var want, bound float64
+		for i := range a {
+			want += float64(a[i]) * float64(b[i])
+			bound += math.Abs(float64(a[i]))*sb/2 + math.Abs(float64(b[i]))*sa/2 + sa*sb/4
+		}
+		if math.Abs(got-want) > bound+1e-9 {
+			t.Errorf("dims=%d quantized dot %v vs %v exceeds bound %v", dims, got, want, bound)
+		}
+	}
+}
+
+func TestQuantizeRowIntoEdgeCases(t *testing.T) {
+	dst := make([]int8, 4)
+	if s := QuantizeRowInto([]float32{0, 0, 0, 0}, dst); s != 0 {
+		t.Fatalf("all-zero row scale = %v, want 0", s)
+	}
+	for i, q := range dst {
+		if q != 0 {
+			t.Fatalf("all-zero row code[%d] = %d, want 0", i, q)
+		}
+	}
+	inf := float32(math.Inf(1))
+	if s := QuantizeRowInto([]float32{1, inf, -2, 3}, dst); s != 0 {
+		t.Fatalf("non-finite row scale = %v, want 0", s)
+	}
+	// Max-magnitude element quantizes to exactly ±127.
+	s := QuantizeRowInto([]float32{-4, 2, 4, 1}, dst)
+	if s != 4.0/127 {
+		t.Fatalf("scale = %v, want %v", s, 4.0/127)
+	}
+	if dst[0] != -127 || dst[2] != 127 {
+		t.Fatalf("max-magnitude codes = %d/%d, want -127/127", dst[0], dst[2])
+	}
+}
+
+// TestKernelSpeedupGate is the CI kernel regression gate (ISSUE 7 satellite
+// 5): Dot32x8 must beat the scalar float64 baseline by ≥2x on the serving
+// factor width. Skipped under -race (instrumentation distorts the ratio)
+// and -short.
+func TestKernelSpeedupGate(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("kernel ratio gate is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("skipping kernel ratio gate in -short mode")
+	}
+	const dims = 40 // RSVD's serving factor count
+	rng := rand.New(rand.NewSource(11))
+	a64 := randRow64(rng, dims)
+	b64 := randRow64(rng, dims)
+	a, b := to32(a64), to32(b64)
+
+	var sink64 float64
+	base := testing.Benchmark(func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			sink64 += Dot64(a64, b64)
+		}
+	})
+	var sink32 float32
+	fast := testing.Benchmark(func(bb *testing.B) {
+		for i := 0; i < bb.N; i++ {
+			sink32 += Dot32x8(a, b)
+		}
+	})
+	if sink64 == 0 && sink32 == 0 {
+		t.Log("sinks both zero (keeps the loops live)")
+	}
+	ratio := float64(base.NsPerOp()) / float64(fast.NsPerOp())
+	t.Logf("Dot64 %d ns/op, Dot32x8 %d ns/op, speedup %.2fx", base.NsPerOp(), fast.NsPerOp(), ratio)
+	if ratio < 2.0 {
+		t.Fatalf("Dot32x8 speedup %.2fx over scalar float64, want ≥2x", ratio)
+	}
+}
+
+func BenchmarkDotKernels(b *testing.B) {
+	for _, dims := range []int{16, 40, 100} {
+		rng := rand.New(rand.NewSource(13))
+		a64 := randRow64(rng, dims)
+		b64 := randRow64(rng, dims)
+		a32, b32 := to32(a64), to32(b64)
+		qa := Quantize(BlockFromData(1, dims, a32))
+		qb := Quantize(BlockFromData(1, dims, b32))
+		b.Run(fmt.Sprintf("Dot64/dims=%d", dims), func(b *testing.B) {
+			var s float64
+			for i := 0; i < b.N; i++ {
+				s += Dot64(a64, b64)
+			}
+			_ = s
+		})
+		b.Run(fmt.Sprintf("Dot32/dims=%d", dims), func(b *testing.B) {
+			var s float32
+			for i := 0; i < b.N; i++ {
+				s += Dot32(a32, b32)
+			}
+			_ = s
+		})
+		b.Run(fmt.Sprintf("Dot32x4/dims=%d", dims), func(b *testing.B) {
+			var s float32
+			for i := 0; i < b.N; i++ {
+				s += Dot32x4(a32, b32)
+			}
+			_ = s
+		})
+		b.Run(fmt.Sprintf("Dot32x8/dims=%d", dims), func(b *testing.B) {
+			var s float32
+			for i := 0; i < b.N; i++ {
+				s += Dot32x8(a32, b32)
+			}
+			_ = s
+		})
+		b.Run(fmt.Sprintf("DotQ8/dims=%d", dims), func(b *testing.B) {
+			var s int32
+			for i := 0; i < b.N; i++ {
+				s += DotQ8(qa.Row(0), qb.Row(0))
+			}
+			_ = s
+		})
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package linalg
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The kernel speedup ratio gate skips under the race detector: it
+// inflates memory-access costs unevenly, so the measured ratio says nothing
+// about production kernel performance.
+const raceDetectorEnabled = true

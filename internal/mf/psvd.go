@@ -25,6 +25,11 @@ type PSVD struct {
 	numUsers   int
 	singulars  []float64
 	powerIters int
+
+	// precision is the tier the bulk path serves at; fp holds the contiguous
+	// reduced-precision factor blocks when precision is not float64.
+	precision types.ScoringPrecision
+	fp        linalg.FactorPair
 }
 
 // PSVDConfig configures PureSVD training.
@@ -116,9 +121,38 @@ func (m *PSVD) Score(u types.UserID, i types.ItemID) float64 {
 	return s
 }
 
-// ScoreUser implements recommender.BulkScorer: one factor-row lookup, then a
-// dense dot product per candidate.
+// SetPrecision switches the bulk scoring path to the given tier, building
+// the contiguous reduced-precision factor blocks on first use. Pointwise
+// Score always stays float64. Not safe for concurrent use with scoring —
+// call it at assembly/load time, before the model serves.
+func (m *PSVD) SetPrecision(p types.ScoringPrecision) {
+	switch p {
+	case types.PrecisionF32:
+		m.fp.EnsureF32(m.userF, m.itemF)
+	case types.PrecisionInt8:
+		m.fp.EnsureInt8(m.userF, m.itemF)
+	}
+	m.precision = p
+}
+
+// ScoringPrecision implements recommender.PrecisionScorer.
+func (m *PSVD) ScoringPrecision() types.ScoringPrecision { return m.precision }
+
+// ScoreUser implements recommender.BulkScorer: one factor-row lookup, then
+// a dense dot product per candidate. At the default float64 tier the dot
+// uses the same left-to-right summation as Score, so bulk and pointwise
+// scores are bit-identical; at the float32/int8 tiers (SetPrecision) the
+// dots run unrolled kernels over the contiguous factor blocks and match
+// Score only to the tier's documented tolerance (DESIGN.md §12).
 func (m *PSVD) ScoreUser(u types.UserID, items []types.ItemID, out []float64) {
+	if m.precision != types.PrecisionF64 {
+		buf := make([]float32, len(items))
+		m.ScoreUser32(u, items, buf)
+		for k, v := range buf {
+			out[k] = float64(v)
+		}
+		return
+	}
 	if int(u) < 0 || int(u) >= m.numUsers {
 		for k := range items {
 			out[k] = 0
@@ -137,6 +171,53 @@ func (m *PSVD) ScoreUser(u types.UserID, items []types.ItemID, out []float64) {
 			s += pu[f] * qi[f]
 		}
 		out[k] = s
+	}
+}
+
+// ScoreUser32 implements recommender.BulkScorer32; see RSVD.ScoreUser32 for
+// the tier dispatch rules (PSVD has no bias terms, so a score is just the
+// kernel dot, and out-of-range identifiers score zero).
+func (m *PSVD) ScoreUser32(u types.UserID, items []types.ItemID, out []float32) {
+	if int(u) < 0 || int(u) >= m.numUsers {
+		for k := range items {
+			out[k] = 0
+		}
+		return
+	}
+	switch {
+	case m.precision == types.PrecisionInt8 && m.fp.UserQ.Rows() > 0:
+		pu := m.fp.UserQ.Row(int(u))
+		su := m.fp.UserQ.Scale(int(u))
+		for k, i := range items {
+			if int(i) < 0 || int(i) >= m.numItems {
+				out[k] = 0
+				continue
+			}
+			out[k] = float32(linalg.DotQ8(pu, m.fp.ItemQ.Row(int(i)))) * su * m.fp.ItemQ.Scale(int(i))
+		}
+	case m.precision == types.PrecisionF32 && m.fp.UserB.Rows() > 0:
+		pu := m.fp.UserB.Row(int(u))
+		for k, i := range items {
+			if int(i) < 0 || int(i) >= m.numItems {
+				out[k] = 0
+				continue
+			}
+			out[k] = linalg.Dot32x8(pu, m.fp.ItemB.Row(int(i)))
+		}
+	default:
+		pu := m.userF[u]
+		for k, i := range items {
+			if int(i) < 0 || int(i) >= m.numItems {
+				out[k] = 0
+				continue
+			}
+			qi := m.itemF[i]
+			s := 0.0
+			for f := range pu {
+				s += pu[f] * qi[f]
+			}
+			out[k] = float32(s)
+		}
 	}
 }
 

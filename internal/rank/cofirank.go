@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"ganc/internal/dataset"
+	"ganc/internal/linalg"
 	"ganc/internal/types"
 )
 
@@ -98,6 +99,11 @@ type Model struct {
 	itemF [][]float64
 	mean  float64
 	name  string
+
+	// precision is the tier the bulk path serves at; fp holds the contiguous
+	// reduced-precision factor blocks when precision is not float64.
+	precision types.ScoringPrecision
+	fp        linalg.FactorPair
 }
 
 // Train fits the model on the train set.
@@ -205,9 +211,37 @@ func (m *Model) Score(u types.UserID, i types.ItemID) float64 {
 	return s
 }
 
+// SetPrecision switches the bulk scoring path to the given tier, building
+// the contiguous reduced-precision factor blocks on first use. Pointwise
+// Score always stays float64. Not safe for concurrent use with scoring —
+// call it at assembly/load time, before the model serves.
+func (m *Model) SetPrecision(p types.ScoringPrecision) {
+	switch p {
+	case types.PrecisionF32:
+		m.fp.EnsureF32(m.userF, m.itemF)
+	case types.PrecisionInt8:
+		m.fp.EnsureInt8(m.userF, m.itemF)
+	}
+	m.precision = p
+}
+
+// ScoringPrecision implements recommender.PrecisionScorer.
+func (m *Model) ScoringPrecision() types.ScoringPrecision { return m.precision }
+
 // ScoreUser implements recommender.BulkScorer with the user factor row
-// hoisted out of the candidate loop.
+// hoisted out of the candidate loop. At the default float64 tier it is
+// bit-identical to Score; at the float32/int8 tiers (SetPrecision) the dots
+// run unrolled kernels over the contiguous factor blocks and match Score
+// only to the tier's documented tolerance (DESIGN.md §12).
 func (m *Model) ScoreUser(u types.UserID, items []types.ItemID, out []float64) {
+	if m.precision != types.PrecisionF64 {
+		buf := make([]float32, len(items))
+		m.ScoreUser32(u, items, buf)
+		for k, v := range buf {
+			out[k] = float64(v)
+		}
+		return
+	}
 	oob := 0.0
 	if m.cfg.Loss == LossRegression {
 		oob = m.mean
@@ -229,6 +263,53 @@ func (m *Model) ScoreUser(u types.UserID, items []types.ItemID, out []float64) {
 			s += m.mean
 		}
 		out[k] = s
+	}
+}
+
+// ScoreUser32 implements recommender.BulkScorer32; see mf.RSVD.ScoreUser32
+// for the tier dispatch rules. The regression loss adds the train mean, the
+// pairwise loss serves the raw kernel dot.
+func (m *Model) ScoreUser32(u types.UserID, items []types.ItemID, out []float32) {
+	base := 0.0
+	if m.cfg.Loss == LossRegression {
+		base = m.mean
+	}
+	oob := float32(base)
+	if int(u) < 0 || int(u) >= len(m.userF) {
+		for k := range items {
+			out[k] = oob
+		}
+		return
+	}
+	switch {
+	case m.precision == types.PrecisionInt8 && m.fp.UserQ.Rows() > 0:
+		pu := m.fp.UserQ.Row(int(u))
+		su := float64(m.fp.UserQ.Scale(int(u)))
+		for k, i := range items {
+			if int(i) < 0 || int(i) >= len(m.itemF) {
+				out[k] = oob
+				continue
+			}
+			out[k] = float32(base + float64(linalg.DotQ8(pu, m.fp.ItemQ.Row(int(i))))*su*float64(m.fp.ItemQ.Scale(int(i))))
+		}
+	case m.precision == types.PrecisionF32 && m.fp.UserB.Rows() > 0:
+		pu := m.fp.UserB.Row(int(u))
+		for k, i := range items {
+			if int(i) < 0 || int(i) >= len(m.itemF) {
+				out[k] = oob
+				continue
+			}
+			out[k] = float32(base + float64(linalg.Dot32x8(pu, m.fp.ItemB.Row(int(i)))))
+		}
+	default:
+		pu := m.userF[u]
+		for k, i := range items {
+			if int(i) < 0 || int(i) >= len(m.itemF) {
+				out[k] = oob
+				continue
+			}
+			out[k] = float32(base + dot(pu, m.itemF[i]))
+		}
 	}
 }
 

@@ -4,34 +4,49 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"ganc/internal/linalg"
+	"ganc/internal/types"
 )
 
 // Model persistence: trained collaborative-ranking factorizations serialize
 // their factor matrices with encoding/gob behind a version tag, matching the
-// RSVD/PSVD snapshot convention in internal/mf.
+// RSVD/PSVD snapshot convention in internal/mf. Version 2 adds the serving
+// precision tier and the flat float32 factor section; version-1 snapshots
+// still load at the exact float64 default.
 
 // rankSnapshotVersion guards the gob payload layout.
-const rankSnapshotVersion = 1
+const rankSnapshotVersion = 2
 
-// rankSnapshot is the gob-encoded form of a rank.Model.
+// rankSnapshot is the gob-encoded form of a rank.Model. Precision and F32
+// are the version-2 additions; both decode as zero values from version-1
+// payloads.
 type rankSnapshot struct {
-	Version int
-	Config  Config
-	UserF   [][]float64
-	ItemF   [][]float64
-	Mean    float64
-	Name    string
+	Version   int
+	Config    Config
+	UserF     [][]float64
+	ItemF     [][]float64
+	Mean      float64
+	Name      string
+	Precision string
+	F32       linalg.FactorSection
 }
 
 // Save writes the model to w in its versioned gob form.
 func (m *Model) Save(w io.Writer) error {
 	snap := rankSnapshot{
-		Version: rankSnapshotVersion,
-		Config:  m.cfg,
-		UserF:   m.userF,
-		ItemF:   m.itemF,
-		Mean:    m.mean,
-		Name:    m.name,
+		Version:   rankSnapshotVersion,
+		Config:    m.cfg,
+		UserF:     m.userF,
+		ItemF:     m.itemF,
+		Mean:      m.mean,
+		Name:      m.name,
+		Precision: m.precision.String(),
+	}
+	if m.precision != types.PrecisionF64 {
+		if sec := m.fp.F32Section(); sec != nil {
+			snap.F32 = *sec
+		}
 	}
 	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
 		return fmt.Errorf("rank: save model: %w", err)
@@ -45,18 +60,29 @@ func Load(r io.Reader) (*Model, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("rank: load model: %w", err)
 	}
-	if snap.Version != rankSnapshotVersion {
-		return nil, fmt.Errorf("rank: load model: unsupported snapshot version %d (this build reads version %d)",
+	if snap.Version < 1 || snap.Version > rankSnapshotVersion {
+		return nil, fmt.Errorf("rank: load model: unsupported snapshot version %d (this build reads versions 1–%d)",
 			snap.Version, rankSnapshotVersion)
 	}
 	if len(snap.UserF) == 0 || len(snap.ItemF) == 0 {
 		return nil, fmt.Errorf("rank: load model: snapshot has no factors")
 	}
-	return &Model{
+	m := &Model{
 		cfg:   snap.Config,
 		userF: snap.UserF,
 		itemF: snap.ItemF,
 		mean:  snap.Mean,
 		name:  snap.Name,
-	}, nil
+	}
+	p, err := types.ParseScoringPrecision(snap.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("rank: load model: %w", err)
+	}
+	if err := m.fp.RestoreF32Section(&snap.F32, len(snap.UserF), len(snap.ItemF)); err != nil {
+		return nil, fmt.Errorf("rank: load model: %w", err)
+	}
+	if p != types.PrecisionF64 {
+		m.SetPrecision(p)
+	}
+	return m, nil
 }

@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -65,6 +66,46 @@ func BulkScores(s Scorer, u types.UserID, items []types.ItemID, out []float64) {
 	for k, i := range items {
 		out[k] = s.Score(u, i)
 	}
+}
+
+// BulkScorer32 is the reduced-precision companion of BulkScorer: the same
+// batch contract, but scores land in a float32 buffer so the hot path can
+// run the float32/int8 kernel tiers end to end without a float64 conversion
+// pass. Only models whose ScoringPrecision is not PrecisionF64 serve real
+// reduced-precision scores through it; Bulk32For gates on that.
+//
+// Contract: out must have len(out) == len(items); out[k] receives the score
+// of items[k]. Unlike BulkScorer's float64 tier, values are NOT required to
+// be bit-identical to Score — they must agree with it to the active tier's
+// documented tolerance (DESIGN.md §7, §12).
+type BulkScorer32 interface {
+	Scorer
+	// ScoreUser32 fills out[k] with the score of items[k] for user u.
+	ScoreUser32(u types.UserID, items []types.ItemID, out []float32)
+}
+
+// PrecisionScorer is implemented by models whose bulk path can run at a
+// reduced numeric precision (float32 blocks or int8 quantized blocks).
+type PrecisionScorer interface {
+	// ScoringPrecision reports the tier the model's bulk path currently
+	// serves at. Pointwise Score always stays float64.
+	ScoringPrecision() types.ScoringPrecision
+}
+
+// Bulk32For resolves the float32 bulk path of s: non-nil only when s
+// implements BulkScorer32 AND declares a non-f64 scoring precision. At
+// PrecisionF64 the float64 path is authoritative (bit-identical to Score),
+// so the 32-bit path is never selected for it.
+func Bulk32For(s Scorer) (BulkScorer32, bool) {
+	bs, ok := s.(BulkScorer32)
+	if !ok {
+		return nil, false
+	}
+	ps, ok := s.(PrecisionScorer)
+	if !ok || ps.ScoringPrecision() == types.PrecisionF64 {
+		return nil, false
+	}
+	return bs, true
 }
 
 // TopN generates ranked recommendation lists.
@@ -180,6 +221,243 @@ func SelectTopNScored(candidates []types.ItemID, scores []float64, n int) types.
 	return SelectTopNFrom(candidates, n, func(k int, _ types.ItemID) float64 { return scores[k] })
 }
 
+// scored32 is the float32 counterpart of types.ScoredItem, used by the
+// reduced-precision selection path so scores never round-trip through
+// float64.
+type scored32 struct {
+	item  types.ItemID
+	score float32
+}
+
+// less32 orders a min-heap of scored32: smaller score first, and on equal
+// scores the LARGER item first (so the heap minimum is the entry top-N
+// selection should evict, matching scoredHeap.Less).
+func less32(a, b scored32) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.item > b.item
+}
+
+func siftUp32(h []scored32, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less32(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown32(h []scored32, i int) {
+	for {
+		left := 2*i + 1
+		if left >= len(h) {
+			return
+		}
+		least := left
+		if right := left + 1; right < len(h) && less32(h[right], h[left]) {
+			least = right
+		}
+		if !less32(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// SelectTopNScored32 is SelectTopNScored over float32 scores: same
+// replacement rule and the same final ordering (score descending, ties
+// toward the smaller item identifier), on a hand-rolled heap so the float32
+// hot path has no interface boxing. The final ordering uses an insertion
+// sort — n is small, and a sort.Slice closure would be the path's only
+// allocation besides the result.
+func SelectTopNScored32(candidates []types.ItemID, scores []float32, n int) types.TopNSet {
+	if n <= 0 {
+		return nil
+	}
+	h := make([]scored32, 0, n)
+	for k, item := range candidates {
+		s := scores[k]
+		if len(h) < n {
+			h = append(h, scored32{item: item, score: s})
+			siftUp32(h, len(h)-1)
+			continue
+		}
+		min := h[0]
+		if s > min.score || (s == min.score && item < min.item) {
+			h[0] = scored32{item: item, score: s}
+			siftDown32(h, 0)
+		}
+	}
+	sortScored32Desc(h)
+	set := make(types.TopNSet, len(h))
+	for k, si := range h {
+		set[k] = si.item
+	}
+	return set
+}
+
+// sortScored32Desc insertion-sorts by score descending, ties toward the
+// smaller item identifier (the SortScoredDesc order on scored32).
+func sortScored32Desc(h []scored32) {
+	for i := 1; i < len(h); i++ {
+		e := h[i]
+		j := i - 1
+		for j >= 0 && (h[j].score < e.score || (h[j].score == e.score && h[j].item > e.item)) {
+			h[j+1] = h[j]
+			j--
+		}
+		h[j+1] = e
+	}
+}
+
+// TopK32 is a streaming top-k selector over (item, float32 score) pairs with
+// SelectTopNScored32's replacement rule, for hot paths that rank while
+// enumerating instead of materializing a candidate slice first. The zero
+// value is ready after Reset; the heap storage is retained across Resets so
+// a pooled TopK32 never allocates in steady state.
+type TopK32 struct {
+	k int
+	h []scored32
+}
+
+// Reset empties the selector and sets its capacity to k.
+func (t *TopK32) Reset(k int) {
+	t.k = k
+	t.h = t.h[:0]
+}
+
+// Push offers one (item, score) pair.
+func (t *TopK32) Push(item types.ItemID, s float32) {
+	if len(t.h) < t.k {
+		t.h = append(t.h, scored32{item: item, score: s})
+		siftUp32(t.h, len(t.h)-1)
+		return
+	}
+	if t.k <= 0 {
+		return
+	}
+	min := t.h[0]
+	if s > min.score || (s == min.score && item < min.item) {
+		t.h[0] = scored32{item: item, score: s}
+		siftDown32(t.h, 0)
+	}
+}
+
+// AppendTo appends the selected pairs (in unspecified order) to items and
+// scores and returns the extended slices.
+func (t *TopK32) AppendTo(items []types.ItemID, scores []float32) ([]types.ItemID, []float32) {
+	for _, e := range t.h {
+		items = append(items, e.item)
+		scores = append(scores, e.score)
+	}
+	return items, scores
+}
+
+// Threshold returns the current admission threshold: the minimum entry while
+// the selector is full, or a −Inf score while it is not. A candidate
+// (item, s) changes the selection iff s > score, or s == score and
+// item < minItem — the replacement rule — so hot enumeration loops cache the
+// threshold in locals, reject most candidates with two inlined comparisons,
+// and only pay the Push call (refreshing the cached threshold afterwards)
+// for candidates that pass.
+func (t *TopK32) Threshold() (minItem types.ItemID, score float32) {
+	if len(t.h) < t.k {
+		return 0, float32(math.Inf(-1))
+	}
+	return t.h[0].item, t.h[0].score
+}
+
+// less64 orders the TopK64 min-heap: smaller score first, ties with the
+// larger item first (the entry top-N selection should evict), matching
+// scoredHeap.Less.
+func less64(a, b types.ScoredItem) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Item > b.Item
+}
+
+func siftUp64(h []types.ScoredItem, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less64(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown64(h []types.ScoredItem, i int) {
+	for {
+		left := 2*i + 1
+		if left >= len(h) {
+			return
+		}
+		least := left
+		if right := left + 1; right < len(h) && less64(h[right], h[left]) {
+			least = right
+		}
+		if !less64(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// TopK64 is the float64 counterpart of TopK32, with SelectTopNScored's
+// replacement rule.
+type TopK64 struct {
+	k int
+	h []types.ScoredItem
+}
+
+// Reset empties the selector and sets its capacity to k.
+func (t *TopK64) Reset(k int) {
+	t.k = k
+	t.h = t.h[:0]
+}
+
+// Push offers one (item, score) pair.
+func (t *TopK64) Push(item types.ItemID, s float64) {
+	if len(t.h) < t.k {
+		t.h = append(t.h, types.ScoredItem{Item: item, Score: s})
+		siftUp64(t.h, len(t.h)-1)
+		return
+	}
+	if t.k <= 0 {
+		return
+	}
+	min := t.h[0]
+	if s > min.Score || (s == min.Score && item < min.Item) {
+		t.h[0] = types.ScoredItem{Item: item, Score: s}
+		siftDown64(t.h, 0)
+	}
+}
+
+// AppendTo appends the selected pairs (in unspecified order) to items and
+// scores and returns the extended slices.
+func (t *TopK64) AppendTo(items []types.ItemID, scores []float64) ([]types.ItemID, []float64) {
+	for _, e := range t.h {
+		items = append(items, e.Item)
+		scores = append(scores, e.Score)
+	}
+	return items, scores
+}
+
+// Threshold is TopK32.Threshold for the float64 selector.
+func (t *TopK64) Threshold() (minItem types.ItemID, score float64) {
+	if len(t.h) < t.k {
+		return 0, math.Inf(-1)
+	}
+	return t.h[0].Item, t.h[0].Score
+}
+
 // scoreBufPool recycles the per-call score buffers of the candidate ranking
 // path, so concurrent RecommendFrom calls (the serving layer) do not allocate
 // one catalog-sized slice per request.
@@ -189,6 +467,21 @@ func getScoreBuf(n int) *[]float64 {
 	bp := scoreBufPool.Get().(*[]float64)
 	if cap(*bp) < n {
 		*bp = make([]float64, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// scoreBuf32Pool is the float32 score arena pool of the reduced-precision
+// path. Like scoreBufPool it amortizes catalog-sized buffers across
+// concurrent requests; each TopNEngine worker's sequential Get/Put cycle
+// keeps one arena hot per worker without any per-worker bookkeeping.
+var scoreBuf32Pool = sync.Pool{New: func() interface{} { return new([]float32) }}
+
+func getScoreBuf32(n int) *[]float32 {
+	bp := scoreBuf32Pool.Get().(*[]float32)
+	if cap(*bp) < n {
+		*bp = make([]float32, n)
 	}
 	*bp = (*bp)[:n]
 	return bp
@@ -208,9 +501,17 @@ func (s *ScorerTopN) Recommend(u types.UserID, n int, exclude map[types.ItemID]s
 	})
 }
 
-// RecommendFrom implements TopNFrom: the candidates are scored in one
-// BulkScores call into a pooled buffer and the top n selected from it.
+// RecommendFrom implements TopNFrom: the candidates are scored in one bulk
+// call into a pooled arena and the top n selected from it. Models serving a
+// reduced precision tier (Bulk32For) run the float32 arena end to end —
+// scoring kernel through heap selection — with no float64 conversion.
 func (s *ScorerTopN) RecommendFrom(u types.UserID, n int, candidates []types.ItemID) types.TopNSet {
+	if bs32, ok := Bulk32For(s.Scorer); ok {
+		bp := getScoreBuf32(len(candidates))
+		defer scoreBuf32Pool.Put(bp)
+		bs32.ScoreUser32(u, candidates, *bp)
+		return SelectTopNScored32(candidates, *bp, n)
+	}
 	bp := getScoreBuf(len(candidates))
 	defer scoreBufPool.Put(bp)
 	BulkScores(s.Scorer, u, candidates, *bp)
@@ -255,7 +556,7 @@ func (p *Pop) Counts() []int {
 
 // Score implements Scorer; the score is the raw popularity count.
 func (p *Pop) Score(_ types.UserID, i types.ItemID) float64 {
-	if int(i) >= len(p.pop) {
+	if int(i) < 0 || int(i) >= len(p.pop) {
 		return 0
 	}
 	return float64(p.pop[i])
@@ -264,7 +565,7 @@ func (p *Pop) Score(_ types.UserID, i types.ItemID) float64 {
 // ScoreUser implements BulkScorer: a vectorized popularity lookup.
 func (p *Pop) ScoreUser(_ types.UserID, items []types.ItemID, out []float64) {
 	for k, i := range items {
-		if int(i) >= len(p.pop) {
+		if int(i) < 0 || int(i) >= len(p.pop) {
 			out[k] = 0
 			continue
 		}
@@ -284,7 +585,7 @@ func (p *Pop) Recommend(_ types.UserID, n int, exclude map[types.ItemID]struct{}
 // RecommendFrom implements TopNFrom over an explicit candidate slice.
 func (p *Pop) RecommendFrom(_ types.UserID, n int, candidates []types.ItemID) types.TopNSet {
 	return SelectTopNFrom(candidates, n, func(_ int, i types.ItemID) float64 {
-		if int(i) >= len(p.pop) {
+		if int(i) < 0 || int(i) >= len(p.pop) {
 			return 0
 		}
 		return float64(p.pop[i])
@@ -425,7 +726,7 @@ func lambdaOrOne(lambda float64, n int) float64 {
 
 // Score implements Scorer.
 func (a *ItemAvg) Score(_ types.UserID, i types.ItemID) float64 {
-	if int(i) >= len(a.avg) {
+	if int(i) < 0 || int(i) >= len(a.avg) {
 		return 0
 	}
 	return a.avg[i]
@@ -434,7 +735,7 @@ func (a *ItemAvg) Score(_ types.UserID, i types.ItemID) float64 {
 // ScoreUser implements BulkScorer: a vectorized damped-mean lookup.
 func (a *ItemAvg) ScoreUser(_ types.UserID, items []types.ItemID, out []float64) {
 	for k, i := range items {
-		if int(i) >= len(a.avg) {
+		if int(i) < 0 || int(i) >= len(a.avg) {
 			out[k] = 0
 			continue
 		}
@@ -516,6 +817,49 @@ func (n *NormalizedScorer) ScoreUser(u types.UserID, items []types.ItemID, out [
 		}
 		out[k] = v
 	}
+}
+
+// ScoreUser32 implements BulkScorer32 by normalizing the inner model's
+// float32 bulk scores in float32 arithmetic. Only meaningful when the inner
+// model serves a reduced precision tier (see ScoringPrecision); the
+// normalization range itself is the cached float64 pair, truncated.
+func (n *NormalizedScorer) ScoreUser32(u types.UserID, items []types.ItemID, out []float32) {
+	min, span := n.userRange(u)
+	if bs32, ok := Bulk32For(n.inner); ok {
+		bs32.ScoreUser32(u, items, out)
+	} else {
+		bp := getScoreBuf(len(items))
+		BulkScores(n.inner, u, items, *bp)
+		for k, v := range *bp {
+			out[k] = float32(v)
+		}
+		scoreBufPool.Put(bp)
+	}
+	if span == 0 {
+		for k := range out {
+			out[k] = 0
+		}
+		return
+	}
+	min32, inv32 := float32(min), 1/float32(span)
+	for k := range out {
+		v := (out[k] - min32) * inv32
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		out[k] = v
+	}
+}
+
+// ScoringPrecision implements PrecisionScorer by delegating to the wrapped
+// model; wrappers never change the tier, only the scale of the scores.
+func (n *NormalizedScorer) ScoringPrecision() types.ScoringPrecision {
+	if ps, ok := n.inner.(PrecisionScorer); ok {
+		return ps.ScoringPrecision()
+	}
+	return types.PrecisionF64
 }
 
 func (n *NormalizedScorer) userRange(u types.UserID) (min, span float64) {

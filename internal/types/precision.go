@@ -1,0 +1,53 @@
+package types
+
+import "fmt"
+
+// ScoringPrecision selects the numeric tier a model's bulk scoring hot path
+// runs at. The float64 tier is the precision reference: pointwise Score and
+// bulk ScoreUser agree bit-for-bit. The float32 and int8 tiers trade
+// precision for raw speed (contiguous float32 blocks with unrolled kernels,
+// symmetric int8 quantization with per-row scales); their bulk scores agree
+// with the float64 reference only up to documented tolerances (DESIGN.md
+// §12), which is why they are opt-in per pipeline rather than the default.
+type ScoringPrecision uint8
+
+const (
+	// PrecisionF64 is the exact float64 reference path (the default).
+	PrecisionF64 ScoringPrecision = iota
+	// PrecisionF32 scores from contiguous float32 factor blocks through
+	// unrolled 8-wide kernels.
+	PrecisionF32
+	// PrecisionInt8 scores from symmetric int8-quantized factor blocks with
+	// per-row scales (the fastest, least precise tier).
+	PrecisionInt8
+)
+
+// String returns the stable textual form used by flags, snapshots and logs.
+func (p ScoringPrecision) String() string {
+	switch p {
+	case PrecisionF64:
+		return "f64"
+	case PrecisionF32:
+		return "f32"
+	case PrecisionInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("precision(%d)", uint8(p))
+	}
+}
+
+// ParseScoringPrecision parses the textual form produced by String. The
+// empty string maps to PrecisionF64 so zero-valued snapshot fields from
+// pre-precision format versions load as the exact tier.
+func ParseScoringPrecision(s string) (ScoringPrecision, error) {
+	switch s {
+	case "", "f64":
+		return PrecisionF64, nil
+	case "f32":
+		return PrecisionF32, nil
+	case "int8":
+		return PrecisionInt8, nil
+	default:
+		return PrecisionF64, fmt.Errorf("types: unknown scoring precision %q (want f64, f32 or int8)", s)
+	}
+}

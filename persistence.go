@@ -57,6 +57,9 @@ type snapshotMeta struct {
 	Seed         int64
 	PrefModel    string
 	PrefConstant float64
+	// Precision is the serving tier ("f64", "f32", "int8"); snapshots from
+	// before the tiered hot path carry the empty string, which parses as f64.
+	Precision string
 }
 
 // prefsSnapshot is the "prefs" section.
@@ -191,6 +194,7 @@ func (p *Pipeline) snapshotBuilder(seq uint64, avgLambda, prefFill float64) (*pe
 		Seed:         p.cfg.seed,
 		PrefModel:    string(p.prefs.Model),
 		PrefConstant: p.cfg.prefConstant,
+		Precision:    p.cfg.precision.String(),
 	}
 	if err := b.AddGob(sectionMeta, &meta); err != nil {
 		return nil, err
@@ -291,9 +295,17 @@ func LoadEngine(path string) (*Pipeline, error) {
 	}
 	prefs := &Preferences{Model: longtail.Model(prefSnap.Model), Values: prefSnap.Values}
 
+	precision, err := ParseScoringPrecision(meta.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("ganc: snapshot %s: %w", path, err)
+	}
+
 	arec, baseScorer, err := loadBase(snap, meta, train)
 	if err != nil {
 		return nil, err
+	}
+	if baseScorer != nil && precision != PrecisionF64 {
+		applyScoringPrecision(baseScorer, precision)
 	}
 
 	var covSnap coverageSnapshot
@@ -322,6 +334,7 @@ func LoadEngine(path string) (*Pipeline, error) {
 		SampleSize: meta.SampleSize,
 		Seed:       meta.Seed,
 		Workers:    meta.Workers,
+		Precision:  precision,
 	})
 	if err != nil {
 		return nil, err
@@ -340,6 +353,7 @@ func LoadEngine(path string) (*Pipeline, error) {
 			sampleSize:   meta.SampleSize,
 			workers:      meta.Workers,
 			seed:         meta.Seed,
+			precision:    precision,
 		},
 		arec:       arec,
 		baseScorer: baseScorer,

@@ -66,6 +66,7 @@ type pipelineConfig struct {
 	sampleSize   int
 	workers      int
 	seed         int64
+	precision    ScoringPrecision
 }
 
 // PipelineOption customizes a Pipeline at construction time.
@@ -142,6 +143,18 @@ func WithWorkers(w int) PipelineOption {
 // and any randomized component (default 1).
 func WithSeed(seed int64) PipelineOption {
 	return func(c *pipelineConfig) { c.seed = seed }
+}
+
+// WithScoringPrecision selects the arithmetic tier of the pipeline's bulk
+// scoring hot path (default PrecisionF64, exact). PrecisionF32 and
+// PrecisionInt8 switch the base model's candidate sweeps onto contiguous
+// reduced-precision factor blocks and the optimizer's gain loop onto a
+// float32 arena; top-N output then matches the exact pipeline only to the
+// tolerances documented in DESIGN.md §12. Base models without a tiered path
+// (Pop, ItemKNN, custom scorers) keep scoring in float64; the optimizer
+// still uses the float32 selection arena where the accuracy side allows it.
+func WithScoringPrecision(p ScoringPrecision) PipelineOption {
+	return func(c *pipelineConfig) { c.precision = p }
 }
 
 // CoverageSpec is a deferred coverage-recommender constructor: the pipeline
@@ -242,6 +255,12 @@ func NewPipeline(train *Dataset, opts ...PipelineOption) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Only push a non-default tier down: a base scorer whose precision was
+	// set directly (SetPrecision before WithBase) keeps its tier when the
+	// pipeline option is left at the default.
+	if baseScorer != nil && cfg.precision != PrecisionF64 {
+		applyScoringPrecision(baseScorer, cfg.precision)
+	}
 
 	prefs := cfg.prefVector
 	if prefs == nil {
@@ -257,6 +276,7 @@ func NewPipeline(train *Dataset, opts ...PipelineOption) (*Pipeline, error) {
 		SampleSize: cfg.sampleSize,
 		Seed:       cfg.seed,
 		Workers:    cfg.workers,
+		Precision:  cfg.precision,
 	})
 	if err != nil {
 		return nil, err

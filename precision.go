@@ -1,0 +1,52 @@
+package ganc
+
+import (
+	"ganc/internal/recommender"
+	"ganc/internal/types"
+)
+
+// ScoringPrecision selects the arithmetic tier of a pipeline's bulk scoring
+// hot path (see DESIGN.md §12). Pointwise Score calls always stay float64;
+// the tier only governs the candidate-sweep kernels.
+type ScoringPrecision = types.ScoringPrecision
+
+// Scoring precision tiers.
+const (
+	// PrecisionF64 is the default exact tier: bulk scores are bit-identical
+	// to pointwise Score.
+	PrecisionF64 = types.PrecisionF64
+	// PrecisionF32 serves bulk scores from contiguous float32 factor blocks
+	// through unrolled SIMD-friendly kernels; scores match the float64
+	// reference to the documented tolerance.
+	PrecisionF32 = types.PrecisionF32
+	// PrecisionInt8 serves bulk scores from symmetrically quantized int8
+	// factor blocks with per-row scales; the cheapest and least precise tier.
+	PrecisionInt8 = types.PrecisionInt8
+)
+
+// ParseScoringPrecision resolves the CLI/config spellings "f64", "f32" and
+// "int8" (the empty string means f64, so older snapshots and configs keep
+// loading).
+func ParseScoringPrecision(s string) (ScoringPrecision, error) {
+	return types.ParseScoringPrecision(s)
+}
+
+// BulkScorer32 is the reduced-precision bulk scoring interface the float32
+// and int8 tiers serve through (re-exported for custom scorer authors; see
+// DESIGN.md §7 for the contract).
+type BulkScorer32 = recommender.BulkScorer32
+
+// precisionSetter is implemented by the base models whose bulk path can be
+// switched to a reduced-precision tier (RSVD, PSVD, CofiModel).
+type precisionSetter interface {
+	SetPrecision(types.ScoringPrecision)
+}
+
+// applyScoringPrecision switches scorer's serving tier when it supports
+// tiered scoring; scorers without a reduced-precision path (Pop, ItemKNN,
+// custom scorers) are left untouched and keep serving exact float64.
+func applyScoringPrecision(scorer Scorer, p ScoringPrecision) {
+	if ps, ok := scorer.(precisionSetter); ok {
+		ps.SetPrecision(p)
+	}
+}

@@ -1,15 +1,18 @@
 package ganc
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"ganc/internal/admit"
 	"ganc/internal/cluster"
+	"ganc/internal/ingest"
 	"ganc/internal/obs"
 	"ganc/internal/serve"
 )
@@ -43,6 +46,23 @@ type (
 	// ShardAdmissionStatus is one shard's admission row in the router's
 	// aggregated /health: shed counts and limiter saturation.
 	ShardAdmissionStatus = cluster.ShardAdmission
+	// ReplicaHealthStatus is one replica's liveness/lag row in the router's
+	// aggregated /health.
+	ReplicaHealthStatus = cluster.ReplicaHealth
+	// ReplicationStatus is a node's replication role and cursor/lag report,
+	// exposed through /health and the ganc_replication_* metric series.
+	ReplicationStatus = serve.ReplicationStatus
+	// ReplicaApplier is the replica-side replication endpoint: it applies
+	// the primary's committed batches behind POST /replicate, sequenced by
+	// the shard's write-ahead-log cursor (cmd/gancd's replica role mounts
+	// one; NewCluster wires them automatically).
+	ReplicaApplier = cluster.ReplicaApplier
+	// Shipper is the primary-side replication half: it ships every committed
+	// batch (via WithCommitHook) to the shard's replicas and catches
+	// stragglers up from the write-ahead log.
+	Shipper = cluster.Shipper
+	// ShipperConfig configures NewShipper.
+	ShipperConfig = cluster.ShipperConfig
 )
 
 // Cluster error sentinels re-exported from internal/cluster.
@@ -52,6 +72,13 @@ var (
 	// ErrBadPeerList marks a malformed -peers value.
 	ErrBadPeerList = cluster.ErrBadPeers
 )
+
+// ErrReplicaRejoin marks a rejoin attempt whose shard snapshot is ahead of
+// the node's own write-ahead log: replaying would assign file sequence
+// numbers that disagree with the cluster's global cursor, silently forking
+// the shard's history. The node needs a fresh WAL-complete snapshot instead
+// (operationally: re-split the shard).
+var ErrReplicaRejoin = errors.New("ganc: shard snapshot is ahead of the rejoining node's write-ahead log")
 
 // NewRing builds a consistent-hash ring (epoch, default virtual-node count)
 // over the given shards.
@@ -63,15 +90,33 @@ func NewRing(epoch uint64, shards []ShardInfo) (*Ring, error) {
 // descriptors with positional IDs.
 func ParsePeers(list string) ([]ShardInfo, error) { return cluster.ParsePeers(list) }
 
+// ParsePeerTopology parses a replica-aware peer list: each comma-separated
+// entry is "primary" or "primary+replica1+replica2".
+func ParsePeerTopology(list string) ([]ShardInfo, error) { return cluster.ParsePeerTopology(list) }
+
 // NewRouter builds a scatter-gather router over a ring whose shards carry
 // addresses.
 func NewRouter(cfg RouterConfig) (*Router, error) { return cluster.NewRouter(cfg) }
+
+// NewReplicaApplier builds the replica-side applier for one shard at a ring
+// epoch, applying replicated batches into the node's ingestor. Mount its
+// Handler at POST /replicate next to the node's serving surface.
+func NewReplicaApplier(shard int, epoch uint64, ing *Ingestor) *ReplicaApplier {
+	return cluster.NewReplicaApplier(shard, epoch, ing)
+}
+
+// NewShipper builds the primary-side replication shipper. Wire its Commit
+// method into the shard's ingestor with WithCommitHook, and call Resync
+// after write-ahead-log recovery so it adopts each replica's true cursor.
+func NewShipper(cfg ShipperConfig) *Shipper { return cluster.NewShipper(cfg) }
 
 // ClusterOption customizes a Cluster at construction time.
 type ClusterOption func(*clusterConfig)
 
 type clusterConfig struct {
 	shards          int
+	replicas        int
+	maxReplicaLag   int64
 	routerAddr      string
 	dir             string
 	cacheCap        int
@@ -87,6 +132,22 @@ type clusterConfig struct {
 // WithShards sets the shard count (default 3).
 func WithShards(n int) ClusterOption {
 	return func(c *clusterConfig) { c.shards = n }
+}
+
+// WithReplicas attaches n warm replicas to every shard (default 0). Each
+// replica boots from the shard's snapshot, applies the primary's committed
+// batches over /replicate, and serves reads when the router fails over; it
+// never accepts client writes. Promotion (see Promote) turns the freshest
+// replica into the shard's primary after a kill.
+func WithReplicas(n int) ClusterOption {
+	return func(c *clusterConfig) { c.replicas = n }
+}
+
+// WithMaxReplicaLag bounds read failover staleness: a replica lagging more
+// than lag committed events behind its primary is never chosen as a read
+// target (default cluster.DefaultMaxReplicaLag; negative disables failover).
+func WithMaxReplicaLag(lag int64) ClusterOption {
+	return func(c *clusterConfig) { c.maxReplicaLag = lag }
 }
 
 // WithRouterAddr makes the cluster listen for router traffic on addr (e.g.
@@ -159,19 +220,74 @@ func WithShardAdmission(cfg AdmissionConfig) ClusterOption {
 	return func(c *clusterConfig) { cc := cfg; c.shardAdmit = &cc }
 }
 
-// clusterShard is one in-process shard: its restored pipeline, server,
-// ingestor and HTTP listener. A killed shard keeps its paths and address
-// (nil runtime fields) so RestartShard can bring it back.
+// commitRelay is the indirection between an ingestor's commit hook (fixed at
+// construction) and the shipper that consumes it (replaced on promotion): the
+// hook calls through an atomic pointer, so a replica's ingestor can start
+// shipping the moment the node is promoted, without rebuilding the ingestor.
+type commitRelay struct {
+	fn atomic.Pointer[func(firstSeq uint64, events []IngestEvent)]
+}
+
+// set installs (or, with nil, removes) the relay's target.
+func (r *commitRelay) set(fn func(firstSeq uint64, events []IngestEvent)) {
+	if fn == nil {
+		r.fn.Store(nil)
+		return
+	}
+	r.fn.Store(&fn)
+}
+
+// invoke forwards a committed batch to the current target, if any.
+func (r *commitRelay) invoke(firstSeq uint64, events []IngestEvent) {
+	if f := r.fn.Load(); f != nil {
+		(*f)(firstSeq, events)
+	}
+}
+
+// replicaNode is one warm replica of a shard: the same restored pipeline,
+// server and ingestor as a primary, plus the /replicate applier — but no
+// client write path (WithoutIngestSink) and no automatic checkpoints. A dead
+// node (nil pipe) keeps its address and write-ahead log so RejoinAsReplica
+// can bring it back.
+type replicaNode struct {
+	addr    string
+	walPath string
+
+	pipe    *Pipeline
+	srv     *Server
+	ing     *Ingestor
+	hs      *http.Server
+	applier *cluster.ReplicaApplier
+	relay   *commitRelay
+}
+
+// clusterShard is one in-process shard: its current primary's restored
+// pipeline, server, ingestor and HTTP listener, plus its replica set and the
+// replication shipper. A killed primary keeps its paths and address (nil
+// runtime fields) so RestartShard — or Promote — can recover the shard.
 type clusterShard struct {
 	id       int
 	addr     string
 	snapPath string
 	walPath  string
 
-	pipe *Pipeline
-	srv  *Server
-	ing  *Ingestor
-	hs   *http.Server
+	pipe  *Pipeline
+	srv   *Server
+	ing   *Ingestor
+	hs    *http.Server
+	relay *commitRelay
+
+	replicas []*replicaNode
+	shipper  *cluster.Shipper
+}
+
+// replicaAddrs lists the shard's current replica addresses.
+func (sh *clusterShard) replicaAddrs() []string {
+	addrs := make([]string, len(sh.replicas))
+	for i, rep := range sh.replicas {
+		addrs[i] = rep.addr
+	}
+	return addrs
 }
 
 // Cluster is an in-process sharded serving tier: N shard servers behind a
@@ -206,6 +322,9 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 	if cfg.shards <= 0 {
 		return nil, fmt.Errorf("ganc: cluster needs a positive shard count, got %d", cfg.shards)
 	}
+	if cfg.replicas < 0 {
+		return nil, fmt.Errorf("ganc: cluster needs a non-negative replica count, got %d", cfg.replicas)
+	}
 	c := &Cluster{cfg: cfg, topN: p.TopN()}
 	if cfg.dir == "" {
 		dir, err := os.MkdirTemp("", "ganc-cluster-*")
@@ -221,29 +340,53 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 		return nil, err
 	}
 
-	// Bind every shard listener first: the ring must carry final addresses.
+	// Bind every listener first — primaries and replicas alike — so the ring
+	// carries final addresses.
 	infos := make([]ShardInfo, cfg.shards)
 	listeners := make([]net.Listener, cfg.shards)
+	replicaLns := make([][]net.Listener, cfg.shards)
+	var bound []net.Listener
+	closeBound := func() {
+		for _, l := range bound {
+			l.Close()
+		}
+	}
 	for i := 0; i < cfg.shards; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			for _, l := range listeners[:i] {
-				l.Close()
-			}
+			closeBound()
 			return fail(fmt.Errorf("ganc: shard %d listener: %w", i, err))
 		}
+		bound = append(bound, ln)
 		listeners[i] = ln
 		infos[i] = ShardInfo{ID: i, Addr: ln.Addr().String()}
+		for r := 0; r < cfg.replicas; r++ {
+			rln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				closeBound()
+				return fail(fmt.Errorf("ganc: shard %d replica %d listener: %w", i, r, err))
+			}
+			bound = append(bound, rln)
+			replicaLns[i] = append(replicaLns[i], rln)
+			infos[i].Replicas = append(infos[i].Replicas, rln.Addr().String())
+		}
 	}
 	ring, err := cluster.NewRing(cfg.epoch, 0, infos)
 	if err != nil {
-		for _, l := range listeners {
-			l.Close()
-		}
+		closeBound()
 		return fail(err)
 	}
 	c.ring = ring
 
+	// Boot order per shard: replicas first, then the primary. A failed boot
+	// closes its own listener; closeRest releases every listener a failed
+	// construction never reached (Close, via fail, tears down booted nodes).
+	type pendingBoot struct {
+		ln   net.Listener
+		boot func() error
+		desc string
+	}
+	var boots []pendingBoot
 	c.shards = make([]*clusterShard, cfg.shards)
 	for i := 0; i < cfg.shards; i++ {
 		sh := &clusterShard{
@@ -252,27 +395,44 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 			snapPath: filepath.Join(c.cfg.dir, fmt.Sprintf("shard-%03d.snap", i)),
 			walPath:  filepath.Join(c.cfg.dir, fmt.Sprintf("shard-%03d.wal", i)),
 		}
+		for r := 0; r < cfg.replicas; r++ {
+			sh.replicas = append(sh.replicas, &replicaNode{
+				addr:    infos[i].Replicas[r],
+				walPath: filepath.Join(c.cfg.dir, fmt.Sprintf("shard-%03d-replica-%d.wal", i, r)),
+			})
+		}
 		c.shards[i] = sh
 		if err := p.SaveShard(sh.snapPath, ShardIdentity{ShardID: i, NumShards: cfg.shards, RingEpoch: cfg.epoch}); err != nil {
-			for _, l := range listeners[i:] {
-				l.Close()
-			}
+			closeBound()
 			return fail(fmt.Errorf("ganc: shard-splitting snapshot for shard %d: %w", i, err))
 		}
-		if err := c.bootShard(sh, listeners[i]); err != nil {
-			for _, l := range listeners[i+1:] {
-				l.Close()
+		sh, i := sh, i
+		for r, rep := range sh.replicas {
+			rep, r := rep, r
+			boots = append(boots, pendingBoot{ln: replicaLns[i][r],
+				boot: func() error { return c.bootReplica(sh, rep, replicaLns[i][r]) },
+				desc: fmt.Sprintf("shard %d replica %d", i, r)})
+		}
+		boots = append(boots, pendingBoot{ln: listeners[i],
+			boot: func() error { return c.bootShard(sh, listeners[i]) },
+			desc: fmt.Sprintf("shard %d", i)})
+	}
+	for k, b := range boots {
+		if err := b.boot(); err != nil {
+			for _, rest := range boots[k+1:] {
+				rest.ln.Close()
 			}
-			return fail(fmt.Errorf("ganc: booting shard %d: %w", i, err))
+			return fail(fmt.Errorf("ganc: booting %s: %w", b.desc, err))
 		}
 	}
 
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
-		Ring:       ring,
-		Retries:    cfg.retries,
-		Metrics:    c.cfg.metrics,
-		RequestLog: c.cfg.reqLog,
-		Admission:  admit.New(c.cfg.routerAdmit),
+		Ring:          ring,
+		Retries:       cfg.retries,
+		Metrics:       c.cfg.metrics,
+		RequestLog:    c.cfg.reqLog,
+		Admission:     admit.New(c.cfg.routerAdmit),
+		MaxReplicaLag: cfg.maxReplicaLag,
 	})
 	if err != nil {
 		return fail(err)
@@ -291,19 +451,27 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 	return c, nil
 }
 
-// bootShard restores a shard from its snapshot, verifies the identity,
-// attaches ingestion and starts serving on the listener.
-func (c *Cluster) bootShard(sh *clusterShard, ln net.Listener) error {
+// loadShardNode restores a shard-scoped snapshot and validates its identity
+// against the cluster. The snapshot's ring epoch may be older than the
+// cluster's current epoch — promotion bumps the epoch without rewriting
+// checkpoints — so the returned identity is stamped up to the current epoch
+// before it reaches a server.
+func (c *Cluster) loadShardNode(sh *clusterShard) (*Pipeline, ShardIdentity, error) {
 	pipe, id, err := LoadShardEngine(sh.snapPath)
 	if err != nil {
-		ln.Close()
-		return err
+		return nil, ShardIdentity{}, err
 	}
-	if id.ShardID != sh.id || id.NumShards != c.cfg.shards || id.RingEpoch != c.cfg.epoch {
-		ln.Close()
-		return fmt.Errorf("snapshot %s identifies as shard %d/%d epoch %d, want %d/%d epoch %d",
+	if id.ShardID != sh.id || id.NumShards != c.cfg.shards || id.RingEpoch > c.cfg.epoch {
+		return nil, ShardIdentity{}, fmt.Errorf("snapshot %s identifies as shard %d/%d epoch %d, want %d/%d epoch ≤ %d",
 			sh.snapPath, id.ShardID, id.NumShards, id.RingEpoch, sh.id, c.cfg.shards, c.cfg.epoch)
 	}
+	id.RingEpoch = c.cfg.epoch
+	return pipe, id, nil
+}
+
+// newShardServer builds the HTTP server for a shard node (primary and
+// replica alike) with the cluster's shared serving options.
+func (c *Cluster) newShardServer(pipe *Pipeline, id ShardIdentity) (*Server, error) {
 	opts := []ServerOption{WithServerShardIdentity(id)}
 	if c.cfg.cacheCap > 0 {
 		opts = append(opts, WithServerCacheCapacity(c.cfg.cacheCap))
@@ -314,23 +482,95 @@ func (c *Cluster) bootShard(sh *clusterShard, ln net.Listener) error {
 	if c.cfg.shardAdmit != nil {
 		opts = append(opts, serve.WithAdmission(admit.New(*c.cfg.shardAdmit)))
 	}
-	srv, err := NewServer(pipe.Train(), pipe, c.topN, opts...)
+	return NewServer(pipe.Train(), pipe, c.topN, opts...)
+}
+
+// bootShard restores a shard's primary from its snapshot, verifies the
+// identity, attaches ingestion (and, when the shard has replicas, the
+// replication shipper behind the commit hook) and starts serving on the
+// listener.
+func (c *Cluster) bootShard(sh *clusterShard, ln net.Listener) error {
+	pipe, id, err := c.loadShardNode(sh)
 	if err != nil {
 		ln.Close()
 		return err
 	}
+	srv, err := c.newShardServer(pipe, id)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	relay := &commitRelay{}
 	ingOpts := []IngestorOption{
 		WithIngestLog(sh.walPath),
 		WithIngestCheckpoint(sh.snapPath, c.cfg.checkpointEvery),
+		WithCommitHook(relay.invoke),
 	}
 	ing, err := NewIngestor(srv, pipe, ingOpts...)
 	if err != nil {
 		ln.Close()
 		return err
 	}
-	sh.pipe, sh.srv, sh.ing = pipe, srv, ing
+	sh.pipe, sh.srv, sh.ing, sh.relay = pipe, srv, ing, relay
+	if len(sh.replicas) > 0 {
+		sh.shipper = cluster.NewShipper(cluster.ShipperConfig{
+			Shard:    sh.id,
+			Epoch:    c.cfg.epoch,
+			WALPath:  sh.walPath,
+			Replicas: sh.replicaAddrs(),
+			StartSeq: pipe.ingestSeq,
+		})
+		relay.set(sh.shipper.Commit)
+		srv.SetReplicationProbe(sh.shipper.Status)
+		// The shipper assumes every replica sits at the snapshot cursor; a
+		// restarted primary's replicas are typically ahead (they kept applying
+		// while it was down — or were never behind). One heartbeat round
+		// adopts their true cursors before any commit ships.
+		sh.shipper.Resync()
+	}
 	sh.hs = &http.Server{Handler: srv.Handler()}
 	go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(sh.hs, ln)
+	return nil
+}
+
+// bootReplica restores one replica from the shard's snapshot and starts it:
+// the same serving stack as a primary, minus the client write path
+// (WithoutIngestSink) and automatic checkpoints, plus the /replicate applier
+// mounted in front of the serving routes. The caller is responsible for
+// calling rep.ing.Recover() when the node's own write-ahead log may hold a
+// suffix (the rejoin path).
+func (c *Cluster) bootReplica(sh *clusterShard, rep *replicaNode, ln net.Listener) error {
+	pipe, id, err := c.loadShardNode(sh)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	srv, err := c.newShardServer(pipe, id)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	relay := &commitRelay{}
+	ing, err := NewIngestor(srv, pipe,
+		WithIngestLog(rep.walPath),
+		// Manual-only checkpoint capability (every=0): replicas never
+		// checkpoint on their own — two nodes writing one snapshot file would
+		// race — but a promoted ex-replica must be able to.
+		WithIngestCheckpoint(sh.snapPath, 0),
+		WithCommitHook(relay.invoke),
+		WithoutIngestSink())
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	applier := cluster.NewReplicaApplier(sh.id, c.cfg.epoch, ing)
+	srv.SetReplicationProbe(applier.Status)
+	mux := http.NewServeMux()
+	mux.Handle("/replicate", applier.Handler())
+	mux.Handle("/", srv.Handler())
+	rep.pipe, rep.srv, rep.ing, rep.applier, rep.relay = pipe, srv, ing, applier, relay
+	rep.hs = &http.Server{Handler: mux}
+	go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(rep.hs, ln)
 	return nil
 }
 
@@ -374,10 +614,11 @@ func (c *Cluster) shardByIndex(i int) (*clusterShard, error) {
 	return c.shards[i], nil
 }
 
-// KillShard crashes shard i: its listener and connections close, in-memory
-// state drops, the write-ahead-log handle is released. Durable files (the
-// shard snapshot and WAL) survive for RestartShard. Requests routed to the
-// dead shard fail with the router's typed 503 until the restart.
+// KillShard crashes shard i's primary: its listener and connections close,
+// in-memory state drops, the write-ahead-log handle is released. Durable
+// files (the shard snapshot and WAL) survive for RestartShard; replicas keep
+// serving, so reads fail over while writes get the router's typed 503 until
+// a restart or a promotion.
 func (c *Cluster) KillShard(i int) error {
 	sh, err := c.shardByIndex(i)
 	if err != nil {
@@ -385,6 +626,11 @@ func (c *Cluster) KillShard(i int) error {
 	}
 	if sh.pipe == nil {
 		return fmt.Errorf("ganc: shard %d is already dead", i)
+	}
+	if sh.shipper != nil {
+		sh.relay.set(nil)
+		sh.shipper.Close()
+		sh.shipper = nil
 	}
 	var closeErr error
 	if sh.hs != nil {
@@ -395,7 +641,26 @@ func (c *Cluster) KillShard(i int) error {
 			closeErr = err
 		}
 	}
-	sh.pipe, sh.srv, sh.ing, sh.hs = nil, nil, nil, nil
+	sh.pipe, sh.srv, sh.ing, sh.hs, sh.relay = nil, nil, nil, nil, nil
+	return closeErr
+}
+
+// killReplica crashes one replica node (used by Close; a chaos drill kills
+// primaries, not replicas).
+func (c *Cluster) killReplica(rep *replicaNode) error {
+	if rep.pipe == nil {
+		return nil
+	}
+	var closeErr error
+	if rep.hs != nil {
+		closeErr = rep.hs.Close()
+	}
+	if rep.ing != nil {
+		if err := rep.ing.Close(); err != nil && closeErr == nil {
+			closeErr = err
+		}
+	}
+	rep.pipe, rep.srv, rep.ing, rep.hs, rep.applier, rep.relay = nil, nil, nil, nil, nil, nil
 	return closeErr
 }
 
@@ -423,6 +688,182 @@ func (c *Cluster) RestartShard(i int) (replayed int, err error) {
 	return sh.ing.Recover()
 }
 
+// Promote turns shard i's freshest live replica into its primary after a
+// kill: the ring epoch bumps, the promoted node gains the client write path
+// and a shipper over the remaining replica set (including the dead old
+// primary's address, so a later RejoinAsReplica needs no further ring
+// change), every surviving node adopts the new epoch, and the router is
+// re-pointed at the new shard map. Returns the new epoch.
+func (c *Cluster) Promote(i int) (uint64, error) {
+	sh, err := c.shardByIndex(i)
+	if err != nil {
+		return 0, err
+	}
+	if sh.pipe != nil {
+		return 0, fmt.Errorf("ganc: shard %d still has a live primary (kill it first)", i)
+	}
+	// Freshest live replica: the one with the highest applied cursor — any
+	// other choice would discard committed events it has already applied.
+	best := -1
+	var bestSeq uint64
+	for k, rep := range sh.replicas {
+		if rep.pipe == nil {
+			continue
+		}
+		if seq := rep.ing.Seq(); best < 0 || seq > bestSeq {
+			best, bestSeq = k, seq
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("ganc: shard %d has no live replica to promote", i)
+	}
+	promoted := sh.replicas[best]
+	c.cfg.epoch++
+	epoch := c.cfg.epoch
+
+	// Swap roles: the promoted node's runtime becomes the shard's primary;
+	// the dead old primary keeps its address and WAL as a dead replica slot
+	// for RejoinAsReplica.
+	oldPrimary := &replicaNode{addr: sh.addr, walPath: sh.walPath}
+	sh.replicas[best] = oldPrimary
+	sh.addr, sh.walPath = promoted.addr, promoted.walPath
+	sh.pipe, sh.srv, sh.ing, sh.hs, sh.relay = promoted.pipe, promoted.srv, promoted.ing, promoted.hs, promoted.relay
+
+	// The promoted node starts accepting client writes and shipping commits;
+	// its applier stays mounted but moves to the new epoch, so a stale
+	// shipper from the demoted primary is refused with replicate_epoch.
+	sh.srv.SetIngestSink(sh.ing)
+	promoted.applier.SetEpoch(epoch)
+	sh.shipper = cluster.NewShipper(cluster.ShipperConfig{
+		Shard:    sh.id,
+		Epoch:    epoch,
+		WALPath:  sh.walPath,
+		Replicas: sh.replicaAddrs(),
+		StartSeq: bestSeq,
+	})
+	sh.relay.set(sh.shipper.Commit)
+	sh.srv.SetReplicationProbe(sh.shipper.Status)
+	sh.shipper.Resync()
+
+	// Every surviving node adopts the new epoch, and every live server's
+	// identity is restamped so the router's /info epoch cross-check holds.
+	for _, other := range c.shards {
+		for _, rep := range other.replicas {
+			if rep.applier != nil {
+				rep.applier.SetEpoch(epoch)
+			}
+			if rep.srv != nil {
+				rep.srv.SetShardIdentity(ShardIdentity{ShardID: other.id, NumShards: c.cfg.shards, RingEpoch: epoch})
+			}
+		}
+		if other.shipper != nil {
+			other.shipper.SetEpoch(epoch)
+		}
+		if other.srv != nil {
+			other.srv.SetShardIdentity(ShardIdentity{ShardID: other.id, NumShards: c.cfg.shards, RingEpoch: epoch})
+		}
+	}
+
+	// Re-point the map: same shard IDs (ownership is untouched), new
+	// primary address for shard i, new epoch.
+	infos := make([]ShardInfo, len(c.shards))
+	for k, other := range c.shards {
+		infos[k] = ShardInfo{ID: other.id, Addr: other.addr, Replicas: other.replicaAddrs()}
+	}
+	ring, err := cluster.NewRing(epoch, 0, infos)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.router.UpdateRing(ring); err != nil {
+		return 0, err
+	}
+	c.ring = ring
+	return epoch, nil
+}
+
+// RejoinAsReplica boots shard i's dead replica slot — after a promotion,
+// the demoted old primary — back as a replica: restored from the shard
+// snapshot, its own write-ahead-log suffix replayed, and re-announced to the
+// new primary's shipper, which catches it up to the committed head. Returns
+// how many events the local replay recovered.
+func (c *Cluster) RejoinAsReplica(i int) (replayed int, err error) {
+	sh, err := c.shardByIndex(i)
+	if err != nil {
+		return 0, err
+	}
+	if sh.pipe == nil {
+		return 0, fmt.Errorf("ganc: shard %d has no live primary to rejoin under", i)
+	}
+	var dead *replicaNode
+	for _, rep := range sh.replicas {
+		if rep.pipe == nil {
+			dead = rep
+			break
+		}
+	}
+	if dead == nil {
+		return 0, fmt.Errorf("ganc: shard %d has no dead replica slot to rejoin", i)
+	}
+	// The WAL-sequence invariant: record n of a node's log must be global
+	// event n. A snapshot checkpointed past this node's own log would replay
+	// onto the wrong cursor, so it is refused with a typed error.
+	records, err := countWALRecords(dead.walPath)
+	if err != nil {
+		return 0, fmt.Errorf("ganc: inspecting rejoin write-ahead log: %w", err)
+	}
+	snapSeq, err := shardSnapshotCursor(sh.snapPath)
+	if err != nil {
+		return 0, err
+	}
+	if snapSeq > records {
+		return 0, fmt.Errorf("%w: snapshot cursor %d, log has %d records (%s)",
+			ErrReplicaRejoin, snapSeq, records, dead.walPath)
+	}
+	ln, err := net.Listen("tcp", dead.addr)
+	if err != nil {
+		return 0, fmt.Errorf("ganc: rebinding replica on %s: %w", dead.addr, err)
+	}
+	if err := c.bootReplica(sh, dead, ln); err != nil {
+		return 0, err
+	}
+	replayed, err = dead.ing.Recover()
+	if err != nil {
+		return replayed, err
+	}
+	// Tell the primary's shipper where the rejoined node actually is; its
+	// catch-up loop re-feeds the rest from the primary's WAL.
+	if sh.shipper != nil {
+		sh.shipper.Resync()
+	}
+	return replayed, nil
+}
+
+// countWALRecords counts the committed records in a write-ahead log (0 for a
+// missing file).
+func countWALRecords(path string) (uint64, error) {
+	var n uint64
+	err := ingest.ReplayLog(path, 0, func(seq uint64, _ IngestEvent) error {
+		n = seq
+		return nil
+	})
+	if err != nil {
+		if os.IsNotExist(err) || errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return n, nil
+}
+
+// shardSnapshotCursor reads the ingestion cursor out of a shard snapshot.
+func shardSnapshotCursor(path string) (uint64, error) {
+	pipe, _, err := LoadShardEngine(path)
+	if err != nil {
+		return 0, err
+	}
+	return pipe.ingestSeq, nil
+}
+
 // SaveShards checkpoints every live shard's current state into its shard
 // snapshot (the same files RestartShard restores from).
 func (c *Cluster) SaveShards() error {
@@ -446,17 +887,71 @@ func (c *Cluster) ShardVersion(i int) int {
 	return 0
 }
 
+// NumReplicas returns the per-shard replica count the cluster was built
+// with.
+func (c *Cluster) NumReplicas() int { return c.cfg.replicas }
+
+// Epoch returns the cluster's current ring epoch (bumped by every Promote).
+func (c *Cluster) Epoch() uint64 { return c.cfg.epoch }
+
+// ReplicaAddr returns shard i's replica r's listen address.
+func (c *Cluster) ReplicaAddr(i, r int) string { return c.shards[i].replicas[r].addr }
+
+// ShardReplication returns shard i's primary-side replication status (zero
+// value when the shard has no shipper — dead primary or no replicas).
+func (c *Cluster) ShardReplication(i int) ReplicationStatus {
+	if sh := c.shards[i]; sh.shipper != nil {
+		return sh.shipper.Status()
+	}
+	return ReplicationStatus{}
+}
+
+// ReplicaLag returns shard i's widest replica lag in committed events (0
+// with no live shipper).
+func (c *Cluster) ReplicaLag(i int) uint64 {
+	if sh := c.shards[i]; sh.shipper != nil {
+		return sh.shipper.MaxLag()
+	}
+	return 0
+}
+
+// WaitForReplicaSync blocks until every live primary's replicas have
+// acknowledged its committed head, or the timeout expires.
+func (c *Cluster) WaitForReplicaSync(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, sh := range c.shards {
+		if sh.shipper == nil {
+			continue
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			remaining = time.Millisecond
+		}
+		if err := sh.shipper.WaitSync(remaining); err != nil {
+			return fmt.Errorf("ganc: shard %d: %w", sh.id, err)
+		}
+	}
+	return nil
+}
+
 // Close tears the cluster down: every shard is killed, the router listener
 // (if any) stops, and the work directory is removed when the cluster owns
 // it.
 func (c *Cluster) Close() error {
 	var firstErr error
 	for i, sh := range c.shards {
-		if sh == nil || sh.pipe == nil {
+		if sh == nil {
 			continue
 		}
-		if err := c.KillShard(i); err != nil && firstErr == nil {
-			firstErr = err
+		if sh.pipe != nil {
+			if err := c.KillShard(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		for _, rep := range sh.replicas {
+			if err := c.killReplica(rep); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	if c.routerHS != nil {
@@ -480,19 +975,32 @@ func (c *Cluster) Close() error {
 func (c *Cluster) WaitReady(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	client := &http.Client{Timeout: time.Second}
-	for _, sh := range c.shards {
+	wait := func(addr, what string) error {
 		for {
-			resp, err := client.Get("http://" + sh.addr + "/health")
+			resp, err := client.Get("http://" + addr + "/health")
 			if err == nil {
 				resp.Body.Close()
 				if resp.StatusCode == http.StatusOK {
-					break
+					return nil
 				}
 			}
 			if time.Now().After(deadline) {
-				return fmt.Errorf("ganc: shard %d not ready within %v", sh.id, timeout)
+				return fmt.Errorf("ganc: %s not ready within %v", what, timeout)
 			}
 			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	for _, sh := range c.shards {
+		if err := wait(sh.addr, fmt.Sprintf("shard %d", sh.id)); err != nil {
+			return err
+		}
+		for r, rep := range sh.replicas {
+			if rep.pipe == nil {
+				continue
+			}
+			if err := wait(rep.addr, fmt.Sprintf("shard %d replica %d", sh.id, r)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

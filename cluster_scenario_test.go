@@ -82,6 +82,96 @@ func TestScenarioClusterKillShardRecovery(t *testing.T) {
 	}
 }
 
+// TestScenarioKillPrimaryMidLoad is the replication chaos drill: every shard
+// runs with one warm replica, and the drilled shard's primary is killed in
+// the middle of a Zipf read load. Three hard promises are asserted:
+//
+//  1. Zero client-visible errors. With warm replicas and a read-only mix the
+//     router's read failover must mask the outage completely — the phase
+//     itself fails on any surviving error (see serve-under-load's
+//     replicated-kill contract), and the final load phase re-checks after
+//     promotion.
+//  2. Bounded staleness. The surviving shards' replica lag must drain to the
+//     MaxReplicaLagEvents knob (zero here: the load is read-only, so a
+//     healthy shipper has nothing left in flight); the rejoined ex-primary
+//     must converge to zero lag before its phase passes.
+//  3. Recovery equivalence. The promoted ex-replica's owned-user fingerprint
+//     must be byte-identical to the uninterrupted single-node shadow — the
+//     same parity contract the restart-shard drill enforces, now across an
+//     address change and a bumped ring epoch.
+func TestScenarioKillPrimaryMidLoad(t *testing.T) {
+	const drilled = 1
+	target := drilled
+	noLag := uint64(0)
+	sc := Scenario{
+		Name:            "kill-primary-mid-load",
+		Universe:        e2eUniverse(29),
+		TopN:            10,
+		CheckpointEvery: 0, // WAL-only: replicas converge by replication, not snapshots
+		Seed:            43,
+		Phases: []ScenarioPhase{
+			{Kind: PhaseTrain},
+			{Kind: PhaseIngestChurn, Events: 180, EventBatch: 30, Concurrency: 4},
+			{Kind: PhaseServeUnderLoad, Requests: 400, Concurrency: 8,
+				KillShardMid: &target, KillDelayMs: 150, MaxReplicaLagEvents: &noLag},
+			{Kind: PhasePromoteReplica, Shard: drilled},
+			{Kind: PhaseRejoinReplica, Shard: drilled},
+			{Kind: PhaseServeUnderLoad, Requests: 400, Concurrency: 8, MaxReplicaLagEvents: &noLag},
+		},
+	}
+	res, err := RunReplicatedClusterScenario(context.Background(), sc, t.TempDir(), e2eSystem(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	churn := res.Phases[1]
+	if churn.EventsApplied != 180 {
+		t.Fatalf("churn applied %d events, want 180", churn.EventsApplied)
+	}
+
+	// The mid-kill load: full request count, zero errors — the kill happened
+	// (the runner verifies the kill fired) yet failover hid it.
+	midKill := res.Phases[2]
+	if midKill.Load == nil || midKill.Load.Requests != 400 {
+		t.Fatalf("mid-kill phase recorded %+v", midKill.Load)
+	}
+	if midKill.Load.Errors != 0 {
+		t.Fatalf("mid-kill load leaked %d errors despite replicas", midKill.Load.Errors)
+	}
+	if midKill.ReplicaLagEvents != 0 {
+		t.Fatalf("surviving shards' replica lag %d events, want 0", midKill.ReplicaLagEvents)
+	}
+
+	// Promotion: a bumped epoch and the byte-identical owned-user parity
+	// check against the uninterrupted shadow.
+	promote := res.Phases[3]
+	if promote.Epoch < 2 {
+		t.Fatalf("promotion left the ring at epoch %d, want a bump past 1", promote.Epoch)
+	}
+	if !promote.ParityChecked {
+		t.Fatal("promote-replica did not assert parity against the shadow")
+	}
+
+	// Rejoin: the dead ex-primary replayed its own WAL (the churn slice it
+	// committed while it was the primary) and converged to zero lag.
+	rejoin := res.Phases[4]
+	if rejoin.Replayed == 0 {
+		t.Fatal("rejoin replayed no events: the ex-primary's WAL was empty, so the drill proved nothing")
+	}
+	if rejoin.ReplicaLagEvents != 0 {
+		t.Fatalf("rejoined replica stuck %d events behind", rejoin.ReplicaLagEvents)
+	}
+
+	// Post-promotion serving: error-free at the new epoch, replicas in sync.
+	after := res.Phases[5]
+	if after.Load == nil || after.Load.Requests != 400 || after.Load.Errors != 0 {
+		t.Fatalf("post-promotion load: %+v", after.Load)
+	}
+	if after.ReplicaLagEvents != 0 {
+		t.Fatalf("post-promotion replica lag %d events, want 0", after.ReplicaLagEvents)
+	}
+}
+
 // TestScenarioClusterWarmStartParity: the whole-cluster restart. Saving
 // checkpoints every shard; Load kills and restores all of them (snapshot +
 // WAL replay); the runner asserts the cluster's union fingerprint is

@@ -23,10 +23,17 @@ import (
 // re-exported from internal/simulate.
 type ShardedScenarioSystem = simulate.ShardedSystem
 
+// ReplicatedScenarioSystem is the replication-aware scenario-system
+// abstraction re-exported from internal/simulate: a sharded system whose
+// shards carry warm replicas, with promotion and rejoin choreography.
+type ReplicatedScenarioSystem = simulate.ReplicatedSystem
+
 // Cluster scenario phase kinds, re-exported for scenario literals.
 const (
-	PhaseKillShard    = simulate.PhaseKillShard
-	PhaseRestartShard = simulate.PhaseRestartShard
+	PhaseKillShard      = simulate.PhaseKillShard
+	PhaseRestartShard   = simulate.PhaseRestartShard
+	PhasePromoteReplica = simulate.PhasePromoteReplica
+	PhaseRejoinReplica  = simulate.PhaseRejoinReplica
 )
 
 // NewClusterScenarioSystem binds the NewCluster assembly to the scenario
@@ -35,6 +42,13 @@ const (
 // checkpointEvery ingested events per shard.
 func NewClusterScenarioSystem(cfg SimSystemConfig, shards int, dir string, checkpointEvery int) ShardedScenarioSystem {
 	return &clusterSystem{cfg: cfg.withDefaults(), shards: shards, dir: dir, checkpointEvery: checkpointEvery}
+}
+
+// NewReplicatedClusterScenarioSystem is NewClusterScenarioSystem with
+// `replicas` warm replicas behind every shard, enabling the promotion and
+// rejoin phases and the router's read failover during mid-load kills.
+func NewReplicatedClusterScenarioSystem(cfg SimSystemConfig, shards, replicas int, dir string, checkpointEvery int) ReplicatedScenarioSystem {
+	return &clusterSystem{cfg: cfg.withDefaults(), shards: shards, replicas: replicas, dir: dir, checkpointEvery: checkpointEvery}
 }
 
 // RunClusterScenario executes a scenario against a sharded primary with a
@@ -53,10 +67,28 @@ func RunClusterScenario(ctx context.Context, sc Scenario, dir string, cfg SimSys
 	return r.Run(ctx, sc)
 }
 
-// clusterSystem implements simulate.ShardedSystem over the facade Cluster.
+// RunReplicatedClusterScenario is RunClusterScenario with `replicas` warm
+// replicas behind every shard: kill-primary drills keep serving through read
+// failover, promote-replica phases re-point the shard at its freshest
+// replica under a bumped epoch, and the owned-user parity contract against
+// the single-node shadow is asserted across the promotion.
+func RunReplicatedClusterScenario(ctx context.Context, sc Scenario, dir string, cfg SimSystemConfig, shards, replicas int) (*ScenarioResult, error) {
+	r := &simulate.Runner{
+		NewSystem: func() simulate.System {
+			return NewReplicatedClusterScenarioSystem(cfg, shards, replicas, dir, sc.CheckpointEvery)
+		},
+		NewShadow: func() simulate.System { return NewScenarioSystem(cfg) },
+		Dir:       dir,
+	}
+	return r.Run(ctx, sc)
+}
+
+// clusterSystem implements simulate.ShardedSystem (and, with replicas > 0,
+// simulate.ReplicatedSystem) over the facade Cluster.
 type clusterSystem struct {
 	cfg             SimSystemConfig
 	shards          int
+	replicas        int
 	dir             string
 	checkpointEvery int
 	topN            int
@@ -83,6 +115,9 @@ func (s *clusterSystem) Train(train *dataset.Dataset, topN int) error {
 		WithShards(s.shards),
 		WithClusterDir(s.dir),
 		WithClusterCheckpointEvery(s.checkpointEvery),
+	}
+	if s.replicas > 0 {
+		opts = append(opts, WithReplicas(s.replicas))
 	}
 	if s.cfg.CacheCapacity > 0 {
 		opts = append(opts, WithShardCacheCapacity(s.cfg.CacheCapacity))
@@ -239,6 +274,35 @@ func (s *clusterSystem) KillShard(shard int) error { return s.cluster.KillShard(
 
 // RestartShard implements simulate.ShardedSystem.
 func (s *clusterSystem) RestartShard(shard int) (int, error) { return s.cluster.RestartShard(shard) }
+
+// NumReplicas implements simulate.ReplicatedSystem.
+func (s *clusterSystem) NumReplicas() int { return s.replicas }
+
+// PromoteReplica implements simulate.ReplicatedSystem: promote the freshest
+// live replica of the (killed) shard to primary under a bumped ring epoch.
+func (s *clusterSystem) PromoteReplica(shard int) (uint64, error) {
+	if s.cluster == nil {
+		return 0, fmt.Errorf("ganc: cannot promote in an untrained cluster system")
+	}
+	return s.cluster.Promote(shard)
+}
+
+// RejoinAsReplica implements simulate.ReplicatedSystem: boot the shard's
+// dead ex-primary as a replica of the promoted primary.
+func (s *clusterSystem) RejoinAsReplica(shard int) (int, error) {
+	if s.cluster == nil {
+		return 0, fmt.Errorf("ganc: cannot rejoin in an untrained cluster system")
+	}
+	return s.cluster.RejoinAsReplica(shard)
+}
+
+// ReplicaLag implements simulate.ReplicatedSystem.
+func (s *clusterSystem) ReplicaLag(shard int) uint64 {
+	if s.cluster == nil {
+		return 0
+	}
+	return s.cluster.ReplicaLag(shard)
+}
 
 // ShardFingerprint implements simulate.ShardedSystem: the shard's current
 // state swept on a throwaway clone, restricted to the users the ring

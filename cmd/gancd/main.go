@@ -9,13 +9,21 @@
 //	split       shard-split a snapshot: write N shard-scoped snapshots
 //	            (shard id + hash-ring epoch in each) into -out
 //	shard       serve one shard snapshot; refuses snapshots whose identity
-//	            disagrees with the -shards/-shard-id/-epoch flags
+//	            disagrees with the -shards/-shard-id/-epoch flags. With
+//	            -replica-addrs it also ships every committed ingest batch to
+//	            the listed replica nodes over POST /replicate
+//	replica     serve one shard snapshot as a warm read replica: no client
+//	            writes (/ingest is absent), POST /replicate applies the
+//	            primary's committed batches into the replica's own
+//	            write-ahead log, /health reports the replication cursor/lag
 //	router      scatter-gather front over -peers: proxies /recommend, fans
 //	            /recommend/batch and /ingest out by user ownership, merges,
 //	            aggregates /info and /health, answers typed 503s for dead
-//	            shards
+//	            shards. A "primary+replica" peer entry enables read failover
+//	            to that shard's replicas, bounded by -max-replica-lag
 //	cluster     the whole topology in one process (a demo/benchmark form):
-//	            split into a temp dir, boot every shard, serve the router
+//	            split into a temp dir, boot every shard (-replicas warm
+//	            replicas each), serve the router
 //
 // A 3-shard deployment, one process per node:
 //
@@ -26,9 +34,16 @@
 //	gancd -role shard -load shards/shard-002.snap -serve :8083 &
 //	gancd -role router -peers :8081,:8082,:8083 -serve :8080
 //
+// The same topology with one replica behind shard 0:
+//
+//	gancd -role replica -load shards/shard-000.snap -ingest-log r0.wal -serve :9081 &
+//	gancd -role shard -load shards/shard-000.snap -ingest-log s0.wal \
+//	      -replica-addrs :9081 -serve :8081 &
+//	gancd -role router -peers :8081+:9081,:8082,:8083 -serve :8080
+//
 // The same topology in one process:
 //
-//	gancd -role cluster -load model.snap -shards 3 -serve :8080
+//	gancd -role cluster -load model.snap -shards 3 -replicas 1 -serve :8080
 //
 // The router and the shard snapshots must agree on (epoch, shard count):
 // ownership is a pure function of that pair, so a mismatched deployment
@@ -112,12 +127,15 @@ func (o obsSettings) serverOptions() ([]ganc.ServerOption, func() error, error) 
 }
 
 func main() {
-	role := flag.String("role", "standalone", "standalone | split | shard | router | cluster")
+	role := flag.String("role", "standalone", "standalone | split | shard | replica | router | cluster")
 	loadPath := flag.String("load", "", "snapshot to load (written by ganc -save, or a shard snapshot from -role split)")
 	serveAddr := flag.String("serve", "", "listen address (e.g. :8080)")
 	shards := flag.Int("shards", 3, "shard count (split, cluster; cross-checked in shard role)")
 	shardID := flag.Int("shard-id", -1, "expected shard id (shard role; -1 trusts the snapshot)")
-	peers := flag.String("peers", "", "comma-separated shard addresses in shard-id order (router role)")
+	peers := flag.String("peers", "", "comma-separated shard addresses in shard-id order (router role); \"primary+replica1+replica2\" entries declare read-failover replicas")
+	replicaAddrs := flag.String("replica-addrs", "", "comma-separated replica addresses this shard ships committed batches to (shard role)")
+	replicas := flag.Int("replicas", 0, "warm replicas per shard (cluster role)")
+	maxReplicaLag := flag.Int64("max-replica-lag", 0, "router: max committed-event lag for a replica to serve a failover read (0 = default 1024, negative disables failover)")
 	epoch := flag.Uint64("epoch", 1, "hash-ring epoch (split, router, cluster; cross-checked in shard role)")
 	outDir := flag.String("out", "", "output directory for shard snapshots (split role)")
 	cache := flag.Int("cache", 0, "per-node LRU cache capacity (0 = serving default)")
@@ -147,13 +165,15 @@ func main() {
 	case "split":
 		err = runSplit(*loadPath, *outDir, *shards, *epoch)
 	case "shard":
-		err = runShard(*loadPath, *serveAddr, *shards, *shardID, *epoch, *cache, *ingestLog, *checkpointInterval, obs)
+		err = runShard(*loadPath, *serveAddr, *shards, *shardID, *epoch, *cache, *ingestLog, *checkpointInterval, *replicaAddrs, obs)
+	case "replica":
+		err = runReplica(*loadPath, *serveAddr, *shards, *shardID, *epoch, *cache, *ingestLog, *checkpointInterval, obs)
 	case "router":
-		err = runRouter(*peers, *serveAddr, *epoch, *retries, obs)
+		err = runRouter(*peers, *serveAddr, *epoch, *retries, *maxReplicaLag, obs)
 	case "cluster":
-		err = runCluster(*loadPath, *serveAddr, *shards, *epoch, *cache, *checkpointInterval, obs)
+		err = runCluster(*loadPath, *serveAddr, *shards, *replicas, *epoch, *cache, *checkpointInterval, obs)
 	default:
-		err = fmt.Errorf("unknown -role %q (standalone, split, shard, router, cluster)", *role)
+		err = fmt.Errorf("unknown -role %q (standalone, split, shard, replica, router, cluster)", *role)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gancd:", err)
@@ -181,9 +201,12 @@ func loadSnapshot(path string) (*ganc.Pipeline, error) {
 }
 
 // serveNode stands one serve.Server up around a pipeline (standalone and
-// shard roles share it) and blocks.
+// shard roles share it) and blocks. A non-empty replicaAddrs list attaches
+// the primary-side replication shipper: every committed ingest batch is
+// shipped to the replicas synchronously, with write-ahead-log catch-up for
+// stragglers.
 func serveNode(p *ganc.Pipeline, addr string, cache int, shard *ganc.ShardIdentity,
-	ingestLog string, checkpointPath string, checkpointInterval int, obs obsSettings) error {
+	ingestLog string, checkpointPath string, checkpointInterval int, replicaAddrs []string, obs obsSettings) error {
 	if addr == "" {
 		return fmt.Errorf("-serve is required for serving roles")
 	}
@@ -211,6 +234,24 @@ func serveNode(p *ganc.Pipeline, addr string, cache int, shard *ganc.ShardIdenti
 	if checkpointInterval > 0 {
 		ingOpts = append(ingOpts, ganc.WithIngestCheckpoint(checkpointPath, checkpointInterval))
 	}
+	var shipper *ganc.Shipper
+	if len(replicaAddrs) > 0 {
+		if shard == nil {
+			return fmt.Errorf("-replica-addrs requires a shard snapshot (replication is per shard)")
+		}
+		if ingestLog == "" {
+			return fmt.Errorf("-replica-addrs requires -ingest-log (the shipper replays the write-ahead log to catch lagging replicas up)")
+		}
+		shipper = ganc.NewShipper(ganc.ShipperConfig{
+			Shard:    shard.ShardID,
+			Epoch:    shard.RingEpoch,
+			WALPath:  ingestLog,
+			Replicas: replicaAddrs,
+		})
+		defer shipper.Close()
+		ingOpts = append(ingOpts, ganc.WithCommitHook(shipper.Commit))
+		srv.SetReplicationProbe(shipper.Status)
+	}
 	endpoints := "GET /recommend?user=<id>, POST /recommend/batch, /info, /health"
 	if obs.metrics {
 		endpoints += ", GET /metrics"
@@ -227,6 +268,13 @@ func serveNode(p *ganc.Pipeline, addr string, cache int, shard *ganc.ShardIdenti
 		if replayed > 0 {
 			fmt.Fprintf(os.Stderr, "replayed %d events from %s (resuming at seq %d)\n", replayed, ingestLog, ing.Seq())
 		}
+	}
+	if shipper != nil {
+		// Recovery replay already advanced the shipper's head through the
+		// commit hook; the handshake adopts each replica's true cursor so
+		// catch-up starts from reality rather than a guess.
+		shipper.Resync()
+		fmt.Fprintf(os.Stderr, "replicating to %s\n", strings.Join(replicaAddrs, ", "))
 	}
 	endpoints += ", POST /ingest"
 	if shard != nil {
@@ -246,7 +294,7 @@ func runStandalone(loadPath, addr string, cache int, ingestLog string, checkpoin
 	}
 	fmt.Fprintf(os.Stderr, "loaded %s from %s: %d users, %d items, %d ratings\n",
 		p.Name(), loadPath, p.Train().NumUsers(), p.Train().NumItems(), p.Train().NumRatings())
-	return serveNode(p, addr, cache, nil, ingestLog, loadPath, checkpointInterval, obs)
+	return serveNode(p, addr, cache, nil, ingestLog, loadPath, checkpointInterval, nil, obs)
 }
 
 // runSplit writes N shard-scoped snapshots of one plain snapshot.
@@ -276,44 +324,126 @@ func runSplit(loadPath, outDir string, shards int, epoch uint64) error {
 	return nil
 }
 
-// runShard serves one shard snapshot, cross-checking its identity against
-// the flags when they are given.
-func runShard(loadPath, addr string, shards, shardID int, epoch uint64, cache int,
-	ingestLog string, checkpointInterval int, obs obsSettings) error {
+// loadShardSnapshot loads a shard snapshot, cross-checking its identity
+// against the flags when they are given (shard and replica roles share it).
+func loadShardSnapshot(loadPath string, shards, shardID int, epoch uint64) (*ganc.Pipeline, ganc.ShardIdentity, error) {
+	var id ganc.ShardIdentity
 	if loadPath == "" {
-		return fmt.Errorf("-load is required (produce shard snapshots with -role split)")
+		return nil, id, fmt.Errorf("-load is required (produce shard snapshots with -role split)")
 	}
 	p, id, err := ganc.LoadShardEngine(loadPath)
 	if err != nil {
-		return err
+		return nil, id, err
 	}
 	if shardID >= 0 && id.ShardID != shardID {
-		return fmt.Errorf("snapshot %s is shard %d, but -shard-id says %d", loadPath, id.ShardID, shardID)
+		return nil, id, fmt.Errorf("snapshot %s is shard %d, but -shard-id says %d", loadPath, id.ShardID, shardID)
 	}
 	if flagWasSet("shards") && id.NumShards != shards {
-		return fmt.Errorf("snapshot %s was cut for %d shards, but -shards says %d", loadPath, id.NumShards, shards)
+		return nil, id, fmt.Errorf("snapshot %s was cut for %d shards, but -shards says %d", loadPath, id.NumShards, shards)
 	}
 	if flagWasSet("epoch") && id.RingEpoch != epoch {
-		return fmt.Errorf("snapshot %s was cut for ring epoch %d, but -epoch says %d (re-split after membership changes)",
+		return nil, id, fmt.Errorf("snapshot %s was cut for ring epoch %d, but -epoch says %d (re-split after membership changes)",
 			loadPath, id.RingEpoch, epoch)
 	}
-	return serveNode(p, addr, cache, &id, ingestLog, loadPath, checkpointInterval, obs)
+	return p, id, nil
+}
+
+// runShard serves one shard snapshot, cross-checking its identity against
+// the flags when they are given.
+func runShard(loadPath, addr string, shards, shardID int, epoch uint64, cache int,
+	ingestLog string, checkpointInterval int, replicaAddrs string, obs obsSettings) error {
+	p, id, err := loadShardSnapshot(loadPath, shards, shardID, epoch)
+	if err != nil {
+		return err
+	}
+	var reps []string
+	if replicaAddrs != "" {
+		for _, a := range strings.Split(replicaAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				reps = append(reps, a)
+			}
+		}
+	}
+	return serveNode(p, addr, cache, &id, ingestLog, loadPath, checkpointInterval, reps, obs)
+}
+
+// runReplica serves one shard snapshot as a warm read replica: the only
+// write path is POST /replicate (client /ingest is absent), applied batches
+// land in the replica's own write-ahead log, and /health reports the
+// replication cursor and lag.
+func runReplica(loadPath, addr string, shards, shardID int, epoch uint64, cache int,
+	ingestLog string, checkpointInterval int, obs obsSettings) error {
+	if addr == "" {
+		return fmt.Errorf("-serve is required for -role replica")
+	}
+	if ingestLog == "" {
+		return fmt.Errorf("-ingest-log is required for -role replica (the replica's own write-ahead log makes it promotable)")
+	}
+	p, id, err := loadShardSnapshot(loadPath, shards, shardID, epoch)
+	if err != nil {
+		return err
+	}
+	opts, obsCleanup, err := obs.serverOptions()
+	if err != nil {
+		return err
+	}
+	if obsCleanup != nil {
+		defer func() { _ = obsCleanup() }()
+	}
+	if cache > 0 {
+		opts = append(opts, ganc.WithServerCacheCapacity(cache))
+	}
+	opts = append(opts, ganc.WithServerShardIdentity(id))
+	srv, err := ganc.NewServer(p.Train(), p, p.TopN(), opts...)
+	if err != nil {
+		return err
+	}
+	ingOpts := []ganc.IngestorOption{
+		ganc.WithIngestLog(ingestLog),
+		ganc.WithoutIngestSink(),
+	}
+	if checkpointInterval > 0 {
+		ingOpts = append(ingOpts, ganc.WithIngestCheckpoint(loadPath, checkpointInterval))
+	}
+	ing, err := ganc.NewIngestor(srv, p, ingOpts...)
+	if err != nil {
+		return fmt.Errorf("enabling replication apply: %w", err)
+	}
+	replayed, err := ing.Recover()
+	if err != nil {
+		return fmt.Errorf("replaying ingest log %s: %w", ingestLog, err)
+	}
+	if replayed > 0 {
+		fmt.Fprintf(os.Stderr, "replayed %d events from %s (resuming at seq %d)\n", replayed, ingestLog, ing.Seq())
+	}
+	applier := ganc.NewReplicaApplier(id.ShardID, id.RingEpoch, ing)
+	srv.SetReplicationProbe(applier.Status)
+	mux := http.NewServeMux()
+	mux.Handle("/replicate", applier.Handler())
+	mux.Handle("/", srv.Handler())
+	endpoints := "GET /recommend?user=<id>, POST /recommend/batch, /info, /health, POST /replicate"
+	if obs.metrics {
+		endpoints += ", GET /metrics"
+	}
+	fmt.Fprintf(os.Stderr, "serving %s on %s as replica of shard %d/%d epoch %d (%s)\n",
+		p.Name(), addr, id.ShardID, id.NumShards, id.RingEpoch, endpoints)
+	return http.ListenAndServe(addr, mux)
 }
 
 // runRouter fronts the peers with the scatter-gather router.
-func runRouter(peers, addr string, epoch uint64, retries int, obs obsSettings) error {
+func runRouter(peers, addr string, epoch uint64, retries int, maxReplicaLag int64, obs obsSettings) error {
 	if addr == "" {
 		return fmt.Errorf("-serve is required for -role router")
 	}
-	infos, err := ganc.ParsePeers(peers)
+	infos, err := ganc.ParsePeerTopology(peers)
 	if err != nil {
-		return fmt.Errorf("-peers: %w (expected \"host1:port,host2:port,…\" in shard-id order)", err)
+		return fmt.Errorf("-peers: %w (expected \"host1:port,host2:port,…\" in shard-id order; append \"+replicahost:port\" for read-failover replicas)", err)
 	}
 	ring, err := ganc.NewRing(epoch, infos)
 	if err != nil {
 		return err
 	}
-	cfg := ganc.RouterConfig{Ring: ring, Retries: retries, Admission: ganc.NewAdmission(obs.admission())}
+	cfg := ganc.RouterConfig{Ring: ring, Retries: retries, MaxReplicaLag: maxReplicaLag, Admission: ganc.NewAdmission(obs.admission())}
 	if obs.metrics {
 		cfg.Metrics = ganc.NewMetricsRegistry()
 	}
@@ -335,7 +465,7 @@ func runRouter(peers, addr string, epoch uint64, retries int, obs obsSettings) e
 }
 
 // runCluster boots the whole sharded topology in one process.
-func runCluster(loadPath, addr string, shards int, epoch uint64, cache, checkpointInterval int, obs obsSettings) error {
+func runCluster(loadPath, addr string, shards, replicas int, epoch uint64, cache, checkpointInterval int, obs obsSettings) error {
 	if addr == "" {
 		return fmt.Errorf("-serve is required for -role cluster")
 	}
@@ -348,6 +478,9 @@ func runCluster(loadPath, addr string, shards int, epoch uint64, cache, checkpoi
 		ganc.WithRouterAddr(addr),
 		ganc.WithClusterEpoch(epoch),
 		ganc.WithClusterCheckpointEvery(checkpointInterval),
+	}
+	if replicas > 0 {
+		opts = append(opts, ganc.WithReplicas(replicas))
 	}
 	if cache > 0 {
 		opts = append(opts, ganc.WithShardCacheCapacity(cache))

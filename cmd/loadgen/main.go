@@ -17,6 +17,11 @@
 // comparison lands in BENCH_cluster.json. On one machine the cluster's win
 // is aggregate cache capacity (N× the working set), so the measured speedup
 // is a conservative floor for multi-host deployments — see DESIGN.md §10.
+// Adding -replicas R puts R warm replicas behind every shard and appends a
+// failover section to the report: a read-only run during which shard 0's
+// primary is killed mid-flight, measuring the req/s and error count the
+// router's replica failover sustains, followed by a promotion (DESIGN.md
+// §13).
 //
 // Examples:
 //
@@ -73,6 +78,7 @@ func main() {
 	reqZipf := flag.Float64("request-zipf", 1.0, "request-popularity skew across users")
 	out := flag.String("out", "", "output report path (default BENCH_serve.json; BENCH_cluster.json in -cluster mode, BENCH_overload.json in -overload mode)")
 	clusterShards := flag.Int("cluster", 0, "compare an N-shard cluster against a single node and write BENCH_cluster.json (0 = plain single-target mode)")
+	clusterReplicas := flag.Int("replicas", 0, "cluster mode: warm replicas per shard; > 0 appends a mid-run primary-kill failover drill to the report")
 	nodeCache := flag.Int("node-cache", 8192, "cluster mode: per-node LRU budget shared by the single node and every shard")
 	warmup := flag.Int("warmup", -1, "cluster mode: unmeasured warm-up requests before each measured run (-1 = same as -requests)")
 	overload := flag.Bool("overload", false, "overload drill: serve with admission control, offer load beyond capacity and require graceful shedding (typed 429s, zero 5xx)")
@@ -116,9 +122,11 @@ func main() {
 		err = fmt.Errorf("-cluster and -url are mutually exclusive: the comparison self-hosts both targets")
 	case *clusterShards > 0 && *overload:
 		err = fmt.Errorf("-cluster and -overload are mutually exclusive (run the overload drill against a single node, or an external router via -url)")
+	case *clusterReplicas > 0 && *clusterShards <= 0:
+		err = fmt.Errorf("-replicas requires -cluster (replicas are a property of the sharded target)")
 	case *clusterShards > 0:
 		err = runCluster(universeConfig(*users, *items, *ratings, *zipf, *seed),
-			*arec, *theta, precision, *topN, *clusterShards, *nodeCache, *warmup,
+			*arec, *theta, precision, *topN, *clusterShards, *clusterReplicas, *nodeCache, *warmup,
 			defaultOut(*out, "BENCH_cluster.json"), load)
 	default:
 		// The overload drill gets its own default output: its latency numbers
@@ -287,7 +295,7 @@ func selfHost(u *ganc.Universe, arec, theta string, precision ganc.ScoringPrecis
 // captures steady-state serving: the regime where the cluster's aggregate
 // cache (N × node budget) holds the working set a single node's budget
 // cannot.
-func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.ScoringPrecision, topN, shards, nodeCache, warmup int, out string, load ganc.LoadConfig) error {
+func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.ScoringPrecision, topN, shards, replicas, nodeCache, warmup int, out string, load ganc.LoadConfig) error {
 	if nodeCache <= 0 {
 		return fmt.Errorf("-node-cache must be positive in cluster mode (it is the per-node budget under comparison)")
 	}
@@ -329,23 +337,22 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.Sco
 		return res, nil
 	}
 
-	// Single node, bounded to the per-node cache budget.
-	addr, shutdown, err := servePipeline(u, p, topN, nodeCache)
-	if err != nil {
-		return err
-	}
-	single, err := measure("single-node", "http://"+addr)
-	shutdown()
-	if err != nil {
-		return err
-	}
-
-	// The cluster: same pipeline shard-split via the snapshot format, same
+	// The cluster: the pipeline shard-split via the snapshot format, same
 	// per-node budget on every shard, the scatter-gather router in front.
+	// The split happens before any load runs: the single-node server's
+	// ingest traffic grows the live pipeline state in place, and shard
+	// snapshots cut from a mutated pipeline would no longer match its
+	// training-time preference vector (every node — primary and replica —
+	// boots by loading its snapshot, and the load validates that pairing).
 	fmt.Fprintf(os.Stderr, "shard-splitting into %d shards ...\n", shards)
-	c, err := ganc.NewCluster(p,
+	copts := []ganc.ClusterOption{
 		ganc.WithShards(shards),
-		ganc.WithShardCacheCapacity(nodeCache))
+		ganc.WithShardCacheCapacity(nodeCache),
+	}
+	if replicas > 0 {
+		copts = append(copts, ganc.WithReplicas(replicas))
+	}
+	c, err := ganc.NewCluster(p, copts...)
 	if err != nil {
 		return err
 	}
@@ -360,9 +367,29 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.Sco
 	hs := &http.Server{Handler: c.Handler()}
 	go hs.Serve(ln)
 	defer hs.Close()
+
+	// Single node, bounded to the per-node cache budget.
+	addr, shutdown, err := servePipeline(u, p, topN, nodeCache)
+	if err != nil {
+		return err
+	}
+	single, err := measure("single-node", "http://"+addr)
+	shutdown()
+	if err != nil {
+		return err
+	}
+
 	clusterRes, err := measure(fmt.Sprintf("%d-shard cluster", shards), "http://"+ln.Addr().String())
 	if err != nil {
 		return err
+	}
+
+	var failover *ganc.FailoverReport
+	if replicas > 0 {
+		failover, err = runFailoverDrill(ctx, u, c, "http://"+ln.Addr().String(), load)
+		if err != nil {
+			return err
+		}
 	}
 
 	speedup := 0.0
@@ -374,12 +401,14 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.Sco
 		Engine:            clusterRes.Model,
 		TopN:              clusterRes.TopN,
 		Shards:            shards,
+		Replicas:          replicas,
 		NodeCacheCapacity: nodeCache,
 		WarmupRequests:    warmup,
 		Load:              load,
 		SingleNode:        single,
 		Cluster:           clusterRes,
 		Speedup:           speedup,
+		Failover:          failover,
 	}
 	if err := ganc.WriteClusterBenchReport(out, rep); err != nil {
 		return err
@@ -389,7 +418,54 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.Sco
 	if single.Errors > 0 || clusterRes.Errors > 0 {
 		return fmt.Errorf("server-side errors during the comparison (single %d, cluster %d)", single.Errors, clusterRes.Errors)
 	}
+	if failover != nil && failover.Result.Errors > 0 {
+		return fmt.Errorf("%d read errors leaked through replica failover during the mid-run primary kill", failover.Result.Errors)
+	}
 	return nil
+}
+
+// runFailoverDrill measures a read-only run against the replicated cluster
+// during which shard 0's primary is killed mid-run: the router's replica
+// failover must keep the error count at zero. Afterwards the freshest
+// replica is promoted, recording the new ring epoch in the report.
+func runFailoverDrill(ctx context.Context, u *ganc.Universe, c *ganc.Cluster, url string, load ganc.LoadConfig) (*ganc.FailoverReport, error) {
+	const killDelay = 150 * time.Millisecond
+	// Writes cannot fail over (the shard's write-ahead log dies with its
+	// primary), so the drill measures the read path only.
+	load.Mix.Ingest = 0
+	load.BaseURL = url
+	if err := c.WaitForReplicaSync(10 * time.Second); err != nil {
+		return nil, fmt.Errorf("replicas never caught up before the drill: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "failover drill: killing shard 0's primary %s into a read-only run of %d requests ...\n",
+		killDelay, load.Requests)
+	killed := make(chan error, 1)
+	timer := time.AfterFunc(killDelay, func() { killed <- c.KillShard(0) })
+	defer timer.Stop()
+	res, err := ganc.RunLoad(ctx, u, load)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case err := <-killed:
+		if err != nil {
+			return nil, fmt.Errorf("mid-run kill of shard 0: %w", err)
+		}
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("mid-run kill of shard 0 never fired")
+	}
+	epoch, err := c.Promote(0)
+	if err != nil {
+		return nil, fmt.Errorf("promoting shard 0 after the drill: %w", err)
+	}
+	printSummary(res)
+	fmt.Fprintf(os.Stderr, "failover drill: promoted shard 0's freshest replica (ring epoch %d), %d errors\n", epoch, res.Errors)
+	return &ganc.FailoverReport{
+		KilledShard:   0,
+		KillDelayMs:   int(killDelay / time.Millisecond),
+		PromotedEpoch: epoch,
+		Result:        res,
+	}, nil
 }
 
 // printSummary reports the headline numbers on stderr.

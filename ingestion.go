@@ -37,6 +37,8 @@ type ingestorConfig struct {
 	logPath         string
 	checkpointPath  string
 	checkpointEvery int
+	onCommit        func(firstSeq uint64, events []IngestEvent)
+	noSink          bool
 }
 
 // WithIngestLog makes the write path write-ahead: events are appended and
@@ -55,6 +57,23 @@ func WithIngestCheckpoint(path string, every int) IngestorOption {
 		c.checkpointPath = path
 		c.checkpointEvery = every
 	}
+}
+
+// WithCommitHook invokes fn after every committed batch — live Apply and
+// write-ahead-log Recover replay alike — with the sequence number of the
+// batch's first event. It runs under the ingestor's lock and must not call
+// back into the ingestor; the cluster layer uses it to ship committed batches
+// to replicas.
+func WithCommitHook(fn func(firstSeq uint64, events []IngestEvent)) IngestorOption {
+	return func(c *ingestorConfig) { c.onCommit = fn }
+}
+
+// WithoutIngestSink builds the ingestor without attaching it behind the
+// server's POST /ingest endpoint: the replica role, where the only legal
+// write path is /replicate — a replica that accepted client writes would fork
+// its shard's history from the primary's write-ahead log.
+func WithoutIngestSink() IngestorOption {
+	return func(c *ingestorConfig) { c.noSink = true }
 }
 
 // NewIngestor wires streaming ingestion around a pipeline and, when srv is
@@ -99,7 +118,8 @@ func NewIngestor(srv *Server, p *Pipeline, opts ...IngestorOption) (*Ingestor, e
 		Rebuild: func(s *ingest.State) (serve.Engine, error) {
 			return p.pipelineFromState(kind, covName, s)
 		},
-		Server: srv,
+		Server:   srv,
+		OnCommit: c.onCommit,
 	}
 	if c.logPath != "" {
 		log, err := ingest.OpenLog(c.logPath)
@@ -127,7 +147,7 @@ func NewIngestor(srv *Server, p *Pipeline, opts ...IngestorOption) (*Ingestor, e
 	if err != nil {
 		return nil, err
 	}
-	if srv != nil {
+	if srv != nil && !c.noSink {
 		srv.SetIngestSink(ing)
 	}
 	return ing, nil

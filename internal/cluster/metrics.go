@@ -13,19 +13,23 @@ import (
 // for a router's lifetime), so recording is an index plus an atomic add —
 // no map, no lock.
 type routerMetrics struct {
-	fanout   []*obs.Counter
-	retries  []*obs.Counter
-	failures []*obs.Counter
-	mismatch []*obs.Gauge
+	fanout    []*obs.Counter
+	retries   []*obs.Counter
+	failures  []*obs.Counter
+	mismatch  []*obs.Gauge
+	failovers []*obs.Counter
+	replag    []*obs.Gauge
 }
 
 // newRouterMetrics registers the per-shard families on reg.
 func newRouterMetrics(reg *obs.Registry, shards int) *routerMetrics {
 	rm := &routerMetrics{
-		fanout:   make([]*obs.Counter, shards),
-		retries:  make([]*obs.Counter, shards),
-		failures: make([]*obs.Counter, shards),
-		mismatch: make([]*obs.Gauge, shards),
+		fanout:    make([]*obs.Counter, shards),
+		retries:   make([]*obs.Counter, shards),
+		failures:  make([]*obs.Counter, shards),
+		mismatch:  make([]*obs.Gauge, shards),
+		failovers: make([]*obs.Counter, shards),
+		replag:    make([]*obs.Gauge, shards),
 	}
 	for i := 0; i < shards; i++ {
 		label := obs.L("shard", strconv.Itoa(i))
@@ -37,6 +41,10 @@ func newRouterMetrics(reg *obs.Registry, shards int) *routerMetrics {
 			"Shard calls that exhausted the retry budget.", label)
 		rm.mismatch[i] = reg.Gauge("ganc_router_epoch_mismatch",
 			"1 when the shard's snapshot was cut for a different ring epoch or shard count (0 otherwise).", label)
+		rm.failovers[i] = reg.Counter("ganc_router_failovers_total",
+			"Reads served by a replica after the shard's primary exhausted its retry budget.", label)
+		rm.replag[i] = reg.Gauge("ganc_router_replica_lag_events",
+			"Widest replica lag in committed events for the shard, as of the last /health aggregation.", label)
 	}
 	return rm
 }
@@ -59,6 +67,20 @@ func (rm *routerMetrics) retry(shard int) {
 func (rm *routerMetrics) failure(shard int) {
 	if rm != nil && shard >= 0 && shard < len(rm.failures) {
 		rm.failures[shard].Inc()
+	}
+}
+
+// failover records one read served by a replica after primary failure.
+func (rm *routerMetrics) failover(shard int) {
+	if rm != nil && shard >= 0 && shard < len(rm.failovers) {
+		rm.failovers[shard].Inc()
+	}
+}
+
+// replicaLag records the widest replica lag observed for a shard.
+func (rm *routerMetrics) replicaLag(shard int, lag uint64) {
+	if rm != nil && shard >= 0 && shard < len(rm.replag) {
+		rm.replag[shard].Set(float64(lag))
 	}
 }
 

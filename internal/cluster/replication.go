@@ -1,0 +1,688 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ganc/internal/ingest"
+	"ganc/internal/serve"
+)
+
+// Per-shard primary→replica replication. The primary's JSON-lines write-ahead
+// log is already a replication log — record n is the n-th event the shard ever
+// committed — so replication is cursor arithmetic over it: the primary ships
+// committed batches to each replica over POST /replicate, the replica replays
+// them through the same Ingestor machinery that serves its reads, and both
+// sides agree on progress through one number, the applied-sequence cursor.
+//
+// The protocol is deliberately idempotent and self-healing:
+//
+//   - a batch whose events are all at or below the replica's cursor is a
+//     duplicate and is acknowledged without applying anything;
+//   - a batch overlapping the cursor has its already-applied prefix skipped;
+//   - a batch starting past cursor+1 is a gap: the replica refuses it (a
+//     cursor must never skip events) and answers with its cursor, so the
+//     primary rewinds and re-ships the missing range from its WAL.
+//
+// Because every response carries the replica's authoritative cursor, the
+// shipper needs no handshake: any guess about a replica's position converges
+// after one round trip.
+
+// Sentinel errors for the replication wire path, matchable with errors.Is.
+var (
+	// ErrReplicateBody marks a /replicate body that is not a well-formed
+	// request: undecodable JSON, out-of-range sequence numbers, an oversized
+	// batch, or events with empty keys.
+	ErrReplicateBody = errors.New("cluster: malformed replicate request")
+	// ErrReplicateShard marks a batch addressed to a different shard than the
+	// replica serves — a topology error, never retryable.
+	ErrReplicateShard = errors.New("cluster: replicate shard mismatch")
+	// ErrReplicateEpoch marks a batch from an older ring epoch than the
+	// replica has already seen (a demoted primary still shipping).
+	ErrReplicateEpoch = errors.New("cluster: replicate epoch mismatch")
+	// ErrReplicateGap marks a batch starting past the replica's cursor + 1:
+	// applying it would skip committed events. The response carries the
+	// cursor so the shipper can rewind and catch up.
+	ErrReplicateGap = errors.New("cluster: replicate sequence gap")
+)
+
+// MaxReplicateEvents bounds one replicated batch, mirroring the ingest limit
+// so a replica never absorbs more per call than a primary would accept;
+// maxReplicateBody bounds the request body a replica will buffer, so hostile
+// input cannot balloon replica memory.
+const (
+	MaxReplicateEvents = serve.MaxIngestEvents
+	maxReplicateBody   = 16 << 20
+)
+
+// ReplicateRequest is the POST /replicate payload: one batch of committed
+// events, positioned on the shard's WAL by the sequence number of its first
+// event, plus the primary's committed head so the replica can report lag even
+// while catching up.
+type ReplicateRequest struct {
+	// Shard is the shard ID the batch belongs to.
+	Shard int `json:"shard"`
+	// Epoch is the ring epoch the primary ships under.
+	Epoch uint64 `json:"epoch"`
+	// FirstSeq is the sequence number (1-based) of Events[0].
+	FirstSeq uint64 `json:"first_seq"`
+	// HeadSeq is the primary's committed cursor at send time. A request with
+	// no events is a pure head announcement (heartbeat).
+	HeadSeq uint64 `json:"head_seq"`
+	// Events is the committed batch, in commit order.
+	Events []serve.IngestEvent `json:"events"`
+}
+
+// ReplicateResponse is the POST /replicate answer. AppliedSeq is always the
+// replica's authoritative cursor after the call, on success and refusal
+// alike — it is the one field a shipper needs to converge.
+type ReplicateResponse struct {
+	// AppliedSeq is the replica's applied cursor after this call.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// Applied is how many of the batch's events were actually applied (0 for
+	// duplicates and heartbeats).
+	Applied int `json:"applied"`
+	// Version is the replica's serving engine generation after the call.
+	Version int `json:"version"`
+	// Gap is true when the batch was refused because it starts past the
+	// cursor; the shipper must rewind to AppliedSeq and re-ship.
+	Gap bool `json:"gap,omitempty"`
+	// Error and Code carry the typed refusal on non-200 answers.
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// ParseReplicateRequest decodes and validates a /replicate body. Every
+// failure wraps ErrReplicateBody — never a panic — and allocation is bounded:
+// the reader is capped at the wire limit before any decoding happens.
+func ParseReplicateRequest(r io.Reader) (*ReplicateRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxReplicateBody))
+	var req ReplicateRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrReplicateBody, err)
+	}
+	if req.Shard < 0 {
+		return nil, fmt.Errorf("%w: negative shard %d", ErrReplicateBody, req.Shard)
+	}
+	if len(req.Events) > MaxReplicateEvents {
+		return nil, fmt.Errorf("%w: batch of %d events exceeds the limit of %d",
+			ErrReplicateBody, len(req.Events), MaxReplicateEvents)
+	}
+	if len(req.Events) > 0 {
+		if req.FirstSeq == 0 {
+			return nil, fmt.Errorf("%w: first_seq 0 (sequence numbers are 1-based)", ErrReplicateBody)
+		}
+		if req.FirstSeq > math.MaxUint64-uint64(len(req.Events)) {
+			return nil, fmt.Errorf("%w: sequence range overflows", ErrReplicateBody)
+		}
+		for k, ev := range req.Events {
+			if ev.User == "" || ev.Item == "" {
+				return nil, fmt.Errorf("%w: event %d is missing a user or item key", ErrReplicateBody, k)
+			}
+		}
+	}
+	return &req, nil
+}
+
+// ReplicaBackend is what a replica applies batches through: the applied
+// cursor and the same batch-apply entry point the primary's write path uses.
+// *ingest.Ingestor satisfies it; tests substitute exact-accounting fakes.
+type ReplicaBackend interface {
+	// Seq returns the applied-event cursor.
+	Seq() uint64
+	// Apply folds one batch into the serving state (WAL append, state
+	// mutation, engine republish) and reports the new cursor and version.
+	Apply(ctx context.Context, events []serve.IngestEvent) (serve.IngestResult, error)
+}
+
+// ReplicaApplier is the replica side of the protocol: it serializes incoming
+// batches, enforces the cursor rules (idempotent duplicates, overlap
+// skipping, gap refusal) and feeds the survivors to the backend. One applier
+// guards one shard's replica.
+type ReplicaApplier struct {
+	shard   int
+	backend ReplicaBackend
+
+	// mu serializes the cursor check against the apply, so two concurrent
+	// batches cannot interleave between "read cursor" and "apply suffix".
+	mu sync.Mutex
+
+	epoch      atomic.Uint64
+	primarySeq atomic.Uint64
+}
+
+// NewReplicaApplier builds the applier for one shard's replica. The initial
+// primary head is assumed equal to the backend's cursor (zero lag) until the
+// first request announces a newer one.
+func NewReplicaApplier(shard int, epoch uint64, backend ReplicaBackend) *ReplicaApplier {
+	ra := &ReplicaApplier{shard: shard, backend: backend}
+	ra.epoch.Store(epoch)
+	ra.primarySeq.Store(backend.Seq())
+	return ra
+}
+
+// SetEpoch moves the applier to a new ring epoch (promotion re-points the
+// map under a bumped epoch; every surviving node adopts it).
+func (ra *ReplicaApplier) SetEpoch(epoch uint64) { ra.epoch.Store(epoch) }
+
+// Epoch returns the ring epoch the applier currently accepts.
+func (ra *ReplicaApplier) Epoch() uint64 { return ra.epoch.Load() }
+
+// observeHead advances the last-announced primary head monotonically.
+func (ra *ReplicaApplier) observeHead(h uint64) {
+	for {
+		cur := ra.primarySeq.Load()
+		if h <= cur || ra.primarySeq.CompareAndSwap(cur, h) {
+			return
+		}
+	}
+}
+
+// Apply runs one replicate request through the cursor rules. The returned
+// response always carries the replica's cursor; the error (when non-nil)
+// wraps one of the ErrReplicate* sentinels, or the backend's own failure.
+func (ra *ReplicaApplier) Apply(ctx context.Context, req *ReplicateRequest) (ReplicateResponse, error) {
+	if req.Shard != ra.shard {
+		return ReplicateResponse{AppliedSeq: ra.backend.Seq()},
+			fmt.Errorf("%w: batch for shard %d reached shard %d's replica", ErrReplicateShard, req.Shard, ra.shard)
+	}
+	for {
+		cur := ra.epoch.Load()
+		if req.Epoch < cur {
+			return ReplicateResponse{AppliedSeq: ra.backend.Seq()},
+				fmt.Errorf("%w: batch from epoch %d, replica is at epoch %d", ErrReplicateEpoch, req.Epoch, cur)
+		}
+		// A newer epoch is adopted: promotion bumps the epoch cluster-wide,
+		// and the new primary's first batch may arrive before the control
+		// plane's SetEpoch call.
+		if req.Epoch == cur || ra.epoch.CompareAndSwap(cur, req.Epoch) {
+			break
+		}
+	}
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	cursor := ra.backend.Seq()
+	if h := req.HeadSeq; h > 0 {
+		ra.observeHead(h)
+	}
+	if len(req.Events) == 0 {
+		return ReplicateResponse{AppliedSeq: cursor}, nil // heartbeat
+	}
+	last := req.FirstSeq + uint64(len(req.Events)) - 1
+	ra.observeHead(last)
+	if last <= cursor {
+		// Full duplicate: every event is already applied. Acknowledge with
+		// the cursor; re-applying would double-count.
+		return ReplicateResponse{AppliedSeq: cursor}, nil
+	}
+	if req.FirstSeq > cursor+1 {
+		return ReplicateResponse{AppliedSeq: cursor, Gap: true},
+			fmt.Errorf("%w: batch starts at %d, replica cursor is %d", ErrReplicateGap, req.FirstSeq, cursor)
+	}
+	// Partial overlap: skip the prefix at or below the cursor.
+	skip := cursor + 1 - req.FirstSeq
+	res, err := ra.backend.Apply(ctx, req.Events[skip:])
+	if err != nil {
+		return ReplicateResponse{AppliedSeq: ra.backend.Seq()}, fmt.Errorf("cluster: replica apply: %w", err)
+	}
+	return ReplicateResponse{AppliedSeq: res.Seq, Applied: len(req.Events) - int(skip), Version: res.Version}, nil
+}
+
+// Status reports the replica's replication status for /health and /metrics.
+func (ra *ReplicaApplier) Status() serve.ReplicationStatus {
+	applied := ra.backend.Seq()
+	head := ra.primarySeq.Load()
+	if head < applied {
+		head = applied
+	}
+	return serve.ReplicationStatus{
+		Role:       "replica",
+		AppliedSeq: applied,
+		PrimarySeq: head,
+		LagEvents:  head - applied,
+	}
+}
+
+// Handler returns the POST /replicate endpoint. Refusals are typed JSON
+// bodies mirroring the router's error taxonomy: 400 replicate_body, 409
+// replicate_shard / replicate_epoch / replicate_gap, 500 replicate_apply.
+func (ra *ReplicaApplier) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+			return
+		}
+		req, err := ParseReplicateRequest(http.MaxBytesReader(w, r.Body, maxReplicateBody))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ReplicateResponse{
+				AppliedSeq: ra.backend.Seq(), Error: err.Error(), Code: "replicate_body"})
+			return
+		}
+		resp, err := ra.Apply(r.Context(), req)
+		if err == nil {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		resp.Error = err.Error()
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrReplicateShard):
+			status, resp.Code = http.StatusConflict, "replicate_shard"
+		case errors.Is(err, ErrReplicateEpoch):
+			status, resp.Code = http.StatusConflict, "replicate_epoch"
+		case errors.Is(err, ErrReplicateGap):
+			status, resp.Code = http.StatusConflict, "replicate_gap"
+		default:
+			resp.Code = "replicate_apply"
+		}
+		writeJSON(w, status, resp)
+	})
+}
+
+// --- Primary-side shipper ------------------------------------------------------
+
+// ShipperConfig assembles a Shipper.
+type ShipperConfig struct {
+	// Shard and Epoch identify the primary's place in the ring.
+	Shard int
+	Epoch uint64
+	// WALPath is the primary's write-ahead log — the catch-up source.
+	WALPath string
+	// Replicas lists the replica addresses to ship to.
+	Replicas []string
+	// StartSeq is the primary's committed cursor at construction (the
+	// snapshot cursor on a fresh boot). Replica positions are assumed equal
+	// until their first response corrects the guess.
+	StartSeq uint64
+	// Client is the HTTP client for /replicate calls (default: keep-alive
+	// pooling, no global timeout — per-call timeouts bound each ship).
+	Client *http.Client
+	// ShipTimeout bounds one /replicate call (default 2s).
+	ShipTimeout time.Duration
+	// RetryBackoff is the catch-up loop's pause after a failed ship
+	// (default 100ms).
+	RetryBackoff time.Duration
+	// BatchEvents is the catch-up chunk size (default 1024, capped at
+	// MaxReplicateEvents).
+	BatchEvents int
+}
+
+// Shipper is the primary side of the protocol: it forwards each committed
+// batch to every replica inline (hooked into the ingestor's post-commit
+// path), and falls back to a per-replica background catch-up loop — re-read
+// the WAL from the replica's acknowledged cursor, ship chunks until drained —
+// whenever a replica is down, behind, or answers with a gap. A replica
+// therefore lags only while it is actually unreachable, and re-converges
+// without operator action.
+type Shipper struct {
+	cfg     ShipperConfig
+	client  *http.Client
+	timeout time.Duration
+	backoff time.Duration
+	batch   int
+
+	head  atomic.Uint64
+	epoch atomic.Uint64
+
+	reps []*shipperReplica
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// shipperReplica is the shipper's per-replica progress record.
+type shipperReplica struct {
+	addr string
+	wake chan struct{}
+
+	mu      sync.Mutex
+	acked   uint64
+	insync  bool
+	lastErr string
+}
+
+// NewShipper builds the shipper and starts one catch-up goroutine per
+// replica. Close releases them.
+func NewShipper(cfg ShipperConfig) *Shipper {
+	sp := &Shipper{
+		cfg:     cfg,
+		client:  cfg.Client,
+		timeout: cfg.ShipTimeout,
+		backoff: cfg.RetryBackoff,
+		batch:   cfg.BatchEvents,
+		stop:    make(chan struct{}),
+	}
+	if sp.client == nil {
+		transport := http.DefaultTransport.(*http.Transport).Clone()
+		transport.MaxIdleConnsPerHost = 4
+		sp.client = &http.Client{Transport: transport}
+	}
+	if sp.timeout <= 0 {
+		sp.timeout = 2 * time.Second
+	}
+	if sp.backoff <= 0 {
+		sp.backoff = 100 * time.Millisecond
+	}
+	if sp.batch <= 0 || sp.batch > MaxReplicateEvents {
+		sp.batch = 1024
+	}
+	sp.head.Store(cfg.StartSeq)
+	sp.epoch.Store(cfg.Epoch)
+	for _, addr := range cfg.Replicas {
+		rep := &shipperReplica{addr: addr, wake: make(chan struct{}, 1), acked: cfg.StartSeq, insync: true}
+		sp.reps = append(sp.reps, rep)
+		sp.wg.Add(1)
+		go sp.catchUp(rep)
+	}
+	return sp
+}
+
+// Commit is the ingestor's post-commit hook: it advances the committed head
+// and ships the batch to every in-sync replica inline. Failures never
+// propagate — a failing replica is flipped to catch-up mode and re-fed from
+// the WAL by its background loop.
+func (sp *Shipper) Commit(firstSeq uint64, events []serve.IngestEvent) {
+	if len(events) == 0 {
+		return
+	}
+	newHead := firstSeq + uint64(len(events)) - 1
+	for {
+		cur := sp.head.Load()
+		if newHead <= cur || sp.head.CompareAndSwap(cur, newHead) {
+			break
+		}
+	}
+	for _, rep := range sp.reps {
+		rep.mu.Lock()
+		insync := rep.insync
+		rep.mu.Unlock()
+		if !insync {
+			rep.poke()
+			continue
+		}
+		resp, err := sp.ship(rep.addr, firstSeq, newHead, events)
+		rep.mu.Lock()
+		switch {
+		case err != nil:
+			rep.insync = false
+			rep.lastErr = err.Error()
+		case resp.Gap:
+			rep.insync = false
+			rep.acked = resp.AppliedSeq
+		default:
+			if resp.AppliedSeq > rep.acked {
+				rep.acked = resp.AppliedSeq
+			}
+			rep.lastErr = ""
+		}
+		insync = rep.insync
+		rep.mu.Unlock()
+		if !insync {
+			rep.poke()
+		}
+	}
+}
+
+// SetHead advances the committed head without shipping (the recovery path:
+// events replayed from the WAL are already durable there) and wakes every
+// catch-up loop to re-feed replicas up to it.
+func (sp *Shipper) SetHead(seq uint64) {
+	for {
+		cur := sp.head.Load()
+		if seq <= cur || sp.head.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	for _, rep := range sp.reps {
+		rep.poke()
+	}
+}
+
+// SetEpoch moves the shipper to a new ring epoch.
+func (sp *Shipper) SetEpoch(epoch uint64) { sp.epoch.Store(epoch) }
+
+// Resync probes every replica with one heartbeat and adopts each answered
+// cursor as its acknowledged position — the handshake-by-heartbeat for when
+// the shipper's positional guess may be wrong (primary restart, node
+// rejoin). Replicas that do not answer, or answer from behind the head, are
+// flipped to catch-up mode.
+func (sp *Shipper) Resync() {
+	head := sp.head.Load()
+	for _, rep := range sp.reps {
+		resp, err := sp.ship(rep.addr, 0, head, nil)
+		rep.mu.Lock()
+		if err != nil {
+			rep.insync = false
+			rep.lastErr = err.Error()
+		} else {
+			rep.acked = resp.AppliedSeq
+			rep.insync = resp.AppliedSeq >= head
+			rep.lastErr = ""
+		}
+		insync := rep.insync
+		rep.mu.Unlock()
+		if !insync {
+			rep.poke()
+		}
+	}
+}
+
+// Head returns the committed head the shipper replicates up to.
+func (sp *Shipper) Head() uint64 { return sp.head.Load() }
+
+// Status reports the primary's replication status — head cursor plus every
+// replica's acknowledged position — for /health and /metrics.
+func (sp *Shipper) Status() serve.ReplicationStatus {
+	head := sp.head.Load()
+	st := serve.ReplicationStatus{Role: "primary", AppliedSeq: head, PrimarySeq: head}
+	for _, rep := range sp.reps {
+		rep.mu.Lock()
+		lag := uint64(0)
+		if head > rep.acked {
+			lag = head - rep.acked
+		}
+		st.Replicas = append(st.Replicas, serve.ReplicaLag{
+			Addr: rep.addr, AckedSeq: rep.acked, LagEvents: lag, InSync: rep.insync, Error: rep.lastErr})
+		rep.mu.Unlock()
+	}
+	return st
+}
+
+// MaxLag returns the widest replica lag in events (0 with no replicas).
+func (sp *Shipper) MaxLag() uint64 {
+	var max uint64
+	for _, r := range sp.Status().Replicas {
+		if r.LagEvents > max {
+			max = r.LagEvents
+		}
+	}
+	return max
+}
+
+// WaitSync blocks until every replica has acknowledged the committed head,
+// or the timeout expires (returning the stalled status as an error).
+func (sp *Shipper) WaitSync(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if sp.MaxLag() == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			st, _ := json.Marshal(sp.Status())
+			return fmt.Errorf("cluster: replicas did not catch up within %v: %s", timeout, st)
+		}
+		select {
+		case <-sp.stop:
+			return fmt.Errorf("cluster: shipper closed while waiting for sync")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops the catch-up loops. Safe to call more than once.
+func (sp *Shipper) Close() {
+	sp.once.Do(func() { close(sp.stop) })
+	sp.wg.Wait()
+}
+
+// poke wakes the replica's catch-up loop without blocking.
+func (r *shipperReplica) poke() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// sleep pauses the catch-up loop, returning false when the shipper closed.
+func (sp *Shipper) sleep(d time.Duration) bool {
+	select {
+	case <-sp.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// catchUp is the per-replica background loop: whenever woken it re-reads the
+// WAL from the replica's acknowledged cursor and ships chunks until the
+// replica has the committed head, then flips it back to in-sync shipping.
+func (sp *Shipper) catchUp(rep *shipperReplica) {
+	defer sp.wg.Done()
+	for {
+		select {
+		case <-sp.stop:
+			return
+		case <-rep.wake:
+		}
+		for {
+			select {
+			case <-sp.stop:
+				return
+			default:
+			}
+			head := sp.head.Load()
+			rep.mu.Lock()
+			acked := rep.acked
+			rep.mu.Unlock()
+			if acked >= head {
+				rep.mu.Lock()
+				rep.insync = true
+				rep.lastErr = ""
+				rep.mu.Unlock()
+				break
+			}
+			events, err := sp.readWAL(acked, head)
+			if err != nil || len(events) == 0 {
+				// A transient read race with an in-flight append, or a WAL
+				// shorter than the committed head (which heals once the
+				// append lands): back off and retry.
+				rep.mu.Lock()
+				if err != nil {
+					rep.lastErr = err.Error()
+				} else {
+					rep.lastErr = "wal behind committed head"
+				}
+				rep.mu.Unlock()
+				if !sp.sleep(sp.backoff) {
+					return
+				}
+				continue
+			}
+			resp, err := sp.ship(rep.addr, acked+1, head, events)
+			rep.mu.Lock()
+			switch {
+			case err != nil:
+				rep.lastErr = err.Error()
+			case resp.Gap:
+				rep.acked = resp.AppliedSeq // rewind: the replica moved backwards (restart)
+			default:
+				if resp.AppliedSeq > rep.acked {
+					rep.acked = resp.AppliedSeq
+				}
+				rep.lastErr = ""
+			}
+			rep.mu.Unlock()
+			if err != nil && !sp.sleep(sp.backoff) {
+				return
+			}
+		}
+	}
+}
+
+// errStopReplay aborts a WAL scan early once the chunk is full.
+var errStopReplay = errors.New("cluster: stop replay")
+
+// readWAL collects the events with sequence numbers in (after, min(head,
+// after+batch)] from the primary's WAL.
+func (sp *Shipper) readWAL(after, head uint64) ([]serve.IngestEvent, error) {
+	end := head
+	if limit := after + uint64(sp.batch); limit < end {
+		end = limit
+	}
+	var out []serve.IngestEvent
+	err := ingest.ReplayLog(sp.cfg.WALPath, after, func(seq uint64, ev ingest.Event) error {
+		if seq > end {
+			return errStopReplay
+		}
+		out = append(out, ev)
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopReplay) {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ship performs one /replicate call. A well-formed gap refusal is returned
+// as a response (the caller rewinds); every other failure is an error.
+func (sp *Shipper) ship(addr string, firstSeq, head uint64, events []serve.IngestEvent) (*ReplicateResponse, error) {
+	payload, err := json.Marshal(ReplicateRequest{
+		Shard:    sp.cfg.Shard,
+		Epoch:    sp.epoch.Load(),
+		FirstSeq: firstSeq,
+		HeadSeq:  head,
+		Events:   events,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode replicate batch: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), sp.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/replicate", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: build replicate request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := sp.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	var out ReplicateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("cluster: replica %s answered %d with an undecodable body: %s",
+			addr, resp.StatusCode, truncate(body))
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return &out, nil
+	case resp.StatusCode == http.StatusConflict && out.Gap:
+		return &out, nil
+	default:
+		return nil, fmt.Errorf("cluster: replica %s refused batch: status %d, code %q: %s",
+			addr, resp.StatusCode, out.Code, out.Error)
+	}
+}

@@ -33,9 +33,10 @@ import (
 
 // Ring limits guarding against nonsense in corrupt or hostile shard maps.
 const (
-	maxShards   = 1 << 10
-	maxReplicas = 1 << 10
-	maxAddrLen  = 1 << 8
+	maxShards       = 1 << 10
+	maxReplicas     = 1 << 10
+	maxAddrLen      = 1 << 8
+	maxReplicaAddrs = 8
 )
 
 // DefaultReplicas is the virtual-node count per shard when a Ring is built
@@ -66,8 +67,15 @@ var (
 // format version after it gates layout evolution.
 const RingMagic = "GANCRING"
 
-// ringFormatVersion is the wire-format version this build reads and writes.
-const ringFormatVersion = 1
+// ringFormatVersion is the base wire-format version; ringFormatVersionReplicas
+// extends each shard entry with a replica address list. Encode writes the base
+// version whenever no shard carries replicas — so replica-less shard maps stay
+// byte-identical to those written by older builds — and the replica-aware
+// version otherwise. DecodeRing reads both.
+const (
+	ringFormatVersion         = 1
+	ringFormatVersionReplicas = 2
+)
 
 // ShardInfo describes one shard: its stable identifier (the hashing key) and
 // the address its HTTP server answers on. The address is routing metadata
@@ -77,8 +85,13 @@ type ShardInfo struct {
 	// ID is the shard's stable identifier within the ring.
 	ID int `json:"id"`
 	// Addr is the shard server's host:port (empty for in-process rings that
-	// are resolved by index instead of address).
+	// are resolved by index instead of address). For a replicated shard this
+	// is always the current primary — the only node that accepts writes.
 	Addr string `json:"addr"`
+	// Replicas lists the shard's replica addresses (read-failover targets).
+	// Like Addr, they are routing metadata only and never enter the hash;
+	// promotion swaps an entry with Addr without moving any user's ownership.
+	Replicas []string `json:"replicas,omitempty"`
 }
 
 // ringPoint is one virtual node on the ring.
@@ -124,11 +137,29 @@ func NewRing(epoch uint64, replicas int, shards []ShardInfo) (*Ring, error) {
 			return nil, fmt.Errorf("%w: duplicate shard ID %d", ErrBadRing, s.ID)
 		}
 		seen[s.ID] = struct{}{}
+		if len(s.Replicas) > maxReplicaAddrs {
+			return nil, fmt.Errorf("%w: shard %d lists %d replicas, the limit is %d",
+				ErrBadRing, s.ID, len(s.Replicas), maxReplicaAddrs)
+		}
+		for k, addr := range s.Replicas {
+			if addr == "" {
+				return nil, fmt.Errorf("%w: shard %d replica %d has an empty address", ErrBadRing, s.ID, k)
+			}
+			if len(addr) > maxAddrLen {
+				return nil, fmt.Errorf("%w: shard %d replica %d address exceeds %d bytes",
+					ErrBadRing, s.ID, k, maxAddrLen)
+			}
+		}
+	}
+	copied := make([]ShardInfo, len(shards))
+	for i, s := range shards {
+		copied[i] = s
+		copied[i].Replicas = append([]string(nil), s.Replicas...)
 	}
 	r := &Ring{
 		epoch:    epoch,
 		replicas: replicas,
-		shards:   append([]ShardInfo(nil), shards...),
+		shards:   copied,
 		points:   make([]ringPoint, 0, replicas*len(shards)),
 	}
 	var vnode [20]byte
@@ -205,12 +236,26 @@ func (r *Ring) NumShards() int { return len(r.shards) }
 // Shards returns a copy of the shard descriptors in ring order.
 func (r *Ring) Shards() []ShardInfo {
 	out := make([]ShardInfo, len(r.shards))
-	copy(out, r.shards)
+	for i, s := range r.shards {
+		out[i] = s
+		out[i].Replicas = append([]string(nil), s.Replicas...)
+	}
 	return out
 }
 
-// Shard returns the descriptor at index i (ring order, not shard ID).
+// Shard returns the descriptor at index i (ring order, not shard ID). The
+// Replicas slice is shared with the ring and must be treated as read-only.
 func (r *Ring) Shard(i int) ShardInfo { return r.shards[i] }
+
+// HasReplicas reports whether any shard carries replica addresses.
+func (r *Ring) HasReplicas() bool {
+	for _, s := range r.shards {
+		if len(s.Replicas) > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // ownerIndex finds the ring point owning a hash: the first point clockwise
 // from the hash, wrapping at the top.
@@ -255,18 +300,32 @@ func (r *Ring) OwnerAmong(userKey string, alive func(shard int) bool) int {
 //	28      …     per shard: 4  shard ID (uint32)
 //	              2  address length (uint16)
 //	              …  address (UTF-8)
+//	              — version 2 only —
+//	              2  replica count (uint16)
+//	              …  per replica: 2 address length (uint16), address (UTF-8)
 //	…       4     CRC-32 (IEEE) of every preceding byte
 
 // Encode serializes the ring's shard map in the wire format documented
-// above.
+// above, choosing version 1 when no shard carries replica addresses (so the
+// bytes match older builds exactly) and version 2 otherwise.
 func (r *Ring) Encode() []byte {
+	version := uint32(ringFormatVersion)
 	n := 28
 	for _, s := range r.shards {
 		n += 6 + len(s.Addr)
 	}
+	if r.HasReplicas() {
+		version = ringFormatVersionReplicas
+		for _, s := range r.shards {
+			n += 2
+			for _, addr := range s.Replicas {
+				n += 2 + len(addr)
+			}
+		}
+	}
 	buf := make([]byte, 0, n+4)
 	buf = append(buf, RingMagic...)
-	buf = binary.BigEndian.AppendUint32(buf, ringFormatVersion)
+	buf = binary.BigEndian.AppendUint32(buf, version)
 	buf = binary.BigEndian.AppendUint64(buf, r.epoch)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(r.replicas))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.shards)))
@@ -274,6 +333,13 @@ func (r *Ring) Encode() []byte {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(s.ID))
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(s.Addr)))
 		buf = append(buf, s.Addr...)
+		if version == ringFormatVersionReplicas {
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(s.Replicas)))
+			for _, addr := range s.Replicas {
+				buf = binary.BigEndian.AppendUint16(buf, uint16(len(addr)))
+				buf = append(buf, addr...)
+			}
+		}
 	}
 	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 }
@@ -296,9 +362,10 @@ func DecodeRing(data []byte) (*Ring, error) {
 	if crc32.ChecksumIEEE(body) != sum {
 		return nil, fmt.Errorf("%w: shard map fails its checksum", ErrRingCorrupt)
 	}
-	if v := binary.BigEndian.Uint32(body[8:]); v != ringFormatVersion {
-		return nil, fmt.Errorf("%w: shard map has version %d, this build reads version %d",
-			ErrRingVersion, v, ringFormatVersion)
+	version := binary.BigEndian.Uint32(body[8:])
+	if version != ringFormatVersion && version != ringFormatVersionReplicas {
+		return nil, fmt.Errorf("%w: shard map has version %d, this build reads versions %d and %d",
+			ErrRingVersion, version, ringFormatVersion, ringFormatVersionReplicas)
 	}
 	epoch := binary.BigEndian.Uint64(body[12:])
 	replicas := binary.BigEndian.Uint32(body[20:])
@@ -324,8 +391,35 @@ func DecodeRing(data []byte) (*Ring, error) {
 		if len(rest) < addrLen {
 			return nil, fmt.Errorf("%w: shard %d address truncated", ErrRingCorrupt, id)
 		}
-		shards = append(shards, ShardInfo{ID: int(id), Addr: string(rest[:addrLen])})
+		info := ShardInfo{ID: int(id), Addr: string(rest[:addrLen])}
 		rest = rest[addrLen:]
+		if version == ringFormatVersionReplicas {
+			if len(rest) < 2 {
+				return nil, fmt.Errorf("%w: shard %d replica list truncated", ErrRingCorrupt, id)
+			}
+			repCount := int(binary.BigEndian.Uint16(rest))
+			rest = rest[2:]
+			if repCount > maxReplicaAddrs {
+				return nil, fmt.Errorf("%w: shard %d replica count %d out of range", ErrRingCorrupt, id, repCount)
+			}
+			for rk := 0; rk < repCount; rk++ {
+				if len(rest) < 2 {
+					return nil, fmt.Errorf("%w: shard %d replica %d truncated", ErrRingCorrupt, id, rk)
+				}
+				repLen := int(binary.BigEndian.Uint16(rest))
+				rest = rest[2:]
+				if repLen == 0 || repLen > maxAddrLen {
+					return nil, fmt.Errorf("%w: shard %d replica %d address length %d out of range",
+						ErrRingCorrupt, id, rk, repLen)
+				}
+				if len(rest) < repLen {
+					return nil, fmt.Errorf("%w: shard %d replica %d address truncated", ErrRingCorrupt, id, rk)
+				}
+				info.Replicas = append(info.Replicas, string(rest[:repLen]))
+				rest = rest[repLen:]
+			}
+		}
+		shards = append(shards, info)
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes after the shard table", ErrRingCorrupt, len(rest))
@@ -356,6 +450,56 @@ func ParsePeers(list string) ([]ShardInfo, error) {
 		}
 		seen[addr] = struct{}{}
 		shards = append(shards, ShardInfo{ID: k, Addr: addr})
+	}
+	return shards, nil
+}
+
+// ParsePeerTopology extends ParsePeers with replica addresses: each
+// comma-separated entry is "primary" or "primary+replica1+replica2", e.g.
+// "h1:8081+h1:9081,h2:8082+h2:9082" for a two-shard cluster with one replica
+// each. IDs are assigned by position; empty entries, oversized addresses and
+// duplicate addresses (across primaries and replicas alike) fail with
+// ErrBadPeers.
+func ParsePeerTopology(list string) ([]ShardInfo, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, fmt.Errorf("%w: empty list", ErrBadPeers)
+	}
+	parts := strings.Split(list, ",")
+	shards := make([]ShardInfo, 0, len(parts))
+	seen := make(map[string]struct{}, len(parts))
+	take := func(entry int, raw string) (string, error) {
+		addr := strings.TrimSpace(raw)
+		if addr == "" {
+			return "", fmt.Errorf("%w: entry %d has an empty address", ErrBadPeers, entry)
+		}
+		if len(addr) > maxAddrLen {
+			return "", fmt.Errorf("%w: entry %d address exceeds %d bytes", ErrBadPeers, entry, maxAddrLen)
+		}
+		if _, dup := seen[addr]; dup {
+			return "", fmt.Errorf("%w: duplicate address %q", ErrBadPeers, addr)
+		}
+		seen[addr] = struct{}{}
+		return addr, nil
+	}
+	for k, part := range parts {
+		nodes := strings.Split(part, "+")
+		if len(nodes)-1 > maxReplicaAddrs {
+			return nil, fmt.Errorf("%w: entry %d lists %d replicas, the limit is %d",
+				ErrBadPeers, k, len(nodes)-1, maxReplicaAddrs)
+		}
+		primary, err := take(k, nodes[0])
+		if err != nil {
+			return nil, err
+		}
+		info := ShardInfo{ID: k, Addr: primary}
+		for _, rep := range nodes[1:] {
+			addr, err := take(k, rep)
+			if err != nil {
+				return nil, err
+			}
+			info.Replicas = append(info.Replicas, addr)
+		}
+		shards = append(shards, info)
 	}
 	return shards, nil
 }

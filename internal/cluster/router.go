@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ganc/internal/admit"
@@ -73,7 +74,17 @@ type RouterConfig struct {
 	// Admission, when set, applies rate limiting and a concurrency cap at
 	// the router before any shard is contacted (nil admits everything).
 	Admission *admit.Controller
+	// MaxReplicaLag is the read-failover staleness bound: a replica whose
+	// reported lag exceeds this many committed events is never chosen as a
+	// read target (default DefaultMaxReplicaLag; negative disables failover).
+	MaxReplicaLag int64
 }
+
+// DefaultMaxReplicaLag is the default staleness bound for read failover, in
+// committed events. A replica kept in sync by the shipper sits at 0–1 events
+// of lag; the bound only bites while a replica is catching up from the WAL,
+// when serving its answers would silently rewind a user's visible history.
+const DefaultMaxReplicaLag = 1024
 
 // Router is the scatter-gather front of a shard set: it proxies single-user
 // reads to the owning shard, fans batch reads and ingest batches out across
@@ -81,11 +92,12 @@ type RouterConfig struct {
 // stateless apart from its configuration, so any number of router replicas
 // can front the same shard set.
 type Router struct {
-	ring     *Ring
+	ring     atomic.Pointer[Ring]
 	client   *http.Client
 	attempts int
 	backoff  time.Duration
 	probe    time.Duration
+	maxLag   int64
 
 	metrics   *obs.Registry
 	httpObs   *obs.HTTPMetrics
@@ -121,15 +133,20 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		transport.MaxIdleConnsPerHost = 64
 		client = &http.Client{Transport: transport, Timeout: 30 * time.Second}
 	}
+	maxLag := cfg.MaxReplicaLag
+	if maxLag == 0 {
+		maxLag = DefaultMaxReplicaLag
+	}
 	rt := &Router{
-		ring:      cfg.Ring,
 		client:    client,
 		attempts:  attempts,
 		backoff:   backoff,
 		probe:     probe,
+		maxLag:    maxLag,
 		metrics:   cfg.Metrics,
 		admission: cfg.Admission,
 	}
+	rt.ring.Store(cfg.Ring)
 	if cfg.Metrics != nil || cfg.RequestLog != nil {
 		reg := cfg.Metrics
 		if reg == nil {
@@ -146,24 +163,48 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	return rt, nil
 }
 
-// Ring returns the ring the router routes by.
-func (rt *Router) Ring() *Ring { return rt.ring }
+// Ring returns the ring the router currently routes by.
+func (rt *Router) Ring() *Ring { return rt.ring.Load() }
+
+// UpdateRing atomically re-points the router at a new shard map — the
+// promotion path: the shard count must match (ownership is hashed by shard
+// ID, and the per-shard metric slices are sized once), but addresses,
+// replica lists and the epoch may all change. In-flight requests finish
+// against the ring they started with.
+func (rt *Router) UpdateRing(ring *Ring) error {
+	if ring == nil {
+		return fmt.Errorf("%w: router needs a ring", ErrBadRing)
+	}
+	cur := rt.Ring()
+	if ring.NumShards() != cur.NumShards() {
+		return fmt.Errorf("%w: shard count changed from %d to %d; a router cannot re-shard in place",
+			ErrBadRing, cur.NumShards(), ring.NumShards())
+	}
+	for _, s := range ring.Shards() {
+		if s.Addr == "" {
+			return fmt.Errorf("%w: shard %d has no address", ErrBadRing, s.ID)
+		}
+	}
+	rt.ring.Store(ring)
+	return nil
+}
 
 // Owner returns the index of the shard owning the user key (the ring's
 // assignment; exposed so drivers and tests can partition work the same way
 // the router does).
-func (rt *Router) Owner(userKey string) int { return rt.ring.Owner(userKey) }
+func (rt *Router) Owner(userKey string) int { return rt.Ring().Owner(userKey) }
 
-// shardURL builds the target URL for a shard call.
-func (rt *Router) shardURL(shard int, pathAndQuery string) string {
-	return "http://" + rt.ring.Shard(shard).Addr + pathAndQuery
+// callShard performs one call against the shard's primary.
+func (rt *Router) callShard(ctx context.Context, shard int, method, pathAndQuery string, body []byte) (int, []byte, error) {
+	return rt.callAddr(ctx, shard, rt.Ring().Shard(shard).Addr, method, pathAndQuery, body)
 }
 
-// callShard performs one shard call with the bounded retry budget: transport
-// errors and 5xx answers are retried with backoff; any other HTTP answer is
-// returned as-is (4xx is the shard's verdict, not a routing failure). The
-// returned body is fully read so connections return to the keep-alive pool.
-func (rt *Router) callShard(ctx context.Context, shard int, method, pathAndQuery string, body []byte) (int, []byte, error) {
+// callAddr performs one shard call against an explicit address with the
+// bounded retry budget: transport errors and 5xx answers are retried with
+// backoff; any other HTTP answer is returned as-is (4xx is the shard's
+// verdict, not a routing failure). The returned body is fully read so
+// connections return to the keep-alive pool.
+func (rt *Router) callAddr(ctx context.Context, shard int, addr, method, pathAndQuery string, body []byte) (int, []byte, error) {
 	rt.rm.call(shard)
 	var lastErr error
 	for attempt := 0; attempt < rt.attempts; attempt++ {
@@ -172,7 +213,7 @@ func (rt *Router) callShard(ctx context.Context, shard int, method, pathAndQuery
 			select {
 			case <-ctx.Done():
 				rt.rm.failure(shard)
-				return 0, nil, &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: attempt,
+				return 0, nil, &ShardError{Shard: shard, Addr: addr, Attempts: attempt,
 					Err: fmt.Errorf("%w: %v", ErrShardUnavailable, ctx.Err())}
 			case <-time.After(rt.backoff):
 			}
@@ -181,9 +222,9 @@ func (rt *Router) callShard(ctx context.Context, shard int, method, pathAndQuery
 		if body != nil {
 			reader = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, rt.shardURL(shard, pathAndQuery), reader)
+		req, err := http.NewRequestWithContext(ctx, method, "http://"+addr+pathAndQuery, reader)
 		if err != nil {
-			return 0, nil, &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: attempt + 1,
+			return 0, nil, &ShardError{Shard: shard, Addr: addr, Attempts: attempt + 1,
 				Err: fmt.Errorf("%w: building request: %v", ErrShardUnavailable, err)}
 		}
 		if body != nil {
@@ -207,8 +248,100 @@ func (rt *Router) callShard(ctx context.Context, shard int, method, pathAndQuery
 		return resp.StatusCode, payload, nil
 	}
 	rt.rm.failure(shard)
-	return 0, nil, &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: rt.attempts,
+	return 0, nil, &ShardError{Shard: shard, Addr: addr, Attempts: rt.attempts,
 		Err: fmt.Errorf("%w: %v", ErrShardUnavailable, lastErr)}
+}
+
+// callShardRead is callShard with read failover: when the primary exhausts
+// its retry budget and the shard has replicas, the router probes them,
+// selects the freshest one within the staleness bound and serves the read
+// from it. Writes never take this path — a replica applies batches only
+// through /replicate, so failing a write over would fork the shard's
+// history.
+func (rt *Router) callShardRead(ctx context.Context, shard int, method, pathAndQuery string, body []byte) (int, []byte, error) {
+	status, payload, err := rt.callShard(ctx, shard, method, pathAndQuery, body)
+	if err == nil {
+		return status, payload, nil
+	}
+	ring := rt.Ring()
+	replicas := ring.Shard(shard).Replicas
+	if len(replicas) == 0 || rt.maxLag < 0 {
+		return status, payload, err
+	}
+	addr, ok := rt.pickReplica(ctx, replicas)
+	if !ok {
+		return status, payload, err
+	}
+	rt.rm.failover(shard)
+	st, body2, err2 := rt.callAddr(ctx, shard, addr, method, pathAndQuery, body)
+	if err2 != nil {
+		// Report the primary's failure: it is the root cause, and the
+		// replica's may just be the same outage.
+		return status, payload, err
+	}
+	return st, body2, nil
+}
+
+// pickReplica probes the shard's replicas and returns the address of the
+// freshest live one whose reported lag is within the staleness bound.
+func (rt *Router) pickReplica(ctx context.Context, replicas []string) (string, bool) {
+	type candidate struct {
+		addr string
+		seq  uint64
+		ok   bool
+	}
+	probeCtx, cancel := context.WithTimeout(ctx, rt.probe)
+	defer cancel()
+	results := make([]candidate, len(replicas))
+	var wg sync.WaitGroup
+	for i, addr := range replicas {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			health, err := rt.probeHealth(probeCtx, addr)
+			if err != nil || health.Replication == nil {
+				return
+			}
+			repl := health.Replication
+			if repl.LagEvents > uint64(rt.maxLag) {
+				return
+			}
+			results[i] = candidate{addr: addr, seq: repl.AppliedSeq, ok: true}
+		}(i, addr)
+	}
+	wg.Wait()
+	best, found := candidate{}, false
+	for _, c := range results {
+		if c.ok && (!found || c.seq > best.seq) {
+			best, found = c, true
+		}
+	}
+	return best.addr, found
+}
+
+// probeHealth fetches and decodes one node's /health without retries.
+func (rt *Router) probeHealth(ctx context.Context, addr string) (*serve.HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/health", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponse))
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: replica answered %d", ErrShardUnavailable, resp.StatusCode)
+	}
+	var health serve.HealthResponse
+	if err := json.Unmarshal(body, &health); err != nil {
+		return nil, fmt.Errorf("%w: decoding /health: %v", ErrShardResponse, err)
+	}
+	return &health, nil
 }
 
 // maxShardResponse bounds how much of a shard answer the router will buffer,
@@ -277,8 +410,8 @@ func (rt *Router) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing ?user="})
 		return
 	}
-	shard := rt.ring.Owner(userKey)
-	status, body, err := rt.callShard(r.Context(), shard, http.MethodGet, "/recommend?"+r.URL.RawQuery, nil)
+	shard := rt.Owner(userKey)
+	status, body, err := rt.callShardRead(r.Context(), shard, http.MethodGet, "/recommend?"+r.URL.RawQuery, nil)
 	if err != nil {
 		writeShardFailure(w, err)
 		return
@@ -335,9 +468,10 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Partition the users by owning shard, remembering each user's position
 	// so the merged results preserve request order.
+	ring := rt.Ring()
 	perShard := make(map[int][]int)
 	for k, user := range req.Users {
-		shard := rt.ring.Owner(user)
+		shard := ring.Owner(user)
 		perShard[shard] = append(perShard[shard], k)
 	}
 
@@ -356,19 +490,19 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			payload, _ := json.Marshal(serve.BatchRequest{Users: users})
 			ans := shardAnswer{shard: shard, indices: indices}
-			status, body, err := rt.callShard(r.Context(), shard, http.MethodPost, "/recommend/batch", payload)
+			status, body, err := rt.callShardRead(r.Context(), shard, http.MethodPost, "/recommend/batch", payload)
 			switch {
 			case err != nil:
 				ans.err = err
 			case status != http.StatusOK:
-				ans.err = &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: 1,
+				ans.err = &ShardError{Shard: shard, Addr: ring.Shard(shard).Addr, Attempts: 1,
 					Err: fmt.Errorf("%w: sub-batch rejected with status %d: %s", ErrShardResponse, status, truncate(body))}
 			default:
 				if err := json.Unmarshal(body, &ans.resp); err != nil {
-					ans.err = &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: 1,
+					ans.err = &ShardError{Shard: shard, Addr: ring.Shard(shard).Addr, Attempts: 1,
 						Err: fmt.Errorf("%w: decoding sub-batch answer: %v", ErrShardResponse, err)}
 				} else if len(ans.resp.Results) != len(users) {
-					ans.err = &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: 1,
+					ans.err = &ShardError{Shard: shard, Addr: ring.Shard(shard).Addr, Attempts: 1,
 						Err: fmt.Errorf("%w: sub-batch answered %d results for %d users", ErrShardResponse, len(ans.resp.Results), len(users))}
 				}
 			}
@@ -394,7 +528,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Results[idx] = ans.resp.Results[k]
 		}
 		out.Shards = append(out.Shards, ShardBatchMeta{
-			Shard:   rt.ring.Shard(ans.shard).ID,
+			Shard:   ring.Shard(ans.shard).ID,
 			Users:   len(ans.indices),
 			Model:   ans.resp.Model,
 			Version: ans.resp.Version,
@@ -456,10 +590,12 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	// Events go to the shard owning their user: the owner's write-ahead log
-	// is the durability point for that user's interactions.
+	// is the durability point for that user's interactions. Writes are never
+	// failed over to replicas (see callShardRead).
+	ring := rt.Ring()
 	perShard := make(map[int][]serve.IngestEvent)
 	for _, ev := range req.Events {
-		shard := rt.ring.Owner(ev.User)
+		shard := ring.Owner(ev.User)
 		perShard[shard] = append(perShard[shard], ev)
 	}
 
@@ -479,11 +615,11 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			case err != nil:
 				ans.err = err
 			case status != http.StatusOK:
-				ans.err = &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: 1,
+				ans.err = &ShardError{Shard: shard, Addr: ring.Shard(shard).Addr, Attempts: 1,
 					Err: fmt.Errorf("%w: ingest slice rejected with status %d: %s", ErrShardResponse, status, truncate(body))}
 			default:
 				if err := json.Unmarshal(body, &ans.result); err != nil {
-					ans.err = &ShardError{Shard: shard, Addr: rt.ring.Shard(shard).Addr, Attempts: 1,
+					ans.err = &ShardError{Shard: shard, Addr: ring.Shard(shard).Addr, Attempts: 1,
 						Err: fmt.Errorf("%w: decoding ingest answer: %v", ErrShardResponse, err)}
 				}
 			}
@@ -502,7 +638,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		out.Applied += ans.result.Applied
-		out.Shards = append(out.Shards, ShardIngestMeta{Shard: rt.ring.Shard(ans.shard).ID, Result: ans.result})
+		out.Shards = append(out.Shards, ShardIngestMeta{Shard: ring.Shard(ans.shard).ID, Result: ans.result})
 	}
 	if failure != nil {
 		// Slices that did land are durably applied at their shards; the 503
@@ -575,15 +711,16 @@ type InfoResponse struct {
 
 // probeShards fans one GET across all shards with the probe timeout.
 func (rt *Router) probeShards(ctx context.Context, path string) []ShardStatus {
-	statuses := make([]ShardStatus, rt.ring.NumShards())
+	ring := rt.Ring()
+	statuses := make([]ShardStatus, ring.NumShards())
 	ctx, cancel := context.WithTimeout(ctx, rt.probe)
 	defer cancel()
 	var wg sync.WaitGroup
-	for i := 0; i < rt.ring.NumShards(); i++ {
+	for i := 0; i < ring.NumShards(); i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			info := rt.ring.Shard(i)
+			info := ring.Shard(i)
 			st := ShardStatus{Shard: info.ID, Addr: info.Addr}
 			status, body, err := rt.callShard(ctx, i, http.MethodGet, path, nil)
 			switch {
@@ -600,7 +737,7 @@ func (rt *Router) probeShards(ctx context.Context, path string) []ShardStatus {
 					}
 					st.Info = &parsed
 					if id := parsed.Shard; id != nil &&
-						(id.RingEpoch != rt.ring.Epoch() || id.NumShards != rt.ring.NumShards() || id.ShardID != info.ID) {
+						(id.RingEpoch != ring.Epoch() || id.NumShards != ring.NumShards() || id.ShardID != info.ID) {
 						st.EpochMismatch = true
 					}
 					rt.rm.epochMismatch(i, st.EpochMismatch)
@@ -627,10 +764,11 @@ func (rt *Router) handleInfo(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
 		return
 	}
+	ring := rt.Ring()
 	statuses := rt.probeShards(r.Context(), "/info")
 	out := InfoResponse{Cluster: ClusterInfo{
-		Epoch:     rt.ring.Epoch(),
-		NumShards: rt.ring.NumShards(),
+		Epoch:     ring.Epoch(),
+		NumShards: ring.NumShards(),
 		Shards:    statuses,
 	}}
 	for _, st := range statuses {
@@ -680,6 +818,79 @@ type HealthResponse struct {
 	// RouterAdmission is the router's own admission snapshot when admission
 	// control is enabled at the router.
 	RouterAdmission *admit.Stats `json:"router_admission,omitempty"`
+	// Replicas lists per-replica liveness and lag, one row per replica
+	// address in the ring (absent on replica-less clusters).
+	Replicas []ReplicaHealth `json:"replicas,omitempty"`
+}
+
+// ReplicaHealth is one replica's row in the router's aggregated /health
+// answer: whether it answered its probe, its applied cursor and how many
+// committed events it still lags behind its primary.
+type ReplicaHealth struct {
+	// Shard and Addr identify the replica.
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	// Healthy reports whether the replica answered its probe.
+	Healthy bool `json:"healthy"`
+	// Error carries the probe failure when Healthy is false.
+	Error string `json:"error,omitempty"`
+	// AppliedSeq and LagEvents echo the replica's replication cursor.
+	AppliedSeq uint64 `json:"applied_seq"`
+	LagEvents  uint64 `json:"lag_events"`
+}
+
+// probeReplicas fans a /health GET across every replica address in the ring
+// and records the widest per-shard lag in the replica-lag gauge.
+func (rt *Router) probeReplicas(ctx context.Context) []ReplicaHealth {
+	ring := rt.Ring()
+	type slot struct {
+		shard int
+		addr  string
+	}
+	var slots []slot
+	for i := 0; i < ring.NumShards(); i++ {
+		info := ring.Shard(i)
+		for _, addr := range info.Replicas {
+			slots = append(slots, slot{shard: i, addr: addr})
+		}
+	}
+	if len(slots) == 0 {
+		return nil
+	}
+	probeCtx, cancel := context.WithTimeout(ctx, rt.probe)
+	defer cancel()
+	rows := make([]ReplicaHealth, len(slots))
+	var wg sync.WaitGroup
+	for k, sl := range slots {
+		wg.Add(1)
+		go func(k int, sl slot) {
+			defer wg.Done()
+			row := ReplicaHealth{Shard: ring.Shard(sl.shard).ID, Addr: sl.addr}
+			health, err := rt.probeHealth(probeCtx, sl.addr)
+			switch {
+			case err != nil:
+				row.Error = err.Error()
+			case health.Replication == nil:
+				row.Error = "node reports no replication status"
+			default:
+				row.Healthy = true
+				row.AppliedSeq = health.Replication.AppliedSeq
+				row.LagEvents = health.Replication.LagEvents
+			}
+			rows[k] = row
+		}(k, sl)
+	}
+	wg.Wait()
+	maxLag := make([]uint64, ring.NumShards())
+	for k, row := range rows {
+		if row.LagEvents > maxLag[slots[k].shard] {
+			maxLag[slots[k].shard] = row.LagEvents
+		}
+	}
+	for shard, lag := range maxLag {
+		rt.rm.replicaLag(shard, lag)
+	}
+	return rows
 }
 
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -689,6 +900,7 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	statuses := rt.probeShards(r.Context(), "/health")
 	out := HealthResponse{Status: "ok", Shards: len(statuses)}
+	out.Replicas = rt.probeReplicas(r.Context())
 	for _, st := range statuses {
 		if st.Healthy {
 			out.Healthy++

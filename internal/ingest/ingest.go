@@ -376,6 +376,14 @@ type Config struct {
 	// invoked after every CheckpointEvery applied events.
 	Checkpoint      Checkpointer
 	CheckpointEvery int
+	// OnCommit, when set, is invoked after every committed batch — Apply's
+	// state mutation and Recover's replay alike — under the ingestor's lock,
+	// with the sequence number of the batch's first event. It is the
+	// replication hook: the cluster layer ships committed batches to replicas
+	// from here. The hook has no error return on purpose; replication
+	// failures must never fail a batch that is already durable (the shipper
+	// falls back to catch-up from the write-ahead log instead).
+	OnCommit func(firstSeq uint64, events []Event)
 }
 
 // Ingestor serializes event application: WAL append → state mutation →
@@ -432,6 +440,9 @@ func (in *Ingestor) Apply(ctx context.Context, events []Event) (serve.IngestResu
 	var warnings []string
 	if err := in.publishLocked(); err != nil {
 		warnings = append(warnings, err.Error())
+	}
+	if in.cfg.OnCommit != nil {
+		in.cfg.OnCommit(in.cfg.State.AppliedSeq-uint64(len(events))+1, events)
 	}
 	in.sinceCheckpoint += len(events)
 	if in.cfg.CheckpointEvery > 0 && in.sinceCheckpoint >= in.cfg.CheckpointEvery {
@@ -504,6 +515,9 @@ func (in *Ingestor) Recover() (replayed int, err error) {
 	in.cfg.State.applyEvents(batch)
 	if err := in.publishLocked(); err != nil {
 		return 0, err
+	}
+	if in.cfg.OnCommit != nil {
+		in.cfg.OnCommit(in.cfg.State.AppliedSeq-uint64(len(batch))+1, batch)
 	}
 	return len(batch), nil
 }

@@ -108,6 +108,24 @@ func (s *Server) initObservability() {
 	reg.CounterFunc("ganc_ingest_events_total",
 		"Interaction events applied through POST /ingest.",
 		func() float64 { return float64(s.ingestEvents.Load()) })
+	// Replication series read through the probe attached later with
+	// SetReplicationProbe; they report 0 until (and unless) one is attached.
+	reg.GaugeFunc("ganc_replication_applied_seq",
+		"Applied write-ahead-log cursor of this node's replication role (0 when replication is off).",
+		func() float64 {
+			if p := s.repl.Load(); p != nil {
+				return float64(p.fn().AppliedSeq)
+			}
+			return 0
+		})
+	reg.GaugeFunc("ganc_replication_lag_events",
+		"Committed events this node has not applied yet (replicas; 0 on primaries and when replication is off).",
+		func() float64 {
+			if p := s.repl.Load(); p != nil {
+				return float64(p.fn().LagEvents)
+			}
+			return 0
+		})
 	if s.admission != nil {
 		s.admission.Register(reg)
 	}
@@ -117,8 +135,8 @@ func (s *Server) initObservability() {
 // shard identity, serving version, and the admission client key.
 func (s *Server) requestMeta(r *http.Request) (*int, int, string) {
 	var shard *int
-	if s.shard != nil {
-		id := s.shard.ShardID
+	if sh := s.shard.Load(); sh != nil {
+		id := sh.ShardID
 		shard = &id
 	}
 	return shard, s.Version(), s.admission.ClientKey(r)
@@ -138,4 +156,65 @@ type HealthResponse struct {
 	// Admission carries shed counts and limiter saturation when admission
 	// control is enabled.
 	Admission *admit.Stats `json:"admission,omitempty"`
+	// Replication carries the server's replication role and cursor lag when
+	// it participates in a primary→replica pair (absent otherwise).
+	Replication *ReplicationStatus `json:"replication,omitempty"`
+}
+
+// --- Replication status -------------------------------------------------------
+
+// ReplicationStatus describes a server's place in per-shard primary→replica
+// replication: its role, its applied write-ahead-log cursor, and how far it
+// (or its replicas) lag behind the committed head. The cluster layer computes
+// it — a primary's shipper knows every replica's acknowledged cursor, a
+// replica's applier knows the last head the primary announced — and attaches
+// it with SetReplicationProbe; the server merely reports it through /health
+// and /metrics. Lag is measured in events (WAL sequence delta); because every
+// replicated batch is republished through the versioned engine swap, the
+// version lag is bounded by the same number.
+type ReplicationStatus struct {
+	// Role is "primary" or "replica".
+	Role string `json:"role"`
+	// AppliedSeq is this server's applied write-ahead-log cursor.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// PrimarySeq is the primary's committed head as this server knows it (on
+	// a primary, equal to AppliedSeq; on a replica, the head last announced
+	// over /replicate).
+	PrimarySeq uint64 `json:"primary_seq"`
+	// LagEvents is PrimarySeq − AppliedSeq: how many committed events this
+	// server has not applied yet. Always 0 on a primary.
+	LagEvents uint64 `json:"lag_events"`
+	// Replicas reports per-replica shipping progress (primaries only).
+	Replicas []ReplicaLag `json:"replicas,omitempty"`
+}
+
+// ReplicaLag is one replica's shipping progress as seen by its primary.
+type ReplicaLag struct {
+	// Addr is the replica's host:port.
+	Addr string `json:"addr"`
+	// AckedSeq is the last cursor the replica acknowledged.
+	AckedSeq uint64 `json:"acked_seq"`
+	// LagEvents is the primary's head minus AckedSeq.
+	LagEvents uint64 `json:"lag_events"`
+	// InSync is true while the replica acknowledges commits inline; false
+	// while the background catch-up loop is re-feeding it from the WAL.
+	InSync bool `json:"in_sync"`
+	// Error is the last shipping failure, empty while healthy.
+	Error string `json:"error,omitempty"`
+}
+
+// replicationProbe wraps the status callback so the atomic pointer has a
+// concrete type.
+type replicationProbe struct{ fn func() ReplicationStatus }
+
+// SetReplicationProbe attaches (or, with nil, detaches) the callback behind
+// the /health replication section and the ganc_replication_* metric series.
+// Safe to call while the server is handling requests; the callback must be
+// safe for concurrent use.
+func (s *Server) SetReplicationProbe(fn func() ReplicationStatus) {
+	if fn == nil {
+		s.repl.Store(nil)
+		return
+	}
+	s.repl.Store(&replicationProbe{fn: fn})
 }

@@ -92,8 +92,23 @@ type ShardIdentity struct {
 func WithShardIdentity(id ShardIdentity) Option {
 	return func(s *Server) {
 		shard := id
-		s.shard = &shard
+		s.shard.Store(&shard)
 	}
+}
+
+// SetShardIdentity replaces the server's cluster identity at runtime. Replica
+// promotion re-points the shard map under a bumped ring epoch while servers
+// keep running, so the identity they echo must be swappable without a restart.
+// Safe to call while the server is handling requests.
+func (s *Server) SetShardIdentity(id ShardIdentity) {
+	shard := id
+	s.shard.Store(&shard)
+}
+
+// Shard returns the server's current cluster identity, or nil on single-node
+// servers.
+func (s *Server) Shard() *ShardIdentity {
+	return s.shard.Load()
 }
 
 // WithBatchWorkers bounds how many engine sweeps one POST /recommend/batch
@@ -137,7 +152,7 @@ type Server struct {
 	capacity     int
 	batchWorkers int
 	seed         types.Recommendations
-	shard        *ShardIdentity
+	shard        atomic.Pointer[ShardIdentity]
 
 	gen atomic.Pointer[generation]
 
@@ -145,6 +160,11 @@ type Server struct {
 	// It is attached after construction (the sink needs the server handle to
 	// swap engines), hence the atomic rather than a constructor option.
 	ingest atomic.Pointer[ingestHolder]
+
+	// repl holds the optional replication-status probe reported through
+	// /health and /metrics; attached after construction like the ingest sink
+	// (the shipper/applier needs the server handle first).
+	repl atomic.Pointer[replicationProbe]
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -339,13 +359,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := HealthResponse{Status: "ok", Version: s.Version()}
-	if s.shard != nil {
-		id := s.shard.ShardID
+	if shard := s.shard.Load(); shard != nil {
+		id := shard.ShardID
 		resp.Shard = &id
 	}
 	if s.admission != nil {
 		stats := s.admission.Stats()
 		resp.Admission = &stats
+	}
+	if p := s.repl.Load(); p != nil {
+		st := p.fn()
+		resp.Replication = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -381,7 +405,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		TopN:     s.n,
 		Version:  gen.version,
 		Cache:    s.Stats(),
-		Shard:    s.shard,
+		Shard:    s.shard.Load(),
 	})
 }
 

@@ -449,6 +449,9 @@ type ClusterBenchReport struct {
 	TopN int `json:"top_n"`
 	// Shards is the cluster's shard count.
 	Shards int `json:"shards"`
+	// Replicas is the per-shard warm-replica count behind the cluster
+	// measurement (0 = unreplicated, no failover section).
+	Replicas int `json:"replicas,omitempty"`
 	// NodeCacheCapacity is the per-node LRU budget shared by the single
 	// node and every shard — the knob that makes the comparison fair.
 	NodeCacheCapacity int `json:"node_cache_capacity"`
@@ -463,6 +466,25 @@ type ClusterBenchReport struct {
 	Cluster    *LoadResult `json:"cluster"`
 	// Speedup is Cluster.ThroughputRPS / SingleNode.ThroughputRPS.
 	Speedup float64 `json:"speedup"`
+	// Failover is the mid-run primary-kill drill measurement (nil when the
+	// cluster runs without replicas).
+	Failover *FailoverReport `json:"failover,omitempty"`
+}
+
+// FailoverReport is the failover section of BENCH_cluster.json: a read-only
+// load run against a replicated cluster during which one shard's primary is
+// killed mid-run, proving the router's replica failover keeps the error
+// count at zero while throughput stays useful.
+type FailoverReport struct {
+	// KilledShard is the shard whose primary the drill killed.
+	KilledShard int `json:"killed_shard"`
+	// KillDelayMs is how far into the run the kill fired.
+	KillDelayMs int `json:"kill_delay_ms"`
+	// PromotedEpoch is the ring epoch after the post-run promotion (0 when
+	// the drill did not promote).
+	PromotedEpoch uint64 `json:"promoted_epoch,omitempty"`
+	// Result is the measured run spanning the kill.
+	Result *LoadResult `json:"result"`
 }
 
 // WriteClusterBenchReport writes the cluster comparison artifact

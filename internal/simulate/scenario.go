@@ -82,6 +82,27 @@ type ShardedSystem interface {
 	ShardFingerprint(ctx context.Context, shard int) ([]byte, error)
 }
 
+// ReplicatedSystem is the replication extension of ShardedSystem: a cluster
+// whose shards each carry warm replicas, where a killed primary's freshest
+// replica can be promoted in place (new ring epoch, new serving address for
+// the shard) and the dead ex-primary can rejoin as a catching-up replica.
+// Scenario phases that promote or rejoin require the primary to implement it.
+type ReplicatedSystem interface {
+	ShardedSystem
+	// NumReplicas returns the per-shard replica count (0 = unreplicated).
+	NumReplicas() int
+	// PromoteReplica promotes the freshest live replica of a killed shard to
+	// primary and returns the new ring epoch.
+	PromoteReplica(shard int) (epoch uint64, err error)
+	// RejoinAsReplica boots the shard's dead ex-primary as a replica of the
+	// promoted primary, returning how many write-ahead-log events its local
+	// replay restored before replication catch-up took over.
+	RejoinAsReplica(shard int) (replayed int, err error)
+	// ReplicaLag returns the shard's widest replica lag in committed events
+	// (0 when the shard has no live primary-side shipper).
+	ReplicaLag(shard int) uint64
+}
+
 // PhaseKind names a lifecycle phase.
 type PhaseKind string
 
@@ -121,6 +142,17 @@ const (
 	// delivered to that shard, so an uninterrupted single node is the
 	// ground truth for what the shard must look like after recovery).
 	PhaseRestartShard PhaseKind = "restart-shard"
+	// PhasePromoteReplica promotes the freshest live replica of a killed
+	// shard (Phase.Shard) to primary and asserts the same owned-user parity
+	// contract as restart-shard against the promoted runtime. The check is
+	// deliberately address-agnostic: ownership is keyed by shard ID, so the
+	// promoted replica's different listen address and the bumped ring epoch
+	// must not perturb the fingerprint.
+	PhasePromoteReplica PhaseKind = "promote-replica"
+	// PhaseRejoinReplica boots the shard's dead ex-primary as a replica of
+	// the promoted primary and waits for its replication lag to drain to
+	// zero, proving the demoted node converges on the new history.
+	PhaseRejoinReplica PhaseKind = "rejoin-replica"
 )
 
 // Phase is one step of a scenario. Zero-valued knobs select the defaults
@@ -163,6 +195,12 @@ type Phase struct {
 	// collapsing", robust to a loaded CI machine, while still catching a
 	// server that stops answering admitted requests under overload.
 	MaxP99Ms float64 `json:"max_p99_ms,omitempty"`
+	// MaxReplicaLagEvents, on a serve-under-load phase against a replicated
+	// primary, asserts that every live shard's widest replica lag drains to
+	// at most this many committed events shortly after the load completes
+	// (nil = no assertion; the shard killed by KillShardMid is exempt — its
+	// shipper died with its primary).
+	MaxReplicaLagEvents *uint64 `json:"max_replica_lag_events,omitempty"`
 }
 
 // Scenario is a full lifecycle expressed as data: a universe, a system
@@ -212,7 +250,8 @@ func (sc *Scenario) shardUnderTest() (int, error) {
 	}
 	for _, p := range sc.Phases {
 		switch {
-		case p.Kind == PhaseKillShard || p.Kind == PhaseRestartShard:
+		case p.Kind == PhaseKillShard || p.Kind == PhaseRestartShard ||
+			p.Kind == PhasePromoteReplica || p.Kind == PhaseRejoinReplica:
 			if err := consider(p.Shard); err != nil {
 				return -1, err
 			}
@@ -248,6 +287,12 @@ type PhaseResult struct {
 	// Shard echoes the target of a kill-shard/restart-shard phase (and of a
 	// mid-load kill).
 	Shard int `json:"shard,omitempty"`
+	// Epoch is the ring epoch a promote-replica phase installed.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// ReplicaLagEvents is the widest replica lag observed when a phase
+	// asserted a lag bound (serve-under-load's MaxReplicaLagEvents, or the
+	// rejoin-replica convergence wait).
+	ReplicaLagEvents uint64 `json:"replica_lag_events,omitempty"`
 }
 
 // Result is the outcome of one scenario run.
@@ -283,9 +328,12 @@ type runState struct {
 	snapPath string
 	walPath  string
 	// sharded is the primary's multi-node view (nil for single-node runs);
-	// shadowShard is the shard whose routed events feed the shadow (-1 when
-	// the shadow absorbs everything, the single-node semantics).
+	// replicated additionally carries per-shard replicas and promotion (nil
+	// for unreplicated clusters); shadowShard is the shard whose routed
+	// events feed the shadow (-1 when the shadow absorbs everything, the
+	// single-node semantics).
 	sharded     ShardedSystem
+	replicated  ReplicatedSystem
 	shadowShard int
 }
 
@@ -365,6 +413,12 @@ func (r *Runner) runPhase(ctx context.Context, sc *Scenario, st *runState, p Pha
 	case PhaseRestartShard:
 		pr.Shard = p.Shard
 		return r.restartShard(ctx, st, p, pr)
+	case PhasePromoteReplica:
+		pr.Shard = p.Shard
+		return r.promoteReplica(ctx, st, p, pr)
+	case PhaseRejoinReplica:
+		pr.Shard = p.Shard
+		return r.rejoinReplica(st, p, pr)
 	default:
 		return pr, fmt.Errorf("unknown phase kind %q", p.Kind)
 	}
@@ -382,6 +436,18 @@ func (st *runState) shardedOrErr(kind PhaseKind) (ShardedSystem, error) {
 	return st.sharded, nil
 }
 
+// replicatedOrErr returns the primary's replicated view, erroring for phases
+// that need replicas against an unreplicated primary.
+func (st *runState) replicatedOrErr(kind PhaseKind) (ReplicatedSystem, error) {
+	if _, err := st.shardedOrErr(kind); err != nil {
+		return nil, err
+	}
+	if st.replicated == nil || st.replicated.NumReplicas() == 0 {
+		return nil, fmt.Errorf("%s phase requires a replicated primary", kind)
+	}
+	return st.replicated, nil
+}
+
 // train stands up the primary (and the shadow when the scenario needs one)
 // and enables ingestion when later phases will stream events.
 func (r *Runner) train(sc *Scenario, st *runState) error {
@@ -390,6 +456,7 @@ func (r *Runner) train(sc *Scenario, st *runState) error {
 		return err
 	}
 	st.sharded, _ = st.primary.(ShardedSystem)
+	st.replicated, _ = st.primary.(ReplicatedSystem)
 	if st.shadowShard >= 0 {
 		if st.sharded == nil {
 			return fmt.Errorf("scenario drills shard %d but the primary is not sharded", st.shadowShard)
@@ -398,7 +465,8 @@ func (r *Runner) train(sc *Scenario, st *runState) error {
 			return fmt.Errorf("scenario drills shard %d of a %d-shard primary", st.shadowShard, n)
 		}
 	}
-	needIngest := sc.has(PhaseIngestChurn) || sc.has(PhaseKillAndRecover) || sc.has(PhaseRestartShard)
+	needIngest := sc.has(PhaseIngestChurn) || sc.has(PhaseKillAndRecover) ||
+		sc.has(PhaseRestartShard) || sc.has(PhasePromoteReplica)
 	if needIngest {
 		// The primary runs the full durability stack; checkpoints target the
 		// same snapshot path PhaseSave writes, mirroring cmd/ganc.
@@ -406,7 +474,8 @@ func (r *Runner) train(sc *Scenario, st *runState) error {
 			return err
 		}
 	}
-	if sc.has(PhaseKillAndRecover) || (sc.has(PhaseRestartShard) && st.shadowShard >= 0) {
+	if sc.has(PhaseKillAndRecover) ||
+		((sc.has(PhaseRestartShard) || sc.has(PhasePromoteReplica)) && st.shadowShard >= 0) {
 		newShadow := r.NewShadow
 		if newShadow == nil {
 			newShadow = r.NewSystem
@@ -537,7 +606,15 @@ func (r *Runner) serveUnderLoad(ctx context.Context, sc *Scenario, st *runState,
 		case <-time.After(5 * time.Second):
 			return pr, fmt.Errorf("mid-load kill of shard %d never fired", shard)
 		}
-		return pr, nil
+		if st.replicated != nil && st.replicated.NumReplicas() > 0 && mix.Ingest == 0 && res.Errors > 0 {
+			// With warm replicas behind every shard and a read-only mix, the
+			// router's read failover must mask the outage completely: any
+			// surviving error means a read was dropped instead of retried
+			// against a replica.
+			return pr, fmt.Errorf("mid-load kill of shard %d leaked %d of %d read errors despite replicas (failover must mask the outage)",
+				shard, res.Errors, res.Requests)
+		}
+		return pr, r.assertReplicaLag(st, p, shard, &pr)
 	}
 
 	res, err := RunLoad(ctx, st.universe, cfg)
@@ -548,7 +625,42 @@ func (r *Runner) serveUnderLoad(ctx context.Context, sc *Scenario, st *runState,
 	if res.Errors > 0 {
 		return pr, fmt.Errorf("%d of %d requests failed with server-side errors", res.Errors, res.Requests)
 	}
-	return pr, nil
+	return pr, r.assertReplicaLag(st, p, -1, &pr)
+}
+
+// assertReplicaLag enforces a serve-under-load phase's MaxReplicaLagEvents
+// knob: every shard's widest replica lag (except skip, the shard whose
+// primary a mid-load kill took down) must drain to the bound within a short
+// grace window. A nil knob is a no-op.
+func (r *Runner) assertReplicaLag(st *runState, p Phase, skip int, pr *PhaseResult) error {
+	if p.MaxReplicaLagEvents == nil {
+		return nil
+	}
+	rs, err := st.replicatedOrErr("serve-under-load max-replica-lag")
+	if err != nil {
+		return err
+	}
+	bound := *p.MaxReplicaLagEvents
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var widest uint64
+		for sh := 0; sh < rs.NumShards(); sh++ {
+			if sh == skip {
+				continue
+			}
+			if lag := rs.ReplicaLag(sh); lag > widest {
+				widest = lag
+			}
+		}
+		pr.ReplicaLagEvents = widest
+		if widest <= bound {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica lag of %d committed events never drained to the %d-event bound", widest, bound)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // overload drives offered load well past the primary's admission capacity
@@ -707,27 +819,82 @@ func (r *Runner) restartShard(ctx context.Context, st *runState, p Phase, pr Pha
 		return pr, fmt.Errorf("restart shard %d: %w", p.Shard, err)
 	}
 	pr.Replayed = replayed
+	return r.shardParity(ctx, st, p.Shard, pr)
+}
+
+// shardParity asserts the shard's owned-user fingerprint is byte-identical
+// to the single-node shadow restricted to the same users. The check is
+// keyed entirely by shard ID — ShardOwner and ShardFingerprint are
+// address-agnostic — so it holds across a same-address restart and across a
+// promotion that moved the shard to a replica's address under a new ring
+// epoch alike. A scenario without a shadow skips the check.
+func (r *Runner) shardParity(ctx context.Context, st *runState, shard int, pr PhaseResult) (PhaseResult, error) {
 	if st.shadow == nil {
 		return pr, nil
 	}
+	ss := st.sharded
 	shadowFp, err := st.shadow.Fingerprint(ctx)
 	if err != nil {
 		return pr, fmt.Errorf("shadow fingerprint: %w", err)
 	}
-	want := FilterCanonical(shadowFp, func(user string) bool { return ss.ShardOwner(user) == p.Shard })
+	want := FilterCanonical(shadowFp, func(user string) bool { return ss.ShardOwner(user) == shard })
 	if len(want) == 0 {
-		return pr, fmt.Errorf("shadow fingerprint covers no users owned by shard %d: the parity check would be vacuous", p.Shard)
+		return pr, fmt.Errorf("shadow fingerprint covers no users owned by shard %d: the parity check would be vacuous", shard)
 	}
-	got, err := ss.ShardFingerprint(ctx, p.Shard)
+	got, err := ss.ShardFingerprint(ctx, shard)
 	if err != nil {
 		return pr, fmt.Errorf("recovered shard fingerprint: %w", err)
 	}
 	if !bytes.Equal(got, want) {
 		return pr, fmt.Errorf("shard recovery equivalence broken: shard %d's owned-user output differs from the single-node shadow (replayed %d events, %d vs %d bytes)",
-			p.Shard, replayed, len(got), len(want))
+			shard, pr.Replayed, len(got), len(want))
 	}
 	pr.ParityChecked = true
 	return pr, nil
+}
+
+// promoteReplica promotes the freshest live replica of a killed shard and
+// asserts the promoted runtime passes the same owned-user parity contract a
+// restarted shard must — non-vacuously, under the shard's new address and
+// the bumped ring epoch.
+func (r *Runner) promoteReplica(ctx context.Context, st *runState, p Phase, pr PhaseResult) (PhaseResult, error) {
+	rs, err := st.replicatedOrErr(p.Kind)
+	if err != nil {
+		return pr, err
+	}
+	epoch, err := rs.PromoteReplica(p.Shard)
+	if err != nil {
+		return pr, fmt.Errorf("promote shard %d: %w", p.Shard, err)
+	}
+	pr.Epoch = epoch
+	return r.shardParity(ctx, st, p.Shard, pr)
+}
+
+// rejoinReplica boots the shard's dead ex-primary as a replica and waits for
+// its replication lag to drain to zero: the demoted node must converge on
+// the promoted primary's history.
+func (r *Runner) rejoinReplica(st *runState, p Phase, pr PhaseResult) (PhaseResult, error) {
+	rs, err := st.replicatedOrErr(p.Kind)
+	if err != nil {
+		return pr, err
+	}
+	replayed, err := rs.RejoinAsReplica(p.Shard)
+	if err != nil {
+		return pr, fmt.Errorf("rejoin shard %d: %w", p.Shard, err)
+	}
+	pr.Replayed = replayed
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		lag := rs.ReplicaLag(p.Shard)
+		pr.ReplicaLagEvents = lag
+		if lag == 0 {
+			return pr, nil
+		}
+		if time.Now().After(deadline) {
+			return pr, fmt.Errorf("rejoined shard %d never converged: replica lag stuck at %d committed events", p.Shard, lag)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // ingestChurn streams event batches through the primary's POST /ingest while

@@ -37,6 +37,10 @@ type (
 	// ClusterBenchReport is the BENCH_cluster.json document (single node vs
 	// N-shard cluster under the same load and per-node cache budget).
 	ClusterBenchReport = simulate.ClusterBenchReport
+	// FailoverReport is the failover section of BENCH_cluster.json: a
+	// read-only run spanning a mid-run primary kill against a replicated
+	// cluster.
+	FailoverReport = simulate.FailoverReport
 	// Scenario is a system lifecycle expressed as a phase list.
 	Scenario = simulate.Scenario
 	// ScenarioPhase is one step of a Scenario.

@@ -1,12 +1,15 @@
 package ganc
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,6 +66,17 @@ type (
 	Shipper = cluster.Shipper
 	// ShipperConfig configures NewShipper.
 	ShipperConfig = cluster.ShipperConfig
+	// MigrationApplier is the destination-side live-migration endpoint: it
+	// applies per-user history slices behind POST /migrate during a reshard,
+	// sequenced per user with duplicate and gap detection (every shard
+	// primary mounts one; Reshard drives them).
+	MigrationApplier = cluster.MigrationApplier
+	// UserMove is one user's ownership change between two ring epochs.
+	UserMove = cluster.UserMove
+	// ReshardStats summarizes one completed Reshard: shard counts, the new
+	// epoch, users moved and migrated, events migrated, double-dispatched
+	// reads and the cutover window width.
+	ReshardStats = cluster.ReshardStats
 )
 
 // Cluster error sentinels re-exported from internal/cluster.
@@ -109,6 +123,20 @@ func NewReplicaApplier(shard int, epoch uint64, ing *Ingestor) *ReplicaApplier {
 // method into the shard's ingestor with WithCommitHook, and call Resync
 // after write-ahead-log recovery so it adopts each replica's true cursor.
 func NewShipper(cfg ShipperConfig) *Shipper { return cluster.NewShipper(cfg) }
+
+// NewMigrationApplier builds the destination-side live-migration applier for
+// one shard at a ring epoch, applying migrated user histories into the
+// node's ingestor. Mount its Handler at POST /migrate next to the node's
+// serving surface (NewCluster wires one into every shard primary).
+func NewMigrationApplier(shard int, epoch uint64, ing *Ingestor) *MigrationApplier {
+	return cluster.NewMigrationApplier(shard, epoch, ing)
+}
+
+// MovedUsers computes the ownership delta between two rings over the given
+// user keys: every user whose owner changes, with its old and new shard.
+func MovedUsers(old, next *Ring, keys []string) map[string]UserMove {
+	return cluster.MovedUsers(old, next, keys)
+}
 
 // ClusterOption customizes a Cluster at construction time.
 type ClusterOption func(*clusterConfig)
@@ -271,11 +299,12 @@ type clusterShard struct {
 	snapPath string
 	walPath  string
 
-	pipe  *Pipeline
-	srv   *Server
-	ing   *Ingestor
-	hs    *http.Server
-	relay *commitRelay
+	pipe     *Pipeline
+	srv      *Server
+	ing      *Ingestor
+	hs       *http.Server
+	relay    *commitRelay
+	migrator *cluster.MigrationApplier
 
 	replicas []*replicaNode
 	shipper  *cluster.Shipper
@@ -300,6 +329,14 @@ type Cluster struct {
 	shards  []*clusterShard
 	topN    int
 	ownsDir bool
+
+	// baselinePath is the pristine pre-split snapshot Reshard boots added
+	// shards from; lineage records every shard count this cluster has ever
+	// run, so loadShardNode accepts checkpoints stamped before a reshard;
+	// reshardMu serializes topology changes.
+	baselinePath string
+	lineage      map[int]bool
+	reshardMu    sync.Mutex
 
 	routerLn net.Listener
 	routerHS *http.Server
@@ -339,6 +376,15 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 		_ = c.Close()
 		return nil, err
 	}
+
+	// The pristine pre-split snapshot is what a future Reshard boots added
+	// shards from: full trained state, no stream history, no shard-slice
+	// identity skew. Written once, before any shard can diverge.
+	c.baselinePath = filepath.Join(c.cfg.dir, "baseline.snap")
+	if err := p.SaveShard(c.baselinePath, ShardIdentity{ShardID: 0, NumShards: 1, RingEpoch: cfg.epoch}); err != nil {
+		return fail(fmt.Errorf("ganc: saving baseline snapshot: %w", err))
+	}
+	c.lineage = map[int]bool{cfg.shards: true}
 
 	// Bind every listener first — primaries and replicas alike — so the ring
 	// carries final addresses.
@@ -445,7 +491,7 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 			return fail(fmt.Errorf("ganc: router listener on %s: %w", cfg.routerAddr, err))
 		}
 		c.routerLn = ln
-		c.routerHS = &http.Server{Handler: rt.Handler()}
+		c.routerHS = &http.Server{Handler: c.Handler()}
 		go func() { _ = c.routerHS.Serve(ln) }()
 	}
 	return c, nil
@@ -453,18 +499,22 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 
 // loadShardNode restores a shard-scoped snapshot and validates its identity
 // against the cluster. The snapshot's ring epoch may be older than the
-// cluster's current epoch — promotion bumps the epoch without rewriting
-// checkpoints — so the returned identity is stamped up to the current epoch
-// before it reaches a server.
+// cluster's current epoch — promotion and resharding bump the epoch without
+// rewriting checkpoints — and its shard count may be any count in the
+// cluster's lineage: a checkpoint written before a reshard still names the
+// old topology (a shard's user set after a migration legitimately differs
+// from the original split). The returned identity is stamped up to the
+// current topology before it reaches a server.
 func (c *Cluster) loadShardNode(sh *clusterShard) (*Pipeline, ShardIdentity, error) {
 	pipe, id, err := LoadShardEngine(sh.snapPath)
 	if err != nil {
 		return nil, ShardIdentity{}, err
 	}
-	if id.ShardID != sh.id || id.NumShards != c.cfg.shards || id.RingEpoch > c.cfg.epoch {
+	if id.ShardID != sh.id || !(id.NumShards == c.cfg.shards || c.lineage[id.NumShards]) || id.RingEpoch > c.cfg.epoch {
 		return nil, ShardIdentity{}, fmt.Errorf("snapshot %s identifies as shard %d/%d epoch %d, want %d/%d epoch ≤ %d",
 			sh.snapPath, id.ShardID, id.NumShards, id.RingEpoch, sh.id, c.cfg.shards, c.cfg.epoch)
 	}
+	id.NumShards = c.cfg.shards
 	id.RingEpoch = c.cfg.epoch
 	return pipe, id, nil
 }
@@ -528,7 +578,14 @@ func (c *Cluster) bootShard(sh *clusterShard, ln net.Listener) error {
 		// adopts their true cursors before any commit ships.
 		sh.shipper.Resync()
 	}
-	sh.hs = &http.Server{Handler: srv.Handler()}
+	// Every primary is a potential migration destination: the /migrate
+	// applier sits in front of the serving routes, same as a replica's
+	// /replicate.
+	sh.migrator = cluster.NewMigrationApplier(sh.id, c.cfg.epoch, ing)
+	mux := http.NewServeMux()
+	mux.Handle("/migrate", sh.migrator.Handler())
+	mux.Handle("/", srv.Handler())
+	sh.hs = &http.Server{Handler: mux}
 	go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(sh.hs, ln)
 	return nil
 }
@@ -575,8 +632,42 @@ func (c *Cluster) bootReplica(sh *clusterShard, rep *replicaNode, ln net.Listene
 }
 
 // Handler returns the router's HTTP surface (for mounting on a test
-// listener or an existing mux).
-func (c *Cluster) Handler() http.Handler { return c.router.Handler() }
+// listener or an existing mux), with the cluster admin endpoints mounted
+// under /admin/: POST /admin/reshard?target=N grows or shrinks the live
+// ring (see Reshard).
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", c.router.Handler())
+	mux.HandleFunc("/admin/reshard", c.handleReshard)
+	return mux
+}
+
+// handleReshard answers POST /admin/reshard?target=N: it runs a live
+// reshard to the requested shard count and reports the migration
+// statistics. Refused reshards (bad target, dead shard, one already in
+// flight) answer 409 with the error; a malformed target answers 400.
+func (c *Cluster) handleReshard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "reshard requires POST"})
+		return
+	}
+	target, err := strconv.Atoi(r.URL.Query().Get("target"))
+	if err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "missing or malformed ?target=N"})
+		return
+	}
+	stats, err := c.Reshard(target)
+	if err != nil {
+		w.WriteHeader(http.StatusConflict)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(stats)
+}
 
 // Router returns the scatter-gather router.
 func (c *Cluster) Router() *Router { return c.router }
@@ -641,7 +732,7 @@ func (c *Cluster) KillShard(i int) error {
 			closeErr = err
 		}
 	}
-	sh.pipe, sh.srv, sh.ing, sh.hs, sh.relay = nil, nil, nil, nil, nil
+	sh.pipe, sh.srv, sh.ing, sh.hs, sh.relay, sh.migrator = nil, nil, nil, nil, nil, nil
 	return closeErr
 }
 
@@ -838,6 +929,373 @@ func (c *Cluster) RejoinAsReplica(i int) (replayed int, err error) {
 	return replayed, nil
 }
 
+// AddShard grows the cluster by one shard with a live migration (see
+// Reshard).
+func (c *Cluster) AddShard() (*ReshardStats, error) { return c.Reshard(len(c.shards) + 1) }
+
+// RemoveShard shrinks the cluster by one shard with a live migration (see
+// Reshard): the highest-numbered shard is drained and retired.
+func (c *Cluster) RemoveShard() (*ReshardStats, error) { return c.Reshard(len(c.shards) - 1) }
+
+// Reshard grows or shrinks the cluster to target shards with zero
+// client-visible downtime. Added shards boot from the pristine baseline
+// snapshot (full trained state, no stream history) at ring epoch E+1; the
+// ownership delta between the current ring and the E+1 ring is computed over
+// every user with write-ahead history (users without history need no
+// migration — every shard holds the full trained baseline); then a staged
+// cutover runs: writes route by the E+1 ring from the moment the transition
+// begins (freezing moving users' histories at their old owners), reads for a
+// moving user stay on the old owner until the user's history has fully
+// landed at the new owner over POST /migrate, and once every mover has
+// flipped the E+1 ring is published to every node and the router. Shrinking
+// retires the highest-numbered shards after a short drain grace; their files
+// stay on disk (a later grow wipes and re-migrates them).
+//
+// Ordering note: ingest accepted during the cutover window is serialized by
+// the user's new owner and may interleave ahead of the user's migrated
+// history in the new owner's log; per-source order is preserved, global
+// cross-owner order is not re-established (DESIGN.md §14).
+//
+// Reshard requires every current primary to be live (each is a migration
+// source) and serializes with other topology changes. On an error before the
+// ring publish the transition is aborted: routing reverts to the old ring
+// and added shards are torn down.
+func (c *Cluster) Reshard(target int) (*ReshardStats, error) {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	oldN := len(c.shards)
+	if target <= 0 {
+		return nil, fmt.Errorf("ganc: reshard needs a positive shard count, got %d", target)
+	}
+	if target == oldN {
+		return nil, fmt.Errorf("ganc: cluster already has %d shards", oldN)
+	}
+	for _, sh := range c.shards {
+		if sh.pipe == nil {
+			return nil, fmt.Errorf("ganc: shard %d is dead; restart or promote it before resharding", sh.id)
+		}
+	}
+	oldRing := c.ring
+	oldEpoch := c.cfg.epoch
+	newEpoch := oldEpoch + 1
+	stats := &ReshardStats{FromShards: oldN, ToShards: target, Epoch: newEpoch}
+
+	// The new topology is effective for everything booted from here on: the
+	// added shards' snapshots are stamped with it, and loadShardNode keeps
+	// accepting pre-reshard checkpoints through the lineage set.
+	c.cfg.epoch, c.cfg.shards = newEpoch, target
+	lineageAdded := !c.lineage[target]
+	c.lineage[target] = true
+	restoreCfg := func() {
+		c.cfg.epoch, c.cfg.shards = oldEpoch, oldN
+		if lineageAdded {
+			delete(c.lineage, target)
+		}
+	}
+	teardownAdded := func() {
+		for i := oldN; i < len(c.shards); i++ {
+			if c.shards[i].pipe != nil {
+				_ = c.KillShard(i)
+			}
+			for _, rep := range c.shards[i].replicas {
+				_ = c.killReplica(rep)
+			}
+		}
+		c.shards = c.shards[:oldN]
+	}
+
+	if target > oldN {
+		base, _, err := LoadShardEngine(c.baselinePath)
+		if err != nil {
+			restoreCfg()
+			return nil, fmt.Errorf("ganc: loading baseline snapshot: %w", err)
+		}
+		// Bind every listener first (same discipline as NewCluster), then
+		// boot replicas-before-primary per shard.
+		type pendingShard struct {
+			sh     *clusterShard
+			ln     net.Listener
+			repLns []net.Listener
+		}
+		var pend []pendingShard
+		bindFail := func(err error) (*ReshardStats, error) {
+			for _, pb := range pend {
+				pb.ln.Close()
+				for _, l := range pb.repLns {
+					l.Close()
+				}
+			}
+			restoreCfg()
+			return nil, err
+		}
+		for i := oldN; i < target; i++ {
+			sh := &clusterShard{
+				id:       i,
+				snapPath: filepath.Join(c.cfg.dir, fmt.Sprintf("shard-%03d.snap", i)),
+				walPath:  filepath.Join(c.cfg.dir, fmt.Sprintf("shard-%03d.wal", i)),
+			}
+			// A slot retired by an earlier shrink leaves its files behind;
+			// the re-added shard re-migrates its history in full.
+			_ = os.Remove(sh.snapPath)
+			_ = os.Remove(sh.walPath)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return bindFail(fmt.Errorf("ganc: shard %d listener: %w", i, err))
+			}
+			sh.addr = ln.Addr().String()
+			pb := pendingShard{sh: sh, ln: ln}
+			for r := 0; r < c.cfg.replicas; r++ {
+				rep := &replicaNode{walPath: filepath.Join(c.cfg.dir, fmt.Sprintf("shard-%03d-replica-%d.wal", i, r))}
+				_ = os.Remove(rep.walPath)
+				rln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					pend = append(pend, pb)
+					return bindFail(fmt.Errorf("ganc: shard %d replica %d listener: %w", i, r, err))
+				}
+				rep.addr = rln.Addr().String()
+				pb.repLns = append(pb.repLns, rln)
+				sh.replicas = append(sh.replicas, rep)
+			}
+			if err := base.SaveShard(sh.snapPath, ShardIdentity{ShardID: i, NumShards: target, RingEpoch: newEpoch}); err != nil {
+				pend = append(pend, pb)
+				return bindFail(fmt.Errorf("ganc: snapshot for added shard %d: %w", i, err))
+			}
+			pend = append(pend, pb)
+		}
+		for pi, pb := range pend {
+			c.shards = append(c.shards, pb.sh)
+			bootFail := func(err error) (*ReshardStats, error) {
+				// The failing boot closed its own listener; release the rest.
+				for _, rest := range pend[pi+1:] {
+					rest.ln.Close()
+					for _, l := range rest.repLns {
+						l.Close()
+					}
+				}
+				teardownAdded()
+				restoreCfg()
+				return nil, err
+			}
+			for r, rep := range pb.sh.replicas {
+				if err := c.bootReplica(pb.sh, rep, pb.repLns[r]); err != nil {
+					for _, l := range pb.repLns[r+1:] {
+						l.Close()
+					}
+					pb.ln.Close()
+					return bootFail(fmt.Errorf("ganc: booting shard %d replica %d: %w", pb.sh.id, r, err))
+				}
+			}
+			if err := c.bootShard(pb.sh, pb.ln); err != nil {
+				return bootFail(fmt.Errorf("ganc: booting shard %d: %w", pb.sh.id, err))
+			}
+		}
+	}
+
+	infos := make([]ShardInfo, target)
+	for i := 0; i < target; i++ {
+		infos[i] = ShardInfo{ID: i, Addr: c.shards[i].addr, Replicas: c.shards[i].replicaAddrs()}
+	}
+	nextRing, err := cluster.NewRing(newEpoch, 0, infos)
+	if err != nil {
+		teardownAdded()
+		restoreCfg()
+		return nil, err
+	}
+
+	// The moving set: every user with write-ahead history whose owner
+	// changes between the two rings.
+	seen := make(map[string]struct{})
+	var keys []string
+	for i := 0; i < oldN; i++ {
+		if err := ingest.ReplayLog(c.shards[i].walPath, 0, func(_ uint64, ev IngestEvent) error {
+			if _, ok := seen[ev.User]; !ok {
+				seen[ev.User] = struct{}{}
+				keys = append(keys, ev.User)
+			}
+			return nil
+		}); err != nil {
+			teardownAdded()
+			restoreCfg()
+			return nil, fmt.Errorf("ganc: scanning shard %d write-ahead log: %w", i, err)
+		}
+	}
+	moving := cluster.MovedUsers(oldRing, nextRing, keys)
+	stats.UsersMoved = len(moving)
+
+	// Seed destination cursors from the destinations' own logs before any
+	// write can race them: a user returning to a previous owner must not
+	// have its migrated prefix applied twice. Per-user order preservation
+	// makes the destination's local count exactly the already-held prefix
+	// length.
+	for d := 0; d < target; d++ {
+		dest := c.shards[d]
+		if dest.migrator == nil {
+			continue
+		}
+		d := d
+		counts, err := walUserCounts(dest.walPath, func(u string) bool {
+			mv, ok := moving[u]
+			return ok && mv.To == d
+		})
+		if err != nil {
+			teardownAdded()
+			restoreCfg()
+			return nil, fmt.Errorf("ganc: scanning shard %d write-ahead log: %w", d, err)
+		}
+		for u, n := range counts {
+			dest.migrator.SeedCursor(u, n)
+		}
+	}
+
+	ddBefore := c.router.DoubleDispatches()
+	cutStart := time.Now()
+	if err := c.router.BeginReshard(nextRing, moving); err != nil {
+		teardownAdded()
+		restoreCfg()
+		return nil, err
+	}
+	abort := func(err error) (*ReshardStats, error) {
+		c.router.AbortReshard()
+		teardownAdded()
+		restoreCfg()
+		return nil, err
+	}
+
+	// Ship every moving user's history from its old owner to its new one.
+	// Writes route by the next ring from BeginReshard on, so the source logs
+	// are frozen for these users: the first pass is complete, and the drain
+	// passes below catch only appends from requests that were already in
+	// flight when the transition began (including users whose first-ever
+	// event raced the scan above — the ring predicate, not the moving map,
+	// decides what ships).
+	shipped := make(map[string]uint64)
+	shipPass := func() (int, error) {
+		total := 0
+		for s := 0; s < oldN; s++ {
+			s := s
+			hist, _, err := ingest.CollectUserEvents(c.shards[s].walPath, func(u string) bool {
+				return oldRing.Owner(u) == s && nextRing.Owner(u) != s
+			})
+			if err != nil {
+				return total, fmt.Errorf("ganc: collecting shard %d histories: %w", s, err)
+			}
+			for u, evs := range hist {
+				if uint64(len(evs)) <= shipped[u] {
+					continue
+				}
+				d := nextRing.Owner(u)
+				// A generous per-chunk timeout: during a reshard under
+				// saturating load the destination queues migration posts
+				// behind cold-cache serving traffic, and the default 2s can
+				// expire on queueing alone. Patience here is invisible to
+				// clients — reads keep double-dispatching to the old owner
+				// until this user flips.
+				applied, err := cluster.ShipUserHistory(nil, c.shards[d].addr, d, newEpoch, u, evs, 0, 15*time.Second)
+				if err != nil {
+					return total, fmt.Errorf("ganc: migrating user %q to shard %d: %w", u, d, err)
+				}
+				total += applied
+				shipped[u] = uint64(len(evs))
+				c.router.FlipUser(u)
+			}
+		}
+		return total, nil
+	}
+	n, err := shipPass()
+	stats.EventsMigrated += n
+	if err != nil {
+		return abort(err)
+	}
+	// Movers with no shippable history flip with the herd (idempotent).
+	for u := range moving {
+		c.router.FlipUser(u)
+	}
+	for pass := 0; pass < 8; pass++ {
+		time.Sleep(25 * time.Millisecond)
+		n, err := shipPass()
+		stats.EventsMigrated += n
+		if err != nil {
+			return abort(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	stats.UsersMigrated = len(shipped)
+
+	// Publish: every surviving node adopts the new epoch and shard count,
+	// then the router leaves the transition state on the final ring.
+	for i := 0; i < target; i++ {
+		sh := c.shards[i]
+		id := ShardIdentity{ShardID: sh.id, NumShards: target, RingEpoch: newEpoch}
+		if sh.srv != nil {
+			sh.srv.SetShardIdentity(id)
+		}
+		if sh.shipper != nil {
+			sh.shipper.SetEpoch(newEpoch)
+		}
+		if sh.migrator != nil {
+			sh.migrator.SetEpoch(newEpoch)
+		}
+		for _, rep := range sh.replicas {
+			if rep.applier != nil {
+				rep.applier.SetEpoch(newEpoch)
+			}
+			if rep.srv != nil {
+				rep.srv.SetShardIdentity(id)
+			}
+		}
+	}
+	if err := c.router.CompleteReshard(nextRing); err != nil {
+		return abort(err)
+	}
+	c.ring = nextRing
+	stats.CutoverMs = float64(time.Since(cutStart).Microseconds()) / 1000.0
+	stats.DoubleDispatches = c.router.DoubleDispatches() - ddBefore
+
+	// Shrink: the retired shards stopped receiving writes at BeginReshard
+	// and reads at their last user's flip; a short grace period lets
+	// in-flight requests drain before their listeners close. Their files
+	// stay on disk — a later grow wipes and re-migrates them. A teardown
+	// error is reported alongside the stats: the reshard itself has already
+	// been published.
+	if target < oldN {
+		time.Sleep(200 * time.Millisecond)
+		var firstErr error
+		for i := oldN - 1; i >= target; i-- {
+			if err := c.KillShard(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			for _, rep := range c.shards[i].replicas {
+				if err := c.killReplica(rep); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		c.shards = c.shards[:target]
+		if firstErr != nil {
+			return stats, firstErr
+		}
+	}
+	return stats, nil
+}
+
+// walUserCounts counts, per user accepted by keep, how many events the
+// write-ahead log at path holds (empty for a missing log).
+func walUserCounts(path string, keep func(string) bool) (map[string]uint64, error) {
+	counts := make(map[string]uint64)
+	err := ingest.ReplayLog(path, 0, func(_ uint64, ev IngestEvent) error {
+		if keep == nil || keep(ev.User) {
+			counts[ev.User]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
 // countWALRecords counts the committed records in a write-ahead log (0 for a
 // missing file).
 func countWALRecords(path string) (uint64, error) {
@@ -891,7 +1349,8 @@ func (c *Cluster) ShardVersion(i int) int {
 // with.
 func (c *Cluster) NumReplicas() int { return c.cfg.replicas }
 
-// Epoch returns the cluster's current ring epoch (bumped by every Promote).
+// Epoch returns the cluster's current ring epoch (bumped by every Promote
+// and every Reshard).
 func (c *Cluster) Epoch() uint64 { return c.cfg.epoch }
 
 // ReplicaAddr returns shard i's replica r's listen address.

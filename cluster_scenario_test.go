@@ -172,6 +172,150 @@ func TestScenarioKillPrimaryMidLoad(t *testing.T) {
 	}
 }
 
+// TestScenarioReshardGrowMidLoad is the elastic-growth chaos drill: a
+// 2-shard cluster takes pre-reshard ingest churn, then grows to 3 shards in
+// the middle of a Zipf read load. The drilled shard is the NEW shard 2 —
+// born empty of history, populated entirely by the live migration plus the
+// post-reshard churn of its finally-owned users. Hard promises:
+//
+//  1. Zero client-visible errors through the cutover. The staged transition
+//     (writes re-routed at begin, reads double-dispatched to old owners until
+//     each user's history lands) must make the grow invisible; the phase
+//     itself fails on any error.
+//  2. Real migration. The reshard stats must show users and events actually
+//     moved — a drill where nothing migrates proves nothing.
+//  3. Byte-identical convergence. After more churn lands on the grown ring,
+//     the new shard's owned-user fingerprint must equal the uninterrupted
+//     single-node shadow restricted to the same users. The shadow absorbed
+//     the drilled shard's final-topology event slice from the first churn on,
+//     so the comparison spans history that arrived via migration AND history
+//     that arrived via normal post-reshard routing.
+//
+// The universe is closed (negative new-user/new-item rates): a migrated
+// shard applies its users' histories in per-user order, which matches the
+// shadow's global order byte-for-byte only when no event can extend the
+// interner tables (see DESIGN.md §14).
+func TestScenarioReshardGrowMidLoad(t *testing.T) {
+	const drilled = 2 // the shard the grow adds
+	grown := 3
+	sc := Scenario{
+		Name:            "reshard-grow-mid-load",
+		Universe:        e2eUniverse(31),
+		TopN:            10,
+		CheckpointEvery: 0,
+		Seed:            53,
+		Stream:          EventStreamConfig{NewUserRate: -1, NewItemRate: -1},
+		Phases: []ScenarioPhase{
+			{Kind: PhaseTrain},
+			{Kind: PhaseIngestChurn, Events: 180, EventBatch: 30, Concurrency: 4},
+			{Kind: PhaseServeUnderLoad, Requests: 400, Concurrency: 8,
+				ReshardMid: &grown, Shard: drilled, ReshardDelayMs: 100},
+			{Kind: PhaseIngestChurn, Events: 120, EventBatch: 30, Concurrency: 4},
+			{Kind: PhaseShardParity, Shard: drilled},
+			{Kind: PhaseServeUnderLoad, Requests: 400, Concurrency: 8},
+		},
+	}
+	res, err := RunClusterScenario(context.Background(), sc, t.TempDir(), e2eSystem(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	churn := res.Phases[1]
+	if churn.EventsApplied != 180 {
+		t.Fatalf("pre-reshard churn applied %d events, want 180", churn.EventsApplied)
+	}
+
+	mid := res.Phases[2]
+	if mid.Load == nil || mid.Load.Requests != 400 {
+		t.Fatalf("mid-reshard phase recorded %+v", mid.Load)
+	}
+	if mid.Load.Errors != 0 {
+		t.Fatalf("mid-reshard load leaked %d errors; the cutover must be invisible", mid.Load.Errors)
+	}
+	rs := mid.Reshard
+	if rs == nil {
+		t.Fatal("mid-reshard phase recorded no migration stats")
+	}
+	if rs.FromShards != 2 || rs.ToShards != 3 || rs.Epoch != 2 {
+		t.Fatalf("reshard stats topology %d→%d epoch %d, want 2→3 epoch 2", rs.FromShards, rs.ToShards, rs.Epoch)
+	}
+	if rs.UsersMigrated == 0 || rs.EventsMigrated == 0 {
+		t.Fatalf("reshard migrated %d users / %d events; a drill where nothing moves proves nothing", rs.UsersMigrated, rs.EventsMigrated)
+	}
+	if rs.UsersMigrated > rs.UsersMoved {
+		t.Fatalf("reshard migrated %d users but only %d changed owner", rs.UsersMigrated, rs.UsersMoved)
+	}
+
+	if after := res.Phases[3]; after.EventsApplied != 120 {
+		t.Fatalf("post-reshard churn applied %d events, want 120", after.EventsApplied)
+	}
+	parity := res.Phases[4]
+	if !parity.ParityChecked || parity.Shard != drilled {
+		t.Fatalf("shard-parity did not assert the new shard's equivalence: %+v", parity)
+	}
+	if final := res.Phases[5]; final.Load == nil || final.Load.Requests != 400 || final.Load.Errors != 0 {
+		t.Fatalf("post-reshard load: %+v", final.Load)
+	}
+}
+
+// TestScenarioReshardShrinkMidLoad is the inverse drill: a 3-shard cluster
+// shrinks to 2 in the middle of a Zipf read load, retiring shard 2 and
+// migrating its users' histories to the survivors. The drilled shard is
+// survivor 0: after the shrink it owns its original users PLUS the ex-shard-2
+// users the ring reassigns to it, and its owned-user fingerprint must match
+// the uninterrupted shadow — which absorbed exactly the final 2-shard
+// topology's shard-0 slice from the first churn on. Ring minimality
+// guarantees no user moves between the survivors themselves, so the final
+// slice is well-defined from the start.
+func TestScenarioReshardShrinkMidLoad(t *testing.T) {
+	const drilled = 0 // a survivor that inherits part of the retired shard
+	shrunk := 2
+	sc := Scenario{
+		Name:            "reshard-shrink-mid-load",
+		Universe:        e2eUniverse(37),
+		TopN:            10,
+		CheckpointEvery: 0,
+		Seed:            59,
+		Stream:          EventStreamConfig{NewUserRate: -1, NewItemRate: -1},
+		Phases: []ScenarioPhase{
+			{Kind: PhaseTrain},
+			{Kind: PhaseIngestChurn, Events: 180, EventBatch: 30, Concurrency: 4},
+			{Kind: PhaseServeUnderLoad, Requests: 400, Concurrency: 8,
+				ReshardMid: &shrunk, Shard: drilled, ReshardDelayMs: 100},
+			{Kind: PhaseIngestChurn, Events: 120, EventBatch: 30, Concurrency: 4},
+			{Kind: PhaseShardParity, Shard: drilled},
+			{Kind: PhaseServeUnderLoad, Requests: 400, Concurrency: 8},
+		},
+	}
+	res, err := RunClusterScenario(context.Background(), sc, t.TempDir(), e2eSystem(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mid := res.Phases[2]
+	if mid.Load == nil || mid.Load.Requests != 400 || mid.Load.Errors != 0 {
+		t.Fatalf("mid-shrink load: %+v", mid.Load)
+	}
+	rs := mid.Reshard
+	if rs == nil {
+		t.Fatal("mid-shrink phase recorded no migration stats")
+	}
+	if rs.FromShards != 3 || rs.ToShards != 2 || rs.Epoch != 2 {
+		t.Fatalf("reshard stats topology %d→%d epoch %d, want 3→2 epoch 2", rs.FromShards, rs.ToShards, rs.Epoch)
+	}
+	if rs.UsersMigrated == 0 || rs.EventsMigrated == 0 {
+		t.Fatalf("shrink migrated %d users / %d events; the retired shard's history must move", rs.UsersMigrated, rs.EventsMigrated)
+	}
+
+	parity := res.Phases[4]
+	if !parity.ParityChecked || parity.Shard != drilled {
+		t.Fatalf("shard-parity did not assert the survivor's equivalence: %+v", parity)
+	}
+	if final := res.Phases[5]; final.Load == nil || final.Load.Requests != 400 || final.Load.Errors != 0 {
+		t.Fatalf("post-shrink load: %+v", final.Load)
+	}
+}
+
 // TestScenarioClusterWarmStartParity: the whole-cluster restart. Saving
 // checkpoints every shard; Load kills and restores all of them (snapshot +
 // WAL replay); the runner asserts the cluster's union fingerprint is

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 
 	"ganc/internal/dataset"
 	"ganc/internal/simulate"
@@ -28,12 +29,18 @@ type ShardedScenarioSystem = simulate.ShardedSystem
 // shards carry warm replicas, with promotion and rejoin choreography.
 type ReplicatedScenarioSystem = simulate.ReplicatedSystem
 
+// ReshardableScenarioSystem is the elastic scenario-system abstraction
+// re-exported from internal/simulate: a sharded system whose ring can grow
+// or shrink mid-load with a live migration.
+type ReshardableScenarioSystem = simulate.ReshardableSystem
+
 // Cluster scenario phase kinds, re-exported for scenario literals.
 const (
 	PhaseKillShard      = simulate.PhaseKillShard
 	PhaseRestartShard   = simulate.PhaseRestartShard
 	PhasePromoteReplica = simulate.PhasePromoteReplica
 	PhaseRejoinReplica  = simulate.PhaseRejoinReplica
+	PhaseShardParity    = simulate.PhaseShardParity
 )
 
 // NewClusterScenarioSystem binds the NewCluster assembly to the scenario
@@ -94,6 +101,11 @@ type clusterSystem struct {
 	topN            int
 
 	cluster *Cluster
+
+	// ringMu guards rings, the OwnerAt cache of throwaway rings by shard
+	// count.
+	ringMu sync.Mutex
+	rings  map[int]*Ring
 }
 
 // Train implements simulate.System: build the pipeline, shard-split it and
@@ -302,6 +314,46 @@ func (s *clusterSystem) ReplicaLag(shard int) uint64 {
 		return 0
 	}
 	return s.cluster.ReplicaLag(shard)
+}
+
+// Reshard implements simulate.ReshardableSystem: grow or shrink the live
+// cluster to target shards with a staged migration and cutover.
+func (s *clusterSystem) Reshard(target int) (*ReshardStats, error) {
+	if s.cluster == nil {
+		return nil, fmt.Errorf("ganc: cannot reshard an untrained cluster system")
+	}
+	return s.cluster.Reshard(target)
+}
+
+// OwnerAt implements simulate.ReshardableSystem: the shard that owns userKey
+// in a ring of the given shard count. Ownership is a pure function of the
+// shard-ID set — neither the epoch nor the addresses are hashed — so a
+// throwaway ring over IDs 0..shards-1 answers for any topology, past or
+// future (the ring-delta unit tests in internal/cluster pin this property).
+func (s *clusterSystem) OwnerAt(userKey string, shards int) int {
+	if shards <= 0 {
+		return -1
+	}
+	s.ringMu.Lock()
+	r, ok := s.rings[shards]
+	if !ok {
+		infos := make([]ShardInfo, shards)
+		for i := range infos {
+			infos[i] = ShardInfo{ID: i, Addr: fmt.Sprintf("owner-at:%d", i)}
+		}
+		ring, err := NewRing(1, infos)
+		if err != nil {
+			s.ringMu.Unlock()
+			return -1
+		}
+		if s.rings == nil {
+			s.rings = make(map[int]*Ring)
+		}
+		s.rings[shards] = ring
+		r = ring
+	}
+	s.ringMu.Unlock()
+	return r.Owner(userKey)
 }
 
 // ShardFingerprint implements simulate.ShardedSystem: the shard's current

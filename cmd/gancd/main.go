@@ -45,6 +45,11 @@
 //
 //	gancd -role cluster -load model.snap -shards 3 -replicas 1 -serve :8080
 //
+// A cluster-role daemon can be resharded live — user histories stream to
+// the new owners while traffic keeps flowing (DESIGN.md §14):
+//
+//	curl -X POST 'http://localhost:8080/admin/reshard?target=4'
+//
 // The router and the shard snapshots must agree on (epoch, shard count):
 // ownership is a pure function of that pair, so a mismatched deployment
 // would silently route users to shards that never ingested their events.

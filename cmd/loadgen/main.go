@@ -21,7 +21,10 @@
 // failover section to the report: a read-only run during which shard 0's
 // primary is killed mid-flight, measuring the req/s and error count the
 // router's replica failover sustains, followed by a promotion (DESIGN.md
-// §13).
+// §13). Adding -reshard M appends a reshard section: a mixed read/write run
+// during which the cluster grows to M shards live — user histories stream to
+// the new owners and the router cuts over per user — with zero client-visible
+// errors required (DESIGN.md §14).
 //
 // Examples:
 //
@@ -37,6 +40,9 @@
 //
 //	# 3-shard cluster vs single node on the standard universe.
 //	loadgen -cluster 3 -arec RSVD -requests 20000 -mix-ingest 0
+//
+//	# Elastic reshard drill: grow 2 shards to 3 mid-run, zero errors required.
+//	loadgen -cluster 2 -reshard 3 -users 2000 -items 500 -ratings 40000 -requests 2000
 //
 //	# Overload drill: admission-controlled server, offered load beyond
 //	# capacity, graceful shedding required (typed 429s, zero 5xx).
@@ -79,6 +85,7 @@ func main() {
 	out := flag.String("out", "", "output report path (default BENCH_serve.json; BENCH_cluster.json in -cluster mode, BENCH_overload.json in -overload mode)")
 	clusterShards := flag.Int("cluster", 0, "compare an N-shard cluster against a single node and write BENCH_cluster.json (0 = plain single-target mode)")
 	clusterReplicas := flag.Int("replicas", 0, "cluster mode: warm replicas per shard; > 0 appends a mid-run primary-kill failover drill to the report")
+	reshardTo := flag.Int("reshard", 0, "cluster mode: grow the cluster to this shard count mid-run and append a reshard section to the report (0 = no drill)")
 	nodeCache := flag.Int("node-cache", 8192, "cluster mode: per-node LRU budget shared by the single node and every shard")
 	warmup := flag.Int("warmup", -1, "cluster mode: unmeasured warm-up requests before each measured run (-1 = same as -requests)")
 	overload := flag.Bool("overload", false, "overload drill: serve with admission control, offer load beyond capacity and require graceful shedding (typed 429s, zero 5xx)")
@@ -124,10 +131,14 @@ func main() {
 		err = fmt.Errorf("-cluster and -overload are mutually exclusive (run the overload drill against a single node, or an external router via -url)")
 	case *clusterReplicas > 0 && *clusterShards <= 0:
 		err = fmt.Errorf("-replicas requires -cluster (replicas are a property of the sharded target)")
+	case *reshardTo > 0 && *clusterShards <= 0:
+		err = fmt.Errorf("-reshard requires -cluster (the drill grows the sharded target)")
+	case *reshardTo > 0 && *reshardTo <= *clusterShards:
+		err = fmt.Errorf("-reshard must exceed -cluster: the drill grows %d shards to a larger ring", *clusterShards)
 	case *clusterShards > 0:
 		err = runCluster(universeConfig(*users, *items, *ratings, *zipf, *seed),
 			*arec, *theta, precision, *topN, *clusterShards, *clusterReplicas, *nodeCache, *warmup,
-			defaultOut(*out, "BENCH_cluster.json"), load)
+			*reshardTo, defaultOut(*out, "BENCH_cluster.json"), load)
 	default:
 		// The overload drill gets its own default output: its latency numbers
 		// describe a deliberately saturated server and must not clobber the
@@ -295,7 +306,7 @@ func selfHost(u *ganc.Universe, arec, theta string, precision ganc.ScoringPrecis
 // captures steady-state serving: the regime where the cluster's aggregate
 // cache (N × node budget) holds the working set a single node's budget
 // cannot.
-func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.ScoringPrecision, topN, shards, replicas, nodeCache, warmup int, out string, load ganc.LoadConfig) error {
+func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.ScoringPrecision, topN, shards, replicas, nodeCache, warmup, reshardTo int, out string, load ganc.LoadConfig) error {
 	if nodeCache <= 0 {
 		return fmt.Errorf("-node-cache must be positive in cluster mode (it is the per-node budget under comparison)")
 	}
@@ -391,6 +402,13 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.Sco
 			return err
 		}
 	}
+	var reshard *ganc.ReshardReport
+	if reshardTo > 0 {
+		reshard, err = runReshardDrill(ctx, u, c, "http://"+ln.Addr().String(), load, reshardTo)
+		if err != nil {
+			return err
+		}
+	}
 
 	speedup := 0.0
 	if single.ThroughputRPS > 0 {
@@ -409,6 +427,7 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.Sco
 		Cluster:           clusterRes,
 		Speedup:           speedup,
 		Failover:          failover,
+		Reshard:           reshard,
 	}
 	if err := ganc.WriteClusterBenchReport(out, rep); err != nil {
 		return err
@@ -420,6 +439,9 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.Sco
 	}
 	if failover != nil && failover.Result.Errors > 0 {
 		return fmt.Errorf("%d read errors leaked through replica failover during the mid-run primary kill", failover.Result.Errors)
+	}
+	if reshard != nil && reshard.Result.Errors > 0 {
+		return fmt.Errorf("%d errors leaked through the mid-run reshard cutover", reshard.Result.Errors)
 	}
 	return nil
 }
@@ -465,6 +487,56 @@ func runFailoverDrill(ctx context.Context, u *ganc.Universe, c *ganc.Cluster, ur
 		KillDelayMs:   int(killDelay / time.Millisecond),
 		PromotedEpoch: epoch,
 		Result:        res,
+	}, nil
+}
+
+// runReshardDrill measures a mixed read/write run against the cluster during
+// which the ring grows to target shards mid-flight: snapshots and WAL tails
+// stream to the new owners, the router double-dispatches in-flight users, and
+// the cutover must stay invisible — zero client-visible errors while both
+// reads and writes keep flowing.
+func runReshardDrill(ctx context.Context, u *ganc.Universe, c *ganc.Cluster, url string, load ganc.LoadConfig, target int) (*ganc.ReshardReport, error) {
+	const kickoff = 150 * time.Millisecond
+	load.BaseURL = url
+	// The cutover must be invisible to writes too. If the configured mix is
+	// read-only (the comparison default), add a small ingest weight so the
+	// drill actually exercises write routing across the ring transition.
+	if load.Mix.Ingest == 0 {
+		load.Mix.Ingest = 2
+	}
+	fmt.Fprintf(os.Stderr, "reshard drill: growing %d → %d shards %s into a mixed run of %d requests ...\n",
+		c.NumShards(), target, kickoff, load.Requests)
+	type outcome struct {
+		stats *ganc.ReshardStats
+		err   error
+	}
+	done := make(chan outcome, 1)
+	timer := time.AfterFunc(kickoff, func() {
+		stats, err := c.Reshard(target)
+		done <- outcome{stats, err}
+	})
+	defer timer.Stop()
+	res, err := ganc.RunLoad(ctx, u, load)
+	if err != nil {
+		return nil, err
+	}
+	var stats *ganc.ReshardStats
+	select {
+	case out := <-done:
+		if out.err != nil {
+			return nil, fmt.Errorf("mid-run reshard to %d shards: %w", target, out.err)
+		}
+		stats = out.stats
+	case <-time.After(60 * time.Second):
+		return nil, fmt.Errorf("mid-run reshard to %d shards never completed", target)
+	}
+	printSummary(res)
+	fmt.Fprintf(os.Stderr, "reshard drill: epoch %d after cutover of %.1fms — %d users / %d events migrated, %d double-dispatched reads, %d errors\n",
+		stats.Epoch, stats.CutoverMs, stats.UsersMigrated, stats.EventsMigrated, stats.DoubleDispatches, res.Errors)
+	return &ganc.ReshardReport{
+		KickoffDelayMs: int(kickoff / time.Millisecond),
+		Stats:          stats,
+		Result:         res,
 	}, nil
 }
 

@@ -19,6 +19,14 @@ type routerMetrics struct {
 	mismatch  []*obs.Gauge
 	failovers []*obs.Counter
 	replag    []*obs.Gauge
+
+	// Reshard series are cluster-scalar (a reshard is one transition, not a
+	// per-shard event); shards added by a reshard do not grow the per-shard
+	// slices above — their calls are routed but not individually counted
+	// until the router is rebuilt (documented in DESIGN.md §14).
+	reshardUsers   *obs.Counter
+	reshardDouble  *obs.Counter
+	reshardCutover *obs.Gauge
 }
 
 // newRouterMetrics registers the per-shard families on reg.
@@ -46,7 +54,34 @@ func newRouterMetrics(reg *obs.Registry, shards int) *routerMetrics {
 		rm.replag[i] = reg.Gauge("ganc_router_replica_lag_events",
 			"Widest replica lag in committed events for the shard, as of the last /health aggregation.", label)
 	}
+	rm.reshardUsers = reg.Counter("ganc_router_reshard_users_migrated_total",
+		"Users flipped to their new owner across all reshards this router has driven.")
+	rm.reshardDouble = reg.Counter("ganc_router_reshard_double_dispatches_total",
+		"Reads served from a user's old owner while the user's history was still migrating.")
+	rm.reshardCutover = reg.Gauge("ganc_router_reshard_cutover_seconds",
+		"Wall-clock width of the last reshard's transition window (begin to final ring publish).")
 	return rm
+}
+
+// userFlipped records one user cut over to its new owner during a reshard.
+func (rm *routerMetrics) userFlipped() {
+	if rm != nil {
+		rm.reshardUsers.Inc()
+	}
+}
+
+// doubleDispatch records one read routed to a user's old owner mid-reshard.
+func (rm *routerMetrics) doubleDispatch() {
+	if rm != nil {
+		rm.reshardDouble.Inc()
+	}
+}
+
+// cutover records the last reshard's transition-window width.
+func (rm *routerMetrics) cutover(seconds float64) {
+	if rm != nil {
+		rm.reshardCutover.Set(seconds)
+	}
 }
 
 // call records one logical shard call.

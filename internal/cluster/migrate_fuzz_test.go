@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzMigrateHostileBody throws attacker-controlled bytes at the POST
+// /migrate endpoint. The contract under fuzz: the handler never panics,
+// allocation stays bounded (the reader is capped before decoding), every
+// answer is a decodable MigrateResponse, the status is always from the
+// protocol's taxonomy, refusals carry a typed code, and replaying a body is
+// idempotent — a second delivery of an accepted chunk applies nothing, and
+// the backend's event count always equals the sum of acknowledged applies.
+func FuzzMigrateHostileBody(f *testing.F) {
+	f.Add([]byte(`{"shard":0,"epoch":1,"user":"u","first_idx":1,"total":1,"events":[{"user":"u","item":"i","value":1}]}`))
+	f.Add([]byte(`{"shard":7,"epoch":1,"user":"u","first_idx":1,"events":[{"user":"u","item":"i","value":1}]}`))
+	f.Add([]byte(`{"shard":0,"epoch":0,"user":"u","first_idx":1,"events":[{"user":"u","item":"i","value":1}]}`))
+	f.Add([]byte(`{"shard":0,"epoch":1,"user":"u","first_idx":999,"total":999,"events":[{"user":"u","item":"i","value":1}]}`))
+	f.Add([]byte(`{"shard":0,"epoch":1,"user":"u","first_idx":0,"events":[{"user":"u","item":"i","value":1}]}`))
+	f.Add([]byte(`{"shard":0,"epoch":1,"user":"u","first_idx":18446744073709551615,"events":[{"user":"u","item":"i","value":1},{"user":"u","item":"i","value":2}]}`))
+	f.Add([]byte(`{"shard":0,"epoch":1,"user":"u","first_idx":1,"events":[{"user":"other","item":"i","value":1}]}`))
+	f.Add([]byte(`{"shard":0,"epoch":1,"user":"","first_idx":1,"events":[{"user":"","item":"i","value":1}]}`))
+	f.Add([]byte(`{"shard":-1,"user":"u"}`))
+	f.Add([]byte(`{"shard":0,"epoch":1,"user":"u"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Add(bytes.Repeat([]byte(`[`), 4096))
+
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusBadRequest:          true,
+		http.StatusConflict:            true,
+		http.StatusInternalServerError: true,
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		backend := &countingBackend{}
+		ma := NewMigrationApplier(0, 1, backend)
+		handler := ma.Handler()
+
+		// Fire the same body twice: delivery retries must be idempotent.
+		var acked int64
+		var firstApplied int
+		for round := 0; round < 2; round++ {
+			req := httptest.NewRequest(http.MethodPost, "/migrate", bytes.NewReader(raw))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+
+			if !allowed[rec.Code] {
+				t.Fatalf("status %d outside the migrate taxonomy for body %q", rec.Code, truncate(raw))
+			}
+			var resp MigrateResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("undecodable answer %q for body %q", rec.Body.String(), truncate(raw))
+			}
+			if rec.Code != http.StatusOK {
+				if resp.Code == "" || resp.Error == "" {
+					t.Fatalf("refusal %d without a typed code/error: %q", rec.Code, rec.Body.String())
+				}
+				if resp.Applied != 0 {
+					t.Fatalf("refusal %d claims %d applied events", rec.Code, resp.Applied)
+				}
+			}
+			if round == 0 {
+				firstApplied = resp.Applied
+			} else if resp.Applied != 0 {
+				t.Fatalf("replaying a body applied %d more events after %d (retries must be idempotent)",
+					resp.Applied, firstApplied)
+			}
+			acked += int64(resp.Applied)
+			if got := int64(len(backendEvents(backend))); got != acked {
+				t.Fatalf("backend holds %d events, acknowledgments total %d", got, acked)
+			}
+		}
+	})
+}
+
+// backendEvents snapshots a countingBackend's applied events under its lock.
+func backendEvents(b *countingBackend) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]int, len(b.events))
+	for i, ev := range b.events {
+		out[i] = int(ev.Value)
+	}
+	return out
+}
+
+// FuzzMigrateSequenceStream feeds an applier a fuzz-shaped stream of per-user
+// history chunks — duplicated, overlapping, gapped, out of order, probes,
+// interleaved across users — and model-checks the cursor rules after every
+// call: a cursor never regresses, a gap refusal applies nothing, an accepted
+// chunk lands the cursor exactly at its last position, Done fires exactly
+// when the cursor reaches the announced total, and at the end each user's
+// applied events are exactly positions 1..cursor in order. Every chunk goes
+// through the wire codec first, so the stream exercises exactly what
+// ShipUserHistory can send.
+func FuzzMigrateSequenceStream(f *testing.F) {
+	f.Add([]byte{0, 1, 4, 0, 1, 4, 0, 5, 2})          // apply, duplicate, extend
+	f.Add([]byte{1, 1, 3, 1, 9, 2, 1, 4, 3})          // gap, then heal
+	f.Add([]byte{0, 1, 0, 1, 1, 5, 0, 2, 0})          // probes around batches
+	f.Add([]byte{0, 255, 7, 0, 1, 7, 1, 255, 7})      // far-future gaps
+	f.Add([]byte{0, 1, 1, 1, 1, 1, 0, 2, 1, 1, 2, 1}) // interleaved single-event chains
+	f.Add([]byte{2, 1, 6, 2, 1, 6, 3, 7, 6})          // replay storms on more users
+
+	ctx := context.Background()
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		backend := &countingBackend{}
+		ma := NewMigrationApplier(0, 1, backend)
+		users := []string{"alice", "bob", "carol", "dave"}
+		cursors := make(map[string]uint64)
+		totals := make(map[string]uint64)
+		for i := 0; i+2 < len(ops) && i < 192; i += 3 {
+			user := users[int(ops[i])%len(users)]
+			first := uint64(ops[i+1])
+			n := int(ops[i+2] % 8)
+			req := MigrateRequest{Shard: 0, Epoch: 1, User: user, FirstIdx: first}
+			if n > 0 {
+				req.Events = userEvs(user, int(first), n)
+				// Announce a stable per-user total so Done has one truth: the
+				// largest last-position this stream has mentioned for the user.
+				if last := first + uint64(n) - 1; last > totals[user] {
+					totals[user] = last
+				}
+			}
+			req.Total = totals[user]
+
+			// Round-trip through the wire codec: chunks a real sender could not
+			// encode (first_idx 0 with events) are a parse refusal, not an
+			// applier input.
+			payload, err := json.Marshal(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := ParseMigrateRequest(bytes.NewReader(payload))
+			if err != nil {
+				if !errors.Is(err, ErrMigrateBody) {
+					t.Fatalf("untyped parse failure: %v", err)
+				}
+				continue
+			}
+			cursor := cursors[user]
+			resp, err := ma.Apply(ctx, parsed)
+			if resp.AppliedIdx < cursor {
+				t.Fatalf("user %q cursor regressed %d -> %d on chunk [%d,+%d)", user, cursor, resp.AppliedIdx, first, n)
+			}
+			last := first + uint64(n) - 1
+			switch {
+			case err == nil && n == 0:
+				if resp.Applied != 0 || resp.AppliedIdx != cursor {
+					t.Fatalf("probe for %q answered %+v at cursor %d", user, resp, cursor)
+				}
+			case err == nil && last <= cursor:
+				if resp.Applied != 0 || resp.AppliedIdx != cursor {
+					t.Fatalf("duplicate [%d,%d] for %q answered %+v at cursor %d", first, last, user, resp, cursor)
+				}
+			case err == nil:
+				if resp.AppliedIdx != last {
+					t.Fatalf("accepted chunk [%d,%d] for %q left cursor at %d", first, last, user, resp.AppliedIdx)
+				}
+				if got := uint64(resp.Applied); got != last-cursor {
+					t.Fatalf("chunk [%d,%d] for %q at cursor %d applied %d events, want %d", first, last, user, cursor, got, last-cursor)
+				}
+			case errors.Is(err, ErrMigrateGap):
+				if !resp.Gap || resp.AppliedIdx != cursor || first <= cursor+1 {
+					t.Fatalf("gap refusal %+v (%v) for chunk [%d,%d] of %q at cursor %d", resp, err, first, last, user, cursor)
+				}
+			default:
+				t.Fatalf("untyped apply failure: %v", err)
+			}
+			if err == nil {
+				wantDone := req.Total > 0 && resp.AppliedIdx >= req.Total
+				if resp.Done != wantDone {
+					t.Fatalf("chunk for %q at total %d, cursor %d: done=%v, want %v", user, req.Total, resp.AppliedIdx, resp.Done, wantDone)
+				}
+			}
+			if got := ma.Cursor(user); got != resp.AppliedIdx {
+				t.Fatalf("Cursor(%q) = %d, answer said %d", user, got, resp.AppliedIdx)
+			}
+			cursors[user] = resp.AppliedIdx
+		}
+
+		// Exactly-once per user, in order: the backend holds, for each user,
+		// precisely positions 1..cursor — and the global count matches both the
+		// model and the applier's own accounting.
+		var wantTotal uint64
+		perUser := make(map[string][]int)
+		backend.mu.Lock()
+		for _, ev := range backend.events {
+			perUser[ev.User] = append(perUser[ev.User], int(ev.Value))
+		}
+		got := len(backend.events)
+		backend.mu.Unlock()
+		for user, cursor := range cursors {
+			wantTotal += cursor
+			seq := perUser[user]
+			if uint64(len(seq)) != cursor {
+				t.Fatalf("backend holds %d events for %q at cursor %d", len(seq), user, cursor)
+			}
+			for i, v := range seq {
+				if v != i+1 {
+					t.Fatalf("user %q event %d has position %d, want %d", user, i, v, i+1)
+				}
+			}
+		}
+		if uint64(got) != wantTotal {
+			t.Fatalf("backend holds %d events, cursors total %d", got, wantTotal)
+		}
+		if ma.EventsApplied() != int64(wantTotal) {
+			t.Fatalf("EventsApplied = %d, cursors total %d", ma.EventsApplied(), wantTotal)
+		}
+	})
+}

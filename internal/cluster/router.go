@@ -103,6 +103,30 @@ type Router struct {
 	httpObs   *obs.HTTPMetrics
 	admission *admit.Controller
 	rm        *routerMetrics
+
+	// reshard holds the in-flight ring transition (nil outside a reshard);
+	// doubleDispatches counts reads served from a user's old owner while the
+	// user was still migrating, across the router's lifetime.
+	reshard          atomic.Pointer[reshardState]
+	doubleDispatches atomic.Int64
+}
+
+// reshardState is the router's view of an in-flight ring transition: the
+// next ring (epoch E+1) plus the set of users whose ownership changes, each
+// with a flip bit the reshard coordinator raises once the user's history has
+// landed at its new owner.
+type reshardState struct {
+	next  *Ring
+	users map[string]*migratingUser
+	began time.Time
+}
+
+// migratingUser tracks one moving user through the cutover: reads stay on
+// the old owner (From) until flipped, writes go to the next ring's owner
+// from the moment the transition begins.
+type migratingUser struct {
+	from    int
+	flipped atomic.Bool
 }
 
 // NewRouter validates the configuration and builds the router.
@@ -194,9 +218,136 @@ func (rt *Router) UpdateRing(ring *Ring) error {
 // the router does).
 func (rt *Router) Owner(userKey string) int { return rt.Ring().Owner(userKey) }
 
+// BeginReshard puts the router into the double-ring transition state: writes
+// are routed by the next ring immediately (freezing moving users' histories
+// at their old owners), while reads for the moving users stay on their old
+// owners until FlipUser raises their flip bit. UpdateRing stays refused for
+// shard-count changes; this, paired with CompleteReshard, is the one
+// sanctioned path through a topology change. Only one reshard may be in
+// flight at a time.
+func (rt *Router) BeginReshard(next *Ring, moving map[string]UserMove) error {
+	if next == nil {
+		return fmt.Errorf("%w: reshard needs a next ring", ErrBadRing)
+	}
+	cur := rt.Ring()
+	if next.Epoch() <= cur.Epoch() {
+		return fmt.Errorf("%w: next ring epoch %d is not newer than the current epoch %d",
+			ErrBadRing, next.Epoch(), cur.Epoch())
+	}
+	for _, s := range next.Shards() {
+		if s.Addr == "" {
+			return fmt.Errorf("%w: shard %d has no address", ErrBadRing, s.ID)
+		}
+	}
+	rs := &reshardState{next: next, users: make(map[string]*migratingUser, len(moving)), began: time.Now()}
+	for user, mv := range moving {
+		rs.users[user] = &migratingUser{from: mv.From}
+	}
+	if !rt.reshard.CompareAndSwap(nil, rs) {
+		return fmt.Errorf("%w: a reshard is already in flight", ErrBadRing)
+	}
+	return nil
+}
+
+// FlipUser cuts one moving user over to its new owner: the coordinator calls
+// it once the user's history has fully landed there. Reads for the user
+// route by the next ring from this point on. Unknown users are a no-op.
+func (rt *Router) FlipUser(user string) {
+	rs := rt.reshard.Load()
+	if rs == nil {
+		return
+	}
+	if mu, ok := rs.users[user]; ok && !mu.flipped.Swap(true) {
+		rt.rm.userFlipped()
+	}
+}
+
+// CompleteReshard publishes the final ring and leaves the transition state.
+// The final ring must match the shape the transition was begun with (same
+// shard count and epoch; addresses and replica lists may differ, e.g. after
+// replicas finished warming).
+func (rt *Router) CompleteReshard(final *Ring) error {
+	rs := rt.reshard.Load()
+	if rs == nil {
+		return fmt.Errorf("%w: no reshard in flight", ErrBadRing)
+	}
+	if final == nil {
+		return fmt.Errorf("%w: reshard needs a final ring", ErrBadRing)
+	}
+	if final.NumShards() != rs.next.NumShards() || final.Epoch() != rs.next.Epoch() {
+		return fmt.Errorf("%w: final ring (epoch %d, %d shards) does not match the transition (epoch %d, %d shards)",
+			ErrBadRing, final.Epoch(), final.NumShards(), rs.next.Epoch(), rs.next.NumShards())
+	}
+	for _, s := range final.Shards() {
+		if s.Addr == "" {
+			return fmt.Errorf("%w: shard %d has no address", ErrBadRing, s.ID)
+		}
+	}
+	rt.rm.cutover(time.Since(rs.began).Seconds())
+	rt.ring.Store(final)
+	rt.reshard.Store(nil)
+	return nil
+}
+
+// AbortReshard abandons an in-flight transition and reverts all routing to
+// the current ring (writes that already landed at epoch-E+1-only shards are
+// not replayed back; see DESIGN.md §14 for the failure semantics).
+func (rt *Router) AbortReshard() { rt.reshard.Store(nil) }
+
+// Resharding reports whether a ring transition is in flight.
+func (rt *Router) Resharding() bool { return rt.reshard.Load() != nil }
+
+// DoubleDispatches returns how many reads the router has served from a
+// user's old owner while the user's history was still migrating.
+func (rt *Router) DoubleDispatches() int64 { return rt.doubleDispatches.Load() }
+
+// readTarget resolves the shard that serves a user's reads: outside a
+// reshard, the current ring's owner; during one, the old owner until the
+// user's flip bit rises, the next ring's owner after.
+func (rt *Router) readTarget(userKey string) int {
+	rs := rt.reshard.Load()
+	if rs == nil {
+		return rt.Ring().Owner(userKey)
+	}
+	if mu, ok := rs.users[userKey]; ok && !mu.flipped.Load() {
+		rt.doubleDispatches.Add(1)
+		rt.rm.doubleDispatch()
+		return mu.from
+	}
+	return rs.next.Owner(userKey)
+}
+
+// writeTarget resolves the shard that absorbs a user's writes: the next
+// ring's owner from the moment a reshard begins (so moving users' histories
+// freeze at their old owners), the current ring's owner otherwise.
+func (rt *Router) writeTarget(userKey string) int {
+	if rs := rt.reshard.Load(); rs != nil {
+		return rs.next.Owner(userKey)
+	}
+	return rt.Ring().Owner(userKey)
+}
+
+// shardInfo resolves a shard index to its ring entry, preferring the next
+// ring during a transition (it knows shards being added) and falling back to
+// the current ring (which still knows shards being removed).
+func (rt *Router) shardInfo(shard int) (ShardInfo, error) {
+	if rs := rt.reshard.Load(); rs != nil && shard >= 0 && shard < rs.next.NumShards() {
+		return rs.next.Shard(shard), nil
+	}
+	ring := rt.Ring()
+	if shard < 0 || shard >= ring.NumShards() {
+		return ShardInfo{}, fmt.Errorf("%w: shard %d is not in the ring", ErrBadRing, shard)
+	}
+	return ring.Shard(shard), nil
+}
+
 // callShard performs one call against the shard's primary.
 func (rt *Router) callShard(ctx context.Context, shard int, method, pathAndQuery string, body []byte) (int, []byte, error) {
-	return rt.callAddr(ctx, shard, rt.Ring().Shard(shard).Addr, method, pathAndQuery, body)
+	info, err := rt.shardInfo(shard)
+	if err != nil {
+		return 0, nil, &ShardError{Shard: shard, Attempts: 0, Err: fmt.Errorf("%w: %v", ErrShardUnavailable, err)}
+	}
+	return rt.callAddr(ctx, shard, info.Addr, method, pathAndQuery, body)
 }
 
 // callAddr performs one shard call against an explicit address with the
@@ -263,8 +414,11 @@ func (rt *Router) callShardRead(ctx context.Context, shard int, method, pathAndQ
 	if err == nil {
 		return status, payload, nil
 	}
-	ring := rt.Ring()
-	replicas := ring.Shard(shard).Replicas
+	info, infoErr := rt.shardInfo(shard)
+	if infoErr != nil {
+		return status, payload, err
+	}
+	replicas := info.Replicas
 	if len(replicas) == 0 || rt.maxLag < 0 {
 		return status, payload, err
 	}
@@ -410,7 +564,7 @@ func (rt *Router) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing ?user="})
 		return
 	}
-	shard := rt.Owner(userKey)
+	shard := rt.readTarget(userKey)
 	status, body, err := rt.callShardRead(r.Context(), shard, http.MethodGet, "/recommend?"+r.URL.RawQuery, nil)
 	if err != nil {
 		writeShardFailure(w, err)
@@ -466,12 +620,12 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			"error": fmt.Sprintf("batch of %d users exceeds the limit of %d", len(req.Users), serve.MaxBatchUsers)})
 		return
 	}
-	// Partition the users by owning shard, remembering each user's position
-	// so the merged results preserve request order.
-	ring := rt.Ring()
+	// Partition the users by owning shard (the read target, so mid-reshard
+	// batches respect per-user cutover state), remembering each user's
+	// position so the merged results preserve request order.
 	perShard := make(map[int][]int)
 	for k, user := range req.Users {
-		shard := ring.Owner(user)
+		shard := rt.readTarget(user)
 		perShard[shard] = append(perShard[shard], k)
 	}
 
@@ -490,19 +644,20 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			payload, _ := json.Marshal(serve.BatchRequest{Users: users})
 			ans := shardAnswer{shard: shard, indices: indices}
+			info, _ := rt.shardInfo(shard)
 			status, body, err := rt.callShardRead(r.Context(), shard, http.MethodPost, "/recommend/batch", payload)
 			switch {
 			case err != nil:
 				ans.err = err
 			case status != http.StatusOK:
-				ans.err = &ShardError{Shard: shard, Addr: ring.Shard(shard).Addr, Attempts: 1,
+				ans.err = &ShardError{Shard: shard, Addr: info.Addr, Attempts: 1,
 					Err: fmt.Errorf("%w: sub-batch rejected with status %d: %s", ErrShardResponse, status, truncate(body))}
 			default:
 				if err := json.Unmarshal(body, &ans.resp); err != nil {
-					ans.err = &ShardError{Shard: shard, Addr: ring.Shard(shard).Addr, Attempts: 1,
+					ans.err = &ShardError{Shard: shard, Addr: info.Addr, Attempts: 1,
 						Err: fmt.Errorf("%w: decoding sub-batch answer: %v", ErrShardResponse, err)}
 				} else if len(ans.resp.Results) != len(users) {
-					ans.err = &ShardError{Shard: shard, Addr: ring.Shard(shard).Addr, Attempts: 1,
+					ans.err = &ShardError{Shard: shard, Addr: info.Addr, Attempts: 1,
 						Err: fmt.Errorf("%w: sub-batch answered %d results for %d users", ErrShardResponse, len(ans.resp.Results), len(users))}
 				}
 			}
@@ -528,7 +683,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Results[idx] = ans.resp.Results[k]
 		}
 		out.Shards = append(out.Shards, ShardBatchMeta{
-			Shard:   ring.Shard(ans.shard).ID,
+			Shard:   ans.shard,
 			Users:   len(ans.indices),
 			Model:   ans.resp.Model,
 			Version: ans.resp.Version,
@@ -590,12 +745,13 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	// Events go to the shard owning their user: the owner's write-ahead log
-	// is the durability point for that user's interactions. Writes are never
-	// failed over to replicas (see callShardRead).
-	ring := rt.Ring()
+	// is the durability point for that user's interactions. Mid-reshard the
+	// write target is the next ring's owner (the old owner is draining, its
+	// log frozen for moving users). Writes are never failed over to replicas
+	// (see callShardRead).
 	perShard := make(map[int][]serve.IngestEvent)
 	for _, ev := range req.Events {
-		shard := ring.Owner(ev.User)
+		shard := rt.writeTarget(ev.User)
 		perShard[shard] = append(perShard[shard], ev)
 	}
 
@@ -610,16 +766,17 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		go func(shard int, events []serve.IngestEvent) {
 			payload, _ := json.Marshal(serve.IngestRequest{Events: events})
 			ans := shardAnswer{shard: shard, events: len(events)}
+			info, _ := rt.shardInfo(shard)
 			status, body, err := rt.callShard(r.Context(), shard, http.MethodPost, "/ingest", payload)
 			switch {
 			case err != nil:
 				ans.err = err
 			case status != http.StatusOK:
-				ans.err = &ShardError{Shard: shard, Addr: ring.Shard(shard).Addr, Attempts: 1,
+				ans.err = &ShardError{Shard: shard, Addr: info.Addr, Attempts: 1,
 					Err: fmt.Errorf("%w: ingest slice rejected with status %d: %s", ErrShardResponse, status, truncate(body))}
 			default:
 				if err := json.Unmarshal(body, &ans.result); err != nil {
-					ans.err = &ShardError{Shard: shard, Addr: ring.Shard(shard).Addr, Attempts: 1,
+					ans.err = &ShardError{Shard: shard, Addr: info.Addr, Attempts: 1,
 						Err: fmt.Errorf("%w: decoding ingest answer: %v", ErrShardResponse, err)}
 				}
 			}
@@ -638,7 +795,7 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		out.Applied += ans.result.Applied
-		out.Shards = append(out.Shards, ShardIngestMeta{Shard: ring.Shard(ans.shard).ID, Result: ans.result})
+		out.Shards = append(out.Shards, ShardIngestMeta{Shard: ans.shard, Result: ans.result})
 	}
 	if failure != nil {
 		// Slices that did land are durably applied at their shards; the 503

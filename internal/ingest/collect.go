@@ -1,0 +1,25 @@
+package ingest
+
+// CollectUserEvents scans the write-ahead log at path and returns, for every
+// user accepted by keep (nil keeps everyone), that user's events in log order
+// — the per-user history slice a live migration ships to the user's next
+// owner. Because the log is append-only and never truncated, the returned
+// slices are each user's complete interaction history as this shard saw it.
+// The second result is the log's last sequence number (the scan horizon, so a
+// caller can detect appends that raced the scan). A missing log collects
+// nothing: a shard that never ingested has no history to move.
+func CollectUserEvents(path string, keep func(user string) bool) (map[string][]Event, uint64, error) {
+	users := make(map[string][]Event)
+	var last uint64
+	err := ReplayLog(path, 0, func(seq uint64, ev Event) error {
+		last = seq
+		if keep == nil || keep(ev.User) {
+			users[ev.User] = append(users[ev.User], ev)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return users, last, nil
+}

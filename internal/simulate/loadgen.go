@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"ganc/internal/cluster"
 	"ganc/internal/persist"
 	"ganc/internal/serve"
 )
@@ -469,6 +470,9 @@ type ClusterBenchReport struct {
 	// Failover is the mid-run primary-kill drill measurement (nil when the
 	// cluster runs without replicas).
 	Failover *FailoverReport `json:"failover,omitempty"`
+	// Reshard is the mid-run elastic-grow drill measurement (nil when the
+	// drill was not requested).
+	Reshard *ReshardReport `json:"reshard,omitempty"`
 }
 
 // FailoverReport is the failover section of BENCH_cluster.json: a read-only
@@ -484,6 +488,20 @@ type FailoverReport struct {
 	// the drill did not promote).
 	PromotedEpoch uint64 `json:"promoted_epoch,omitempty"`
 	// Result is the measured run spanning the kill.
+	Result *LoadResult `json:"result"`
+}
+
+// ReshardReport is the reshard section of BENCH_cluster.json: a mixed
+// read/write run during which the cluster grows by one or more shards
+// mid-flight. Zero client-visible errors across the cutover is the pass
+// criterion — elastic growth must be invisible to traffic.
+type ReshardReport struct {
+	// KickoffDelayMs is how far into the run the reshard fired.
+	KickoffDelayMs int `json:"kickoff_delay_ms"`
+	// Stats is the migration engine's own accounting: topology, users and
+	// events migrated, router double-dispatches, cutover duration.
+	Stats *cluster.ReshardStats `json:"stats"`
+	// Result is the measured run spanning the reshard.
 	Result *LoadResult `json:"result"`
 }
 

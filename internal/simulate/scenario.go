@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ganc/internal/cluster"
 	"ganc/internal/dataset"
 	"ganc/internal/obs"
 	"ganc/internal/serve"
@@ -103,6 +104,22 @@ type ReplicatedSystem interface {
 	ReplicaLag(shard int) uint64
 }
 
+// ReshardableSystem is the elastic extension of ShardedSystem: a cluster
+// that can grow or shrink its ring with a live migration while it serves.
+// Scenario phases that reshard mid-load require the primary to implement it.
+type ReshardableSystem interface {
+	ShardedSystem
+	// Reshard grows or shrinks the cluster to target shards with a live
+	// migration and a staged cutover, returning the migration stats.
+	Reshard(target int) (*cluster.ReshardStats, error)
+	// OwnerAt returns the shard that would own userKey in a ring of the
+	// given shard count. Ownership is a pure function of the shard-ID set,
+	// so the post-reshard assignment is computable before the reshard runs —
+	// the runner uses it to feed the shadow the drilled shard's final-
+	// topology event slice from the scenario's first phase on.
+	OwnerAt(userKey string, shards int) int
+}
+
 // PhaseKind names a lifecycle phase.
 type PhaseKind string
 
@@ -153,6 +170,12 @@ const (
 	// the promoted primary and waits for its replication lag to drain to
 	// zero, proving the demoted node converges on the new history.
 	PhaseRejoinReplica PhaseKind = "rejoin-replica"
+	// PhaseShardParity asserts the drilled shard's owned-user fingerprint is
+	// byte-identical to the uninterrupted single-node shadow restricted to
+	// the same users — the standalone form of the check restart-shard and
+	// promote-replica run implicitly, used after a mid-load reshard to prove
+	// the migrated shard converged on the ground truth.
+	PhaseShardParity PhaseKind = "shard-parity"
 )
 
 // Phase is one step of a scenario. Zero-valued knobs select the defaults
@@ -201,6 +224,16 @@ type Phase struct {
 	// (nil = no assertion; the shard killed by KillShardMid is exempt — its
 	// shipper died with its primary).
 	MaxReplicaLagEvents *uint64 `json:"max_replica_lag_events,omitempty"`
+	// ReshardMid, on a serve-under-load phase against a reshardable primary,
+	// grows or shrinks the cluster to this shard count ReshardDelayMs into
+	// the load (the reshard-mid-load drill). The cutover must be invisible:
+	// any client-visible error fails the phase. Phase.Shard names the shard
+	// whose post-reshard state the shadow mirrors for a later shard-parity
+	// phase. Mutually exclusive with KillShardMid.
+	ReshardMid *int `json:"reshard_mid,omitempty"`
+	// ReshardDelayMs is how far into the load the mid-load reshard fires
+	// (default 100).
+	ReshardDelayMs int `json:"reshard_delay_ms,omitempty"`
 }
 
 // Scenario is a full lifecycle expressed as data: a universe, a system
@@ -218,6 +251,14 @@ type Scenario struct {
 	// Seed drives the scenario's event and request streams (the universe has
 	// its own seed).
 	Seed int64 `json:"seed"`
+	// Stream shapes the scenario's event stream (new-user/new-item rates;
+	// the zero value selects the stream defaults, negative rates close the
+	// universe). Reshard parity scenarios close the universe: a migrated
+	// shard applies its users' histories in per-user order, which is
+	// byte-equivalent to the shadow's global order only when no event can
+	// extend the interner tables. The Seed field inside is ignored —
+	// Scenario.Seed drives the stream.
+	Stream EventStreamConfig `json:"stream,omitempty"`
 	// Phases run in order. The first must be PhaseTrain.
 	Phases []Phase `json:"phases"`
 }
@@ -251,7 +292,8 @@ func (sc *Scenario) shardUnderTest() (int, error) {
 	for _, p := range sc.Phases {
 		switch {
 		case p.Kind == PhaseKillShard || p.Kind == PhaseRestartShard ||
-			p.Kind == PhasePromoteReplica || p.Kind == PhaseRejoinReplica:
+			p.Kind == PhasePromoteReplica || p.Kind == PhaseRejoinReplica ||
+			p.Kind == PhaseShardParity:
 			if err := consider(p.Shard); err != nil {
 				return -1, err
 			}
@@ -259,9 +301,25 @@ func (sc *Scenario) shardUnderTest() (int, error) {
 			if err := consider(*p.KillShardMid); err != nil {
 				return -1, err
 			}
+		case p.Kind == PhaseServeUnderLoad && p.ReshardMid != nil:
+			if err := consider(p.Shard); err != nil {
+				return -1, err
+			}
 		}
 	}
 	return shard, nil
+}
+
+// finalShards returns the shard count the scenario ends with: the last
+// mid-load reshard target, or 0 when the scenario never reshards.
+func (sc *Scenario) finalShards() int {
+	final := 0
+	for _, p := range sc.Phases {
+		if p.Kind == PhaseServeUnderLoad && p.ReshardMid != nil {
+			final = *p.ReshardMid
+		}
+	}
+	return final
 }
 
 // PhaseResult records one executed phase.
@@ -293,6 +351,8 @@ type PhaseResult struct {
 	// asserted a lag bound (serve-under-load's MaxReplicaLagEvents, or the
 	// rejoin-replica convergence wait).
 	ReplicaLagEvents uint64 `json:"replica_lag_events,omitempty"`
+	// Reshard carries the migration stats of a mid-load reshard.
+	Reshard *cluster.ReshardStats `json:"reshard,omitempty"`
 }
 
 // Result is the outcome of one scenario run.
@@ -329,12 +389,17 @@ type runState struct {
 	walPath  string
 	// sharded is the primary's multi-node view (nil for single-node runs);
 	// replicated additionally carries per-shard replicas and promotion (nil
-	// for unreplicated clusters); shadowShard is the shard whose routed
-	// events feed the shadow (-1 when the shadow absorbs everything, the
-	// single-node semantics).
+	// for unreplicated clusters); reshardable additionally carries live ring
+	// grow/shrink (nil for fixed-topology systems); shadowShard is the shard
+	// whose routed events feed the shadow (-1 when the shadow absorbs
+	// everything, the single-node semantics); finalShards is the topology
+	// the scenario's reshards end at (0 = the boot topology), which decides
+	// the ownership the shadow's event slice is filtered by.
 	sharded     ShardedSystem
 	replicated  ReplicatedSystem
+	reshardable ReshardableSystem
 	shadowShard int
+	finalShards int
 }
 
 // Run executes the scenario and returns its per-phase record. Any phase
@@ -364,12 +429,15 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	streamCfg := sc.Stream
+	streamCfg.Seed = sc.Seed
 	st := &runState{
 		universe:    u,
-		events:      u.EventStream(EventStreamConfig{Seed: sc.Seed}),
+		events:      u.EventStream(streamCfg),
 		snapPath:    filepath.Join(r.Dir, "scenario.snap"),
 		walPath:     filepath.Join(r.Dir, "scenario.wal"),
 		shadowShard: shadowShard,
+		finalShards: sc.finalShards(),
 	}
 	res := &Result{Scenario: sc.Name}
 	for k, phase := range sc.Phases {
@@ -419,6 +487,15 @@ func (r *Runner) runPhase(ctx context.Context, sc *Scenario, st *runState, p Pha
 	case PhaseRejoinReplica:
 		pr.Shard = p.Shard
 		return r.rejoinReplica(st, p, pr)
+	case PhaseShardParity:
+		pr.Shard = p.Shard
+		if _, err := st.shardedOrErr(p.Kind); err != nil {
+			return pr, err
+		}
+		if st.shadow == nil {
+			return pr, fmt.Errorf("shard-parity needs a shadow system (the check would be vacuous without one)")
+		}
+		return r.shardParity(ctx, st, p.Shard, pr)
 	default:
 		return pr, fmt.Errorf("unknown phase kind %q", p.Kind)
 	}
@@ -448,6 +525,18 @@ func (st *runState) replicatedOrErr(kind PhaseKind) (ReplicatedSystem, error) {
 	return st.replicated, nil
 }
 
+// reshardableOrErr returns the primary's reshardable view, erroring for
+// phases that need live topology changes against a fixed-topology primary.
+func (st *runState) reshardableOrErr(kind PhaseKind) (ReshardableSystem, error) {
+	if _, err := st.shardedOrErr(kind); err != nil {
+		return nil, err
+	}
+	if st.reshardable == nil {
+		return nil, fmt.Errorf("%s phase requires a reshardable primary", kind)
+	}
+	return st.reshardable, nil
+}
+
 // train stands up the primary (and the shadow when the scenario needs one)
 // and enables ingestion when later phases will stream events.
 func (r *Runner) train(sc *Scenario, st *runState) error {
@@ -457,13 +546,27 @@ func (r *Runner) train(sc *Scenario, st *runState) error {
 	}
 	st.sharded, _ = st.primary.(ShardedSystem)
 	st.replicated, _ = st.primary.(ReplicatedSystem)
+	st.reshardable, _ = st.primary.(ReshardableSystem)
 	if st.shadowShard >= 0 {
 		if st.sharded == nil {
 			return fmt.Errorf("scenario drills shard %d but the primary is not sharded", st.shadowShard)
 		}
-		if n := st.sharded.NumShards(); st.shadowShard >= n {
-			return fmt.Errorf("scenario drills shard %d of a %d-shard primary", st.shadowShard, n)
+		// The drilled shard must exist at some point of the lifecycle (the
+		// boot topology or a reshard target) and in the final topology, where
+		// the parity check runs.
+		limit := st.sharded.NumShards()
+		if st.finalShards > limit {
+			limit = st.finalShards
 		}
+		if st.shadowShard >= limit {
+			return fmt.Errorf("scenario drills shard %d of a primary that never exceeds %d shards", st.shadowShard, limit)
+		}
+		if st.finalShards > 0 && st.shadowShard >= st.finalShards {
+			return fmt.Errorf("scenario drills shard %d but reshards down to %d shards; the drilled shard must survive", st.shadowShard, st.finalShards)
+		}
+	}
+	if st.finalShards > 0 && st.reshardable == nil {
+		return fmt.Errorf("scenario reshards mid-load but the primary is not reshardable")
 	}
 	needIngest := sc.has(PhaseIngestChurn) || sc.has(PhaseKillAndRecover) ||
 		sc.has(PhaseRestartShard) || sc.has(PhasePromoteReplica)
@@ -475,7 +578,7 @@ func (r *Runner) train(sc *Scenario, st *runState) error {
 		}
 	}
 	if sc.has(PhaseKillAndRecover) ||
-		((sc.has(PhaseRestartShard) || sc.has(PhasePromoteReplica)) && st.shadowShard >= 0) {
+		((sc.has(PhaseRestartShard) || sc.has(PhasePromoteReplica) || sc.has(PhaseShardParity)) && st.shadowShard >= 0) {
 		newShadow := r.NewShadow
 		if newShadow == nil {
 			newShadow = r.NewSystem
@@ -497,14 +600,22 @@ func (r *Runner) train(sc *Scenario, st *runState) error {
 
 // shadowEvents filters an applied batch down to what the shadow must
 // absorb: everything for single-node runs, only the drilled shard's routed
-// slice for cluster runs.
+// slice for cluster runs. When the scenario reshards, ownership is evaluated
+// against the final topology from the first phase on — events a pre-reshard
+// churn routes to the drilled shard's users' old owners reach the drilled
+// shard later through the migration, so the shadow must hold them too.
 func (st *runState) shadowEvents(events []serve.IngestEvent) []serve.IngestEvent {
 	if st.sharded == nil || st.shadowShard < 0 {
 		return events
 	}
+	owner := st.sharded.ShardOwner
+	if st.finalShards > 0 && st.reshardable != nil {
+		final := st.finalShards
+		owner = func(userKey string) int { return st.reshardable.OwnerAt(userKey, final) }
+	}
 	var out []serve.IngestEvent
 	for _, ev := range events {
-		if st.sharded.ShardOwner(ev.User) == st.shadowShard {
+		if owner(ev.User) == st.shadowShard {
 			out = append(out, ev)
 		}
 	}
@@ -573,6 +684,58 @@ func (r *Runner) serveUnderLoad(ctx context.Context, sc *Scenario, st *runState,
 		BatchSize:   p.BatchSize,
 		Seed:        sc.Seed + 1,
 		Client:      ts.Client(),
+	}
+
+	if p.KillShardMid != nil && p.ReshardMid != nil {
+		return pr, fmt.Errorf("a serve-under-load phase cannot both kill a shard and reshard mid-load")
+	}
+
+	if p.ReshardMid != nil {
+		// The reshard-mid-load drill: grow or shrink the ring partway
+		// through the load. Unlike the kill drill, nothing here is allowed
+		// to fail — the staged cutover (writes re-routed at begin, reads
+		// double-dispatched to old owners until each user's history lands)
+		// must make the topology change invisible to clients.
+		rs, err := st.reshardableOrErr(PhaseKind("serve-under-load reshard-mid"))
+		if err != nil {
+			return pr, err
+		}
+		target := *p.ReshardMid
+		pr.Shard = p.Shard
+		delay := time.Duration(p.ReshardDelayMs) * time.Millisecond
+		if delay <= 0 {
+			delay = 100 * time.Millisecond
+		}
+		type outcome struct {
+			stats *cluster.ReshardStats
+			err   error
+		}
+		done := make(chan outcome, 1)
+		timer := time.AfterFunc(delay, func() {
+			stats, err := rs.Reshard(target)
+			done <- outcome{stats, err}
+		})
+		defer timer.Stop()
+		res, err := RunLoad(ctx, st.universe, cfg)
+		if err != nil {
+			return pr, err
+		}
+		pr.Load = res
+		select {
+		case out := <-done:
+			if out.err != nil {
+				return pr, fmt.Errorf("mid-load reshard to %d shards: %w", target, out.err)
+			}
+			pr.Reshard = out.stats
+			pr.Epoch = out.stats.Epoch
+		case <-time.After(60 * time.Second):
+			return pr, fmt.Errorf("mid-load reshard to %d shards never completed", target)
+		}
+		if res.Errors > 0 {
+			return pr, fmt.Errorf("mid-load reshard to %d shards leaked %d of %d client-visible errors (the cutover must be invisible)",
+				target, res.Errors, res.Requests)
+		}
+		return pr, r.assertReplicaLag(st, p, -1, &pr)
 	}
 
 	if p.KillShardMid != nil {

@@ -41,6 +41,9 @@ type (
 	// read-only run spanning a mid-run primary kill against a replicated
 	// cluster.
 	FailoverReport = simulate.FailoverReport
+	// ReshardReport is the reshard section of BENCH_cluster.json: a mixed
+	// read/write run spanning a mid-run elastic grow of the cluster.
+	ReshardReport = simulate.ReshardReport
 	// Scenario is a system lifecycle expressed as a phase list.
 	Scenario = simulate.Scenario
 	// ScenarioPhase is one step of a Scenario.

@@ -1,6 +1,7 @@
 package ganc
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -77,6 +78,15 @@ type (
 	// epoch, users moved and migrated, events migrated, double-dispatched
 	// reads and the cutover window width.
 	ReshardStats = cluster.ReshardStats
+	// FailureDetector is the shared liveness sampler: it probes every node's
+	// /health on an interval, caches the cluster-liveness view the router
+	// fails over by, and raises suspicion after consecutive missed probes
+	// (NewCluster wires one automatically on replicated clusters).
+	FailureDetector = cluster.Detector
+	// FailureDetectorConfig configures NewFailureDetector.
+	FailureDetectorConfig = cluster.DetectorConfig
+	// NodeLiveness is one node's row in the detector's cached view.
+	NodeLiveness = cluster.NodeLiveness
 )
 
 // Cluster error sentinels re-exported from internal/cluster.
@@ -124,6 +134,12 @@ func NewReplicaApplier(shard int, epoch uint64, ing *Ingestor) *ReplicaApplier {
 // after write-ahead-log recovery so it adopts each replica's true cursor.
 func NewShipper(cfg ShipperConfig) *Shipper { return cluster.NewShipper(cfg) }
 
+// NewFailureDetector builds and starts a shared failure detector over a ring
+// source. Hand it to RouterConfig.Detector so failed reads route by the
+// cached liveness view; Close it when the router retires (cmd/gancd's router
+// role runs one; NewCluster wires one automatically).
+func NewFailureDetector(cfg FailureDetectorConfig) *FailureDetector { return cluster.NewDetector(cfg) }
+
 // NewMigrationApplier builds the destination-side live-migration applier for
 // one shard at a ring epoch, applying migrated user histories into the
 // node's ingestor. Mount its Handler at POST /migrate next to the node's
@@ -144,7 +160,11 @@ type ClusterOption func(*clusterConfig)
 type clusterConfig struct {
 	shards          int
 	replicas        int
+	writeQuorum     int
 	maxReplicaLag   int64
+	autoFailover    bool
+	detectInterval  time.Duration
+	suspectAfter    int
 	routerAddr      string
 	dir             string
 	cacheCap        int
@@ -169,6 +189,35 @@ func WithShards(n int) ClusterOption {
 // replica into the shard's primary after a kill.
 func WithReplicas(n int) ClusterOption {
 	return func(c *clusterConfig) { c.replicas = n }
+}
+
+// WithWriteQuorum makes every shard's commits quorum-acknowledged: the
+// ingest path acks a committed batch only after k of the shard's replicas
+// hold it (bounded by the shipper's quorum timeout, after which the commit
+// degrades to asynchronous catch-up). A quorum-acked write survives the loss
+// of the primary plus any replicas beyond the k that acknowledged. Requires
+// k ≤ the WithReplicas count; 0 (the default) keeps fire-and-forget
+// shipping.
+func WithWriteQuorum(k int) ClusterOption {
+	return func(c *clusterConfig) { c.writeQuorum = k }
+}
+
+// WithAutoFailover turns on hands-off failover: the cluster's failure
+// detector watches every primary, and sustained suspicion (the detector's
+// consecutive-miss threshold) triggers an automatic Promote of the shard's
+// freshest live replica followed by a ring republish — no operator call.
+// Requires WithReplicas(n ≥ 1).
+func WithAutoFailover() ClusterOption {
+	return func(c *clusterConfig) { c.autoFailover = true }
+}
+
+// WithFailureDetection tunes the shared failure detector: the /health
+// sampling interval and how many consecutive missed probes turn a node
+// suspected (defaults 250ms and 3 — suspicion after ~750ms of sustained
+// unreachability). The detector runs on every replicated cluster; this knob
+// mainly serves chaos drills that want a tighter suspicion window.
+func WithFailureDetection(interval time.Duration, suspectAfter int) ClusterOption {
+	return func(c *clusterConfig) { c.detectInterval, c.suspectAfter = interval, suspectAfter }
 }
 
 // WithMaxReplicaLag bounds read failover staleness: a replica lagging more
@@ -324,16 +373,27 @@ func (sh *clusterShard) replicaAddrs() []string {
 // Handler() (or the WithRouterAddr listener); tear it down with Close.
 type Cluster struct {
 	cfg     clusterConfig
-	ring    *Ring
 	router  *Router
 	shards  []*clusterShard
 	topN    int
 	ownsDir bool
 
+	// ring is the published hash ring, held atomically: read paths (owner
+	// lookups, the detector's sampling loop) load it lock-free while Promote
+	// and Reshard republish it.
+	ring atomic.Pointer[Ring]
+
+	// detector is the shared failure detector (replicated clusters only): the
+	// router fails reads over by its cached view, and with WithAutoFailover
+	// its suspicion callback drives promotion.
+	detector *cluster.Detector
+
 	// baselinePath is the pristine pre-split snapshot Reshard boots added
 	// shards from; lineage records every shard count this cluster has ever
 	// run, so loadShardNode accepts checkpoints stamped before a reshard;
-	// reshardMu serializes topology changes.
+	// reshardMu serializes topology changes — Promote, Reshard, kills and
+	// rejoins all hold it, so the detector's automatic promotion cannot race
+	// an operator-driven topology change.
 	baselinePath string
 	lineage      map[int]bool
 	reshardMu    sync.Mutex
@@ -361,6 +421,12 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 	}
 	if cfg.replicas < 0 {
 		return nil, fmt.Errorf("ganc: cluster needs a non-negative replica count, got %d", cfg.replicas)
+	}
+	if cfg.writeQuorum < 0 || cfg.writeQuorum > cfg.replicas {
+		return nil, fmt.Errorf("ganc: write quorum %d outside [0, %d replicas]", cfg.writeQuorum, cfg.replicas)
+	}
+	if cfg.autoFailover && cfg.replicas == 0 {
+		return nil, fmt.Errorf("ganc: auto-failover requires at least one replica per shard")
 	}
 	c := &Cluster{cfg: cfg, topN: p.TopN()}
 	if cfg.dir == "" {
@@ -422,7 +488,7 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 		closeBound()
 		return fail(err)
 	}
-	c.ring = ring
+	c.ring.Store(ring)
 
 	// Boot order per shard: replicas first, then the primary. A failed boot
 	// closes its own listener; closeRest releases every listener a failed
@@ -472,6 +538,23 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 		}
 	}
 
+	// Replicated clusters get the shared failure detector: the router reads
+	// its cached view instead of probing per request, and with auto-failover
+	// its suspicion callback promotes dead primaries without an operator.
+	if cfg.replicas > 0 {
+		var onSuspect func(shard int, addr string)
+		if cfg.autoFailover {
+			onSuspect = c.autoPromote
+		}
+		c.detector = cluster.NewDetector(cluster.DetectorConfig{
+			Ring:             func() *Ring { return c.ring.Load() },
+			Interval:         cfg.detectInterval,
+			SuspectAfter:     cfg.suspectAfter,
+			OnSuspectPrimary: onSuspect,
+			Metrics:          c.cfg.metrics,
+		})
+	}
+
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
 		Ring:          ring,
 		Retries:       cfg.retries,
@@ -479,6 +562,7 @@ func NewCluster(p *Pipeline, opts ...ClusterOption) (*Cluster, error) {
 		RequestLog:    c.cfg.reqLog,
 		Admission:     admit.New(c.cfg.routerAdmit),
 		MaxReplicaLag: cfg.maxReplicaLag,
+		Detector:      c.detector,
 	})
 	if err != nil {
 		return fail(err)
@@ -564,11 +648,12 @@ func (c *Cluster) bootShard(sh *clusterShard, ln net.Listener) error {
 	sh.pipe, sh.srv, sh.ing, sh.relay = pipe, srv, ing, relay
 	if len(sh.replicas) > 0 {
 		sh.shipper = cluster.NewShipper(cluster.ShipperConfig{
-			Shard:    sh.id,
-			Epoch:    c.cfg.epoch,
-			WALPath:  sh.walPath,
-			Replicas: sh.replicaAddrs(),
-			StartSeq: pipe.ingestSeq,
+			Shard:       sh.id,
+			Epoch:       c.cfg.epoch,
+			WALPath:     sh.walPath,
+			Replicas:    sh.replicaAddrs(),
+			StartSeq:    pipe.ingestSeq,
+			WriteQuorum: c.cfg.writeQuorum,
 		})
 		relay.set(sh.shipper.Commit)
 		srv.SetReplicationProbe(sh.shipper.Status)
@@ -584,6 +669,7 @@ func (c *Cluster) bootShard(sh *clusterShard, ln net.Listener) error {
 	sh.migrator = cluster.NewMigrationApplier(sh.id, c.cfg.epoch, ing)
 	mux := http.NewServeMux()
 	mux.Handle("/migrate", sh.migrator.Handler())
+	mux.Handle(cluster.TailPath, cluster.NewWALTailHandler(sh.id, sh.walPath))
 	mux.Handle("/", srv.Handler())
 	sh.hs = &http.Server{Handler: mux}
 	go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(sh.hs, ln)
@@ -624,6 +710,10 @@ func (c *Cluster) bootReplica(sh *clusterShard, rep *replicaNode, ln net.Listene
 	srv.SetReplicationProbe(applier.Status)
 	mux := http.NewServeMux()
 	mux.Handle("/replicate", applier.Handler())
+	// Replicas serve WAL-tail pulls too: after a promotion the shard's
+	// primary is an ex-replica running this mux, and a rejoining node must
+	// be able to fetch its missing tail from whoever is primary now.
+	mux.Handle(cluster.TailPath, cluster.NewWALTailHandler(sh.id, rep.walPath))
 	mux.Handle("/", srv.Handler())
 	rep.pipe, rep.srv, rep.ing, rep.applier, rep.relay = pipe, srv, ing, applier, relay
 	rep.hs = &http.Server{Handler: mux}
@@ -673,16 +763,24 @@ func (c *Cluster) handleReshard(w http.ResponseWriter, r *http.Request) {
 func (c *Cluster) Router() *Router { return c.router }
 
 // Ring returns the cluster's hash ring.
-func (c *Cluster) Ring() *Ring { return c.ring }
+func (c *Cluster) Ring() *Ring { return c.ring.Load() }
 
 // NumShards returns the shard count.
-func (c *Cluster) NumShards() int { return len(c.shards) }
+func (c *Cluster) NumShards() int {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	return len(c.shards)
+}
 
 // OwnerShard returns the shard index owning an external user key.
-func (c *Cluster) OwnerShard(userKey string) int { return c.ring.Owner(userKey) }
+func (c *Cluster) OwnerShard(userKey string) int { return c.ring.Load().Owner(userKey) }
 
 // ShardAddr returns shard i's listen address.
-func (c *Cluster) ShardAddr(i int) string { return c.shards[i].addr }
+func (c *Cluster) ShardAddr(i int) string {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	return c.shards[i].addr
+}
 
 // RouterAddr returns the router's listen address, or "" when the cluster
 // was built without WithRouterAddr.
@@ -705,12 +803,33 @@ func (c *Cluster) shardByIndex(i int) (*clusterShard, error) {
 	return c.shards[i], nil
 }
 
+// shardState snapshots shard i's live pipeline and ingestor under the
+// topology lock, so scenario drivers do not race a concurrent
+// detector-triggered promotion swapping them.
+func (c *Cluster) shardState(i int) (*Pipeline, *Ingestor, error) {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	sh, err := c.shardByIndex(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sh.pipe, sh.ing, nil
+}
+
 // KillShard crashes shard i's primary: its listener and connections close,
 // in-memory state drops, the write-ahead-log handle is released. Durable
 // files (the shard snapshot and WAL) survive for RestartShard; replicas keep
 // serving, so reads fail over while writes get the router's typed 503 until
 // a restart or a promotion.
 func (c *Cluster) KillShard(i int) error {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	return c.killShardLocked(i)
+}
+
+// killShardLocked is KillShard under an already-held topology lock (Reshard
+// and Close hold it across several kills).
+func (c *Cluster) killShardLocked(i int) error {
 	sh, err := c.shardByIndex(i)
 	if err != nil {
 		return err
@@ -736,8 +855,31 @@ func (c *Cluster) KillShard(i int) error {
 	return closeErr
 }
 
-// killReplica crashes one replica node (used by Close; a chaos drill kills
-// primaries, not replicas).
+// KillReplica crashes shard i's replica r: its listener and connections
+// close, in-memory state drops, its write-ahead log survives on disk. The
+// primary's shipper flips the replica to catch-up mode and retries in the
+// background, so the shard's reported lag grows until RejoinAsReplica brings
+// the node back — the lagging-replica half of the reshard × replication
+// chaos drill.
+func (c *Cluster) KillReplica(i, r int) error {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	sh, err := c.shardByIndex(i)
+	if err != nil {
+		return err
+	}
+	if r < 0 || r >= len(sh.replicas) {
+		return fmt.Errorf("ganc: shard %d replica %d out of range [0,%d)", i, r, len(sh.replicas))
+	}
+	rep := sh.replicas[r]
+	if rep.pipe == nil {
+		return fmt.Errorf("ganc: shard %d replica %d is already dead", i, r)
+	}
+	return c.killReplica(rep)
+}
+
+// killReplica crashes one replica node (used by Close, Reshard teardown and
+// KillReplica; callers hold the topology lock where it matters).
 func (c *Cluster) killReplica(rep *replicaNode) error {
 	if rep.pipe == nil {
 		return nil
@@ -760,6 +902,8 @@ func (c *Cluster) killReplica(rep *replicaNode) error {
 // ingestion re-attaches, and the write-ahead-log suffix past the checkpoint
 // cursor is replayed. Returns how many events the replay recovered.
 func (c *Cluster) RestartShard(i int) (replayed int, err error) {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
 	sh, err := c.shardByIndex(i)
 	if err != nil {
 		return 0, err
@@ -786,6 +930,30 @@ func (c *Cluster) RestartShard(i int) (replayed int, err error) {
 // change), every surviving node adopts the new epoch, and the router is
 // re-pointed at the new shard map. Returns the new epoch.
 func (c *Cluster) Promote(i int) (uint64, error) {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	return c.promoteLocked(i)
+}
+
+// autoPromote is the detector's suspicion callback under WithAutoFailover:
+// it re-checks, under the topology lock, that the suspected primary is
+// actually dead at the address the suspicion was raised for — a restarted
+// primary, a completed promotion or a false suspicion all make it a no-op —
+// and then runs the regular promotion. Promotion failures (e.g. no live
+// replica either) are dropped: the detector fires again next outage episode,
+// and the router keeps failing reads over meanwhile.
+func (c *Cluster) autoPromote(shard int, addr string) {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	sh, err := c.shardByIndex(shard)
+	if err != nil || sh.pipe != nil || sh.addr != addr {
+		return
+	}
+	_, _ = c.promoteLocked(shard)
+}
+
+// promoteLocked is Promote under an already-held topology lock.
+func (c *Cluster) promoteLocked(i int) (uint64, error) {
 	sh, err := c.shardByIndex(i)
 	if err != nil {
 		return 0, err
@@ -826,11 +994,12 @@ func (c *Cluster) Promote(i int) (uint64, error) {
 	sh.srv.SetIngestSink(sh.ing)
 	promoted.applier.SetEpoch(epoch)
 	sh.shipper = cluster.NewShipper(cluster.ShipperConfig{
-		Shard:    sh.id,
-		Epoch:    epoch,
-		WALPath:  sh.walPath,
-		Replicas: sh.replicaAddrs(),
-		StartSeq: bestSeq,
+		Shard:       sh.id,
+		Epoch:       epoch,
+		WALPath:     sh.walPath,
+		Replicas:    sh.replicaAddrs(),
+		StartSeq:    bestSeq,
+		WriteQuorum: c.cfg.writeQuorum,
 	})
 	sh.relay.set(sh.shipper.Commit)
 	sh.srv.SetReplicationProbe(sh.shipper.Status)
@@ -868,16 +1037,21 @@ func (c *Cluster) Promote(i int) (uint64, error) {
 	if err := c.router.UpdateRing(ring); err != nil {
 		return 0, err
 	}
-	c.ring = ring
+	c.ring.Store(ring)
 	return epoch, nil
 }
 
 // RejoinAsReplica boots shard i's dead replica slot — after a promotion,
 // the demoted old primary — back as a replica: restored from the shard
 // snapshot, its own write-ahead-log suffix replayed, and re-announced to the
-// new primary's shipper, which catches it up to the committed head. Returns
-// how many events the local replay recovered.
+// new primary's shipper, which catches it up to the committed head. When the
+// node's local log is shorter than the snapshot cursor (the disk did not
+// survive with the full history), the missing tail is pulled from the live
+// primary over the /replicate cursor protocol before boot — replica-assisted
+// catch-up. Returns how many events the local replay recovered.
 func (c *Cluster) RejoinAsReplica(i int) (replayed int, err error) {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
 	sh, err := c.shardByIndex(i)
 	if err != nil {
 		return 0, err
@@ -897,7 +1071,10 @@ func (c *Cluster) RejoinAsReplica(i int) (replayed int, err error) {
 	}
 	// The WAL-sequence invariant: record n of a node's log must be global
 	// event n. A snapshot checkpointed past this node's own log would replay
-	// onto the wrong cursor, so it is refused with a typed error.
+	// onto the wrong cursor — so when the local log is short, the missing
+	// records (records, snapSeq] are pulled from the live primary and
+	// appended before boot, restoring the invariant from a peer instead of
+	// refusing the rejoin.
 	records, err := countWALRecords(dead.walPath)
 	if err != nil {
 		return 0, fmt.Errorf("ganc: inspecting rejoin write-ahead log: %w", err)
@@ -907,8 +1084,31 @@ func (c *Cluster) RejoinAsReplica(i int) (replayed int, err error) {
 		return 0, err
 	}
 	if snapSeq > records {
-		return 0, fmt.Errorf("%w: snapshot cursor %d, log has %d records (%s)",
-			ErrReplicaRejoin, snapSeq, records, dead.walPath)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		tail, err := cluster.FetchWALTail(ctx, nil, sh.addr, sh.id, records, snapSeq)
+		cancel()
+		if err != nil {
+			return 0, fmt.Errorf("%w: snapshot cursor %d, log has %d records, and the primary could not supply the tail: %v",
+				ErrReplicaRejoin, snapSeq, records, err)
+		}
+		wal, err := ingest.OpenLog(dead.walPath)
+		if err != nil {
+			return 0, fmt.Errorf("ganc: opening rejoin write-ahead log: %w", err)
+		}
+		if head := wal.Seq(); head != records {
+			wal.Close()
+			return 0, fmt.Errorf("%w: log moved from %d to %d records during the tail pull", ErrReplicaRejoin, records, head)
+		}
+		head, err := wal.Append(tail)
+		if closeErr := wal.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			return 0, fmt.Errorf("ganc: appending fetched tail: %w", err)
+		}
+		if head != snapSeq {
+			return 0, fmt.Errorf("%w: fetched tail ends at %d, snapshot cursor is %d", ErrReplicaRejoin, head, snapSeq)
+		}
 	}
 	ln, err := net.Listen("tcp", dead.addr)
 	if err != nil {
@@ -975,7 +1175,7 @@ func (c *Cluster) Reshard(target int) (*ReshardStats, error) {
 			return nil, fmt.Errorf("ganc: shard %d is dead; restart or promote it before resharding", sh.id)
 		}
 	}
-	oldRing := c.ring
+	oldRing := c.ring.Load()
 	oldEpoch := c.cfg.epoch
 	newEpoch := oldEpoch + 1
 	stats := &ReshardStats{FromShards: oldN, ToShards: target, Epoch: newEpoch}
@@ -995,7 +1195,7 @@ func (c *Cluster) Reshard(target int) (*ReshardStats, error) {
 	teardownAdded := func() {
 		for i := oldN; i < len(c.shards); i++ {
 			if c.shards[i].pipe != nil {
-				_ = c.KillShard(i)
+				_ = c.killShardLocked(i)
 			}
 			for _, rep := range c.shards[i].replicas {
 				_ = c.killReplica(rep)
@@ -1249,7 +1449,7 @@ func (c *Cluster) Reshard(target int) (*ReshardStats, error) {
 	if err := c.router.CompleteReshard(nextRing); err != nil {
 		return abort(err)
 	}
-	c.ring = nextRing
+	c.ring.Store(nextRing)
 	stats.CutoverMs = float64(time.Since(cutStart).Microseconds()) / 1000.0
 	stats.DoubleDispatches = c.router.DoubleDispatches() - ddBefore
 
@@ -1263,7 +1463,7 @@ func (c *Cluster) Reshard(target int) (*ReshardStats, error) {
 		time.Sleep(200 * time.Millisecond)
 		var firstErr error
 		for i := oldN - 1; i >= target; i-- {
-			if err := c.KillShard(i); err != nil && firstErr == nil {
+			if err := c.killShardLocked(i); err != nil && firstErr == nil {
 				firstErr = err
 			}
 			for _, rep := range c.shards[i].replicas {
@@ -1339,6 +1539,8 @@ func (c *Cluster) SaveShards() error {
 // ShardVersion returns shard i's serving-engine generation (0 for a dead
 // shard).
 func (c *Cluster) ShardVersion(i int) int {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
 	if sh := c.shards[i]; sh.srv != nil {
 		return sh.srv.Version()
 	}
@@ -1349,16 +1551,26 @@ func (c *Cluster) ShardVersion(i int) int {
 // with.
 func (c *Cluster) NumReplicas() int { return c.cfg.replicas }
 
-// Epoch returns the cluster's current ring epoch (bumped by every Promote
-// and every Reshard).
-func (c *Cluster) Epoch() uint64 { return c.cfg.epoch }
+// Epoch returns the cluster's current ring epoch (bumped by every Promote —
+// manual or detector-triggered — and every Reshard).
+func (c *Cluster) Epoch() uint64 {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	return c.cfg.epoch
+}
 
 // ReplicaAddr returns shard i's replica r's listen address.
-func (c *Cluster) ReplicaAddr(i, r int) string { return c.shards[i].replicas[r].addr }
+func (c *Cluster) ReplicaAddr(i, r int) string {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
+	return c.shards[i].replicas[r].addr
+}
 
 // ShardReplication returns shard i's primary-side replication status (zero
 // value when the shard has no shipper — dead primary or no replicas).
 func (c *Cluster) ShardReplication(i int) ReplicationStatus {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
 	if sh := c.shards[i]; sh.shipper != nil {
 		return sh.shipper.Status()
 	}
@@ -1368,6 +1580,8 @@ func (c *Cluster) ShardReplication(i int) ReplicationStatus {
 // ReplicaLag returns shard i's widest replica lag in committed events (0
 // with no live shipper).
 func (c *Cluster) ReplicaLag(i int) uint64 {
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
 	if sh := c.shards[i]; sh.shipper != nil {
 		return sh.shipper.MaxLag()
 	}
@@ -1375,19 +1589,30 @@ func (c *Cluster) ReplicaLag(i int) uint64 {
 }
 
 // WaitForReplicaSync blocks until every live primary's replicas have
-// acknowledged its committed head, or the timeout expires.
+// acknowledged its committed head, or the timeout expires. The shipper set is
+// snapshotted under the topology lock, then waited on outside it so a
+// concurrent promotion is not blocked.
 func (c *Cluster) WaitForReplicaSync(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	type pair struct {
+		id      int
+		shipper *cluster.Shipper
+	}
+	c.reshardMu.Lock()
+	shippers := make([]pair, 0, len(c.shards))
 	for _, sh := range c.shards {
-		if sh.shipper == nil {
-			continue
+		if sh.shipper != nil {
+			shippers = append(shippers, pair{sh.id, sh.shipper})
 		}
+	}
+	c.reshardMu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for _, p := range shippers {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			remaining = time.Millisecond
 		}
-		if err := sh.shipper.WaitSync(remaining); err != nil {
-			return fmt.Errorf("ganc: shard %d: %w", sh.id, err)
+		if err := p.shipper.WaitSync(remaining); err != nil {
+			return fmt.Errorf("ganc: shard %d: %w", p.id, err)
 		}
 	}
 	return nil
@@ -1397,13 +1622,22 @@ func (c *Cluster) WaitForReplicaSync(timeout time.Duration) error {
 // (if any) stops, and the work directory is removed when the cluster owns
 // it.
 func (c *Cluster) Close() error {
+	// The detector stops before the topology lock is taken: a suspicion
+	// callback fired during teardown blocks on that lock, and Close waiting
+	// for it while holding the lock would deadlock.
+	if c.detector != nil {
+		c.detector.Close()
+		c.detector = nil
+	}
+	c.reshardMu.Lock()
+	defer c.reshardMu.Unlock()
 	var firstErr error
 	for i, sh := range c.shards {
 		if sh == nil {
 			continue
 		}
 		if sh.pipe != nil {
-			if err := c.KillShard(i); err != nil && firstErr == nil {
+			if err := c.killShardLocked(i); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}

@@ -5,6 +5,7 @@ package ganc
 import (
 	"context"
 	"testing"
+	"time"
 )
 
 // The tier-2 cluster scenario: the kill-one-shard drill at system level,
@@ -169,6 +170,152 @@ func TestScenarioKillPrimaryMidLoad(t *testing.T) {
 	}
 	if after.ReplicaLagEvents != 0 {
 		t.Fatalf("post-promotion replica lag %d events, want 0", after.ReplicaLagEvents)
+	}
+}
+
+// TestScenarioAutoFailoverKillPrimaryMidLoad is the hands-off failover drill:
+// the kill-primary chaos scenario with NO manual promotion anywhere in the
+// phase list. Every shard runs two warm replicas with a k=2-of-2 write
+// quorum and the failure detector armed for auto-failover; the drilled
+// shard's primary is killed mid-read-load and the scenario then merely WAITS
+// (await-promotion) for the detector to suspect the corpse, promote the
+// freshest replica, and republish the ring on its own. Hard promises:
+//
+//  1. Zero operator intervention. The phase list contains no promote-replica;
+//     the epoch bump the await-promotion phase observes can only come from
+//     the detector's suspicion callback.
+//  2. Zero client-visible errors. The router masks the outage through the
+//     detector's cached liveness view while promotion is in flight.
+//  3. Quorum durability. The churn events were each acknowledged only after
+//     both replicas held them (k=2, n=2), so the promoted replica must carry
+//     every acked write: await-promotion's parity check compares the new
+//     primary's owned-user fingerprint byte-for-byte against the
+//     uninterrupted single-node shadow.
+//  4. Replica-assisted rejoin. The dead ex-primary rejoins as a replica and
+//     converges to zero lag, after which serving stays error-free.
+func TestScenarioAutoFailoverKillPrimaryMidLoad(t *testing.T) {
+	const drilled = 1
+	target := drilled
+	noLag := uint64(0)
+	sc := Scenario{
+		Name:            "auto-failover-kill-primary",
+		Universe:        e2eUniverse(41),
+		TopN:            10,
+		CheckpointEvery: 0,
+		Seed:            61,
+		Phases: []ScenarioPhase{
+			{Kind: PhaseTrain},
+			{Kind: PhaseIngestChurn, Events: 180, EventBatch: 30, Concurrency: 4},
+			{Kind: PhaseServeUnderLoad, Requests: 400, Concurrency: 8,
+				KillShardMid: &target, KillDelayMs: 150},
+			{Kind: PhaseAwaitPromotion, Shard: drilled, PromotionWindowMs: 10_000},
+			{Kind: PhaseRejoinReplica, Shard: drilled},
+			{Kind: PhaseServeUnderLoad, Requests: 400, Concurrency: 8, MaxReplicaLagEvents: &noLag},
+		},
+	}
+	res, err := RunReplicatedClusterScenario(context.Background(), sc, t.TempDir(), e2eSystem(), 2, 2,
+		WithWriteQuorum(2), WithAutoFailover(), WithFailureDetection(50*time.Millisecond, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if churn := res.Phases[1]; churn.EventsApplied != 180 {
+		t.Fatalf("churn applied %d events, want 180", churn.EventsApplied)
+	}
+
+	midKill := res.Phases[2]
+	if midKill.Load == nil || midKill.Load.Requests != 400 {
+		t.Fatalf("mid-kill phase recorded %+v", midKill.Load)
+	}
+	if midKill.Load.Errors != 0 {
+		t.Fatalf("mid-kill load leaked %d errors despite replicas and the detector view", midKill.Load.Errors)
+	}
+
+	// The detector promoted with no operator call: the epoch bumped past the
+	// training-time baseline, and the promoted primary carries every
+	// quorum-acked write (byte-identical to the shadow).
+	promoted := res.Phases[3]
+	if promoted.Epoch < 2 {
+		t.Fatalf("await-promotion observed epoch %d, want a bump past 1", promoted.Epoch)
+	}
+	if !promoted.ParityChecked {
+		t.Fatal("await-promotion did not assert quorum durability via shadow parity")
+	}
+
+	rejoin := res.Phases[4]
+	if rejoin.ReplicaLagEvents != 0 {
+		t.Fatalf("rejoined ex-primary stuck %d events behind", rejoin.ReplicaLagEvents)
+	}
+
+	after := res.Phases[5]
+	if after.Load == nil || after.Load.Requests != 400 || after.Load.Errors != 0 {
+		t.Fatalf("post-promotion load: %+v", after.Load)
+	}
+	if after.ReplicaLagEvents != 0 {
+		t.Fatalf("post-promotion replica lag %d events, want 0", after.ReplicaLagEvents)
+	}
+}
+
+// TestScenarioReshardGrowWhileReplicated is the grow-the-ring-while-replicas-
+// lag chaos drill: a replicated 2-shard cluster grows to 3 shards in the
+// middle of a read load. The new shard's replica is the stress point — it
+// boots from a history-empty snapshot while the live migration bursts every
+// reassigned user's history through the new primary's shipper, so it lags by
+// construction mid-drill and must converge through replication catch-up
+// alone. Hard promises: zero client-visible errors through the cutover, real
+// migration, byte-identical parity for the new shard after post-grow churn,
+// and zero replica lag everywhere once the dust settles.
+func TestScenarioReshardGrowWhileReplicated(t *testing.T) {
+	const drilled = 2 // the shard the grow adds
+	grown := 3
+	noLag := uint64(0)
+	sc := Scenario{
+		Name:            "reshard-grow-replicated",
+		Universe:        e2eUniverse(43),
+		TopN:            10,
+		CheckpointEvery: 0,
+		Seed:            67,
+		Stream:          EventStreamConfig{NewUserRate: -1, NewItemRate: -1},
+		Phases: []ScenarioPhase{
+			{Kind: PhaseTrain},
+			{Kind: PhaseIngestChurn, Events: 180, EventBatch: 30, Concurrency: 4},
+			{Kind: PhaseServeUnderLoad, Requests: 400, Concurrency: 8,
+				ReshardMid: &grown, Shard: drilled, ReshardDelayMs: 100},
+			{Kind: PhaseIngestChurn, Events: 120, EventBatch: 30, Concurrency: 4},
+			{Kind: PhaseShardParity, Shard: drilled},
+			{Kind: PhaseServeUnderLoad, Requests: 400, Concurrency: 8, MaxReplicaLagEvents: &noLag},
+		},
+	}
+	res, err := RunReplicatedClusterScenario(context.Background(), sc, t.TempDir(), e2eSystem(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mid := res.Phases[2]
+	if mid.Load == nil || mid.Load.Requests != 400 || mid.Load.Errors != 0 {
+		t.Fatalf("mid-grow load: %+v", mid.Load)
+	}
+	rs := mid.Reshard
+	if rs == nil {
+		t.Fatal("mid-grow phase recorded no migration stats")
+	}
+	if rs.FromShards != 2 || rs.ToShards != 3 || rs.Epoch != 2 {
+		t.Fatalf("reshard stats topology %d→%d epoch %d, want 2→3 epoch 2", rs.FromShards, rs.ToShards, rs.Epoch)
+	}
+	if rs.UsersMigrated == 0 || rs.EventsMigrated == 0 {
+		t.Fatalf("grow migrated %d users / %d events; a drill where nothing moves proves nothing", rs.UsersMigrated, rs.EventsMigrated)
+	}
+
+	parity := res.Phases[4]
+	if !parity.ParityChecked || parity.Shard != drilled {
+		t.Fatalf("shard-parity did not assert the new shard's equivalence: %+v", parity)
+	}
+	final := res.Phases[5]
+	if final.Load == nil || final.Load.Requests != 400 || final.Load.Errors != 0 {
+		t.Fatalf("post-grow load: %+v", final.Load)
+	}
+	if final.ReplicaLagEvents != 0 {
+		t.Fatalf("replicas still %d events behind after the grow settled", final.ReplicaLagEvents)
 	}
 }
 

@@ -40,6 +40,7 @@ const (
 	PhaseRestartShard   = simulate.PhaseRestartShard
 	PhasePromoteReplica = simulate.PhasePromoteReplica
 	PhaseRejoinReplica  = simulate.PhaseRejoinReplica
+	PhaseAwaitPromotion = simulate.PhaseAwaitPromotion
 	PhaseShardParity    = simulate.PhaseShardParity
 )
 
@@ -53,9 +54,12 @@ func NewClusterScenarioSystem(cfg SimSystemConfig, shards int, dir string, check
 
 // NewReplicatedClusterScenarioSystem is NewClusterScenarioSystem with
 // `replicas` warm replicas behind every shard, enabling the promotion and
-// rejoin phases and the router's read failover during mid-load kills.
-func NewReplicatedClusterScenarioSystem(cfg SimSystemConfig, shards, replicas int, dir string, checkpointEvery int) ReplicatedScenarioSystem {
-	return &clusterSystem{cfg: cfg.withDefaults(), shards: shards, replicas: replicas, dir: dir, checkpointEvery: checkpointEvery}
+// rejoin phases and the router's read failover during mid-load kills. Extra
+// cluster options (WithWriteQuorum, WithAutoFailover, WithFailureDetection)
+// are appended after the scenario's own, so hands-off failover drills can
+// shape the cluster without a new constructor per knob.
+func NewReplicatedClusterScenarioSystem(cfg SimSystemConfig, shards, replicas int, dir string, checkpointEvery int, extra ...ClusterOption) ReplicatedScenarioSystem {
+	return &clusterSystem{cfg: cfg.withDefaults(), shards: shards, replicas: replicas, dir: dir, checkpointEvery: checkpointEvery, extra: extra}
 }
 
 // RunClusterScenario executes a scenario against a sharded primary with a
@@ -79,10 +83,10 @@ func RunClusterScenario(ctx context.Context, sc Scenario, dir string, cfg SimSys
 // failover, promote-replica phases re-point the shard at its freshest
 // replica under a bumped epoch, and the owned-user parity contract against
 // the single-node shadow is asserted across the promotion.
-func RunReplicatedClusterScenario(ctx context.Context, sc Scenario, dir string, cfg SimSystemConfig, shards, replicas int) (*ScenarioResult, error) {
+func RunReplicatedClusterScenario(ctx context.Context, sc Scenario, dir string, cfg SimSystemConfig, shards, replicas int, extra ...ClusterOption) (*ScenarioResult, error) {
 	r := &simulate.Runner{
 		NewSystem: func() simulate.System {
-			return NewReplicatedClusterScenarioSystem(cfg, shards, replicas, dir, sc.CheckpointEvery)
+			return NewReplicatedClusterScenarioSystem(cfg, shards, replicas, dir, sc.CheckpointEvery, extra...)
 		},
 		NewShadow: func() simulate.System { return NewScenarioSystem(cfg) },
 		Dir:       dir,
@@ -98,6 +102,7 @@ type clusterSystem struct {
 	replicas        int
 	dir             string
 	checkpointEvery int
+	extra           []ClusterOption
 	topN            int
 
 	cluster *Cluster
@@ -142,6 +147,7 @@ func (s *clusterSystem) Train(train *dataset.Dataset, topN int) error {
 		// overload phases shed with the router's typed 429s.
 		opts = append(opts, WithClusterAdmission(s.cfg.Admission))
 	}
+	opts = append(opts, s.extra...)
 	c, err := NewCluster(p, opts...)
 	if err != nil {
 		return err
@@ -216,11 +222,14 @@ func (s *clusterSystem) Ingest(ctx context.Context, events []IngestEvent) error 
 		perShard[owner] = append(perShard[owner], ev)
 	}
 	for shard, evs := range perShard {
-		sh := s.cluster.shards[shard]
-		if sh.ing == nil {
+		_, ing, err := s.cluster.shardState(shard)
+		if err != nil {
+			return err
+		}
+		if ing == nil {
 			return fmt.Errorf("ganc: shard %d is not ingesting (killed?)", shard)
 		}
-		if _, err := sh.ing.Apply(ctx, evs); err != nil {
+		if _, err := ing.Apply(ctx, evs); err != nil {
 			return err
 		}
 	}
@@ -308,6 +317,15 @@ func (s *clusterSystem) RejoinAsReplica(shard int) (int, error) {
 	return s.cluster.RejoinAsReplica(shard)
 }
 
+// Epoch implements simulate.EpochReporter: the cluster's current ring epoch,
+// so await-promotion phases can observe a detector-triggered promotion.
+func (s *clusterSystem) Epoch() uint64 {
+	if s.cluster == nil {
+		return 0
+	}
+	return s.cluster.Epoch()
+}
+
 // ReplicaLag implements simulate.ReplicatedSystem.
 func (s *clusterSystem) ReplicaLag(shard int) uint64 {
 	if s.cluster == nil {
@@ -364,14 +382,14 @@ func (s *clusterSystem) OwnerAt(userKey string, shards int) int {
 // different lists than the single-node shadow's full sweep — the filter
 // must come after the sweep for the byte-identical parity contract to hold.
 func (s *clusterSystem) ShardFingerprint(ctx context.Context, shard int) ([]byte, error) {
-	sh, err := s.cluster.shardByIndex(shard)
+	pipe, ing, err := s.cluster.shardState(shard)
 	if err != nil {
 		return nil, err
 	}
-	if sh.pipe == nil {
+	if pipe == nil {
 		return nil, fmt.Errorf("ganc: cannot fingerprint dead shard %d", shard)
 	}
-	return fingerprintPipeline(ctx, sh.pipe, sh.ing, func(userKey string) bool {
+	return fingerprintPipeline(ctx, pipe, ing, func(userKey string) bool {
 		return s.cluster.OwnerShard(userKey) == shard
 	})
 }

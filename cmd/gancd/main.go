@@ -23,7 +23,11 @@
 //	            to that shard's replicas, bounded by -max-replica-lag
 //	cluster     the whole topology in one process (a demo/benchmark form):
 //	            split into a temp dir, boot every shard (-replicas warm
-//	            replicas each), serve the router
+//	            replicas each), serve the router. -write-quorum K acks each
+//	            committed batch only after K replicas hold it; -auto-failover
+//	            promotes a suspected-dead primary's freshest replica with no
+//	            operator call (tune the detector with -detect-interval-ms
+//	            and -suspect-after)
 //
 // A 3-shard deployment, one process per node:
 //
@@ -140,6 +144,10 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated shard addresses in shard-id order (router role); \"primary+replica1+replica2\" entries declare read-failover replicas")
 	replicaAddrs := flag.String("replica-addrs", "", "comma-separated replica addresses this shard ships committed batches to (shard role)")
 	replicas := flag.Int("replicas", 0, "warm replicas per shard (cluster role)")
+	writeQuorum := flag.Int("write-quorum", 0, "k-of-n quorum writes: ack a committed batch only after k replicas hold it (shard and cluster roles; 0 = fire-and-forget)")
+	autoFailover := flag.Bool("auto-failover", false, "cluster: promote a suspected-dead primary's freshest replica automatically, no operator call")
+	detectIntervalMs := flag.Int("detect-interval-ms", 0, "failure-detector /health sampling interval in ms (router and cluster roles; 0 = default 250)")
+	suspectAfter := flag.Int("suspect-after", 0, "consecutive missed probes before the detector suspects a node (0 = default 3)")
 	maxReplicaLag := flag.Int64("max-replica-lag", 0, "router: max committed-event lag for a replica to serve a failover read (0 = default 1024, negative disables failover)")
 	epoch := flag.Uint64("epoch", 1, "hash-ring epoch (split, router, cluster; cross-checked in shard role)")
 	outDir := flag.String("out", "", "output directory for shard snapshots (split role)")
@@ -170,13 +178,13 @@ func main() {
 	case "split":
 		err = runSplit(*loadPath, *outDir, *shards, *epoch)
 	case "shard":
-		err = runShard(*loadPath, *serveAddr, *shards, *shardID, *epoch, *cache, *ingestLog, *checkpointInterval, *replicaAddrs, obs)
+		err = runShard(*loadPath, *serveAddr, *shards, *shardID, *epoch, *cache, *ingestLog, *checkpointInterval, *replicaAddrs, *writeQuorum, obs)
 	case "replica":
 		err = runReplica(*loadPath, *serveAddr, *shards, *shardID, *epoch, *cache, *ingestLog, *checkpointInterval, obs)
 	case "router":
-		err = runRouter(*peers, *serveAddr, *epoch, *retries, *maxReplicaLag, obs)
+		err = runRouter(*peers, *serveAddr, *epoch, *retries, *maxReplicaLag, *detectIntervalMs, *suspectAfter, obs)
 	case "cluster":
-		err = runCluster(*loadPath, *serveAddr, *shards, *replicas, *epoch, *cache, *checkpointInterval, obs)
+		err = runCluster(*loadPath, *serveAddr, *shards, *replicas, *writeQuorum, *autoFailover, *detectIntervalMs, *suspectAfter, *epoch, *cache, *checkpointInterval, obs)
 	default:
 		err = fmt.Errorf("unknown -role %q (standalone, split, shard, replica, router, cluster)", *role)
 	}
@@ -211,7 +219,8 @@ func loadSnapshot(path string) (*ganc.Pipeline, error) {
 // shipped to the replicas synchronously, with write-ahead-log catch-up for
 // stragglers.
 func serveNode(p *ganc.Pipeline, addr string, cache int, shard *ganc.ShardIdentity,
-	ingestLog string, checkpointPath string, checkpointInterval int, replicaAddrs []string, obs obsSettings) error {
+	ingestLog string, checkpointPath string, checkpointInterval int, replicaAddrs []string,
+	writeQuorum int, obs obsSettings) error {
 	if addr == "" {
 		return fmt.Errorf("-serve is required for serving roles")
 	}
@@ -247,11 +256,15 @@ func serveNode(p *ganc.Pipeline, addr string, cache int, shard *ganc.ShardIdenti
 		if ingestLog == "" {
 			return fmt.Errorf("-replica-addrs requires -ingest-log (the shipper replays the write-ahead log to catch lagging replicas up)")
 		}
+		if writeQuorum > len(replicaAddrs) {
+			return fmt.Errorf("-write-quorum %d exceeds the %d replicas in -replica-addrs", writeQuorum, len(replicaAddrs))
+		}
 		shipper = ganc.NewShipper(ganc.ShipperConfig{
-			Shard:    shard.ShardID,
-			Epoch:    shard.RingEpoch,
-			WALPath:  ingestLog,
-			Replicas: replicaAddrs,
+			Shard:       shard.ShardID,
+			Epoch:       shard.RingEpoch,
+			WALPath:     ingestLog,
+			Replicas:    replicaAddrs,
+			WriteQuorum: writeQuorum,
 		})
 		defer shipper.Close()
 		ingOpts = append(ingOpts, ganc.WithCommitHook(shipper.Commit))
@@ -279,7 +292,12 @@ func serveNode(p *ganc.Pipeline, addr string, cache int, shard *ganc.ShardIdenti
 		// commit hook; the handshake adopts each replica's true cursor so
 		// catch-up starts from reality rather than a guess.
 		shipper.Resync()
-		fmt.Fprintf(os.Stderr, "replicating to %s\n", strings.Join(replicaAddrs, ", "))
+		if writeQuorum > 0 {
+			fmt.Fprintf(os.Stderr, "replicating to %s (write quorum %d of %d)\n",
+				strings.Join(replicaAddrs, ", "), writeQuorum, len(replicaAddrs))
+		} else {
+			fmt.Fprintf(os.Stderr, "replicating to %s\n", strings.Join(replicaAddrs, ", "))
+		}
 	}
 	endpoints += ", POST /ingest"
 	if shard != nil {
@@ -299,7 +317,7 @@ func runStandalone(loadPath, addr string, cache int, ingestLog string, checkpoin
 	}
 	fmt.Fprintf(os.Stderr, "loaded %s from %s: %d users, %d items, %d ratings\n",
 		p.Name(), loadPath, p.Train().NumUsers(), p.Train().NumItems(), p.Train().NumRatings())
-	return serveNode(p, addr, cache, nil, ingestLog, loadPath, checkpointInterval, nil, obs)
+	return serveNode(p, addr, cache, nil, ingestLog, loadPath, checkpointInterval, nil, 0, obs)
 }
 
 // runSplit writes N shard-scoped snapshots of one plain snapshot.
@@ -356,7 +374,7 @@ func loadShardSnapshot(loadPath string, shards, shardID int, epoch uint64) (*gan
 // runShard serves one shard snapshot, cross-checking its identity against
 // the flags when they are given.
 func runShard(loadPath, addr string, shards, shardID int, epoch uint64, cache int,
-	ingestLog string, checkpointInterval int, replicaAddrs string, obs obsSettings) error {
+	ingestLog string, checkpointInterval int, replicaAddrs string, writeQuorum int, obs obsSettings) error {
 	p, id, err := loadShardSnapshot(loadPath, shards, shardID, epoch)
 	if err != nil {
 		return err
@@ -369,7 +387,7 @@ func runShard(loadPath, addr string, shards, shardID int, epoch uint64, cache in
 			}
 		}
 	}
-	return serveNode(p, addr, cache, &id, ingestLog, loadPath, checkpointInterval, reps, obs)
+	return serveNode(p, addr, cache, &id, ingestLog, loadPath, checkpointInterval, reps, writeQuorum, obs)
 }
 
 // runReplica serves one shard snapshot as a warm read replica: the only
@@ -435,8 +453,13 @@ func runReplica(loadPath, addr string, shards, shardID int, epoch uint64, cache 
 	return http.ListenAndServe(addr, mux)
 }
 
-// runRouter fronts the peers with the scatter-gather router.
-func runRouter(peers, addr string, epoch uint64, retries int, maxReplicaLag int64, obs obsSettings) error {
+// runRouter fronts the peers with the scatter-gather router. When any peer
+// entry declares replicas, a shared failure detector samples every node's
+// /health in the background so failed reads route by the cached liveness
+// view — zero per-request probes — and suspected primaries are skipped
+// without burning the retry budget.
+func runRouter(peers, addr string, epoch uint64, retries int, maxReplicaLag int64,
+	detectIntervalMs, suspectAfter int, obs obsSettings) error {
 	if addr == "" {
 		return fmt.Errorf("-serve is required for -role router")
 	}
@@ -449,6 +472,21 @@ func runRouter(peers, addr string, epoch uint64, retries int, maxReplicaLag int6
 		return err
 	}
 	cfg := ganc.RouterConfig{Ring: ring, Retries: retries, MaxReplicaLag: maxReplicaLag, Admission: ganc.NewAdmission(obs.admission())}
+	hasReplicas := false
+	for _, info := range infos {
+		if len(info.Replicas) > 0 {
+			hasReplicas = true
+		}
+	}
+	if hasReplicas {
+		d := ganc.NewFailureDetector(ganc.FailureDetectorConfig{
+			Ring:         func() *ganc.Ring { return ring },
+			Interval:     time.Duration(detectIntervalMs) * time.Millisecond,
+			SuspectAfter: suspectAfter,
+		})
+		defer d.Close()
+		cfg.Detector = d
+	}
 	if obs.metrics {
 		cfg.Metrics = ganc.NewMetricsRegistry()
 	}
@@ -470,9 +508,16 @@ func runRouter(peers, addr string, epoch uint64, retries int, maxReplicaLag int6
 }
 
 // runCluster boots the whole sharded topology in one process.
-func runCluster(loadPath, addr string, shards, replicas int, epoch uint64, cache, checkpointInterval int, obs obsSettings) error {
+func runCluster(loadPath, addr string, shards, replicas, writeQuorum int, autoFailover bool,
+	detectIntervalMs, suspectAfter int, epoch uint64, cache, checkpointInterval int, obs obsSettings) error {
 	if addr == "" {
 		return fmt.Errorf("-serve is required for -role cluster")
+	}
+	if writeQuorum > replicas {
+		return fmt.Errorf("-write-quorum %d exceeds -replicas %d", writeQuorum, replicas)
+	}
+	if autoFailover && replicas < 1 {
+		return fmt.Errorf("-auto-failover requires -replicas >= 1 (promotion needs a replica to promote)")
 	}
 	p, err := loadSnapshot(loadPath)
 	if err != nil {
@@ -486,6 +531,15 @@ func runCluster(loadPath, addr string, shards, replicas int, epoch uint64, cache
 	}
 	if replicas > 0 {
 		opts = append(opts, ganc.WithReplicas(replicas))
+	}
+	if writeQuorum > 0 {
+		opts = append(opts, ganc.WithWriteQuorum(writeQuorum))
+	}
+	if autoFailover {
+		opts = append(opts, ganc.WithAutoFailover())
+	}
+	if detectIntervalMs > 0 || suspectAfter > 0 {
+		opts = append(opts, ganc.WithFailureDetection(time.Duration(detectIntervalMs)*time.Millisecond, suspectAfter))
 	}
 	if cache > 0 {
 		opts = append(opts, ganc.WithShardCacheCapacity(cache))

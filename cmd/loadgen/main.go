@@ -21,7 +21,13 @@
 // failover section to the report: a read-only run during which shard 0's
 // primary is killed mid-flight, measuring the req/s and error count the
 // router's replica failover sustains, followed by a promotion (DESIGN.md
-// §13). Adding -reshard M appends a reshard section: a mixed read/write run
+// §13). Adding -autofail instead arms the cluster's failure detector with
+// auto-failover and repeats the kill with NO operator promotion — the
+// detector must suspect the dead primary and promote its freshest replica
+// on its own (ring epoch bump), still with zero client-visible errors; the
+// measurement lands in an auto_failover report section, and -write-quorum K
+// makes every committed batch quorum-acknowledged during the comparison.
+// Adding -reshard M appends a reshard section: a mixed read/write run
 // during which the cluster grows to M shards live — user histories stream to
 // the new owners and the router cuts over per user — with zero client-visible
 // errors required (DESIGN.md §14).
@@ -85,6 +91,8 @@ func main() {
 	out := flag.String("out", "", "output report path (default BENCH_serve.json; BENCH_cluster.json in -cluster mode, BENCH_overload.json in -overload mode)")
 	clusterShards := flag.Int("cluster", 0, "compare an N-shard cluster against a single node and write BENCH_cluster.json (0 = plain single-target mode)")
 	clusterReplicas := flag.Int("replicas", 0, "cluster mode: warm replicas per shard; > 0 appends a mid-run primary-kill failover drill to the report")
+	writeQuorum := flag.Int("write-quorum", 0, "cluster mode: k-of-n quorum writes — every committed batch waits for k replica acks (0 = fire-and-forget)")
+	autoFail := flag.Bool("autofail", false, "cluster mode: hands-off failover drill — kill a primary mid-run with auto-failover armed and require a detector-driven promotion with zero client errors (replaces the manual failover drill)")
 	reshardTo := flag.Int("reshard", 0, "cluster mode: grow the cluster to this shard count mid-run and append a reshard section to the report (0 = no drill)")
 	nodeCache := flag.Int("node-cache", 8192, "cluster mode: per-node LRU budget shared by the single node and every shard")
 	warmup := flag.Int("warmup", -1, "cluster mode: unmeasured warm-up requests before each measured run (-1 = same as -requests)")
@@ -135,10 +143,14 @@ func main() {
 		err = fmt.Errorf("-reshard requires -cluster (the drill grows the sharded target)")
 	case *reshardTo > 0 && *reshardTo <= *clusterShards:
 		err = fmt.Errorf("-reshard must exceed -cluster: the drill grows %d shards to a larger ring", *clusterShards)
+	case *autoFail && *clusterReplicas < 1:
+		err = fmt.Errorf("-autofail requires -cluster with -replicas >= 1 (the detector needs a replica to promote)")
+	case *writeQuorum > 0 && *writeQuorum > *clusterReplicas:
+		err = fmt.Errorf("-write-quorum %d exceeds -replicas %d", *writeQuorum, *clusterReplicas)
 	case *clusterShards > 0:
 		err = runCluster(universeConfig(*users, *items, *ratings, *zipf, *seed),
-			*arec, *theta, precision, *topN, *clusterShards, *clusterReplicas, *nodeCache, *warmup,
-			*reshardTo, defaultOut(*out, "BENCH_cluster.json"), load)
+			*arec, *theta, precision, *topN, *clusterShards, *clusterReplicas, *writeQuorum, *nodeCache, *warmup,
+			*reshardTo, *autoFail, defaultOut(*out, "BENCH_cluster.json"), load)
 	default:
 		// The overload drill gets its own default output: its latency numbers
 		// describe a deliberately saturated server and must not clobber the
@@ -306,7 +318,7 @@ func selfHost(u *ganc.Universe, arec, theta string, precision ganc.ScoringPrecis
 // captures steady-state serving: the regime where the cluster's aggregate
 // cache (N × node budget) holds the working set a single node's budget
 // cannot.
-func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.ScoringPrecision, topN, shards, replicas, nodeCache, warmup, reshardTo int, out string, load ganc.LoadConfig) error {
+func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.ScoringPrecision, topN, shards, replicas, writeQuorum, nodeCache, warmup, reshardTo int, autoFail bool, out string, load ganc.LoadConfig) error {
 	if nodeCache <= 0 {
 		return fmt.Errorf("-node-cache must be positive in cluster mode (it is the per-node budget under comparison)")
 	}
@@ -363,6 +375,14 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.Sco
 	if replicas > 0 {
 		copts = append(copts, ganc.WithReplicas(replicas))
 	}
+	if writeQuorum > 0 {
+		copts = append(copts, ganc.WithWriteQuorum(writeQuorum))
+	}
+	if autoFail {
+		// A tight suspicion window keeps the drill (and CI) fast: 50ms
+		// sampling, 3 consecutive misses → suspicion after ~150ms.
+		copts = append(copts, ganc.WithAutoFailover(), ganc.WithFailureDetection(50*time.Millisecond, 3))
+	}
 	c, err := ganc.NewCluster(p, copts...)
 	if err != nil {
 		return err
@@ -395,16 +415,29 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.Sco
 		return err
 	}
 
-	var failover *ganc.FailoverReport
-	if replicas > 0 {
-		failover, err = runFailoverDrill(ctx, u, c, "http://"+ln.Addr().String(), load)
+	// The reshard drill runs first, on the fully healthy cluster: the
+	// kill-based drills leave the killed shard's ex-primary dead until an
+	// operator rejoins it, and under a k-of-n write quorum that dead replica
+	// would stall every migrated-write commit into its quorum timeout.
+	var reshard *ganc.ReshardReport
+	if reshardTo > 0 {
+		reshard, err = runReshardDrill(ctx, u, c, "http://"+ln.Addr().String(), load, reshardTo)
 		if err != nil {
 			return err
 		}
 	}
-	var reshard *ganc.ReshardReport
-	if reshardTo > 0 {
-		reshard, err = runReshardDrill(ctx, u, c, "http://"+ln.Addr().String(), load, reshardTo)
+	var failover *ganc.FailoverReport
+	var autoFailRep *ganc.AutoFailoverReport
+	switch {
+	case autoFail:
+		// The hands-off drill replaces the manual one: the armed detector
+		// would race a manual Promote call.
+		autoFailRep, err = runAutoFailoverDrill(ctx, u, c, "http://"+ln.Addr().String(), load, writeQuorum)
+		if err != nil {
+			return err
+		}
+	case replicas > 0:
+		failover, err = runFailoverDrill(ctx, u, c, "http://"+ln.Addr().String(), load)
 		if err != nil {
 			return err
 		}
@@ -428,6 +461,7 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.Sco
 		Speedup:           speedup,
 		Failover:          failover,
 		Reshard:           reshard,
+		AutoFailover:      autoFailRep,
 	}
 	if err := ganc.WriteClusterBenchReport(out, rep); err != nil {
 		return err
@@ -439,6 +473,9 @@ func runCluster(ucfg ganc.UniverseConfig, arec, theta string, precision ganc.Sco
 	}
 	if failover != nil && failover.Result.Errors > 0 {
 		return fmt.Errorf("%d read errors leaked through replica failover during the mid-run primary kill", failover.Result.Errors)
+	}
+	if autoFailRep != nil && autoFailRep.Result.Errors > 0 {
+		return fmt.Errorf("%d read errors leaked through the hands-off failover drill", autoFailRep.Result.Errors)
 	}
 	if reshard != nil && reshard.Result.Errors > 0 {
 		return fmt.Errorf("%d errors leaked through the mid-run reshard cutover", reshard.Result.Errors)
@@ -486,6 +523,71 @@ func runFailoverDrill(ctx context.Context, u *ganc.Universe, c *ganc.Cluster, ur
 		KilledShard:   0,
 		KillDelayMs:   int(killDelay / time.Millisecond),
 		PromotedEpoch: epoch,
+		Result:        res,
+	}, nil
+}
+
+// runAutoFailoverDrill measures a read-only run against a replicated cluster
+// whose failure detector is armed with auto-failover, during which shard 0's
+// primary is killed mid-run and NOBODY calls Promote: the detector must
+// suspect the dead primary, promote its freshest replica, and republish the
+// ring, all while the router's replica failover keeps the client error count
+// at zero. The drill fails if the epoch never bumps within the wait window.
+func runAutoFailoverDrill(ctx context.Context, u *ganc.Universe, c *ganc.Cluster, url string, load ganc.LoadConfig, writeQuorum int) (*ganc.AutoFailoverReport, error) {
+	const killDelay = 150 * time.Millisecond
+	const promotionWait = 15 * time.Second
+	// Writes cannot fail over (the shard's write-ahead log dies with its
+	// primary), so the drill measures the read path only.
+	load.Mix.Ingest = 0
+	load.BaseURL = url
+	if err := c.WaitForReplicaSync(10 * time.Second); err != nil {
+		return nil, fmt.Errorf("replicas never caught up before the drill: %w", err)
+	}
+	epochBefore := c.Epoch()
+	fmt.Fprintf(os.Stderr, "auto-failover drill: killing shard 0's primary %s into a read-only run of %d requests (no manual promotion) ...\n",
+		killDelay, load.Requests)
+	killed := make(chan error, 1)
+	var killedAt time.Time
+	timer := time.AfterFunc(killDelay, func() {
+		killedAt = time.Now()
+		killed <- c.KillShard(0)
+	})
+	defer timer.Stop()
+	res, err := ganc.RunLoad(ctx, u, load)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case err := <-killed:
+		if err != nil {
+			return nil, fmt.Errorf("mid-run kill of shard 0: %w", err)
+		}
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("mid-run kill of shard 0 never fired")
+	}
+	// No Promote call: poll the ring epoch until the detector's suspicion
+	// callback has promoted and republished on its own.
+	var epoch uint64
+	deadline := time.Now().Add(promotionWait)
+	for {
+		if epoch = c.Epoch(); epoch > epochBefore {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("the failure detector never promoted shard 0's replica within %s (epoch still %d)", promotionWait, epochBefore)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	promotionMs := float64(time.Since(killedAt)) / float64(time.Millisecond)
+	printSummary(res)
+	fmt.Fprintf(os.Stderr, "auto-failover drill: detector promoted shard 0's freshest replica %.0fms after the kill (ring epoch %d → %d), %d errors\n",
+		promotionMs, epochBefore, epoch, res.Errors)
+	return &ganc.AutoFailoverReport{
+		KilledShard:   0,
+		KillDelayMs:   int(killDelay / time.Millisecond),
+		WriteQuorum:   writeQuorum,
+		PromotedEpoch: epoch,
+		PromotionMs:   promotionMs,
 		Result:        res,
 	}, nil
 }

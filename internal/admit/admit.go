@@ -44,9 +44,10 @@ type Config struct {
 	// (without port) is the key.
 	KeyHeader string
 	// MaxClients bounds the bucket table. When a new client would exceed it,
-	// an arbitrary existing bucket is evicted (the evicted client restarts
-	// with a full bucket — a brief over-admit, never a lockout). Zero
-	// defaults to DefaultMaxClients.
+	// the least-recently-used bucket — the one whose last refill is oldest —
+	// is evicted (the evicted client restarts with a full bucket — a brief
+	// over-admit, never a lockout), so a table overrun by key churn sheds
+	// idle clients, not active ones. Zero defaults to DefaultMaxClients.
 	MaxClients int
 	// MaxConcurrent caps requests inside handlers at once. Zero or negative
 	// disables the cap.
@@ -170,10 +171,7 @@ func (c *Controller) allowRate(key string) (bool, time.Duration) {
 	b := c.buckets[key]
 	if b == nil {
 		if len(c.buckets) >= c.cfg.MaxClients {
-			for evict := range c.buckets {
-				delete(c.buckets, evict)
-				break
-			}
+			c.evictLRU()
 		}
 		b = &bucket{tokens: c.cfg.Burst, last: c.now()}
 		c.buckets[key] = b
@@ -193,6 +191,33 @@ func (c *Controller) allowRate(key string) (bool, time.Duration) {
 	}
 	wait := time.Duration((1 - b.tokens) / c.cfg.RatePerSec * float64(time.Second))
 	return false, wait
+}
+
+// evictLRU drops the bucket whose last refill is oldest. Map iteration order
+// is deliberately NOT the eviction policy: under key-rotation churn (each
+// request a fresh synthetic key) an arbitrary eviction eventually lands on an
+// active client's bucket, silently resetting its rate state mid-conversation;
+// the oldest-last bucket is by construction the one that has gone longest
+// without a request. Called with bmu held; taking each bucket's mu inside is
+// safe — the lock order everywhere is bmu before bucket.mu, never the
+// reverse.
+func (c *Controller) evictLRU() {
+	var (
+		oldestKey string
+		oldest    time.Time
+		found     bool
+	)
+	for key, b := range c.buckets {
+		b.mu.Lock()
+		last := b.last
+		b.mu.Unlock()
+		if !found || last.Before(oldest) {
+			oldestKey, oldest, found = key, last, true
+		}
+	}
+	if found {
+		delete(c.buckets, oldestKey)
+	}
 }
 
 // acquire takes a concurrency slot, waiting at most MaxWait.

@@ -3,6 +3,7 @@ package admit
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -242,5 +243,94 @@ func TestRegisterMetrics(t *testing.T) {
 	}
 	if v, ok := sc.Value("ganc_admission_rate_limited_total", obs.L("shard", "0")); !ok || v != 1 {
 		t.Fatalf("rate_limited = %v, %v", v, ok)
+	}
+}
+
+// TestEvictionSparesActiveClientUnderKeyChurn pins the LRU eviction policy:
+// a stream of never-repeating synthetic keys overruns the bucket table many
+// times over while one real client keeps making requests, and the active
+// client's rate state must survive every eviction round. Under the old
+// arbitrary (map-iteration-order) eviction the active bucket is eventually
+// collected, silently handing the client a fresh full burst; with LRU the
+// churn keys — each strictly older than the active client's last request —
+// absorb every eviction.
+func TestEvictionSparesActiveClientUnderKeyChurn(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New(Config{RatePerSec: 1, Burst: 3, MaxClients: 8, Now: clk.now})
+
+	// Drain the active client to exactly one remaining token. From here on it
+	// issues no requests that would spend tokens — any later observation of a
+	// full burst means its bucket was evicted and rebuilt.
+	for i := 0; i < 2; i++ {
+		if ok, _ := c.allowRate("active"); !ok {
+			t.Fatalf("active client shed during warm-up request %d", i)
+		}
+	}
+
+	// Key-rotation churn: hundreds of distinct one-shot keys, far past
+	// MaxClients, interleaved with touches that keep the active client the
+	// most recently used bucket. The clock advances less than a second per
+	// round so the active bucket never refills a whole token.
+	for round := 0; round < 300; round++ {
+		clk.advance(10 * time.Millisecond)
+		if ok, _ := c.allowRate(fmt.Sprintf("churn-%d", round)); !ok {
+			t.Fatalf("fresh churn key %d was shed (fresh buckets start full)", round)
+		}
+		c.bmu.Lock()
+		b := c.buckets["active"]
+		c.bmu.Unlock()
+		if b == nil {
+			t.Fatalf("active client's bucket was evicted by churn round %d despite being the most recently refilled", round)
+		}
+		// Touch the bucket's LRU stamp the way a real request would, without
+		// spending a token: a refill alone updates last.
+		b.mu.Lock()
+		b.last = clk.now()
+		b.mu.Unlock()
+		if n := len(c.buckets); n > 8 {
+			t.Fatalf("bucket table grew to %d entries past MaxClients=8", n)
+		}
+	}
+
+	// The surviving bucket still carries its drained state: 3 seconds of
+	// churn refilled ~1 token/s against a 3-token burst it started 2 below,
+	// so it must be at (or clamped to) burst only if it was rebuilt. Spend
+	// down and verify the 4th request sheds — a rebuilt bucket would admit 3
+	// then shed, an evicted-and-recreated one mid-loop would desynchronize
+	// the count.
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		if ok, _ := c.allowRate("active"); ok {
+			admitted++
+		}
+	}
+	if admitted > 3 {
+		t.Fatalf("active client admitted %d requests against a 3-token burst: bucket state was reset by eviction", admitted)
+	}
+}
+
+// TestEvictLRUPicksOldestBucket drives evictLRU directly: with three buckets
+// of known ages, inserting past MaxClients must drop exactly the oldest.
+func TestEvictLRUPicksOldestBucket(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	c := New(Config{RatePerSec: 1, MaxClients: 3, Now: clk.now})
+	for _, key := range []string{"oldest", "middle", "newest"} {
+		if ok, _ := c.allowRate(key); !ok {
+			t.Fatalf("seeding bucket %q was shed", key)
+		}
+		clk.advance(time.Minute)
+	}
+	if ok, _ := c.allowRate("overflow"); !ok {
+		t.Fatal("overflow key was shed")
+	}
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	if c.buckets["oldest"] != nil {
+		t.Fatal("oldest bucket survived an over-capacity insert")
+	}
+	for _, key := range []string{"middle", "newest", "overflow"} {
+		if c.buckets[key] == nil {
+			t.Fatalf("bucket %q was evicted instead of the oldest", key)
+		}
 	}
 }

@@ -182,6 +182,99 @@ func FuzzRouterHostileShardResponse(f *testing.F) {
 	})
 }
 
+// FuzzDetectorHostileHealth stands hostile nodes whose /health answers
+// attacker-controlled status and body, and drives the failure detector's
+// sampling loop plus a detector-routed read through them. The contract: the
+// detector never panics, a malformed answer (non-200 or undecodable JSON) is
+// a miss — never adopted into the liveness view as an alive row with a
+// garbage cursor — the cached view only ever contains ring addresses, and
+// the router fronting that view still answers every client with a bounded,
+// well-formed status.
+func FuzzDetectorHostileHealth(f *testing.F) {
+	f.Add(200, []byte("{}"))
+	f.Add(200, []byte(`{"status":"ok","shard":0,"replication":{"role":"replica","applied_seq":18446744073709551615,"lag_events":7}}`))
+	f.Add(200, []byte("\x00\xff not json"))
+	f.Add(200, []byte(`{"replication":{"applied_seq":-1}}`))
+	f.Add(500, []byte("boom"))
+	f.Add(204, []byte{})
+	f.Add(200, []byte(`{"replication":`))
+
+	f.Fuzz(func(t *testing.T, status int, body []byte) {
+		// 1xx is excluded: the server treats it as informational and the
+		// handler's body write becomes a separate final 200, so the probe
+		// legitimately sees a different status than the fuzzer chose.
+		if status < 200 || status > 999 {
+			status = 200 + (((status % 500) + 500) % 500)
+		}
+		hostile := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(status)
+			_, _ = w.Write(body)
+		})
+		primary := httptest.NewServer(hostile)
+		defer primary.Close()
+		replica := httptest.NewServer(hostile)
+		defer replica.Close()
+		pAddr := strings.TrimPrefix(primary.URL, "http://")
+		rAddr := strings.TrimPrefix(replica.URL, "http://")
+
+		ring, err := NewRing(1, 0, []ShardInfo{{ID: 0, Addr: pAddr, Replicas: []string{rAddr}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := newDetector(DetectorConfig{Ring: func() *Ring { return ring }, SuspectAfter: 1})
+		defer d.Close()
+		d.sample()
+		d.sample()
+
+		// The answer is adoptable only when it is a 200 carrying valid JSON —
+		// the same decode the probe performs. Anything else must read as a
+		// dead node, not as an alive row with a poisoned cursor.
+		var parsed serve.HealthResponse
+		adoptable := status == http.StatusOK && json.Unmarshal(body, &parsed) == nil
+		for _, addr := range []string{pAddr, rAddr} {
+			row, ok := d.Node(addr)
+			if !ok {
+				t.Fatalf("sampled node %s missing from the view", addr)
+			}
+			if row.Alive != adoptable {
+				t.Fatalf("node %s alive=%v after a status-%d answer (adoptable=%v)", addr, row.Alive, status, adoptable)
+			}
+			if adoptable && parsed.Replication != nil && row.AppliedSeq != parsed.Replication.AppliedSeq {
+				t.Fatalf("view cursor %d does not match the served cursor %d", row.AppliedSeq, parsed.Replication.AppliedSeq)
+			}
+			if !adoptable && row.AppliedSeq != 0 {
+				t.Fatalf("a malformed answer poisoned node %s's cursor to %d", addr, row.AppliedSeq)
+			}
+		}
+		for _, row := range d.View() {
+			if row.Addr != pAddr && row.Addr != rAddr {
+				t.Fatalf("view invented address %q", row.Addr)
+			}
+		}
+		if addr, _, ok := d.FreshestReplica([]string{rAddr}, 1<<40); ok && addr != rAddr {
+			t.Fatalf("FreshestReplica returned %q, not a candidate", addr)
+		}
+
+		rt, err := NewRouter(RouterConfig{Ring: ring, Detector: d, Retries: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(rt.Handler())
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/recommend?user=u")
+		if err != nil {
+			t.Fatalf("transport error through router: %v", err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatalf("reading router answer: %v", err)
+		}
+		if resp.StatusCode < 200 || resp.StatusCode > 599 {
+			t.Fatalf("router produced status %d", resp.StatusCode)
+		}
+	})
+}
+
 // FuzzRingOwnershipPartition drives the partition property the scatter
 // paths rely on directly: for any shard count and any two user keys, owners
 // are in range, equal keys share an owner, and the partition of a batch by

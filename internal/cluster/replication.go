@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -314,6 +315,19 @@ type ShipperConfig struct {
 	// BatchEvents is the catch-up chunk size (default 1024, capped at
 	// MaxReplicateEvents).
 	BatchEvents int
+	// WriteQuorum, when > 0, makes Commit block until that many replicas
+	// have acknowledged the batch's head — a k-of-n durability guarantee:
+	// a quorum-acked write survives the loss of any n-k replicas plus the
+	// primary. Zero keeps the legacy fire-and-forget semantics (inline ship
+	// to in-sync replicas, background catch-up for the rest). Clamped to
+	// the replica count.
+	WriteQuorum int
+	// QuorumTimeout bounds Commit's quorum wait (default 2s). On expiry the
+	// commit degrades to asynchronous catch-up — the client write has
+	// already been accepted by the time the hook runs, so stalling it
+	// forever would turn a replica outage into a primary outage. Expiries
+	// are counted in the replication status.
+	QuorumTimeout time.Duration
 }
 
 // Shipper is the primary side of the protocol: it forwards each committed
@@ -330,8 +344,12 @@ type Shipper struct {
 	backoff time.Duration
 	batch   int
 
-	head  atomic.Uint64
-	epoch atomic.Uint64
+	quorum   int
+	qTimeout time.Duration
+
+	head           atomic.Uint64
+	epoch          atomic.Uint64
+	quorumTimeouts atomic.Int64
 
 	reps []*shipperReplica
 	stop chan struct{}
@@ -374,6 +392,14 @@ func NewShipper(cfg ShipperConfig) *Shipper {
 	}
 	if sp.batch <= 0 || sp.batch > MaxReplicateEvents {
 		sp.batch = 1024
+	}
+	sp.quorum = cfg.WriteQuorum
+	if sp.quorum > len(cfg.Replicas) {
+		sp.quorum = len(cfg.Replicas)
+	}
+	sp.qTimeout = cfg.QuorumTimeout
+	if sp.qTimeout <= 0 {
+		sp.qTimeout = 2 * time.Second
 	}
 	sp.head.Store(cfg.StartSeq)
 	sp.epoch.Store(cfg.Epoch)
@@ -430,6 +456,43 @@ func (sp *Shipper) Commit(firstSeq uint64, events []serve.IngestEvent) {
 			rep.poke()
 		}
 	}
+	if sp.quorum > 0 && !sp.waitQuorum(newHead) {
+		sp.quorumTimeouts.Add(1)
+	}
+}
+
+// ackedAtLeast counts replicas whose acknowledged cursor has reached seq.
+func (sp *Shipper) ackedAtLeast(seq uint64) int {
+	n := 0
+	for _, rep := range sp.reps {
+		rep.mu.Lock()
+		if rep.acked >= seq {
+			n++
+		}
+		rep.mu.Unlock()
+	}
+	return n
+}
+
+// waitQuorum blocks until WriteQuorum replicas have acknowledged seq, the
+// quorum timeout expires, or the shipper closes. The inline ship in Commit
+// usually satisfies it immediately; the wait only bites while replicas are
+// catching up, when durability rides on the background loops.
+func (sp *Shipper) waitQuorum(seq uint64) bool {
+	deadline := time.Now().Add(sp.qTimeout)
+	for {
+		if sp.ackedAtLeast(seq) >= sp.quorum {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		select {
+		case <-sp.stop:
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
 }
 
 // SetHead advances the committed head without shipping (the recovery path:
@@ -484,6 +547,7 @@ func (sp *Shipper) Head() uint64 { return sp.head.Load() }
 func (sp *Shipper) Status() serve.ReplicationStatus {
 	head := sp.head.Load()
 	st := serve.ReplicationStatus{Role: "primary", AppliedSeq: head, PrimarySeq: head}
+	acked := make([]uint64, 0, len(sp.reps))
 	for _, rep := range sp.reps {
 		rep.mu.Lock()
 		lag := uint64(0)
@@ -492,9 +556,26 @@ func (sp *Shipper) Status() serve.ReplicationStatus {
 		}
 		st.Replicas = append(st.Replicas, serve.ReplicaLag{
 			Addr: rep.addr, AckedSeq: rep.acked, LagEvents: lag, InSync: rep.insync, Error: rep.lastErr})
+		acked = append(acked, rep.acked)
 		rep.mu.Unlock()
 	}
+	if sp.quorum > 0 {
+		st.WriteQuorum = sp.quorum
+		st.QuorumAckedSeq = kthLargest(acked, sp.quorum)
+		st.QuorumTimeouts = sp.quorumTimeouts.Load()
+	}
 	return st
+}
+
+// kthLargest returns the k-th largest value in vs — with replica cursors,
+// the highest sequence at least k replicas have reached.
+func kthLargest(vs []uint64, k int) uint64 {
+	if k <= 0 || k > len(vs) {
+		return 0
+	}
+	sorted := append([]uint64(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	return sorted[k-1]
 }
 
 // MaxLag returns the widest replica lag in events (0 with no replicas).

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -418,5 +419,97 @@ func TestRouterFailoverReadsRaceHealthAggregation(t *testing.T) {
 	}
 	if got, want := shards[1].primary.eng.computes.Load(), distinct(1); got != want {
 		t.Fatalf("live shard's primary computed %d distinct reads, want exactly %d", got, want)
+	}
+}
+
+// TestShipperAndDetectorShutdownLeakNoGoroutines is the goroutine-leak census
+// for the two background machines this package runs: a Shipper's per-replica
+// catch-up loops (plus a quorum-blocked Commit) and a Detector's sampling
+// loop with a suspicion callback in flight. Several construct/exercise/Close
+// rounds must return the process to its pre-round goroutine count — a Close
+// that forgets a catch-up loop, a quorum wait, or a callback goroutine shows
+// up as a monotonic leak here, under -race in CI.
+func TestShipperAndDetectorShutdownLeakNoGoroutines(t *testing.T) {
+	// The fixture servers (replica endpoint, health node) go up before the
+	// baseline so their accept loops are part of it; per-round keep-alive
+	// connections are drained explicitly below.
+	backend := &countingBackend{}
+	ra := NewReplicaApplier(0, 1, backend)
+	repAddr := replicaServer(t, ra)
+	primary := newHealthNode(t, 0, "primary")
+	ring, err := NewRing(1, 0, []ShardInfo{{ID: 0, Addr: primary.addr(), Replicas: []string{repAddr}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.down.Store(true) // every detector round drives a suspicion callback
+
+	waitBaseline := func(base int) error {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if n := runtime.NumGoroutine(); n <= base {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("goroutines: %d, baseline %d", runtime.NumGoroutine(), base)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	base := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		walPath := filepath.Join(t.TempDir(), "census.wal")
+		wal, err := ingest.OpenLog(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := NewShipper(ShipperConfig{
+			Shard: 0, Epoch: 1, WALPath: walPath,
+			Replicas:    []string{repAddr, "127.0.0.1:1"}, // one live, one unreachable: its catch-up loop spins until Close
+			WriteQuorum: 2, QuorumTimeout: 20 * time.Millisecond,
+			ShipTimeout: 100 * time.Millisecond, RetryBackoff: 2 * time.Millisecond,
+			StartSeq: wal.Seq(),
+		})
+		first := wal.Seq() + 1
+		batch := evs(int(first), 3)
+		if _, err := wal.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		// The unreachable replica can never ack, so this Commit exercises the
+		// quorum wait through its timeout-degrade path.
+		sp.Commit(first, batch)
+		sp.Resync()
+		if n := sp.Status().QuorumTimeouts; n == 0 {
+			t.Fatalf("round %d: commit against an unreachable quorum peer recorded no quorum timeout", round)
+		}
+
+		var fired sync.WaitGroup
+		fired.Add(1)
+		d := NewDetector(DetectorConfig{
+			Ring:         func() *Ring { return ring },
+			Interval:     5 * time.Millisecond,
+			ProbeTimeout: 100 * time.Millisecond,
+			SuspectAfter: 1,
+			OnSuspectPrimary: func(int, string) {
+				fired.Done()
+			},
+		})
+		fired.Wait() // a callback goroutine ran; Close must also have waited for it
+
+		d.Close()
+		d.Close() // idempotent
+		sp.Close()
+		sp.Close()
+		if err := wal.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Keep-alive connections opened this round hold transport goroutines;
+		// they are owned by the clients the closed machines leave behind.
+		sp.client.CloseIdleConnections()
+		d.client.CloseIdleConnections()
+		if err := waitBaseline(base); err != nil {
+			t.Fatalf("round %d leaked: %v", round, err)
+		}
 	}
 }

@@ -78,6 +78,12 @@ type RouterConfig struct {
 	// reported lag exceeds this many committed events is never chosen as a
 	// read target (default DefaultMaxReplicaLag; negative disables failover).
 	MaxReplicaLag int64
+	// Detector, when set, supplies the shared cluster-liveness view: failed
+	// reads pick their failover replica from the cached view instead of
+	// probing every replica inline, and a suspected-down primary is skipped
+	// without burning the retry budget. The router does not own the detector;
+	// whoever constructed it must Close it.
+	Detector *Detector
 }
 
 // DefaultMaxReplicaLag is the default staleness bound for read failover, in
@@ -98,6 +104,7 @@ type Router struct {
 	backoff  time.Duration
 	probe    time.Duration
 	maxLag   int64
+	detector *Detector
 
 	metrics   *obs.Registry
 	httpObs   *obs.HTTPMetrics
@@ -167,6 +174,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		backoff:   backoff,
 		probe:     probe,
 		maxLag:    maxLag,
+		detector:  cfg.Detector,
 		metrics:   cfg.Metrics,
 		admission: cfg.Admission,
 	}
@@ -404,25 +412,51 @@ func (rt *Router) callAddr(ctx context.Context, shard int, addr, method, pathAnd
 }
 
 // callShardRead is callShard with read failover: when the primary exhausts
-// its retry budget and the shard has replicas, the router probes them,
-// selects the freshest one within the staleness bound and serves the read
-// from it. Writes never take this path — a replica applies batches only
-// through /replicate, so failing a write over would fork the shard's
+// its retry budget, the router first re-resolves the shard against the
+// current ring — a promotion may have re-pointed the primary mid-retry —
+// and otherwise serves the read from the freshest replica within the
+// staleness bound. Writes never take this path — a replica applies batches
+// only through /replicate, so failing a write over would fork the shard's
 // history.
 func (rt *Router) callShardRead(ctx context.Context, shard int, method, pathAndQuery string, body []byte) (int, []byte, error) {
-	status, payload, err := rt.callShard(ctx, shard, method, pathAndQuery, body)
-	if err == nil {
-		return status, payload, nil
+	var status int
+	var payload []byte
+	var err error
+	// With a detector view on hand, a suspected-down primary is skipped
+	// outright: no call, no retry budget, straight to the cached failover
+	// choice. Without one (or while the primary is merely failing, not yet
+	// suspected) the primary is tried first as before.
+	if !rt.primarySuspected(shard) {
+		status, payload, err = rt.callShard(ctx, shard, method, pathAndQuery, body)
+		if err == nil {
+			return status, payload, nil
+		}
+	} else {
+		info, _ := rt.shardInfo(shard)
+		err = &ShardError{Shard: shard, Addr: info.Addr,
+			Err: fmt.Errorf("%w: primary suspected down by the failure detector", ErrShardUnavailable)}
 	}
 	info, infoErr := rt.shardInfo(shard)
 	if infoErr != nil {
 		return status, payload, err
 	}
+	// A ring republish (promotion, reshard cutover) may have re-pointed the
+	// shard's primary while the failed attempts were burning their budget
+	// against the old address. One call against the current primary covers
+	// that window — and it is the only way out when the shard has a single
+	// replica, because the post-promotion ring's replica slot holds exactly
+	// the dead ex-primary.
+	var se *ShardError
+	if errors.As(err, &se) && se.Addr != "" && se.Addr != info.Addr {
+		if st, repointed, err2 := rt.callAddr(ctx, shard, info.Addr, method, pathAndQuery, body); err2 == nil {
+			return st, repointed, nil
+		}
+	}
 	replicas := info.Replicas
 	if len(replicas) == 0 || rt.maxLag < 0 {
 		return status, payload, err
 	}
-	addr, ok := rt.pickReplica(ctx, replicas)
+	addr, ok := rt.failoverTarget(ctx, replicas)
 	if !ok {
 		return status, payload, err
 	}
@@ -434,6 +468,32 @@ func (rt *Router) callShardRead(ctx context.Context, shard int, method, pathAndQ
 		return status, payload, err
 	}
 	return st, body2, nil
+}
+
+// primarySuspected consults the detector's cached view for the shard's
+// primary. Always false without a detector: suspicion requires evidence.
+func (rt *Router) primarySuspected(shard int) bool {
+	if rt.detector == nil {
+		return false
+	}
+	info, err := rt.shardInfo(shard)
+	if err != nil {
+		return false
+	}
+	row, ok := rt.detector.Node(info.Addr)
+	return ok && row.Suspected
+}
+
+// failoverTarget picks the replica a failed read falls over to: from the
+// detector's cached view when one covers these replicas (zero inline
+// probes), by live parallel probing otherwise.
+func (rt *Router) failoverTarget(ctx context.Context, replicas []string) (string, bool) {
+	if rt.detector != nil {
+		if addr, known, ok := rt.detector.FreshestReplica(replicas, rt.maxLag); known {
+			return addr, ok
+		}
+	}
+	return rt.pickReplica(ctx, replicas)
 }
 
 // pickReplica probes the shard's replicas and returns the address of the
@@ -452,7 +512,7 @@ func (rt *Router) pickReplica(ctx context.Context, replicas []string) (string, b
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			health, err := rt.probeHealth(probeCtx, addr)
+			health, err := probeHealth(probeCtx, rt.client, addr)
 			if err != nil || health.Replication == nil {
 				return
 			}
@@ -473,13 +533,15 @@ func (rt *Router) pickReplica(ctx context.Context, replicas []string) (string, b
 	return best.addr, found
 }
 
-// probeHealth fetches and decodes one node's /health without retries.
-func (rt *Router) probeHealth(ctx context.Context, addr string) (*serve.HealthResponse, error) {
+// probeHealth fetches and decodes one node's /health without retries. It is
+// shared by the router's inline probes and the failure detector's sampling
+// loop — one parser, one fuzz surface.
+func probeHealth(ctx context.Context, client *http.Client, addr string) (*serve.HealthResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/health", nil)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := rt.client.Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -978,6 +1040,9 @@ type HealthResponse struct {
 	// Replicas lists per-replica liveness and lag, one row per replica
 	// address in the ring (absent on replica-less clusters).
 	Replicas []ReplicaHealth `json:"replicas,omitempty"`
+	// Detector lists the failure detector's cached per-node liveness rows
+	// (absent when the router runs without a detector).
+	Detector []NodeLiveness `json:"detector,omitempty"`
 }
 
 // ReplicaHealth is one replica's row in the router's aggregated /health
@@ -1023,7 +1088,7 @@ func (rt *Router) probeReplicas(ctx context.Context) []ReplicaHealth {
 		go func(k int, sl slot) {
 			defer wg.Done()
 			row := ReplicaHealth{Shard: ring.Shard(sl.shard).ID, Addr: sl.addr}
-			health, err := rt.probeHealth(probeCtx, sl.addr)
+			health, err := probeHealth(probeCtx, rt.client, sl.addr)
 			switch {
 			case err != nil:
 				row.Error = err.Error()
@@ -1058,6 +1123,9 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	statuses := rt.probeShards(r.Context(), "/health")
 	out := HealthResponse{Status: "ok", Shards: len(statuses)}
 	out.Replicas = rt.probeReplicas(r.Context())
+	if rt.detector != nil {
+		out.Detector = rt.detector.View()
+	}
 	for _, st := range statuses {
 		if st.Healthy {
 			out.Healthy++

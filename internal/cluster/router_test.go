@@ -499,3 +499,70 @@ func TestNewRouterValidation(t *testing.T) {
 		t.Fatalf("address-less ring: %v", err)
 	}
 }
+
+// TestReadFollowsRepointedPrimaryMidRetry pins the promotion-race fix: a
+// read that burns its retry budget against a dying primary must re-resolve
+// the shard against the current ring before giving up. A promotion that
+// republishes the ring mid-retry re-points the primary, and with a single
+// replica the new ring's replica slot holds exactly the dead ex-primary —
+// so without the re-resolution the read has no failover target at all and
+// a client-visible 503 leaks out of an otherwise hands-off failover.
+func TestReadFollowsRepointedPrimaryMidRetry(t *testing.T) {
+	newPrimary := newHealthNode(t, 0, "promoted")
+
+	var rt *Router
+	var oldAddr string
+	var swapped atomic.Bool
+	oldMux := http.NewServeMux()
+	oldMux.HandleFunc("/recommend", func(w http.ResponseWriter, _ *http.Request) {
+		// The promotion lands while the router is mid-retry against this
+		// dying node: the first failed attempt triggers the ring republish,
+		// then every attempt keeps failing.
+		if swapped.CompareAndSwap(false, true) {
+			ringB, err := NewRing(2, 0, []ShardInfo{
+				{ID: 0, Addr: newPrimary.addr(), Replicas: []string{oldAddr}},
+			})
+			if err != nil {
+				t.Errorf("building post-promotion ring: %v", err)
+			} else if err := rt.UpdateRing(ringB); err != nil {
+				t.Errorf("republishing ring mid-retry: %v", err)
+			}
+		}
+		http.Error(w, "dying", http.StatusInternalServerError)
+	})
+	oldTS := httptest.NewServer(oldMux)
+	defer oldTS.Close()
+	oldAddr = strings.TrimPrefix(oldTS.URL, "http://")
+
+	ringA, err := NewRing(1, 0, []ShardInfo{
+		{ID: 0, Addr: oldAddr, Replicas: []string{newPrimary.addr()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err = NewRouter(RouterConfig{Ring: ringA, Retries: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/recommend?user=u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read across a mid-retry promotion answered %d, want 200 from the re-pointed primary", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["served_by"] != "promoted" {
+		t.Fatalf("read served by %q, want the promoted primary", body["served_by"])
+	}
+	if !swapped.Load() {
+		t.Fatal("the dying primary was never consulted; the race under test did not occur")
+	}
+}

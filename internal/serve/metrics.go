@@ -186,6 +186,16 @@ type ReplicationStatus struct {
 	LagEvents uint64 `json:"lag_events"`
 	// Replicas reports per-replica shipping progress (primaries only).
 	Replicas []ReplicaLag `json:"replicas,omitempty"`
+	// WriteQuorum is the k of the primary's k-of-n write acknowledgement
+	// policy (0 when commits are not quorum-acknowledged; primaries only).
+	WriteQuorum int `json:"write_quorum,omitempty"`
+	// QuorumAckedSeq is the highest committed cursor acknowledged by at
+	// least WriteQuorum replicas — the durability frontier a quorum-acked
+	// write is guaranteed to sit behind (primaries with a quorum only).
+	QuorumAckedSeq uint64 `json:"quorum_acked_seq,omitempty"`
+	// QuorumTimeouts counts commits whose quorum wait expired and degraded
+	// to asynchronous catch-up (primaries with a quorum only).
+	QuorumTimeouts int64 `json:"quorum_timeouts,omitempty"`
 }
 
 // ReplicaLag is one replica's shipping progress as seen by its primary.

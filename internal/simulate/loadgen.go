@@ -473,6 +473,11 @@ type ClusterBenchReport struct {
 	// Reshard is the mid-run elastic-grow drill measurement (nil when the
 	// drill was not requested).
 	Reshard *ReshardReport `json:"reshard,omitempty"`
+	// AutoFailover is the hands-off failover drill measurement (nil when the
+	// drill was not requested). It replaces the manual Failover section: the
+	// two drills are mutually exclusive because the failure detector would
+	// race a manual promotion.
+	AutoFailover *AutoFailoverReport `json:"auto_failover,omitempty"`
 }
 
 // FailoverReport is the failover section of BENCH_cluster.json: a read-only
@@ -487,6 +492,31 @@ type FailoverReport struct {
 	// PromotedEpoch is the ring epoch after the post-run promotion (0 when
 	// the drill did not promote).
 	PromotedEpoch uint64 `json:"promoted_epoch,omitempty"`
+	// Result is the measured run spanning the kill.
+	Result *LoadResult `json:"result"`
+}
+
+// AutoFailoverReport is the auto-failover section of BENCH_cluster.json: a
+// read-only run against a replicated cluster with the failure detector's
+// suspicion callback armed, during which one shard's primary is killed and
+// NO operator promotion is issued. The pass criteria are zero client-visible
+// errors and a detector-driven promotion (ring epoch bump) within the
+// suspicion window.
+type AutoFailoverReport struct {
+	// KilledShard is the shard whose primary the drill killed.
+	KilledShard int `json:"killed_shard"`
+	// KillDelayMs is how far into the run the kill fired.
+	KillDelayMs int `json:"kill_delay_ms"`
+	// WriteQuorum echoes the k-of-n quorum the cluster committed under
+	// (0 = fire-and-forget shipping).
+	WriteQuorum int `json:"write_quorum,omitempty"`
+	// PromotedEpoch is the ring epoch after the detector's automatic
+	// promotion.
+	PromotedEpoch uint64 `json:"promoted_epoch"`
+	// PromotionMs is the wall-clock time from the kill to the first
+	// observation of the bumped epoch — detection plus promotion plus ring
+	// republish, as a client would experience it.
+	PromotionMs float64 `json:"promotion_ms"`
 	// Result is the measured run spanning the kill.
 	Result *LoadResult `json:"result"`
 }

@@ -104,6 +104,15 @@ type ReplicatedSystem interface {
 	ReplicaLag(shard int) uint64
 }
 
+// EpochReporter is the optional interface behind the await-promotion phase:
+// a system exposes its current ring epoch so the runner can observe a
+// detector-triggered promotion from the outside — the phase never calls
+// PromoteReplica itself; the system's own failure detector must.
+type EpochReporter interface {
+	// Epoch returns the system's current ring epoch.
+	Epoch() uint64
+}
+
 // ReshardableSystem is the elastic extension of ShardedSystem: a cluster
 // that can grow or shrink its ring with a live migration while it serves.
 // Scenario phases that reshard mid-load require the primary to implement it.
@@ -170,6 +179,14 @@ const (
 	// the promoted primary and waits for its replication lag to drain to
 	// zero, proving the demoted node converges on the new history.
 	PhaseRejoinReplica PhaseKind = "rejoin-replica"
+	// PhaseAwaitPromotion is the hands-off form of promote-replica: the
+	// runner never calls PromoteReplica — it waits up to Phase.
+	// PromotionWindowMs for the system's own failure detector to suspect the
+	// killed primary and promote its freshest replica (observed as a ring-
+	// epoch bump through EpochReporter), then asserts the same owned-user
+	// parity contract against the shadow. The primary must implement
+	// EpochReporter and run with automatic failover enabled.
+	PhaseAwaitPromotion PhaseKind = "await-promotion"
 	// PhaseShardParity asserts the drilled shard's owned-user fingerprint is
 	// byte-identical to the uninterrupted single-node shadow restricted to
 	// the same users — the standalone form of the check restart-shard and
@@ -234,6 +251,12 @@ type Phase struct {
 	// ReshardDelayMs is how far into the load the mid-load reshard fires
 	// (default 100).
 	ReshardDelayMs int `json:"reshard_delay_ms,omitempty"`
+	// PromotionWindowMs bounds how long an await-promotion phase waits for
+	// the system's failure detector to promote the killed shard's replica
+	// (default 15000). Generous relative to real suspicion windows so a
+	// loaded CI machine does not flake the drill; the point of the bound is
+	// that promotion happens at all without an operator.
+	PromotionWindowMs int `json:"promotion_window_ms,omitempty"`
 }
 
 // Scenario is a full lifecycle expressed as data: a universe, a system
@@ -293,7 +316,7 @@ func (sc *Scenario) shardUnderTest() (int, error) {
 		switch {
 		case p.Kind == PhaseKillShard || p.Kind == PhaseRestartShard ||
 			p.Kind == PhasePromoteReplica || p.Kind == PhaseRejoinReplica ||
-			p.Kind == PhaseShardParity:
+			p.Kind == PhaseAwaitPromotion || p.Kind == PhaseShardParity:
 			if err := consider(p.Shard); err != nil {
 				return -1, err
 			}
@@ -400,6 +423,12 @@ type runState struct {
 	reshardable ReshardableSystem
 	shadowShard int
 	finalShards int
+	// baseEpoch is the highest ring epoch the runner has accounted for — the
+	// train-time epoch, advanced by every phase that records an epoch bump
+	// (promote-replica, mid-load reshard, await-promotion). An
+	// await-promotion phase succeeds when the live epoch exceeds it: an
+	// unaccounted bump can only be the detector's own promotion.
+	baseEpoch uint64
 }
 
 // Run executes the scenario and returns its per-phase record. Any phase
@@ -445,6 +474,9 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Result, error) {
 		if err != nil {
 			return res, fmt.Errorf("simulate: scenario %q phase %d (%s): %w", sc.Name, k, phase.Kind, err)
 		}
+		if pr.Epoch > st.baseEpoch {
+			st.baseEpoch = pr.Epoch
+		}
 		res.Phases = append(res.Phases, pr)
 	}
 	return res, nil
@@ -487,6 +519,9 @@ func (r *Runner) runPhase(ctx context.Context, sc *Scenario, st *runState, p Pha
 	case PhaseRejoinReplica:
 		pr.Shard = p.Shard
 		return r.rejoinReplica(st, p, pr)
+	case PhaseAwaitPromotion:
+		pr.Shard = p.Shard
+		return r.awaitPromotion(ctx, st, p, pr)
 	case PhaseShardParity:
 		pr.Shard = p.Shard
 		if _, err := st.shardedOrErr(p.Kind); err != nil {
@@ -568,8 +603,13 @@ func (r *Runner) train(sc *Scenario, st *runState) error {
 	if st.finalShards > 0 && st.reshardable == nil {
 		return fmt.Errorf("scenario reshards mid-load but the primary is not reshardable")
 	}
+	if er, ok := st.primary.(EpochReporter); ok {
+		st.baseEpoch = er.Epoch()
+	} else if sc.has(PhaseAwaitPromotion) {
+		return fmt.Errorf("scenario awaits a detector promotion but the primary does not report its ring epoch")
+	}
 	needIngest := sc.has(PhaseIngestChurn) || sc.has(PhaseKillAndRecover) ||
-		sc.has(PhaseRestartShard) || sc.has(PhasePromoteReplica)
+		sc.has(PhaseRestartShard) || sc.has(PhasePromoteReplica) || sc.has(PhaseAwaitPromotion)
 	if needIngest {
 		// The primary runs the full durability stack; checkpoints target the
 		// same snapshot path PhaseSave writes, mirroring cmd/ganc.
@@ -578,7 +618,8 @@ func (r *Runner) train(sc *Scenario, st *runState) error {
 		}
 	}
 	if sc.has(PhaseKillAndRecover) ||
-		((sc.has(PhaseRestartShard) || sc.has(PhasePromoteReplica) || sc.has(PhaseShardParity)) && st.shadowShard >= 0) {
+		((sc.has(PhaseRestartShard) || sc.has(PhasePromoteReplica) ||
+			sc.has(PhaseAwaitPromotion) || sc.has(PhaseShardParity)) && st.shadowShard >= 0) {
 		newShadow := r.NewShadow
 		if newShadow == nil {
 			newShadow = r.NewSystem
@@ -1030,6 +1071,42 @@ func (r *Runner) promoteReplica(ctx context.Context, st *runState, p Phase, pr P
 		return pr, fmt.Errorf("promote shard %d: %w", p.Shard, err)
 	}
 	pr.Epoch = epoch
+	return r.shardParity(ctx, st, p.Shard, pr)
+}
+
+// awaitPromotion observes a hands-off failover: the runner waits for the
+// system's own failure detector to promote the killed shard's replica —
+// visible as a ring-epoch bump past everything the runner has accounted for —
+// then asserts the promoted runtime passes the owned-user parity contract.
+// No PromoteReplica call is made: a promotion that needs the runner is a
+// failed drill.
+func (r *Runner) awaitPromotion(ctx context.Context, st *runState, p Phase, pr PhaseResult) (PhaseResult, error) {
+	if _, err := st.replicatedOrErr(p.Kind); err != nil {
+		return pr, err
+	}
+	er, ok := st.primary.(EpochReporter)
+	if !ok {
+		return pr, fmt.Errorf("await-promotion requires the primary to report its ring epoch")
+	}
+	window := time.Duration(p.PromotionWindowMs) * time.Millisecond
+	if window <= 0 {
+		window = 15 * time.Second
+	}
+	deadline := time.Now().Add(window)
+	for {
+		if err := ctx.Err(); err != nil {
+			return pr, err
+		}
+		if epoch := er.Epoch(); epoch > st.baseEpoch {
+			pr.Epoch = epoch
+			break
+		}
+		if time.Now().After(deadline) {
+			return pr, fmt.Errorf("the failure detector never promoted shard %d's replica within the %s suspicion window (epoch still %d)",
+				p.Shard, window, st.baseEpoch)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	return r.shardParity(ctx, st, p.Shard, pr)
 }
 

@@ -44,6 +44,10 @@ type (
 	// ReshardReport is the reshard section of BENCH_cluster.json: a mixed
 	// read/write run spanning a mid-run elastic grow of the cluster.
 	ReshardReport = simulate.ReshardReport
+	// AutoFailoverReport is the auto-failover section of BENCH_cluster.json:
+	// a read-only run spanning a mid-run primary kill with no operator
+	// promotion — the failure detector must promote on its own.
+	AutoFailoverReport = simulate.AutoFailoverReport
 	// Scenario is a system lifecycle expressed as a phase list.
 	Scenario = simulate.Scenario
 	// ScenarioPhase is one step of a Scenario.
